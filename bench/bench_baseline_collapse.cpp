@@ -1,0 +1,81 @@
+// Baseline comparison: the series-parallel collapsed-inverter method of
+// references [8]/[13] against this paper's compositional proximity model,
+// both judged against the full transistor-level simulation on the Table 5-1
+// workload.  The paper's claim: "the results are more accurate than
+// previously published methods ... which rely on the reduction of the gate
+// to an equivalent inverter."
+
+#include <cstdio>
+#include <random>
+
+#include "baseline/collapse.hpp"
+#include "bench_util.hpp"
+
+using namespace prox;
+using model::InputEvent;
+using wave::Edge;
+
+namespace {
+
+void printStatsRow(const char* name, const benchutil::ErrorStats& s) {
+  std::printf("  %-22s %8.2f %8.2f %8.2f %8.2f\n", name, s.mean, s.stddev,
+              s.maxv, s.minv);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Baseline: collapsed-inverter [8]/[13] vs compositional "
+              "proximity model ===\n");
+  std::printf("Workload: 50 random NAND3 configurations (Table 5-1 "
+              "distribution).\n");
+  const auto& cg = benchutil::nand3Model();
+  model::GateSimulator sim(cg.gate);
+  baseline::CollapsedInverterModel collapse(cg.gate);
+  const auto calc = cg.calculator();
+
+  std::mt19937 rng(2024);
+  std::uniform_real_distribution<double> tauDist(50e-12, 2000e-12);
+  std::uniform_real_distribution<double> sepDist(-500e-12, 500e-12);
+
+  std::vector<double> errProx, errColl, tErrProx, tErrColl;
+  for (int cfg = 0; cfg < 50; ++cfg) {
+    const Edge e = cfg % 2 == 0 ? Edge::Rising : Edge::Falling;
+    std::vector<InputEvent> evs{{0, e, 0.0, tauDist(rng)},
+                                {1, e, sepDist(rng), tauDist(rng)},
+                                {2, e, sepDist(rng), tauDist(rng)}};
+    const auto full = sim.simulate(evs, 0);
+    if (!full.outputRefTime || !full.transitionTime || *full.delay <= 0.0) {
+      continue;
+    }
+    const auto rp = calc.compute(evs);
+    const auto rc = collapse.compute(evs, 0);
+    if (!rc.outputRefTime || !rc.transitionTime) continue;
+    errProx.push_back((rp.outputRefTime - *full.outputRefTime) / *full.delay *
+                      100.0);
+    errColl.push_back((*rc.outputRefTime - *full.outputRefTime) / *full.delay *
+                      100.0);
+    tErrProx.push_back((rp.transitionTime - *full.transitionTime) /
+                       *full.transitionTime * 100.0);
+    tErrColl.push_back((*rc.transitionTime - *full.transitionTime) /
+                       *full.transitionTime * 100.0);
+  }
+
+  std::printf("\nOutput-crossing errors vs full simulation (%%), %zu configs\n",
+              errProx.size());
+  std::printf("  %-22s %8s %8s %8s %8s\n", "method", "mean", "std-dev", "max",
+              "min");
+  printStatsRow("proximity (this work)", benchutil::computeStats(errProx));
+  printStatsRow("collapsed inverter", benchutil::computeStats(errColl));
+  std::printf("\nOutput transition-time errors (%%)\n");
+  printStatsRow("proximity (this work)", benchutil::computeStats(tErrProx));
+  printStatsRow("collapsed inverter", benchutil::computeStats(tErrColl));
+
+  double sp = 0.0;
+  double sc = 0.0;
+  for (double e : errProx) sp += std::fabs(e);
+  for (double e : errColl) sc += std::fabs(e);
+  std::printf("\n  mean |delay error|: proximity %.2f%%  vs  collapse %.2f%%\n",
+              sp / errProx.size(), sc / errColl.size());
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 2-1 reproduction: the family of 2^3 - 1 = 7 voltage transfer
+// curves of the NAND3 and the per-curve switching thresholds (the table in
+// Figure 2-1(c)), plus the Section 2 min-V_il / max-V_ih choice.
+
+#include <cstdio>
+#include <string>
+
+#include "bench_util.hpp"
+#include "vtc/thresholds.hpp"
+
+using namespace prox;
+
+namespace {
+
+std::string subsetName(const std::vector<int>& pins) {
+  std::string s;
+  for (int p : pins) s += static_cast<char>('a' + p);
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 2-1: VTC family and threshold table for NAND3 ===\n");
+  const auto rep = vtc::chooseThresholds(benchutil::nand3Spec());
+
+  std::printf("\n(c) switching thresholds per VTC (inputs a=top of stack, "
+              "c=closest to ground):\n");
+  std::printf("  %-10s %8s %8s %8s\n", "switching", "V_il", "V_ih", "V_m");
+  for (const auto& c : rep.curves) {
+    std::printf("  %-10s %8.3f %8.3f %8.3f\n",
+                subsetName(c.switchingInputs).c_str(), c.points.vil,
+                c.points.vih, c.points.vm);
+  }
+  std::printf("\nSection 2 choice: V_il = %.3f V (from subset %s), V_ih = %.3f"
+              " V (from subset %s)\n",
+              rep.chosen.vil,
+              subsetName(rep.curves[rep.vilCurveIndex].switchingInputs).c_str(),
+              rep.chosen.vih,
+              subsetName(rep.curves[rep.vihCurveIndex].switchingInputs).c_str());
+  std::printf("Invariant: V_il < V_m < V_ih for the V_m of every curve -> "
+              "delay always positive.\n");
+
+  // (b) the curves themselves, decimated for terminal display.
+  std::printf("\n(b) VTC family, Vout [V] sampled every 0.5 V of Vin:\n");
+  std::printf("  %6s", "Vin");
+  for (const auto& c : rep.curves) {
+    std::printf(" %8s", subsetName(c.switchingInputs).c_str());
+  }
+  std::printf("\n");
+  for (double vin = 0.0; vin <= 5.001; vin += 0.5) {
+    std::printf("  %6.2f", vin);
+    for (const auto& c : rep.curves) std::printf(" %8.3f", c.curve.value(vin));
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 3-3 reproduction: proximity effect on NAND3 delay with falling
+// inputs.  Fall time of a fixed at 500 ps; fall time of b at 100/500/1000 ps;
+// separation s_ab swept from -(Delta_b + tau_b) to +(Delta_a + tau_a).
+// Delay is measured with respect to the *dominant* input, so the curve shows
+// the paper's discontinuity where the dominant input changes (marked for the
+// 1000 ps series, as in the paper).
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "model/dominance.hpp"
+
+using namespace prox;
+using benchutil::ps;
+using model::InputEvent;
+using wave::Edge;
+
+int main() {
+  std::printf("=== Figure 3-3: proximity effect on delay (falling inputs, "
+              "c at Vdd) ===\n");
+  const auto& cg = benchutil::nand3Model();
+  model::GateSimulator sim(cg.gate);
+
+  const double tauA = 500e-12;
+  const auto& mA = cg.singles->at(0, Edge::Falling);
+  const double dA = mA.delay(tauA);
+  const double tA = mA.transition(tauA);
+
+  for (double tauB : {100e-12, 500e-12, 1000e-12}) {
+    const auto& mB = cg.singles->at(1, Edge::Falling);
+    const double dB = mB.delay(tauB);
+    const double tB = mB.transition(tauB);
+    const double crossover = dA - dB;  // dominance flips here (Section 3)
+
+    std::printf("\nfall(b) = %.0f ps   [sweep %.0f .. %.0f ps; dominance "
+                "crossover at s_ab = %.1f ps]\n",
+                ps(tauB), ps(-(dB + tB)), ps(dA + tA), ps(crossover));
+    std::printf("  %10s %10s %14s %16s\n", "s_ab [ps]", "dominant",
+                "delay_sim [ps]", "delay_model [ps]");
+
+    const double lo = -(dB + tB);
+    const double hi = dA + tA;
+    const int steps = 24;
+    for (int i = 0; i <= steps; ++i) {
+      const double s = lo + (hi - lo) * i / steps;
+      std::vector<InputEvent> evs{{0, Edge::Falling, 0.0, tauA},
+                                  {1, Edge::Falling, s, tauB}};
+      // Model: the full ProximityDelay result (reference = dominant input).
+      const auto r = cg.calculator().compute(evs);
+      // Simulation: measure with respect to the same dominant input.
+      const std::size_t refIdx = r.dominantPin == 0 ? 0 : 1;
+      const auto o = sim.simulate(evs, refIdx);
+      if (!o.delay) continue;
+      std::printf("  %10.1f %10c %14.1f %16.1f\n", ps(s),
+                  static_cast<char>('a' + r.dominantPin), ps(*o.delay),
+                  ps(r.delay));
+    }
+  }
+  std::printf("\nShape check (paper): delay rises with s_ab in the dominant-a "
+              "regime; a\ndiscontinuity appears at the crossover because the "
+              "delay reference changes.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Throughput comparison (google-benchmark): what the macromodel buys.
+// A full transistor-level transient of the NAND3 costs milliseconds; the
+// characterized proximity model answers the same query in sub-microsecond
+// time -- the reason macromodels exist for timing analysis.
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/collapse.hpp"
+#include "bench_util.hpp"
+
+using namespace prox;
+using model::InputEvent;
+using wave::Edge;
+
+namespace {
+
+std::vector<InputEvent> workloadEvents(int i) {
+  // A small rotating set of queries so caches don't trivialize the model runs.
+  const double taus[4] = {150e-12, 400e-12, 800e-12, 1500e-12};
+  const double seps[4] = {-120e-12, -30e-12, 40e-12, 160e-12};
+  const Edge e = i % 2 == 0 ? Edge::Rising : Edge::Falling;
+  return {{0, e, 0.0, taus[i % 4]},
+          {1, e, seps[i % 4], taus[(i + 1) % 4]},
+          {2, e, seps[(i + 2) % 4], taus[(i + 2) % 4]}};
+}
+
+void BM_FullTransientSimulation(benchmark::State& state) {
+  model::GateSimulator sim(benchutil::nand3Model().gate);
+  int i = 0;
+  for (auto _ : state) {
+    const auto o = sim.simulate(workloadEvents(i++), 0);
+    benchmark::DoNotOptimize(o.delay);
+  }
+}
+BENCHMARK(BM_FullTransientSimulation)->Unit(benchmark::kMillisecond);
+
+void BM_ProximityModelTabulated(benchmark::State& state) {
+  const auto& cg = benchutil::nand3Model();
+  const auto calc = cg.calculator();
+  int i = 0;
+  for (auto _ : state) {
+    const auto r = calc.compute(workloadEvents(i++));
+    benchmark::DoNotOptimize(r.delay);
+  }
+}
+BENCHMARK(BM_ProximityModelTabulated)->Unit(benchmark::kMicrosecond);
+
+void BM_ClassicSingleInputModel(benchmark::State& state) {
+  const auto& cg = benchutil::nand3Model();
+  const auto calc = cg.calculator();
+  int i = 0;
+  for (auto _ : state) {
+    const auto r = calc.computeClassic(workloadEvents(i++));
+    benchmark::DoNotOptimize(r.delay);
+  }
+}
+BENCHMARK(BM_ClassicSingleInputModel)->Unit(benchmark::kMicrosecond);
+
+void BM_CollapsedInverterBaseline(benchmark::State& state) {
+  baseline::CollapsedInverterModel collapse(benchutil::nand3Model().gate);
+  int i = 0;
+  for (auto _ : state) {
+    const auto r = collapse.compute(workloadEvents(i++), 0);
+    benchmark::DoNotOptimize(r.delay);
+  }
+}
+BENCHMARK(BM_CollapsedInverterBaseline)->Unit(benchmark::kMillisecond);
+
+void BM_SingleInputTableLookup(benchmark::State& state) {
+  const auto& cg = benchutil::nand3Model();
+  const auto& m = cg.singles->at(0, Edge::Rising);
+  double tau = 100e-12;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.delay(tau));
+    tau = tau < 2000e-12 ? tau + 1e-12 : 100e-12;
+  }
+}
+BENCHMARK(BM_SingleInputTableLookup);
+
+void BM_DualTableInterpolation(benchmark::State& state) {
+  const auto& cg = benchutil::nand3Model();
+  model::DualQuery q;
+  q.refPin = 0;
+  q.otherPin = 1;
+  q.edge = Edge::Rising;
+  q.tauRef = 300e-12;
+  q.tauOther = 500e-12;
+  q.sep = 50e-12;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cg.dual->delayRatio(q));
+    q.sep = q.sep < 200e-12 ? q.sep + 1e-12 : -200e-12;
+  }
+}
+BENCHMARK(BM_DualTableInterpolation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// Section 2 robustness experiment: why the min-V_il / max-V_ih rule matters.
+// Measure the single-input delay of the NAND3 (input c, closest to ground,
+// switching alone with increasingly slow ramps) under three threshold
+// policies:
+//   A. Vdd/2 for input and output,
+//   B. thresholds taken from the all-inputs-switching VTC (the "wrong" curve
+//      for this event -- its V_il exceeds this input's V_m),
+//   C. the paper's rule (min V_il, max V_ih over all VTCs).
+// Policy B produces *negative* delays once the ramp is slow enough; policy C
+// never does.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "model/gate_sim.hpp"
+#include "vtc/thresholds.hpp"
+
+using namespace prox;
+using benchutil::ps;
+using wave::Edge;
+
+namespace {
+
+// Measures delay of a rising ramp on `pin` (others non-controlling) with the
+// given measurement thresholds, by direct simulation.
+std::optional<double> delayWith(cells::CellFixture& fix, int pin, double tau,
+                                const wave::Thresholds& th, double vdd) {
+  fix.setAllNonControlling();
+  const double t0 = 0.3e-9;
+  fix.setInput(pin, wave::risingRamp(t0, tau, vdd));
+  const auto out = fix.runOutput(t0 + tau + 4e-9);
+  const auto in = wave::risingRamp(t0, tau, vdd);
+  return wave::propagationDelay(in, Edge::Rising, out, Edge::Falling, th);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Section 2: threshold choice vs delay sign (NAND3, input c "
+              "switching alone) ===\n");
+  const auto rep = vtc::chooseThresholds(benchutil::nand3Spec());
+  const double vdd = benchutil::nand3Spec().tech.vdd;
+
+  // Policy B: the all-switching curve (the last subset in the family).
+  const auto& allCurve = rep.curves.back().points;
+  const wave::Thresholds polA{vdd / 2.0, vdd / 2.0};
+  const wave::Thresholds polB{allCurve.vil, allCurve.vih};
+  const wave::Thresholds polC = rep.chosen;
+
+  std::printf("\n  policy A (Vdd/2):        vil=vih=%.3f V\n", vdd / 2.0);
+  std::printf("  policy B (all-switch VTC): vil=%.3f vih=%.3f V\n", polB.vil,
+              polB.vih);
+  std::printf("  policy C (paper's rule):   vil=%.3f vih=%.3f V\n", polC.vil,
+              polC.vih);
+  std::printf("  V_m of the c-alone VTC:    %.3f V  (policy B's V_il exceeds "
+              "it -> trouble)\n",
+              rep.curves[3].points.vm);  // subset {c} is mask 0b100 -> index 3
+
+  cells::CellFixture fix(benchutil::nand3Spec());
+  std::printf("\n  %10s %14s %14s %14s\n", "tau [ps]", "A: Vdd/2 [ps]",
+              "B: all-VTC [ps]", "C: paper [ps]");
+  bool bWentNegative = false;
+  bool cStayedPositive = true;
+  for (double tau : {200e-12, 500e-12, 1000e-12, 2000e-12, 5000e-12, 10e-9,
+                     20e-9}) {
+    const auto dA = delayWith(fix, 2, tau, polA, vdd);
+    const auto dB = delayWith(fix, 2, tau, polB, vdd);
+    const auto dC = delayWith(fix, 2, tau, polC, vdd);
+    std::printf("  %10.0f %14.1f %14.1f %14.1f\n", ps(tau),
+                dA ? ps(*dA) : -1.0, dB ? ps(*dB) : -1.0, dC ? ps(*dC) : -1.0);
+    if (dB && *dB < 0.0) bWentNegative = true;
+    if (dC && *dC <= 0.0) cStayedPositive = false;
+  }
+  std::printf("\n  policy B produced negative delays: %s\n",
+              bWentNegative ? "YES (as the paper predicts)" : "no");
+  std::printf("  policy C stayed strictly positive: %s\n",
+              cStayedPositive ? "YES (the Section 2 guarantee)" : "NO");
+  return 0;
+}

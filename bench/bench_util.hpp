@@ -1,0 +1,84 @@
+#pragma once
+// Shared helpers for the reproduction benches: the paper's NAND3 setup,
+// cached characterization, and error statistics.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "characterize/characterize.hpp"
+
+namespace prox::benchutil {
+
+/// The experiment gate: the Figure 1-1 three-input NAND.
+inline cells::CellSpec nand3Spec() {
+  cells::CellSpec s;
+  s.type = cells::GateType::Nand;
+  s.fanin = 3;
+  return s;
+}
+
+/// Characterized NAND3 with the production config (built once per binary).
+inline const characterize::CharacterizedGate& nand3Model() {
+  static const characterize::CharacterizedGate g =
+      characterize::characterizeGate(nand3Spec());
+  return g;
+}
+
+/// Section 2 gate (thresholds only) for benches that only simulate.
+inline const model::Gate& nand3Gate() {
+  static const model::Gate g = model::makeGate(nand3Spec());
+  return g;
+}
+
+struct ErrorStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double maxv = 0.0;
+  double minv = 0.0;
+  std::size_t n = 0;
+};
+
+inline ErrorStats computeStats(const std::vector<double>& errors) {
+  ErrorStats s;
+  s.n = errors.size();
+  if (errors.empty()) return s;
+  s.maxv = errors[0];
+  s.minv = errors[0];
+  for (double e : errors) {
+    s.mean += e;
+    s.maxv = std::max(s.maxv, e);
+    s.minv = std::min(s.minv, e);
+  }
+  s.mean /= static_cast<double>(errors.size());
+  for (double e : errors) s.stddev += (e - s.mean) * (e - s.mean);
+  s.stddev = std::sqrt(s.stddev / static_cast<double>(errors.size()));
+  return s;
+}
+
+/// ASCII histogram in the style of Figure 5-1 (one row per bin).
+inline void printHistogram(const std::vector<double>& errors, double binWidth,
+                           const std::string& title) {
+  if (errors.empty()) return;
+  const double lo = *std::min_element(errors.begin(), errors.end());
+  const double hi = *std::max_element(errors.begin(), errors.end());
+  const int firstBin = static_cast<int>(std::floor(lo / binWidth));
+  const int lastBin = static_cast<int>(std::floor(hi / binWidth));
+  std::printf("\n%s (bin width %.1f%%)\n", title.c_str(), binWidth);
+  for (int b = firstBin; b <= lastBin; ++b) {
+    int count = 0;
+    for (double e : errors) {
+      if (e >= b * binWidth && e < (b + 1) * binWidth) ++count;
+    }
+    std::printf("  [%6.1f, %6.1f) %3d ", b * binWidth, (b + 1) * binWidth,
+                count);
+    for (int i = 0; i < count; ++i) std::printf("#");
+    std::printf("\n");
+  }
+}
+
+inline double ps(double seconds) { return seconds * 1e12; }
+
+}  // namespace prox::benchutil

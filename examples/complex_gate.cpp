@@ -1,0 +1,56 @@
+// Complex-gate example: apply the paper's threshold rule and observe
+// proximity effects on an AOI21 built from a user-defined series-parallel
+// pull network -- the generalization beyond NAND/NOR.
+
+#include <cstdio>
+
+#include "cells/complex_fixture.hpp"
+#include "vtc/complex.hpp"
+#include "waveform/pwl.hpp"
+
+using namespace prox;
+
+int main() {
+  // Describe the gate by its pulldown conduction function:
+  //   f = (a AND b) OR c   ->   out = !((a.b)+c)   (an AOI21)
+  // The PMOS pullup is derived automatically as the structural dual.
+  cells::ComplexCellSpec spec;
+  spec.pulldown = cells::PullExpr::parallel(
+      {cells::PullExpr::series(
+           {cells::PullExpr::input(0), cells::PullExpr::input(1)}),
+       cells::PullExpr::input(2)});
+  std::printf("gate: out = !%s   (pullup: %s)\n",
+              spec.pulldown.toString().c_str(),
+              spec.pulldown.dual().toString().c_str());
+
+  // Logic check straight from the expression.
+  std::printf("truth table (a b c -> out): ");
+  for (unsigned m = 0; m < 8; ++m) {
+    std::vector<bool> in{bool(m & 1u), bool(m & 2u), bool(m & 4u)};
+    std::printf("%d", spec.outputFor(in) ? 1 : 0);
+  }
+  std::printf("\n");
+
+  // Section 2 thresholds over every sensitizable subset.
+  std::printf("\nextracting VTC family...\n");
+  const auto rep = vtc::chooseComplexThresholds(spec, 0.02);
+  std::printf("  %zu VTCs; chosen V_il = %.3f V, V_ih = %.3f V\n",
+              rep.curves.size(), rep.chosen.vil, rep.chosen.vih);
+
+  // Proximity on the parallel pullup branch: a and b fall together vs apart.
+  cells::ComplexCellFixture fix(spec);
+  const double vdd = spec.tech.vdd;
+  std::printf("\nfalling a+b with c=0 (parallel pullup paths):\n");
+  for (double s : {0.0, 400e-12, 800e-12}) {
+    fix.setLevels({true, true, false});
+    fix.setInput(0, wave::fallingRamp(1e-9, 400e-12, vdd));
+    fix.setInput(1, wave::fallingRamp(1e-9 + s, 150e-12, vdd));
+    const auto out = fix.runOutput(6e-9);
+    const auto t = out.lastCrossing(rep.chosen.vih, wave::Edge::Rising);
+    std::printf("  separation %4.0f ps -> output crossing at %.1f ps\n",
+                s * 1e12, t ? (*t - 1e-9) * 1e12 : -1.0);
+  }
+  std::printf("close transitions arrive earlier: the proximity effect on a "
+              "complex gate.\n");
+  return 0;
+}

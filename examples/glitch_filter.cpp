@@ -1,0 +1,66 @@
+// Inertial-delay example (Section 6): will an input pulse propagate through
+// a NAND3, or is it filtered?
+//
+// A rising-then-falling pair on two different inputs of a NAND is the
+// classic hazard scenario: if the enabling rise and the blocking fall are
+// too close, the output only glitches partially and the event must be
+// filtered by a timing simulator.  The paper shows the minimum separation
+// for a *valid* output transition falls out of the proximity machinery; this
+// example computes that separation and then checks a few pulses against it.
+
+#include <cstdio>
+
+#include "model/glitch.hpp"
+#include "model/gate_sim.hpp"
+
+using namespace prox;
+using model::InputEvent;
+using wave::Edge;
+
+int main() {
+  cells::CellSpec spec;
+  spec.type = cells::GateType::Nand;
+  spec.fanin = 3;
+  std::printf("extracting thresholds for NAND3 ...\n");
+  const model::Gate gate = model::makeGate(spec);
+  model::GateSimulator sim(gate);
+
+  const double tauRise = 150e-12;  // enabling transition on input b
+  const double tauFall = 400e-12;  // blocking transition on input a
+
+  // Characterize the minimum-voltage macromodel over a separation grid.
+  std::vector<double> seps;
+  for (double s = -400e-12; s <= 1000.1e-12; s += 100e-12) seps.push_back(s);
+  const auto gm = model::GlitchModel::characterize(sim, /*fallPin=*/0, tauFall,
+                                                   /*risePin=*/1, tauRise, seps);
+
+  const double vil = gate.thresholds.vil;
+  const auto sMin = gm.minimumValidSeparation(vil);
+  if (!sMin) {
+    std::printf("no valid-transition boundary in the characterized range\n");
+    return 1;
+  }
+  std::printf("gate inertial delay for this transition pair: %.1f ps\n"
+              "(separations below this leave the output glitch above V_il = "
+              "%.2f V)\n\n",
+              *sMin * 1e12, vil);
+
+  // Check candidate pulses: rise on b at t=0, fall on a after `width`.
+  std::printf("%12s %16s %12s %14s\n", "width [ps]", "model Vmin [V]",
+              "propagates?", "sim Vmin [V]");
+  model::GlitchAnalyzer analyzer(sim);
+  for (double width : {100e-12, 250e-12, 400e-12, 600e-12, 900e-12}) {
+    const double vModel = gm.extremeVoltage(width);
+    const bool pass = width >= *sMin;
+    // Cross-check with a fresh simulation.
+    const auto g = analyzer.analyze({0, Edge::Falling, width, tauFall},
+                                    {1, Edge::Rising, 0.0, tauRise});
+    std::printf("%12.0f %16.3f %12s %14.3f%s\n", width * 1e12, vModel,
+                pass ? "yes" : "FILTERED", g.extremeVoltage,
+                g.completed == pass ? "" : "  (<- disagrees)");
+  }
+  std::printf("\nA timing simulator using this model suppresses output events "
+              "whose enabling\nwindow is narrower than the inertial delay -- "
+              "Section 6's central point.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+#include "baseline/collapse.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "waveform/combine.hpp"
+
+namespace prox::baseline {
+
+namespace {
+
+/// Equivalent-inverter cell spec per the series-parallel reduction.
+cells::CellSpec collapsedSpec(const cells::CellSpec& s) {
+  cells::CellSpec inv = s;
+  inv.type = cells::GateType::Inverter;
+  inv.fanin = 1;
+  const int n = s.fanin;
+  if (s.type == cells::GateType::Nand) {
+    inv.wn = s.wn / n;        // series stack
+    inv.wp = s.wp * n;        // parallel bank
+  } else if (s.type == cells::GateType::Nor) {
+    inv.wn = s.wn * n;
+    inv.wp = s.wp / n;
+  }
+  return inv;
+}
+
+}  // namespace
+
+CollapsedInverterModel::CollapsedInverterModel(model::Gate gate)
+    : gate_(std::move(gate)), inverter_(collapsedSpec(gate_.spec)) {}
+
+CollapseResult CollapsedInverterModel::compute(
+    const std::vector<model::InputEvent>& events, std::size_t refIdx) {
+  if (events.empty()) {
+    throw std::invalid_argument("CollapsedInverterModel: no events");
+  }
+  if (refIdx >= events.size()) {
+    throw std::invalid_argument("CollapsedInverterModel: refIdx out of range");
+  }
+  for (const auto& ev : events) {
+    if (ev.edge != events.front().edge) {
+      throw std::invalid_argument(
+          "CollapsedInverterModel: mixed directions unsupported");
+    }
+  }
+
+  const double vdd = gate_.spec.tech.vdd;
+  const wave::Thresholds& th = gate_.thresholds;
+
+  // Shift all events into positive time for the simulation window.
+  double minStart = 1e30;
+  double maxEnd = -1e30;
+  double maxTau = 0.0;
+  for (const auto& ev : events) {
+    const double t0 = model::rampStart(ev, vdd, th);
+    minStart = std::min(minStart, t0);
+    maxEnd = std::max(maxEnd, t0 + ev.tau);
+    maxTau = std::max(maxTau, ev.tau);
+  }
+  const double margin = std::max(0.25e-9, 0.25 * maxTau);
+  const double shift = margin - minStart;
+
+  std::vector<wave::Waveform> inputs;
+  for (const auto& ev : events) {
+    model::InputEvent sh = ev;
+    sh.tRef += shift;
+    inputs.push_back(model::makeInputWave(sh, vdd, th));
+  }
+
+  // Equivalent waveform: min for NAND-like conduction, max for NOR.
+  CollapseResult res;
+  res.equivalentInput = gate_.spec.type == cells::GateType::Nor
+                            ? wave::pointwiseMax(inputs)
+                            : wave::pointwiseMin(inputs);
+
+  inverter_.setInput(0, res.equivalentInput);
+  const double tstop = (maxEnd + shift) + std::max(3e-9, 2.0 * maxTau);
+  res.out = inverter_.runOutput(tstop).shifted(-shift);
+  res.equivalentInput = res.equivalentInput.shifted(-shift);
+
+  const wave::Edge outEdge = gate_.spec.outputEdgeFor(events[refIdx].edge);
+  if (auto tOut = wave::outputRefTime(res.out, outEdge, th,
+                                      res.out.startTime())) {
+    res.outputRefTime = tOut;
+    res.delay = *tOut - events[refIdx].tRef;
+  }
+  res.transitionTime = wave::transitionTime(res.out, outEdge, th);
+  return res;
+}
+
+}  // namespace prox::baseline

@@ -1,0 +1,55 @@
+#pragma once
+// The prior-art baseline the paper compares against (references [8] Jun et
+// al. and [13] Nabavi-Lishi & Rumin): collapse the multi-input gate into an
+// equivalent inverter by series-parallel strength reduction and drive it
+// with an equivalent input waveform derived from the switching inputs.
+//
+// Reduction (for a NAND-n):
+//   * the n series NMOS collapse to one device of strength K/n
+//     (equivalently width wn/n),
+//   * the n parallel PMOS collapse to one device of strength n*K
+//     (width n*wp),
+//   * the equivalent input waveform is the pointwise MINIMUM of the
+//     switching inputs' waveforms (the series stack conducts when every
+//     input is high, i.e. when the minimum is high).
+// A NOR-n mirrors this (pointwise MAXIMUM, wp/n, n*wn).
+//
+// The paper's Section 1 critique -- this transformation ignores which inputs
+// actually switch, internal-node state, and the interplay between loading
+// and input slopes -- is what the bench 'bench_baseline_collapse' quantifies.
+
+#include <optional>
+#include <vector>
+
+#include "cells/fixture.hpp"
+#include "model/gate_sim.hpp"
+
+namespace prox::baseline {
+
+struct CollapseResult {
+  wave::Waveform equivalentInput;
+  wave::Waveform out;
+  std::optional<double> outputRefTime;   ///< absolute output crossing [s]
+  std::optional<double> delay;           ///< wrt the earliest event's tRef
+  std::optional<double> transitionTime;
+};
+
+class CollapsedInverterModel {
+ public:
+  /// @p gate supplies the cell geometry and the Section 2 thresholds used
+  /// for measurement (so the comparison with the proximity model is
+  /// apples-to-apples).
+  explicit CollapsedInverterModel(model::Gate gate);
+
+  /// Evaluates the baseline for same-direction events.  Delay is measured
+  /// from the *reference* event (index 0 after sorting by tRef is NOT
+  /// assumed: pass refIdx explicitly).
+  CollapseResult compute(const std::vector<model::InputEvent>& events,
+                         std::size_t refIdx = 0);
+
+ private:
+  model::Gate gate_;
+  cells::CellFixture inverter_;
+};
+
+}  // namespace prox::baseline

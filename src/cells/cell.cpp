@@ -1,0 +1,133 @@
+#include "cells/cell.hpp"
+
+#include <stdexcept>
+
+namespace prox::cells {
+
+namespace {
+
+/// Adds overlap (gate-drain, gate-source) coupling caps for one transistor
+/// plus a junction cap contribution at its drain and source nodes.
+void addParasitics(spice::Circuit& ckt, const std::string& name,
+                   const Technology& tech, double w, spice::NodeId d,
+                   spice::NodeId g, spice::NodeId s) {
+  const double cov = tech.overlapCapPerWidth * w;
+  const double cj = tech.junctionCapPerWidth * w;
+  if (cov > 0.0) {
+    ckt.add<spice::Capacitor>(name + ".cgd", g, d, cov);
+    ckt.add<spice::Capacitor>(name + ".cgs", g, s, cov);
+  }
+  if (cj > 0.0) {
+    if (d != spice::kGround) ckt.add<spice::Capacitor>(name + ".cjd", d, spice::kGround, cj);
+    if (s != spice::kGround) ckt.add<spice::Capacitor>(name + ".cjs", s, spice::kGround, cj);
+  }
+}
+
+}  // namespace
+
+std::string gateTypeName(GateType type, int fanin) {
+  switch (type) {
+    case GateType::Inverter: return "INV";
+    case GateType::Nand: return "NAND" + std::to_string(fanin);
+    case GateType::Nor: return "NOR" + std::to_string(fanin);
+    case GateType::Complex: return "COMPLEX" + std::to_string(fanin);
+  }
+  return "?";
+}
+
+double CellSpec::nonControllingLevel() const {
+  return type == GateType::Nor ? 0.0 : tech.vdd;
+}
+
+wave::Edge CellSpec::outputEdgeFor(wave::Edge inputEdge) const {
+  // Inverter, NAND and NOR all invert the switching input's direction.
+  return wave::opposite(inputEdge);
+}
+
+CellNets buildCell(spice::Circuit& ckt, const CellSpec& spec,
+                   const std::string& prefix) {
+  if (spec.type == GateType::Complex) {
+    throw std::invalid_argument(
+        "buildCell: use buildComplexCell for complex gates");
+  }
+  const int n = spec.type == GateType::Inverter ? 1 : spec.fanin;
+  if (n < 1) throw std::invalid_argument("buildCell: fanin must be >= 1");
+  if (spec.type == GateType::Inverter && spec.fanin != 1) {
+    throw std::invalid_argument("buildCell: inverter has exactly one input");
+  }
+
+  CellNets nets;
+  nets.vdd = ckt.node(prefix + ".vdd");
+  nets.out = ckt.node(prefix + ".out");
+  nets.vddSource = &ckt.add<spice::VoltageSource>(prefix + ".vvdd", nets.vdd,
+                                                  spice::kGround, spec.tech.vdd);
+  nets.load = &ckt.add<spice::Capacitor>(prefix + ".cload", nets.out,
+                                         spice::kGround, spec.loadCap);
+
+  for (int k = 0; k < n; ++k) {
+    nets.inputs.push_back(ckt.node(prefix + ".in" + std::to_string(k)));
+  }
+
+  spice::MosfetParams nP = spec.tech.nmos;
+  nP.w = spec.wn;
+  spice::MosfetParams pP = spec.tech.pmos;
+  pP.w = spec.wp;
+
+  const bool nandLike = spec.type != GateType::Nor;  // series NMOS, parallel PMOS
+
+  if (spec.type == GateType::Inverter) {
+    auto& mn = ckt.add<spice::Mosfet>(prefix + ".mn0", nets.out, nets.inputs[0],
+                                      spice::kGround, spice::kGround, nP);
+    auto& mp = ckt.add<spice::Mosfet>(prefix + ".mp0", nets.out, nets.inputs[0],
+                                      nets.vdd, nets.vdd, pP);
+    nets.nmosByInput.push_back(&mn);
+    addParasitics(ckt, prefix + ".mn0", spec.tech, spec.wn, nets.out,
+                  nets.inputs[0], spice::kGround);
+    addParasitics(ckt, prefix + ".mp0", spec.tech, spec.wp, nets.out,
+                  nets.inputs[0], nets.vdd);
+    (void)mp;
+    return nets;
+  }
+
+  // Series stack (NMOS for NAND, PMOS for NOR): input 0 nearest the output.
+  {
+    const spice::NodeId rail = nandLike ? spice::kGround : nets.vdd;
+    const spice::MosfetParams& sp = nandLike ? nP : pP;
+    const double w = nandLike ? spec.wn : spec.wp;
+    spice::NodeId upper = nets.out;
+    for (int k = 0; k < n; ++k) {
+      const spice::NodeId lower =
+          k == n - 1 ? rail
+                     : ckt.node(prefix + ".s" + std::to_string(k));
+      if (k != n - 1) nets.internals.push_back(lower);
+      const std::string mname =
+          prefix + (nandLike ? ".mn" : ".mp") + std::to_string(k);
+      // Drain is the node nearer the output for NMOS; for the PMOS stack the
+      // source is nearer Vdd.  The device is symmetric, so wire drain=upper.
+      auto& m = ckt.add<spice::Mosfet>(mname, upper, nets.inputs[k], lower,
+                                       nandLike ? spice::kGround : nets.vdd, sp);
+      if (nandLike) nets.nmosByInput.push_back(&m);
+      addParasitics(ckt, mname, spec.tech, w, upper, nets.inputs[k], lower);
+      upper = lower;
+    }
+  }
+
+  // Parallel bank (PMOS for NAND, NMOS for NOR).
+  {
+    const spice::NodeId rail = nandLike ? nets.vdd : spice::kGround;
+    const spice::MosfetParams& pp = nandLike ? pP : nP;
+    const double w = nandLike ? spec.wp : spec.wn;
+    for (int k = 0; k < n; ++k) {
+      const std::string mname =
+          prefix + (nandLike ? ".mp" : ".mn") + std::to_string(k);
+      auto& m = ckt.add<spice::Mosfet>(mname, nets.out, nets.inputs[k], rail,
+                                       rail, pp);
+      if (!nandLike) nets.nmosByInput.push_back(&m);
+      addParasitics(ckt, mname, spec.tech, w, nets.out, nets.inputs[k], rail);
+    }
+  }
+
+  return nets;
+}
+
+}  // namespace prox::cells

@@ -1,0 +1,73 @@
+#pragma once
+// Parameterized CMOS cell generators: inverter, NAND-n, NOR-n for arbitrary
+// fan-in.  The generators emit transistor-level circuits (level-1 MOSFETs plus
+// overlap and junction parasitics) into a spice::Circuit.
+//
+// Input-index convention for series stacks:
+//   * NAND-n: input 0 drives the NMOS *closest to the output*; input n-1
+//     drives the NMOS closest to ground.
+//   * NOR-n: input 0 drives the PMOS *closest to the output*; input n-1
+//     drives the PMOS closest to Vdd.
+// Stack position matters: the bottom transistors see body-effect threshold
+// shifts and their single-input delays differ, which is exactly the
+// per-input asymmetry the paper's dominance ordering accounts for.
+
+#include <string>
+#include <vector>
+
+#include "cells/technology.hpp"
+#include "spice/capacitor.hpp"
+#include "spice/circuit.hpp"
+#include "spice/mosfet.hpp"
+#include "spice/vsource.hpp"
+#include "waveform/waveform.hpp"
+
+namespace prox::cells {
+
+enum class GateType {
+  Inverter,
+  Nand,
+  Nor,
+  Complex,  ///< series-parallel AOI/OAI gate (see cells/pull_network.hpp)
+};
+
+/// Human-readable cell name, e.g. "NAND3".
+std::string gateTypeName(GateType type, int fanin);
+
+/// Specification of a cell instance to generate.
+struct CellSpec {
+  GateType type = GateType::Nand;
+  int fanin = 2;                 ///< 1 for inverter
+  Technology tech = Technology::generic5v();
+  double wn = 6e-6;              ///< NMOS width [m]
+  double wp = 8e-6;              ///< PMOS width [m]
+  double loadCap = 100e-15;      ///< lumped output load [F]
+
+  /// The input level at which a stable input does not control the output
+  /// (Vdd for NAND/inverter contexts, 0 for NOR).
+  double nonControllingLevel() const;
+
+  /// The output edge caused by inputs moving with edge @p inputEdge toward /
+  /// away from the controlling value (all our gates invert).
+  wave::Edge outputEdgeFor(wave::Edge inputEdge) const;
+};
+
+/// Handle to the generated transistor netlist.
+struct CellNets {
+  spice::NodeId vdd = spice::kGround;
+  spice::NodeId out = spice::kGround;
+  std::vector<spice::NodeId> inputs;      ///< one node per input pin
+  std::vector<spice::NodeId> internals;   ///< series-stack internal nodes
+  std::vector<spice::Mosfet*> nmosByInput;  ///< pulldown device of input k
+  spice::VoltageSource* vddSource = nullptr;
+  spice::Capacitor* load = nullptr;
+};
+
+/// Emits the transistors, parasitics, supply source and load capacitor for
+/// @p spec into @p ckt.  Input pins are left undriven (callers attach PWL
+/// sources or other gates).  @p prefix namespaces the node/device names so
+/// multiple cells can coexist in one circuit.
+CellNets buildCell(spice::Circuit& ckt, const CellSpec& spec,
+                   const std::string& prefix = "x0");
+
+}  // namespace prox::cells

@@ -1,0 +1,52 @@
+#include "cells/complex_fixture.hpp"
+
+#include <stdexcept>
+
+#include "waveform/pwl.hpp"
+
+namespace prox::cells {
+
+ComplexCellFixture::ComplexCellFixture(ComplexCellSpec spec)
+    : spec_(std::move(spec)) {
+  nets_ = buildComplexCell(ckt_, spec_, "x0");
+  for (int k = 0; k < static_cast<int>(nets_.inputs.size()); ++k) {
+    drivers_.push_back(&ckt_.add<spice::VoltageSource>(
+        "vin" + std::to_string(k), nets_.inputs[static_cast<std::size_t>(k)],
+        spice::kGround, wave::constant(0.0)));
+  }
+}
+
+void ComplexCellFixture::setInput(int k, wave::Waveform w) {
+  if (k < 0 || k >= inputCount()) {
+    throw std::out_of_range("ComplexCellFixture::setInput: bad input index");
+  }
+  drivers_[static_cast<std::size_t>(k)]->setWaveform(std::move(w));
+}
+
+void ComplexCellFixture::setInputConstant(int k, double v) {
+  setInput(k, wave::constant(v));
+}
+
+void ComplexCellFixture::setLevels(const std::vector<bool>& levels) {
+  if (static_cast<int>(levels.size()) != inputCount()) {
+    throw std::invalid_argument("ComplexCellFixture::setLevels: size mismatch");
+  }
+  for (int k = 0; k < inputCount(); ++k) {
+    setInputConstant(k, levels[static_cast<std::size_t>(k)] ? spec_.tech.vdd
+                                                            : 0.0);
+  }
+}
+
+spice::TranResult ComplexCellFixture::run(double tstop, double dvMax) const {
+  spice::TranOptions opt;
+  opt.tstop = tstop;
+  opt.dvMax = dvMax;
+  opt.hmax = tstop / 200.0;
+  return spice::transient(ckt_, opt);
+}
+
+wave::Waveform ComplexCellFixture::runOutput(double tstop, double dvMax) const {
+  return run(tstop, dvMax).node(nets_.out);
+}
+
+}  // namespace prox::cells

@@ -1,0 +1,41 @@
+#pragma once
+// Stimulus fixture for complex (AOI/OAI) gates, mirroring CellFixture.
+// Stable pins are driven to explicit logic levels (complex gates have no
+// single "non-controlling" value -- sensitization is per-scenario).
+
+#include <vector>
+
+#include "cells/pull_network.hpp"
+#include "spice/tran.hpp"
+#include "spice/vsource.hpp"
+
+namespace prox::cells {
+
+class ComplexCellFixture {
+ public:
+  explicit ComplexCellFixture(ComplexCellSpec spec);
+
+  const ComplexCellSpec& spec() const { return spec_; }
+  const CellNets& nets() const { return nets_; }
+  int inputCount() const { return static_cast<int>(nets_.inputs.size()); }
+
+  /// Drives input @p k with an arbitrary waveform.
+  void setInput(int k, wave::Waveform w);
+
+  /// Holds input @p k at a constant voltage.
+  void setInputConstant(int k, double v);
+
+  /// Holds every input at the given logic levels (true = Vdd).
+  void setLevels(const std::vector<bool>& levels);
+
+  spice::TranResult run(double tstop, double dvMax = 0.05) const;
+  wave::Waveform runOutput(double tstop, double dvMax = 0.05) const;
+
+ private:
+  ComplexCellSpec spec_;
+  mutable spice::Circuit ckt_;
+  CellNets nets_;
+  std::vector<spice::VoltageSource*> drivers_;
+};
+
+}  // namespace prox::cells

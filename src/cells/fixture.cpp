@@ -1,0 +1,48 @@
+#include "cells/fixture.hpp"
+
+#include <stdexcept>
+
+#include "waveform/pwl.hpp"
+
+namespace prox::cells {
+
+CellFixture::CellFixture(CellSpec spec) : spec_(spec) {
+  nets_ = buildCell(ckt_, spec_, "x0");
+  const double nc = spec_.nonControllingLevel();
+  for (int k = 0; k < static_cast<int>(nets_.inputs.size()); ++k) {
+    drivers_.push_back(&ckt_.add<spice::VoltageSource>(
+        "vin" + std::to_string(k), nets_.inputs[k], spice::kGround,
+        wave::constant(nc)));
+  }
+}
+
+void CellFixture::setInput(int k, wave::Waveform w) {
+  if (k < 0 || k >= inputCount()) {
+    throw std::out_of_range("CellFixture::setInput: bad input index");
+  }
+  drivers_[static_cast<std::size_t>(k)]->setWaveform(std::move(w));
+}
+
+void CellFixture::setInputConstant(int k, double v) {
+  setInput(k, wave::constant(v));
+}
+
+void CellFixture::setAllNonControlling() {
+  for (int k = 0; k < inputCount(); ++k) {
+    setInputConstant(k, spec_.nonControllingLevel());
+  }
+}
+
+spice::TranResult CellFixture::run(double tstop, double dvMax) const {
+  spice::TranOptions opt;
+  opt.tstop = tstop;
+  opt.dvMax = dvMax;
+  opt.hmax = tstop / 200.0;
+  return spice::transient(ckt_, opt);
+}
+
+wave::Waveform CellFixture::runOutput(double tstop, double dvMax) const {
+  return run(tstop, dvMax).node(nets_.out);
+}
+
+}  // namespace prox::cells

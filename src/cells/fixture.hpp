@@ -1,0 +1,51 @@
+#pragma once
+// A characterization fixture: one cell, one ideal PWL driver per input, the
+// supply, and the output load.  This mirrors the paper's experimental setup
+// ("piecewise-linear inputs were used ... to precisely control the
+// separations and rise times", Section 5).
+//
+// The fixture is reusable: change the stimulus and re-run; the transient
+// analysis re-derives its initial condition from the new t=0 operating point.
+
+#include <vector>
+
+#include "cells/cell.hpp"
+#include "spice/tran.hpp"
+#include "spice/vsource.hpp"
+
+namespace prox::cells {
+
+class CellFixture {
+ public:
+  explicit CellFixture(CellSpec spec);
+
+  const CellSpec& spec() const { return spec_; }
+  const CellNets& nets() const { return nets_; }
+  spice::Circuit& circuit() { return ckt_; }
+
+  int inputCount() const { return static_cast<int>(nets_.inputs.size()); }
+
+  /// Drives input @p k with an arbitrary waveform.
+  void setInput(int k, wave::Waveform w);
+
+  /// Holds input @p k at a constant level.
+  void setInputConstant(int k, double v);
+
+  /// Holds every input at the gate's non-controlling level.
+  void setAllNonControlling();
+
+  /// Runs a transient to @p tstop and returns the full result.
+  /// @p dvMax tightens/loosens sampling density (volts per step).
+  spice::TranResult run(double tstop, double dvMax = 0.05) const;
+
+  /// Convenience: runs and returns just the output waveform.
+  wave::Waveform runOutput(double tstop, double dvMax = 0.05) const;
+
+ private:
+  CellSpec spec_;
+  mutable spice::Circuit ckt_;
+  CellNets nets_;
+  std::vector<spice::VoltageSource*> drivers_;
+};
+
+}  // namespace prox::cells

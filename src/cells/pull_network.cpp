@@ -1,0 +1,308 @@
+#include "cells/pull_network.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace prox::cells {
+
+PullExpr PullExpr::input(int pin) {
+  if (pin < 0) throw std::invalid_argument("PullExpr::input: negative pin");
+  return PullExpr(Kind::Input, pin, {});
+}
+
+PullExpr PullExpr::series(std::vector<PullExpr> children) {
+  if (children.empty()) {
+    throw std::invalid_argument("PullExpr::series: no children");
+  }
+  return PullExpr(Kind::Series, -1, std::move(children));
+}
+
+PullExpr PullExpr::parallel(std::vector<PullExpr> children) {
+  if (children.empty()) {
+    throw std::invalid_argument("PullExpr::parallel: no children");
+  }
+  return PullExpr(Kind::Parallel, -1, std::move(children));
+}
+
+int PullExpr::maxPin() const {
+  if (kind_ == Kind::Input) return pin_;
+  int m = -1;
+  for (const PullExpr& c : children_) m = std::max(m, c.maxPin());
+  return m;
+}
+
+int PullExpr::transistorCount() const {
+  if (kind_ == Kind::Input) return 1;
+  int n = 0;
+  for (const PullExpr& c : children_) n += c.transistorCount();
+  return n;
+}
+
+PullExpr PullExpr::dual() const {
+  if (kind_ == Kind::Input) return *this;
+  std::vector<PullExpr> duals;
+  duals.reserve(children_.size());
+  for (const PullExpr& c : children_) duals.push_back(c.dual());
+  return PullExpr(kind_ == Kind::Series ? Kind::Parallel : Kind::Series, -1,
+                  std::move(duals));
+}
+
+bool PullExpr::conducts(const std::vector<bool>& pinOn) const {
+  switch (kind_) {
+    case Kind::Input:
+      return pin_ < static_cast<int>(pinOn.size()) &&
+             pinOn[static_cast<std::size_t>(pin_)];
+    case Kind::Series:
+      return std::all_of(children_.begin(), children_.end(),
+                         [&](const PullExpr& c) { return c.conducts(pinOn); });
+    case Kind::Parallel:
+      return std::any_of(children_.begin(), children_.end(),
+                         [&](const PullExpr& c) { return c.conducts(pinOn); });
+  }
+  return false;
+}
+
+std::string PullExpr::toString() const {
+  if (kind_ == Kind::Input) {
+    return std::string(1, static_cast<char>('a' + pin_));
+  }
+  const char* sep = kind_ == Kind::Series ? "." : "+";
+  std::string out = "(";
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    if (i > 0) out += sep;
+    out += children_[i].toString();
+  }
+  out += ")";
+  return out;
+}
+
+namespace {
+
+// Recursive-descent parser for the toString() grammar:
+//   expr   := term ('+' term)*
+//   term   := factor ('.' factor)*
+//   factor := pin | '(' expr ')'
+struct Parser {
+  const std::string& s;
+  std::size_t pos = 0;
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw std::invalid_argument("PullExpr::parse: " + msg + " at position " +
+                                std::to_string(pos) + " in '" + s + "'");
+  }
+
+  char peek() const { return pos < s.size() ? s[pos] : '\0'; }
+  void skipSpace() {
+    while (pos < s.size() && s[pos] == ' ') ++pos;
+  }
+
+  PullExpr factor() {
+    skipSpace();
+    const char c = peek();
+    if (c == '(') {
+      ++pos;
+      PullExpr e = expr();
+      skipSpace();
+      if (peek() != ')') fail("expected ')'");
+      ++pos;
+      return e;
+    }
+    if (c >= 'a' && c <= 'z') {
+      ++pos;
+      return PullExpr::input(c - 'a');
+    }
+    fail("expected pin letter or '('");
+  }
+
+  PullExpr term() {
+    std::vector<PullExpr> parts{factor()};
+    skipSpace();
+    while (peek() == '.') {
+      ++pos;
+      parts.push_back(factor());
+      skipSpace();
+    }
+    return parts.size() == 1 ? parts[0] : PullExpr::series(std::move(parts));
+  }
+
+  PullExpr expr() {
+    std::vector<PullExpr> parts{term()};
+    skipSpace();
+    while (peek() == '+') {
+      ++pos;
+      parts.push_back(term());
+      skipSpace();
+    }
+    return parts.size() == 1 ? parts[0] : PullExpr::parallel(std::move(parts));
+  }
+};
+
+}  // namespace
+
+PullExpr PullExpr::parse(const std::string& text) {
+  Parser p{text};
+  PullExpr e = p.expr();
+  p.skipSpace();
+  if (p.pos != text.size()) p.fail("trailing characters");
+  return e;
+}
+
+std::optional<std::vector<bool>> ComplexCellSpec::sensitizingAssignment(
+    const std::vector<int>& subset) const {
+  const int n = pinCount();
+  for (int pin : subset) {
+    if (pin < 0 || pin >= n) {
+      throw std::invalid_argument("sensitizingAssignment: pin out of range");
+    }
+  }
+  // Brute force over the other pins' levels: the subset is sensitized when
+  // driving all its pins low vs high produces different outputs.  Complex
+  // cells have a handful of pins, so 2^n enumeration is immaterial.
+  std::vector<int> others;
+  for (int p = 0; p < n; ++p) {
+    if (std::find(subset.begin(), subset.end(), p) == subset.end()) {
+      others.push_back(p);
+    }
+  }
+  for (unsigned mask = 0; mask < (1u << others.size()); ++mask) {
+    std::vector<bool> levels(static_cast<std::size_t>(n), false);
+    for (std::size_t i = 0; i < others.size(); ++i) {
+      levels[static_cast<std::size_t>(others[i])] = (mask >> i) & 1u;
+    }
+    std::vector<bool> low = levels;
+    std::vector<bool> high = levels;
+    for (int p : subset) {
+      low[static_cast<std::size_t>(p)] = false;
+      high[static_cast<std::size_t>(p)] = true;
+    }
+    if (outputFor(low) != outputFor(high)) return levels;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// Recursively emits one transistor network for @p expr between @p top and
+/// @p bottom.  @p params is the per-device template (NMOS or PMOS); @p body
+/// the body node; @p counter provides unique device/internal-node names.
+void emitNetwork(spice::Circuit& ckt, const PullExpr& expr,
+                 const std::vector<spice::NodeId>& inputs, spice::NodeId top,
+                 spice::NodeId bottom, const spice::MosfetParams& params,
+                 spice::NodeId body, const Technology& tech, double width,
+                 const std::string& prefix, int* counter,
+                 std::vector<spice::NodeId>* internals) {
+  switch (expr.kind()) {
+    case PullExpr::Kind::Input: {
+      const std::string name = prefix + ".m" + std::to_string((*counter)++);
+      ckt.add<spice::Mosfet>(name, top,
+                             inputs[static_cast<std::size_t>(expr.pin())],
+                             bottom, body, params);
+      const double cov = tech.overlapCapPerWidth * width;
+      const double cj = tech.junctionCapPerWidth * width;
+      if (cov > 0.0) {
+        ckt.add<spice::Capacitor>(name + ".cgd",
+                                  inputs[static_cast<std::size_t>(expr.pin())],
+                                  top, cov);
+        ckt.add<spice::Capacitor>(name + ".cgs",
+                                  inputs[static_cast<std::size_t>(expr.pin())],
+                                  bottom, cov);
+      }
+      if (cj > 0.0) {
+        if (top != spice::kGround) {
+          ckt.add<spice::Capacitor>(name + ".cjd", top, spice::kGround, cj);
+        }
+        if (bottom != spice::kGround) {
+          ckt.add<spice::Capacitor>(name + ".cjs", bottom, spice::kGround, cj);
+        }
+      }
+      return;
+    }
+    case PullExpr::Kind::Series: {
+      spice::NodeId upper = top;
+      const auto& kids = expr.children();
+      for (std::size_t i = 0; i < kids.size(); ++i) {
+        const spice::NodeId lower =
+            i + 1 == kids.size()
+                ? bottom
+                : ckt.node(prefix + ".n" + std::to_string((*counter)++));
+        if (i + 1 != kids.size()) internals->push_back(lower);
+        emitNetwork(ckt, kids[i], inputs, upper, lower, params, body, tech,
+                    width, prefix, counter, internals);
+        upper = lower;
+      }
+      return;
+    }
+    case PullExpr::Kind::Parallel: {
+      for (const PullExpr& kid : expr.children()) {
+        emitNetwork(ckt, kid, inputs, top, bottom, params, body, tech, width,
+                    prefix, counter, internals);
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+CellNets buildComplexCell(spice::Circuit& ckt, const ComplexCellSpec& spec,
+                          const std::string& prefix) {
+  const int n = spec.pinCount();
+  if (n < 1) throw std::invalid_argument("buildComplexCell: no inputs");
+
+  CellNets nets;
+  nets.vdd = ckt.node(prefix + ".vdd");
+  nets.out = ckt.node(prefix + ".out");
+  nets.vddSource = &ckt.add<spice::VoltageSource>(prefix + ".vvdd", nets.vdd,
+                                                  spice::kGround, spec.tech.vdd);
+  nets.load = &ckt.add<spice::Capacitor>(prefix + ".cload", nets.out,
+                                         spice::kGround, spec.loadCap);
+  for (int k = 0; k < n; ++k) {
+    nets.inputs.push_back(ckt.node(prefix + ".in" + std::to_string(k)));
+  }
+
+  spice::MosfetParams nP = spec.tech.nmos;
+  nP.w = spec.wn;
+  spice::MosfetParams pP = spec.tech.pmos;
+  pP.w = spec.wp;
+
+  int counter = 0;
+  // NMOS network: f between out and ground.
+  emitNetwork(ckt, spec.pulldown, nets.inputs, nets.out, spice::kGround, nP,
+              spice::kGround, spec.tech, spec.wn, prefix + ".pd", &counter,
+              &nets.internals);
+  // PMOS network: the dual between Vdd and out.
+  counter = 0;
+  emitNetwork(ckt, spec.pulldown.dual(), nets.inputs, nets.vdd, nets.out, pP,
+              nets.vdd, spec.tech, spec.wp, prefix + ".pu", &counter,
+              &nets.internals);
+  return nets;
+}
+
+ComplexCellSpec aoi21(Technology tech) {
+  ComplexCellSpec s;
+  s.pulldown = PullExpr::parallel(
+      {PullExpr::series({PullExpr::input(0), PullExpr::input(1)}),
+       PullExpr::input(2)});
+  s.tech = tech;
+  return s;
+}
+
+ComplexCellSpec oai21(Technology tech) {
+  ComplexCellSpec s;
+  s.pulldown = PullExpr::series(
+      {PullExpr::parallel({PullExpr::input(0), PullExpr::input(1)}),
+       PullExpr::input(2)});
+  s.tech = tech;
+  return s;
+}
+
+ComplexCellSpec aoi22(Technology tech) {
+  ComplexCellSpec s;
+  s.pulldown = PullExpr::parallel(
+      {PullExpr::series({PullExpr::input(0), PullExpr::input(1)}),
+       PullExpr::series({PullExpr::input(2), PullExpr::input(3)})});
+  s.tech = tech;
+  return s;
+}
+
+}  // namespace prox::cells

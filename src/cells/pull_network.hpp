@@ -1,0 +1,100 @@
+#pragma once
+// General series-parallel pull networks: the building block for complex
+// static CMOS gates (AOI/OAI families).  The paper develops its model on
+// NAND/NOR examples but the methodology -- per-subset VTCs, dominance,
+// dual-input composition -- only needs an inverting gate with a monotone
+// pull network; this module supplies arbitrary such gates.
+//
+// A PullExpr describes the *pulldown* conduction function f over the input
+// pins: the NMOS network realizes f between the output and ground, and the
+// PMOS network realizes the structural dual (series <-> parallel) between
+// Vdd and the output, giving out = NOT f(inputs).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cells/cell.hpp"
+
+namespace prox::cells {
+
+class PullExpr {
+ public:
+  enum class Kind { Input, Series, Parallel };
+
+  /// Leaf: the transistor gated by input @p pin.
+  static PullExpr input(int pin);
+  /// Conducts when every child conducts.
+  static PullExpr series(std::vector<PullExpr> children);
+  /// Conducts when any child conducts.
+  static PullExpr parallel(std::vector<PullExpr> children);
+
+  Kind kind() const { return kind_; }
+  int pin() const { return pin_; }
+  const std::vector<PullExpr>& children() const { return children_; }
+
+  /// Largest pin index referenced (-1 for an empty expression).
+  int maxPin() const;
+
+  /// Number of transistors in the network.
+  int transistorCount() const;
+
+  /// Structural dual: series <-> parallel with the same leaves.
+  PullExpr dual() const;
+
+  /// Conduction for a given set of "transistor on" flags per pin.
+  bool conducts(const std::vector<bool>& pinOn) const;
+
+  /// Human-readable form, e.g. "(a.b)+c".
+  std::string toString() const;
+
+  /// Parses the toString() format back into an expression: pins are letters
+  /// 'a'..'z' (pin = letter - 'a'), '.' is series, '+' is parallel, with
+  /// parentheses for grouping; '.' binds tighter than '+'.  Throws
+  /// std::invalid_argument on malformed input.
+  static PullExpr parse(const std::string& text);
+
+ private:
+  PullExpr(Kind kind, int pin, std::vector<PullExpr> children)
+      : kind_(kind), pin_(pin), children_(std::move(children)) {}
+
+  Kind kind_;
+  int pin_;
+  std::vector<PullExpr> children_;
+};
+
+/// A complex inverting CMOS gate specification.
+struct ComplexCellSpec {
+  PullExpr pulldown = PullExpr::input(0);  ///< f: the NMOS conduction function
+  Technology tech = Technology::generic5v();
+  double wn = 6e-6;
+  double wp = 8e-6;
+  double loadCap = 100e-15;
+
+  int pinCount() const { return pulldown.maxPin() + 1; }
+
+  /// Logic output for the given input levels (true = high).
+  bool outputFor(const std::vector<bool>& inputsHigh) const {
+    return !pulldown.conducts(inputsHigh);
+  }
+
+  /// Stable levels for the *other* pins such that toggling every pin in
+  /// @p subset together toggles the output (the condition for that subset's
+  /// VTC to exist).  Pins in @p subset get placeholder `false` entries in
+  /// the returned vector.  nullopt when no assignment sensitizes the subset.
+  std::optional<std::vector<bool>> sensitizingAssignment(
+      const std::vector<int>& subset) const;
+};
+
+/// Emits the transistor-level complex gate into @p ckt.  Same contract as
+/// buildCell(): input pins are left undriven, the supply source and load
+/// capacitor are created, parasitics attached.
+CellNets buildComplexCell(spice::Circuit& ckt, const ComplexCellSpec& spec,
+                          const std::string& prefix = "x0");
+
+/// Standard complex cells.  Pin order: a=0, b=1, c=2, d=3.
+ComplexCellSpec aoi21(Technology tech = Technology::generic5v());  // !((a.b)+c)
+ComplexCellSpec oai21(Technology tech = Technology::generic5v());  // !((a+b).c)
+ComplexCellSpec aoi22(Technology tech = Technology::generic5v());  // !((a.b)+(c.d))
+
+}  // namespace prox::cells

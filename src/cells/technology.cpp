@@ -1,0 +1,66 @@
+#include "cells/technology.hpp"
+
+namespace prox::cells {
+
+Technology Technology::generic5v() {
+  Technology t;
+  t.vdd = 5.0;
+
+  t.nmos.nmos = true;
+  t.nmos.kp = 60e-6;
+  t.nmos.vt0 = 0.8;
+  t.nmos.lambda = 0.02;
+  t.nmos.gamma = 0.40;
+  t.nmos.phi = 0.65;
+  t.nmos.l = 0.8e-6;
+  t.nmos.w = 4e-6;
+
+  t.pmos.nmos = false;
+  t.pmos.kp = 25e-6;
+  t.pmos.vt0 = -0.9;
+  t.pmos.lambda = 0.04;
+  t.pmos.gamma = 0.45;
+  t.pmos.phi = 0.65;
+  t.pmos.l = 0.8e-6;
+  t.pmos.w = 8e-6;
+
+  return t;
+}
+
+Technology Technology::submicron3v() {
+  Technology t;
+  t.vdd = 3.3;
+
+  t.nmos.nmos = true;
+  t.nmos.equation = spice::MosEquation::AlphaPower;
+  t.nmos.kp = 120e-6;  // used only for the normalized-coordinate strength
+  t.nmos.vt0 = 0.55;
+  t.nmos.lambda = 0.04;
+  t.nmos.gamma = 0.30;
+  t.nmos.phi = 0.60;
+  t.nmos.l = 0.35e-6;
+  t.nmos.w = 2e-6;
+  t.nmos.alpha = 1.3;
+  t.nmos.pc = 55e-6;
+  t.nmos.pv = 0.9;
+
+  t.pmos.nmos = false;
+  t.pmos.equation = spice::MosEquation::AlphaPower;
+  t.pmos.kp = 45e-6;
+  t.pmos.vt0 = -0.6;
+  t.pmos.lambda = 0.06;
+  t.pmos.gamma = 0.35;
+  t.pmos.phi = 0.60;
+  t.pmos.l = 0.35e-6;
+  t.pmos.w = 4e-6;
+  t.pmos.alpha = 1.4;
+  t.pmos.pc = 22e-6;
+  t.pmos.pv = 0.8;
+
+  t.coxPerArea = 4.5e-3;          // thinner oxide
+  t.overlapCapPerWidth = 0.25e-9;
+  t.junctionCapPerWidth = 0.6e-9;
+  return t;
+}
+
+}  // namespace prox::cells

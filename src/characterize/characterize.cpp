@@ -1,0 +1,232 @@
+#include "characterize/characterize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace prox::characterize {
+
+void buildDualTables(model::GateSimulator& sim,
+                     const model::SingleInputModelSet& singles, int refPin,
+                     int otherPin, wave::Edge edge,
+                     const CharacterizationConfig& config,
+                     model::DualTable* delayTable,
+                     model::DualTable* transitionTable) {
+  if (delayTable == nullptr || transitionTable == nullptr) {
+    throw std::invalid_argument("buildDualTables: null output");
+  }
+  const model::SingleInputModel& mRef = singles.at(refPin, edge);
+  model::OracleDualInputModel oracle(sim, singles);
+
+  // Reference-tau axis: actual taus from the grid; their normalized
+  // coordinates (tau/Delta^(1) for delay, tau/tau^(1) for transition) are
+  // monotone in tau, so each table keeps a rectangular normalized grid with
+  // exact sample placement and no inversion step.
+  std::vector<double> tauRefs;
+  for (std::size_t idx : config.dualTauIndices) {
+    if (idx >= config.tauGrid.size()) {
+      throw std::invalid_argument("buildDualTables: dualTauIndices out of range");
+    }
+    tauRefs.push_back(config.tauGrid[idx]);
+  }
+  std::sort(tauRefs.begin(), tauRefs.end());
+
+  model::DualTable& dt = *delayTable;
+  model::DualTable& tt = *transitionTable;
+  dt.u.clear();
+  tt.u.clear();
+  for (double tau : tauRefs) {
+    dt.u.push_back(tau / mRef.delay(tau));
+    tt.u.push_back(tau / mRef.transition(tau));
+  }
+  if (!std::is_sorted(dt.u.begin(), dt.u.end()) ||
+      !std::is_sorted(tt.u.begin(), tt.u.end())) {
+    throw std::runtime_error(
+        "buildDualTables: normalized tau axis not monotone; refine tauGrid");
+  }
+  dt.v = config.vGrid;
+  dt.w = config.wGrid;
+  tt.v = config.vGridTransition;
+  tt.w = config.wGridTransition;
+  dt.ratio.assign(dt.u.size() * dt.v.size() * dt.w.size(), 1.0);
+  tt.ratio.assign(tt.u.size() * tt.v.size() * tt.w.size(), 1.0);
+
+  for (std::size_t iu = 0; iu < tauRefs.size(); ++iu) {
+    const double tauRef = tauRefs[iu];
+    const double d1 = mRef.delay(tauRef);
+    const double t1 = mRef.transition(tauRef);
+    // Delay table: v and w in Delta^(1) units.
+    for (std::size_t iv = 0; iv < dt.v.size(); ++iv) {
+      model::DualQuery q;
+      q.refPin = refPin;
+      q.otherPin = otherPin;
+      q.edge = edge;
+      q.tauRef = tauRef;
+      q.tauOther = std::clamp(dt.v[iv] * d1, 1e-12, 50e-9);
+      for (std::size_t iw = 0; iw < dt.w.size(); ++iw) {
+        q.sep = dt.w[iw] * d1;
+        dt.at(iu, iv, iw) = oracle.delayRatio(q);
+      }
+    }
+    // Transition table: v and w in tau^(1) units.
+    for (std::size_t iv = 0; iv < tt.v.size(); ++iv) {
+      model::DualQuery q;
+      q.refPin = refPin;
+      q.otherPin = otherPin;
+      q.edge = edge;
+      q.tauRef = tauRef;
+      q.tauOther = std::clamp(tt.v[iv] * t1, 1e-12, 50e-9);
+      for (std::size_t iw = 0; iw < tt.w.size(); ++iw) {
+        q.sep = tt.w[iw] * t1;
+        tt.at(iu, iv, iw) = oracle.transitionRatio(q);
+      }
+    }
+  }
+}
+
+model::StepCorrection characterizeStepCorrection(
+    model::GateSimulator& sim, const model::SingleInputModelSet& singles,
+    const model::DualInputModel& dual, double stepTau) {
+  model::StepCorrection corr;
+  const int n = sim.gate().spec.type == cells::GateType::Inverter
+                    ? 1
+                    : sim.gate().spec.fanin;
+  if (n < 2) return corr;
+
+  model::ProximityOptions noCorrection;
+  noCorrection.applyCorrection = false;
+  const model::ProximityCalculator raw(
+      sim.gate().complex
+          ? model::senseResolverFor(*sim.gate().complex)
+          : model::senseResolverFor(sim.gate().spec.type),
+      singles, dual, {}, noCorrection);
+
+  for (wave::Edge edge : {wave::Edge::Rising, wave::Edge::Falling}) {
+    for (int k = 2; k <= n; ++k) {
+      std::vector<model::InputEvent> events;
+      std::vector<int> pins;
+      for (int p = 0; p < k; ++p) {
+        events.push_back({p, edge, 0.0, stepTau});
+        pins.push_back(p);
+      }
+      // Complex gates: skip prefixes that cannot toggle the output.
+      if (sim.gate().complex &&
+          !sim.gate().complex->sensitizingAssignment(pins)) {
+        if (edge == wave::Edge::Rising) {
+          corr.delayErrorRising.push_back(0.0);
+          corr.transitionErrorRising.push_back(0.0);
+        } else {
+          corr.delayErrorFalling.push_back(0.0);
+          corr.transitionErrorFalling.push_back(0.0);
+        }
+        continue;
+      }
+      const model::SimOutcome actual = sim.simulate(events, 0);
+      const model::ProximityResult modeled = raw.compute(events);
+      const double dErr =
+          actual.delay ? *actual.delay - modeled.delay : 0.0;
+      const double tErr = actual.transitionTime
+                              ? *actual.transitionTime - modeled.transitionTime
+                              : 0.0;
+      if (edge == wave::Edge::Rising) {
+        corr.delayErrorRising.push_back(dErr);
+        corr.transitionErrorRising.push_back(tErr);
+      } else {
+        corr.delayErrorFalling.push_back(dErr);
+        corr.transitionErrorFalling.push_back(tErr);
+      }
+    }
+  }
+  return corr;
+}
+
+namespace {
+
+/// Shared body of the simple and complex characterization flows: the gate's
+/// thresholds are already in place; this runs the single-input sweeps, the
+/// dual-table construction and the correction characterization.
+CharacterizedGate characterizeFromGate(model::Gate gate,
+                                       const CharacterizationConfig& config) {
+  CharacterizedGate out;
+  out.gate = std::move(gate);
+
+  model::GateSimulator sim(out.gate);
+  out.singles = std::make_unique<model::SingleInputModelSet>(
+      model::SingleInputModelSet::characterizeAll(sim, config.tauGrid));
+  out.dual = std::make_unique<model::TabulatedDualInputModel>(*out.singles);
+
+  const int n = out.pinCount();
+  for (int pin = 0; pin < n; ++pin) {
+    // Representative partner pin: the configured offset for simple gates;
+    // for complex gates, the first pin forming a sensitizable pair.
+    int partner = n > 1 ? (pin + config.partnerOffset) % n : pin;
+    bool havePartner = n > 1;
+    if (out.gate.complex && havePartner) {
+      havePartner = false;
+      for (int q = 1; q < n; ++q) {
+        const int cand = (pin + q) % n;
+        if (out.gate.complex->sensitizingAssignment({pin, cand})) {
+          partner = cand;
+          havePartner = true;
+          break;
+        }
+      }
+    }
+    for (wave::Edge edge : {wave::Edge::Rising, wave::Edge::Falling}) {
+      model::DualTable dt;
+      model::DualTable tt;
+      if (havePartner) {
+        buildDualTables(sim, *out.singles, pin, partner, edge, config, &dt, &tt);
+      } else {
+        // Degenerate (single-input gate or unpairable pin): identity tables.
+        dt.u = {1.0};
+        dt.v = {1.0};
+        dt.w = {0.0};
+        dt.ratio = {1.0};
+        tt = dt;
+      }
+      out.dual->setDelayTable(pin, edge, std::move(dt));
+      out.dual->setTransitionTable(pin, edge, std::move(tt));
+    }
+  }
+
+  // Complex gates additionally get the full pair matrix (Figure 4-2 option
+  // 2(a)): the per-reference approximation assumes every partner behaves
+  // alike, which holds for single-stack NAND/NOR but not when one partner
+  // shares a series branch and another a parallel branch.
+  if (out.gate.complex) {
+    for (int ref = 0; ref < n; ++ref) {
+      for (int other = 0; other < n; ++other) {
+        if (ref == other) continue;
+        if (!out.gate.complex->sensitizingAssignment({ref, other})) continue;
+        for (wave::Edge edge : {wave::Edge::Rising, wave::Edge::Falling}) {
+          model::DualTable dt;
+          model::DualTable tt;
+          buildDualTables(sim, *out.singles, ref, other, edge, config, &dt,
+                          &tt);
+          out.dual->setPairDelayTable(ref, other, edge, std::move(dt));
+          out.dual->setPairTransitionTable(ref, other, edge, std::move(tt));
+        }
+      }
+    }
+  }
+
+  out.correction =
+      characterizeStepCorrection(sim, *out.singles, *out.dual, config.stepTau);
+  return out;
+}
+
+}  // namespace
+
+CharacterizedGate characterizeGate(const cells::CellSpec& spec,
+                                   const CharacterizationConfig& config) {
+  return characterizeFromGate(model::makeGate(spec, config.vtcStep), config);
+}
+
+CharacterizedGate characterizeComplexGate(const cells::ComplexCellSpec& spec,
+                                          const CharacterizationConfig& config) {
+  return characterizeFromGate(model::makeComplexGate(spec, config.vtcStep),
+                              config);
+}
+
+}  // namespace prox::characterize

@@ -1,0 +1,289 @@
+#include "characterize/serialize.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace prox::characterize {
+
+namespace {
+
+constexpr const char* kMagic = "proxdelay-model";
+constexpr int kVersion = 1;
+
+char edgeChar(wave::Edge e) { return e == wave::Edge::Rising ? 'R' : 'F'; }
+
+wave::Edge parseEdge(const std::string& s) {
+  if (s == "R") return wave::Edge::Rising;
+  if (s == "F") return wave::Edge::Falling;
+  throw std::runtime_error("loadGateModel: bad edge tag '" + s + "'");
+}
+
+std::string gateTag(cells::GateType t) {
+  switch (t) {
+    case cells::GateType::Inverter: return "INV";
+    case cells::GateType::Nand: return "NAND";
+    case cells::GateType::Nor: return "NOR";
+    case cells::GateType::Complex: return "COMPLEX";
+  }
+  return "?";
+}
+
+cells::GateType parseGateTag(const std::string& s) {
+  if (s == "INV") return cells::GateType::Inverter;
+  if (s == "NAND") return cells::GateType::Nand;
+  if (s == "NOR") return cells::GateType::Nor;
+  if (s == "COMPLEX") return cells::GateType::Complex;
+  throw std::runtime_error("loadGateModel: bad gate tag '" + s + "'");
+}
+
+void writeMos(std::ostream& os, const char* tag, const spice::MosfetParams& p) {
+  os << tag << ' ' << p.kp << ' ' << p.vt0 << ' ' << p.lambda << ' ' << p.gamma
+     << ' ' << p.phi << ' ' << p.w << ' ' << p.l << ' '
+     << (p.equation == spice::MosEquation::AlphaPower ? 14 : 1) << ' '
+     << p.alpha << ' ' << p.pc << ' ' << p.pv << '\n';
+}
+
+void readMos(std::istream& is, const char* tag, bool nmos,
+             spice::MosfetParams* p) {
+  std::string t;
+  is >> t;
+  if (t != tag) throw std::runtime_error("loadGateModel: expected " +
+                                         std::string(tag) + ", got " + t);
+  p->nmos = nmos;
+  int level = 1;
+  is >> p->kp >> p->vt0 >> p->lambda >> p->gamma >> p->phi >> p->w >> p->l >>
+      level >> p->alpha >> p->pc >> p->pv;
+  p->equation = level == 14 ? spice::MosEquation::AlphaPower
+                            : spice::MosEquation::Level1;
+}
+
+void writeVector(std::ostream& os, const std::vector<double>& v) {
+  os << v.size();
+  for (double x : v) os << ' ' << x;
+  os << '\n';
+}
+
+std::vector<double> readVector(std::istream& is) {
+  std::size_t n = 0;
+  is >> n;
+  if (!is || n > (1u << 24)) {
+    throw std::runtime_error("loadGateModel: bad vector length");
+  }
+  std::vector<double> v(n);
+  for (double& x : v) is >> x;
+  if (!is) throw std::runtime_error("loadGateModel: truncated vector");
+  return v;
+}
+
+void writeDualTable2(std::ostream& os, const model::DualTable& t) {
+  writeVector(os, t.u);
+  writeVector(os, t.v);
+  writeVector(os, t.w);
+  writeVector(os, t.ratio);
+}
+
+void writeDualTable(std::ostream& os, const char* tag, int pin, wave::Edge e,
+                    const model::DualTable& t) {
+  os << tag << ' ' << pin << ' ' << edgeChar(e) << '\n';
+  writeDualTable2(os, t);
+}
+
+model::DualTable readDualTable(std::istream& is) {
+  model::DualTable t;
+  t.u = readVector(is);
+  t.v = readVector(is);
+  t.w = readVector(is);
+  t.ratio = readVector(is);
+  if (t.ratio.size() != t.u.size() * t.v.size() * t.w.size()) {
+    throw std::runtime_error("loadGateModel: dual table size mismatch");
+  }
+  return t;
+}
+
+}  // namespace
+
+void saveGateModel(const CharacterizedGate& g, std::ostream& os) {
+  os << std::setprecision(17);
+  const cells::CellSpec& s = g.gate.spec;
+  os << kMagic << ' ' << kVersion << '\n';
+  os << "gate " << gateTag(s.type) << ' ' << s.fanin << '\n';
+  if (g.gate.complex) {
+    os << "pullnet " << g.gate.complex->pulldown.toString() << '\n';
+  }
+  os << "sizing " << s.wn << ' ' << s.wp << ' ' << s.loadCap << '\n';
+  os << "vdd " << s.tech.vdd << '\n';
+  writeMos(os, "nmos", s.tech.nmos);
+  writeMos(os, "pmos", s.tech.pmos);
+  os << "caps " << s.tech.coxPerArea << ' ' << s.tech.overlapCapPerWidth << ' '
+     << s.tech.junctionCapPerWidth << '\n';
+  os << "thresholds " << g.gate.thresholds.vil << ' ' << g.gate.thresholds.vih
+     << '\n';
+
+  const int n = g.pinCount();
+  for (int pin = 0; pin < n; ++pin) {
+    for (wave::Edge e : {wave::Edge::Rising, wave::Edge::Falling}) {
+      const model::SingleInputModel& m = g.singles->at(pin, e);
+      os << "single " << pin << ' ' << edgeChar(e) << ' ' << m.loadCap() << ' '
+         << m.strengthK() << ' ' << m.vdd() << ' ' << m.table().size() << '\n';
+      for (const auto& row : m.table()) {
+        os << row.tau << ' ' << row.delay << ' ' << row.transition << '\n';
+      }
+    }
+  }
+  for (int pin = 0; pin < n; ++pin) {
+    for (wave::Edge e : {wave::Edge::Rising, wave::Edge::Falling}) {
+      writeDualTable(os, "dualdelay", pin, e, g.dual->delayTable(pin, e));
+      writeDualTable(os, "dualtrans", pin, e, g.dual->transitionTable(pin, e));
+    }
+  }
+  for (const auto& [ref, other, e] : g.dual->pairKeys()) {
+    os << "pairdelay " << ref << ' ' << other << ' ' << edgeChar(e) << '\n';
+    writeDualTable2(os, g.dual->pairDelayTable(ref, other, e));
+    os << "pairtrans " << ref << ' ' << other << ' ' << edgeChar(e) << '\n';
+    writeDualTable2(os, g.dual->pairTransitionTable(ref, other, e));
+  }
+  os << "correction\n";
+  writeVector(os, g.correction.delayErrorRising);
+  writeVector(os, g.correction.delayErrorFalling);
+  writeVector(os, g.correction.transitionErrorRising);
+  writeVector(os, g.correction.transitionErrorFalling);
+  os << "end\n";
+}
+
+void saveGateModel(const CharacterizedGate& g, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("saveGateModel: cannot open " + path);
+  saveGateModel(g, f);
+}
+
+CharacterizedGate loadGateModel(std::istream& is) {
+  std::string tag;
+  int version = 0;
+  is >> tag >> version;
+  if (tag != kMagic || version != kVersion) {
+    throw std::runtime_error("loadGateModel: bad header");
+  }
+
+  CharacterizedGate g;
+  cells::CellSpec& s = g.gate.spec;
+
+  std::string word;
+  is >> word;
+  if (word != "gate") throw std::runtime_error("loadGateModel: expected gate");
+  is >> word >> s.fanin;
+  s.type = parseGateTag(word);
+
+  std::string pullExprText;
+  if (s.type == cells::GateType::Complex) {
+    is >> word;
+    if (word != "pullnet") {
+      throw std::runtime_error("loadGateModel: expected pullnet");
+    }
+    is >> pullExprText;
+  }
+
+  is >> word;
+  if (word != "sizing") throw std::runtime_error("loadGateModel: expected sizing");
+  is >> s.wn >> s.wp >> s.loadCap;
+
+  is >> word;
+  if (word != "vdd") throw std::runtime_error("loadGateModel: expected vdd");
+  is >> s.tech.vdd;
+  readMos(is, "nmos", true, &s.tech.nmos);
+  readMos(is, "pmos", false, &s.tech.pmos);
+  is >> word;
+  if (word != "caps") throw std::runtime_error("loadGateModel: expected caps");
+  is >> s.tech.coxPerArea >> s.tech.overlapCapPerWidth >>
+      s.tech.junctionCapPerWidth;
+
+  is >> word;
+  if (word != "thresholds") {
+    throw std::runtime_error("loadGateModel: expected thresholds");
+  }
+  is >> g.gate.thresholds.vil >> g.gate.thresholds.vih;
+
+  if (s.type == cells::GateType::Complex) {
+    cells::ComplexCellSpec cs;
+    cs.pulldown = cells::PullExpr::parse(pullExprText);
+    cs.tech = s.tech;
+    cs.wn = s.wn;
+    cs.wp = s.wp;
+    cs.loadCap = s.loadCap;
+    if (cs.pinCount() != s.fanin) {
+      throw std::runtime_error("loadGateModel: pullnet pin count mismatch");
+    }
+    g.gate.complex = cs;
+  }
+
+  g.singles = std::make_unique<model::SingleInputModelSet>();
+  const int n = g.pinCount();
+  for (int i = 0; i < n * 2; ++i) {
+    int pin = 0;
+    std::string edgeTag;
+    double loadCap = 0.0;
+    double k = 0.0;
+    double vdd = 0.0;
+    std::size_t rows = 0;
+    is >> word;
+    if (word != "single") throw std::runtime_error("loadGateModel: expected single");
+    is >> pin >> edgeTag >> loadCap >> k >> vdd >> rows;
+    std::vector<model::SingleInputModel::Sample> table(rows);
+    for (auto& row : table) is >> row.tau >> row.delay >> row.transition;
+    if (!is) throw std::runtime_error("loadGateModel: truncated single table");
+    g.singles->set(model::SingleInputModel(pin, parseEdge(edgeTag),
+                                           std::move(table), loadCap, k, vdd));
+  }
+
+  g.dual = std::make_unique<model::TabulatedDualInputModel>(*g.singles);
+  // Tag-driven section: per-reference tables, optional pair tables, then the
+  // correction block terminates the loop.
+  while (true) {
+    is >> word;
+    if (!is) throw std::runtime_error("loadGateModel: truncated dual section");
+    if (word == "correction") break;
+    if (word == "dualdelay" || word == "dualtrans") {
+      int pin = 0;
+      std::string edgeTag;
+      is >> pin >> edgeTag;
+      if (word == "dualdelay") {
+        g.dual->setDelayTable(pin, parseEdge(edgeTag), readDualTable(is));
+      } else {
+        g.dual->setTransitionTable(pin, parseEdge(edgeTag), readDualTable(is));
+      }
+    } else if (word == "pairdelay" || word == "pairtrans") {
+      int ref = 0;
+      int other = 0;
+      std::string edgeTag;
+      is >> ref >> other >> edgeTag;
+      if (word == "pairdelay") {
+        g.dual->setPairDelayTable(ref, other, parseEdge(edgeTag),
+                                  readDualTable(is));
+      } else {
+        g.dual->setPairTransitionTable(ref, other, parseEdge(edgeTag),
+                                       readDualTable(is));
+      }
+    } else {
+      throw std::runtime_error("loadGateModel: unexpected section '" + word +
+                               "'");
+    }
+  }
+  g.correction.delayErrorRising = readVector(is);
+  g.correction.delayErrorFalling = readVector(is);
+  g.correction.transitionErrorRising = readVector(is);
+  g.correction.transitionErrorFalling = readVector(is);
+
+  is >> word;
+  if (word != "end") throw std::runtime_error("loadGateModel: expected end");
+  return g;
+}
+
+CharacterizedGate loadGateModelFile(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("loadGateModel: cannot open " + path);
+  return loadGateModel(f);
+}
+
+}  // namespace prox::characterize

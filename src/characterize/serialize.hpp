@@ -1,0 +1,27 @@
+#pragma once
+// Text serialization of a CharacterizedGate package (".prox" files).
+// A characterized library cell can be written once and reloaded by timing
+// tools without any access to the circuit simulator.
+
+#include <iosfwd>
+#include <string>
+
+#include "characterize/characterize.hpp"
+
+namespace prox::characterize {
+
+/// Writes the complete package (cell spec, technology, thresholds, single
+/// and dual tables, corrections) to @p os.
+void saveGateModel(const CharacterizedGate& g, std::ostream& os);
+
+/// Writes to @p path; throws std::runtime_error if the file cannot be opened.
+void saveGateModel(const CharacterizedGate& g, const std::string& path);
+
+/// Reads a package previously written by saveGateModel.  Throws
+/// std::runtime_error on format errors.
+CharacterizedGate loadGateModel(std::istream& is);
+
+/// Reads from @p path.
+CharacterizedGate loadGateModelFile(const std::string& path);
+
+}  // namespace prox::characterize

@@ -1,0 +1,91 @@
+#include "linalg/lu.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace prox::linalg {
+
+bool LuFactorization::factor(const Matrix& a, double pivotTol) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("LuFactorization: matrix must be square");
+  }
+  const std::size_t n = a.rows();
+  lu_ = a;
+  perm_.resize(n);
+  std::iota(perm_.begin(), perm_.end(), std::size_t{0});
+  permSign_ = 1;
+  valid_ = false;
+
+  const double scale = std::max(lu_.maxAbs(), 1.0);
+  const double tiny = pivotTol * scale;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: pick the row with the largest |entry| in column k.
+    std::size_t pivotRow = k;
+    double pivotMag = std::fabs(lu_(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double mag = std::fabs(lu_(r, k));
+      if (mag > pivotMag) {
+        pivotMag = mag;
+        pivotRow = r;
+      }
+    }
+    if (pivotMag < tiny) return false;  // numerically singular
+
+    if (pivotRow != k) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(lu_(k, c), lu_(pivotRow, c));
+      std::swap(perm_[k], perm_[pivotRow]);
+      permSign_ = -permSign_;
+    }
+
+    const double inv = 1.0 / lu_(k, k);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double f = lu_(r, k) * inv;
+      lu_(r, k) = f;  // store L factor in the lower triangle
+      if (f == 0.0) continue;
+      for (std::size_t c = k + 1; c < n; ++c) lu_(r, c) -= f * lu_(k, c);
+    }
+  }
+  valid_ = true;
+  return true;
+}
+
+Vector LuFactorization::solve(const Vector& b) const {
+  if (!valid_) throw std::runtime_error("LuFactorization::solve: not factored");
+  const std::size_t n = lu_.rows();
+  if (b.size() != n) {
+    throw std::invalid_argument("LuFactorization::solve: rhs size mismatch");
+  }
+  Vector x(n);
+  // Apply the permutation and forward-substitute through L (unit diagonal).
+  for (std::size_t r = 0; r < n; ++r) {
+    double acc = b[perm_[r]];
+    for (std::size_t c = 0; c < r; ++c) acc -= lu_(r, c) * x[c];
+    x[r] = acc;
+  }
+  // Back-substitute through U.
+  for (std::size_t ri = n; ri-- > 0;) {
+    double acc = x[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) acc -= lu_(ri, c) * x[c];
+    x[ri] = acc / lu_(ri, ri);
+  }
+  return x;
+}
+
+double LuFactorization::determinant() const {
+  if (!valid_) throw std::runtime_error("LuFactorization::determinant: not factored");
+  double det = permSign_;
+  for (std::size_t i = 0; i < lu_.rows(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+Vector solve(const Matrix& a, const Vector& b) {
+  LuFactorization lu;
+  if (!lu.factor(a)) {
+    throw std::runtime_error("linalg::solve: singular matrix");
+  }
+  return lu.solve(b);
+}
+
+}  // namespace prox::linalg

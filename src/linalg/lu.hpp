@@ -1,0 +1,41 @@
+#pragma once
+// LU factorization with partial pivoting, tuned for repeated solves of
+// small-to-medium MNA systems inside Newton-Raphson loops.
+
+#include "linalg/matrix.hpp"
+
+namespace prox::linalg {
+
+/// In-place LU factorization with partial (row) pivoting.
+///
+/// After a successful factor(), solve() may be called any number of times with
+/// different right-hand sides.  The factorization owns a copy of the matrix,
+/// so the caller's matrix may be re-stamped immediately.
+class LuFactorization {
+ public:
+  /// Factors @p a.  Returns false if the matrix is numerically singular
+  /// (pivot magnitude below @p pivotTol times the matrix scale).
+  bool factor(const Matrix& a, double pivotTol = 1e-13);
+
+  /// Solves A x = b using the stored factors.  factor() must have succeeded.
+  Vector solve(const Vector& b) const;
+
+  /// Determinant of the factored matrix (product of pivots with sign).
+  /// Valid only after a successful factor().
+  double determinant() const;
+
+  bool valid() const { return valid_; }
+  std::size_t size() const { return lu_.rows(); }
+
+ private:
+  Matrix lu_;                 // combined L (unit lower) and U factors
+  std::vector<std::size_t> perm_;  // row permutation
+  int permSign_ = 1;
+  bool valid_ = false;
+};
+
+/// One-shot convenience: solves A x = b.  Throws std::runtime_error if the
+/// system is singular.
+Vector solve(const Matrix& a, const Vector& b);
+
+}  // namespace prox::linalg

@@ -1,0 +1,87 @@
+#pragma once
+// Dense linear algebra primitives for modified-nodal-analysis (MNA) systems.
+//
+// Circuit matrices in this project are small (tens of unknowns: a CMOS gate,
+// its drivers, and a handful of parasitics), so a dense, cache-friendly
+// row-major matrix with partial-pivoting LU is both simpler and faster than a
+// sparse solver at this scale.  All storage is value-semantic and owned by the
+// object (C++ Core Guidelines R.1/R.11: no naked new).
+
+#include <cassert>
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+namespace prox::linalg {
+
+/// A dynamically sized vector of doubles with a few conveniences used by the
+/// solver code.  Thin wrapper over std::vector so that arithmetic helpers can
+/// live next to the type without polluting the global namespace.
+using Vector = std::vector<double>;
+
+/// Euclidean norm of @p v.
+double norm2(const Vector& v);
+
+/// Infinity norm (largest absolute entry) of @p v.
+double normInf(const Vector& v);
+
+/// Element-wise a - b. Sizes must match.
+Vector subtract(const Vector& a, const Vector& b);
+
+/// Row-major dense matrix of doubles.
+///
+/// Invariants: rows() * cols() == storage size; indices passed to operator()
+/// are in range (checked by assert in debug builds).
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Creates a rows x cols matrix, zero-initialized.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// Creates a square n x n matrix, zero-initialized.
+  static Matrix square(std::size_t n) { return Matrix(n, n); }
+
+  /// Identity matrix of size n.
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Resets every entry to zero without reallocating.  Used once per Newton
+  /// iteration before devices re-stamp their conductances.
+  void setZero();
+
+  /// Resizes to rows x cols and zeroes the content.
+  void resize(std::size_t rows, std::size_t cols);
+
+  /// Matrix-vector product y = A*x.  x.size() must equal cols().
+  Vector multiply(const Vector& x) const;
+
+  /// Largest absolute entry; used for scaling heuristics.
+  double maxAbs() const;
+
+  /// Raw storage access for tight solver loops.
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Prints a matrix in a human-readable grid; intended for debugging and tests.
+std::ostream& operator<<(std::ostream& os, const Matrix& m);
+
+}  // namespace prox::linalg

@@ -1,0 +1,184 @@
+#include "model/dual_input.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace prox::model {
+
+namespace {
+
+/// Index of the grid cell containing @p x, clamped to the valid range, plus
+/// the interpolation fraction.
+std::pair<std::size_t, double> locate(const std::vector<double>& grid, double x) {
+  if (grid.size() == 1) return {0, 0.0};
+  if (x <= grid.front()) return {0, 0.0};
+  if (x >= grid.back()) return {grid.size() - 2, 1.0};
+  std::size_t hi = 1;
+  while (hi + 1 < grid.size() && grid[hi] < x) ++hi;
+  const double f = (x - grid[hi - 1]) / (grid[hi] - grid[hi - 1]);
+  return {hi - 1, f};
+}
+
+}  // namespace
+
+double DualTable::interpolate(double uu, double vv, double ww) const {
+  if (u.empty() || v.empty() || w.empty()) {
+    throw std::runtime_error("DualTable: empty grid");
+  }
+  const auto [iu, fu] = locate(u, uu);
+  const auto [iv, fv] = locate(v, vv);
+  const auto [iw, fw] = locate(w, ww);
+  const std::size_t iu1 = std::min(iu + 1, u.size() - 1);
+  const std::size_t iv1 = std::min(iv + 1, v.size() - 1);
+  const std::size_t iw1 = std::min(iw + 1, w.size() - 1);
+
+  auto lerp = [](double a, double b, double f) { return a + f * (b - a); };
+  const double c00 = lerp(at(iu, iv, iw), at(iu1, iv, iw), fu);
+  const double c01 = lerp(at(iu, iv, iw1), at(iu1, iv, iw1), fu);
+  const double c10 = lerp(at(iu, iv1, iw), at(iu1, iv1, iw), fu);
+  const double c11 = lerp(at(iu, iv1, iw1), at(iu1, iv1, iw1), fu);
+  const double c0 = lerp(c00, c10, fv);
+  const double c1 = lerp(c01, c11, fv);
+  return lerp(c0, c1, fw);
+}
+
+OracleDualInputModel::OracleDualInputModel(GateSimulator& sim,
+                                           const SingleInputModelSet& singles)
+    : sim_(sim), singles_(singles) {}
+
+OracleDualInputModel::Pair OracleDualInputModel::evaluate(const DualQuery& q) const {
+  // Memoize on femtosecond-quantized times: queries repeated across sweeps
+  // (the common case in the benches) hit the cache.
+  const auto keyOf = [](double t) { return std::lround(t * 1e18); };
+  const auto key = std::make_tuple(q.refPin, q.otherPin,
+                                   q.edge == wave::Edge::Rising ? 0 : 1,
+                                   keyOf(q.tauRef), keyOf(q.tauOther),
+                                   keyOf(q.sep));
+  if (auto it = cache_.find(key); it != cache_.end()) return it->second;
+
+  InputEvent ref{q.refPin, q.edge, 0.0, q.tauRef};
+  InputEvent other{q.otherPin, q.edge, q.sep, q.tauOther};
+  const SimOutcome o = sim_.simulate({ref, other}, 0);
+
+  const SingleInputModel& m = singles_.at(q.refPin, q.edge);
+  const double d1 = m.delay(q.tauRef);
+  const double t1 = m.transition(q.tauRef);
+
+  Pair p{1.0, 1.0};
+  if (o.delay && d1 > 0.0) p.delayRatio = *o.delay / d1;
+  if (o.transitionTime && t1 > 0.0) p.transitionRatio = *o.transitionTime / t1;
+  cache_.emplace(key, p);
+  return p;
+}
+
+double OracleDualInputModel::delayRatio(const DualQuery& q) const {
+  return evaluate(q).delayRatio;
+}
+
+double OracleDualInputModel::transitionRatio(const DualQuery& q) const {
+  return evaluate(q).transitionRatio;
+}
+
+TabulatedDualInputModel::TabulatedDualInputModel(const SingleInputModelSet& singles)
+    : singles_(singles) {}
+
+void TabulatedDualInputModel::setDelayTable(int refPin, wave::Edge edge,
+                                            DualTable table) {
+  delayTables_[key(refPin, edge)] = std::move(table);
+}
+
+void TabulatedDualInputModel::setTransitionTable(int refPin, wave::Edge edge,
+                                                 DualTable table) {
+  transitionTables_[key(refPin, edge)] = std::move(table);
+}
+
+void TabulatedDualInputModel::setPairDelayTable(int refPin, int otherPin,
+                                                wave::Edge edge,
+                                                DualTable table) {
+  pairDelayTables_[pairKey(refPin, otherPin, edge)] = std::move(table);
+}
+
+void TabulatedDualInputModel::setPairTransitionTable(int refPin, int otherPin,
+                                                     wave::Edge edge,
+                                                     DualTable table) {
+  pairTransitionTables_[pairKey(refPin, otherPin, edge)] = std::move(table);
+}
+
+bool TabulatedDualInputModel::hasTables(int refPin, wave::Edge edge) const {
+  return delayTables_.count(key(refPin, edge)) != 0 &&
+         transitionTables_.count(key(refPin, edge)) != 0;
+}
+
+bool TabulatedDualInputModel::hasPairTables(int refPin, int otherPin,
+                                            wave::Edge edge) const {
+  return pairDelayTables_.count(pairKey(refPin, otherPin, edge)) != 0 &&
+         pairTransitionTables_.count(pairKey(refPin, otherPin, edge)) != 0;
+}
+
+const DualTable& TabulatedDualInputModel::pairDelayTable(
+    int refPin, int otherPin, wave::Edge edge) const {
+  return pairDelayTables_.at(pairKey(refPin, otherPin, edge));
+}
+
+const DualTable& TabulatedDualInputModel::pairTransitionTable(
+    int refPin, int otherPin, wave::Edge edge) const {
+  return pairTransitionTables_.at(pairKey(refPin, otherPin, edge));
+}
+
+std::vector<std::tuple<int, int, wave::Edge>> TabulatedDualInputModel::pairKeys()
+    const {
+  std::vector<std::tuple<int, int, wave::Edge>> out;
+  for (const auto& [k, t] : pairDelayTables_) {
+    const wave::Edge e = k % 2 == 0 ? wave::Edge::Rising : wave::Edge::Falling;
+    const int refOther = k / 2;
+    out.emplace_back(refOther / 64, refOther % 64, e);
+  }
+  return out;
+}
+
+const DualTable& TabulatedDualInputModel::delayTable(int refPin,
+                                                     wave::Edge edge) const {
+  return delayTables_.at(key(refPin, edge));
+}
+
+const DualTable& TabulatedDualInputModel::transitionTable(int refPin,
+                                                          wave::Edge edge) const {
+  return transitionTables_.at(key(refPin, edge));
+}
+
+double TabulatedDualInputModel::delayRatio(const DualQuery& q) const {
+  const SingleInputModel& m = singles_.at(q.refPin, q.edge);
+  const double d1 = m.delay(q.tauRef);
+  // Outside the proximity window the other input cannot affect the delay.
+  if (q.sep >= d1) return 1.0;
+  auto pit = pairDelayTables_.find(pairKey(q.refPin, q.otherPin, q.edge));
+  const DualTable& t = pit != pairDelayTables_.end()
+                           ? pit->second
+                           : delayTables_.at(key(q.refPin, q.edge));
+  return t.interpolate(q.tauRef / d1, q.tauOther / d1, q.sep / d1);
+}
+
+double TabulatedDualInputModel::transitionRatio(const DualQuery& q) const {
+  const SingleInputModel& m = singles_.at(q.refPin, q.edge);
+  const double d1 = m.delay(q.tauRef);
+  const double t1 = m.transition(q.tauRef);
+  // Transition-time proximity window: sep < Delta^(1) + tau^(1).
+  if (q.sep >= d1 + t1) return 1.0;
+  auto pit = pairTransitionTables_.find(pairKey(q.refPin, q.otherPin, q.edge));
+  const DualTable& t = pit != pairTransitionTables_.end()
+                           ? pit->second
+                           : transitionTables_.at(key(q.refPin, q.edge));
+  return t.interpolate(q.tauRef / t1, q.tauOther / t1, q.sep / t1);
+}
+
+std::size_t TabulatedDualInputModel::totalBytes() const {
+  std::size_t b = 0;
+  for (const auto& [k, t] : delayTables_) b += t.bytes();
+  for (const auto& [k, t] : transitionTables_) b += t.bytes();
+  for (const auto& [k, t] : pairDelayTables_) b += t.bytes();
+  for (const auto& [k, t] : pairTransitionTables_) b += t.bytes();
+  return b;
+}
+
+}  // namespace prox::model

@@ -1,0 +1,149 @@
+#pragma once
+// The dual-input proximity macromodel (Section 3): three-argument functions
+//
+//   Delta^(2)/Delta^(1) = D^(2)( tau_i/Delta^(1), tau_j/Delta^(1), s_ij/Delta^(1) )   (3.11)
+//   tau^(2)/tau^(1)     = T^(2)( tau_i/tau^(1),   tau_j/tau^(1),   s_ij/tau^(1) )     (3.12)
+//
+// where i is the *dominant* (reference) input.  Two interchangeable
+// implementations:
+//   * OracleDualInputModel -- answers every query by running the
+//     transistor-level simulator on the reduced two-input configuration.
+//     This is exactly the paper's Section 5 methodology ("we used HSPICE as
+//     the macromodel for processing the dual-input case").
+//   * TabulatedDualInputModel -- a characterized 3-D table per reference pin
+//     with trilinear interpolation; the deployable library model whose
+//     storage cost is the subject of Fig 4-2.
+
+#include <map>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "model/single_input.hpp"
+
+namespace prox::model {
+
+/// A dual-input query in raw (seconds) units.  Both inputs move in the same
+/// direction @p edge; @p sep is measured from the reference input to the
+/// other input at the Section 3 reference thresholds.
+struct DualQuery {
+  int refPin = 0;
+  int otherPin = 1;
+  wave::Edge edge = wave::Edge::Rising;
+  double tauRef = 0.0;
+  double tauOther = 0.0;
+  double sep = 0.0;
+};
+
+class DualInputModel {
+ public:
+  virtual ~DualInputModel() = default;
+
+  /// Delta^(2)/Delta^(1) for the query (>= 0; -> 1 as sep leaves the window).
+  virtual double delayRatio(const DualQuery& q) const = 0;
+
+  /// tau^(2)/tau^(1) for the query.
+  virtual double transitionRatio(const DualQuery& q) const = 0;
+};
+
+/// Simulation-backed macromodel with memoization.
+class OracleDualInputModel : public DualInputModel {
+ public:
+  /// @p sim and @p singles must outlive the model.
+  OracleDualInputModel(GateSimulator& sim, const SingleInputModelSet& singles);
+
+  double delayRatio(const DualQuery& q) const override;
+  double transitionRatio(const DualQuery& q) const override;
+
+ private:
+  struct Pair {
+    double delayRatio;
+    double transitionRatio;
+  };
+  Pair evaluate(const DualQuery& q) const;
+
+  GateSimulator& sim_;
+  const SingleInputModelSet& singles_;
+  mutable std::map<std::tuple<int, int, int, long, long, long>, Pair> cache_;
+};
+
+/// One characterized 3-D ratio table over normalized coordinates.
+struct DualTable {
+  std::vector<double> u;  ///< tau_ref / norm grid (ascending)
+  std::vector<double> v;  ///< tau_other / norm grid (ascending)
+  std::vector<double> w;  ///< sep / norm grid (ascending)
+  std::vector<double> ratio;  ///< [iu][iv][iw] flattened u-major
+
+  double at(std::size_t iu, std::size_t iv, std::size_t iw) const {
+    return ratio[(iu * v.size() + iv) * w.size() + iw];
+  }
+  double& at(std::size_t iu, std::size_t iv, std::size_t iw) {
+    return ratio[(iu * v.size() + iv) * w.size() + iw];
+  }
+
+  /// Trilinear interpolation, clamped to the grid boundary.
+  double interpolate(double uu, double vv, double ww) const;
+
+  /// Storage footprint in bytes (Fig 4-2 accounting).
+  std::size_t bytes() const {
+    return sizeof(double) * (u.size() + v.size() + w.size() + ratio.size());
+  }
+};
+
+/// Table-backed macromodel.
+///
+/// Two granularities, matching the paper's Figure 4-2 options:
+///   * per-reference-pin tables ("we need only n such macromodels") -- valid
+///     for single-stack gates (NAND/NOR), where every partner behaves alike;
+///   * per-(reference, other) *pair* tables (option 2(a), n^2 - n tables) --
+///     required for complex gates, where two pins of the same reference can
+///     sit in a series branch (slow-down) or a parallel branch (speed-up).
+/// Lookup prefers the pair table and falls back to the per-reference one.
+class TabulatedDualInputModel : public DualInputModel {
+ public:
+  explicit TabulatedDualInputModel(const SingleInputModelSet& singles);
+
+  /// Installs the per-reference delay table for (refPin, edge).
+  void setDelayTable(int refPin, wave::Edge edge, DualTable table);
+  /// Installs the per-reference transition-time table for (refPin, edge).
+  void setTransitionTable(int refPin, wave::Edge edge, DualTable table);
+
+  /// Installs pair-specific tables for (refPin, otherPin, edge).
+  void setPairDelayTable(int refPin, int otherPin, wave::Edge edge,
+                         DualTable table);
+  void setPairTransitionTable(int refPin, int otherPin, wave::Edge edge,
+                              DualTable table);
+
+  bool hasTables(int refPin, wave::Edge edge) const;
+  bool hasPairTables(int refPin, int otherPin, wave::Edge edge) const;
+  const DualTable& delayTable(int refPin, wave::Edge edge) const;
+  const DualTable& transitionTable(int refPin, wave::Edge edge) const;
+  const DualTable& pairDelayTable(int refPin, int otherPin,
+                                  wave::Edge edge) const;
+  const DualTable& pairTransitionTable(int refPin, int otherPin,
+                                       wave::Edge edge) const;
+
+  /// All installed pair-table keys as (refPin, otherPin, edge) tuples.
+  std::vector<std::tuple<int, int, wave::Edge>> pairKeys() const;
+
+  double delayRatio(const DualQuery& q) const override;
+  double transitionRatio(const DualQuery& q) const override;
+
+  /// Total table storage in bytes.
+  std::size_t totalBytes() const;
+
+ private:
+  static int key(int pin, wave::Edge edge) {
+    return pin * 2 + (edge == wave::Edge::Rising ? 0 : 1);
+  }
+  static int pairKey(int refPin, int otherPin, wave::Edge edge) {
+    return (refPin * 64 + otherPin) * 2 + (edge == wave::Edge::Rising ? 0 : 1);
+  }
+  const SingleInputModelSet& singles_;
+  std::map<int, DualTable> delayTables_;
+  std::map<int, DualTable> transitionTables_;
+  std::map<int, DualTable> pairDelayTables_;
+  std::map<int, DualTable> pairTransitionTables_;
+};
+
+}  // namespace prox::model

@@ -1,0 +1,119 @@
+#include "model/gate_sim.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace prox::model {
+
+Gate makeGate(const cells::CellSpec& spec, double vtcStep) {
+  Gate g;
+  g.spec = spec;
+  g.thresholds = vtc::chooseThresholds(spec, vtcStep).chosen;
+  return g;
+}
+
+Gate makeComplexGate(const cells::ComplexCellSpec& spec, double vtcStep) {
+  Gate g;
+  g.spec.type = cells::GateType::Complex;
+  g.spec.fanin = spec.pinCount();
+  g.spec.tech = spec.tech;
+  g.spec.wn = spec.wn;
+  g.spec.wp = spec.wp;
+  g.spec.loadCap = spec.loadCap;
+  g.complex = spec;
+  g.thresholds = vtc::chooseComplexThresholds(spec, vtcStep).chosen;
+  return g;
+}
+
+GateSimulator::GateSimulator(Gate gate) : gate_(std::move(gate)) {
+  if (gate_.complex) {
+    complexFixture_.emplace(*gate_.complex);
+  } else {
+    fixture_.emplace(gate_.spec);
+  }
+}
+
+SimOutcome GateSimulator::simulate(const std::vector<InputEvent>& events,
+                                   std::size_t refIdx, double dvMax) {
+  if (events.empty()) throw std::invalid_argument("simulate: no events");
+  if (refIdx >= events.size()) {
+    throw std::invalid_argument("simulate: refIdx out of range");
+  }
+  const double vdd = gate_.spec.tech.vdd;
+  const wave::Thresholds& th = gate_.thresholds;
+
+  // Shift the whole event set so every ramp starts strictly after t = 0 (the
+  // DC operating point then sees the true initial levels), with a margin so
+  // the output settles before the first event.
+  double minStart = 1e30;
+  double maxEnd = -1e30;
+  double maxTau = 0.0;
+  for (const InputEvent& ev : events) {
+    const double t0 = rampStart(ev, vdd, th);
+    minStart = std::min(minStart, t0);
+    maxEnd = std::max(maxEnd, t0 + ev.tau);
+    maxTau = std::max(maxTau, ev.tau);
+  }
+  const double margin = std::max(0.25e-9, 0.25 * maxTau);
+  const double shift = margin - minStart;
+
+  if (gate_.complex) {
+    // Complex gate: the non-switching pins must be held at levels that
+    // sensitize the switching subset.
+    std::vector<int> subset;
+    for (const InputEvent& ev : events) subset.push_back(ev.pin);
+    const auto stable = gate_.complex->sensitizingAssignment(subset);
+    if (!stable) {
+      throw std::invalid_argument(
+          "simulate: switching subset is not sensitizable on this gate");
+    }
+    for (int p = 0; p < gate_.pinCount(); ++p) {
+      const bool switching =
+          std::find(subset.begin(), subset.end(), p) != subset.end();
+      if (!switching) {
+        complexFixture_->setInputConstant(
+            p, (*stable)[static_cast<std::size_t>(p)] ? vdd : 0.0);
+      }
+    }
+    for (const InputEvent& ev : events) {
+      InputEvent shifted = ev;
+      shifted.tRef += shift;
+      complexFixture_->setInput(ev.pin, makeInputWave(shifted, vdd, th));
+    }
+  } else {
+    fixture_->setAllNonControlling();
+    for (const InputEvent& ev : events) {
+      InputEvent shifted = ev;
+      shifted.tRef += shift;
+      fixture_->setInput(ev.pin, makeInputWave(shifted, vdd, th));
+    }
+  }
+
+  // Settle window after the last ramp completes: gate delays here are well
+  // under a nanosecond, but slow ramps load the output for their full span.
+  const double tstop = (maxEnd + shift) + std::max(3e-9, 2.0 * maxTau);
+
+  ++simCount_;
+  SimOutcome o;
+  const wave::Waveform raw = gate_.complex
+                                 ? complexFixture_->runOutput(tstop, dvMax)
+                                 : fixture_->runOutput(tstop, dvMax);
+  o.out = raw.shifted(-shift);
+  o.minOutputVoltage = o.out.minValue();
+  o.maxOutputVoltage = o.out.maxValue();
+
+  const InputEvent& ref = events[refIdx];
+  const wave::Edge outEdge = gate_.spec.outputEdgeFor(ref.edge);
+  if (auto tOut = wave::outputRefTime(o.out, outEdge, th, o.out.startTime())) {
+    o.outputRefTime = tOut;
+    o.delay = *tOut - ref.tRef;
+  }
+  o.transitionTime = wave::transitionTime(o.out, outEdge, th);
+  return o;
+}
+
+SimOutcome GateSimulator::simulateSingle(const InputEvent& ev, double dvMax) {
+  return simulate({ev}, 0, dvMax);
+}
+
+}  // namespace prox::model

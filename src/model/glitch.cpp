@@ -1,0 +1,150 @@
+#include "model/glitch.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace prox::model {
+
+GlitchAnalyzer::GlitchAnalyzer(GateSimulator& sim) : sim_(sim) {}
+
+GlitchOutcome GlitchAnalyzer::analyze(const InputEvent& falling,
+                                      const InputEvent& rising) {
+  if (falling.edge != wave::Edge::Falling || rising.edge != wave::Edge::Rising) {
+    throw std::invalid_argument("GlitchAnalyzer: events must be falling+rising");
+  }
+  const SimOutcome o = sim_.simulate({falling, rising}, 0);
+  const bool norLike = sim_.gate().spec.type == cells::GateType::Nor;
+
+  GlitchOutcome g;
+  g.out = o.out;
+  if (norLike) {
+    // NOR: output rests low; the glitch is a positive excursion, complete
+    // once it passes V_ih.
+    g.extremeVoltage = o.maxOutputVoltage;
+    g.completed = g.extremeVoltage >= sim_.thresholds().vih;
+  } else {
+    // NAND: negative-going glitch, complete once it dips below V_il.
+    g.extremeVoltage = o.minOutputVoltage;
+    g.completed = g.extremeVoltage <= sim_.thresholds().vil;
+  }
+  return g;
+}
+
+GlitchModel GlitchModel::characterize(GateSimulator& sim, int fallPin,
+                                      double tauFall, int risePin,
+                                      double tauRise,
+                                      const std::vector<double>& sepGrid) {
+  if (sepGrid.size() < 2) {
+    throw std::invalid_argument("GlitchModel: need at least two separations");
+  }
+  if (!std::is_sorted(sepGrid.begin(), sepGrid.end())) {
+    throw std::invalid_argument("GlitchModel: separations must ascend");
+  }
+  GlitchAnalyzer analyzer(sim);
+  GlitchModel m;
+  m.norLike_ = sim.gate().spec.type == cells::GateType::Nor;
+  for (double s : sepGrid) {
+    InputEvent rise{risePin, wave::Edge::Rising, 0.0, tauRise};
+    InputEvent fall{fallPin, wave::Edge::Falling, s, tauFall};
+    const GlitchOutcome g = analyzer.analyze(fall, rise);
+    m.sep_.push_back(s);
+    m.v_.push_back(g.extremeVoltage);
+  }
+  return m;
+}
+
+double GlitchModel::extremeVoltage(double s) const {
+  if (sep_.empty()) throw std::runtime_error("GlitchModel: not characterized");
+  if (s <= sep_.front()) return v_.front();
+  if (s >= sep_.back()) return v_.back();
+  std::size_t hi = 1;
+  while (hi + 1 < sep_.size() && sep_[hi] < s) ++hi;
+  const double f = (s - sep_[hi - 1]) / (sep_[hi] - sep_[hi - 1]);
+  return v_[hi - 1] + f * (v_[hi] - v_[hi - 1]);
+}
+
+GlitchSurface GlitchSurface::characterize(GateSimulator& sim, int fallPin,
+                                          double tauFall, int risePin,
+                                          const std::vector<double>& tauRiseGrid,
+                                          const std::vector<double>& sepGrid) {
+  if (tauRiseGrid.empty() || sepGrid.size() < 2) {
+    throw std::invalid_argument("GlitchSurface: grids too small");
+  }
+  if (!std::is_sorted(tauRiseGrid.begin(), tauRiseGrid.end()) ||
+      !std::is_sorted(sepGrid.begin(), sepGrid.end())) {
+    throw std::invalid_argument("GlitchSurface: grids must ascend");
+  }
+  GlitchSurface g;
+  g.tau_ = tauRiseGrid;
+  g.sep_ = sepGrid;
+  g.v_.reserve(tauRiseGrid.size() * sepGrid.size());
+  for (double tauRise : tauRiseGrid) {
+    const GlitchModel row =
+        GlitchModel::characterize(sim, fallPin, tauFall, risePin, tauRise,
+                                  sepGrid);
+    g.v_.insert(g.v_.end(), row.voltages().begin(), row.voltages().end());
+  }
+  return g;
+}
+
+namespace {
+
+/// Locates x in an ascending grid: clamped lower index + fraction.
+std::pair<std::size_t, double> locate1d(const std::vector<double>& grid,
+                                        double x) {
+  if (grid.size() == 1 || x <= grid.front()) return {0, 0.0};
+  if (x >= grid.back()) return {grid.size() - 2, 1.0};
+  std::size_t hi = 1;
+  while (hi + 1 < grid.size() && grid[hi] < x) ++hi;
+  return {hi - 1, (x - grid[hi - 1]) / (grid[hi] - grid[hi - 1])};
+}
+
+}  // namespace
+
+double GlitchSurface::extremeVoltage(double tauRise, double sep) const {
+  if (v_.empty()) throw std::runtime_error("GlitchSurface: not characterized");
+  const auto [it, ft] = locate1d(tau_, tauRise);
+  const auto [is, fs] = locate1d(sep_, sep);
+  const std::size_t it1 = std::min(it + 1, tau_.size() - 1);
+  const std::size_t is1 = std::min(is + 1, sep_.size() - 1);
+  const double a = at(it, is) + fs * (at(it, is1) - at(it, is));
+  const double b = at(it1, is) + fs * (at(it1, is1) - at(it1, is));
+  return a + ft * (b - a);
+}
+
+std::optional<double> GlitchSurface::minimumValidSeparation(double tauRise,
+                                                            double level) const {
+  if (v_.empty()) throw std::runtime_error("GlitchSurface: not characterized");
+  // Downward crossing of `level` along the interpolated sep axis.
+  double prev = extremeVoltage(tauRise, sep_.front());
+  for (std::size_t i = 1; i < sep_.size(); ++i) {
+    const double cur = extremeVoltage(tauRise, sep_[i]);
+    if (prev > level && cur <= level) {
+      const double f = (level - prev) / (cur - prev);
+      return sep_[i - 1] + f * (sep_[i] - sep_[i - 1]);
+    }
+    prev = cur;
+  }
+  return std::nullopt;
+}
+
+std::optional<double> GlitchModel::minimumValidSeparation(double level) const {
+  if (sep_.empty()) throw std::runtime_error("GlitchModel: not characterized");
+  // With s = t(fall) - t(rise) ascending, the pulldown (NAND) conduction
+  // window grows with s, so the minimum voltage falls through V_il from
+  // above; the NOR pullup window shrinks with s, so the maximum voltage also
+  // falls through V_ih from above.  In both cases the boundary is the
+  // downward crossing of `level`: the NAND output completes its transition
+  // for s >= the returned separation, the NOR output for s <= it.
+  for (std::size_t i = 1; i < sep_.size(); ++i) {
+    const double a = v_[i - 1];
+    const double b = v_[i];
+    if (a > level && b <= level) {
+      const double f = (level - a) / (b - a);
+      return sep_[i - 1] + f * (sep_[i] - sep_[i - 1]);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace prox::model

@@ -1,0 +1,110 @@
+#pragma once
+// Inertial delay as a proximity effect (Section 6).
+//
+// On a NAND gate, a falling transition on one input close to a rising
+// transition on another produces a partial negative-going glitch at the
+// output: the rising input enables the pulldown stack, but the falling input
+// blocks it shortly after.  The output "completes a transition" only when its
+// excursion passes the V_il threshold -- which requires a minimum separation
+// between the two opposite transitions.  That minimum separation *is* the
+// gate's inertial delay, recovered here from the same macromodel machinery:
+// a one-argument (separation) macromodel for the extreme output voltage,
+// solved for the V_il (V_ih for NOR) crossing.
+
+#include <optional>
+#include <vector>
+
+#include "model/gate_sim.hpp"
+
+namespace prox::model {
+
+/// Raw measurement of one opposite-transition scenario.
+struct GlitchOutcome {
+  double extremeVoltage = 0.0;  ///< min output voltage (max for NOR)
+  bool completed = false;       ///< excursion passed the Section 2 threshold
+  wave::Waveform out;
+};
+
+/// Simulation-backed analyzer for opposite-transition input pairs.
+class GlitchAnalyzer {
+ public:
+  explicit GlitchAnalyzer(GateSimulator& sim);
+
+  /// Simulates a falling transition on @p falling and a rising one on
+  /// @p rising (the two events carry their own times/taus).  Remaining
+  /// inputs sit at the non-controlling level.
+  GlitchOutcome analyze(const InputEvent& falling, const InputEvent& rising);
+
+ private:
+  GateSimulator& sim_;
+};
+
+/// Characterized macromodel: extreme output voltage as a function of the
+/// separation s = t(falling) - t(rising) for fixed transition times,
+/// mirroring the paper's "macromodel for the minimum voltage at the output
+/// which will be similar to (3.9)".
+class GlitchModel {
+ public:
+  GlitchModel() = default;
+
+  /// Characterizes the model over @p sepGrid (ascending separations).
+  static GlitchModel characterize(GateSimulator& sim, int fallPin,
+                                  double tauFall, int risePin, double tauRise,
+                                  const std::vector<double>& sepGrid);
+
+  /// Interpolated extreme output voltage at separation @p s.
+  double extremeVoltage(double s) const;
+
+  /// Minimum separation (falling after rising) at which the output completes
+  /// its transition, i.e. the extreme voltage reaches @p level (the gate's
+  /// V_il for NAND, V_ih for NOR).  nullopt when the characterized range
+  /// never completes.  This is the paper's inertial-delay quantity.
+  std::optional<double> minimumValidSeparation(double level) const;
+
+  const std::vector<double>& separations() const { return sep_; }
+  const std::vector<double>& voltages() const { return v_; }
+  bool norLike() const { return norLike_; }
+
+ private:
+  std::vector<double> sep_;
+  std::vector<double> v_;
+  bool norLike_ = false;
+};
+
+/// Two-dimensional glitch macromodel: extreme output voltage over
+/// (enabling transition time, separation) -- the Section 6 "macromodel ...
+/// similar to (3.9)" with the non-temporal parameters fixed by the cell.
+/// Bilinear interpolation; the inertial delay becomes a *function* of the
+/// enabling slope.
+class GlitchSurface {
+ public:
+  GlitchSurface() = default;
+
+  /// Characterizes over the cross product of @p tauRiseGrid x @p sepGrid
+  /// (both ascending).
+  static GlitchSurface characterize(GateSimulator& sim, int fallPin,
+                                    double tauFall, int risePin,
+                                    const std::vector<double>& tauRiseGrid,
+                                    const std::vector<double>& sepGrid);
+
+  /// Interpolated extreme output voltage.
+  double extremeVoltage(double tauRise, double sep) const;
+
+  /// Minimum valid separation at the given enabling transition time: where
+  /// the interpolated extreme voltage crosses @p level downward in sep.
+  std::optional<double> minimumValidSeparation(double tauRise,
+                                               double level) const;
+
+  const std::vector<double>& tauRiseGrid() const { return tau_; }
+  const std::vector<double>& sepGrid() const { return sep_; }
+
+ private:
+  double at(std::size_t it, std::size_t is) const {
+    return v_[it * sep_.size() + is];
+  }
+  std::vector<double> tau_;
+  std::vector<double> sep_;
+  std::vector<double> v_;  ///< [tau-major]
+};
+
+}  // namespace prox::model

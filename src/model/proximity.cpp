@@ -1,0 +1,193 @@
+#include "model/proximity.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace prox::model {
+
+namespace {
+double lookupCorrection(const std::vector<double>& table,
+                        std::size_t inputCount) {
+  if (inputCount < 2 || table.empty()) return 0.0;
+  const std::size_t idx = std::min(inputCount - 2, table.size() - 1);
+  return table[idx];
+}
+}  // namespace
+
+double StepCorrection::delayFor(std::size_t inputCount,
+                                wave::Edge inputEdge) const {
+  return lookupCorrection(
+      inputEdge == wave::Edge::Rising ? delayErrorRising : delayErrorFalling,
+      inputCount);
+}
+
+double StepCorrection::transitionFor(std::size_t inputCount,
+                                     wave::Edge inputEdge) const {
+  return lookupCorrection(inputEdge == wave::Edge::Rising
+                              ? transitionErrorRising
+                              : transitionErrorFalling,
+                          inputCount);
+}
+
+ProximityCalculator::ProximityCalculator(cells::GateType gateType,
+                                         const SingleInputModelSet& singles,
+                                         const DualInputModel& dual,
+                                         StepCorrection correction,
+                                         ProximityOptions options)
+    : ProximityCalculator(senseResolverFor(gateType), singles, dual,
+                          std::move(correction), options) {}
+
+ProximityCalculator::ProximityCalculator(SenseResolver sense,
+                                         const SingleInputModelSet& singles,
+                                         const DualInputModel& dual,
+                                         StepCorrection correction,
+                                         ProximityOptions options)
+    : sense_(std::move(sense)),
+      singles_(singles),
+      dual_(dual),
+      correction_(std::move(correction)),
+      options_(options) {}
+
+ProximityResult ProximityCalculator::compute(
+    const std::vector<InputEvent>& events) const {
+  if (events.empty()) {
+    throw std::invalid_argument("ProximityCalculator: no events");
+  }
+  for (const InputEvent& ev : events) {
+    if (ev.edge != events.front().edge) {
+      throw std::invalid_argument(
+          "ProximityCalculator: mixed transition directions (use GlitchModel)");
+    }
+  }
+
+  const DominanceSense sense = sense_(events);
+  std::vector<std::size_t> order;
+  if (options_.orderByDominance) {
+    order = dominanceOrder(events, singles_, sense);
+  } else {
+    order.resize(events.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return events[a].tRef < events[b].tRef;
+    });
+  }
+  const InputEvent& y1 = events[order[0]];
+  const SingleInputModel& m1 = singles_.at(y1.pin, y1.edge);
+  const double d1 = m1.delay(y1.tau);     // Delta_{y1}^{(1)}
+  const double t1 = m1.transition(y1.tau);  // tau_{y1}^{(1)}
+
+  ProximityResult res;
+  res.dominantPin = y1.pin;
+  res.processedPins.push_back(y1.pin);
+
+  double dCum = d1;  // Delta^{(i-1)} running value
+  double tCum = t1;
+  // Delta^{(m-1)}: cumulative delay *before* the last processed input was
+  // folded in -- the corrective term's decay length.
+  double dBeforeLast = d1;
+  double sLast = 0.0;  // s_{y1, ym} of the last processed input
+
+  for (std::size_t idx = 1; idx < order.size(); ++idx) {
+    const InputEvent& yi = events[order[idx]];
+    const double s = yi.tRef - y1.tRef;  // s_{y1, yi}
+
+    DualQuery q;
+    q.refPin = y1.pin;
+    q.otherPin = yi.pin;
+    q.edge = y1.edge;
+    q.tauRef = y1.tau;
+    q.tauOther = yi.tau;
+
+    // Transition-time perturbation: the paper's "slight modification of the
+    // algorithm".  Two differences from the delay chain, both validated
+    // against the simulator: the equivalent waveform is aligned on the
+    // output's *completion* time (Delta + tau) instead of its crossing, and
+    // ratios compose multiplicatively -- transition-time perturbations are
+    // large (a second parallel path can halve the transition), where the
+    // additive form double-counts.
+    const auto foldTransition = [&] {
+      DualQuery qt = q;
+      qt.sep = s + (d1 + t1) - (dCum + tCum);
+      const double tRatio = dual_.transitionRatio(qt);
+      if (options_.transitionComposition == TransitionComposition::Additive) {
+        tCum += t1 * (tRatio - 1.0);
+      } else {
+        tCum *= tRatio;
+      }
+    };
+
+    if (s < dCum) {
+      // Inside the delay proximity window: apply eq (4.4)/(4.5) with the
+      // equivalent-waveform shift.
+      q.sep = s + d1 - dCum;  // separation measured from y*
+      foldTransition();
+      const double ratio = dual_.delayRatio(q);
+      dBeforeLast = dCum;
+      dCum += d1 * (ratio - 1.0);
+      sLast = s;
+      res.processedPins.push_back(yi.pin);
+    } else if (s < dCum + tCum) {
+      // Outside the delay window but inside the transition-time window
+      // (Section 3: only for s > Delta^(1) + tau^(1) can the effect on the
+      // output transition time be ignored).
+      foldTransition();
+      res.transitionOnlyPins.push_back(yi.pin);
+    } else {
+      // Step 3's loop condition: with earliest-first ordering the first
+      // input outside the window stops the processing (later inputs are
+      // assumed unimportant).  With latest-first ordering (series stacks)
+      // the remaining inputs are *earlier*, not later, so they are skipped
+      // individually rather than cutting the loop.
+      if (sense == DominanceSense::EarliestFirst) break;
+    }
+  }
+
+  // Corrective term (Section 4): bounded by the simultaneous-step error,
+  // fading linearly to zero at s_{y1,ym} = Delta^{(m-1)}.
+  if (options_.applyCorrection && res.processedPins.size() >= 2 &&
+      !correction_.empty()) {
+    // With latest-first ordering the "spreading apart" direction is negative
+    // separation, so the fade mirrors.
+    const double sEff =
+        sense == DominanceSense::EarliestFirst ? sLast : -sLast;
+    const double weight =
+        sEff <= 0.0
+            ? 1.0
+            : std::max(0.0, 1.0 - sEff / std::max(dBeforeLast, 1e-18));
+    const double dc =
+        correction_.delayFor(res.processedPins.size(), y1.edge) * weight;
+    dCum += dc;
+    if (options_.applyTransitionCorrection) {
+      tCum += correction_.transitionFor(res.processedPins.size(), y1.edge) *
+              weight;
+    }
+    res.correctionApplied = dc;
+  }
+
+  res.delay = dCum;
+  res.transitionTime = std::max(tCum, 0.0);
+  res.outputRefTime = y1.tRef + dCum;
+  return res;
+}
+
+ProximityResult ProximityCalculator::computeClassic(
+    const std::vector<InputEvent>& events) const {
+  if (events.empty()) {
+    throw std::invalid_argument("ProximityCalculator: no events");
+  }
+  const std::vector<std::size_t> order =
+      dominanceOrder(events, singles_, sense_(events));
+  const InputEvent& y1 = events[order[0]];
+  const SingleInputModel& m1 = singles_.at(y1.pin, y1.edge);
+
+  ProximityResult res;
+  res.dominantPin = y1.pin;
+  res.processedPins.push_back(y1.pin);
+  res.delay = m1.delay(y1.tau);
+  res.transitionTime = m1.transition(y1.tau);
+  res.outputRefTime = y1.tRef + res.delay;
+  return res;
+}
+
+}  // namespace prox::model

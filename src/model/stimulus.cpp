@@ -1,0 +1,21 @@
+#include "model/stimulus.hpp"
+
+namespace prox::model {
+
+double rampStart(const InputEvent& ev, double vdd, const wave::Thresholds& th) {
+  if (ev.edge == wave::Edge::Rising) {
+    // v(t) = vdd * (t - t0) / tau crosses V_il at t0 + tau * vil / vdd.
+    return ev.tRef - ev.tau * (th.vil / vdd);
+  }
+  // v(t) = vdd * (1 - (t - t0) / tau) crosses V_ih at t0 + tau * (1 - vih/vdd).
+  return ev.tRef - ev.tau * (1.0 - th.vih / vdd);
+}
+
+wave::Waveform makeInputWave(const InputEvent& ev, double vdd,
+                             const wave::Thresholds& th) {
+  const double t0 = rampStart(ev, vdd, th);
+  return ev.edge == wave::Edge::Rising ? wave::risingRamp(t0, ev.tau, vdd)
+                                       : wave::fallingRamp(t0, ev.tau, vdd);
+}
+
+}  // namespace prox::model

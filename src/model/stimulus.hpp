@@ -1,0 +1,33 @@
+#pragma once
+// Input stimulus description used by the proximity model and every
+// experiment: a transition on one pin, characterized by its direction, its
+// full-swing transition time tau, and the time tRef at which it crosses the
+// *reference threshold* (V_il for rising inputs, V_ih for falling inputs --
+// the paper's Section 3 convention for measuring separations).
+
+#include "waveform/measure.hpp"
+#include "waveform/pwl.hpp"
+
+namespace prox::model {
+
+struct InputEvent {
+  int pin = 0;
+  wave::Edge edge = wave::Edge::Rising;
+  double tRef = 0.0;    ///< reference-threshold crossing time [s]
+  double tau = 100e-12; ///< full-swing transition time [s]
+};
+
+/// Separation s_ij from event @p i to event @p j (positive when j is later).
+inline double separation(const InputEvent& i, const InputEvent& j) {
+  return j.tRef - i.tRef;
+}
+
+/// Time at which the full-swing ramp realizing @p ev must start so that it
+/// crosses its reference threshold exactly at ev.tRef.
+double rampStart(const InputEvent& ev, double vdd, const wave::Thresholds& th);
+
+/// The full-swing PWL waveform realizing @p ev.
+wave::Waveform makeInputWave(const InputEvent& ev, double vdd,
+                             const wave::Thresholds& th);
+
+}  // namespace prox::model

@@ -1,0 +1,54 @@
+#include "spice/capacitor.hpp"
+
+#include <stdexcept>
+
+#include "spice/stamp_util.hpp"
+
+namespace prox::spice {
+
+Capacitor::Capacitor(std::string name, NodeId n1, NodeId n2, double farads)
+    : Device(std::move(name)), n1_(n1), n2_(n2), farads_(farads) {
+  if (farads < 0.0) throw std::invalid_argument("Capacitor: negative value");
+}
+
+double Capacitor::voltageAcross(const linalg::Vector& x) const {
+  const double v1 = n1_ == kGround ? 0.0 : x[static_cast<std::size_t>(n1_ - 1)];
+  const double v2 = n2_ == kGround ? 0.0 : x[static_cast<std::size_t>(n2_ - 1)];
+  return v1 - v2;
+}
+
+void Capacitor::stamp(const StampArgs& a) {
+  if (!a.transient || a.dt <= 0.0 || farads_ == 0.0) {
+    return;  // open circuit in DC; zero-valued caps never conduct
+  }
+  // Companion model: i(t) = Geq * v(t) - Ieq, a conductance in parallel with
+  // a current source determined by the previous timepoint.
+  //   trapezoidal:     Geq = 2C/h, Ieq = Geq * vPrev + iPrev
+  //   backward Euler:  Geq =  C/h, Ieq = Geq * vPrev
+  lastTrap_ = a.trapezoidal;
+  const double geq = (a.trapezoidal ? 2.0 : 1.0) * farads_ / a.dt;
+  const double ieq = geq * vPrev_ + (a.trapezoidal ? iPrev_ : 0.0);
+  detail::stampConductance(a.g, n1_, n2_, geq);
+  detail::stampCurrent(a.rhs, n1_, ieq);
+  detail::stampCurrent(a.rhs, n2_, -ieq);
+}
+
+void Capacitor::startTransient(const linalg::Vector& x) {
+  vPrev_ = voltageAcross(x);
+  iPrev_ = 0.0;  // DC steady state: no capacitor current
+}
+
+void Capacitor::acceptStep(const linalg::Vector& x, double /*time*/, double dt) {
+  if (dt <= 0.0 || farads_ == 0.0) return;
+  const double vNew = voltageAcross(x);
+  // Recover the branch current consistent with the companion used by the most
+  // recent stamp() for this step (trapezoidal or backward Euler).
+  if (lastTrap_) {
+    iPrev_ = (2.0 * farads_ / dt) * (vNew - vPrev_) - iPrev_;
+  } else {
+    iPrev_ = (farads_ / dt) * (vNew - vPrev_);
+  }
+  vPrev_ = vNew;
+}
+
+}  // namespace prox::spice

@@ -1,0 +1,34 @@
+#pragma once
+// Linear two-terminal capacitor with trapezoidal / backward-Euler companion
+// models for transient analysis.  Open circuit in DC analyses.
+
+#include "spice/circuit.hpp"
+
+namespace prox::spice {
+
+class Capacitor : public Device {
+ public:
+  /// @p farads must be non-negative.
+  Capacitor(std::string name, NodeId n1, NodeId n2, double farads);
+
+  void stamp(const StampArgs& a) override;
+  void startTransient(const linalg::Vector& x) override;
+  void acceptStep(const linalg::Vector& x, double time, double dt) override;
+
+  double capacitance() const { return farads_; }
+
+  /// Capacitor voltage (n1 - n2) at the last accepted step.
+  double storedVoltage() const { return vPrev_; }
+
+ private:
+  double voltageAcross(const linalg::Vector& x) const;
+
+  NodeId n1_;
+  NodeId n2_;
+  double farads_;
+  double vPrev_ = 0.0;  ///< voltage at the last accepted timepoint
+  double iPrev_ = 0.0;  ///< current at the last accepted timepoint (n1 -> n2)
+  bool lastTrap_ = true;  ///< integration method used by the latest stamp()
+};
+
+}  // namespace prox::spice

@@ -1,0 +1,54 @@
+#include "spice/circuit.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace prox::spice {
+
+NodeId Circuit::node(const std::string& name) {
+  if (name == "0" || name == "gnd" || name == "GND") return kGround;
+  auto it = nodesByName_.find(name);
+  if (it != nodesByName_.end()) return it->second;
+  const NodeId id = static_cast<NodeId>(nodeNames_.size());
+  nodeNames_.push_back(name);
+  nodesByName_.emplace(name, id);
+  return id;
+}
+
+std::optional<NodeId> Circuit::findNode(const std::string& name) const {
+  if (name == "0" || name == "gnd" || name == "GND") return kGround;
+  auto it = nodesByName_.find(name);
+  if (it == nodesByName_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Circuit::finalize() {
+  if (!dirty_) return;
+  int aux = voltageUnknownCount();
+  for (const auto& dev : devices_) {
+    const int n = dev->auxVarCount();
+    if (n > 0) {
+      dev->assignAuxIndices(aux);
+      aux += n;
+    }
+  }
+  unknownCount_ = aux;
+  dirty_ = false;
+}
+
+double Circuit::nodeVoltage(const linalg::Vector& x, NodeId n) const {
+  if (n == kGround) return 0.0;
+  return x[static_cast<std::size_t>(unknownIndex(n))];
+}
+
+std::vector<double> Circuit::breakpoints() const {
+  std::vector<double> bp;
+  for (const auto& dev : devices_) dev->collectBreakpoints(bp);
+  std::sort(bp.begin(), bp.end());
+  bp.erase(std::unique(bp.begin(), bp.end(),
+                       [](double a, double b) { return std::fabs(a - b) < 1e-18; }),
+           bp.end());
+  return bp;
+}
+
+}  // namespace prox::spice

@@ -1,0 +1,56 @@
+#include "spice/dcsweep.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace prox::spice {
+
+wave::Waveform DcSweepResult::nodeCurve(const Circuit& ckt, NodeId node) const {
+  wave::Waveform w;
+  for (std::size_t i = 0; i < sweepValues.size(); ++i) {
+    w.append(sweepValues[i], ckt.nodeVoltage(solutions[i], node));
+  }
+  return w;
+}
+
+DcSweepResult dcSweep(Circuit& ckt, VoltageSource& src, double from, double to,
+                      double step, const OpOptions& opt) {
+  if (step <= 0.0) throw std::invalid_argument("dcSweep: step must be positive");
+  ckt.finalize();
+
+  DcSweepResult result;
+  const double dir = to >= from ? 1.0 : -1.0;
+  const int points = static_cast<int>(std::floor(std::fabs(to - from) / step)) + 1;
+
+  StampContext sc;
+  sc.time = opt.time;
+  linalg::Vector x(static_cast<std::size_t>(ckt.unknownCount()), 0.0);
+  bool haveSeed = false;
+
+  for (int i = 0; i < points; ++i) {
+    const double v = from + dir * step * i;
+    src.setDc(v);
+    bool solved = false;
+    if (haveSeed) {
+      linalg::Vector trial = x;
+      if (solveNewton(ckt, trial, sc, opt.newton).converged) {
+        x = trial;
+        solved = true;
+      }
+    }
+    if (!solved) {
+      auto sol = operatingPoint(ckt, opt, haveSeed ? &x : nullptr);
+      if (!sol) {
+        throw std::runtime_error("dcSweep: unsolvable point at " +
+                                 std::to_string(v) + " V");
+      }
+      x = *sol;
+    }
+    haveSeed = true;
+    result.sweepValues.push_back(v);
+    result.solutions.push_back(x);
+  }
+  return result;
+}
+
+}  // namespace prox::spice

@@ -1,0 +1,28 @@
+#pragma once
+// DC sweep of an independent voltage source with solution continuation.
+// This is the workhorse behind VTC extraction (Section 2 of the paper).
+
+#include <vector>
+
+#include "spice/op.hpp"
+#include "spice/vsource.hpp"
+#include "waveform/waveform.hpp"
+
+namespace prox::spice {
+
+struct DcSweepResult {
+  std::vector<double> sweepValues;          ///< source values, in sweep order
+  std::vector<linalg::Vector> solutions;    ///< one MNA solution per point
+
+  /// Extracts the transfer curve sweep-value -> voltage(node).
+  wave::Waveform nodeCurve(const Circuit& ckt, NodeId node) const;
+};
+
+/// Sweeps @p src from @p from to @p to in increments of @p step (sign is
+/// inferred).  Each point seeds the next (continuation), with a full
+/// operating-point recovery when plain Newton fails mid-sweep.
+/// Throws std::runtime_error if any point is unsolvable.
+DcSweepResult dcSweep(Circuit& ckt, VoltageSource& src, double from, double to,
+                      double step, const OpOptions& opt = {});
+
+}  // namespace prox::spice

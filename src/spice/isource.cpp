@@ -1,0 +1,40 @@
+#include "spice/isource.hpp"
+
+#include <stdexcept>
+
+#include "spice/stamp_util.hpp"
+
+namespace prox::spice {
+
+CurrentSource::CurrentSource(std::string name, NodeId np, NodeId nn, double amps)
+    : Device(std::move(name)), np_(np), nn_(nn), dc_(amps) {}
+
+CurrentSource::CurrentSource(std::string name, NodeId np, NodeId nn,
+                             wave::Waveform wave)
+    : Device(std::move(name)), np_(np), nn_(nn), isPwl_(true),
+      wave_(std::move(wave)) {
+  if (wave_.empty()) throw std::invalid_argument("CurrentSource: empty PWL");
+}
+
+double CurrentSource::valueAt(double t) const {
+  return isPwl_ ? wave_.value(t) : dc_;
+}
+
+void CurrentSource::setDc(double amps) {
+  isPwl_ = false;
+  dc_ = amps;
+}
+
+void CurrentSource::stamp(const StampArgs& a) {
+  // Positive current leaves np (injected into nn).
+  const double i = a.srcScale * valueAt(a.time);
+  detail::stampCurrent(a.rhs, np_, -i);
+  detail::stampCurrent(a.rhs, nn_, i);
+}
+
+void CurrentSource::collectBreakpoints(std::vector<double>& out) const {
+  if (!isPwl_) return;
+  for (const auto& s : wave_.samples()) out.push_back(s.t);
+}
+
+}  // namespace prox::spice

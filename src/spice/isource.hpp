@@ -1,0 +1,33 @@
+#pragma once
+// Independent current source with DC and PWL drive.  Pure RHS stamp (no
+// auxiliary unknown): current flows out of the positive node, through the
+// external circuit, into the negative node.
+
+#include "spice/circuit.hpp"
+#include "waveform/waveform.hpp"
+
+namespace prox::spice {
+
+class CurrentSource : public Device {
+ public:
+  /// DC source: @p amps flows np -> (external circuit) -> nn.
+  CurrentSource(std::string name, NodeId np, NodeId nn, double amps);
+
+  /// PWL source following @p wave.
+  CurrentSource(std::string name, NodeId np, NodeId nn, wave::Waveform wave);
+
+  void stamp(const StampArgs& a) override;
+  void collectBreakpoints(std::vector<double>& out) const override;
+
+  double valueAt(double t) const;
+  void setDc(double amps);
+
+ private:
+  NodeId np_;
+  NodeId nn_;
+  bool isPwl_ = false;
+  double dc_ = 0.0;
+  wave::Waveform wave_;
+};
+
+}  // namespace prox::spice

@@ -1,0 +1,184 @@
+#include "spice/mosfet.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "spice/stamp_util.hpp"
+
+namespace prox::spice {
+
+namespace {
+// Tiny drain-source conductance stamped unconditionally.  Keeps internal
+// stack nodes weakly connected when every device around them is cut off,
+// which is essential for DC convergence of series NMOS/PMOS stacks.
+constexpr double kGminDs = 1e-12;
+}  // namespace
+
+MosfetOperatingPoint evalLevel1(const MosfetParams& p, double vgs, double vds,
+                                double vbs) {
+  MosfetOperatingPoint op;
+  // Body effect: vt = vt0 + gamma * (sqrt(phi - vbs) - sqrt(phi)); vbs <= 0
+  // raises the threshold.  Clamp the sqrt argument for strong forward bias.
+  const double phiEff = std::max(p.phi, 1e-3);
+  const double arg = std::max(phiEff - vbs, 1e-6);
+  const double sArg = std::sqrt(arg);
+  const double vt = p.vt0 + p.gamma * (sArg - std::sqrt(phiEff));
+  const double dvtDvbs = -p.gamma / (2.0 * sArg);  // d vt / d vbs (<= 0)
+
+  const double beta = p.kp * p.w / p.l;
+  const double vov = vgs - vt;  // overdrive
+
+  if (vov <= 0.0) {
+    op.region = MosfetOperatingPoint::Region::Cutoff;
+    op.id = 0.0;
+    op.gm = 0.0;
+    op.gds = 0.0;
+    op.gmb = 0.0;
+    return op;
+  }
+
+  const double clm = 1.0 + p.lambda * vds;
+  if (vds >= vov) {
+    // Saturation: id = (beta/2) vov^2 (1 + lambda vds)
+    op.region = MosfetOperatingPoint::Region::Saturation;
+    op.id = 0.5 * beta * vov * vov * clm;
+    op.gm = beta * vov * clm;
+    op.gds = 0.5 * beta * vov * vov * p.lambda;
+  } else {
+    // Triode: id = beta (vov vds - vds^2/2)(1 + lambda vds)
+    op.region = MosfetOperatingPoint::Region::Triode;
+    const double core = vov * vds - 0.5 * vds * vds;
+    op.id = beta * core * clm;
+    op.gm = beta * vds * clm;
+    op.gds = beta * (vov - vds) * clm + beta * core * p.lambda;
+  }
+  // gmb = d id / d vbs = (d id / d vov) * (-d vt / d vbs) = gm * (-dvtDvbs)
+  op.gmb = op.gm * (-dvtDvbs);
+  return op;
+}
+
+MosfetOperatingPoint evalAlphaPower(const MosfetParams& p, double vgs,
+                                    double vds, double vbs) {
+  MosfetOperatingPoint op;
+  const double phiEff = std::max(p.phi, 1e-3);
+  const double arg = std::max(phiEff - vbs, 1e-6);
+  const double sArg = std::sqrt(arg);
+  const double vt = p.vt0 + p.gamma * (sArg - std::sqrt(phiEff));
+  const double dvtDvbs = -p.gamma / (2.0 * sArg);
+
+  const double vov = vgs - vt;
+  if (vov <= 0.0) {
+    op.region = MosfetOperatingPoint::Region::Cutoff;
+    return op;
+  }
+
+  const double wl = p.w / p.l;
+  const double base = wl * p.pc * std::pow(vov, p.alpha);  // drive at this vov
+  const double vd0 = std::max(p.pv * std::pow(vov, 0.5 * p.alpha), 1e-9);
+  const double clm = 1.0 + p.lambda * vds;
+
+  if (vds >= vd0) {
+    op.region = MosfetOperatingPoint::Region::Saturation;
+    op.id = base * clm;
+    op.gm = p.alpha * base / vov * clm;
+    op.gds = base * p.lambda;
+  } else {
+    // Quadratic interpolation to the origin: current and both first
+    // derivatives are continuous at vds = vd0.
+    op.region = MosfetOperatingPoint::Region::Triode;
+    const double u = vds / vd0;
+    op.id = base * clm * (2.0 - u) * u;
+    op.gds = base * (p.lambda * (2.0 - u) * u + clm * (2.0 - 2.0 * u) / vd0);
+    op.gm = p.alpha * base * clm * u / vov;
+  }
+  op.gmb = op.gm * (-dvtDvbs);
+  return op;
+}
+
+MosfetOperatingPoint evalMosfet(const MosfetParams& p, double vgs, double vds,
+                                double vbs) {
+  return p.equation == MosEquation::AlphaPower ? evalAlphaPower(p, vgs, vds, vbs)
+                                               : evalLevel1(p, vgs, vds, vbs);
+}
+
+Mosfet::Mosfet(std::string name, NodeId d, NodeId g, NodeId s, NodeId b,
+               MosfetParams params)
+    : Device(std::move(name)), d_(d), g_(g), s_(s), b_(b), params_(params) {}
+
+MosfetOperatingPoint Mosfet::evaluate(double vd, double vg, double vs, double vb,
+                                      bool* swapped) const {
+  const double sigma = params_.nmos ? 1.0 : -1.0;
+  // Mirror PMOS into the NMOS convention.
+  const double md = sigma * vd;
+  const double mg = sigma * vg;
+  const double ms = sigma * vs;
+  const double mb = sigma * vb;
+  // The level-1 model assumes vds >= 0; exchange drain/source otherwise.
+  const bool swap = md < ms;
+  if (swapped != nullptr) *swapped = swap;
+  const double vdEff = swap ? ms : md;
+  const double vsEff = swap ? md : ms;
+
+  MosfetParams p = params_;
+  p.vt0 = params_.nmos ? params_.vt0 : -params_.vt0;  // NMOS-convention vt0
+  return evalMosfet(p, mg - vsEff, vdEff - vsEff, mb - vsEff);
+}
+
+void Mosfet::stamp(const StampArgs& a) {
+  const auto volt = [&](NodeId n) -> double {
+    return n == kGround ? 0.0 : a.x[static_cast<std::size_t>(n - 1)];
+  };
+  const double vd = volt(d_);
+  const double vg = volt(g_);
+  const double vs = volt(s_);
+  const double vb = volt(b_);
+
+  bool swapped = false;
+  const MosfetOperatingPoint op = evaluate(vd, vg, vs, vb, &swapped);
+
+  const double sigma = params_.nmos ? 1.0 : -1.0;
+  // Effective (post-swap) drain/source in *actual* node space.
+  const NodeId de = swapped ? s_ : d_;
+  const NodeId se = swapped ? d_ : s_;
+  const double vde = swapped ? vs : vd;
+  const double vse = swapped ? vd : vs;
+
+  // Channel current leaving the effective drain, in actual sign convention.
+  const double idActual = sigma * op.id;
+
+  // Linearization in actual voltages (the sign mirrors cancel in the
+  // conductances): I = gds*vDe + gm*vG + gmb*vB - (gds+gm+gmb)*vSe + C.
+  const double gds = op.gds + kGminDs;
+  const double gm = op.gm;
+  const double gmb = op.gmb;
+  const double c = idActual - (gds * vde + gm * vg + gmb * vb -
+                               (gds + gm + gmb) * vse);
+
+  detail::stampEntry(a.g, de, de, gds);
+  detail::stampEntry(a.g, de, g_, gm);
+  detail::stampEntry(a.g, de, b_, gmb);
+  detail::stampEntry(a.g, de, se, -(gds + gm + gmb));
+
+  detail::stampEntry(a.g, se, de, -gds);
+  detail::stampEntry(a.g, se, g_, -gm);
+  detail::stampEntry(a.g, se, b_, -gmb);
+  detail::stampEntry(a.g, se, se, gds + gm + gmb);
+
+  // Constant part moves to the RHS: G x = rhs with rhs holding injections.
+  detail::stampCurrent(a.rhs, de, -c);
+  detail::stampCurrent(a.rhs, se, c);
+}
+
+double Mosfet::drainCurrent(const Circuit& ckt, const linalg::Vector& x) const {
+  const double vd = ckt.nodeVoltage(x, d_);
+  const double vg = ckt.nodeVoltage(x, g_);
+  const double vs = ckt.nodeVoltage(x, s_);
+  const double vb = ckt.nodeVoltage(x, b_);
+  bool swapped = false;
+  const MosfetOperatingPoint op = evaluate(vd, vg, vs, vb, &swapped);
+  const double sigma = params_.nmos ? 1.0 : -1.0;
+  // op.id leaves the effective drain; map back to the physical drain.
+  return swapped ? -sigma * op.id : sigma * op.id;
+}
+
+}  // namespace prox::spice

@@ -1,0 +1,98 @@
+#pragma once
+// Level-1 (Shichman-Hodges) MOSFET with channel-length modulation and body
+// effect.  This is the device model generation that matches the paper's era
+// (0.8-1.2 um CMOS characterized with HSPICE level 1/2 decks) and captures
+// every mechanism the proximity model depends on:
+//   * series-stack blocking / parallel-path reinforcement (current equations),
+//   * threshold shift of stacked devices whose sources float above the rail
+//     (body effect, gamma),
+//   * finite output conductance in saturation (lambda).
+//
+// The device is symmetric: when v(d) < v(s) for an NMOS the roles of drain
+// and source are exchanged internally.  PMOS devices are handled by mirroring
+// all terminal voltages, evaluating the NMOS equations, and mirroring the
+// current back.
+
+#include "spice/circuit.hpp"
+
+namespace prox::spice {
+
+/// Drain-current equation family.
+enum class MosEquation {
+  Level1,      ///< Shichman-Hodges square law (long channel)
+  AlphaPower,  ///< Sakurai-Newton alpha-power law (velocity-saturated short
+               ///< channel; the paper's reference [14])
+};
+
+/// Process/geometry parameters for a MOSFET.
+struct MosfetParams {
+  bool nmos = true;      ///< true: n-channel, false: p-channel
+  MosEquation equation = MosEquation::Level1;
+  double w = 4e-6;       ///< channel width [m]
+  double l = 0.8e-6;     ///< channel length [m]
+  double kp = 60e-6;     ///< transconductance parameter mu*Cox [A/V^2]
+  double vt0 = 0.8;      ///< zero-bias threshold voltage [V] (negative for PMOS)
+  double lambda = 0.02;  ///< channel-length modulation [1/V]
+  double gamma = 0.0;    ///< body-effect coefficient [sqrt(V)]
+  double phi = 0.65;     ///< surface potential 2*phi_F [V]
+
+  // Alpha-power-law parameters (used when equation == AlphaPower).
+  double alpha = 1.3;    ///< velocity-saturation index (2 = square law)
+  double pc = 30e-6;     ///< drive-strength constant P_c [A/V^alpha] per W/L
+  double pv = 0.6;       ///< saturation-voltage constant P_v [V^(1-alpha/2)]
+};
+
+/// Small-signal linearization of the drain current at one bias point.
+struct MosfetOperatingPoint {
+  double id = 0.0;   ///< drain current (into drain terminal) [A]
+  double gm = 0.0;   ///< d id / d vgs
+  double gds = 0.0;  ///< d id / d vds
+  double gmb = 0.0;  ///< d id / d vbs
+  enum class Region { Cutoff, Triode, Saturation } region = Region::Cutoff;
+};
+
+/// Evaluates the level-1 equations for *NMOS-convention* terminal voltages
+/// (i.e. already mirrored for PMOS).  Exposed for unit testing.
+MosfetOperatingPoint evalLevel1(const MosfetParams& p, double vgs, double vds,
+                                double vbs);
+
+/// Evaluates the alpha-power-law equations (Sakurai-Newton, the paper's
+/// reference [14]) in NMOS convention:
+///   saturation (vds >= vd0): id = (W/L) Pc (vgs - vt)^alpha (1 + lambda vds)
+///   triode     (vds <  vd0): id = id_sat(vd0) * (2 - vds/vd0) * (vds/vd0)
+/// with vd0 = Pv (vgs - vt)^(alpha/2).  Current and derivatives are
+/// continuous across the boundary.  Exposed for unit testing.
+MosfetOperatingPoint evalAlphaPower(const MosfetParams& p, double vgs,
+                                    double vds, double vbs);
+
+/// Dispatches on p.equation.
+MosfetOperatingPoint evalMosfet(const MosfetParams& p, double vgs, double vds,
+                                double vbs);
+
+class Mosfet : public Device {
+ public:
+  Mosfet(std::string name, NodeId d, NodeId g, NodeId s, NodeId b,
+         MosfetParams params);
+
+  void stamp(const StampArgs& a) override;
+
+  const MosfetParams& params() const { return params_; }
+
+  /// Drain current (positive into the drain) at solution @p x.
+  double drainCurrent(const Circuit& ckt, const linalg::Vector& x) const;
+
+  /// Strength parameter K = (1/2) mu Cox W/L as defined in the paper.
+  double strengthK() const { return 0.5 * params_.kp * params_.w / params_.l; }
+
+ private:
+  MosfetOperatingPoint evaluate(double vd, double vg, double vs, double vb,
+                                bool* swapped) const;
+
+  NodeId d_;
+  NodeId g_;
+  NodeId s_;
+  NodeId b_;
+  MosfetParams params_;
+};
+
+}  // namespace prox::spice

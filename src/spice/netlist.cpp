@@ -1,0 +1,264 @@
+#include "spice/netlist.hpp"
+
+#include "spice/isource.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "waveform/waveform.hpp"
+
+namespace prox::spice {
+
+namespace {
+
+std::string toLower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+  throw std::runtime_error("netlist:" + std::to_string(line) + ": " + msg);
+}
+
+/// Splits a statement into whitespace-separated tokens, treating '(' ')' ','
+/// and '=' as separators that also stand alone where convenient.  "W=4u"
+/// becomes {"w", "=", "4u"}; "PWL(0 0 1n 5)" becomes {"pwl", "0", "0", ...}.
+std::vector<std::string> tokenize(const std::string& stmt) {
+  std::vector<std::string> out;
+  std::string cur;
+  auto flush = [&] {
+    if (!cur.empty()) {
+      out.push_back(toLower(cur));
+      cur.clear();
+    }
+  };
+  for (char c : stmt) {
+    if (std::isspace(static_cast<unsigned char>(c)) || c == '(' || c == ')' ||
+        c == ',') {
+      flush();
+    } else if (c == '=') {
+      flush();
+      out.push_back("=");
+    } else {
+      cur.push_back(c);
+    }
+  }
+  flush();
+  return out;
+}
+
+/// Named key=value arguments trailing a card.
+std::unordered_map<std::string, double> parseKeyValues(
+    const std::vector<std::string>& tok, std::size_t start, int line) {
+  std::unordered_map<std::string, double> kv;
+  std::size_t i = start;
+  while (i < tok.size()) {
+    if (i + 1 >= tok.size() || tok[i + 1] != "=") {
+      fail(line, "expected key=value, got '" + tok[i] + "'");
+    }
+    if (i + 2 >= tok.size()) {
+      fail(line, "missing value after '" + tok[i] + "='");
+    }
+    kv[tok[i]] = parseSpiceNumber(tok[i + 2]);
+    i += 3;
+  }
+  return kv;
+}
+
+}  // namespace
+
+double parseSpiceNumber(const std::string& token) {
+  if (token.empty()) throw std::invalid_argument("empty number");
+  const std::string t = toLower(token);
+  std::size_t pos = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(t, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("malformed number: " + token);
+  }
+  std::string suffix = t.substr(pos);
+  // Strip trailing unit letters after the scale factor (e.g. "100pF", "4um").
+  double scale = 1.0;
+  if (!suffix.empty()) {
+    if (suffix.rfind("meg", 0) == 0) {
+      scale = 1e6;
+    } else {
+      switch (suffix[0]) {
+        case 't': scale = 1e12; break;
+        case 'g': scale = 1e9; break;
+        case 'k': scale = 1e3; break;
+        case 'm': scale = 1e-3; break;
+        case 'u': scale = 1e-6; break;
+        case 'n': scale = 1e-9; break;
+        case 'p': scale = 1e-12; break;
+        case 'f': scale = 1e-15; break;
+        default:
+          throw std::invalid_argument("unknown suffix in number: " + token);
+      }
+    }
+  }
+  return value * scale;
+}
+
+Netlist parseNetlist(const std::string& deck) {
+  // Join continuation lines, drop comments, keep 1-based line numbers.
+  std::vector<std::pair<int, std::string>> stmts;
+  {
+    std::istringstream in(deck);
+    std::string line;
+    int lineNo = 0;
+    while (std::getline(in, line)) {
+      ++lineNo;
+      // Trim leading whitespace.
+      const auto first = line.find_first_not_of(" \t\r");
+      if (first == std::string::npos) continue;
+      line = line.substr(first);
+      if (line[0] == '*') continue;
+      if (line[0] == '+') {
+        if (stmts.empty()) fail(lineNo, "continuation with no preceding card");
+        stmts.back().second += " " + line.substr(1);
+      } else {
+        stmts.emplace_back(lineNo, line);
+      }
+    }
+  }
+
+  Netlist nl;
+  std::unordered_map<std::string, MosfetParams> models;
+
+  // Two passes: models first so device cards can reference them regardless of
+  // their position in the deck (HSPICE allows either order).
+  for (const auto& [lineNo, stmt] : stmts) {
+    auto tok = tokenize(stmt);
+    if (tok.empty() || tok[0] != ".model") continue;
+    if (tok.size() < 3) fail(lineNo, ".model needs a name and a type");
+    const std::string name = tok[1];
+    const std::string type = tok[2];
+    MosfetParams p;
+    if (type == "nmos") {
+      p.nmos = true;
+    } else if (type == "pmos") {
+      p.nmos = false;
+      p.vt0 = -0.8;  // sensible default sign for PMOS
+      p.kp = 25e-6;
+    } else {
+      fail(lineNo, "unsupported model type '" + type + "'");
+    }
+    auto kv = parseKeyValues(tok, 3, lineNo);
+    for (const auto& [k, v] : kv) {
+      if (k == "kp") p.kp = v;
+      else if (k == "vto" || k == "vt0") p.vt0 = v;
+      else if (k == "lambda") p.lambda = v;
+      else if (k == "gamma") p.gamma = v;
+      else if (k == "phi") p.phi = v;
+      else if (k == "w") p.w = v;
+      else if (k == "l") p.l = v;
+      else if (k == "alpha") p.alpha = v;
+      else if (k == "pc") p.pc = v;
+      else if (k == "pv") p.pv = v;
+      else if (k == "level") {
+        // LEVEL=1 selects the square law; LEVEL=14 the alpha-power law (a
+        // nod to the paper's reference [14]).
+        if (v == 1.0) p.equation = MosEquation::Level1;
+        else if (v == 14.0) p.equation = MosEquation::AlphaPower;
+        else fail(lineNo, "unsupported model level");
+      }
+      else fail(lineNo, "unknown model parameter '" + k + "'");
+    }
+    models[name] = p;
+  }
+
+  for (const auto& [lineNo, stmt] : stmts) {
+    auto tok = tokenize(stmt);
+    if (tok.empty()) continue;
+    const std::string& card = tok[0];
+    if (card[0] == '.') {
+      if (card == ".model" || card == ".end") continue;
+      fail(lineNo, "unsupported control card '" + card + "'");
+    }
+
+    const char kind = card[0];
+    Device* created = nullptr;
+    switch (kind) {
+      case 'r': {
+        if (tok.size() != 4) fail(lineNo, "resistor: R<name> n1 n2 value");
+        created = &nl.circuit.add<Resistor>(card, nl.circuit.node(tok[1]),
+                                            nl.circuit.node(tok[2]),
+                                            parseSpiceNumber(tok[3]));
+        break;
+      }
+      case 'c': {
+        if (tok.size() != 4) fail(lineNo, "capacitor: C<name> n1 n2 value");
+        created = &nl.circuit.add<Capacitor>(card, nl.circuit.node(tok[1]),
+                                             nl.circuit.node(tok[2]),
+                                             parseSpiceNumber(tok[3]));
+        break;
+      }
+      case 'v':
+      case 'i': {
+        if (tok.size() < 4) fail(lineNo, "source: V/I<name> n+ n- spec");
+        const NodeId np = nl.circuit.node(tok[1]);
+        const NodeId nn = nl.circuit.node(tok[2]);
+        const bool isV = kind == 'v';
+        if (tok[3] == "pwl") {
+          if (tok.size() < 6 || (tok.size() - 4) % 2 != 0) {
+            fail(lineNo, "PWL needs an even number of time/value pairs");
+          }
+          wave::Waveform w;
+          for (std::size_t i = 4; i + 1 < tok.size(); i += 2) {
+            w.append(parseSpiceNumber(tok[i]), parseSpiceNumber(tok[i + 1]));
+          }
+          created = isV ? static_cast<Device*>(&nl.circuit.add<VoltageSource>(
+                              card, np, nn, std::move(w)))
+                        : &nl.circuit.add<CurrentSource>(card, np, nn,
+                                                         std::move(w));
+        } else {
+          std::size_t valIdx = 3;
+          if (tok[3] == "dc") {
+            if (tok.size() != 5) fail(lineNo, "source: V/I<name> n+ n- DC value");
+            valIdx = 4;
+          } else if (tok.size() != 4) {
+            fail(lineNo, "source: V/I<name> n+ n- value");
+          }
+          const double v = parseSpiceNumber(tok[valIdx]);
+          created = isV ? static_cast<Device*>(
+                              &nl.circuit.add<VoltageSource>(card, np, nn, v))
+                        : &nl.circuit.add<CurrentSource>(card, np, nn, v);
+        }
+        break;
+      }
+      case 'm': {
+        if (tok.size() < 6) fail(lineNo, "mosfet: M<name> d g s b model [W=..]");
+        auto it = models.find(tok[5]);
+        if (it == models.end()) fail(lineNo, "unknown model '" + tok[5] + "'");
+        MosfetParams p = it->second;
+        auto kv = parseKeyValues(tok, 6, lineNo);
+        for (const auto& [k, v] : kv) {
+          if (k == "w") p.w = v;
+          else if (k == "l") p.l = v;
+          else fail(lineNo, "unknown instance parameter '" + k + "'");
+        }
+        created = &nl.circuit.add<Mosfet>(card, nl.circuit.node(tok[1]),
+                                          nl.circuit.node(tok[2]),
+                                          nl.circuit.node(tok[3]),
+                                          nl.circuit.node(tok[4]), p);
+        break;
+      }
+      default:
+        fail(lineNo, "unsupported element '" + card + "'");
+    }
+    if (created != nullptr) {
+      if (!nl.byName.emplace(card, created).second) {
+        fail(lineNo, "duplicate device name '" + card + "'");
+      }
+    }
+  }
+  return nl;
+}
+
+}  // namespace prox::spice

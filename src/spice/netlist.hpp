@@ -1,0 +1,56 @@
+#pragma once
+// SPICE-deck parser.  Supports the subset of the language the paper's
+// experiments need, so decks written for the original HSPICE runs translate
+// directly:
+//
+//   * comment lines starting with '*', blank lines, '.end'
+//   * '+' continuation lines
+//   * engineering suffixes: f p n u m k meg g t (case-insensitive)
+//   * R<name> n1 n2 value
+//   * C<name> n1 n2 value
+//   * V<name> n+ n- value            (DC)
+//     V<name> n+ n- DC value
+//     V<name> n+ n- PWL(t1 v1 t2 v2 ...)
+//   * I<name> n+ n- value | DC value | PWL(...)
+//   * M<name> d g s b modelname [W=..] [L=..]
+//   * .model <name> NMOS|PMOS [LEVEL=1|14] [KP=..] [VTO=..] [LAMBDA=..]
+//            [GAMMA=..] [PHI=..] [ALPHA=..] [PC=..] [PV=..]
+//     (LEVEL=1 is the Shichman-Hodges square law; LEVEL=14 the Sakurai-
+//      Newton alpha-power law)
+
+#include <string>
+#include <unordered_map>
+
+#include "spice/capacitor.hpp"
+#include "spice/circuit.hpp"
+#include "spice/mosfet.hpp"
+#include "spice/resistor.hpp"
+#include "spice/vsource.hpp"
+
+namespace prox::spice {
+
+/// Result of parsing a deck: the circuit plus name-based device lookup.
+struct Netlist {
+  Circuit circuit;
+  std::unordered_map<std::string, Device*> byName;
+
+  Device* find(const std::string& name) const {
+    auto it = byName.find(name);
+    return it == byName.end() ? nullptr : it->second;
+  }
+
+  template <typename D>
+  D* findAs(const std::string& name) const {
+    return dynamic_cast<D*>(find(name));
+  }
+};
+
+/// Parses @p deck.  Throws std::runtime_error with a line-numbered message on
+/// any syntax error.
+Netlist parseNetlist(const std::string& deck);
+
+/// Parses a SPICE number with optional engineering suffix ("4u", "100f",
+/// "2meg", "1.5k").  Throws std::invalid_argument on malformed input.
+double parseSpiceNumber(const std::string& token);
+
+}  // namespace prox::spice

@@ -1,0 +1,62 @@
+#include "spice/newton.hpp"
+
+#include <cmath>
+
+namespace prox::spice {
+
+NewtonStatus solveNewton(const Circuit& ckt, linalg::Vector& x,
+                         const StampContext& sc, const NewtonOptions& opt) {
+  NewtonStatus status;
+  const std::size_t n = static_cast<std::size_t>(ckt.unknownCount());
+  const std::size_t nv = static_cast<std::size_t>(ckt.voltageUnknownCount());
+  if (x.size() != n) x.assign(n, 0.0);
+
+  linalg::Matrix g(n, n);
+  linalg::Vector rhs(n, 0.0);
+  linalg::LuFactorization lu;
+
+  for (int iter = 1; iter <= opt.maxIterations; ++iter) {
+    status.iterations = iter;
+    g.setZero();
+    std::fill(rhs.begin(), rhs.end(), 0.0);
+
+    StampArgs args{g, rhs, x, sc.time, sc.dt, sc.transient, sc.trapezoidal,
+                   sc.srcScale};
+    for (const auto& dev : ckt.devices()) dev->stamp(args);
+
+    // Convergence-aid shunt to ground on every voltage unknown.
+    for (std::size_t i = 0; i < nv; ++i) g(i, i) += opt.gmin;
+
+    if (!lu.factor(g)) {
+      status.singular = true;
+      return status;
+    }
+    linalg::Vector xNew = lu.solve(rhs);
+
+    // Damping: cap the largest voltage move per iteration.  Branch currents
+    // are left free (they equilibrate instantly once voltages settle).
+    double dvMax = 0.0;
+    for (std::size_t i = 0; i < nv; ++i) {
+      dvMax = std::max(dvMax, std::fabs(xNew[i] - x[i]));
+    }
+    double alpha = 1.0;
+    if (dvMax > opt.maxVoltageStep) alpha = opt.maxVoltageStep / dvMax;
+
+    bool converged = alpha == 1.0;  // a damped step is never the last one
+    for (std::size_t i = 0; i < n; ++i) {
+      const double delta = xNew[i] - x[i];
+      const double absTol = i < nv ? opt.vAbsTol : opt.iAbsTol;
+      if (std::fabs(delta) > absTol + opt.relTol * std::fabs(xNew[i])) {
+        converged = false;
+      }
+      x[i] += alpha * delta;
+    }
+    if (converged) {
+      status.converged = true;
+      return status;
+    }
+  }
+  return status;
+}
+
+}  // namespace prox::spice

@@ -1,0 +1,39 @@
+#pragma once
+// Damped Newton-Raphson solver for the nonlinear MNA system.  Shared by the
+// operating-point, DC-sweep and transient analyses.
+
+#include "linalg/lu.hpp"
+#include "spice/circuit.hpp"
+
+namespace prox::spice {
+
+struct NewtonOptions {
+  int maxIterations = 100;
+  double vAbsTol = 1e-6;   ///< absolute tolerance on node voltages [V]
+  double iAbsTol = 1e-9;   ///< absolute tolerance on branch currents [A]
+  double relTol = 1e-3;    ///< relative tolerance on all unknowns
+  double maxVoltageStep = 0.5;  ///< per-iteration damping limit on voltages [V]
+  double gmin = 1e-12;     ///< shunt conductance to ground on every node [S]
+};
+
+/// Time/integration context for device stamping, shared across iterations.
+struct StampContext {
+  double time = 0.0;
+  double dt = 0.0;
+  bool transient = false;
+  bool trapezoidal = true;
+  double srcScale = 1.0;
+};
+
+struct NewtonStatus {
+  bool converged = false;
+  int iterations = 0;
+  bool singular = false;
+};
+
+/// Runs Newton-Raphson starting from @p x (updated in place with the best
+/// iterate).  The circuit must be finalized.
+NewtonStatus solveNewton(const Circuit& ckt, linalg::Vector& x,
+                         const StampContext& sc, const NewtonOptions& opt);
+
+}  // namespace prox::spice

@@ -1,0 +1,56 @@
+#include "spice/op.hpp"
+
+namespace prox::spice {
+
+std::optional<linalg::Vector> operatingPoint(Circuit& ckt, const OpOptions& opt,
+                                             const linalg::Vector* initialGuess) {
+  ckt.finalize();
+  const std::size_t n = static_cast<std::size_t>(ckt.unknownCount());
+
+  StampContext sc;
+  sc.time = opt.time;
+  sc.transient = false;
+
+  // 1. Plain Newton from the provided guess (or flat zero).
+  {
+    linalg::Vector x = initialGuess != nullptr ? *initialGuess
+                                               : linalg::Vector(n, 0.0);
+    if (solveNewton(ckt, x, sc, opt.newton).converged) return x;
+  }
+
+  // 2. Gmin stepping: solve with a heavy shunt everywhere, then relax it.
+  {
+    linalg::Vector x(n, 0.0);
+    NewtonOptions nopt = opt.newton;
+    bool ok = true;
+    for (double gmin = 1e-3; gmin >= opt.newton.gmin * 0.99; gmin *= 0.1) {
+      nopt.gmin = gmin;
+      if (!solveNewton(ckt, x, sc, nopt).converged) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      nopt.gmin = opt.newton.gmin;
+      if (solveNewton(ckt, x, sc, nopt).converged) return x;
+    }
+  }
+
+  // 3. Source stepping: ramp all independent sources from 0 to full value.
+  {
+    linalg::Vector x(n, 0.0);
+    bool ok = true;
+    for (int k = 0; k <= 20; ++k) {
+      sc.srcScale = static_cast<double>(k) / 20.0;
+      if (!solveNewton(ckt, x, sc, opt.newton).converged) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return x;
+  }
+
+  return std::nullopt;
+}
+
+}  // namespace prox::spice

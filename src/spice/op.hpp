@@ -1,0 +1,25 @@
+#pragma once
+// DC operating-point analysis with gmin-stepping and source-stepping
+// continuation fallbacks (the same ladder HSPICE/ngspice climb when plain
+// Newton fails on stacked MOS circuits).
+
+#include <optional>
+
+#include "spice/newton.hpp"
+
+namespace prox::spice {
+
+struct OpOptions {
+  NewtonOptions newton;
+  /// Time at which time-varying sources are evaluated (transient t=0 uses 0).
+  double time = 0.0;
+};
+
+/// Computes the DC operating point.  Returns the solution vector, or nullopt
+/// when every continuation strategy fails.  @p initialGuess, when provided,
+/// seeds the first Newton attempt (useful for sweep continuation).
+std::optional<linalg::Vector> operatingPoint(
+    Circuit& ckt, const OpOptions& opt = {},
+    const linalg::Vector* initialGuess = nullptr);
+
+}  // namespace prox::spice

@@ -1,0 +1,27 @@
+#include "spice/resistor.hpp"
+
+#include <stdexcept>
+
+#include "spice/stamp_util.hpp"
+
+namespace prox::spice {
+
+Resistor::Resistor(std::string name, NodeId n1, NodeId n2, double ohms)
+    : Device(std::move(name)), n1_(n1), n2_(n2), ohms_(ohms) {
+  if (!(ohms > 0.0)) throw std::invalid_argument("Resistor: non-positive value");
+}
+
+void Resistor::setResistance(double ohms) {
+  if (!(ohms > 0.0)) throw std::invalid_argument("Resistor: non-positive value");
+  ohms_ = ohms;
+}
+
+void Resistor::stamp(const StampArgs& a) {
+  detail::stampConductance(a.g, n1_, n2_, 1.0 / ohms_);
+}
+
+double Resistor::current(const Circuit& ckt, const linalg::Vector& x) const {
+  return (ckt.nodeVoltage(x, n1_) - ckt.nodeVoltage(x, n2_)) / ohms_;
+}
+
+}  // namespace prox::spice

@@ -1,0 +1,27 @@
+#pragma once
+// Linear two-terminal resistor.
+
+#include "spice/circuit.hpp"
+
+namespace prox::spice {
+
+class Resistor : public Device {
+ public:
+  /// @p ohms must be positive.
+  Resistor(std::string name, NodeId n1, NodeId n2, double ohms);
+
+  void stamp(const StampArgs& a) override;
+
+  double resistance() const { return ohms_; }
+  void setResistance(double ohms);
+
+  /// Current flowing n1 -> n2 for solution @p x.
+  double current(const Circuit& ckt, const linalg::Vector& x) const;
+
+ private:
+  NodeId n1_;
+  NodeId n2_;
+  double ohms_;
+};
+
+}  // namespace prox::spice

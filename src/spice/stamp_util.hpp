@@ -1,0 +1,36 @@
+#pragma once
+// Shared stamping helpers.  Node voltage unknowns live at index (node - 1);
+// ground contributes nothing, which these helpers encode once so every device
+// stays branch-free at its call sites.
+
+#include "linalg/matrix.hpp"
+#include "spice/circuit.hpp"
+
+namespace prox::spice::detail {
+
+/// Adds a conductance @p g between nodes @p n1 and @p n2 (two-terminal stamp).
+inline void stampConductance(linalg::Matrix& m, NodeId n1, NodeId n2, double g) {
+  const int i = n1 - 1;
+  const int j = n2 - 1;
+  if (i >= 0) m(i, i) += g;
+  if (j >= 0) m(j, j) += g;
+  if (i >= 0 && j >= 0) {
+    m(i, j) -= g;
+    m(j, i) -= g;
+  }
+}
+
+/// Adds a single matrix entry d(KCL row of nRow)/d(voltage of nCol).
+inline void stampEntry(linalg::Matrix& m, NodeId nRow, NodeId nCol, double g) {
+  const int i = nRow - 1;
+  const int j = nCol - 1;
+  if (i >= 0 && j >= 0) m(i, j) += g;
+}
+
+/// Injects a current @p i flowing *into* node @p n (adds to the RHS).
+inline void stampCurrent(linalg::Vector& rhs, NodeId n, double i) {
+  const int k = n - 1;
+  if (k >= 0) rhs[static_cast<std::size_t>(k)] += i;
+}
+
+}  // namespace prox::spice::detail

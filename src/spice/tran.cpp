@@ -1,0 +1,141 @@
+#include "spice/tran.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+
+#include "spice/op.hpp"
+
+namespace prox::spice {
+
+wave::Waveform TranResult::node(NodeId node) const {
+  wave::Waveform w;
+  for (std::size_t i = 0; i < times_.size(); ++i) {
+    w.append(times_[i], ckt_->nodeVoltage(solutions_[i], node));
+  }
+  return w;
+}
+
+wave::Waveform TranResult::node(const std::string& name) const {
+  const auto id = ckt_->findNode(name);
+  if (!id) throw std::invalid_argument("TranResult::node: unknown node " + name);
+  return node(*id);
+}
+
+TranResult transient(Circuit& ckt, const TranOptions& opt) {
+  if (!(opt.tstop > 0.0)) throw std::invalid_argument("transient: tstop <= 0");
+  ckt.finalize();
+
+  const double hmax = opt.hmax > 0.0 ? opt.hmax : opt.tstop / 200.0;
+
+  // Initial condition: DC operating point with sources evaluated at t = 0.
+  OpOptions opOpt;
+  opOpt.newton = opt.newton;
+  opOpt.time = 0.0;
+  auto x0 = operatingPoint(ckt, opOpt);
+  if (!x0) throw std::runtime_error("transient: initial operating point failed");
+  linalg::Vector x = *x0;
+
+  for (const auto& dev : ckt.devices()) dev->startTransient(x);
+
+  // Breakpoints inside (0, tstop): the stepper lands on each exactly and
+  // takes one backward-Euler step right after it.
+  std::vector<double> bps;
+  for (double b : ckt.breakpoints()) {
+    if (b > 0.0 && b < opt.tstop) bps.push_back(b);
+  }
+  std::size_t bpIdx = 0;
+
+  std::vector<double> times{0.0};
+  std::vector<linalg::Vector> solutions{x};
+
+  const std::size_t nv = static_cast<std::size_t>(ckt.voltageUnknownCount());
+  double t = 0.0;
+  double h = hmax / 64.0;  // conservative first step
+  bool nextStepBE = true;  // damp startup the same way as post-breakpoint
+  // Voltage movement seen at the last dv-rejection.  When halving the step
+  // does not shrink the movement, the jump is memoryless (e.g. a floating
+  // stack node re-equilibrating through gmin after its path turns off) and
+  // must be accepted rather than chased to a timestep underflow.
+  double lastRejectDv = -1.0;
+
+  StampContext sc;
+  sc.transient = true;
+
+  while (t < opt.tstop - 1e-21) {
+    // Clamp the proposed step to the horizon and the next breakpoint.
+    double hTry = std::min({h, hmax, opt.tstop - t});
+    while (bpIdx < bps.size() && bps[bpIdx] <= t + 1e-21) ++bpIdx;
+    bool hitBreakpoint = false;
+    if (bpIdx < bps.size() && t + hTry >= bps[bpIdx] - 1e-21) {
+      hTry = bps[bpIdx] - t;
+      hitBreakpoint = true;
+    }
+
+    sc.time = t + hTry;
+    sc.dt = hTry;
+    sc.trapezoidal = opt.trapezoidal && !nextStepBE;
+
+    linalg::Vector xNew = x;  // previous solution as predictor
+    const NewtonStatus st = solveNewton(ckt, xNew, sc, opt.newton);
+
+    bool reject = !st.converged;
+    double dv = 0.0;
+    if (!reject) {
+      for (std::size_t i = 0; i < nv; ++i) {
+        dv = std::max(dv, std::fabs(xNew[i] - x[i]));
+      }
+      // Enforce dense sampling through transitions, but never stall: once the
+      // step is within an epsilon of hmin the move is accepted as-is, and a
+      // movement that did not shrink with the step is memoryless -- refusing
+      // it forever would underflow the timestep.
+      if (dv > opt.dvMax && hTry > 16.0 * opt.hmin &&
+          !(lastRejectDv >= 0.0 && dv > 0.8 * lastRejectDv)) {
+        reject = true;
+        lastRejectDv = dv;
+      }
+    }
+
+    if (reject) {
+      if (std::getenv("PROX_TRAN_DEBUG") != nullptr) {
+        std::fprintf(stderr,
+                     "tran reject: t=%g hTry=%g conv=%d singular=%d iters=%d "
+                     "dv=%g\n",
+                     t, hTry, st.converged, st.singular, st.iterations, dv);
+      }
+      h = hTry / 2.0;
+      if (h < opt.hmin) {
+        throw std::runtime_error("transient: timestep underflow at t = " +
+                                 std::to_string(t));
+      }
+      continue;
+    }
+
+    // Accept.
+    lastRejectDv = -1.0;
+    for (const auto& dev : ckt.devices()) dev->acceptStep(xNew, sc.time, hTry);
+    t = sc.time;
+    x = std::move(xNew);
+    times.push_back(t);
+    solutions.push_back(x);
+
+    if (hitBreakpoint) {
+      ++bpIdx;
+      nextStepBE = true;   // damp the slope discontinuity
+      h = std::min(h, hmax / 64.0);
+    } else {
+      nextStepBE = false;
+      // Grow gently when the step was easy for both Newton and the dv cap.
+      if (st.iterations <= 10 && dv < 0.5 * opt.dvMax) {
+        h = std::min(hTry * 1.5, hmax);
+      } else {
+        h = hTry;
+      }
+    }
+  }
+
+  return TranResult(ckt, std::move(times), std::move(solutions));
+}
+
+}  // namespace prox::spice

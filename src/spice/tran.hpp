@@ -1,0 +1,57 @@
+#pragma once
+// Adaptive-timestep transient analysis.
+//
+// Integration: trapezoidal companion models by default (2nd order, A-stable)
+// with a backward-Euler step taken immediately after every source breakpoint
+// to damp the trapezoidal method's response to slope discontinuities.
+// Step control combines three signals:
+//   * Newton convergence (non-convergence halves the step),
+//   * a per-step node-voltage movement cap (dvMax) that bounds the local
+//     truncation error and guarantees dense sampling through transitions,
+//   * hard breakpoints from PWL sources that the stepper lands on exactly.
+
+#include <stdexcept>
+#include <vector>
+
+#include "spice/newton.hpp"
+#include "waveform/waveform.hpp"
+
+namespace prox::spice {
+
+struct TranOptions {
+  double tstop = 0.0;      ///< end time [s]; must be positive
+  double hmax = 0.0;       ///< max step; 0 selects tstop/200
+  double hmin = 1e-18;     ///< absolute minimum step before giving up
+  double dvMax = 0.05;     ///< max node-voltage change per accepted step [V]
+  bool trapezoidal = true; ///< false forces backward Euler everywhere
+  NewtonOptions newton;
+};
+
+class TranResult {
+ public:
+  TranResult(const Circuit& ckt, std::vector<double> times,
+             std::vector<linalg::Vector> solutions)
+      : ckt_(&ckt), times_(std::move(times)), solutions_(std::move(solutions)) {}
+
+  const std::vector<double>& times() const { return times_; }
+  const std::vector<linalg::Vector>& solutions() const { return solutions_; }
+  std::size_t pointCount() const { return times_.size(); }
+
+  /// Voltage waveform of @p node over the simulated window.
+  wave::Waveform node(NodeId node) const;
+
+  /// Voltage waveform of the node named @p name.
+  wave::Waveform node(const std::string& name) const;
+
+ private:
+  const Circuit* ckt_;
+  std::vector<double> times_;
+  std::vector<linalg::Vector> solutions_;
+};
+
+/// Runs a transient analysis from t = 0 to opt.tstop.  The circuit's DC
+/// operating point at t = 0 provides the initial condition.
+/// Throws std::runtime_error when the initial OP or any timestep fails.
+TranResult transient(Circuit& ckt, const TranOptions& opt);
+
+}  // namespace prox::spice

@@ -1,0 +1,62 @@
+#include "spice/vsource.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "spice/stamp_util.hpp"
+
+namespace prox::spice {
+
+VoltageSource::VoltageSource(std::string name, NodeId np, NodeId nn, double volts)
+    : Device(std::move(name)), np_(np), nn_(nn), dc_(volts) {}
+
+VoltageSource::VoltageSource(std::string name, NodeId np, NodeId nn,
+                             wave::Waveform wave)
+    : Device(std::move(name)), np_(np), nn_(nn), isPwl_(true), wave_(std::move(wave)) {
+  if (wave_.empty()) throw std::invalid_argument("VoltageSource: empty PWL");
+}
+
+double VoltageSource::valueAt(double t) const {
+  return isPwl_ ? wave_.value(t) : dc_;
+}
+
+void VoltageSource::setDc(double volts) {
+  isPwl_ = false;
+  dc_ = volts;
+}
+
+void VoltageSource::setWaveform(wave::Waveform wave) {
+  if (wave.empty()) throw std::invalid_argument("VoltageSource: empty PWL");
+  isPwl_ = true;
+  wave_ = std::move(wave);
+}
+
+void VoltageSource::stamp(const StampArgs& a) {
+  assert(auxIndex_ >= 0 && "circuit not finalized");
+  const int k = auxIndex_;
+  // KCL rows: branch current leaves np, enters nn.
+  const int ip = np_ - 1;
+  const int in = nn_ - 1;
+  if (ip >= 0) {
+    a.g(ip, static_cast<std::size_t>(k)) += 1.0;
+    a.g(static_cast<std::size_t>(k), ip) += 1.0;
+  }
+  if (in >= 0) {
+    a.g(in, static_cast<std::size_t>(k)) -= 1.0;
+    a.g(static_cast<std::size_t>(k), in) -= 1.0;
+  }
+  // Branch equation: v(np) - v(nn) = V(t) (scaled during source stepping).
+  a.rhs[static_cast<std::size_t>(k)] += a.srcScale * valueAt(a.time);
+}
+
+void VoltageSource::collectBreakpoints(std::vector<double>& out) const {
+  if (!isPwl_) return;
+  for (const auto& s : wave_.samples()) out.push_back(s.t);
+}
+
+double VoltageSource::branchCurrent(const linalg::Vector& x) const {
+  assert(auxIndex_ >= 0);
+  return x[static_cast<std::size_t>(auxIndex_)];
+}
+
+}  // namespace prox::spice

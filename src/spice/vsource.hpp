@@ -1,0 +1,45 @@
+#pragma once
+// Independent voltage source with DC and piecewise-linear (PWL) drive.
+// Uses one auxiliary MNA unknown for its branch current, per standard MNA.
+
+#include "spice/circuit.hpp"
+#include "waveform/waveform.hpp"
+
+namespace prox::spice {
+
+class VoltageSource : public Device {
+ public:
+  /// DC source of @p volts between @p np (positive) and @p nn (negative).
+  VoltageSource(std::string name, NodeId np, NodeId nn, double volts);
+
+  /// PWL source following @p wave (clamped outside the sampled window).
+  VoltageSource(std::string name, NodeId np, NodeId nn, wave::Waveform wave);
+
+  void stamp(const StampArgs& a) override;
+  int auxVarCount() const override { return 1; }
+  void assignAuxIndices(int first) override { auxIndex_ = first; }
+  void collectBreakpoints(std::vector<double>& out) const override;
+
+  /// Source value at time @p t (DC value for DC sources at any time).
+  double valueAt(double t) const;
+
+  /// Re-targets the source to a DC level (used by DC sweeps).
+  void setDc(double volts);
+
+  /// Replaces the drive waveform (used when re-running a fixture with new
+  /// stimulus without rebuilding the circuit).
+  void setWaveform(wave::Waveform wave);
+
+  /// Branch current (positive terminal -> through source -> negative) in @p x.
+  double branchCurrent(const linalg::Vector& x) const;
+
+ private:
+  NodeId np_;
+  NodeId nn_;
+  bool isPwl_ = false;
+  double dc_ = 0.0;
+  wave::Waveform wave_;
+  int auxIndex_ = -1;
+};
+
+}  // namespace prox::spice

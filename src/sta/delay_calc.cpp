@@ -1,0 +1,39 @@
+#include "sta/delay_calc.hpp"
+
+#include <stdexcept>
+
+namespace prox::sta {
+
+std::optional<Arrival> evaluateGate(const characterize::CharacterizedGate& cell,
+                                    const std::vector<std::optional<Arrival>>& pins,
+                                    DelayMode mode) {
+  if (static_cast<int>(pins.size()) != cell.pinCount()) {
+    throw std::invalid_argument("evaluateGate: pin count mismatch");
+  }
+  std::vector<model::InputEvent> events;
+  for (std::size_t p = 0; p < pins.size(); ++p) {
+    if (!pins[p]) continue;
+    events.push_back({static_cast<int>(p), pins[p]->edge, pins[p]->time,
+                      pins[p]->slope});
+  }
+  if (events.empty()) return std::nullopt;
+  for (const auto& ev : events) {
+    if (ev.edge != events.front().edge) {
+      throw std::invalid_argument(
+          "evaluateGate: mixed input directions on one gate");
+    }
+  }
+
+  const model::ProximityCalculator calc = cell.calculator();
+  const model::ProximityResult r = mode == DelayMode::Proximity
+                                       ? calc.compute(events)
+                                       : calc.computeClassic(events);
+
+  Arrival out;
+  out.time = r.outputRefTime;
+  out.slope = r.transitionTime;
+  out.edge = cell.gate.spec.outputEdgeFor(events.front().edge);
+  return out;
+}
+
+}  // namespace prox::sta

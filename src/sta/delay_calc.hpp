@@ -1,0 +1,32 @@
+#pragma once
+// Per-gate delay calculation for the STA: converts input-pin arrival events
+// into an output arrival event using either the classic single-switching-
+// input model or the paper's proximity model.
+
+#include <optional>
+
+#include "characterize/characterize.hpp"
+
+namespace prox::sta {
+
+/// A transition event on a net.
+struct Arrival {
+  double time = 0.0;   ///< reference-threshold crossing [s]
+  double slope = 0.0;  ///< full transition time [s]
+  wave::Edge edge = wave::Edge::Rising;
+};
+
+enum class DelayMode {
+  Classic,    ///< dominant input's Delta^(1); proximity ignored
+  Proximity,  ///< Algorithm ProximityDelay (Figure 4-1)
+};
+
+/// Computes the output arrival of @p cell given per-pin input arrivals
+/// (nullopt for pins whose nets are stable at the non-controlling level).
+/// All switching pins must share a direction; returns nullopt when no pin
+/// switches.  Throws std::invalid_argument on mixed directions.
+std::optional<Arrival> evaluateGate(const characterize::CharacterizedGate& cell,
+                                    const std::vector<std::optional<Arrival>>& pins,
+                                    DelayMode mode);
+
+}  // namespace prox::sta

@@ -1,0 +1,126 @@
+#include "sta/flat_sim.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "cells/cell.hpp"
+#include "model/stimulus.hpp"
+#include "spice/tran.hpp"
+#include "spice/vsource.hpp"
+#include "waveform/measure.hpp"
+
+namespace prox::sta {
+
+FlatSimResult simulateFlat(
+    const Netlist& netlist,
+    const std::unordered_map<std::string, Arrival>& inputArrivals,
+    double settle) {
+  // 1. Direction/coarse-time prediction: a proximity STA pass supplies each
+  //    net's transition direction and a horizon estimate.
+  TimingAnalyzer predictor(netlist, DelayMode::Proximity);
+  for (const auto& [net, arr] : inputArrivals) {
+    predictor.setInputArrival(net, arr);
+  }
+  predictor.run();
+
+  // 2. Build the flat circuit: one node per net, one transistor-level cell
+  //    per instance, pins tied to net nodes with ideal (0 V) sources.
+  spice::Circuit ckt;
+  auto netNode = [&](const std::string& net) {
+    return ckt.node("net." + net);
+  };
+
+  // First consumer of each net (for thresholds / stable levels of PIs).
+  std::unordered_map<std::string, const Instance*> firstConsumer;
+  for (const Instance& inst : netlist.instances()) {
+    for (const std::string& net : inst.inputNets) {
+      firstConsumer.emplace(net, &inst);
+    }
+  }
+
+  int tieCounter = 0;
+  for (const Instance& inst : netlist.instances()) {
+    const cells::CellNets nets =
+        cells::buildCell(ckt, inst.cell->gate.spec, inst.name);
+    ckt.add<spice::VoltageSource>("tie" + std::to_string(tieCounter++),
+                                  nets.out, netNode(inst.outputNet), 0.0);
+    for (std::size_t k = 0; k < inst.inputNets.size(); ++k) {
+      ckt.add<spice::VoltageSource>("tie" + std::to_string(tieCounter++),
+                                    nets.inputs[k],
+                                    netNode(inst.inputNets[k]), 0.0);
+    }
+  }
+
+  // 3. Drive the primary inputs.  Everything is shifted so ramps start after
+  //    t = 0 (the DC operating point then captures the true initial state).
+  double minStart = 0.0;
+  double horizon = 0.0;
+  for (const auto& [net, arr] : inputArrivals) {
+    const Instance* consumer = firstConsumer.count(net) != 0
+                                   ? firstConsumer.at(net)
+                                   : nullptr;
+    if (consumer == nullptr) continue;
+    const auto& gate = consumer->cell->gate;
+    model::InputEvent ev{0, arr.edge, arr.time, arr.slope};
+    minStart = std::min(minStart,
+                        model::rampStart(ev, gate.spec.tech.vdd, gate.thresholds));
+    horizon = std::max(horizon, arr.time + arr.slope);
+  }
+  // Horizon: last predicted output event across the design.
+  for (const Instance& inst : netlist.instances()) {
+    if (const auto a = predictor.arrival(inst.outputNet)) {
+      horizon = std::max(horizon, a->time + a->slope);
+    }
+  }
+  const double shift = 0.3e-9 - minStart;
+  const double tstop = horizon + shift + settle;
+
+  for (const auto& [net, arr] : inputArrivals) {
+    const Instance* consumer =
+        firstConsumer.count(net) != 0 ? firstConsumer.at(net) : nullptr;
+    if (consumer == nullptr) continue;  // dangling PI: nothing to drive
+    const auto& gate = consumer->cell->gate;
+    model::InputEvent ev{0, arr.edge, arr.time + shift, arr.slope};
+    ckt.add<spice::VoltageSource>(
+        "vpi." + net, netNode(net), spice::kGround,
+        model::makeInputWave(ev, gate.spec.tech.vdd, gate.thresholds));
+  }
+  // Stable primary inputs: non-controlling level of the first consumer.
+  for (const std::string& net : netlist.primaryInputs()) {
+    if (inputArrivals.count(net) != 0) continue;
+    const Instance* consumer =
+        firstConsumer.count(net) != 0 ? firstConsumer.at(net) : nullptr;
+    if (consumer == nullptr) continue;
+    ckt.add<spice::VoltageSource>(
+        "vpi." + net, netNode(net), spice::kGround,
+        consumer->cell->gate.spec.nonControllingLevel());
+  }
+
+  // 4. Transient.
+  spice::TranOptions opt;
+  opt.tstop = tstop;
+  opt.hmax = tstop / 400.0;
+  const spice::TranResult tr = spice::transient(ckt, opt);
+
+  // 5. Measure every driven net with its driving cell's thresholds.
+  FlatSimResult result;
+  for (const std::string& net : netlist.primaryInputs()) {
+    if (firstConsumer.count(net) == 0) continue;  // dangling: never built
+    result.waves.emplace(net, tr.node(netNode(net)).shifted(-shift));
+  }
+  for (const Instance& inst : netlist.instances()) {
+    const wave::Waveform w = tr.node(netNode(inst.outputNet)).shifted(-shift);
+    result.waves.emplace(inst.outputNet, w);
+    const auto predicted = predictor.arrival(inst.outputNet);
+    if (!predicted) continue;  // net never switches
+    const wave::Thresholds& th = inst.cell->gate.thresholds;
+    const auto tOut = wave::outputRefTime(w, predicted->edge, th, w.startTime());
+    const auto slope = wave::transitionTime(w, predicted->edge, th);
+    if (tOut && slope) {
+      result.arrivals[inst.outputNet] = Arrival{*tOut, *slope, predicted->edge};
+    }
+  }
+  return result;
+}
+
+}  // namespace prox::sta

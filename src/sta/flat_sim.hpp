@@ -1,0 +1,34 @@
+#pragma once
+// Flat transistor-level reference for the STA: builds ONE circuit containing
+// every instance of a gate-level netlist, drives the primary inputs with the
+// given arrival events, runs a single transient, and measures arrival time
+// and slope on every net.  This is the ground truth the proximity-aware STA
+// is judged against (and the thing STA exists to avoid computing).
+
+#include <unordered_map>
+
+#include "sta/timing_graph.hpp"
+#include "waveform/waveform.hpp"
+
+namespace prox::sta {
+
+struct FlatSimResult {
+  /// Measured arrival per net (absent when the net never switched).
+  std::unordered_map<std::string, Arrival> arrivals;
+  /// Full waveform per net, in the caller's time base.
+  std::unordered_map<std::string, wave::Waveform> waves;
+};
+
+/// Simulates the whole netlist at transistor level.
+///
+/// Primary-input arrivals define full-swing ramps (the same convention the
+/// STA uses); primary inputs without an arrival sit at the non-controlling
+/// level of their first consumer.  Output edges are inferred by a proximity
+/// TimingAnalyzer pass (direction only -- times come from the simulation).
+/// @p settle is the extra simulated time after the last predicted event.
+FlatSimResult simulateFlat(
+    const Netlist& netlist,
+    const std::unordered_map<std::string, Arrival>& inputArrivals,
+    double settle = 3e-9);
+
+}  // namespace prox::sta

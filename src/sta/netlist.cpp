@@ -1,0 +1,79 @@
+#include "sta/netlist.hpp"
+
+#include <queue>
+#include <stdexcept>
+
+namespace prox::sta {
+
+void Netlist::addPrimaryInput(const std::string& net) {
+  if (isDriven(net)) {
+    throw std::invalid_argument("Netlist: net already driven: " + net);
+  }
+  primaryInputs_.insert(net);
+}
+
+const Instance& Netlist::addInstance(const std::string& name,
+                                     const characterize::CharacterizedGate& cell,
+                                     std::vector<std::string> inputNets,
+                                     const std::string& outputNet) {
+  if (!instanceNames_.insert(name).second) {
+    throw std::invalid_argument("Netlist: duplicate instance: " + name);
+  }
+  if (static_cast<int>(inputNets.size()) != cell.pinCount()) {
+    throw std::invalid_argument("Netlist: pin count mismatch on " + name);
+  }
+  if (isDriven(outputNet)) {
+    throw std::invalid_argument("Netlist: net multiply driven: " + outputNet);
+  }
+  Instance inst;
+  inst.name = name;
+  inst.cell = &cell;
+  inst.inputNets = std::move(inputNets);
+  inst.outputNet = outputNet;
+  instances_.push_back(std::move(inst));
+  driverOf_[outputNet] = instances_.size() - 1;
+  return instances_.back();
+}
+
+bool Netlist::isDriven(const std::string& net) const {
+  return primaryInputs_.count(net) != 0 || driverOf_.count(net) != 0;
+}
+
+std::vector<const Instance*> Netlist::topologicalOrder() const {
+  // Kahn's algorithm over the instance graph.
+  std::vector<std::size_t> remaining(instances_.size(), 0);
+  std::vector<std::vector<std::size_t>> consumers(instances_.size());
+
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    for (const std::string& net : instances_[i].inputNets) {
+      if (primaryInputs_.count(net) != 0) continue;
+      auto it = driverOf_.find(net);
+      if (it == driverOf_.end()) {
+        throw std::runtime_error("Netlist: undriven input net " + net +
+                                 " on instance " + instances_[i].name);
+      }
+      consumers[it->second].push_back(i);
+      ++remaining[i];
+    }
+  }
+
+  std::queue<std::size_t> ready;
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    if (remaining[i] == 0) ready.push(i);
+  }
+  std::vector<const Instance*> order;
+  while (!ready.empty()) {
+    const std::size_t i = ready.front();
+    ready.pop();
+    order.push_back(&instances_[i]);
+    for (std::size_t c : consumers[i]) {
+      if (--remaining[c] == 0) ready.push(c);
+    }
+  }
+  if (order.size() != instances_.size()) {
+    throw std::runtime_error("Netlist: combinational cycle detected");
+  }
+  return order;
+}
+
+}  // namespace prox::sta

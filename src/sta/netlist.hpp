@@ -1,0 +1,54 @@
+#pragma once
+// Gate-level netlist for the demonstration STA.  Instances reference
+// characterized cell models; nets are identified by name; the graph must be
+// combinational (acyclic, single driver per net).
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "characterize/characterize.hpp"
+
+namespace prox::sta {
+
+struct Instance {
+  std::string name;
+  const characterize::CharacterizedGate* cell = nullptr;
+  std::vector<std::string> inputNets;  ///< pin order matches the cell's pins
+  std::string outputNet;
+};
+
+class Netlist {
+ public:
+  /// Declares a primary input net.
+  void addPrimaryInput(const std::string& net);
+
+  /// Adds a cell instance.  Throws std::invalid_argument on pin-count
+  /// mismatch, duplicate instance name, or multiply-driven output net.
+  const Instance& addInstance(const std::string& name,
+                              const characterize::CharacterizedGate& cell,
+                              std::vector<std::string> inputNets,
+                              const std::string& outputNet);
+
+  const std::vector<Instance>& instances() const { return instances_; }
+  const std::unordered_set<std::string>& primaryInputs() const {
+    return primaryInputs_;
+  }
+
+  /// True when @p net is driven by an instance or declared a primary input.
+  bool isDriven(const std::string& net) const;
+
+  /// Instances in topological order (inputs before consumers).  Throws
+  /// std::runtime_error when the netlist has a combinational cycle or an
+  /// undriven instance input.
+  std::vector<const Instance*> topologicalOrder() const;
+
+ private:
+  std::vector<Instance> instances_;
+  std::unordered_set<std::string> primaryInputs_;
+  std::unordered_map<std::string, std::size_t> driverOf_;  // net -> instance
+  std::unordered_set<std::string> instanceNames_;
+};
+
+}  // namespace prox::sta

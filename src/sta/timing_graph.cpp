@@ -1,0 +1,35 @@
+#include "sta/timing_graph.hpp"
+
+#include <stdexcept>
+
+namespace prox::sta {
+
+void TimingAnalyzer::setInputArrival(const std::string& net, Arrival arrival) {
+  if (netlist_.primaryInputs().count(net) == 0) {
+    throw std::invalid_argument("TimingAnalyzer: not a primary input: " + net);
+  }
+  arrivals_[net] = arrival;
+}
+
+void TimingAnalyzer::run() {
+  for (const Instance* inst : netlist_.topologicalOrder()) {
+    std::vector<std::optional<Arrival>> pins;
+    pins.reserve(inst->inputNets.size());
+    for (const std::string& net : inst->inputNets) {
+      auto it = arrivals_.find(net);
+      pins.push_back(it == arrivals_.end() ? std::nullopt
+                                           : std::optional<Arrival>(it->second));
+    }
+    if (auto out = evaluateGate(*inst->cell, pins, mode_)) {
+      arrivals_[inst->outputNet] = *out;
+    }
+  }
+}
+
+std::optional<Arrival> TimingAnalyzer::arrival(const std::string& net) const {
+  auto it = arrivals_.find(net);
+  if (it == arrivals_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace prox::sta

@@ -1,0 +1,38 @@
+#pragma once
+// Arrival-time propagation over a combinational netlist.  The analyzer walks
+// instances in topological order, evaluating each gate with the selected
+// delay calculation mode.  Nets without an assigned arrival are treated as
+// stable at the driving gate's non-controlling level (classic STA "no event"
+// semantics).
+
+#include <unordered_map>
+
+#include "sta/delay_calc.hpp"
+#include "sta/netlist.hpp"
+
+namespace prox::sta {
+
+class TimingAnalyzer {
+ public:
+  TimingAnalyzer(const Netlist& netlist, DelayMode mode)
+      : netlist_(netlist), mode_(mode) {}
+
+  /// Sets the arrival event of a primary input net.
+  void setInputArrival(const std::string& net, Arrival arrival);
+
+  /// Propagates arrivals through the whole netlist.  Throws on structural
+  /// errors (cycles, undriven nets) surfaced by the netlist.
+  void run();
+
+  /// Arrival on @p net after run(); nullopt when the net never switches.
+  std::optional<Arrival> arrival(const std::string& net) const;
+
+  DelayMode mode() const { return mode_; }
+
+ private:
+  const Netlist& netlist_;
+  DelayMode mode_;
+  std::unordered_map<std::string, Arrival> arrivals_;
+};
+
+}  // namespace prox::sta

@@ -1,0 +1,86 @@
+#include "vtc/complex.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "spice/dcsweep.hpp"
+
+namespace prox::vtc {
+
+ComplexVtcCurve extractComplexVtc(const cells::ComplexCellSpec& spec,
+                                  const std::vector<int>& subset,
+                                  const std::vector<bool>& stableLevels,
+                                  double step) {
+  if (subset.empty()) {
+    throw std::invalid_argument("extractComplexVtc: empty subset");
+  }
+  const int n = spec.pinCount();
+  if (static_cast<int>(stableLevels.size()) != n) {
+    throw std::invalid_argument("extractComplexVtc: stableLevels size mismatch");
+  }
+
+  spice::Circuit ckt;
+  const cells::CellNets nets = cells::buildComplexCell(ckt, spec, "x0");
+
+  const spice::NodeId sweepNode = ckt.node("sweep");
+  auto& vsweep =
+      ckt.add<spice::VoltageSource>("vsweep", sweepNode, spice::kGround, 0.0);
+  for (int k = 0; k < n; ++k) {
+    const bool isSwitching =
+        std::find(subset.begin(), subset.end(), k) != subset.end();
+    if (isSwitching) {
+      ckt.add<spice::VoltageSource>("vtie" + std::to_string(k), sweepNode,
+                                    nets.inputs[static_cast<std::size_t>(k)],
+                                    0.0);
+    } else {
+      ckt.add<spice::VoltageSource>(
+          "vst" + std::to_string(k), nets.inputs[static_cast<std::size_t>(k)],
+          spice::kGround,
+          stableLevels[static_cast<std::size_t>(k)] ? spec.tech.vdd : 0.0);
+    }
+  }
+
+  const auto sweep = spice::dcSweep(ckt, vsweep, 0.0, spec.tech.vdd, step);
+
+  ComplexVtcCurve out;
+  out.curve.switchingInputs = subset;
+  out.curve.curve = sweep.nodeCurve(ckt, nets.out);
+  out.curve.points = analyzeVtc(out.curve.curve);
+  out.stableLevels = stableLevels;
+  return out;
+}
+
+ComplexThresholdReport chooseComplexThresholds(
+    const cells::ComplexCellSpec& spec, double step) {
+  const int n = spec.pinCount();
+  ComplexThresholdReport rep;
+  bool first = true;
+  for (unsigned mask = 1; mask < (1u << n); ++mask) {
+    std::vector<int> subset;
+    for (int k = 0; k < n; ++k) {
+      if ((mask >> k) & 1u) subset.push_back(k);
+    }
+    const auto stable = spec.sensitizingAssignment(subset);
+    if (!stable) {
+      rep.skippedSubsets.push_back(subset);
+      continue;
+    }
+    rep.curves.push_back(extractComplexVtc(spec, subset, *stable, step));
+    const VtcPoints& pts = rep.curves.back().curve.points;
+    if (first || pts.vil < rep.chosen.vil) {
+      rep.chosen.vil = pts.vil;
+      rep.vilCurveIndex = rep.curves.size() - 1;
+    }
+    if (first || pts.vih > rep.chosen.vih) {
+      rep.chosen.vih = pts.vih;
+      rep.vihCurveIndex = rep.curves.size() - 1;
+    }
+    first = false;
+  }
+  if (rep.curves.empty()) {
+    throw std::runtime_error("chooseComplexThresholds: no sensitizable subset");
+  }
+  return rep;
+}
+
+}  // namespace prox::vtc

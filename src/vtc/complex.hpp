@@ -1,0 +1,43 @@
+#pragma once
+// Section 2 threshold analysis generalized to complex (AOI/OAI) gates.
+//
+// For a complex gate a switching subset only has a VTC when the remaining
+// inputs are held at levels that *sensitize* it (the output must actually
+// toggle).  chooseComplexThresholds() enumerates all subsets, finds a
+// sensitizing assignment for each (skipping subsets that have none), extracts
+// the VTCs and applies the min-V_il / max-V_ih rule across the family --
+// exactly the paper's recipe, generalized beyond NAND/NOR.
+
+#include "cells/pull_network.hpp"
+#include "vtc/thresholds.hpp"
+
+namespace prox::vtc {
+
+/// One complex-gate VTC: the curve plus the stable levels used.
+struct ComplexVtcCurve {
+  VtcCurve curve;                 ///< switchingInputs + curve + points
+  std::vector<bool> stableLevels; ///< level per pin (entries for switching pins unused)
+};
+
+/// Extracts the VTC of @p subset with the other pins held at
+/// @p stableLevels.  Throws std::runtime_error when the output does not
+/// toggle (non-sensitizing assignment).
+ComplexVtcCurve extractComplexVtc(const cells::ComplexCellSpec& spec,
+                                  const std::vector<int>& subset,
+                                  const std::vector<bool>& stableLevels,
+                                  double step = 0.01);
+
+struct ComplexThresholdReport {
+  std::vector<ComplexVtcCurve> curves;
+  wave::Thresholds chosen;
+  std::size_t vilCurveIndex = 0;
+  std::size_t vihCurveIndex = 0;
+  /// Subsets with no sensitizing assignment (no VTC exists).
+  std::vector<std::vector<int>> skippedSubsets;
+};
+
+/// Applies the Section 2 rule over every sensitizable subset of the gate.
+ComplexThresholdReport chooseComplexThresholds(
+    const cells::ComplexCellSpec& spec, double step = 0.01);
+
+}  // namespace prox::vtc

@@ -1,0 +1,32 @@
+#include "vtc/thresholds.hpp"
+
+#include <stdexcept>
+
+namespace prox::vtc {
+
+ThresholdReport chooseThresholds(std::vector<VtcCurve> curves) {
+  if (curves.empty()) {
+    throw std::invalid_argument("chooseThresholds: no curves");
+  }
+  ThresholdReport rep;
+  rep.curves = std::move(curves);
+  rep.chosen.vil = rep.curves[0].points.vil;
+  rep.chosen.vih = rep.curves[0].points.vih;
+  for (std::size_t i = 1; i < rep.curves.size(); ++i) {
+    if (rep.curves[i].points.vil < rep.chosen.vil) {
+      rep.chosen.vil = rep.curves[i].points.vil;
+      rep.vilCurveIndex = i;
+    }
+    if (rep.curves[i].points.vih > rep.chosen.vih) {
+      rep.chosen.vih = rep.curves[i].points.vih;
+      rep.vihCurveIndex = i;
+    }
+  }
+  return rep;
+}
+
+ThresholdReport chooseThresholds(const cells::CellSpec& spec, double step) {
+  return chooseThresholds(extractAllVtcs(spec, step));
+}
+
+}  // namespace prox::vtc

@@ -1,0 +1,30 @@
+#pragma once
+// The paper's Section 2 threshold-selection rule.
+//
+// Measuring delay with thresholds taken from any single VTC can yield
+// negative delays once input separations grow (the output starts behaving
+// like a different VTC's).  Taking the *minimum V_il* and *maximum V_ih*
+// over all 2^n - 1 VTCs guarantees V_il < V_m < V_ih for the V_m of every
+// curve, hence strictly positive delays for any combination of transition
+// times and separations.
+
+#include "vtc/vtc.hpp"
+
+namespace prox::vtc {
+
+/// Full threshold analysis of a gate.
+struct ThresholdReport {
+  std::vector<VtcCurve> curves;   ///< all 2^n - 1 VTCs
+  wave::Thresholds chosen;        ///< min V_il / max V_ih over the family
+  std::size_t vilCurveIndex = 0;  ///< which curve supplied the chosen V_il
+  std::size_t vihCurveIndex = 0;  ///< which curve supplied the chosen V_ih
+};
+
+/// Extracts every VTC of the gate and applies the min-V_il / max-V_ih rule.
+ThresholdReport chooseThresholds(const cells::CellSpec& spec,
+                                 double step = 0.01);
+
+/// Applies the rule to an already-extracted family of curves.
+ThresholdReport chooseThresholds(std::vector<VtcCurve> curves);
+
+}  // namespace prox::vtc

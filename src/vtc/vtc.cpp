@@ -1,0 +1,144 @@
+#include "vtc/vtc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "spice/dcsweep.hpp"
+#include "spice/op.hpp"
+#include "spice/vsource.hpp"
+
+namespace prox::vtc {
+
+namespace {
+
+/// Linear interpolation of the sweep value where the numerically
+/// differentiated slope crosses -1.
+double interpolateUnityGain(const std::vector<double>& vin,
+                            const std::vector<double>& slope, std::size_t i0,
+                            std::size_t i1) {
+  const double s0 = slope[i0];
+  const double s1 = slope[i1];
+  if (s1 == s0) return vin[i0];
+  const double f = (-1.0 - s0) / (s1 - s0);
+  return vin[i0] + f * (vin[i1] - vin[i0]);
+}
+
+}  // namespace
+
+VtcPoints analyzeVtc(const wave::Waveform& curve) {
+  const auto& s = curve.samples();
+  if (s.size() < 5) throw std::runtime_error("analyzeVtc: curve too short");
+
+  std::vector<double> vin(s.size());
+  std::vector<double> vout(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    vin[i] = s[i].t;
+    vout[i] = s[i].v;
+  }
+
+  // Central-difference slope (one-sided at the ends).
+  std::vector<double> slope(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const std::size_t lo = i == 0 ? 0 : i - 1;
+    const std::size_t hi = i + 1 == s.size() ? i : i + 1;
+    slope[i] = (vout[hi] - vout[lo]) / (vin[hi] - vin[lo]);
+  }
+
+  VtcPoints pts;
+  // V_il: first crossing of slope through -1 (from above, going steeper).
+  bool foundIl = false;
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    if (slope[i - 1] > -1.0 && slope[i] <= -1.0) {
+      pts.vil = interpolateUnityGain(vin, slope, i - 1, i);
+      foundIl = true;
+      break;
+    }
+  }
+  // V_ih: last crossing of slope back through -1 (returning toward 0).
+  bool foundIh = false;
+  for (std::size_t i = s.size(); i-- > 1;) {
+    if (slope[i] > -1.0 && slope[i - 1] <= -1.0) {
+      pts.vih = interpolateUnityGain(vin, slope, i - 1, i);
+      foundIh = true;
+      break;
+    }
+  }
+  if (!foundIl || !foundIh) {
+    throw std::runtime_error("analyzeVtc: no unity-gain region found");
+  }
+
+  // V_m: Vout = Vin crossing (the curve falls through the identity line).
+  bool foundVm = false;
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    const double d0 = vout[i - 1] - vin[i - 1];
+    const double d1 = vout[i] - vin[i];
+    if (d0 > 0.0 && d1 <= 0.0) {
+      const double f = d0 / (d0 - d1);
+      pts.vm = vin[i - 1] + f * (vin[i] - vin[i - 1]);
+      foundVm = true;
+      break;
+    }
+  }
+  if (!foundVm) throw std::runtime_error("analyzeVtc: no Vout = Vin crossing");
+  return pts;
+}
+
+VtcCurve extractVtc(const cells::CellSpec& spec,
+                    const std::vector<int>& switching, double step) {
+  if (switching.empty()) {
+    throw std::invalid_argument("extractVtc: empty switching subset");
+  }
+  const int n = spec.type == cells::GateType::Inverter ? 1 : spec.fanin;
+  for (int pin : switching) {
+    if (pin < 0 || pin >= n) {
+      throw std::invalid_argument("extractVtc: pin out of range");
+    }
+  }
+
+  spice::Circuit ckt;
+  const cells::CellNets nets = cells::buildCell(ckt, spec, "x0");
+
+  // Switching inputs share one swept node; the rest get constant sources.
+  const spice::NodeId sweepNode = ckt.node("sweep");
+  auto& vsweep = ckt.add<spice::VoltageSource>("vsweep", sweepNode,
+                                               spice::kGround, 0.0);
+  const double nc = spec.nonControllingLevel();
+  for (int k = 0; k < n; ++k) {
+    const bool isSwitching =
+        std::find(switching.begin(), switching.end(), k) != switching.end();
+    if (isSwitching) {
+      // Ideal short from the sweep node to the pin (a 0 V source).
+      ckt.add<spice::VoltageSource>("vtie" + std::to_string(k), sweepNode,
+                                    nets.inputs[static_cast<std::size_t>(k)], 0.0);
+    } else {
+      ckt.add<spice::VoltageSource>("vnc" + std::to_string(k),
+                                    nets.inputs[static_cast<std::size_t>(k)],
+                                    spice::kGround, nc);
+    }
+  }
+
+  const auto sweep = spice::dcSweep(ckt, vsweep, 0.0, spec.tech.vdd, step);
+
+  VtcCurve out;
+  out.switchingInputs = switching;
+  out.curve = sweep.nodeCurve(ckt, nets.out);
+  out.points = analyzeVtc(out.curve);
+  return out;
+}
+
+std::vector<VtcCurve> extractAllVtcs(const cells::CellSpec& spec, double step) {
+  const int n = spec.type == cells::GateType::Inverter ? 1 : spec.fanin;
+  std::vector<VtcCurve> curves;
+  for (unsigned mask = 1; mask < (1u << n); ++mask) {
+    std::vector<int> subset;
+    for (int k = 0; k < n; ++k) {
+      if ((mask >> k) & 1u) subset.push_back(k);
+    }
+    curves.push_back(extractVtc(spec, subset, step));
+  }
+  return curves;
+}
+
+}  // namespace prox::vtc

@@ -1,0 +1,49 @@
+#pragma once
+// Voltage-transfer-curve extraction (paper Section 2).
+//
+// An n-input gate has 2^n - 1 distinct VTCs, one per non-empty subset of
+// switching inputs (the rest held at the non-controlling level).  Each curve
+// yields three characteristic voltages:
+//   * V_il : lower unity-gain point (slope = -1 on the way down),
+//   * V_ih : upper unity-gain point (slope = -1 returning),
+//   * V_m  : switching threshold, where Vout = Vin.
+
+#include <vector>
+
+#include "cells/cell.hpp"
+#include "waveform/measure.hpp"
+#include "waveform/waveform.hpp"
+
+namespace prox::vtc {
+
+/// Characteristic voltages of one VTC.
+struct VtcPoints {
+  double vil = 0.0;
+  double vih = 0.0;
+  double vm = 0.0;
+};
+
+/// One extracted transfer curve.
+struct VtcCurve {
+  std::vector<int> switchingInputs;  ///< subset of pins swept together
+  wave::Waveform curve;              ///< vin -> vout
+  VtcPoints points;
+};
+
+/// Finds V_il / V_ih (unity-gain, slope = -1) and V_m (Vout = Vin) on a
+/// monotonically falling transfer curve.  Throws std::runtime_error when the
+/// curve has no unity-gain region (not a valid inverting VTC).
+VtcPoints analyzeVtc(const wave::Waveform& curve);
+
+/// Extracts the VTC for the given subset of switching inputs by DC-sweeping
+/// them together from 0 to Vdd while the remaining inputs sit at the
+/// non-controlling level.  @p step is the sweep increment in volts.
+VtcCurve extractVtc(const cells::CellSpec& spec,
+                    const std::vector<int>& switching, double step = 0.01);
+
+/// Extracts all 2^n - 1 VTCs of the gate, ordered by subset bitmask
+/// (so curves[0] is {input 0} alone and curves.back() is all inputs).
+std::vector<VtcCurve> extractAllVtcs(const cells::CellSpec& spec,
+                                     double step = 0.01);
+
+}  // namespace prox::vtc

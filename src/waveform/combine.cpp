@@ -1,0 +1,68 @@
+#include "waveform/combine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+namespace prox::wave {
+
+namespace {
+
+Waveform pointwiseExtreme(const std::vector<Waveform>& ws, bool wantMin) {
+  if (ws.empty()) throw std::invalid_argument("pointwiseExtreme: no waveforms");
+  for (const Waveform& w : ws) {
+    if (w.empty()) throw std::invalid_argument("pointwiseExtreme: empty input");
+  }
+
+  // Candidate times: every breakpoint of every waveform ...
+  std::set<double> times;
+  for (const Waveform& w : ws) {
+    for (const Sample& s : w.samples()) times.insert(s.t);
+  }
+  // ... plus every pairwise crossing within shared segments (between two
+  // consecutive candidate times both waveforms are linear, so the winner can
+  // only change at a crossing).
+  std::vector<double> base(times.begin(), times.end());
+  for (std::size_t i = 0; i < ws.size(); ++i) {
+    for (std::size_t j = i + 1; j < ws.size(); ++j) {
+      for (std::size_t k = 1; k < base.size(); ++k) {
+        const double t0 = base[k - 1];
+        const double t1 = base[k];
+        const double a0 = ws[i].value(t0);
+        const double a1 = ws[i].value(t1);
+        const double b0 = ws[j].value(t0);
+        const double b1 = ws[j].value(t1);
+        const double d0 = a0 - b0;
+        const double d1 = a1 - b1;
+        if ((d0 > 0.0 && d1 < 0.0) || (d0 < 0.0 && d1 > 0.0)) {
+          const double f = d0 / (d0 - d1);
+          times.insert(t0 + f * (t1 - t0));
+        }
+      }
+    }
+  }
+
+  Waveform out;
+  for (double t : times) {
+    double v = ws[0].value(t);
+    for (std::size_t i = 1; i < ws.size(); ++i) {
+      const double vi = ws[i].value(t);
+      v = wantMin ? std::min(v, vi) : std::max(v, vi);
+    }
+    out.append(t, v);
+  }
+  return out;
+}
+
+}  // namespace
+
+Waveform pointwiseMin(const std::vector<Waveform>& ws) {
+  return pointwiseExtreme(ws, true);
+}
+
+Waveform pointwiseMax(const std::vector<Waveform>& ws) {
+  return pointwiseExtreme(ws, false);
+}
+
+}  // namespace prox::wave

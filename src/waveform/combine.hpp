@@ -1,0 +1,21 @@
+#pragma once
+// Pointwise combination of PWL waveforms.  Used by the collapsed-inverter
+// baseline: the conduction condition of a series stack follows the pointwise
+// minimum of its gate voltages (all inputs high <=> min high), a parallel
+// bank follows the maximum.
+
+#include <vector>
+
+#include "waveform/waveform.hpp"
+
+namespace prox::wave {
+
+/// Exact pointwise minimum of the given waveforms (clamped outside each
+/// waveform's sampled range).  The result contains every input breakpoint
+/// plus every pairwise segment crossing, so it is exact for PWL inputs.
+Waveform pointwiseMin(const std::vector<Waveform>& ws);
+
+/// Exact pointwise maximum.
+Waveform pointwiseMax(const std::vector<Waveform>& ws);
+
+}  // namespace prox::wave

@@ -1,0 +1,61 @@
+#include "waveform/measure.hpp"
+
+#include <cmath>
+
+namespace prox::wave {
+
+std::optional<double> inputRefTime(const Waveform& in, Edge inputEdge,
+                                   const Thresholds& th) {
+  const double level = inputEdge == Edge::Rising ? th.vil : th.vih;
+  return in.crossing(level, inputEdge);
+}
+
+std::optional<double> outputRefTime(const Waveform& out, Edge outputEdge,
+                                    const Thresholds& th, double tFrom) {
+  const double level = outputEdge == Edge::Rising ? th.vih : th.vil;
+  // Use the *last* crossing at/after tFrom: with multiple switching inputs the
+  // output can dip below a threshold and recover (partial glitches); the delay
+  // of interest is to the final committed crossing.
+  std::optional<double> found;
+  for (double t : out.allCrossings(level, outputEdge)) {
+    if (t >= tFrom) found = t;
+  }
+  return found;
+}
+
+std::optional<double> propagationDelay(const Waveform& in, Edge inputEdge,
+                                       const Waveform& out, Edge outputEdge,
+                                       const Thresholds& th) {
+  const auto tin = inputRefTime(in, inputEdge, th);
+  if (!tin) return std::nullopt;
+  const auto tout = outputRefTime(out, outputEdge, th);
+  if (!tout) return std::nullopt;
+  return *tout - *tin;
+}
+
+std::optional<double> transitionTime(const Waveform& out, Edge outputEdge,
+                                     const Thresholds& th) {
+  // Anchor on the final committed crossing of the far threshold, then walk
+  // back to the latest crossing of the near threshold before it.
+  const double farLevel = outputEdge == Edge::Rising ? th.vih : th.vil;
+  const double nearLevel = outputEdge == Edge::Rising ? th.vil : th.vih;
+  const auto tFar = out.lastCrossing(farLevel, outputEdge);
+  if (!tFar) return std::nullopt;
+  std::optional<double> tNear;
+  for (double t : out.allCrossings(nearLevel, outputEdge)) {
+    if (t <= *tFar) tNear = t;
+  }
+  if (!tNear) return std::nullopt;
+  return *tFar - *tNear;
+}
+
+std::optional<double> separation(const Waveform& xi, Edge ei,
+                                 const Waveform& xj, Edge ej,
+                                 const Thresholds& th) {
+  const auto ti = inputRefTime(xi, ei, th);
+  const auto tj = inputRefTime(xj, ej, th);
+  if (!ti || !tj) return std::nullopt;
+  return *tj - *ti;
+}
+
+}  // namespace prox::wave

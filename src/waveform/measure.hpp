@@ -1,0 +1,64 @@
+#pragma once
+// Measurement utilities implementing the paper's delay conventions (Section 2).
+//
+// Delay is measured from the time the *reference input* crosses its input
+// threshold to the time the output crosses the output threshold:
+//   - rising input:  input threshold V_il, and the output (falling) is
+//     measured at V_il as well once it has committed downward; the paper pairs
+//     V_il (input) with ... V_il/V_ih on the output according to direction.
+//   - The robust multi-input rule of Section 2 fixes a single (V_il, V_ih)
+//     pair per gate: minimum V_il and maximum V_ih over all VTCs.
+//
+// Conventions used throughout this library (and by the benches):
+//   * input reference time  = crossing of V_il for rising inputs,
+//                             crossing of V_ih for falling inputs
+//     (this is also how separations s_ij are measured, per Section 3);
+//   * output reference time = crossing of V_ih for rising outputs,
+//                             crossing of V_il for falling outputs
+//     (the output must complete its excursion past the far threshold, which is
+//     exactly what makes the Section 2 choice yield strictly positive delays);
+//   * output transition time = time between the V_il and V_ih crossings of the
+//     output ("these two thresholds also provide a logical choice for
+//     measuring input and output transition times").
+
+#include <optional>
+
+#include "waveform/waveform.hpp"
+
+namespace prox::wave {
+
+/// The per-gate measurement thresholds chosen by the Section 2 rule.
+struct Thresholds {
+  double vil = 0.0;  ///< minimum V_il over all VTCs of the gate
+  double vih = 0.0;  ///< maximum V_ih over all VTCs of the gate
+};
+
+/// Reference time of an input transition: V_il crossing for rising inputs,
+/// V_ih crossing for falling inputs (Section 3's separation convention).
+std::optional<double> inputRefTime(const Waveform& in, Edge inputEdge,
+                                   const Thresholds& th);
+
+/// Reference time of an output transition: the *far* threshold in the
+/// direction of travel (V_ih rising, V_il falling), searched from @p tFrom.
+std::optional<double> outputRefTime(const Waveform& out, Edge outputEdge,
+                                    const Thresholds& th, double tFrom = 0.0);
+
+/// Propagation delay from the reference input crossing to the output crossing.
+/// Returns nullopt when either waveform never crosses its threshold.
+std::optional<double> propagationDelay(const Waveform& in, Edge inputEdge,
+                                       const Waveform& out, Edge outputEdge,
+                                       const Thresholds& th);
+
+/// Output transition time: |t(V_ih) - t(V_il)| measured on the last monotone
+/// excursion of the output in direction @p outputEdge.
+std::optional<double> transitionTime(const Waveform& out, Edge outputEdge,
+                                     const Thresholds& th);
+
+/// Temporal separation s_ij between two input transitions, measured from input
+/// i to input j at the Section 3 reference levels.  Positive when j switches
+/// after i.
+std::optional<double> separation(const Waveform& xi, Edge ei,
+                                 const Waveform& xj, Edge ej,
+                                 const Thresholds& th);
+
+}  // namespace prox::wave

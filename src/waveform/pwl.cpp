@@ -1,0 +1,50 @@
+#include "waveform/pwl.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace prox::wave {
+
+namespace {
+constexpr double kMinRamp = 1e-15;  // 1 fs: stand-in slope for ideal steps
+}
+
+Waveform ramp(double tStart, double tau, double v0, double v1) {
+  if (tau < 0.0) throw std::invalid_argument("pwl::ramp: negative tau");
+  const double dur = std::max(tau, kMinRamp);
+  Waveform w;
+  w.append(tStart, v0);
+  w.append(tStart + dur, v1);
+  return w;
+}
+
+Waveform risingRamp(double tStart, double tau, double vdd) {
+  return ramp(tStart, tau, 0.0, vdd);
+}
+
+Waveform fallingRamp(double tStart, double tau, double vdd) {
+  return ramp(tStart, tau, vdd, 0.0);
+}
+
+Waveform constant(double v) {
+  Waveform w;
+  w.append(0.0, v);
+  return w;
+}
+
+Waveform pulse(double tStart, double tauRise, double width, double tauFall,
+               double vBase, double vPulse) {
+  if (tauRise < 0.0 || tauFall < 0.0 || width < 0.0) {
+    throw std::invalid_argument("pwl::pulse: negative duration");
+  }
+  const double r = std::max(tauRise, kMinRamp);
+  const double f = std::max(tauFall, kMinRamp);
+  Waveform w;
+  w.append(tStart, vBase);
+  w.append(tStart + r, vPulse);
+  w.append(tStart + r + std::max(width, kMinRamp), vPulse);
+  w.append(tStart + r + std::max(width, kMinRamp) + f, vBase);
+  return w;
+}
+
+}  // namespace prox::wave

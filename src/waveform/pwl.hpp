@@ -1,0 +1,34 @@
+#pragma once
+// Builders for the piecewise-linear stimulus waveforms used throughout the
+// paper's experiments: full-swing ramps with controlled start time and
+// transition time, steps, and pulses.
+//
+// Convention (matches Section 5 of the paper): the *transition time* tau of a
+// PWL input is the full-swing ramp duration, i.e. the signal moves linearly
+// from one rail to the other over exactly tau seconds starting at tStart.
+
+#include "waveform/waveform.hpp"
+
+namespace prox::wave {
+
+/// A full-swing ramp from @p v0 to @p v1 starting at @p tStart and lasting
+/// @p tau seconds.  The waveform holds v0 before tStart and v1 afterwards.
+/// tau == 0 produces an (almost) ideal step with a 1 fs ramp so that the
+/// representation stays strictly monotone in time.
+Waveform ramp(double tStart, double tau, double v0, double v1);
+
+/// Rising rail-to-rail ramp 0 -> vdd.
+Waveform risingRamp(double tStart, double tau, double vdd);
+
+/// Falling rail-to-rail ramp vdd -> 0.
+Waveform fallingRamp(double tStart, double tau, double vdd);
+
+/// A constant waveform at @p v (a single sample at t = 0; evaluation clamps).
+Waveform constant(double v);
+
+/// A pulse: starts at @p vBase, ramps to @p vPulse over @p tauRise beginning
+/// at @p tStart, holds for @p width, then ramps back over @p tauFall.
+Waveform pulse(double tStart, double tauRise, double width, double tauFall,
+               double vBase, double vPulse);
+
+}  // namespace prox::wave

@@ -1,0 +1,167 @@
+#include "waveform/waveform.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <stdexcept>
+
+namespace prox::wave {
+
+Edge opposite(Edge e) { return e == Edge::Rising ? Edge::Falling : Edge::Rising; }
+
+Waveform::Waveform(std::vector<Sample> samples) : samples_(std::move(samples)) {
+  for (std::size_t i = 1; i < samples_.size(); ++i) {
+    if (!(samples_[i].t > samples_[i - 1].t)) {
+      throw std::invalid_argument("Waveform: sample times must strictly increase");
+    }
+  }
+}
+
+void Waveform::append(double t, double v) {
+  if (!samples_.empty()) {
+    const double last = samples_.back().t;
+    if (t < last) {
+      throw std::invalid_argument("Waveform::append: time moved backwards");
+    }
+    if (t == last) {
+      samples_.back().v = v;  // collapse duplicate time points
+      return;
+    }
+  }
+  samples_.push_back({t, v});
+}
+
+double Waveform::startTime() const {
+  if (samples_.empty()) throw std::runtime_error("Waveform: empty");
+  return samples_.front().t;
+}
+
+double Waveform::endTime() const {
+  if (samples_.empty()) throw std::runtime_error("Waveform: empty");
+  return samples_.back().t;
+}
+
+double Waveform::value(double t) const {
+  if (samples_.empty()) throw std::runtime_error("Waveform::value: empty");
+  if (t <= samples_.front().t) return samples_.front().v;
+  if (t >= samples_.back().t) return samples_.back().v;
+  // Binary search for the segment containing t.
+  auto it = std::upper_bound(samples_.begin(), samples_.end(), t,
+                             [](double tt, const Sample& s) { return tt < s.t; });
+  const Sample& hi = *it;
+  const Sample& lo = *(it - 1);
+  const double f = (t - lo.t) / (hi.t - lo.t);
+  return lo.v + f * (hi.v - lo.v);
+}
+
+namespace {
+
+// Returns the crossing time of `level` inside segment [a, b] when moving in
+// direction `edge`, or nullopt when the segment does not cross it that way.
+// A crossing requires the level to be strictly inside the segment's value
+// span in the requested direction (touching counts when leaving the level).
+std::optional<double> segmentCrossing(const Sample& a, const Sample& b,
+                                      double level, Edge edge) {
+  const bool rising = edge == Edge::Rising;
+  if (rising) {
+    if (a.v < level && b.v >= level) {
+      const double f = (level - a.v) / (b.v - a.v);
+      return a.t + f * (b.t - a.t);
+    }
+  } else {
+    if (a.v > level && b.v <= level) {
+      const double f = (level - a.v) / (b.v - a.v);
+      return a.t + f * (b.t - a.t);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<double> Waveform::crossing(double level, Edge edge,
+                                         double tFrom) const {
+  for (std::size_t i = 1; i < samples_.size(); ++i) {
+    const Sample& a = samples_[i - 1];
+    const Sample& b = samples_[i];
+    if (b.t < tFrom) continue;
+    if (auto tc = segmentCrossing(a, b, level, edge); tc && *tc >= tFrom) {
+      return tc;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<double> Waveform::crossing(double level, Edge edge) const {
+  if (samples_.empty()) return std::nullopt;
+  return crossing(level, edge, samples_.front().t);
+}
+
+std::optional<double> Waveform::lastCrossing(double level, Edge edge) const {
+  std::optional<double> found;
+  for (std::size_t i = 1; i < samples_.size(); ++i) {
+    if (auto tc = segmentCrossing(samples_[i - 1], samples_[i], level, edge)) {
+      found = tc;
+    }
+  }
+  return found;
+}
+
+std::vector<double> Waveform::allCrossings(double level, Edge edge) const {
+  std::vector<double> out;
+  for (std::size_t i = 1; i < samples_.size(); ++i) {
+    if (auto tc = segmentCrossing(samples_[i - 1], samples_[i], level, edge)) {
+      out.push_back(*tc);
+    }
+  }
+  return out;
+}
+
+double Waveform::minValue() const {
+  if (samples_.empty()) throw std::runtime_error("Waveform::minValue: empty");
+  double m = samples_.front().v;
+  for (const Sample& s : samples_) m = std::min(m, s.v);
+  return m;
+}
+
+double Waveform::maxValue() const {
+  if (samples_.empty()) throw std::runtime_error("Waveform::maxValue: empty");
+  double m = samples_.front().v;
+  for (const Sample& s : samples_) m = std::max(m, s.v);
+  return m;
+}
+
+double Waveform::minValue(double t0, double t1) const {
+  double m = value(t0);
+  m = std::min(m, value(t1));
+  for (const Sample& s : samples_) {
+    if (s.t > t0 && s.t < t1) m = std::min(m, s.v);
+  }
+  return m;
+}
+
+double Waveform::maxValue(double t0, double t1) const {
+  double m = value(t0);
+  m = std::max(m, value(t1));
+  for (const Sample& s : samples_) {
+    if (s.t > t0 && s.t < t1) m = std::max(m, s.v);
+  }
+  return m;
+}
+
+Waveform Waveform::shifted(double dt) const {
+  std::vector<Sample> s = samples_;
+  for (Sample& x : s) x.t += dt;
+  return Waveform(std::move(s));
+}
+
+std::ostream& operator<<(std::ostream& os, const Waveform& w) {
+  os << "Waveform[" << w.size() << " pts";
+  if (!w.empty()) {
+    os << ", t=" << w.startTime() << ".." << w.endTime();
+  }
+  os << "]";
+  return os;
+}
+
+}  // namespace prox::wave

@@ -1,0 +1,84 @@
+#pragma once
+// Piecewise-linear waveforms: the common currency between the circuit
+// simulator (which produces sampled node voltages) and the proximity model
+// (which measures threshold crossings, transition times and separations).
+
+#include <cstddef>
+#include <iosfwd>
+#include <optional>
+#include <vector>
+
+namespace prox::wave {
+
+/// One (time, value) sample of a waveform.
+struct Sample {
+  double t = 0.0;
+  double v = 0.0;
+};
+
+/// Direction of a signal transition or a threshold crossing.
+enum class Edge { Rising, Falling };
+
+/// Returns the other edge direction.
+Edge opposite(Edge e);
+
+/// A waveform represented by samples connected with straight segments.
+///
+/// Invariant: sample times are strictly increasing (enforced by append()).
+/// Evaluation outside the sampled range clamps to the first/last value, which
+/// matches the physical picture of signals holding their rails before/after
+/// the recorded window.
+class Waveform {
+ public:
+  Waveform() = default;
+
+  /// Constructs from a pre-built sample list; times must be strictly
+  /// increasing or std::invalid_argument is thrown.
+  explicit Waveform(std::vector<Sample> samples);
+
+  /// Appends a sample; @p t must exceed the last recorded time (samples at
+  /// identical times are collapsed to the most recent value).
+  void append(double t, double v);
+
+  bool empty() const { return samples_.empty(); }
+  std::size_t size() const { return samples_.size(); }
+  const std::vector<Sample>& samples() const { return samples_; }
+
+  double startTime() const;
+  double endTime() const;
+
+  /// Linear interpolation at time @p t (clamped outside the range).
+  double value(double t) const;
+
+  /// First time at/after @p tFrom where the waveform crosses @p level moving
+  /// in direction @p edge.  Crossing times are located by inverse linear
+  /// interpolation within the bracketing segment, so accuracy is limited only
+  /// by the PWL representation, not by sample spacing.
+  std::optional<double> crossing(double level, Edge edge, double tFrom) const;
+
+  /// Convenience overload: searches from the beginning of the waveform.
+  std::optional<double> crossing(double level, Edge edge) const;
+
+  /// Last crossing of @p level in direction @p edge, or nullopt.
+  std::optional<double> lastCrossing(double level, Edge edge) const;
+
+  /// All crossings of @p level in direction @p edge, in time order.
+  std::vector<double> allCrossings(double level, Edge edge) const;
+
+  /// Global extrema over the sampled window.
+  double minValue() const;
+  double maxValue() const;
+  /// Extrema restricted to [t0, t1].
+  double minValue(double t0, double t1) const;
+  double maxValue(double t0, double t1) const;
+
+  /// Returns a copy shifted in time by @p dt (t -> t + dt).
+  Waveform shifted(double dt) const;
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Waveform& w);
+
+}  // namespace prox::wave

@@ -1,0 +1,102 @@
+// Collapsed-inverter baseline tests (references [8]/[13] reproduction).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/collapse.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace prox;
+using model::InputEvent;
+using wave::Edge;
+
+TEST(Collapse, ValidatesInput) {
+  baseline::CollapsedInverterModel m(testutil::nand2Gate());
+  EXPECT_THROW(m.compute({}), std::invalid_argument);
+  EXPECT_THROW(m.compute({{0, Edge::Rising, 0.0, 1e-10}}, 5),
+               std::invalid_argument);
+  std::vector<InputEvent> mixed{{0, Edge::Rising, 0.0, 1e-10},
+                                {1, Edge::Falling, 0.0, 1e-10}};
+  EXPECT_THROW(m.compute(mixed), std::invalid_argument);
+}
+
+TEST(Collapse, ProducesCommittedOutput) {
+  baseline::CollapsedInverterModel m(testutil::nand2Gate());
+  std::vector<InputEvent> evs{{0, Edge::Rising, 0.0, 300e-12},
+                              {1, Edge::Rising, 50e-12, 300e-12}};
+  const auto r = m.compute(evs);
+  ASSERT_TRUE(r.outputRefTime.has_value());
+  ASSERT_TRUE(r.delay.has_value());
+  ASSERT_TRUE(r.transitionTime.has_value());
+  EXPECT_GT(*r.delay, 0.0);
+}
+
+TEST(Collapse, EquivalentWaveformIsPointwiseMin) {
+  // For a NAND the equivalent input tracks the later (smaller) of two rising
+  // ramps at every time point.
+  baseline::CollapsedInverterModel m(testutil::nand2Gate());
+  std::vector<InputEvent> evs{{0, Edge::Rising, 0.0, 200e-12},
+                              {1, Edge::Rising, 150e-12, 200e-12}};
+  const auto r = m.compute(evs);
+  const auto& th = testutil::nand2Gate().thresholds;
+  const double vdd = testutil::nand2Gate().spec.tech.vdd;
+  const auto wa = model::makeInputWave(evs[0], vdd, th);
+  const auto wb = model::makeInputWave(evs[1], vdd, th);
+  for (double t : {-100e-12, 0.0, 100e-12, 250e-12, 400e-12}) {
+    EXPECT_NEAR(r.equivalentInput.value(t),
+                std::min(wa.value(t), wb.value(t)), 1e-9);
+  }
+}
+
+TEST(Collapse, SingleEventStillWorks) {
+  baseline::CollapsedInverterModel m(testutil::nand2Gate());
+  const auto r = m.compute({{0, Edge::Rising, 0.0, 300e-12}});
+  ASSERT_TRUE(r.delay.has_value());
+  EXPECT_GT(*r.delay, 0.0);
+}
+
+TEST(Collapse, BaselineMissesStackAsymmetry) {
+  // The collapse cannot distinguish which pin switches: pin 0 and pin 1
+  // events with identical timing give identical answers, unlike the real
+  // gate.  This is exactly the weakness Section 1 calls out.
+  baseline::CollapsedInverterModel m(testutil::nand3Gate());
+  const auto r0 = m.compute({{0, Edge::Rising, 0.0, 300e-12}});
+  const auto r2 = m.compute({{2, Edge::Rising, 0.0, 300e-12}});
+  ASSERT_TRUE(r0.delay && r2.delay);
+  EXPECT_NEAR(*r0.delay, *r2.delay, 1e-15);
+
+  model::GateSimulator sim(testutil::nand3Gate());
+  const auto s0 = sim.simulateSingle({0, Edge::Rising, 0.0, 300e-12});
+  const auto s2 = sim.simulateSingle({2, Edge::Rising, 0.0, 300e-12});
+  ASSERT_TRUE(s0.delay && s2.delay);
+  EXPECT_GT(std::fabs(*s0.delay - *s2.delay), 1e-12);
+}
+
+TEST(Collapse, NorVariantUsesPointwiseMax) {
+  model::Gate nor = model::makeGate(testutil::norSpec(2), 0.02);
+  baseline::CollapsedInverterModel m(nor);
+  std::vector<InputEvent> evs{{0, Edge::Falling, 0.0, 200e-12},
+                              {1, Edge::Falling, 150e-12, 200e-12}};
+  const auto r = m.compute(evs);
+  const auto wa = model::makeInputWave(evs[0], nor.spec.tech.vdd, nor.thresholds);
+  const auto wb = model::makeInputWave(evs[1], nor.spec.tech.vdd, nor.thresholds);
+  for (double t : {0.0, 100e-12, 300e-12}) {
+    EXPECT_NEAR(r.equivalentInput.value(t),
+                std::max(wa.value(t), wb.value(t)), 1e-9);
+  }
+  ASSERT_TRUE(r.delay.has_value());
+  EXPECT_GT(*r.delay, 0.0);
+}
+
+TEST(Collapse, ReusableAcrossCalls) {
+  baseline::CollapsedInverterModel m(testutil::nand2Gate());
+  const auto r1 = m.compute({{0, Edge::Rising, 0.0, 300e-12}});
+  const auto r2 = m.compute({{0, Edge::Rising, 0.0, 300e-12}});
+  ASSERT_TRUE(r1.delay && r2.delay);
+  EXPECT_NEAR(*r1.delay, *r2.delay, 1e-15);
+}
+
+}  // namespace

@@ -1,0 +1,162 @@
+// Cell generator and fixture tests: topology, naming, pin conventions, and
+// fixture reuse.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cells/fixture.hpp"
+#include "spice/op.hpp"
+#include "waveform/pwl.hpp"
+
+namespace {
+
+using namespace prox::cells;
+using prox::spice::Circuit;
+using prox::spice::kGround;
+
+TEST(CellSpec, NonControllingLevels) {
+  CellSpec nand;
+  nand.type = GateType::Nand;
+  EXPECT_DOUBLE_EQ(nand.nonControllingLevel(), 5.0);
+  CellSpec nor;
+  nor.type = GateType::Nor;
+  EXPECT_DOUBLE_EQ(nor.nonControllingLevel(), 0.0);
+}
+
+TEST(CellSpec, OutputEdgeInverts) {
+  CellSpec s;
+  s.type = GateType::Nand;
+  EXPECT_EQ(s.outputEdgeFor(prox::wave::Edge::Rising), prox::wave::Edge::Falling);
+  EXPECT_EQ(s.outputEdgeFor(prox::wave::Edge::Falling), prox::wave::Edge::Rising);
+}
+
+TEST(CellSpec, GateTypeNames) {
+  EXPECT_EQ(gateTypeName(GateType::Inverter, 1), "INV");
+  EXPECT_EQ(gateTypeName(GateType::Nand, 3), "NAND3");
+  EXPECT_EQ(gateTypeName(GateType::Nor, 2), "NOR2");
+}
+
+TEST(BuildCell, InverterStructure) {
+  Circuit ckt;
+  CellSpec s;
+  s.type = GateType::Inverter;
+  s.fanin = 1;
+  const auto nets = buildCell(ckt, s, "u1");
+  EXPECT_EQ(nets.inputs.size(), 1u);
+  EXPECT_TRUE(nets.internals.empty());
+  EXPECT_NE(nets.vddSource, nullptr);
+  EXPECT_NE(nets.load, nullptr);
+  EXPECT_EQ(nets.nmosByInput.size(), 1u);
+}
+
+TEST(BuildCell, NandStackInternals) {
+  Circuit ckt;
+  CellSpec s;
+  s.type = GateType::Nand;
+  s.fanin = 4;
+  const auto nets = buildCell(ckt, s, "u1");
+  EXPECT_EQ(nets.inputs.size(), 4u);
+  // n-1 internal nodes in the series stack.
+  EXPECT_EQ(nets.internals.size(), 3u);
+  EXPECT_EQ(nets.nmosByInput.size(), 4u);
+}
+
+TEST(BuildCell, InverterFaninMismatchThrows) {
+  Circuit ckt;
+  CellSpec s;
+  s.type = GateType::Inverter;
+  s.fanin = 2;
+  EXPECT_THROW(buildCell(ckt, s, "u1"), std::invalid_argument);
+}
+
+TEST(BuildCell, BadFaninThrows) {
+  Circuit ckt;
+  CellSpec s;
+  s.type = GateType::Nand;
+  s.fanin = 0;
+  EXPECT_THROW(buildCell(ckt, s, "u1"), std::invalid_argument);
+}
+
+TEST(BuildCell, TwoCellsCoexistWithPrefixes) {
+  Circuit ckt;
+  CellSpec s;
+  s.type = GateType::Inverter;
+  s.fanin = 1;
+  const auto a = buildCell(ckt, s, "u1");
+  const auto b = buildCell(ckt, s, "u2");
+  EXPECT_NE(a.out, b.out);
+  EXPECT_NE(a.inputs[0], b.inputs[0]);
+}
+
+TEST(Fixture, DefaultsToNonControlling) {
+  CellSpec s;
+  s.type = GateType::Nand;
+  s.fanin = 2;
+  CellFixture fix(s);
+  // All inputs at Vdd: NAND output is low from the very first timepoint.
+  const auto out = fix.runOutput(1e-9);
+  EXPECT_LT(out.value(0.0), 0.05);
+  EXPECT_LT(out.maxValue(), 0.1);
+}
+
+TEST(Fixture, ReusableAcrossStimuli) {
+  CellSpec s;
+  s.type = GateType::Nand;
+  s.fanin = 2;
+  CellFixture fix(s);
+
+  fix.setInput(0, prox::wave::risingRamp(0.5e-9, 0.2e-9, 5.0));
+  const auto out1 = fix.runOutput(4e-9);
+  EXPECT_NEAR(out1.value(4e-9), 0.0, 0.05);  // output fell
+
+  fix.setAllNonControlling();
+  fix.setInput(1, prox::wave::fallingRamp(0.5e-9, 0.2e-9, 5.0));
+  const auto out2 = fix.runOutput(4e-9);
+  EXPECT_NEAR(out2.value(0.0), 0.0, 0.05);   // starts low (all inputs high)
+  EXPECT_NEAR(out2.value(4e-9), 5.0, 0.05);  // rises after the falling input
+}
+
+TEST(Fixture, BadInputIndexThrows) {
+  CellSpec s;
+  s.type = GateType::Nand;
+  s.fanin = 2;
+  CellFixture fix(s);
+  EXPECT_THROW(fix.setInputConstant(2, 0.0), std::out_of_range);
+  EXPECT_THROW(fix.setInputConstant(-1, 0.0), std::out_of_range);
+}
+
+TEST(Fixture, StackPositionAffectsDelay) {
+  // Input 0 (nearest the output) and the bottom input see different
+  // single-input delays -- the asymmetry the dominance ordering uses.
+  CellSpec s;
+  s.type = GateType::Nand;
+  s.fanin = 3;
+  CellFixture fix(s);
+
+  double cross[2] = {0.0, 0.0};
+  const int pins[2] = {0, 2};
+  for (int i = 0; i < 2; ++i) {
+    fix.setAllNonControlling();
+    // Rising input needs the pin to start low.
+    fix.setInput(pins[i], prox::wave::risingRamp(0.5e-9, 0.3e-9, 5.0));
+    const auto out = fix.runOutput(4e-9);
+    const auto t = out.crossing(2.5, prox::wave::Edge::Falling);
+    ASSERT_TRUE(t.has_value());
+    cross[i] = *t;
+  }
+  EXPECT_NE(cross[0], cross[1]);
+  EXPECT_GT(std::fabs(cross[0] - cross[1]), 1e-12);
+}
+
+TEST(Technology, Generic5vDefaults) {
+  const Technology t = Technology::generic5v();
+  EXPECT_DOUBLE_EQ(t.vdd, 5.0);
+  EXPECT_TRUE(t.nmos.nmos);
+  EXPECT_FALSE(t.pmos.nmos);
+  EXPECT_LT(t.pmos.vt0, 0.0);
+  EXPECT_GT(t.nmos.gamma, 0.0);  // body effect enabled
+  EXPECT_GT(t.gateCap(4e-6, 0.8e-6), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,73 @@
+// Tests for pointwise min/max waveform combination (exactness including
+// segment-crossing points).
+
+#include <gtest/gtest.h>
+
+#include "waveform/combine.hpp"
+#include "waveform/pwl.hpp"
+
+namespace {
+
+using prox::wave::Waveform;
+
+TEST(Combine, MinOfCrossingRamps) {
+  // Two ramps crossing at t = 1: min follows the later-rising one after the
+  // crossing... actually the *smaller* one: before t=1 ramp b (starting
+  // later) is smaller; the crossing is a breakpoint of the result.
+  const Waveform a = prox::wave::risingRamp(0.0, 2.0, 4.0);  // slope 2
+  Waveform b;
+  b.append(0.0, -1.0);
+  b.append(2.0, 7.0);  // slope 4, crosses a at t = 1 (value 2)
+  const Waveform m = prox::wave::pointwiseMin({a, b});
+  EXPECT_DOUBLE_EQ(m.value(0.0), -1.0);
+  EXPECT_DOUBLE_EQ(m.value(0.5), 1.0);   // b
+  EXPECT_DOUBLE_EQ(m.value(1.0), 2.0);   // crossing, exact breakpoint
+  EXPECT_DOUBLE_EQ(m.value(1.5), 3.0);   // a
+  EXPECT_DOUBLE_EQ(m.value(3.0), 4.0);   // a clamps at 4, b at 7
+}
+
+TEST(Combine, MaxIsMirrorOfMin) {
+  const Waveform a = prox::wave::risingRamp(0.0, 1.0, 5.0);
+  const Waveform b = prox::wave::risingRamp(0.5, 1.0, 5.0);
+  const Waveform mn = prox::wave::pointwiseMin({a, b});
+  const Waveform mx = prox::wave::pointwiseMax({a, b});
+  for (double t : {0.0, 0.25, 0.75, 1.2, 2.0}) {
+    EXPECT_DOUBLE_EQ(mn.value(t), std::min(a.value(t), b.value(t)));
+    EXPECT_DOUBLE_EQ(mx.value(t), std::max(a.value(t), b.value(t)));
+  }
+}
+
+TEST(Combine, MinOfIdenticalWaveformsIsIdentity) {
+  const Waveform a = prox::wave::risingRamp(0.0, 1.0, 5.0);
+  const Waveform m = prox::wave::pointwiseMin({a, a, a});
+  for (double t : {-1.0, 0.3, 0.9, 2.0}) {
+    EXPECT_DOUBLE_EQ(m.value(t), a.value(t));
+  }
+}
+
+TEST(Combine, ConstantDominatesWhenLowest) {
+  const Waveform a = prox::wave::risingRamp(0.0, 1.0, 5.0);
+  const Waveform c = prox::wave::constant(2.0);
+  const Waveform m = prox::wave::pointwiseMin({a, c});
+  EXPECT_DOUBLE_EQ(m.value(0.0), 0.0);   // ramp below 2 early
+  EXPECT_DOUBLE_EQ(m.value(1.0), 2.0);   // clamped by the constant later
+  EXPECT_DOUBLE_EQ(m.value(10.0), 2.0);
+}
+
+TEST(Combine, ThreeWayMinTracksLowest) {
+  const Waveform a = prox::wave::risingRamp(0.0, 1.0, 5.0);
+  const Waveform b = prox::wave::risingRamp(0.4, 1.0, 5.0);
+  const Waveform c = prox::wave::risingRamp(0.8, 1.0, 5.0);
+  const Waveform m = prox::wave::pointwiseMin({a, b, c});
+  for (double t : {0.1, 0.5, 0.9, 1.3, 2.5}) {
+    EXPECT_DOUBLE_EQ(m.value(t),
+                     std::min({a.value(t), b.value(t), c.value(t)}));
+  }
+}
+
+TEST(Combine, EmptyInputsThrow) {
+  EXPECT_THROW(prox::wave::pointwiseMin({}), std::invalid_argument);
+  EXPECT_THROW(prox::wave::pointwiseMin({Waveform{}}), std::invalid_argument);
+}
+
+}  // namespace

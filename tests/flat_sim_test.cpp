@@ -1,0 +1,111 @@
+// Flat transistor-level netlist simulation vs the STA: the end-to-end
+// validation the paper's model exists to enable.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sta/flat_sim.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace prox;
+using sta::Arrival;
+using sta::DelayMode;
+using wave::Edge;
+
+struct Chain {
+  sta::Netlist nl;
+  std::unordered_map<std::string, Arrival> arrivals;
+};
+
+Chain buildChain() {
+  const auto& cell = testutil::nand2Model();
+  Chain c;
+  for (const char* pi : {"a", "b", "s1"}) c.nl.addPrimaryInput(pi);
+  c.nl.addInstance("u1", cell, {"a", "b"}, "y1");
+  c.nl.addInstance("u2", cell, {"y1", "s1"}, "y2");
+  c.arrivals = {{"a", {0.0, 250e-12, Edge::Rising}},
+                {"b", {40e-12, 350e-12, Edge::Rising}}};
+  return c;
+}
+
+TEST(FlatSim, ProducesArrivalsAndWaveforms) {
+  Chain c = buildChain();
+  const auto flat = sta::simulateFlat(c.nl, c.arrivals);
+  ASSERT_TRUE(flat.arrivals.count("y1"));
+  ASSERT_TRUE(flat.arrivals.count("y2"));
+  EXPECT_TRUE(flat.waves.count("a"));
+  EXPECT_TRUE(flat.waves.count("y2"));
+  EXPECT_EQ(flat.arrivals.at("y1").edge, Edge::Falling);
+  EXPECT_EQ(flat.arrivals.at("y2").edge, Edge::Rising);
+  EXPECT_GT(flat.arrivals.at("y2").time, flat.arrivals.at("y1").time);
+}
+
+TEST(FlatSim, ProximityStaTracksFlatSimBetterThanClassic) {
+  Chain c = buildChain();
+  const auto flat = sta::simulateFlat(c.nl, c.arrivals);
+
+  auto staError = [&](DelayMode mode) {
+    sta::TimingAnalyzer ta(c.nl, mode);
+    for (const auto& [net, arr] : c.arrivals) ta.setInputArrival(net, arr);
+    ta.run();
+    double err = 0.0;
+    for (const char* net : {"y1", "y2"}) {
+      const auto a = ta.arrival(net);
+      EXPECT_TRUE(a.has_value());
+      err += std::fabs(a->time - flat.arrivals.at(net).time);
+    }
+    return err;
+  };
+
+  const double errProx = staError(DelayMode::Proximity);
+  const double errClassic = staError(DelayMode::Classic);
+  EXPECT_LT(errProx, errClassic);
+  // Absolute agreement: the characterization load differs from the real
+  // fanout load, so allow a generous per-net band.
+  EXPECT_LT(errProx / 2.0, 60e-12);
+}
+
+TEST(FlatSim, StablePrimaryInputHeldNonControlling) {
+  Chain c = buildChain();
+  const auto flat = sta::simulateFlat(c.nl, c.arrivals);
+  // s1 has no arrival: it must sit at Vdd (NAND non-controlling) throughout.
+  ASSERT_TRUE(flat.waves.count("s1"));
+  EXPECT_GT(flat.waves.at("s1").minValue(), 4.9);
+}
+
+TEST(FlatSim, NetsThatNeverSwitchHaveNoArrival) {
+  const auto& cell = testutil::nand2Model();
+  sta::Netlist nl;
+  nl.addPrimaryInput("a");
+  nl.addPrimaryInput("b");
+  nl.addInstance("u1", cell, {"a", "b"}, "y");
+  // No arrivals at all: output stays put.
+  const auto flat = sta::simulateFlat(nl, {});
+  EXPECT_EQ(flat.arrivals.count("y"), 0u);
+}
+
+TEST(FlatSim, FanoutOfTwoLoadsTheDriver) {
+  // y1 drives two gates: the measured y1 transition is slower than in the
+  // single-fanout chain (physical loading the flat sim captures).
+  const auto& cell = testutil::nand2Model();
+
+  Chain single = buildChain();
+  const auto flatSingle = sta::simulateFlat(single.nl, single.arrivals);
+
+  sta::Netlist nl2;
+  for (const char* pi : {"a", "b", "s1", "s2"}) nl2.addPrimaryInput(pi);
+  nl2.addInstance("u1", cell, {"a", "b"}, "y1");
+  nl2.addInstance("u2", cell, {"y1", "s1"}, "y2");
+  nl2.addInstance("u3", cell, {"y1", "s2"}, "y3");
+  const auto flatDouble = sta::simulateFlat(nl2, single.arrivals);
+
+  ASSERT_TRUE(flatSingle.arrivals.count("y1"));
+  ASSERT_TRUE(flatDouble.arrivals.count("y1"));
+  EXPECT_GT(flatDouble.arrivals.at("y1").slope,
+            flatSingle.arrivals.at("y1").slope);
+}
+
+}  // namespace

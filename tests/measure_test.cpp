@@ -1,0 +1,119 @@
+// Tests for the paper's measurement conventions (Section 2/3): delay,
+// transition time and separation against explicit thresholds.
+
+#include <gtest/gtest.h>
+
+#include "waveform/measure.hpp"
+#include "waveform/pwl.hpp"
+
+namespace {
+
+using prox::wave::Edge;
+using prox::wave::Thresholds;
+using prox::wave::Waveform;
+
+const Thresholds kTh{1.0, 4.0};  // vil = 1 V, vih = 4 V, vdd = 5 V
+
+TEST(Measure, InputRefTimeRisingUsesVil) {
+  // 0 -> 5 V ramp over 1 s starting at t = 0: crosses 1 V at t = 0.2.
+  const Waveform in = prox::wave::risingRamp(0.0, 1.0, 5.0);
+  const auto t = prox::wave::inputRefTime(in, Edge::Rising, kTh);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_NEAR(*t, 0.2, 1e-12);
+}
+
+TEST(Measure, InputRefTimeFallingUsesVih) {
+  // 5 -> 0 V ramp over 1 s: crosses 4 V at t = 0.2.
+  const Waveform in = prox::wave::fallingRamp(0.0, 1.0, 5.0);
+  const auto t = prox::wave::inputRefTime(in, Edge::Falling, kTh);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_NEAR(*t, 0.2, 1e-12);
+}
+
+TEST(Measure, OutputRefTimeRisingUsesVih) {
+  const Waveform out = prox::wave::risingRamp(2.0, 1.0, 5.0);
+  const auto t = prox::wave::outputRefTime(out, Edge::Rising, kTh);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_NEAR(*t, 2.8, 1e-12);
+}
+
+TEST(Measure, OutputRefTimeFallingUsesVil) {
+  const Waveform out = prox::wave::fallingRamp(2.0, 1.0, 5.0);
+  const auto t = prox::wave::outputRefTime(out, Edge::Falling, kTh);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_NEAR(*t, 2.8, 1e-12);
+}
+
+TEST(Measure, OutputRefTimeTakesLastCommittedCrossing) {
+  // Output dips below vil, recovers, then falls for good: the delay of
+  // interest anchors on the final crossing.
+  Waveform out;
+  out.append(0.0, 5.0);
+  out.append(1.0, 0.5);  // partial glitch below vil
+  out.append(2.0, 5.0);  // recovery
+  out.append(4.0, 0.0);  // committed transition
+  const auto t = prox::wave::outputRefTime(out, Edge::Falling, kTh);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_GT(*t, 2.0);
+}
+
+TEST(Measure, PropagationDelayRisingInputFallingOutput) {
+  const Waveform in = prox::wave::risingRamp(0.0, 1.0, 5.0);   // ref at 0.2
+  const Waveform out = prox::wave::fallingRamp(1.0, 1.0, 5.0); // ref at 1.8
+  const auto d = prox::wave::propagationDelay(in, Edge::Rising, out,
+                                              Edge::Falling, kTh);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_NEAR(*d, 1.6, 1e-12);
+}
+
+TEST(Measure, PropagationDelayMissingCrossingIsNullopt) {
+  const Waveform in = prox::wave::risingRamp(0.0, 1.0, 5.0);
+  const Waveform flat = prox::wave::constant(5.0);
+  EXPECT_FALSE(prox::wave::propagationDelay(in, Edge::Rising, flat,
+                                            Edge::Falling, kTh)
+                   .has_value());
+  EXPECT_FALSE(prox::wave::propagationDelay(flat, Edge::Rising, in,
+                                            Edge::Rising, kTh)
+                   .has_value());
+}
+
+TEST(Measure, TransitionTimeBetweenThresholds) {
+  // Full-swing rise over 1 s: vil at 0.2, vih at 0.8 -> transition 0.6.
+  const Waveform out = prox::wave::risingRamp(0.0, 1.0, 5.0);
+  const auto tt = prox::wave::transitionTime(out, Edge::Rising, kTh);
+  ASSERT_TRUE(tt.has_value());
+  EXPECT_NEAR(*tt, 0.6, 1e-12);
+}
+
+TEST(Measure, TransitionTimeOnLastExcursion) {
+  // Two falling excursions; transition time must bracket the final one.
+  Waveform out;
+  out.append(0.0, 5.0);
+  out.append(1.0, 0.0);
+  out.append(2.0, 5.0);
+  out.append(4.0, 0.0);  // final fall, half the slope of the first
+  const auto tt = prox::wave::transitionTime(out, Edge::Falling, kTh);
+  ASSERT_TRUE(tt.has_value());
+  EXPECT_NEAR(*tt, 0.6 * 2.0, 1e-9);
+}
+
+TEST(Measure, SeparationSignConvention) {
+  const Waveform a = prox::wave::risingRamp(0.0, 1.0, 5.0);  // ref 0.2
+  const Waveform b = prox::wave::risingRamp(1.0, 1.0, 5.0);  // ref 1.2
+  const auto sAb = prox::wave::separation(a, Edge::Rising, b, Edge::Rising, kTh);
+  const auto sBa = prox::wave::separation(b, Edge::Rising, a, Edge::Rising, kTh);
+  ASSERT_TRUE(sAb.has_value());
+  EXPECT_NEAR(*sAb, 1.0, 1e-12);
+  EXPECT_NEAR(*sBa, -1.0, 1e-12);
+}
+
+TEST(Measure, SeparationMixedEdges) {
+  // Falling a (ref at vih) vs rising b (ref at vil).
+  const Waveform a = prox::wave::fallingRamp(0.0, 1.0, 5.0);  // ref 0.2
+  const Waveform b = prox::wave::risingRamp(0.5, 1.0, 5.0);   // ref 0.7
+  const auto s = prox::wave::separation(a, Edge::Falling, b, Edge::Rising, kTh);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_NEAR(*s, 0.5, 1e-12);
+}
+
+}  // namespace

@@ -1,0 +1,164 @@
+// Section 6 tests: glitch magnitude vs separation and the inertial-delay
+// (minimum valid separation) computation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/glitch.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace prox;
+using model::InputEvent;
+using wave::Edge;
+
+TEST(Glitch, RequiresOppositeEdges) {
+  model::GateSimulator sim(testutil::nand2Gate());
+  model::GlitchAnalyzer an(sim);
+  InputEvent rise{1, Edge::Rising, 0.0, 100e-12};
+  InputEvent fall{0, Edge::Falling, 0.0, 500e-12};
+  EXPECT_THROW(an.analyze(rise, fall), std::invalid_argument);  // swapped
+}
+
+TEST(Glitch, EarlyRiseCompletesTransition) {
+  // b rises long before a falls: the output completes its fall.
+  model::GateSimulator sim(testutil::nand2Gate());
+  model::GlitchAnalyzer an(sim);
+  InputEvent rise{1, Edge::Rising, 0.0, 100e-12};
+  InputEvent fall{0, Edge::Falling, 2e-9, 500e-12};
+  const auto g = an.analyze(fall, rise);
+  EXPECT_TRUE(g.completed);
+  EXPECT_LT(g.extremeVoltage, sim.thresholds().vil);
+}
+
+TEST(Glitch, EarlyFallBlocksTransition) {
+  // a falls long before b rises: the pulldown path never conducts.
+  model::GateSimulator sim(testutil::nand2Gate());
+  model::GlitchAnalyzer an(sim);
+  InputEvent fall{0, Edge::Falling, -2e-9, 500e-12};
+  InputEvent rise{1, Edge::Rising, 0.0, 100e-12};
+  const auto g = an.analyze(fall, rise);
+  EXPECT_FALSE(g.completed);
+  EXPECT_GT(g.extremeVoltage, 4.0);  // barely disturbed
+}
+
+TEST(Glitch, MagnitudeMonotoneInSeparation) {
+  // Figure 6-1(b): the glitch deepens as the blocking input arrives later.
+  model::GateSimulator sim(testutil::nand2Gate());
+  const std::vector<double> seps{-400e-12, -200e-12, 0.0, 200e-12, 400e-12};
+  const auto m = model::GlitchModel::characterize(sim, 0, 500e-12, 1, 100e-12,
+                                                  seps);
+  const auto& v = m.voltages();
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    EXPECT_LE(v[i], v[i - 1] + 0.05) << "separation index " << i;
+  }
+}
+
+TEST(Glitch, MinimumValidSeparationBracketsThreshold) {
+  model::GateSimulator sim(testutil::nand2Gate());
+  std::vector<double> seps;
+  for (double s = -600e-12; s <= 800e-12; s += 100e-12) seps.push_back(s);
+  const auto m = model::GlitchModel::characterize(sim, 0, 500e-12, 1, 100e-12,
+                                                  seps);
+  const double vil = sim.thresholds().vil;
+  const auto sMin = m.minimumValidSeparation(vil);
+  ASSERT_TRUE(sMin.has_value());
+  // At the returned separation the interpolated curve hits vil.
+  EXPECT_NEAR(m.extremeVoltage(*sMin), vil, 0.05);
+  // Slightly earlier blocking (smaller s) leaves the glitch shallower.
+  EXPECT_GT(m.extremeVoltage(*sMin - 200e-12), vil);
+  EXPECT_LT(m.extremeVoltage(*sMin + 200e-12), vil);
+}
+
+TEST(Glitch, FasterRiseDeepensGlitch) {
+  // With the enabling input faster, the stack conducts harder before the
+  // block arrives -- deeper glitch at the same separation.
+  model::GateSimulator sim(testutil::nand2Gate());
+  model::GlitchAnalyzer an(sim);
+  InputEvent fall{0, Edge::Falling, 0.0, 500e-12};
+  const auto fast = an.analyze(fall, {1, Edge::Rising, 0.0, 100e-12});
+  const auto slow = an.analyze(fall, {1, Edge::Rising, 0.0, 1000e-12});
+  EXPECT_LT(fast.extremeVoltage, slow.extremeVoltage);
+}
+
+TEST(Glitch, CharacterizeValidatesGrid) {
+  model::GateSimulator sim(testutil::nand2Gate());
+  EXPECT_THROW(model::GlitchModel::characterize(sim, 0, 500e-12, 1, 100e-12,
+                                                {0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(model::GlitchModel::characterize(sim, 0, 500e-12, 1, 100e-12,
+                                                {1e-10, -1e-10}),
+               std::invalid_argument);
+}
+
+TEST(Glitch, UncharacterizedModelThrows) {
+  model::GlitchModel m;
+  EXPECT_THROW(m.extremeVoltage(0.0), std::runtime_error);
+  EXPECT_THROW(m.minimumValidSeparation(1.0), std::runtime_error);
+}
+
+TEST(GlitchSurface, BilinearAndInertialDelayVsSlope) {
+  model::GateSimulator sim(testutil::nand2Gate());
+  std::vector<double> taus{100e-12, 500e-12, 1000e-12};
+  std::vector<double> seps;
+  for (double s = -600e-12; s <= 900.1e-12; s += 150e-12) seps.push_back(s);
+  const auto surf = model::GlitchSurface::characterize(sim, 0, 500e-12, 1,
+                                                       taus, seps);
+  const double vil = sim.thresholds().vil;
+
+  // Per-slope inertial delays exist and grow with the enabling slope
+  // (Figure 6-1's family ordering).
+  const auto s100 = surf.minimumValidSeparation(100e-12, vil);
+  const auto s1000 = surf.minimumValidSeparation(1000e-12, vil);
+  ASSERT_TRUE(s100 && s1000);
+  EXPECT_LT(*s100, *s1000);
+
+  // The surface agrees with a fresh 1-D characterization along a grid row.
+  const auto row = model::GlitchModel::characterize(sim, 0, 500e-12, 1,
+                                                    500e-12, seps);
+  for (double s : {-300e-12, 0.0, 300e-12}) {
+    EXPECT_NEAR(surf.extremeVoltage(500e-12, s), row.extremeVoltage(s), 1e-9);
+  }
+
+  // Interpolated slope between grid rows stays between its neighbours.
+  const double mid = surf.extremeVoltage(300e-12, 0.0);
+  const double lo = surf.extremeVoltage(100e-12, 0.0);
+  const double hi = surf.extremeVoltage(500e-12, 0.0);
+  EXPECT_GE(mid, std::min(lo, hi) - 1e-9);
+  EXPECT_LE(mid, std::max(lo, hi) + 1e-9);
+}
+
+TEST(GlitchSurface, ValidatesGrids) {
+  model::GateSimulator sim(testutil::nand2Gate());
+  EXPECT_THROW(model::GlitchSurface::characterize(sim, 0, 1e-10, 1, {},
+                                                  {0.0, 1e-10}),
+               std::invalid_argument);
+  EXPECT_THROW(model::GlitchSurface::characterize(sim, 0, 1e-10, 1, {1e-10},
+                                                  {1e-10, 0.0}),
+               std::invalid_argument);
+  model::GlitchSurface empty;
+  EXPECT_THROW(empty.extremeVoltage(1e-10, 0.0), std::runtime_error);
+}
+
+TEST(Glitch, NorGateRisingGlitch) {
+  // Mirror scenario on a NOR2: falling input enables the pullup, rising
+  // input blocks it; the glitch is positive-going.
+  model::Gate g = model::makeGate(testutil::norSpec(2), 0.02);
+  model::GateSimulator sim(g);
+  model::GlitchAnalyzer an(sim);
+  // fall at +s enables late; rise at 0 blocks: choose fall well before rise.
+  InputEvent fall{0, Edge::Falling, -2e-9, 500e-12};
+  InputEvent rise{1, Edge::Rising, 0.0, 100e-12};
+  const auto completed = an.analyze(fall, rise);
+  EXPECT_TRUE(completed.completed);
+  EXPECT_GT(completed.extremeVoltage, g.thresholds.vih);
+
+  InputEvent fallLate{0, Edge::Falling, 2e-9, 500e-12};
+  InputEvent riseEarly{1, Edge::Rising, 0.0, 100e-12};
+  const auto blocked = an.analyze(fallLate, riseEarly);
+  EXPECT_FALSE(blocked.completed);
+}
+
+}  // namespace

@@ -1,0 +1,107 @@
+// Single-input macromodel tests: characterization, interpolation quality,
+// the monotone-delay property of the Section 2 thresholds, and the
+// dimensional-analysis normalized form.
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace {
+
+using namespace prox;
+using model::InputEvent;
+using wave::Edge;
+
+TEST(SingleInput, TableAccessorsAndValidation) {
+  EXPECT_THROW(model::SingleInputModel(0, Edge::Rising, {}, 1e-13, 1e-4, 5.0),
+               std::invalid_argument);
+  std::vector<model::SingleInputModel::Sample> bad{{2e-10, 1e-10, 1e-10},
+                                                   {1e-10, 1e-10, 1e-10}};
+  EXPECT_THROW(model::SingleInputModel(0, Edge::Rising, std::move(bad), 1e-13,
+                                       1e-4, 5.0),
+               std::invalid_argument);
+}
+
+TEST(SingleInput, InterpolationHitsGridPointsExactly) {
+  std::vector<model::SingleInputModel::Sample> t{{1e-10, 3e-10, 2e-10},
+                                                 {4e-10, 5e-10, 3e-10}};
+  model::SingleInputModel m(0, Edge::Rising, std::move(t), 1e-13, 1e-4, 5.0);
+  EXPECT_DOUBLE_EQ(m.delay(1e-10), 3e-10);
+  EXPECT_DOUBLE_EQ(m.delay(4e-10), 5e-10);
+  EXPECT_DOUBLE_EQ(m.transition(1e-10), 2e-10);
+  // Midpoint is the average for a 2-point table.
+  EXPECT_DOUBLE_EQ(m.delay(2.5e-10), 4e-10);
+}
+
+TEST(SingleInput, LinearExtrapolationBeyondGrid) {
+  std::vector<model::SingleInputModel::Sample> t{{1e-10, 3e-10, 2e-10},
+                                                 {2e-10, 4e-10, 3e-10}};
+  model::SingleInputModel m(0, Edge::Rising, std::move(t), 1e-13, 1e-4, 5.0);
+  EXPECT_DOUBLE_EQ(m.delay(3e-10), 5e-10);   // slope 1 continues
+  EXPECT_DOUBLE_EQ(m.delay(0.5e-10), 2.5e-10);
+}
+
+TEST(SingleInput, NormalizedCoordinateDefinition) {
+  std::vector<model::SingleInputModel::Sample> t{{1e-10, 3e-10, 2e-10}};
+  model::SingleInputModel m(0, Edge::Rising, std::move(t), 100e-15, 150e-6, 5.0);
+  // x = CL / (K Vdd tau) = 1e-13 / (150e-6 * 5 * 1e-10).
+  EXPECT_NEAR(m.normalizedX(1e-10), 1e-13 / (150e-6 * 5.0 * 1e-10), 1e-12);
+}
+
+TEST(SingleInputCharacterized, DelayMonotoneInTau) {
+  // The Section 2 threshold choice guarantees monotonically increasing delay
+  // with input transition time; verify on the characterized NAND2.
+  const auto& cg = testutil::nand2Model();
+  for (int pin = 0; pin < 2; ++pin) {
+    for (Edge e : {Edge::Rising, Edge::Falling}) {
+      const auto& m = cg.singles->at(pin, e);
+      double prev = 0.0;
+      for (const auto& row : m.table()) {
+        EXPECT_GT(row.delay, prev) << "pin=" << pin;
+        EXPECT_GT(row.delay, 0.0);
+        EXPECT_GT(row.transition, 0.0);
+        prev = row.delay;
+      }
+    }
+  }
+}
+
+TEST(SingleInputCharacterized, InterpolationMatchesFreshSimulation) {
+  // Query between grid points and compare with a direct simulation.
+  const auto& cg = testutil::nand2Model();
+  model::GateSimulator sim(cg.gate);
+  const double tau = 400e-12;  // between the 200 ps and 700 ps grid points
+  const auto o = sim.simulateSingle({0, Edge::Rising, 0.0, tau});
+  ASSERT_TRUE(o.delay.has_value());
+  const double predicted = cg.singles->at(0, Edge::Rising).delay(tau);
+  EXPECT_NEAR(predicted, *o.delay, 0.08 * *o.delay);  // coarse grid: 8%
+}
+
+TEST(SingleInputCharacterized, StackPositionOrdersFastSlopeDelays) {
+  // With fast inputs, the transistor nearest the output (pin 0) must wait
+  // for the whole stack below it to discharge: its delay exceeds the bottom
+  // pin's.  (With very slow inputs the ordering can invert; the fast-slope
+  // case is the structural one.)
+  const auto& cg = testutil::nand3Model();
+  const double d0 = cg.singles->at(0, Edge::Rising).delay(50e-12);
+  const double d2 = cg.singles->at(2, Edge::Rising).delay(50e-12);
+  EXPECT_NE(d0, d2);
+}
+
+TEST(SingleInputModelSet, MissingModelThrows) {
+  model::SingleInputModelSet set;
+  EXPECT_FALSE(set.has(0, Edge::Rising));
+  EXPECT_THROW(set.at(0, Edge::Rising), std::out_of_range);
+}
+
+TEST(SingleInputModelSet, SetAndRetrieve) {
+  model::SingleInputModelSet set;
+  std::vector<model::SingleInputModel::Sample> t{{1e-10, 3e-10, 2e-10}};
+  set.set(model::SingleInputModel(1, Edge::Falling, std::move(t), 1e-13, 1e-4,
+                                  5.0));
+  EXPECT_TRUE(set.has(1, Edge::Falling));
+  EXPECT_FALSE(set.has(1, Edge::Rising));
+  EXPECT_EQ(set.at(1, Edge::Falling).pin(), 1);
+}
+
+}  // namespace

@@ -1,0 +1,184 @@
+// Parameterized property sweeps across fan-in, direction, slope and
+// separation: the paper's structural guarantees hold over whole grids, not
+// just spot values.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <random>
+
+#include "test_util.hpp"
+
+namespace {
+
+using namespace prox;
+using model::InputEvent;
+using wave::Edge;
+
+// Shared per-fanin characterized models (fast config), built once.
+const characterize::CharacterizedGate& gateForFanin(int n) {
+  static std::map<int, characterize::CharacterizedGate> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    it = cache
+             .emplace(n, characterize::characterizeGate(testutil::nandSpec(n),
+                                                        testutil::fastConfig()))
+             .first;
+  }
+  return it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Positivity: delay > 0 for every (fanin, edge, tau) combination -- the
+// Section 2 guarantee, exercised through the full algorithm.
+struct PositivityCase {
+  int fanin;
+  int edgeIdx;  // 0 = rising, 1 = falling
+  double tau;
+};
+
+class DelayPositivity : public ::testing::TestWithParam<PositivityCase> {};
+
+TEST_P(DelayPositivity, DelayAndTransitionPositive) {
+  const auto& p = GetParam();
+  const auto& cg = gateForFanin(p.fanin);
+  const auto calc = cg.calculator();
+  const Edge e = p.edgeIdx == 0 ? Edge::Rising : Edge::Falling;
+  std::vector<InputEvent> evs;
+  for (int pin = 0; pin < p.fanin; ++pin) {
+    evs.push_back({pin, e, pin * 30e-12, p.tau});
+  }
+  const auto r = calc.compute(evs);
+  EXPECT_GT(r.delay, 0.0);
+  EXPECT_GT(r.transitionTime, 0.0);
+}
+
+std::vector<PositivityCase> positivityCases() {
+  std::vector<PositivityCase> cases;
+  for (int fanin : {2, 3}) {
+    for (int e : {0, 1}) {
+      for (double tau : {50e-12, 400e-12, 2200e-12, 6000e-12}) {
+        cases.push_back({fanin, e, tau});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, DelayPositivity,
+                         ::testing::ValuesIn(positivityCases()));
+
+// ---------------------------------------------------------------------------
+// Window property: as separation grows past the proximity window the
+// computed delay reverts exactly to the single-input value.
+class WindowSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(WindowSweep, DelayRevertsOutsideWindow) {
+  // Falling pair: earliest-first sense with the paper's window semantics.
+  const double tau = GetParam();
+  const auto& cg = gateForFanin(2);
+  const auto calc = cg.calculator();
+  const auto& m = cg.singles->at(0, Edge::Falling);
+  const double d1 = m.delay(tau);
+  const double t1 = m.transition(tau);
+  std::vector<InputEvent> evs{{0, Edge::Falling, 0.0, tau},
+                              {1, Edge::Falling, d1 + t1 + 50e-12, tau}};
+  const auto r = calc.compute(evs);
+  EXPECT_DOUBLE_EQ(r.delay, d1);
+  EXPECT_DOUBLE_EQ(r.transitionTime, t1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Taus, WindowSweep,
+                         ::testing::Values(100e-12, 300e-12, 700e-12,
+                                           1500e-12));
+
+// ---------------------------------------------------------------------------
+// Monotone proximity trend for falling pairs: as the second falling input
+// moves away (larger separation), the speedup weakens monotonically (delay
+// non-decreasing), matching Figure 1-2(a)'s shape.
+class FallingTrend : public ::testing::TestWithParam<double> {};
+
+TEST_P(FallingTrend, SpeedupWeakensWithSeparation) {
+  const double tauB = GetParam();
+  const auto& cg = gateForFanin(2);
+  const auto calc = cg.calculator();
+  const InputEvent a{0, Edge::Falling, 0.0, 500e-12};
+  double prev = -1e9;
+  int violations = 0;
+  for (double s = 0.0; s <= 400e-12; s += 50e-12) {
+    std::vector<InputEvent> evs{a, {1, Edge::Falling, s, tauB}};
+    const auto r = calc.compute(evs);
+    if (r.dominantPin != 0) continue;  // skip pre-crossover regime
+    if (r.delay < prev - 2e-12) ++violations;  // tolerate interpolation noise
+    prev = r.delay;
+  }
+  EXPECT_LE(violations, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(TauB, FallingTrend,
+                         ::testing::Values(100e-12, 500e-12, 1000e-12));
+
+// ---------------------------------------------------------------------------
+// Single-input simulation: delay grows with load capacitance (the C_L
+// dependence dimensional analysis folds into the normalized coordinate).
+class LoadSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LoadSweep, DelayGrowsWithLoad) {
+  const double tau = GetParam();
+  double prev = 0.0;
+  for (double cl : {50e-15, 100e-15, 200e-15}) {
+    cells::CellSpec spec = testutil::nandSpec(2);
+    spec.loadCap = cl;
+    // Reuse the NAND2 thresholds (thresholds are load-independent).
+    model::Gate g{spec, std::nullopt, gateForFanin(2).gate.thresholds};
+    model::GateSimulator sim(g);
+    const auto o = sim.simulateSingle({0, Edge::Rising, 0.0, tau});
+    ASSERT_TRUE(o.delay.has_value());
+    EXPECT_GT(*o.delay, prev);
+    prev = *o.delay;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Taus, LoadSweep, ::testing::Values(100e-12, 600e-12));
+
+// ---------------------------------------------------------------------------
+// Dominance ordering is a permutation and its head minimizes the predicted
+// crossing, for random event sets.
+class DominancePermutation : public ::testing::TestWithParam<int> {};
+
+TEST_P(DominancePermutation, HeadMinimizesPredictedCrossing) {
+  const int seed = GetParam();
+  std::mt19937 rng(static_cast<unsigned>(seed));
+  std::uniform_real_distribution<double> tauDist(50e-12, 2000e-12);
+  std::uniform_real_distribution<double> sepDist(-400e-12, 400e-12);
+  const auto& cg = gateForFanin(3);
+
+  std::vector<InputEvent> evs;
+  for (int p = 0; p < 3; ++p) {
+    evs.push_back({p, Edge::Rising, sepDist(rng), tauDist(rng)});
+  }
+  for (auto sense : {model::DominanceSense::EarliestFirst,
+                     model::DominanceSense::LatestFirst}) {
+    const auto order = model::dominanceOrder(evs, *cg.singles, sense);
+    ASSERT_EQ(order.size(), 3u);
+    std::vector<bool> seen(3, false);
+    for (std::size_t i : order) seen[i] = true;
+    EXPECT_TRUE(seen[0] && seen[1] && seen[2]);
+
+    const double head = model::predictedCrossing(evs[order[0]], *cg.singles);
+    for (std::size_t i = 0; i < 3; ++i) {
+      const double ci = model::predictedCrossing(evs[i], *cg.singles);
+      if (sense == model::DominanceSense::EarliestFirst) {
+        EXPECT_LE(head, ci + 1e-18);
+      } else {
+        EXPECT_GE(head, ci - 1e-18);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DominancePermutation,
+                         ::testing::Range(0, 10));
+
+}  // namespace

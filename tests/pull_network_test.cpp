@@ -1,0 +1,199 @@
+// Tests for series-parallel pull networks and complex (AOI/OAI) gates.
+
+#include <gtest/gtest.h>
+
+#include "cells/complex_fixture.hpp"
+#include "cells/pull_network.hpp"
+#include "spice/op.hpp"
+#include "vtc/complex.hpp"
+#include "waveform/pwl.hpp"
+
+namespace {
+
+using namespace prox;
+using cells::PullExpr;
+
+TEST(PullExpr, ConstructionAndAccessors) {
+  const PullExpr e = PullExpr::parallel(
+      {PullExpr::series({PullExpr::input(0), PullExpr::input(1)}),
+       PullExpr::input(2)});
+  EXPECT_EQ(e.kind(), PullExpr::Kind::Parallel);
+  EXPECT_EQ(e.maxPin(), 2);
+  EXPECT_EQ(e.transistorCount(), 3);
+  EXPECT_EQ(e.toString(), "((a.b)+c)");
+}
+
+TEST(PullExpr, ValidatesArguments) {
+  EXPECT_THROW(PullExpr::input(-1), std::invalid_argument);
+  EXPECT_THROW(PullExpr::series({}), std::invalid_argument);
+  EXPECT_THROW(PullExpr::parallel({}), std::invalid_argument);
+}
+
+TEST(PullExpr, DualSwapsSeriesAndParallel) {
+  const PullExpr e = PullExpr::parallel(
+      {PullExpr::series({PullExpr::input(0), PullExpr::input(1)}),
+       PullExpr::input(2)});
+  const PullExpr d = e.dual();
+  EXPECT_EQ(d.toString(), "((a+b).c)");
+  // Dual of dual is the original.
+  EXPECT_EQ(d.dual().toString(), e.toString());
+}
+
+TEST(PullExpr, ConductionMatchesBooleanFunction) {
+  // f = (a AND b) OR c over all 8 assignments.
+  const PullExpr e = PullExpr::parallel(
+      {PullExpr::series({PullExpr::input(0), PullExpr::input(1)}),
+       PullExpr::input(2)});
+  for (unsigned m = 0; m < 8; ++m) {
+    const bool a = m & 1u;
+    const bool b = m & 2u;
+    const bool c = m & 4u;
+    EXPECT_EQ(e.conducts({a, b, c}), (a && b) || c) << "mask " << m;
+  }
+}
+
+TEST(PullExpr, DeMorganDualityOfConduction) {
+  // For any series-parallel f: dual(f)(NOT x) == NOT f(x) -- this is what
+  // makes the PMOS network the complement of the NMOS network.
+  const PullExpr f = PullExpr::series(
+      {PullExpr::parallel({PullExpr::input(0), PullExpr::input(1)}),
+       PullExpr::input(2)});
+  const PullExpr g = f.dual();
+  for (unsigned m = 0; m < 8; ++m) {
+    std::vector<bool> x{bool(m & 1u), bool(m & 2u), bool(m & 4u)};
+    std::vector<bool> nx{!x[0], !x[1], !x[2]};
+    EXPECT_EQ(g.conducts(nx), !f.conducts(x)) << "mask " << m;
+  }
+}
+
+TEST(ComplexSpec, SensitizingAssignmentAoi21) {
+  const auto spec = cells::aoi21();
+  // Pin a needs b = 1 and c = 0.
+  const auto s = spec.sensitizingAssignment({0});
+  ASSERT_TRUE(s.has_value());
+  EXPECT_TRUE((*s)[1]);
+  EXPECT_FALSE((*s)[2]);
+  // Pin c needs a AND b == 0 (any such assignment).
+  const auto sc = spec.sensitizingAssignment({2});
+  ASSERT_TRUE(sc.has_value());
+  EXPECT_FALSE((*sc)[0] && (*sc)[1]);
+}
+
+TEST(ComplexSpec, UnsensitizableSubsetReturnsNullopt) {
+  // f = a + a' -- not expressible here, so use a case where a subset cannot
+  // toggle: f = a (1 input); subset {0} is sensitizable, nothing else to
+  // test negatively -- instead craft f = (a+b): subset {a} with b high can't
+  // toggle, but b low can, so it IS sensitizable.  A genuinely dead subset
+  // needs a constant function, which series-parallel leaves can't produce;
+  // assert sensitizability for every subset of AOI22 instead.
+  const auto spec = cells::aoi22();
+  for (unsigned m = 1; m < 16; ++m) {
+    std::vector<int> subset;
+    for (int k = 0; k < 4; ++k) {
+      if ((m >> k) & 1u) subset.push_back(k);
+    }
+    EXPECT_TRUE(spec.sensitizingAssignment(subset).has_value()) << "mask " << m;
+  }
+}
+
+TEST(ComplexSpec, PinOutOfRangeThrows) {
+  const auto spec = cells::aoi21();
+  EXPECT_THROW(spec.sensitizingAssignment({7}), std::invalid_argument);
+}
+
+void checkTruthTable(const cells::ComplexCellSpec& spec) {
+  const int n = spec.pinCount();
+  for (unsigned m = 0; m < (1u << n); ++m) {
+    spice::Circuit ckt;
+    const auto nets = cells::buildComplexCell(ckt, spec, "x0");
+    std::vector<bool> levels;
+    for (int k = 0; k < n; ++k) {
+      const bool high = (m >> k) & 1u;
+      levels.push_back(high);
+      ckt.add<spice::VoltageSource>("vin" + std::to_string(k), nets.inputs[k],
+                                    spice::kGround,
+                                    high ? spec.tech.vdd : 0.0);
+    }
+    const auto x = spice::operatingPoint(ckt);
+    ASSERT_TRUE(x.has_value()) << "mask " << m;
+    const double vout = ckt.nodeVoltage(*x, nets.out);
+    if (spec.outputFor(levels)) {
+      EXPECT_GT(vout, spec.tech.vdd - 0.1) << "mask " << m;
+    } else {
+      EXPECT_LT(vout, 0.1) << "mask " << m;
+    }
+  }
+}
+
+TEST(ComplexCell, Aoi21TruthTable) { checkTruthTable(cells::aoi21()); }
+TEST(ComplexCell, Oai21TruthTable) { checkTruthTable(cells::oai21()); }
+TEST(ComplexCell, Aoi22TruthTable) { checkTruthTable(cells::aoi22()); }
+
+TEST(ComplexCell, TransistorCountsAndInternals) {
+  spice::Circuit ckt;
+  const auto spec = cells::aoi22();
+  const auto nets = cells::buildComplexCell(ckt, spec, "u0");
+  EXPECT_EQ(nets.inputs.size(), 4u);
+  // 4 NMOS + 4 PMOS, each series pair contributing one internal node.
+  EXPECT_EQ(nets.internals.size(), 1u + 1u + 1u);  // pd: 2 pairs, pu: 1 chain? structural
+  EXPECT_NE(nets.vddSource, nullptr);
+  EXPECT_NE(nets.load, nullptr);
+}
+
+TEST(ComplexFixture, Aoi21SwitchesViaCPath) {
+  // a=b=0 (AND branch off); c rising pulls the output low.
+  cells::ComplexCellFixture fix(cells::aoi21());
+  fix.setLevels({false, false, false});
+  fix.setInput(2, wave::risingRamp(0.5e-9, 300e-12, 5.0));
+  const auto out = fix.runOutput(4e-9);
+  EXPECT_NEAR(out.value(0.0), 5.0, 0.05);
+  EXPECT_NEAR(out.value(4e-9), 0.0, 0.05);
+}
+
+TEST(ComplexFixture, Aoi21ProximityOnParallelPullup) {
+  // With c = 0 the pullup is (a||b) in series with the c PMOS.  Falling a
+  // and b open parallel paths: close transitions give a faster output rise
+  // than separated ones (the Figure 1-2(a) effect on a complex gate).
+  cells::ComplexCellFixture fix(cells::aoi21());
+  const double vdd = 5.0;
+  auto crossing = [&](double sep) {
+    fix.setLevels({true, true, false});
+    fix.setInput(0, wave::fallingRamp(0.8e-9, 400e-12, vdd));
+    fix.setInput(1, wave::fallingRamp(0.8e-9 + sep, 150e-12, vdd));
+    const auto out = fix.runOutput(6e-9);
+    const auto t = out.lastCrossing(vdd / 2.0, wave::Edge::Rising);
+    EXPECT_TRUE(t.has_value());
+    return t.value_or(0.0);
+  };
+  const double tClose = crossing(0.0);
+  const double tFar = crossing(800e-12);
+  EXPECT_LT(tClose, tFar - 20e-12);
+}
+
+TEST(ComplexVtc, Aoi21FamilyAndThresholdRule) {
+  const auto rep = vtc::chooseComplexThresholds(cells::aoi21(), 0.02);
+  EXPECT_EQ(rep.curves.size() + rep.skippedSubsets.size(), 7u);
+  EXPECT_TRUE(rep.skippedSubsets.empty());  // every AOI21 subset sensitizable
+  for (const auto& c : rep.curves) {
+    EXPECT_LT(rep.chosen.vil, c.curve.points.vm);
+    EXPECT_GT(rep.chosen.vih, c.curve.points.vm);
+  }
+}
+
+TEST(ComplexVtc, NonSensitizingAssignmentThrows) {
+  // Subset {a} with c held HIGH: the output is stuck low.
+  const auto spec = cells::aoi21();
+  std::vector<bool> stable{false, true, true};  // c = 1 kills the toggle
+  EXPECT_THROW(vtc::extractComplexVtc(spec, {0}, stable, 0.05),
+               std::runtime_error);
+}
+
+TEST(ComplexVtc, ValidatesArguments) {
+  const auto spec = cells::aoi21();
+  EXPECT_THROW(vtc::extractComplexVtc(spec, {}, {false, true, false}, 0.05),
+               std::invalid_argument);
+  EXPECT_THROW(vtc::extractComplexVtc(spec, {0}, {false}, 0.05),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,220 @@
+// Analysis-level tests: operating point (with continuation fallbacks),
+// DC sweep, and transient on CMOS circuits.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cells/cell.hpp"
+#include "spice/dcsweep.hpp"
+#include "spice/mosfet.hpp"
+#include "spice/op.hpp"
+#include "spice/tran.hpp"
+#include "waveform/pwl.hpp"
+
+namespace {
+
+using namespace prox::spice;
+using prox::cells::buildCell;
+using prox::cells::CellSpec;
+using prox::cells::GateType;
+
+CellSpec inverterSpec() {
+  CellSpec s;
+  s.type = GateType::Inverter;
+  s.fanin = 1;
+  return s;
+}
+
+TEST(Op, InverterLogicLevels) {
+  for (double vin : {0.0, 5.0}) {
+    Circuit ckt;
+    const auto nets = buildCell(ckt, inverterSpec(), "x0");
+    ckt.add<VoltageSource>("vin", nets.inputs[0], kGround, vin);
+    const auto x = operatingPoint(ckt);
+    ASSERT_TRUE(x.has_value());
+    const double vout = ckt.nodeVoltage(*x, nets.out);
+    if (vin == 0.0) {
+      EXPECT_NEAR(vout, 5.0, 0.01);
+    } else {
+      EXPECT_NEAR(vout, 0.0, 0.01);
+    }
+  }
+}
+
+TEST(Op, Nand3TruthTable) {
+  CellSpec spec;
+  spec.type = GateType::Nand;
+  spec.fanin = 3;
+  for (unsigned mask = 0; mask < 8; ++mask) {
+    Circuit ckt;
+    const auto nets = buildCell(ckt, spec, "x0");
+    for (int k = 0; k < 3; ++k) {
+      ckt.add<VoltageSource>("vin" + std::to_string(k), nets.inputs[k], kGround,
+                             (mask >> k) & 1u ? 5.0 : 0.0);
+    }
+    const auto x = operatingPoint(ckt);
+    ASSERT_TRUE(x.has_value()) << "mask=" << mask;
+    const double vout = ckt.nodeVoltage(*x, nets.out);
+    if (mask == 7u) {
+      EXPECT_LT(vout, 0.05) << "mask=" << mask;  // all high -> out low
+    } else {
+      EXPECT_GT(vout, 4.9) << "mask=" << mask;
+    }
+  }
+}
+
+TEST(Op, Nor2TruthTable) {
+  CellSpec spec;
+  spec.type = GateType::Nor;
+  spec.fanin = 2;
+  for (unsigned mask = 0; mask < 4; ++mask) {
+    Circuit ckt;
+    const auto nets = buildCell(ckt, spec, "x0");
+    for (int k = 0; k < 2; ++k) {
+      ckt.add<VoltageSource>("vin" + std::to_string(k), nets.inputs[k], kGround,
+                             (mask >> k) & 1u ? 5.0 : 0.0);
+    }
+    const auto x = operatingPoint(ckt);
+    ASSERT_TRUE(x.has_value()) << "mask=" << mask;
+    const double vout = ckt.nodeVoltage(*x, nets.out);
+    if (mask == 0u) {
+      EXPECT_GT(vout, 4.9) << "mask=" << mask;  // all low -> out high
+    } else {
+      EXPECT_LT(vout, 0.05) << "mask=" << mask;
+    }
+  }
+}
+
+TEST(Op, SeedAcceleratesConvergence) {
+  Circuit ckt;
+  const auto nets = buildCell(ckt, inverterSpec(), "x0");
+  ckt.add<VoltageSource>("vin", nets.inputs[0], kGround, 2.5);
+  const auto x1 = operatingPoint(ckt);
+  ASSERT_TRUE(x1.has_value());
+  // Re-solving from the solution must converge to the same point.
+  const auto x2 = operatingPoint(ckt, {}, &*x1);
+  ASSERT_TRUE(x2.has_value());
+  EXPECT_NEAR(ckt.nodeVoltage(*x1, nets.out), ckt.nodeVoltage(*x2, nets.out),
+              1e-6);
+}
+
+TEST(DcSweep, InverterVtcIsMonotoneFalling) {
+  Circuit ckt;
+  const auto nets = buildCell(ckt, inverterSpec(), "x0");
+  auto& vin = ckt.add<VoltageSource>("vin", nets.inputs[0], kGround, 0.0);
+  const auto sweep = dcSweep(ckt, vin, 0.0, 5.0, 0.05);
+  ASSERT_EQ(sweep.sweepValues.size(), 101u);
+  const auto curve = sweep.nodeCurve(ckt, nets.out);
+  EXPECT_NEAR(curve.value(0.0), 5.0, 0.01);
+  EXPECT_NEAR(curve.value(5.0), 0.0, 0.01);
+  for (std::size_t i = 1; i < curve.samples().size(); ++i) {
+    EXPECT_LE(curve.samples()[i].v, curve.samples()[i - 1].v + 1e-6);
+  }
+}
+
+TEST(DcSweep, DescendingSweepMatchesAscending) {
+  Circuit ckt;
+  const auto nets = buildCell(ckt, inverterSpec(), "x0");
+  auto& vin = ckt.add<VoltageSource>("vin", nets.inputs[0], kGround, 0.0);
+  const auto up = dcSweep(ckt, vin, 0.0, 5.0, 0.5);
+  const auto down = dcSweep(ckt, vin, 5.0, 0.0, 0.5);
+  ASSERT_EQ(up.sweepValues.size(), down.sweepValues.size());
+  // CMOS VTC has no hysteresis: both directions agree.
+  for (std::size_t i = 0; i < up.sweepValues.size(); ++i) {
+    const std::size_t j = up.sweepValues.size() - 1 - i;
+    EXPECT_NEAR(ckt.nodeVoltage(up.solutions[i], nets.out),
+                ckt.nodeVoltage(down.solutions[j], nets.out), 1e-4);
+  }
+}
+
+TEST(DcSweep, RejectsNonPositiveStep) {
+  Circuit ckt;
+  auto& v = ckt.add<VoltageSource>("v", ckt.node("a"), kGround, 0.0);
+  EXPECT_THROW(dcSweep(ckt, v, 0.0, 1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Tran, InverterSwitchingBothDirections) {
+  Circuit ckt;
+  const auto nets = buildCell(ckt, inverterSpec(), "x0");
+  ckt.add<VoltageSource>("vin", nets.inputs[0], kGround,
+                         prox::wave::risingRamp(0.5e-9, 0.3e-9, 5.0));
+  TranOptions opt;
+  opt.tstop = 4e-9;
+  const auto res = transient(ckt, opt);
+  const auto out = res.node(nets.out);
+  EXPECT_NEAR(out.value(0.0), 5.0, 0.05);
+  EXPECT_NEAR(out.value(4e-9), 0.0, 0.05);
+  // Output crosses 2.5 V exactly once, falling.
+  EXPECT_EQ(out.allCrossings(2.5, prox::wave::Edge::Falling).size(), 1u);
+}
+
+TEST(Tran, OutputDelayPositiveAndOrdered) {
+  // Faster input slope -> earlier output crossing.
+  double tCross[2] = {0, 0};
+  const double taus[2] = {0.2e-9, 1.0e-9};
+  for (int i = 0; i < 2; ++i) {
+    Circuit ckt;
+    const auto nets = buildCell(ckt, inverterSpec(), "x0");
+    ckt.add<VoltageSource>("vin", nets.inputs[0], kGround,
+                           prox::wave::risingRamp(0.5e-9, taus[i], 5.0));
+    TranOptions opt;
+    opt.tstop = 6e-9;
+    const auto out = transient(ckt, opt).node(nets.out);
+    const auto t = out.crossing(2.5, prox::wave::Edge::Falling);
+    ASSERT_TRUE(t.has_value());
+    tCross[i] = *t;
+  }
+  EXPECT_LT(tCross[0], tCross[1]);
+}
+
+TEST(Tran, FloatingStackNodesDoNotUnderflowTimestep) {
+  // A capacitor-free series stack: when both transistors turn off the
+  // internal node floats and re-equilibrates through gmin in one memoryless
+  // jump.  The stepper must accept that jump instead of chasing it to a
+  // timestep underflow (regression test for the dv-limiter).
+  Circuit ckt;
+  const NodeId vdd = ckt.node("vdd");
+  const NodeId out = ckt.node("out");
+  const NodeId mid = ckt.node("mid");
+  const NodeId a = ckt.node("a");
+  const NodeId b = ckt.node("b");
+  ckt.add<VoltageSource>("vdd", vdd, kGround, 5.0);
+  MosfetParams nP;  // defaults: NMOS level-1
+  ckt.add<Mosfet>("m1", out, a, mid, kGround, nP);
+  ckt.add<Mosfet>("m2", mid, b, kGround, kGround, nP);
+  MosfetParams pP;
+  pP.nmos = false;
+  pP.vt0 = -0.9;
+  pP.kp = 25e-6;
+  ckt.add<Mosfet>("m3", out, a, vdd, vdd, pP);
+  ckt.add<Mosfet>("m4", out, b, vdd, vdd, pP);
+  ckt.add<Capacitor>("cl", out, kGround, 100e-15);
+  // Both inputs fall: the stack shuts off and `mid` floats.
+  ckt.add<VoltageSource>("va", a, kGround,
+                         prox::wave::fallingRamp(1e-9, 0.5e-9, 5.0));
+  ckt.add<VoltageSource>("vb", b, kGround,
+                         prox::wave::fallingRamp(1.2e-9, 0.1e-9, 5.0));
+  TranOptions opt;
+  opt.tstop = 5e-9;
+  const auto res = transient(ckt, opt);  // must not throw
+  EXPECT_NEAR(res.node(out).value(5e-9), 5.0, 0.05);
+}
+
+TEST(Tran, EnergyConservationSanity) {
+  // After a full output swing the load capacitor ends at the rails: check
+  // final voltages rather than mid-transition details.
+  Circuit ckt;
+  CellSpec spec = inverterSpec();
+  spec.loadCap = 200e-15;
+  const auto nets = buildCell(ckt, spec, "x0");
+  ckt.add<VoltageSource>("vin", nets.inputs[0], kGround,
+                         prox::wave::fallingRamp(0.5e-9, 0.5e-9, 5.0));
+  TranOptions opt;
+  opt.tstop = 6e-9;
+  const auto out = transient(ckt, opt).node(nets.out);
+  EXPECT_NEAR(out.value(0.0), 0.0, 0.05);
+  EXPECT_NEAR(out.value(6e-9), 5.0, 0.05);
+}
+
+}  // namespace

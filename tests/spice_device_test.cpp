@@ -1,0 +1,259 @@
+// Device-level tests: resistor and capacitor stamps, voltage sources,
+// verified through tiny circuits with analytic solutions.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/capacitor.hpp"
+#include "spice/isource.hpp"
+#include "spice/op.hpp"
+#include "spice/resistor.hpp"
+#include "spice/tran.hpp"
+#include "spice/vsource.hpp"
+#include "waveform/pwl.hpp"
+
+namespace {
+
+using namespace prox::spice;
+
+TEST(Resistor, DividerOperatingPoint) {
+  Circuit ckt;
+  const NodeId in = ckt.node("in");
+  const NodeId mid = ckt.node("mid");
+  ckt.add<VoltageSource>("v1", in, kGround, 6.0);
+  ckt.add<Resistor>("r1", in, mid, 1000.0);
+  ckt.add<Resistor>("r2", mid, kGround, 2000.0);
+  const auto x = operatingPoint(ckt);
+  ASSERT_TRUE(x.has_value());
+  // The solver's gmin shunt (1e-12 S) perturbs the ideal divider by a few nV.
+  EXPECT_NEAR(ckt.nodeVoltage(*x, mid), 4.0, 1e-6);
+}
+
+TEST(Resistor, BranchCurrentHelper) {
+  Circuit ckt;
+  const NodeId in = ckt.node("in");
+  ckt.add<VoltageSource>("v1", in, kGround, 5.0);
+  auto& r = ckt.add<Resistor>("r1", in, kGround, 1000.0);
+  const auto x = operatingPoint(ckt);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR(r.current(ckt, *x), 5e-3, 1e-9);
+}
+
+TEST(Resistor, RejectsNonPositiveValue) {
+  Circuit ckt;
+  EXPECT_THROW(ckt.add<Resistor>("r", ckt.node("a"), kGround, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(ckt.add<Resistor>("r2", ckt.node("a"), kGround, -5.0),
+               std::invalid_argument);
+}
+
+TEST(VoltageSource, BranchCurrentThroughLoad) {
+  Circuit ckt;
+  const NodeId in = ckt.node("in");
+  auto& v = ckt.add<VoltageSource>("v1", in, kGround, 10.0);
+  ckt.add<Resistor>("r1", in, kGround, 100.0);
+  const auto x = operatingPoint(ckt);
+  ASSERT_TRUE(x.has_value());
+  // 100 mA flows out of the + terminal through the resistor and back: the
+  // MNA branch current (through the source, + to -) is -0.1 A.
+  EXPECT_NEAR(v.branchCurrent(*x), -0.1, 1e-9);
+}
+
+TEST(VoltageSource, PwlFollowsWaveformInTransient) {
+  Circuit ckt;
+  const NodeId in = ckt.node("in");
+  prox::wave::Waveform w;
+  w.append(0.0, 0.0);
+  w.append(1e-9, 2.0);
+  w.append(2e-9, 2.0);
+  ckt.add<VoltageSource>("v1", in, kGround, w);
+  ckt.add<Resistor>("r1", in, kGround, 1000.0);
+  TranOptions opt;
+  opt.tstop = 2e-9;
+  const TranResult res = transient(ckt, opt);
+  const auto node = res.node(in);
+  EXPECT_NEAR(node.value(0.5e-9), 1.0, 1e-6);
+  EXPECT_NEAR(node.value(2e-9), 2.0, 1e-6);
+}
+
+TEST(VoltageSource, EmptyPwlThrows) {
+  Circuit ckt;
+  EXPECT_THROW(ckt.add<VoltageSource>("v", ckt.node("a"), kGround,
+                                      prox::wave::Waveform{}),
+               std::invalid_argument);
+}
+
+TEST(Capacitor, RejectsNegativeValue) {
+  Circuit ckt;
+  EXPECT_THROW(ckt.add<Capacitor>("c", ckt.node("a"), kGround, -1e-12),
+               std::invalid_argument);
+}
+
+TEST(Capacitor, OpenCircuitInDc) {
+  // Node behind a capacitor floats in DC; gmin pulls it to ground.
+  Circuit ckt;
+  const NodeId in = ckt.node("in");
+  const NodeId out = ckt.node("out");
+  ckt.add<VoltageSource>("v1", in, kGround, 5.0);
+  ckt.add<Capacitor>("c1", in, out, 1e-12);
+  ckt.add<Resistor>("r1", out, kGround, 1000.0);
+  const auto x = operatingPoint(ckt);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR(ckt.nodeVoltage(*x, out), 0.0, 1e-6);
+}
+
+TEST(Capacitor, RcStepResponseMatchesAnalytic) {
+  // R = 1 kOhm, C = 1 pF, tau = 1 ns; v(t) = 1 - exp(-t/tau).
+  Circuit ckt;
+  const NodeId in = ckt.node("in");
+  const NodeId out = ckt.node("out");
+  prox::wave::Waveform step;
+  step.append(0.0, 0.0);
+  step.append(1e-12, 1.0);
+  ckt.add<VoltageSource>("v1", in, kGround, step);
+  ckt.add<Resistor>("r1", in, out, 1000.0);
+  ckt.add<Capacitor>("c1", out, kGround, 1e-12);
+  TranOptions opt;
+  opt.tstop = 5e-9;
+  opt.dvMax = 0.01;
+  const TranResult res = transient(ckt, opt);
+  const auto w = res.node(out);
+  for (double t : {0.5e-9, 1e-9, 2e-9, 3e-9}) {
+    const double expect = 1.0 - std::exp(-t / 1e-9);
+    EXPECT_NEAR(w.value(t), expect, 2e-3) << "at t=" << t;
+  }
+}
+
+TEST(Capacitor, RcDischargeMatchesAnalytic) {
+  // Start charged at 3 V (DC op with source at 3), source steps to 0.
+  Circuit ckt;
+  const NodeId in = ckt.node("in");
+  const NodeId out = ckt.node("out");
+  prox::wave::Waveform fall;
+  fall.append(0.0, 3.0);
+  fall.append(1e-12, 0.0);
+  ckt.add<VoltageSource>("v1", in, kGround, fall);
+  ckt.add<Resistor>("r1", in, out, 2000.0);
+  ckt.add<Capacitor>("c1", out, kGround, 1e-12);  // tau = 2 ns
+  TranOptions opt;
+  opt.tstop = 8e-9;
+  opt.dvMax = 0.02;
+  const TranResult res = transient(ckt, opt);
+  const auto w = res.node(out);
+  for (double t : {1e-9, 2e-9, 4e-9}) {
+    const double expect = 3.0 * std::exp(-t / 2e-9);
+    EXPECT_NEAR(w.value(t), expect, 6e-3) << "at t=" << t;
+  }
+}
+
+TEST(Capacitor, CoupledDividerTransient) {
+  // Capacitive divider: fast step couples through proportionally.
+  Circuit ckt;
+  const NodeId in = ckt.node("in");
+  const NodeId mid = ckt.node("mid");
+  prox::wave::Waveform step;
+  step.append(0.0, 0.0);
+  step.append(1e-12, 2.0);
+  ckt.add<VoltageSource>("v1", in, kGround, step);
+  ckt.add<Capacitor>("c1", in, mid, 3e-12);
+  ckt.add<Capacitor>("c2", mid, kGround, 1e-12);
+  TranOptions opt;
+  opt.tstop = 0.2e-9;
+  const TranResult res = transient(ckt, opt);
+  // Immediately after the step the divider gives 2 * 3/(3+1) = 1.5 V (gmin
+  // discharge is negligible at this timescale).
+  EXPECT_NEAR(res.node(mid).value(0.1e-9), 1.5, 0.02);
+}
+
+TEST(CurrentSource, DcIntoResistor) {
+  // 1 mA out of the + terminal through the external path: with np grounded
+  // and nn at the resistor, the resistor node is pushed positive.
+  Circuit ckt;
+  const NodeId out = ckt.node("out");
+  ckt.add<CurrentSource>("i1", kGround, out, 1e-3);
+  ckt.add<Resistor>("r1", out, kGround, 1000.0);
+  const auto x = operatingPoint(ckt);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR(ckt.nodeVoltage(*x, out), 1.0, 1e-6);
+}
+
+TEST(CurrentSource, PolarityConvention) {
+  // Current leaves np: with np at the resistor node the voltage goes
+  // negative.
+  Circuit ckt;
+  const NodeId out = ckt.node("out");
+  ckt.add<CurrentSource>("i1", out, kGround, 1e-3);
+  ckt.add<Resistor>("r1", out, kGround, 1000.0);
+  const auto x = operatingPoint(ckt);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR(ckt.nodeVoltage(*x, out), -1.0, 1e-6);
+}
+
+TEST(CurrentSource, PwlRampChargesCapacitorQuadratically) {
+  // i(t) = (1 mA/ns) * t into C = 1 pF: v(t) = t^2 * (1e6/2) / 1e-12.
+  Circuit ckt;
+  const NodeId out = ckt.node("out");
+  prox::wave::Waveform ramp;
+  ramp.append(0.0, 0.0);
+  ramp.append(1e-9, 1e-3);
+  ckt.add<CurrentSource>("i1", kGround, out, ramp);
+  ckt.add<Capacitor>("c1", out, kGround, 1e-12);
+  TranOptions opt;
+  opt.tstop = 1e-9;
+  opt.dvMax = 0.01;
+  const auto res = transient(ckt, opt);
+  const auto w = res.node(out);
+  // v(t) = integral i/C = (1e6 * t^2 / 2) / 1e-12 -> at 1 ns: 0.5 V.
+  EXPECT_NEAR(w.value(1e-9), 0.5, 0.01);
+  EXPECT_NEAR(w.value(0.5e-9), 0.125, 0.01);
+}
+
+TEST(CurrentSource, EmptyPwlThrows) {
+  Circuit ckt;
+  EXPECT_THROW(ckt.add<CurrentSource>("i", ckt.node("a"), kGround,
+                                      prox::wave::Waveform{}),
+               std::invalid_argument);
+}
+
+TEST(Circuit, NodeNamesAndAliases) {
+  Circuit ckt;
+  EXPECT_EQ(ckt.node("0"), kGround);
+  EXPECT_EQ(ckt.node("gnd"), kGround);
+  EXPECT_EQ(ckt.node("GND"), kGround);
+  const NodeId a = ckt.node("a");
+  EXPECT_EQ(ckt.node("a"), a);
+  EXPECT_NE(ckt.node("b"), a);
+  EXPECT_TRUE(ckt.findNode("a").has_value());
+  EXPECT_FALSE(ckt.findNode("zzz").has_value());
+  EXPECT_EQ(ckt.nodeName(a), "a");
+}
+
+TEST(Transient, RejectsNonPositiveStop) {
+  Circuit ckt;
+  ckt.add<VoltageSource>("v", ckt.node("a"), kGround, 1.0);
+  TranOptions opt;
+  opt.tstop = 0.0;
+  EXPECT_THROW(transient(ckt, opt), std::invalid_argument);
+}
+
+TEST(Transient, LandsOnPwlBreakpoints) {
+  Circuit ckt;
+  const NodeId in = ckt.node("in");
+  prox::wave::Waveform w;
+  w.append(0.0, 0.0);
+  w.append(1.000001e-9, 5.0);
+  ckt.add<VoltageSource>("v1", in, kGround, w);
+  ckt.add<Resistor>("r1", in, kGround, 1000.0);
+  TranOptions opt;
+  opt.tstop = 2e-9;
+  const TranResult res = transient(ckt, opt);
+  // A recorded timepoint must hit the breakpoint exactly.
+  bool found = false;
+  for (double t : res.times()) {
+    if (std::fabs(t - 1.000001e-9) < 1e-21) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace

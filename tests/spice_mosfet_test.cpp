@@ -1,0 +1,292 @@
+// MOSFET level-1 model tests: region equations, body effect, drain-source
+// symmetry, PMOS mirroring, and circuit-level sanity.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/mosfet.hpp"
+#include "spice/op.hpp"
+#include "spice/resistor.hpp"
+#include "spice/vsource.hpp"
+
+namespace {
+
+using namespace prox::spice;
+
+MosfetParams nmosParams() {
+  MosfetParams p;
+  p.nmos = true;
+  p.w = 4e-6;
+  p.l = 0.8e-6;
+  p.kp = 60e-6;
+  p.vt0 = 0.8;
+  p.lambda = 0.0;  // clean square-law for the analytic checks
+  p.gamma = 0.0;
+  return p;
+}
+
+TEST(Level1, CutoffBelowThreshold) {
+  const auto op = evalLevel1(nmosParams(), 0.5, 2.0, 0.0);
+  EXPECT_EQ(op.region, MosfetOperatingPoint::Region::Cutoff);
+  EXPECT_EQ(op.id, 0.0);
+  EXPECT_EQ(op.gm, 0.0);
+}
+
+TEST(Level1, SaturationSquareLaw) {
+  const MosfetParams p = nmosParams();
+  const double vgs = 2.0;
+  const auto op = evalLevel1(p, vgs, 3.0, 0.0);
+  EXPECT_EQ(op.region, MosfetOperatingPoint::Region::Saturation);
+  const double beta = p.kp * p.w / p.l;
+  EXPECT_NEAR(op.id, 0.5 * beta * (vgs - p.vt0) * (vgs - p.vt0), 1e-12);
+  EXPECT_NEAR(op.gm, beta * (vgs - p.vt0), 1e-12);
+  EXPECT_NEAR(op.gds, 0.0, 1e-15);  // lambda = 0
+}
+
+TEST(Level1, TriodeEquation) {
+  const MosfetParams p = nmosParams();
+  const double vgs = 3.0;
+  const double vds = 0.5;  // well below vov = 2.2
+  const auto op = evalLevel1(p, vgs, vds, 0.0);
+  EXPECT_EQ(op.region, MosfetOperatingPoint::Region::Triode);
+  const double beta = p.kp * p.w / p.l;
+  EXPECT_NEAR(op.id, beta * ((vgs - p.vt0) * vds - 0.5 * vds * vds), 1e-12);
+  EXPECT_NEAR(op.gds, beta * (vgs - p.vt0 - vds), 1e-12);
+}
+
+TEST(Level1, ContinuousAcrossSaturationBoundary) {
+  const MosfetParams p = nmosParams();
+  const double vgs = 2.0;
+  const double vov = vgs - p.vt0;
+  const auto below = evalLevel1(p, vgs, vov - 1e-9, 0.0);
+  const auto above = evalLevel1(p, vgs, vov + 1e-9, 0.0);
+  EXPECT_NEAR(below.id, above.id, 1e-9);
+  EXPECT_NEAR(below.gm, above.gm, 1e-6);
+}
+
+TEST(Level1, LambdaIncreasesSaturationCurrent) {
+  MosfetParams p = nmosParams();
+  p.lambda = 0.05;
+  const auto lo = evalLevel1(p, 2.0, 1.5, 0.0);
+  const auto hi = evalLevel1(p, 2.0, 4.0, 0.0);
+  EXPECT_GT(hi.id, lo.id);
+  EXPECT_GT(hi.gds, 0.0);
+}
+
+TEST(Level1, BodyEffectRaisesThreshold) {
+  MosfetParams p = nmosParams();
+  p.gamma = 0.4;
+  p.phi = 0.65;
+  // Same vgs: with the source above the body (vbs < 0) the current drops.
+  const auto noBias = evalLevel1(p, 1.5, 3.0, 0.0);
+  const auto revBias = evalLevel1(p, 1.5, 3.0, -1.5);
+  EXPECT_GT(noBias.id, revBias.id);
+  EXPECT_GT(revBias.gmb, 0.0);
+}
+
+TEST(Level1, GmbZeroWithoutGamma) {
+  const auto op = evalLevel1(nmosParams(), 2.0, 3.0, -1.0);
+  EXPECT_EQ(op.gmb, 0.0);
+}
+
+TEST(Mosfet, DrainCurrentSignAndSymmetry) {
+  // NMOS with terminals reversed must carry the mirrored current.
+  Circuit ckt;
+  const NodeId d = ckt.node("d");
+  const NodeId g = ckt.node("g");
+  ckt.add<VoltageSource>("vd", d, kGround, 2.0);
+  ckt.add<VoltageSource>("vg", g, kGround, 2.0);
+  auto& m1 = ckt.add<Mosfet>("m1", d, g, kGround, kGround, nmosParams());
+  // Same device wired with drain and source exchanged.
+  auto& m2 = ckt.add<Mosfet>("m2", kGround, g, d, kGround, nmosParams());
+  ckt.finalize();
+  const auto x = operatingPoint(ckt);
+  ASSERT_TRUE(x.has_value());
+  const double i1 = m1.drainCurrent(ckt, *x);
+  const double i2 = m2.drainCurrent(ckt, *x);
+  EXPECT_GT(i1, 1e-6);
+  EXPECT_NEAR(i1, -i2, 1e-9);
+}
+
+TEST(Mosfet, NmosCommonSourceAmplifierOp) {
+  // Vdd = 5, Rd = 10k, vgs = 1.5: id = 0.5*beta*0.49; vout = 5 - id*Rd.
+  Circuit ckt;
+  const NodeId vdd = ckt.node("vdd");
+  const NodeId out = ckt.node("out");
+  const NodeId g = ckt.node("g");
+  ckt.add<VoltageSource>("vdd", vdd, kGround, 5.0);
+  ckt.add<VoltageSource>("vg", g, kGround, 1.5);
+  ckt.add<Resistor>("rd", vdd, out, 10e3);
+  ckt.add<Mosfet>("m1", out, g, kGround, kGround, nmosParams());
+  const auto x = operatingPoint(ckt);
+  ASSERT_TRUE(x.has_value());
+  const double beta = 60e-6 * 4e-6 / 0.8e-6;
+  const double id = 0.5 * beta * 0.7 * 0.7;
+  EXPECT_NEAR(ckt.nodeVoltage(*x, out), 5.0 - id * 10e3, 0.05);
+}
+
+TEST(Mosfet, PmosSourceFollowerPullsUp) {
+  // PMOS with gate at 0 and source at vdd conducts; with gate at vdd it cuts
+  // off and the output leaks to ground through a resistor.
+  MosfetParams pp;
+  pp.nmos = false;
+  pp.w = 8e-6;
+  pp.l = 0.8e-6;
+  pp.kp = 25e-6;
+  pp.vt0 = -0.9;
+  pp.lambda = 0.0;
+  pp.gamma = 0.0;
+
+  for (double vgate : {0.0, 5.0}) {
+    Circuit ckt;
+    const NodeId vdd = ckt.node("vdd");
+    const NodeId out = ckt.node("out");
+    const NodeId g = ckt.node("g");
+    ckt.add<VoltageSource>("vdd", vdd, kGround, 5.0);
+    ckt.add<VoltageSource>("vg", g, kGround, vgate);
+    ckt.add<Mosfet>("m1", out, g, vdd, vdd, pp);
+    ckt.add<Resistor>("rl", out, kGround, 100e3);
+    const auto x = operatingPoint(ckt);
+    ASSERT_TRUE(x.has_value());
+    const double vout = ckt.nodeVoltage(*x, out);
+    if (vgate == 0.0) {
+      EXPECT_GT(vout, 4.5);  // strongly pulled up
+    } else {
+      EXPECT_LT(vout, 0.5);  // cut off, resistor wins
+    }
+  }
+}
+
+TEST(Mosfet, StrengthKMatchesPaperDefinition) {
+  Circuit ckt;
+  auto& m = ckt.add<Mosfet>("m", ckt.node("d"), ckt.node("g"), kGround,
+                            kGround, nmosParams());
+  // K = 0.5 * mu Cox * W/L = 0.5 * 60u * 5 = 150u.
+  EXPECT_NEAR(m.strengthK(), 150e-6, 1e-12);
+}
+
+// Parameterized sweep: current is monotone non-decreasing in vgs for every
+// vds, a property the Newton solver relies on for convergence.
+class MosfetMonotoneSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MosfetMonotoneSweep, CurrentMonotoneInVgs) {
+  const double vds = GetParam();
+  MosfetParams p = nmosParams();
+  p.lambda = 0.02;
+  p.gamma = 0.4;
+  double prev = -1.0;
+  for (double vgs = 0.0; vgs <= 5.0; vgs += 0.1) {
+    const auto op = evalLevel1(p, vgs, vds, -0.5);
+    EXPECT_GE(op.id, prev - 1e-15) << "vgs=" << vgs << " vds=" << vds;
+    EXPECT_GE(op.gm, 0.0);
+    EXPECT_GE(op.gds, 0.0);
+    prev = op.id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(VdsGrid, MosfetMonotoneSweep,
+                         ::testing::Values(0.05, 0.2, 0.5, 1.0, 2.0, 3.5, 5.0));
+
+// ---------------------------------------------------------------------------
+// Alpha-power-law model (Sakurai-Newton, the paper's reference [14]).
+
+MosfetParams alphaParams() {
+  MosfetParams p;
+  p.nmos = true;
+  p.equation = MosEquation::AlphaPower;
+  p.w = 2e-6;
+  p.l = 0.35e-6;
+  p.vt0 = 0.55;
+  p.lambda = 0.0;
+  p.gamma = 0.0;
+  p.alpha = 1.3;
+  p.pc = 55e-6;
+  p.pv = 0.9;
+  return p;
+}
+
+TEST(AlphaPower, CutoffBelowThreshold) {
+  const auto op = evalAlphaPower(alphaParams(), 0.4, 1.0, 0.0);
+  EXPECT_EQ(op.region, MosfetOperatingPoint::Region::Cutoff);
+  EXPECT_EQ(op.id, 0.0);
+}
+
+TEST(AlphaPower, SaturationFollowsPowerLaw) {
+  const MosfetParams p = alphaParams();
+  const double vgs = 2.0;
+  const double vov = vgs - p.vt0;
+  const auto op = evalAlphaPower(p, vgs, 3.0, 0.0);
+  EXPECT_EQ(op.region, MosfetOperatingPoint::Region::Saturation);
+  EXPECT_NEAR(op.id, (p.w / p.l) * p.pc * std::pow(vov, p.alpha), 1e-12);
+  // gm = alpha * id / vov.
+  EXPECT_NEAR(op.gm, p.alpha * op.id / vov, 1e-9);
+}
+
+TEST(AlphaPower, ContinuousAcrossVd0) {
+  const MosfetParams p = alphaParams();
+  const double vgs = 2.0;
+  const double vd0 = p.pv * std::pow(vgs - p.vt0, 0.5 * p.alpha);
+  const auto below = evalAlphaPower(p, vgs, vd0 - 1e-9, 0.0);
+  const auto above = evalAlphaPower(p, vgs, vd0 + 1e-9, 0.0);
+  EXPECT_NEAR(below.id, above.id, 1e-9);
+  EXPECT_NEAR(below.gm, above.gm, 1e-6);
+  EXPECT_NEAR(below.gds, above.gds, 1e-5);
+}
+
+TEST(AlphaPower, TriodeReachesZeroAtOrigin) {
+  const auto op = evalAlphaPower(alphaParams(), 2.0, 0.0, 0.0);
+  EXPECT_EQ(op.region, MosfetOperatingPoint::Region::Triode);
+  EXPECT_NEAR(op.id, 0.0, 1e-15);
+  EXPECT_GT(op.gds, 0.0);  // finite channel conductance at the origin
+}
+
+TEST(AlphaPower, VelocitySaturationWeakensGateDependence) {
+  // Compared across vgs, an alpha = 1.3 device's saturation current grows
+  // slower than square law: I(2*vov)/I(vov) = 2^alpha < 4.
+  const MosfetParams p = alphaParams();
+  const double i1 = evalAlphaPower(p, p.vt0 + 1.0, 3.0, 0.0).id;
+  const double i2 = evalAlphaPower(p, p.vt0 + 2.0, 3.0, 0.0).id;
+  EXPECT_NEAR(i2 / i1, std::pow(2.0, p.alpha), 1e-9);
+}
+
+TEST(AlphaPower, BodyEffectRaisesThreshold) {
+  MosfetParams p = alphaParams();
+  p.gamma = 0.3;
+  p.phi = 0.6;
+  const auto noBias = evalAlphaPower(p, 1.2, 2.0, 0.0);
+  const auto revBias = evalAlphaPower(p, 1.2, 2.0, -1.0);
+  EXPECT_GT(noBias.id, revBias.id);
+  EXPECT_GT(revBias.gmb, 0.0);
+}
+
+TEST(AlphaPower, DispatchThroughEvalMosfet) {
+  const MosfetParams p = alphaParams();
+  const auto a = evalMosfet(p, 2.0, 1.5, 0.0);
+  const auto b = evalAlphaPower(p, 2.0, 1.5, 0.0);
+  EXPECT_EQ(a.id, b.id);
+  MosfetParams q = nmosParams();
+  EXPECT_EQ(evalMosfet(q, 2.0, 1.5, 0.0).id, evalLevel1(q, 2.0, 1.5, 0.0).id);
+}
+
+class AlphaMonotoneSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(AlphaMonotoneSweep, CurrentMonotoneInVgs) {
+  const double vds = GetParam();
+  MosfetParams p = alphaParams();
+  p.lambda = 0.04;
+  p.gamma = 0.3;
+  double prev = -1.0;
+  for (double vgs = 0.0; vgs <= 3.3; vgs += 0.05) {
+    const auto op = evalAlphaPower(p, vgs, vds, -0.3);
+    EXPECT_GE(op.id, prev - 1e-15) << "vgs=" << vgs;
+    EXPECT_GE(op.gm, 0.0);
+    EXPECT_GE(op.gds, -1e-15);
+    prev = op.id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(VdsGrid, AlphaMonotoneSweep,
+                         ::testing::Values(0.05, 0.3, 0.8, 1.5, 2.5, 3.3));
+
+}  // namespace

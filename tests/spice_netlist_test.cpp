@@ -1,0 +1,184 @@
+// SPICE-deck parser tests: numbers, cards, models, errors, and a full deck
+// that simulates correctly.
+
+#include <gtest/gtest.h>
+
+#include "spice/netlist.hpp"
+#include "spice/op.hpp"
+#include "spice/tran.hpp"
+
+namespace {
+
+using namespace prox::spice;
+
+TEST(SpiceNumber, PlainAndScientific) {
+  EXPECT_DOUBLE_EQ(parseSpiceNumber("42"), 42.0);
+  EXPECT_DOUBLE_EQ(parseSpiceNumber("-3.5"), -3.5);
+  EXPECT_DOUBLE_EQ(parseSpiceNumber("1e-9"), 1e-9);
+}
+
+TEST(SpiceNumber, EngineeringSuffixes) {
+  EXPECT_DOUBLE_EQ(parseSpiceNumber("1k"), 1e3);
+  EXPECT_DOUBLE_EQ(parseSpiceNumber("2meg"), 2e6);
+  EXPECT_DOUBLE_EQ(parseSpiceNumber("3g"), 3e9);
+  EXPECT_DOUBLE_EQ(parseSpiceNumber("1t"), 1e12);
+  EXPECT_DOUBLE_EQ(parseSpiceNumber("5m"), 5e-3);
+  EXPECT_DOUBLE_EQ(parseSpiceNumber("4u"), 4e-6);
+  EXPECT_DOUBLE_EQ(parseSpiceNumber("7n"), 7e-9);
+  EXPECT_DOUBLE_EQ(parseSpiceNumber("100p"), 100e-12);
+  EXPECT_DOUBLE_EQ(parseSpiceNumber("50f"), 50e-15);
+}
+
+TEST(SpiceNumber, CaseInsensitive) {
+  EXPECT_DOUBLE_EQ(parseSpiceNumber("1K"), 1e3);
+  EXPECT_DOUBLE_EQ(parseSpiceNumber("2MEG"), 2e6);
+}
+
+TEST(SpiceNumber, Malformed) {
+  EXPECT_THROW(parseSpiceNumber(""), std::invalid_argument);
+  EXPECT_THROW(parseSpiceNumber("abc"), std::invalid_argument);
+  EXPECT_THROW(parseSpiceNumber("1x"), std::invalid_argument);
+}
+
+TEST(Netlist, ResistorDividerDeck) {
+  const auto nl = parseNetlist(R"(
+* simple divider
+V1 in 0 6
+R1 in mid 1k
+R2 mid 0 2k
+.end
+)");
+  Circuit& ckt = const_cast<Circuit&>(nl.circuit);
+  const auto x = operatingPoint(ckt);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR(ckt.nodeVoltage(*x, *ckt.findNode("mid")), 4.0, 1e-6);
+}
+
+TEST(Netlist, ContinuationLines) {
+  const auto nl = parseNetlist(
+      "V1 in 0 PWL(0 0\n+ 1n 5)\nR1 in 0 1k\n");
+  const auto* v = nl.findAs<VoltageSource>("v1");
+  ASSERT_NE(v, nullptr);
+  EXPECT_DOUBLE_EQ(v->valueAt(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(v->valueAt(1e-9), 5.0);
+}
+
+TEST(Netlist, DcKeywordSource) {
+  const auto nl = parseNetlist("V1 a 0 DC 3.3\nR1 a 0 1k\n");
+  const auto* v = nl.findAs<VoltageSource>("v1");
+  ASSERT_NE(v, nullptr);
+  EXPECT_DOUBLE_EQ(v->valueAt(123.0), 3.3);
+}
+
+TEST(Netlist, MosfetWithModelAndOverrides) {
+  const auto nl = parseNetlist(R"(
+.model mynmos NMOS KP=60u VTO=0.8 LAMBDA=0.02 GAMMA=0.4 PHI=0.65 W=4u L=0.8u
+M1 d g 0 0 mynmos W=8u
+V1 d 0 5
+V2 g 0 5
+)");
+  const auto* m = nl.findAs<Mosfet>("m1");
+  ASSERT_NE(m, nullptr);
+  EXPECT_DOUBLE_EQ(m->params().w, 8e-6);      // instance override
+  EXPECT_DOUBLE_EQ(m->params().l, 0.8e-6);    // model default
+  EXPECT_DOUBLE_EQ(m->params().vt0, 0.8);
+  EXPECT_TRUE(m->params().nmos);
+}
+
+TEST(Netlist, ModelAfterInstanceIsAccepted) {
+  // HSPICE accepts .model anywhere in the deck.
+  const auto nl = parseNetlist(R"(
+M1 d g 0 0 nm
+.model nm NMOS KP=50u
+V1 d 0 5
+V2 g 0 5
+)");
+  const auto* m = nl.findAs<Mosfet>("m1");
+  ASSERT_NE(m, nullptr);
+  EXPECT_DOUBLE_EQ(m->params().kp, 50e-6);
+}
+
+TEST(Netlist, PmosModelDefaults) {
+  const auto nl = parseNetlist(R"(
+.model pm PMOS VTO=-0.9
+M1 d g s b pm
+)");
+  const auto* m = nl.findAs<Mosfet>("m1");
+  ASSERT_NE(m, nullptr);
+  EXPECT_FALSE(m->params().nmos);
+  EXPECT_DOUBLE_EQ(m->params().vt0, -0.9);
+}
+
+TEST(Netlist, FullCmosInverterDeckTransient) {
+  auto nl = parseNetlist(R"(
+* CMOS inverter
+.model nm NMOS KP=60u VTO=0.8 LAMBDA=0.02
+.model pm PMOS KP=25u VTO=-0.9 LAMBDA=0.04
+Vdd vdd 0 5
+Vin in 0 PWL(0 0 0.5n 0 1n 5)
+M1 out in 0 0 nm W=4u L=0.8u
+M2 out in vdd vdd pm W=8u L=0.8u
+Cl out 0 100f
+)");
+  TranOptions opt;
+  opt.tstop = 4e-9;
+  const auto res = transient(nl.circuit, opt);
+  const auto out = res.node(*nl.circuit.findNode("out"));
+  EXPECT_NEAR(out.value(0.0), 5.0, 0.05);
+  EXPECT_NEAR(out.value(4e-9), 0.0, 0.05);
+}
+
+TEST(Netlist, CurrentSourceCard) {
+  const auto nl = parseNetlist(R"(
+I1 0 out 1m
+R1 out 0 1k
+)");
+  Circuit& ckt = const_cast<Circuit&>(nl.circuit);
+  const auto x = operatingPoint(ckt);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR(ckt.nodeVoltage(*x, *ckt.findNode("out")), 1.0, 1e-6);
+}
+
+TEST(Netlist, CurrentSourcePwl) {
+  const auto nl = parseNetlist("I1 0 a PWL(0 0 1n 2m)\nR1 a 0 1k\n");
+  ASSERT_NE(nl.find("i1"), nullptr);
+}
+
+TEST(NetlistErrors, UnknownElement) {
+  EXPECT_THROW(parseNetlist("Q1 a b c\n"), std::runtime_error);
+}
+
+TEST(NetlistErrors, UnknownControlCard) {
+  EXPECT_THROW(parseNetlist(".tran 1n 10n\n"), std::runtime_error);
+}
+
+TEST(NetlistErrors, UnknownModelReference) {
+  EXPECT_THROW(parseNetlist("M1 d g 0 0 nosuch\n"), std::runtime_error);
+}
+
+TEST(NetlistErrors, DuplicateDeviceName) {
+  EXPECT_THROW(parseNetlist("R1 a 0 1k\nR1 b 0 2k\n"), std::runtime_error);
+}
+
+TEST(NetlistErrors, MalformedPwl) {
+  EXPECT_THROW(parseNetlist("V1 a 0 PWL(0 0 1n)\n"), std::runtime_error);
+}
+
+TEST(NetlistErrors, ContinuationWithoutCard) {
+  EXPECT_THROW(parseNetlist("+ R1 a 0 1k\n"), std::runtime_error);
+}
+
+TEST(NetlistErrors, BadResistorArity) {
+  EXPECT_THROW(parseNetlist("R1 a 0\n"), std::runtime_error);
+}
+
+TEST(NetlistErrors, MessageCarriesLineNumber) {
+  try {
+    parseNetlist("R1 a 0 1k\nQ2 x y z\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("netlist:2"), std::string::npos);
+  }
+}
+
+}  // namespace

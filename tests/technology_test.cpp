@@ -1,0 +1,136 @@
+// Technology-independence tests: the whole flow (thresholds, proximity
+// physics, characterization round trips) re-runs unchanged on the 3.3 V
+// alpha-power-law process -- the paper's "not limited to [one] technology"
+// claim and its CGaAs future-work direction, exercised with a second
+// simulated process.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "characterize/serialize.hpp"
+#include "spice/netlist.hpp"
+#include "spice/op.hpp"
+#include "test_util.hpp"
+#include "vtc/thresholds.hpp"
+
+namespace {
+
+using namespace prox;
+using wave::Edge;
+
+cells::CellSpec submicronNand(int fanin) {
+  cells::CellSpec s;
+  s.type = cells::GateType::Nand;
+  s.fanin = fanin;
+  s.tech = cells::Technology::submicron3v();
+  s.wn = 3e-6;
+  s.wp = 4e-6;
+  s.loadCap = 60e-15;
+  return s;
+}
+
+TEST(Submicron, TechnologyShape) {
+  const auto t = cells::Technology::submicron3v();
+  EXPECT_DOUBLE_EQ(t.vdd, 3.3);
+  EXPECT_EQ(t.nmos.equation, spice::MosEquation::AlphaPower);
+  EXPECT_EQ(t.pmos.equation, spice::MosEquation::AlphaPower);
+  EXPECT_LT(t.nmos.alpha, 2.0);  // velocity saturated
+}
+
+TEST(Submicron, Nand2TruthTable) {
+  const auto spec = submicronNand(2);
+  for (unsigned mask = 0; mask < 4; ++mask) {
+    spice::Circuit ckt;
+    const auto nets = cells::buildCell(ckt, spec, "x0");
+    for (int k = 0; k < 2; ++k) {
+      ckt.add<spice::VoltageSource>("vin" + std::to_string(k), nets.inputs[k],
+                                    spice::kGround,
+                                    (mask >> k) & 1u ? 3.3 : 0.0);
+    }
+    const auto x = spice::operatingPoint(ckt);
+    ASSERT_TRUE(x.has_value()) << "mask " << mask;
+    const double vout = ckt.nodeVoltage(*x, nets.out);
+    if (mask == 3u) {
+      EXPECT_LT(vout, 0.05);
+    } else {
+      EXPECT_GT(vout, 3.25);
+    }
+  }
+}
+
+TEST(Submicron, ThresholdRuleHolds) {
+  const auto rep = vtc::chooseThresholds(submicronNand(3), 0.02);
+  EXPECT_EQ(rep.curves.size(), 7u);
+  for (const auto& c : rep.curves) {
+    EXPECT_LT(rep.chosen.vil, c.points.vm);
+    EXPECT_GT(rep.chosen.vih, c.points.vm);
+  }
+  // Scaled sensibly inside the 3.3 V swing.
+  EXPECT_GT(rep.chosen.vil, 0.3);
+  EXPECT_LT(rep.chosen.vih, 3.2);
+}
+
+TEST(Submicron, ProximityDirectionalPhysics) {
+  // Falling pair speeds the output up, rising pair slows it down -- the
+  // Figure 1-2 signs survive the device-equation change.
+  const auto gate = model::makeGate(submicronNand(2), 0.02);
+  model::GateSimulator sim(gate);
+
+  const auto fallClose = sim.simulate({{0, Edge::Falling, 0.0, 300e-12},
+                                       {1, Edge::Falling, 0.0, 100e-12}}, 0);
+  const auto fallAlone = sim.simulateSingle({0, Edge::Falling, 0.0, 300e-12});
+  ASSERT_TRUE(fallClose.delay && fallAlone.delay);
+  EXPECT_LT(*fallClose.delay, *fallAlone.delay);
+
+  const auto riseClose = sim.simulate({{0, Edge::Rising, 0.0, 300e-12},
+                                       {1, Edge::Rising, 0.0, 300e-12}}, 0);
+  const auto riseAlone = sim.simulateSingle({0, Edge::Rising, 0.0, 300e-12});
+  ASSERT_TRUE(riseClose.delay && riseAlone.delay);
+  EXPECT_GT(*riseClose.delay, *riseAlone.delay);
+}
+
+TEST(Submicron, CharacterizeAndQuery) {
+  characterize::CharacterizationConfig cfg = testutil::fastConfig();
+  const auto cg = characterize::characterizeGate(submicronNand(2), cfg);
+  const auto calc = cg.calculator();
+  const auto r = calc.compute({{0, Edge::Rising, 0.0, 200e-12},
+                               {1, Edge::Rising, 30e-12, 150e-12}});
+  EXPECT_GT(r.delay, 0.0);
+  EXPECT_GT(r.transitionTime, 0.0);
+
+  // Serialization round trip preserves the alpha-power parameters.
+  std::stringstream ss;
+  characterize::saveGateModel(cg, ss);
+  const auto loaded = characterize::loadGateModel(ss);
+  EXPECT_EQ(loaded.gate.spec.tech.nmos.equation, spice::MosEquation::AlphaPower);
+  EXPECT_DOUBLE_EQ(loaded.gate.spec.tech.nmos.alpha,
+                   cg.gate.spec.tech.nmos.alpha);
+  const auto r2 = loaded.calculator().compute({{0, Edge::Rising, 0.0, 200e-12},
+                                               {1, Edge::Rising, 30e-12, 150e-12}});
+  EXPECT_DOUBLE_EQ(r.delay, r2.delay);
+}
+
+TEST(Submicron, NetlistLevel14Model) {
+  const auto nl = spice::parseNetlist(R"(
+.model an NMOS LEVEL=14 ALPHA=1.3 PC=55u PV=0.9 VTO=0.55
+M1 d g 0 0 an W=2u L=0.35u
+V1 d 0 3.3
+V2 g 0 3.3
+)");
+  const auto* m = nl.findAs<spice::Mosfet>("m1");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->params().equation, spice::MosEquation::AlphaPower);
+  EXPECT_DOUBLE_EQ(m->params().alpha, 1.3);
+  spice::Circuit& ckt = const_cast<spice::Circuit&>(nl.circuit);
+  const auto x = spice::operatingPoint(ckt);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_GT(m->drainCurrent(ckt, *x), 1e-5);
+}
+
+TEST(Submicron, NetlistRejectsUnknownLevel) {
+  EXPECT_THROW(spice::parseNetlist(".model bad NMOS LEVEL=7\n"),
+               std::runtime_error);
+}
+
+}  // namespace

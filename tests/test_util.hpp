@@ -1,0 +1,69 @@
+#pragma once
+// Shared helpers for the test suite: reduced characterization configs (to
+// keep test runtime low) and per-binary cached characterized gates.
+
+#include "characterize/characterize.hpp"
+
+namespace prox::testutil {
+
+/// A characterization config with coarser grids than the production default;
+/// accuracy is lower but every structural property still holds.
+inline characterize::CharacterizationConfig fastConfig() {
+  characterize::CharacterizationConfig c;
+  c.tauGrid = {50e-12, 200e-12, 700e-12, 2200e-12};
+  c.dualTauIndices = {0, 1, 2, 3};
+  c.vGrid = {0.1, 0.3, 1.0, 3.0, 8.0};
+  c.wGrid = {-2.0, -1.0, -0.5, 0.0, 0.3, 0.6, 1.0};
+  c.vGridTransition = {0.1, 0.3, 1.0, 3.0, 12.0};
+  c.wGridTransition = {-2.0, -1.0, 0.0, 1.0, 2.0, 4.0, 6.0};
+  c.vtcStep = 0.02;
+  return c;
+}
+
+inline cells::CellSpec nandSpec(int fanin) {
+  cells::CellSpec s;
+  s.type = cells::GateType::Nand;
+  s.fanin = fanin;
+  return s;
+}
+
+inline cells::CellSpec norSpec(int fanin) {
+  cells::CellSpec s;
+  s.type = cells::GateType::Nor;
+  s.fanin = fanin;
+  return s;
+}
+
+inline cells::CellSpec invSpec() {
+  cells::CellSpec s;
+  s.type = cells::GateType::Inverter;
+  s.fanin = 1;
+  return s;
+}
+
+/// Cached characterized NAND2 (fast config).  Characterized once per binary.
+inline const characterize::CharacterizedGate& nand2Model() {
+  static const characterize::CharacterizedGate g =
+      characterize::characterizeGate(nandSpec(2), fastConfig());
+  return g;
+}
+
+/// Cached characterized NAND3 (fast config).
+inline const characterize::CharacterizedGate& nand3Model() {
+  static const characterize::CharacterizedGate g =
+      characterize::characterizeGate(nandSpec(3), fastConfig());
+  return g;
+}
+
+/// Cached Section 2 gate (thresholds only, no tables) for the NAND3.
+inline const model::Gate& nand3Gate() {
+  static const model::Gate g = model::makeGate(nandSpec(3), 0.02);
+  return g;
+}
+
+inline const model::Gate& nand2Gate() {
+  static const model::Gate g = model::makeGate(nandSpec(2), 0.02);
+  return g;
+}
+
+}  // namespace prox::testutil

@@ -1,0 +1,126 @@
+// VTC extraction and Section 2 threshold-rule tests.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_util.hpp"
+#include "vtc/thresholds.hpp"
+
+namespace {
+
+using namespace prox;
+using testutil::invSpec;
+using testutil::nandSpec;
+using testutil::norSpec;
+
+TEST(AnalyzeVtc, SyntheticInverterCurve) {
+  // Synthetic smooth falling curve: vout = vdd / (1 + exp(k (vin - vm))).
+  const double vdd = 5.0;
+  const double vm = 2.5;
+  const double k = 4.0;
+  wave::Waveform curve;
+  for (double v = 0.0; v <= 5.0001; v += 0.01) {
+    curve.append(v, vdd / (1.0 + std::exp(k * (v - vm))));
+  }
+  const auto pts = vtc::analyzeVtc(curve);
+  // At vin = 2.5 the logistic gives vdd/2 = 2.5 exactly, so vm = 2.5.
+  EXPECT_NEAR(pts.vm, 2.5, 0.01);
+  EXPECT_LT(pts.vil, pts.vm);
+  EXPECT_GT(pts.vih, pts.vm);
+  // Logistic symmetry: unity-gain points sit symmetrically around vm = 2.5.
+  EXPECT_NEAR((pts.vil + pts.vih) / 2.0, vm, 0.02);
+}
+
+TEST(AnalyzeVtc, RejectsShortCurve) {
+  wave::Waveform w({{0.0, 5.0}, {5.0, 0.0}});
+  EXPECT_THROW(vtc::analyzeVtc(w), std::runtime_error);
+}
+
+TEST(AnalyzeVtc, RejectsShallowCurve) {
+  // Slope never reaches -1: no unity-gain region.
+  wave::Waveform w;
+  for (double v = 0.0; v <= 5.0001; v += 0.1) w.append(v, 5.0 - 0.5 * v);
+  EXPECT_THROW(vtc::analyzeVtc(w), std::runtime_error);
+}
+
+TEST(ExtractVtc, InverterOrdering) {
+  const auto c = vtc::extractVtc(invSpec(), {0}, 0.02);
+  EXPECT_LT(c.points.vil, c.points.vm);
+  EXPECT_LT(c.points.vm, c.points.vih);
+  EXPECT_GT(c.points.vil, 0.0);
+  EXPECT_LT(c.points.vih, 5.0);
+}
+
+TEST(ExtractVtc, RejectsBadSubset) {
+  EXPECT_THROW(vtc::extractVtc(nandSpec(2), {}, 0.02), std::invalid_argument);
+  EXPECT_THROW(vtc::extractVtc(nandSpec(2), {5}, 0.02), std::invalid_argument);
+}
+
+TEST(ExtractAllVtcs, CountIsTwoToTheNMinusOne) {
+  const auto curves = vtc::extractAllVtcs(nandSpec(2), 0.02);
+  EXPECT_EQ(curves.size(), 3u);  // 2^2 - 1
+}
+
+TEST(Thresholds, Nand3FamilyStructure) {
+  // The paper's Section 2 claims, verified on our NAND3:
+  //  * the minimum V_il comes from a single-input curve (the input closest
+  //    to ground in the stack),
+  //  * the maximum V_ih comes from the all-inputs-switching curve.
+  const auto rep = vtc::chooseThresholds(nandSpec(3), 0.02);
+  ASSERT_EQ(rep.curves.size(), 7u);
+
+  const auto& vilCurve = rep.curves[rep.vilCurveIndex];
+  EXPECT_EQ(vilCurve.switchingInputs.size(), 1u);
+  EXPECT_EQ(vilCurve.switchingInputs[0], 2);  // bottom of the stack
+
+  const auto& vihCurve = rep.curves[rep.vihCurveIndex];
+  EXPECT_EQ(vihCurve.switchingInputs.size(), 3u);  // all switching
+}
+
+TEST(Thresholds, RuleGuaranteesVilBelowEveryVmBelowVih) {
+  // The invariant that makes every delay positive (Section 2).
+  const auto rep = vtc::chooseThresholds(nandSpec(3), 0.02);
+  for (const auto& c : rep.curves) {
+    EXPECT_LT(rep.chosen.vil, c.points.vm);
+    EXPECT_GT(rep.chosen.vih, c.points.vm);
+  }
+}
+
+TEST(Thresholds, NorFamilyMirrored) {
+  // For a NOR, V_il comes from the all-switching curve and V_ih from a
+  // single-input curve (Section 2).
+  const auto rep = vtc::chooseThresholds(norSpec(2), 0.02);
+  ASSERT_EQ(rep.curves.size(), 3u);
+  const auto& vilCurve = rep.curves[rep.vilCurveIndex];
+  const auto& vihCurve = rep.curves[rep.vihCurveIndex];
+  EXPECT_EQ(vilCurve.switchingInputs.size(), 2u);
+  EXPECT_EQ(vihCurve.switchingInputs.size(), 1u);
+  for (const auto& c : rep.curves) {
+    EXPECT_LT(rep.chosen.vil, c.points.vm);
+    EXPECT_GT(rep.chosen.vih, c.points.vm);
+  }
+}
+
+TEST(Thresholds, EmptyCurveListThrows) {
+  EXPECT_THROW(vtc::chooseThresholds(std::vector<vtc::VtcCurve>{}),
+               std::invalid_argument);
+}
+
+// Property sweep: the min-Vil/max-Vih rule holds for every fan-in.
+class ThresholdFaninSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThresholdFaninSweep, InvariantAcrossFanin) {
+  const auto rep = vtc::chooseThresholds(nandSpec(GetParam()), 0.025);
+  EXPECT_EQ(rep.curves.size(), (1u << GetParam()) - 1);
+  for (const auto& c : rep.curves) {
+    EXPECT_LE(rep.chosen.vil, c.points.vil + 1e-12);
+    EXPECT_GE(rep.chosen.vih, c.points.vih - 1e-12);
+    EXPECT_LT(rep.chosen.vil, c.points.vm);
+    EXPECT_GT(rep.chosen.vih, c.points.vm);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanins, ThresholdFaninSweep, ::testing::Values(2, 3, 4));
+
+}  // namespace

@@ -1,0 +1,154 @@
+// Unit tests for the PWL waveform container and builders.
+
+#include <gtest/gtest.h>
+
+#include "waveform/pwl.hpp"
+#include "waveform/waveform.hpp"
+
+namespace {
+
+using prox::wave::Edge;
+using prox::wave::Waveform;
+
+TEST(Waveform, AppendEnforcesMonotoneTime) {
+  Waveform w;
+  w.append(0.0, 1.0);
+  w.append(1.0, 2.0);
+  EXPECT_THROW(w.append(0.5, 0.0), std::invalid_argument);
+}
+
+TEST(Waveform, AppendCollapsesDuplicateTimes) {
+  Waveform w;
+  w.append(0.0, 1.0);
+  w.append(0.0, 3.0);  // replaces the value, no new sample
+  EXPECT_EQ(w.size(), 1u);
+  EXPECT_DOUBLE_EQ(w.value(0.0), 3.0);
+}
+
+TEST(Waveform, ConstructorRejectsUnsortedSamples) {
+  EXPECT_THROW(Waveform({{1.0, 0.0}, {0.5, 1.0}}), std::invalid_argument);
+}
+
+TEST(Waveform, ValueInterpolatesLinearly) {
+  Waveform w({{0.0, 0.0}, {2.0, 4.0}});
+  EXPECT_DOUBLE_EQ(w.value(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(w.value(1.0), 2.0);
+}
+
+TEST(Waveform, ValueClampsOutsideRange) {
+  Waveform w({{1.0, 2.0}, {2.0, 5.0}});
+  EXPECT_DOUBLE_EQ(w.value(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(w.value(10.0), 5.0);
+}
+
+TEST(Waveform, EmptyValueThrows) {
+  Waveform w;
+  EXPECT_THROW(w.value(0.0), std::runtime_error);
+  EXPECT_THROW(w.startTime(), std::runtime_error);
+  EXPECT_THROW(w.minValue(), std::runtime_error);
+}
+
+TEST(Waveform, RisingCrossingInterpolated) {
+  Waveform w({{0.0, 0.0}, {1.0, 4.0}});
+  const auto t = w.crossing(1.0, Edge::Rising);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_DOUBLE_EQ(*t, 0.25);
+}
+
+TEST(Waveform, FallingCrossingInterpolated) {
+  Waveform w({{0.0, 4.0}, {2.0, 0.0}});
+  const auto t = w.crossing(1.0, Edge::Falling);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_DOUBLE_EQ(*t, 1.5);
+}
+
+TEST(Waveform, CrossingDirectionality) {
+  // Rising then falling triangle; each direction finds its own crossing.
+  Waveform w({{0.0, 0.0}, {1.0, 2.0}, {2.0, 0.0}});
+  EXPECT_DOUBLE_EQ(*w.crossing(1.0, Edge::Rising), 0.5);
+  EXPECT_DOUBLE_EQ(*w.crossing(1.0, Edge::Falling), 1.5);
+}
+
+TEST(Waveform, CrossingFromOffset) {
+  Waveform w({{0.0, 0.0}, {1.0, 2.0}, {2.0, 0.0}, {3.0, 2.0}});
+  const auto t = w.crossing(1.0, Edge::Rising, 1.0);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_DOUBLE_EQ(*t, 2.5);
+}
+
+TEST(Waveform, NoCrossingReturnsNullopt) {
+  Waveform w({{0.0, 0.0}, {1.0, 0.5}});
+  EXPECT_FALSE(w.crossing(1.0, Edge::Rising).has_value());
+}
+
+TEST(Waveform, AllAndLastCrossings) {
+  Waveform w({{0.0, 0.0}, {1.0, 2.0}, {2.0, 0.0}, {3.0, 2.0}});
+  const auto all = w.allCrossings(1.0, Edge::Rising);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_DOUBLE_EQ(all[0], 0.5);
+  EXPECT_DOUBLE_EQ(all[1], 2.5);
+  EXPECT_DOUBLE_EQ(*w.lastCrossing(1.0, Edge::Rising), 2.5);
+}
+
+TEST(Waveform, MinMaxOverWindow) {
+  Waveform w({{0.0, 0.0}, {1.0, 4.0}, {2.0, -2.0}, {3.0, 1.0}});
+  EXPECT_DOUBLE_EQ(w.minValue(), -2.0);
+  EXPECT_DOUBLE_EQ(w.maxValue(), 4.0);
+  // Restricted window excludes the global extrema.
+  EXPECT_DOUBLE_EQ(w.maxValue(2.0, 3.0), 1.0);
+  EXPECT_DOUBLE_EQ(w.minValue(0.0, 1.0), 0.0);
+}
+
+TEST(Waveform, ShiftedMovesTimeAxisOnly) {
+  Waveform w({{0.0, 1.0}, {1.0, 2.0}});
+  const Waveform s = w.shifted(0.5);
+  EXPECT_DOUBLE_EQ(s.startTime(), 0.5);
+  EXPECT_DOUBLE_EQ(s.value(1.5), 2.0);
+}
+
+TEST(Pwl, RampEndpointsAndMidpoint) {
+  const Waveform w = prox::wave::ramp(1.0, 2.0, 0.0, 4.0);
+  EXPECT_DOUBLE_EQ(w.value(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.value(2.0), 2.0);
+  EXPECT_DOUBLE_EQ(w.value(3.0), 4.0);
+  EXPECT_DOUBLE_EQ(w.value(5.0), 4.0);
+}
+
+TEST(Pwl, ZeroTauBecomesNearStep) {
+  const Waveform w = prox::wave::ramp(1.0, 0.0, 0.0, 5.0);
+  EXPECT_DOUBLE_EQ(w.value(0.999999), 0.0);
+  EXPECT_DOUBLE_EQ(w.value(1.000001), 5.0);
+}
+
+TEST(Pwl, NegativeTauThrows) {
+  EXPECT_THROW(prox::wave::ramp(0.0, -1.0, 0.0, 1.0), std::invalid_argument);
+}
+
+TEST(Pwl, RisingAndFallingRails) {
+  const Waveform r = prox::wave::risingRamp(0.0, 1.0, 5.0);
+  const Waveform f = prox::wave::fallingRamp(0.0, 1.0, 5.0);
+  EXPECT_DOUBLE_EQ(r.value(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(r.value(2.0), 5.0);
+  EXPECT_DOUBLE_EQ(f.value(-1.0), 5.0);
+  EXPECT_DOUBLE_EQ(f.value(2.0), 0.0);
+}
+
+TEST(Pwl, ConstantHoldsEverywhere) {
+  const Waveform c = prox::wave::constant(3.3);
+  EXPECT_DOUBLE_EQ(c.value(-100.0), 3.3);
+  EXPECT_DOUBLE_EQ(c.value(100.0), 3.3);
+}
+
+TEST(Pwl, PulseShape) {
+  const Waveform p = prox::wave::pulse(1.0, 0.5, 2.0, 0.5, 0.0, 5.0);
+  EXPECT_DOUBLE_EQ(p.value(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(p.value(2.0), 5.0);   // on the plateau
+  EXPECT_DOUBLE_EQ(p.value(10.0), 0.0);  // back to base
+}
+
+TEST(EdgeHelpers, Opposite) {
+  EXPECT_EQ(prox::wave::opposite(Edge::Rising), Edge::Falling);
+  EXPECT_EQ(prox::wave::opposite(Edge::Falling), Edge::Rising);
+}
+
+}  // namespace
