@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_correction.dir/bench_ablation_correction.cpp.o"
+  "CMakeFiles/bench_ablation_correction.dir/bench_ablation_correction.cpp.o.d"
+  "bench_ablation_correction"
+  "bench_ablation_correction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_correction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dominance.dir/bench_ablation_dominance.cpp.o"
+  "CMakeFiles/bench_ablation_dominance.dir/bench_ablation_dominance.cpp.o.d"
+  "bench_ablation_dominance"
+  "bench_ablation_dominance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dominance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_collapse.dir/bench_baseline_collapse.cpp.o"
+  "CMakeFiles/bench_baseline_collapse.dir/bench_baseline_collapse.cpp.o.d"
+  "bench_baseline_collapse"
+  "bench_baseline_collapse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_collapse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

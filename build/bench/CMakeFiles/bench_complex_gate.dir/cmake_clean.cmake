@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_complex_gate.dir/bench_complex_gate.cpp.o"
+  "CMakeFiles/bench_complex_gate.dir/bench_complex_gate.cpp.o.d"
+  "bench_complex_gate"
+  "bench_complex_gate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_complex_gate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

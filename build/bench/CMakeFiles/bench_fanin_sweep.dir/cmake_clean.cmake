@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fanin_sweep.dir/bench_fanin_sweep.cpp.o"
+  "CMakeFiles/bench_fanin_sweep.dir/bench_fanin_sweep.cpp.o.d"
+  "bench_fanin_sweep"
+  "bench_fanin_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fanin_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_technology.dir/bench_technology.cpp.o"
+  "CMakeFiles/bench_technology.dir/bench_technology.cpp.o.d"
+  "bench_technology"
+  "bench_technology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_technology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/characterize_cell.dir/characterize_cell.cpp.o"
+  "CMakeFiles/characterize_cell.dir/characterize_cell.cpp.o.d"
+  "characterize_cell"
+  "characterize_cell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/characterize_cell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

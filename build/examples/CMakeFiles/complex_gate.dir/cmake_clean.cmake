@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/complex_gate.dir/complex_gate.cpp.o"
+  "CMakeFiles/complex_gate.dir/complex_gate.cpp.o.d"
+  "complex_gate"
+  "complex_gate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/complex_gate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glitch_filter.dir/glitch_filter.cpp.o"
+  "CMakeFiles/glitch_filter.dir/glitch_filter.cpp.o.d"
+  "glitch_filter"
+  "glitch_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glitch_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sta_path.dir/sta_path.cpp.o"
+  "CMakeFiles/sta_path.dir/sta_path.cpp.o.d"
+  "sta_path"
+  "sta_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sta_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

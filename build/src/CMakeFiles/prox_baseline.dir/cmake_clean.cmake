@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prox_baseline.dir/baseline/collapse.cpp.o"
+  "CMakeFiles/prox_baseline.dir/baseline/collapse.cpp.o.d"
+  "libprox_baseline.a"
+  "libprox_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prox_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

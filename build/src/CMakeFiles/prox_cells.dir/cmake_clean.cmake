@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prox_cells.dir/cells/cell.cpp.o"
+  "CMakeFiles/prox_cells.dir/cells/cell.cpp.o.d"
+  "CMakeFiles/prox_cells.dir/cells/complex_fixture.cpp.o"
+  "CMakeFiles/prox_cells.dir/cells/complex_fixture.cpp.o.d"
+  "CMakeFiles/prox_cells.dir/cells/fixture.cpp.o"
+  "CMakeFiles/prox_cells.dir/cells/fixture.cpp.o.d"
+  "CMakeFiles/prox_cells.dir/cells/pull_network.cpp.o"
+  "CMakeFiles/prox_cells.dir/cells/pull_network.cpp.o.d"
+  "CMakeFiles/prox_cells.dir/cells/technology.cpp.o"
+  "CMakeFiles/prox_cells.dir/cells/technology.cpp.o.d"
+  "libprox_cells.a"
+  "libprox_cells.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prox_cells.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prox_characterize.dir/characterize/characterize.cpp.o"
+  "CMakeFiles/prox_characterize.dir/characterize/characterize.cpp.o.d"
+  "CMakeFiles/prox_characterize.dir/characterize/serialize.cpp.o"
+  "CMakeFiles/prox_characterize.dir/characterize/serialize.cpp.o.d"
+  "libprox_characterize.a"
+  "libprox_characterize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prox_characterize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prox_linalg.dir/linalg/lu.cpp.o"
+  "CMakeFiles/prox_linalg.dir/linalg/lu.cpp.o.d"
+  "CMakeFiles/prox_linalg.dir/linalg/matrix.cpp.o"
+  "CMakeFiles/prox_linalg.dir/linalg/matrix.cpp.o.d"
+  "libprox_linalg.a"
+  "libprox_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prox_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/dominance.cpp" "src/CMakeFiles/prox_model.dir/model/dominance.cpp.o" "gcc" "src/CMakeFiles/prox_model.dir/model/dominance.cpp.o.d"
+  "/root/repo/src/model/dual_input.cpp" "src/CMakeFiles/prox_model.dir/model/dual_input.cpp.o" "gcc" "src/CMakeFiles/prox_model.dir/model/dual_input.cpp.o.d"
+  "/root/repo/src/model/gate_sim.cpp" "src/CMakeFiles/prox_model.dir/model/gate_sim.cpp.o" "gcc" "src/CMakeFiles/prox_model.dir/model/gate_sim.cpp.o.d"
+  "/root/repo/src/model/glitch.cpp" "src/CMakeFiles/prox_model.dir/model/glitch.cpp.o" "gcc" "src/CMakeFiles/prox_model.dir/model/glitch.cpp.o.d"
+  "/root/repo/src/model/proximity.cpp" "src/CMakeFiles/prox_model.dir/model/proximity.cpp.o" "gcc" "src/CMakeFiles/prox_model.dir/model/proximity.cpp.o.d"
+  "/root/repo/src/model/single_input.cpp" "src/CMakeFiles/prox_model.dir/model/single_input.cpp.o" "gcc" "src/CMakeFiles/prox_model.dir/model/single_input.cpp.o.d"
+  "/root/repo/src/model/stimulus.cpp" "src/CMakeFiles/prox_model.dir/model/stimulus.cpp.o" "gcc" "src/CMakeFiles/prox_model.dir/model/stimulus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/prox_vtc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prox_cells.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prox_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prox_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prox_waveform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

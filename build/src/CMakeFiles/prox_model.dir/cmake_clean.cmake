@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prox_model.dir/model/dominance.cpp.o"
+  "CMakeFiles/prox_model.dir/model/dominance.cpp.o.d"
+  "CMakeFiles/prox_model.dir/model/dual_input.cpp.o"
+  "CMakeFiles/prox_model.dir/model/dual_input.cpp.o.d"
+  "CMakeFiles/prox_model.dir/model/gate_sim.cpp.o"
+  "CMakeFiles/prox_model.dir/model/gate_sim.cpp.o.d"
+  "CMakeFiles/prox_model.dir/model/glitch.cpp.o"
+  "CMakeFiles/prox_model.dir/model/glitch.cpp.o.d"
+  "CMakeFiles/prox_model.dir/model/proximity.cpp.o"
+  "CMakeFiles/prox_model.dir/model/proximity.cpp.o.d"
+  "CMakeFiles/prox_model.dir/model/single_input.cpp.o"
+  "CMakeFiles/prox_model.dir/model/single_input.cpp.o.d"
+  "CMakeFiles/prox_model.dir/model/stimulus.cpp.o"
+  "CMakeFiles/prox_model.dir/model/stimulus.cpp.o.d"
+  "libprox_model.a"
+  "libprox_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prox_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

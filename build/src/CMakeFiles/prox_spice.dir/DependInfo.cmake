@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spice/capacitor.cpp" "src/CMakeFiles/prox_spice.dir/spice/capacitor.cpp.o" "gcc" "src/CMakeFiles/prox_spice.dir/spice/capacitor.cpp.o.d"
+  "/root/repo/src/spice/circuit.cpp" "src/CMakeFiles/prox_spice.dir/spice/circuit.cpp.o" "gcc" "src/CMakeFiles/prox_spice.dir/spice/circuit.cpp.o.d"
+  "/root/repo/src/spice/dcsweep.cpp" "src/CMakeFiles/prox_spice.dir/spice/dcsweep.cpp.o" "gcc" "src/CMakeFiles/prox_spice.dir/spice/dcsweep.cpp.o.d"
+  "/root/repo/src/spice/isource.cpp" "src/CMakeFiles/prox_spice.dir/spice/isource.cpp.o" "gcc" "src/CMakeFiles/prox_spice.dir/spice/isource.cpp.o.d"
+  "/root/repo/src/spice/mosfet.cpp" "src/CMakeFiles/prox_spice.dir/spice/mosfet.cpp.o" "gcc" "src/CMakeFiles/prox_spice.dir/spice/mosfet.cpp.o.d"
+  "/root/repo/src/spice/netlist.cpp" "src/CMakeFiles/prox_spice.dir/spice/netlist.cpp.o" "gcc" "src/CMakeFiles/prox_spice.dir/spice/netlist.cpp.o.d"
+  "/root/repo/src/spice/newton.cpp" "src/CMakeFiles/prox_spice.dir/spice/newton.cpp.o" "gcc" "src/CMakeFiles/prox_spice.dir/spice/newton.cpp.o.d"
+  "/root/repo/src/spice/op.cpp" "src/CMakeFiles/prox_spice.dir/spice/op.cpp.o" "gcc" "src/CMakeFiles/prox_spice.dir/spice/op.cpp.o.d"
+  "/root/repo/src/spice/resistor.cpp" "src/CMakeFiles/prox_spice.dir/spice/resistor.cpp.o" "gcc" "src/CMakeFiles/prox_spice.dir/spice/resistor.cpp.o.d"
+  "/root/repo/src/spice/tran.cpp" "src/CMakeFiles/prox_spice.dir/spice/tran.cpp.o" "gcc" "src/CMakeFiles/prox_spice.dir/spice/tran.cpp.o.d"
+  "/root/repo/src/spice/vsource.cpp" "src/CMakeFiles/prox_spice.dir/spice/vsource.cpp.o" "gcc" "src/CMakeFiles/prox_spice.dir/spice/vsource.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/prox_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prox_waveform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

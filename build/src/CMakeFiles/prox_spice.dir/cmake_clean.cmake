@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prox_spice.dir/spice/capacitor.cpp.o"
+  "CMakeFiles/prox_spice.dir/spice/capacitor.cpp.o.d"
+  "CMakeFiles/prox_spice.dir/spice/circuit.cpp.o"
+  "CMakeFiles/prox_spice.dir/spice/circuit.cpp.o.d"
+  "CMakeFiles/prox_spice.dir/spice/dcsweep.cpp.o"
+  "CMakeFiles/prox_spice.dir/spice/dcsweep.cpp.o.d"
+  "CMakeFiles/prox_spice.dir/spice/isource.cpp.o"
+  "CMakeFiles/prox_spice.dir/spice/isource.cpp.o.d"
+  "CMakeFiles/prox_spice.dir/spice/mosfet.cpp.o"
+  "CMakeFiles/prox_spice.dir/spice/mosfet.cpp.o.d"
+  "CMakeFiles/prox_spice.dir/spice/netlist.cpp.o"
+  "CMakeFiles/prox_spice.dir/spice/netlist.cpp.o.d"
+  "CMakeFiles/prox_spice.dir/spice/newton.cpp.o"
+  "CMakeFiles/prox_spice.dir/spice/newton.cpp.o.d"
+  "CMakeFiles/prox_spice.dir/spice/op.cpp.o"
+  "CMakeFiles/prox_spice.dir/spice/op.cpp.o.d"
+  "CMakeFiles/prox_spice.dir/spice/resistor.cpp.o"
+  "CMakeFiles/prox_spice.dir/spice/resistor.cpp.o.d"
+  "CMakeFiles/prox_spice.dir/spice/tran.cpp.o"
+  "CMakeFiles/prox_spice.dir/spice/tran.cpp.o.d"
+  "CMakeFiles/prox_spice.dir/spice/vsource.cpp.o"
+  "CMakeFiles/prox_spice.dir/spice/vsource.cpp.o.d"
+  "libprox_spice.a"
+  "libprox_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prox_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

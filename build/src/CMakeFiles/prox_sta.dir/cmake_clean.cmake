@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prox_sta.dir/sta/delay_calc.cpp.o"
+  "CMakeFiles/prox_sta.dir/sta/delay_calc.cpp.o.d"
+  "CMakeFiles/prox_sta.dir/sta/flat_sim.cpp.o"
+  "CMakeFiles/prox_sta.dir/sta/flat_sim.cpp.o.d"
+  "CMakeFiles/prox_sta.dir/sta/netlist.cpp.o"
+  "CMakeFiles/prox_sta.dir/sta/netlist.cpp.o.d"
+  "CMakeFiles/prox_sta.dir/sta/timing_graph.cpp.o"
+  "CMakeFiles/prox_sta.dir/sta/timing_graph.cpp.o.d"
+  "libprox_sta.a"
+  "libprox_sta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prox_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

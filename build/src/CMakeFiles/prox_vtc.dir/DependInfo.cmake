@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vtc/complex.cpp" "src/CMakeFiles/prox_vtc.dir/vtc/complex.cpp.o" "gcc" "src/CMakeFiles/prox_vtc.dir/vtc/complex.cpp.o.d"
+  "/root/repo/src/vtc/thresholds.cpp" "src/CMakeFiles/prox_vtc.dir/vtc/thresholds.cpp.o" "gcc" "src/CMakeFiles/prox_vtc.dir/vtc/thresholds.cpp.o.d"
+  "/root/repo/src/vtc/vtc.cpp" "src/CMakeFiles/prox_vtc.dir/vtc/vtc.cpp.o" "gcc" "src/CMakeFiles/prox_vtc.dir/vtc/vtc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/prox_cells.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prox_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prox_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prox_waveform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

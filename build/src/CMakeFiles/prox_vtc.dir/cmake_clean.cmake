@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prox_vtc.dir/vtc/complex.cpp.o"
+  "CMakeFiles/prox_vtc.dir/vtc/complex.cpp.o.d"
+  "CMakeFiles/prox_vtc.dir/vtc/thresholds.cpp.o"
+  "CMakeFiles/prox_vtc.dir/vtc/thresholds.cpp.o.d"
+  "CMakeFiles/prox_vtc.dir/vtc/vtc.cpp.o"
+  "CMakeFiles/prox_vtc.dir/vtc/vtc.cpp.o.d"
+  "libprox_vtc.a"
+  "libprox_vtc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prox_vtc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

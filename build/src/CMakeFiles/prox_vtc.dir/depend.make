@@ -1,0 +1,2 @@
+# Empty dependencies file for prox_vtc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/waveform/combine.cpp" "src/CMakeFiles/prox_waveform.dir/waveform/combine.cpp.o" "gcc" "src/CMakeFiles/prox_waveform.dir/waveform/combine.cpp.o.d"
+  "/root/repo/src/waveform/measure.cpp" "src/CMakeFiles/prox_waveform.dir/waveform/measure.cpp.o" "gcc" "src/CMakeFiles/prox_waveform.dir/waveform/measure.cpp.o.d"
+  "/root/repo/src/waveform/pwl.cpp" "src/CMakeFiles/prox_waveform.dir/waveform/pwl.cpp.o" "gcc" "src/CMakeFiles/prox_waveform.dir/waveform/pwl.cpp.o.d"
+  "/root/repo/src/waveform/waveform.cpp" "src/CMakeFiles/prox_waveform.dir/waveform/waveform.cpp.o" "gcc" "src/CMakeFiles/prox_waveform.dir/waveform/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

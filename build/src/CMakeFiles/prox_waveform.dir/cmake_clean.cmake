@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prox_waveform.dir/waveform/combine.cpp.o"
+  "CMakeFiles/prox_waveform.dir/waveform/combine.cpp.o.d"
+  "CMakeFiles/prox_waveform.dir/waveform/measure.cpp.o"
+  "CMakeFiles/prox_waveform.dir/waveform/measure.cpp.o.d"
+  "CMakeFiles/prox_waveform.dir/waveform/pwl.cpp.o"
+  "CMakeFiles/prox_waveform.dir/waveform/pwl.cpp.o.d"
+  "CMakeFiles/prox_waveform.dir/waveform/waveform.cpp.o"
+  "CMakeFiles/prox_waveform.dir/waveform/waveform.cpp.o.d"
+  "libprox_waveform.a"
+  "libprox_waveform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prox_waveform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

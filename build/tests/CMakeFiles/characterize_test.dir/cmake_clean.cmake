@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/characterize_test.dir/characterize_test.cpp.o"
+  "CMakeFiles/characterize_test.dir/characterize_test.cpp.o.d"
+  "characterize_test"
+  "characterize_test.pdb"
+  "characterize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/characterize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

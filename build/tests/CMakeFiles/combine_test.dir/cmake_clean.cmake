@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/combine_test.dir/combine_test.cpp.o"
+  "CMakeFiles/combine_test.dir/combine_test.cpp.o.d"
+  "combine_test"
+  "combine_test.pdb"
+  "combine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/combine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

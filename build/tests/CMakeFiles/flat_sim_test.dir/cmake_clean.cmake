@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flat_sim_test.dir/flat_sim_test.cpp.o"
+  "CMakeFiles/flat_sim_test.dir/flat_sim_test.cpp.o.d"
+  "flat_sim_test"
+  "flat_sim_test.pdb"
+  "flat_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flat_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

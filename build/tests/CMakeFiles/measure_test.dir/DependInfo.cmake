@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/measure_test.cpp" "tests/CMakeFiles/measure_test.dir/measure_test.cpp.o" "gcc" "tests/CMakeFiles/measure_test.dir/measure_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/prox_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prox_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prox_characterize.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prox_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prox_vtc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prox_cells.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prox_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prox_waveform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prox_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

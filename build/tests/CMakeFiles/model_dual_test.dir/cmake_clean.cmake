@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_dual_test.dir/model_dual_test.cpp.o"
+  "CMakeFiles/model_dual_test.dir/model_dual_test.cpp.o.d"
+  "model_dual_test"
+  "model_dual_test.pdb"
+  "model_dual_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_dual_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

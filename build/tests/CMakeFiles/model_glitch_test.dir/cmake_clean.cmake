@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_glitch_test.dir/model_glitch_test.cpp.o"
+  "CMakeFiles/model_glitch_test.dir/model_glitch_test.cpp.o.d"
+  "model_glitch_test"
+  "model_glitch_test.pdb"
+  "model_glitch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_glitch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

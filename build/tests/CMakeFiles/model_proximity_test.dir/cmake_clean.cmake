@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_proximity_test.dir/model_proximity_test.cpp.o"
+  "CMakeFiles/model_proximity_test.dir/model_proximity_test.cpp.o.d"
+  "model_proximity_test"
+  "model_proximity_test.pdb"
+  "model_proximity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_proximity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

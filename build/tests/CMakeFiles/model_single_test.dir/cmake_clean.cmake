@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_single_test.dir/model_single_test.cpp.o"
+  "CMakeFiles/model_single_test.dir/model_single_test.cpp.o.d"
+  "model_single_test"
+  "model_single_test.pdb"
+  "model_single_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_single_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pull_network_test.dir/pull_network_test.cpp.o"
+  "CMakeFiles/pull_network_test.dir/pull_network_test.cpp.o.d"
+  "pull_network_test"
+  "pull_network_test.pdb"
+  "pull_network_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pull_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vtc_test.dir/vtc_test.cpp.o"
+  "CMakeFiles/vtc_test.dir/vtc_test.cpp.o.d"
+  "vtc_test"
+  "vtc_test.pdb"
+  "vtc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vtc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

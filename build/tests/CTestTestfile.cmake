@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/linalg_test[1]_include.cmake")
+include("/root/repo/build/tests/waveform_test[1]_include.cmake")
+include("/root/repo/build/tests/measure_test[1]_include.cmake")
+include("/root/repo/build/tests/combine_test[1]_include.cmake")
+include("/root/repo/build/tests/spice_device_test[1]_include.cmake")
+include("/root/repo/build/tests/spice_mosfet_test[1]_include.cmake")
+include("/root/repo/build/tests/spice_analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/spice_netlist_test[1]_include.cmake")
+include("/root/repo/build/tests/cells_test[1]_include.cmake")
+include("/root/repo/build/tests/vtc_test[1]_include.cmake")
+include("/root/repo/build/tests/model_single_test[1]_include.cmake")
+include("/root/repo/build/tests/model_dual_test[1]_include.cmake")
+include("/root/repo/build/tests/model_proximity_test[1]_include.cmake")
+include("/root/repo/build/tests/model_glitch_test[1]_include.cmake")
+include("/root/repo/build/tests/characterize_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/sta_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/pull_network_test[1]_include.cmake")
+include("/root/repo/build/tests/technology_test[1]_include.cmake")
+include("/root/repo/build/tests/flat_sim_test[1]_include.cmake")
+include("/root/repo/build/tests/complex_model_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
