@@ -2,11 +2,24 @@
 // A full transistor-level transient of the NAND3 costs milliseconds; the
 // characterized proximity model answers the same query in sub-microsecond
 // time -- the reason macromodels exist for timing analysis.
+//
+// Unless the caller passes its own --benchmark_out, results are written to
+// BENCH_perf.json (google-benchmark's JSON schema) in the working directory,
+// and the observability registry is dumped to BENCH_perf_stats.json -- the
+// machine-readable perf trajectory that future changes diff against.
+// PROX_BENCH_OUT_DIR overrides the output directory.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "baseline/collapse.hpp"
 #include "bench_util.hpp"
+#include "obs/registry.hpp"
+#include "obs/report.hpp"
 
 using namespace prox;
 using model::InputEvent;
@@ -95,4 +108,49 @@ BENCHMARK(BM_DualTableInterpolation);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string outDir;
+  if (const char* dir = std::getenv("PROX_BENCH_OUT_DIR")) {
+    outDir = std::string(dir) + "/";
+  }
+
+  bool callerProvidedOut = false;
+  bool statsOff = false;
+  std::vector<std::string> args;
+  for (int i = 0; i < argc; ++i) {
+    // --stats=off: runtime-disable the observability registry, for measuring
+    // instrumentation overhead against an identical binary.
+    if (i > 0 && std::strcmp(argv[i], "--stats=off") == 0) {
+      statsOff = true;
+      continue;
+    }
+    if (i > 0 && std::strncmp(argv[i], "--benchmark_out", 15) == 0) {
+      callerProvidedOut = true;
+    }
+    args.push_back(argv[i]);
+  }
+  if (statsOff) prox::obs::setEnabled(false);
+
+  // benchmark::Initialize consumes recognized flags from argv, so the
+  // injected defaults must live in a mutable argv copy.
+  if (!callerProvidedOut) {
+    args.push_back("--benchmark_out=" + outDir + "BENCH_perf.json");
+    args.push_back("--benchmark_out_format=json");
+  }
+  std::vector<char*> argvAug;
+  argvAug.reserve(args.size());
+  for (std::string& a : args) argvAug.push_back(a.data());
+  int argcAug = static_cast<int>(argvAug.size());
+
+  benchmark::Initialize(&argcAug, argvAug.data());
+  if (benchmark::ReportUnrecognizedArguments(argcAug, argvAug.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (!callerProvidedOut) {
+    prox::obs::writeJsonFile(outDir + "BENCH_perf_stats.json");
+  }
+  return 0;
+}

@@ -14,8 +14,12 @@
 // close temporal proximity; classic pin-to-pin STA mis-times the stages.
 
 #include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
 
 #include "characterize/characterize.hpp"
+#include "obs/report.hpp"
 #include "sta/flat_sim.hpp"
 
 using namespace prox;
@@ -23,7 +27,25 @@ using sta::Arrival;
 using sta::DelayMode;
 using wave::Edge;
 
-int main() {
+int main(int argc, char** argv) {
+  bool stats = false;
+  std::string statsPath;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--stats") == 0) {
+      stats = true;
+    } else if (std::strncmp(argv[i], "--stats=", 8) == 0) {
+      stats = true;
+      statsPath = argv[i] + 8;
+      if (statsPath.empty()) {
+        std::fprintf(stderr, "%s: --stats= requires a file name\n", argv[0]);
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "usage: %s [--stats[=FILE]]\n", argv[0]);
+      return 2;
+    }
+  }
+
   cells::CellSpec spec;
   spec.type = cells::GateType::Nand;
   spec.fanin = 2;
@@ -69,5 +91,20 @@ int main() {
   std::printf("\n(parenthesized: error vs the flat simulation; the proximity "
               "mode stays closer\nat every stage, and the classic error "
               "compounds along the path)\n");
+
+  if (stats) {
+    if (statsPath.empty()) {
+      std::printf("\n");
+      obs::writeJson(std::cout);
+    } else {
+      try {
+        obs::writeJsonFile(statsPath);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+        return 1;
+      }
+      std::printf("\nstats report written to %s\n", statsPath.c_str());
+    }
+  }
   return 0;
 }

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/registry.hpp"
+#include "obs/scoped_timer.hpp"
+
 namespace prox::characterize {
 
 void buildDualTables(model::GateSimulator& sim,
@@ -15,6 +18,8 @@ void buildDualTables(model::GateSimulator& sim,
   if (delayTable == nullptr || transitionTable == nullptr) {
     throw std::invalid_argument("buildDualTables: null output");
   }
+  PROX_OBS_COUNT("characterize.tables_built", 2);  // delay + transition
+  PROX_OBS_SCOPED_TIMER("characterize.table_seconds");
   const model::SingleInputModel& mRef = singles.at(refPin, edge);
   model::OracleDualInputModel oracle(sim, singles);
 
@@ -50,6 +55,8 @@ void buildDualTables(model::GateSimulator& sim,
   tt.w = config.wGridTransition;
   dt.ratio.assign(dt.u.size() * dt.v.size() * dt.w.size(), 1.0);
   tt.ratio.assign(tt.u.size() * tt.v.size() * tt.w.size(), 1.0);
+  PROX_OBS_COUNT("characterize.table_points",
+                 dt.ratio.size() + tt.ratio.size());
 
   for (std::size_t iu = 0; iu < tauRefs.size(); ++iu) {
     const double tauRef = tauRefs[iu];
@@ -121,6 +128,7 @@ model::StepCorrection characterizeStepCorrection(
         }
         continue;
       }
+      PROX_OBS_COUNT("characterize.correction_points", 1);
       const model::SimOutcome actual = sim.simulate(events, 0);
       const model::ProximityResult modeled = raw.compute(events);
       const double dErr =
@@ -147,6 +155,8 @@ namespace {
 /// dual-table construction and the correction characterization.
 CharacterizedGate characterizeFromGate(model::Gate gate,
                                        const CharacterizationConfig& config) {
+  PROX_OBS_COUNT("characterize.gates", 1);
+  PROX_OBS_SCOPED_TIMER("characterize.gate_seconds");
   CharacterizedGate out;
   out.gate = std::move(gate);
 

@@ -4,9 +4,12 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/registry.hpp"
+
 namespace prox::linalg {
 
 bool LuFactorization::factor(const Matrix& a, double pivotTol) {
+  PROX_OBS_COUNT("linalg.lu.factorizations", 1);
   if (a.rows() != a.cols()) {
     throw std::invalid_argument("LuFactorization: matrix must be square");
   }
@@ -31,7 +34,10 @@ bool LuFactorization::factor(const Matrix& a, double pivotTol) {
         pivotRow = r;
       }
     }
-    if (pivotMag < tiny) return false;  // numerically singular
+    if (pivotMag < tiny) {  // numerically singular
+      PROX_OBS_COUNT("linalg.lu.singular", 1);
+      return false;
+    }
 
     if (pivotRow != k) {
       for (std::size_t c = 0; c < n; ++c) std::swap(lu_(k, c), lu_(pivotRow, c));

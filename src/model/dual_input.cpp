@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/registry.hpp"
+
 namespace prox::model {
 
 namespace {
@@ -55,7 +57,11 @@ OracleDualInputModel::Pair OracleDualInputModel::evaluate(const DualQuery& q) co
                                    q.edge == wave::Edge::Rising ? 0 : 1,
                                    keyOf(q.tauRef), keyOf(q.tauOther),
                                    keyOf(q.sep));
-  if (auto it = cache_.find(key); it != cache_.end()) return it->second;
+  if (auto it = cache_.find(key); it != cache_.end()) {
+    PROX_OBS_COUNT("model.dual.oracle_cache_hits", 1);
+    return it->second;
+  }
+  PROX_OBS_COUNT("model.dual.oracle_evals", 1);
 
   InputEvent ref{q.refPin, q.edge, 0.0, q.tauRef};
   InputEvent other{q.otherPin, q.edge, q.sep, q.tauOther};
@@ -148,10 +154,15 @@ const DualTable& TabulatedDualInputModel::transitionTable(int refPin,
 }
 
 double TabulatedDualInputModel::delayRatio(const DualQuery& q) const {
+  PROX_OBS_BATCH(obsCells);
+  PROX_OBS_COUNT_IN(obsCells, "model.dual.table_lookups", 1);
   const SingleInputModel& m = singles_.at(q.refPin, q.edge);
   const double d1 = m.delay(q.tauRef);
   // Outside the proximity window the other input cannot affect the delay.
-  if (q.sep >= d1) return 1.0;
+  if (q.sep >= d1) {
+    PROX_OBS_COUNT_IN(obsCells, "model.dual.window_shortcuts", 1);
+    return 1.0;
+  }
   auto pit = pairDelayTables_.find(pairKey(q.refPin, q.otherPin, q.edge));
   const DualTable& t = pit != pairDelayTables_.end()
                            ? pit->second
@@ -160,11 +171,16 @@ double TabulatedDualInputModel::delayRatio(const DualQuery& q) const {
 }
 
 double TabulatedDualInputModel::transitionRatio(const DualQuery& q) const {
+  PROX_OBS_BATCH(obsCells);
+  PROX_OBS_COUNT_IN(obsCells, "model.dual.table_lookups", 1);
   const SingleInputModel& m = singles_.at(q.refPin, q.edge);
   const double d1 = m.delay(q.tauRef);
   const double t1 = m.transition(q.tauRef);
   // Transition-time proximity window: sep < Delta^(1) + tau^(1).
-  if (q.sep >= d1 + t1) return 1.0;
+  if (q.sep >= d1 + t1) {
+    PROX_OBS_COUNT_IN(obsCells, "model.dual.window_shortcuts", 1);
+    return 1.0;
+  }
   auto pit = pairTransitionTables_.find(pairKey(q.refPin, q.otherPin, q.edge));
   const DualTable& t = pit != pairTransitionTables_.end()
                            ? pit->second

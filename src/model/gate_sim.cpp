@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/registry.hpp"
+#include "obs/scoped_timer.hpp"
+
 namespace prox::model {
 
 Gate makeGate(const cells::CellSpec& spec, double vtcStep) {
@@ -94,6 +97,8 @@ SimOutcome GateSimulator::simulate(const std::vector<InputEvent>& events,
   const double tstop = (maxEnd + shift) + std::max(3e-9, 2.0 * maxTau);
 
   ++simCount_;
+  PROX_OBS_COUNT("model.gate_sim.transients", 1);
+  PROX_OBS_SCOPED_TIMER("model.gate_sim.seconds");
   SimOutcome o;
   const wave::Waveform raw = gate_.complex
                                  ? complexFixture_->runOutput(tstop, dvMax)

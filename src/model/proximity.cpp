@@ -1,8 +1,11 @@
 #include "model/proximity.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 #include <stdexcept>
+
+#include "obs/registry.hpp"
 
 namespace prox::model {
 
@@ -61,10 +64,31 @@ ProximityResult ProximityCalculator::compute(
     }
   }
 
+  // This is the library's hottest entry point (sub-microsecond per call), so
+  // all instrument sites share one batched cell fetch.
+  PROX_OBS_BATCH(obsCells);
+  PROX_OBS_COUNT_IN(obsCells, "model.proximity.computes", 1);
+  PROX_OBS_COUNT_IN(obsCells, "model.proximity.inputs_seen", events.size());
+
   const DominanceSense sense = sense_(events);
   std::vector<std::size_t> order;
   if (options_.orderByDominance) {
     order = dominanceOrder(events, singles_, sense);
+#if PROX_ENABLE_STATS
+    // A dominance reordering is any deviation from arrival order in the
+    // sense direction (ascending tRef for earliest-first, descending for
+    // latest-first) -- the paper's Step 1 doing real work rather than
+    // echoing the input sequence.
+    if (obsCells != nullptr &&
+        !std::is_sorted(order.begin(), order.end(),
+                        [&](std::size_t a, std::size_t b) {
+                          return sense == DominanceSense::EarliestFirst
+                                     ? events[a].tRef < events[b].tRef
+                                     : events[a].tRef > events[b].tRef;
+                        })) {
+      PROX_OBS_COUNT_IN(obsCells, "model.proximity.dominance_reorders", 1);
+    }
+#endif
   } else {
     order.resize(events.size());
     std::iota(order.begin(), order.end(), std::size_t{0});
@@ -139,7 +163,13 @@ ProximityResult ProximityCalculator::compute(
       // assumed unimportant).  With latest-first ordering (series stacks)
       // the remaining inputs are *earlier*, not later, so they are skipped
       // individually rather than cutting the loop.
-      if (sense == DominanceSense::EarliestFirst) break;
+      if (sense == DominanceSense::EarliestFirst) {
+        PROX_OBS_COUNT_IN(obsCells, "model.proximity.window_exits", 1);
+        PROX_OBS_COUNT_IN(obsCells, "model.proximity.inputs_window_skipped",
+                          order.size() - idx);
+        break;
+      }
+      PROX_OBS_COUNT_IN(obsCells, "model.proximity.inputs_window_skipped", 1);
     }
   }
 
@@ -163,7 +193,19 @@ ProximityResult ProximityCalculator::compute(
               weight;
     }
     res.correctionApplied = dc;
+    if (dc != 0.0) {
+      PROX_OBS_COUNT_IN(obsCells, "model.proximity.corrections_applied", 1);
+      // Magnitude of the corrective term, recorded as a real-valued sample
+      // (seconds): mean/min/max show how hard the repair works in practice.
+      PROX_OBS_RECORD_IN(obsCells, "model.proximity.correction_magnitude_s",
+                         std::fabs(dc));
+    }
   }
+
+  PROX_OBS_COUNT_IN(obsCells, "model.proximity.inputs_processed",
+                    res.processedPins.size());
+  PROX_OBS_COUNT_IN(obsCells, "model.proximity.inputs_transition_only",
+                    res.transitionOnlyPins.size());
 
   res.delay = dCum;
   res.transitionTime = std::max(tCum, 0.0);
@@ -176,6 +218,7 @@ ProximityResult ProximityCalculator::computeClassic(
   if (events.empty()) {
     throw std::invalid_argument("ProximityCalculator: no events");
   }
+  PROX_OBS_COUNT("model.proximity.classic_computes", 1);
   const std::vector<std::size_t> order =
       dominanceOrder(events, singles_, sense_(events));
   const InputEvent& y1 = events[order[0]];

@@ -1,0 +1,339 @@
+#include "obs/report.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/registry.hpp"
+
+namespace prox::obs {
+
+std::uint64_t Report::counterValue(const std::string& name) const {
+  for (const CounterSample& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+std::uint64_t Report::counterSumWithPrefix(const std::string& prefix) const {
+  std::uint64_t sum = 0;
+  for (const CounterSample& c : counters) {
+    if (c.name.compare(0, prefix.size(), prefix) == 0) sum += c.value;
+  }
+  return sum;
+}
+
+Report snapshot() {
+  Report r;
+  r.enabled = enabled();
+  Registry::instance().visit(
+      [&](const std::string& name, const Counter& c) {
+        r.counters.push_back({name, c.value()});
+      },
+      [&](const std::string& name, const Timer& t) {
+        TimerSample s;
+        s.name = name;
+        s.count = t.count();
+        s.totalSeconds = t.totalSeconds();
+        s.minSeconds = s.count > 0 ? t.minSeconds() : 0.0;
+        s.maxSeconds = s.count > 0 ? t.maxSeconds() : 0.0;
+        r.timers.push_back(std::move(s));
+      });
+  return r;
+}
+
+namespace {
+
+void jsonEscape(const std::string& s, std::ostream& os) {
+  for (char ch : s) {
+    switch (ch) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          os << buf;
+        } else {
+          os << ch;
+        }
+    }
+  }
+}
+
+void writeDouble(double v, std::ostream& os) {
+  if (!std::isfinite(v)) {
+    os << 0;  // empty-timer sentinels (±inf) serialize as 0
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << buf;
+}
+
+}  // namespace
+
+void writeJson(const Report& report, std::ostream& os) {
+  os << "{\n  \"enabled\": " << (report.enabled ? "true" : "false") << ",\n";
+  os << "  \"counters\": {";
+  for (std::size_t i = 0; i < report.counters.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "    \"";
+    jsonEscape(report.counters[i].name, os);
+    os << "\": " << report.counters[i].value;
+  }
+  os << (report.counters.empty() ? "},\n" : "\n  },\n");
+  os << "  \"timers\": {";
+  for (std::size_t i = 0; i < report.timers.size(); ++i) {
+    const TimerSample& t = report.timers[i];
+    const double mean = t.count > 0 ? t.totalSeconds / t.count : 0.0;
+    os << (i == 0 ? "\n" : ",\n") << "    \"";
+    jsonEscape(t.name, os);
+    os << "\": { \"count\": " << t.count << ", \"total_s\": ";
+    writeDouble(t.totalSeconds, os);
+    os << ", \"min_s\": ";
+    writeDouble(t.count > 0 ? t.minSeconds : 0.0, os);
+    os << ", \"max_s\": ";
+    writeDouble(t.count > 0 ? t.maxSeconds : 0.0, os);
+    os << ", \"mean_s\": ";
+    writeDouble(mean, os);
+    os << " }";
+  }
+  os << (report.timers.empty() ? "}\n" : "\n  }\n");
+  os << "}\n";
+}
+
+void writeJson(std::ostream& os) { writeJson(snapshot(), os); }
+
+void writeJsonFile(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("obs::writeJsonFile: cannot open " + path);
+  }
+  writeJson(os);
+}
+
+std::string toJson() {
+  std::ostringstream os;
+  writeJson(snapshot(), os);
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser for the report schema (round-trip support for tests
+// and downstream tooling).  Handles objects, numbers, booleans and strings;
+// arrays/null are rejected because the schema never produces them.
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string text) : text_(std::move(text)) {}
+
+  Report parse() {
+    Report r;
+    skipWs();
+    expect('{');
+    bool first = true;
+    while (!peekIs('}')) {
+      if (!first) expect(',');
+      first = false;
+      const std::string key = parseString();
+      expect(':');
+      if (key == "enabled") {
+        r.enabled = parseBool();
+      } else if (key == "counters") {
+        parseCounters(r);
+      } else if (key == "timers") {
+        parseTimers(r);
+      } else {
+        fail("unknown top-level key: " + key);
+      }
+    }
+    expect('}');
+    skipWs();
+    if (pos_ != text_.size()) fail("trailing content");
+    return r;
+  }
+
+ private:
+  void parseCounters(Report& r) {
+    expect('{');
+    bool first = true;
+    while (!peekIs('}')) {
+      if (!first) expect(',');
+      first = false;
+      CounterSample c;
+      c.name = parseString();
+      expect(':');
+      c.value = static_cast<std::uint64_t>(parseNumber());
+      r.counters.push_back(std::move(c));
+    }
+    expect('}');
+  }
+
+  void parseTimers(Report& r) {
+    expect('{');
+    bool first = true;
+    while (!peekIs('}')) {
+      if (!first) expect(',');
+      first = false;
+      TimerSample t;
+      t.name = parseString();
+      expect(':');
+      expect('{');
+      bool firstField = true;
+      while (!peekIs('}')) {
+        if (!firstField) expect(',');
+        firstField = false;
+        const std::string field = parseString();
+        expect(':');
+        const double v = parseNumber();
+        if (field == "count") {
+          t.count = static_cast<std::uint64_t>(v);
+        } else if (field == "total_s") {
+          t.totalSeconds = v;
+        } else if (field == "min_s") {
+          t.minSeconds = v;
+        } else if (field == "max_s") {
+          t.maxSeconds = v;
+        } else if (field == "mean_s") {
+          // derived; ignored on input
+        } else {
+          fail("unknown timer field: " + field);
+        }
+      }
+      expect('}');
+      r.timers.push_back(std::move(t));
+    }
+    expect('}');
+  }
+
+  void skipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool peekIs(char c) {
+    skipWs();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  void expect(char c) {
+    skipWs();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  std::string parseString() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char ch = text_[pos_++];
+      if (ch == '\\') {
+        if (pos_ >= text_.size()) fail("bad escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"':
+            out += '"';
+            break;
+          case '\\':
+            out += '\\';
+            break;
+          case 'n':
+            out += '\n';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case 'r':
+            out += '\r';
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+            const unsigned code = static_cast<unsigned>(
+                std::stoul(text_.substr(pos_, 4), nullptr, 16));
+            pos_ += 4;
+            if (code > 0x7f) fail("non-ASCII \\u escape unsupported");
+            out += static_cast<char>(code);
+            break;
+          }
+          default:
+            fail("bad escape");
+        }
+      } else {
+        out += ch;
+      }
+    }
+    expect('"');
+    return out;
+  }
+
+  bool parseBool() {
+    skipWs();
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return false;
+    }
+    fail("expected boolean");
+    return false;
+  }
+
+  double parseNumber() {
+    skipWs();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected number");
+    return std::stod(text_.substr(start, pos_ - start));
+  }
+
+  [[noreturn]] void fail(const std::string& what) {
+    throw std::runtime_error("obs::parseJson: " + what + " at offset " +
+                             std::to_string(pos_));
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Report parseJson(const std::string& text) { return Parser(text).parse(); }
+
+Report parseJson(std::istream& is) {
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return parseJson(buf.str());
+}
+
+}  // namespace prox::obs

@@ -1,0 +1,72 @@
+#pragma once
+// Snapshot and JSON serialization of the observability registry.
+//
+// The JSON schema (stable; consumed by BENCH_*.json tooling):
+//   {
+//     "enabled": true,
+//     "counters": { "<name>": <uint64>, ... },
+//     "timers": {
+//       "<name>": { "count": <uint64>, "total_s": <double>,
+//                   "min_s": <double>, "max_s": <double>,
+//                   "mean_s": <double> },
+//       ...
+//     }
+//   }
+// Timers with zero samples serialize min_s/max_s/mean_s as 0.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace prox::obs {
+
+struct CounterSample {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct TimerSample {
+  std::string name;
+  std::uint64_t count = 0;
+  double totalSeconds = 0.0;
+  double minSeconds = 0.0;
+  double maxSeconds = 0.0;
+};
+
+/// Point-in-time copy of every instrument, sorted by name.
+struct Report {
+  bool enabled = true;
+  std::vector<CounterSample> counters;
+  std::vector<TimerSample> timers;
+
+  /// Value of the counter named @p name, or 0 if absent.
+  std::uint64_t counterValue(const std::string& name) const;
+
+  /// Sum of all counters whose name starts with @p prefix.
+  std::uint64_t counterSumWithPrefix(const std::string& prefix) const;
+};
+
+/// Snapshots the process registry.
+Report snapshot();
+
+/// Serializes @p report as pretty-printed JSON.
+void writeJson(const Report& report, std::ostream& os);
+
+/// Snapshot + serialize in one step.
+void writeJson(std::ostream& os);
+
+/// Snapshot + serialize to @p path; throws std::runtime_error if the file
+/// cannot be opened.
+void writeJsonFile(const std::string& path);
+
+/// Snapshot + serialize to a string.
+std::string toJson();
+
+/// Parses a report previously produced by writeJson.  Accepts any JSON
+/// matching the schema above (field order within objects is free).  Throws
+/// std::runtime_error on malformed input.
+Report parseJson(std::istream& is);
+Report parseJson(const std::string& text);
+
+}  // namespace prox::obs

@@ -1,0 +1,59 @@
+#pragma once
+// RAII wall-clock timer charging its lifetime into a registry Timer.
+//
+// Usage (hot paths should go through the macro so the timer compiles out
+// with PROX_ENABLE_STATS=0):
+//
+//   void simulate(...) {
+//     PROX_OBS_SCOPED_TIMER("model.gate_sim.seconds");
+//     ...
+//   }
+//
+// When stats are disabled at runtime the constructor skips the clock read,
+// so a disarmed scope costs one relaxed load at entry and one at exit.
+
+#include <chrono>
+
+#include "obs/registry.hpp"
+
+namespace prox::obs {
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Timer& timer) noexcept
+      : timer_(timer), armed_(enabled()) {
+    if (armed_) start_ = std::chrono::steady_clock::now();
+  }
+
+  ~ScopedTimer() {
+    if (!armed_ || !enabled()) return;
+    const auto stop = std::chrono::steady_clock::now();
+    timer_.record(std::chrono::duration<double>(stop - start_).count());
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Timer& timer_;
+  bool armed_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace prox::obs
+
+#if PROX_ENABLE_STATS
+#define PROX_OBS_SCOPED_TIMER_CAT2(a, b) a##b
+#define PROX_OBS_SCOPED_TIMER_CAT(a, b) PROX_OBS_SCOPED_TIMER_CAT2(a, b)
+/// Times the enclosing scope into the timer named @p name (string literal).
+#define PROX_OBS_SCOPED_TIMER(name)                              \
+  static ::prox::obs::Timer& PROX_OBS_SCOPED_TIMER_CAT(          \
+      proxObsScopedTimerRef_, __LINE__) = ::prox::obs::timer(name); \
+  ::prox::obs::ScopedTimer PROX_OBS_SCOPED_TIMER_CAT(            \
+      proxObsScopedTimer_, __LINE__)(                            \
+      PROX_OBS_SCOPED_TIMER_CAT(proxObsScopedTimerRef_, __LINE__))
+#else
+#define PROX_OBS_SCOPED_TIMER(name) \
+  do {                              \
+  } while (0)
+#endif

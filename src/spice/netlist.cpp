@@ -121,7 +121,10 @@ Netlist parseNetlist(const std::string& deck) {
       if (line[0] == '*') continue;
       if (line[0] == '+') {
         if (stmts.empty()) fail(lineNo, "continuation with no preceding card");
-        stmts.back().second += " " + line.substr(1);
+        // Two appends, not `" " + line.substr(1)`: the rvalue operator+ path
+        // trips GCC 12's -Wrestrict false positive (PR105329).
+        stmts.back().second += ' ';
+        stmts.back().second.append(line, 1, std::string::npos);
       } else {
         stmts.emplace_back(lineNo, line);
       }

@@ -2,10 +2,13 @@
 
 #include <cmath>
 
+#include "obs/registry.hpp"
+
 namespace prox::spice {
 
 NewtonStatus solveNewton(const Circuit& ckt, linalg::Vector& x,
                          const StampContext& sc, const NewtonOptions& opt) {
+  PROX_OBS_COUNT("spice.newton.solves", 1);
   NewtonStatus status;
   const std::size_t n = static_cast<std::size_t>(ckt.unknownCount());
   const std::size_t nv = static_cast<std::size_t>(ckt.voltageUnknownCount());
@@ -29,6 +32,8 @@ NewtonStatus solveNewton(const Circuit& ckt, linalg::Vector& x,
 
     if (!lu.factor(g)) {
       status.singular = true;
+      PROX_OBS_COUNT("spice.newton.iterations", status.iterations);
+      PROX_OBS_COUNT("spice.newton.singular", 1);
       return status;
     }
     linalg::Vector xNew = lu.solve(rhs);
@@ -53,9 +58,12 @@ NewtonStatus solveNewton(const Circuit& ckt, linalg::Vector& x,
     }
     if (converged) {
       status.converged = true;
+      PROX_OBS_COUNT("spice.newton.iterations", status.iterations);
       return status;
     }
   }
+  PROX_OBS_COUNT("spice.newton.iterations", status.iterations);
+  PROX_OBS_COUNT("spice.newton.nonconverged", 1);
   return status;
 }
 

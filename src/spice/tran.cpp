@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <cmath>
 
+#include "obs/registry.hpp"
+#include "obs/scoped_timer.hpp"
 #include "spice/op.hpp"
 
 namespace prox::spice {
@@ -25,6 +27,8 @@ wave::Waveform TranResult::node(const std::string& name) const {
 
 TranResult transient(Circuit& ckt, const TranOptions& opt) {
   if (!(opt.tstop > 0.0)) throw std::invalid_argument("transient: tstop <= 0");
+  PROX_OBS_COUNT("spice.tran.runs", 1);
+  PROX_OBS_SCOPED_TIMER("spice.tran.seconds");
   ckt.finalize();
 
   const double hmax = opt.hmax > 0.0 ? opt.hmax : opt.tstop / 200.0;
@@ -98,21 +102,39 @@ TranResult transient(Circuit& ckt, const TranOptions& opt) {
     }
 
     if (reject) {
+      PROX_OBS_COUNT("spice.tran.steps_rejected", 1);
+      if (st.converged) {
+        PROX_OBS_COUNT("spice.tran.rejects_dv", 1);
+      } else {
+        PROX_OBS_COUNT("spice.tran.rejects_nonconverged", 1);
+      }
       if (std::getenv("PROX_TRAN_DEBUG") != nullptr) {
         std::fprintf(stderr,
                      "tran reject: t=%g hTry=%g conv=%d singular=%d iters=%d "
                      "dv=%g\n",
                      t, hTry, st.converged, st.singular, st.iterations, dv);
       }
+      PROX_OBS_COUNT("spice.tran.step_halvings", 1);
       h = hTry / 2.0;
       if (h < opt.hmin) {
-        throw std::runtime_error("transient: timestep underflow at t = " +
-                                 std::to_string(t));
+        // Diagnose the underflow: report what the last Newton solve did at
+        // this timestep instead of silently giving up after the halvings.
+        char msg[256];
+        std::snprintf(msg, sizeof(msg),
+                      "transient: timestep underflow at t = %g (h = %g < hmin "
+                      "= %g; last step: Newton %s after %d iteration%s%s%s",
+                      t, h, opt.hmin,
+                      st.converged ? "converged" : "did not converge",
+                      st.iterations, st.iterations == 1 ? "" : "s",
+                      st.singular ? ", singular Jacobian" : "",
+                      st.converged ? ", rejected by dv cap)" : ")");
+        throw std::runtime_error(msg);
       }
       continue;
     }
 
     // Accept.
+    PROX_OBS_COUNT("spice.tran.steps_accepted", 1);
     lastRejectDv = -1.0;
     for (const auto& dev : ckt.devices()) dev->acceptStep(xNew, sc.time, hTry);
     t = sc.time;
@@ -121,6 +143,7 @@ TranResult transient(Circuit& ckt, const TranOptions& opt) {
     solutions.push_back(x);
 
     if (hitBreakpoint) {
+      PROX_OBS_COUNT("spice.tran.breakpoints_hit", 1);
       ++bpIdx;
       nextStepBE = true;   // damp the slope discontinuity
       h = std::min(h, hmax / 64.0);

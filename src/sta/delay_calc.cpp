@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/registry.hpp"
+
 namespace prox::sta {
 
 std::optional<Arrival> evaluateGate(const characterize::CharacterizedGate& cell,
@@ -16,7 +18,12 @@ std::optional<Arrival> evaluateGate(const characterize::CharacterizedGate& cell,
     events.push_back({static_cast<int>(p), pins[p]->edge, pins[p]->time,
                       pins[p]->slope});
   }
-  if (events.empty()) return std::nullopt;
+  if (events.empty()) {
+    PROX_OBS_COUNT("sta.delay_calc.idle_gates", 1);
+    return std::nullopt;
+  }
+  PROX_OBS_COUNT("sta.delay_calc.arc_evals", 1);
+  PROX_OBS_COUNT("sta.delay_calc.switching_pins", events.size());
   for (const auto& ev : events) {
     if (ev.edge != events.front().edge) {
       throw std::invalid_argument(

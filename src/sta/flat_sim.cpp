@@ -5,6 +5,8 @@
 
 #include "cells/cell.hpp"
 #include "model/stimulus.hpp"
+#include "obs/registry.hpp"
+#include "obs/scoped_timer.hpp"
 #include "spice/tran.hpp"
 #include "spice/vsource.hpp"
 #include "waveform/measure.hpp"
@@ -15,6 +17,9 @@ FlatSimResult simulateFlat(
     const Netlist& netlist,
     const std::unordered_map<std::string, Arrival>& inputArrivals,
     double settle) {
+  PROX_OBS_COUNT("sta.flat_sim.runs", 1);
+  PROX_OBS_COUNT("sta.flat_sim.instances", netlist.instances().size());
+  PROX_OBS_SCOPED_TIMER("sta.flat_sim.seconds");
   // 1. Direction/coarse-time prediction: a proximity STA pass supplies each
   //    net's transition direction and a horizon estimate.
   TimingAnalyzer predictor(netlist, DelayMode::Proximity);

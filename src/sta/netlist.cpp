@@ -3,6 +3,8 @@
 #include <queue>
 #include <stdexcept>
 
+#include "obs/registry.hpp"
+
 namespace prox::sta {
 
 void Netlist::addPrimaryInput(const std::string& net) {
@@ -73,6 +75,7 @@ std::vector<const Instance*> Netlist::topologicalOrder() const {
   if (order.size() != instances_.size()) {
     throw std::runtime_error("Netlist: combinational cycle detected");
   }
+  PROX_OBS_COUNT("sta.graph.nodes_levelized", order.size());
   return order;
 }
 

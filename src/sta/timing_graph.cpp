@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "obs/registry.hpp"
+#include "obs/scoped_timer.hpp"
+
 namespace prox::sta {
 
 void TimingAnalyzer::setInputArrival(const std::string& net, Arrival arrival) {
@@ -12,7 +15,10 @@ void TimingAnalyzer::setInputArrival(const std::string& net, Arrival arrival) {
 }
 
 void TimingAnalyzer::run() {
+  PROX_OBS_COUNT("sta.graph.runs", 1);
+  PROX_OBS_SCOPED_TIMER("sta.graph.seconds");
   for (const Instance* inst : netlist_.topologicalOrder()) {
+    PROX_OBS_COUNT("sta.graph.nodes_visited", 1);
     std::vector<std::optional<Arrival>> pins;
     pins.reserve(inst->inputNets.size());
     for (const std::string& net : inst->inputNets) {

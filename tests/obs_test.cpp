@@ -1,0 +1,296 @@
+// Tests for the observability registry: counter monotonicity, timer
+// accumulation, enable/disable semantics, concurrent increments, report
+// snapshots and the JSON round-trip.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "obs/report.hpp"
+#include "obs/scoped_timer.hpp"
+
+namespace obs = prox::obs;
+
+namespace {
+
+// Every test leaves the registry enabled; a disabled registry would silently
+// zero the instrumentation of tests that run later in this binary.
+class ObsTest : public ::testing::Test {
+ protected:
+  void TearDown() override { obs::setEnabled(true); }
+};
+
+TEST_F(ObsTest, CounterStartsAtZeroAndIsMonotonic) {
+  obs::Counter& c = obs::counter("test.monotonic");
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+  std::uint64_t prev = 0;
+  for (int i = 1; i <= 100; ++i) {
+    c.add(static_cast<std::uint64_t>(i));
+    EXPECT_GT(c.value(), prev);
+    prev = c.value();
+  }
+  EXPECT_EQ(c.value(), 5050u);
+}
+
+TEST_F(ObsTest, RegistryReturnsStableReferences) {
+  obs::Counter& a = obs::counter("test.stable");
+  obs::Counter& b = obs::counter("test.stable");
+  EXPECT_EQ(&a, &b);
+  obs::Timer& t1 = obs::timer("test.stable_timer");
+  obs::Timer& t2 = obs::timer("test.stable_timer");
+  EXPECT_EQ(&t1, &t2);
+  // Creating unrelated instruments must not invalidate earlier references.
+  for (int i = 0; i < 64; ++i) {
+    obs::counter("test.stable_churn." + std::to_string(i));
+  }
+  obs::Counter& c = obs::counter("test.stable");
+  EXPECT_EQ(&a, &c);
+}
+
+TEST_F(ObsTest, TimerAccumulatesCountTotalMinMax) {
+  obs::Timer& t = obs::timer("test.timer_accum");
+  t.reset();
+  EXPECT_EQ(t.count(), 0u);
+  EXPECT_EQ(t.totalSeconds(), 0.0);
+  t.record(2.0);
+  t.record(0.5);
+  t.record(1.0);
+  EXPECT_EQ(t.count(), 3u);
+  EXPECT_DOUBLE_EQ(t.totalSeconds(), 3.5);
+  EXPECT_DOUBLE_EQ(t.minSeconds(), 0.5);
+  EXPECT_DOUBLE_EQ(t.maxSeconds(), 2.0);
+  t.reset();
+  EXPECT_EQ(t.count(), 0u);
+  EXPECT_EQ(t.totalSeconds(), 0.0);
+}
+
+TEST_F(ObsTest, DisableStopsRecordingAndPreservesValues) {
+  obs::Counter& c = obs::counter("test.disable");
+  obs::Timer& t = obs::timer("test.disable_timer");
+  c.reset();
+  t.reset();
+  c.add(3);
+  t.record(1.0);
+
+  obs::setEnabled(false);
+  EXPECT_FALSE(obs::enabled());
+  c.add(100);
+  t.record(100.0);
+  EXPECT_EQ(c.value(), 3u) << "disabled counter must not move";
+  EXPECT_EQ(t.count(), 1u) << "disabled timer must not move";
+
+  obs::setEnabled(true);
+  c.add(1);
+  EXPECT_EQ(c.value(), 4u) << "re-enabling resumes from the preserved value";
+}
+
+TEST_F(ObsTest, ScopedTimerChargesEnclosingScope) {
+  obs::Timer& t = obs::timer("test.scoped");
+  t.reset();
+  {
+    obs::ScopedTimer st(t);
+    // Busy-wait just long enough to observe a strictly positive duration.
+    const auto start = std::chrono::steady_clock::now();
+    while (std::chrono::steady_clock::now() - start <
+           std::chrono::microseconds(50)) {
+    }
+  }
+  EXPECT_EQ(t.count(), 1u);
+  EXPECT_GT(t.totalSeconds(), 0.0);
+}
+
+TEST_F(ObsTest, ScopedTimerRecordsNothingWhenDisabled) {
+  obs::Timer& t = obs::timer("test.scoped_disabled");
+  t.reset();
+  obs::setEnabled(false);
+  { obs::ScopedTimer st(t); }
+  obs::setEnabled(true);
+  EXPECT_EQ(t.count(), 0u);
+}
+
+TEST_F(ObsTest, ConcurrentIncrementsAreExact) {
+  obs::Counter& c = obs::counter("test.concurrent");
+  obs::Timer& t = obs::timer("test.concurrent_timer");
+  c.reset();
+  t.reset();
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        c.add(1);
+        t.record(1e-3);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(t.count(), static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_NEAR(t.totalSeconds(), kThreads * kIters * 1e-3, 1e-6);
+  EXPECT_DOUBLE_EQ(t.minSeconds(), 1e-3);
+  EXPECT_DOUBLE_EQ(t.maxSeconds(), 1e-3);
+}
+
+TEST_F(ObsTest, ConcurrentRegistryLookupsAreSafe) {
+  constexpr int kThreads = 8;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([w] {
+      for (int i = 0; i < 200; ++i) {
+        // Half the names are shared across threads, half are private.
+        obs::counter("test.lookup.shared." + std::to_string(i)).add(1);
+        obs::counter("test.lookup.t" + std::to_string(w)).add(1);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(obs::counter("test.lookup.shared.0").value(),
+            static_cast<std::uint64_t>(kThreads));
+}
+
+TEST_F(ObsTest, SnapshotContainsInstrumentsSortedByName) {
+  obs::counter("test.snap.b").reset();
+  obs::counter("test.snap.a").add(7);
+  const obs::Report r = obs::snapshot();
+  EXPECT_TRUE(std::is_sorted(
+      r.counters.begin(), r.counters.end(),
+      [](const auto& x, const auto& y) { return x.name < y.name; }));
+  EXPECT_EQ(r.counterValue("test.snap.a"), 7u + 0u);
+  EXPECT_GE(r.counterSumWithPrefix("test.snap."), 7u);
+}
+
+TEST_F(ObsTest, JsonReportRoundTrips) {
+  obs::counter("test.json.count").reset();
+  obs::counter("test.json.count").add(42);
+  obs::Timer& t = obs::timer("test.json.timer");
+  t.reset();
+  t.record(0.25);
+  t.record(0.75);
+
+  const obs::Report before = obs::snapshot();
+  std::ostringstream os;
+  obs::writeJson(before, os);
+  const obs::Report after = obs::parseJson(os.str());
+
+  EXPECT_EQ(after.enabled, before.enabled);
+  ASSERT_EQ(after.counters.size(), before.counters.size());
+  for (std::size_t i = 0; i < before.counters.size(); ++i) {
+    EXPECT_EQ(after.counters[i].name, before.counters[i].name);
+    EXPECT_EQ(after.counters[i].value, before.counters[i].value);
+  }
+  ASSERT_EQ(after.timers.size(), before.timers.size());
+  for (std::size_t i = 0; i < before.timers.size(); ++i) {
+    EXPECT_EQ(after.timers[i].name, before.timers[i].name);
+    EXPECT_EQ(after.timers[i].count, before.timers[i].count);
+    EXPECT_DOUBLE_EQ(after.timers[i].totalSeconds,
+                     before.timers[i].totalSeconds);
+    EXPECT_DOUBLE_EQ(after.timers[i].minSeconds, before.timers[i].minSeconds);
+    EXPECT_DOUBLE_EQ(after.timers[i].maxSeconds, before.timers[i].maxSeconds);
+  }
+
+  EXPECT_EQ(after.counterValue("test.json.count"), 42u);
+}
+
+TEST_F(ObsTest, ParseJsonRejectsMalformedInput) {
+  EXPECT_THROW(obs::parseJson("{"), std::runtime_error);
+  EXPECT_THROW(obs::parseJson("[]"), std::runtime_error);
+  EXPECT_THROW(obs::parseJson("{\"bogus\": 1}"), std::runtime_error);
+  EXPECT_THROW(obs::parseJson("{\"counters\": {\"a\": }}"),
+               std::runtime_error);
+}
+
+TEST_F(ObsTest, EmptyTimerSerializesZeroStats) {
+  obs::timer("test.json.empty_timer").reset();
+  const std::string json = obs::toJson();
+  const obs::Report r = obs::parseJson(json);
+  for (const obs::TimerSample& t : r.timers) {
+    if (t.name != "test.json.empty_timer") continue;
+    EXPECT_EQ(t.count, 0u);
+    EXPECT_EQ(t.totalSeconds, 0.0);
+    EXPECT_EQ(t.minSeconds, 0.0);
+    EXPECT_EQ(t.maxSeconds, 0.0);
+    return;
+  }
+  FAIL() << "empty timer missing from report";
+}
+
+TEST_F(ObsTest, ResetAllZeroesEverythingButKeepsReferences) {
+  obs::Counter& c = obs::counter("test.resetall");
+  c.add(5);
+  obs::Timer& t = obs::timer("test.resetall_timer");
+  t.record(1.0);
+  obs::resetAll();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(t.count(), 0u);
+  c.add(2);
+  EXPECT_EQ(obs::counter("test.resetall").value(), 2u);
+}
+
+// PROX_OBS_* macros: recording honours the build flag; with stats compiled
+// in they must hit the named instruments exactly once per expansion.
+TEST_F(ObsTest, MacrosChargeNamedInstruments) {
+#if PROX_ENABLE_STATS
+  obs::counter("test.macro.count").reset();
+  for (int i = 0; i < 3; ++i) PROX_OBS_COUNT("test.macro.count", 2);
+  EXPECT_EQ(obs::counter("test.macro.count").value(), 6u);
+
+  obs::timer("test.macro.timer").reset();
+  PROX_OBS_RECORD("test.macro.timer", 0.125);
+  EXPECT_EQ(obs::timer("test.macro.timer").count(), 1u);
+  EXPECT_DOUBLE_EQ(obs::timer("test.macro.timer").totalSeconds(), 0.125);
+
+  obs::timer("test.macro.scoped").reset();
+  { PROX_OBS_SCOPED_TIMER("test.macro.scoped"); }
+  EXPECT_EQ(obs::timer("test.macro.scoped").count(), 1u);
+#else
+  // Disabled builds: the macros must compile to no-ops.
+  PROX_OBS_COUNT("test.macro.count", 2);
+  PROX_OBS_RECORD("test.macro.timer", 0.125);
+  PROX_OBS_SCOPED_TIMER("test.macro.scoped");
+  EXPECT_EQ(obs::counter("test.macro.count").value(), 0u);
+#endif
+}
+
+TEST_F(ObsTest, BatchedMacrosChargeInstruments) {
+#if PROX_ENABLE_STATS
+  obs::counter("test.batch.count").reset();
+  obs::timer("test.batch.timer").reset();
+  {
+    PROX_OBS_BATCH(cells);
+    PROX_OBS_COUNT_IN(cells, "test.batch.count", 3);
+    PROX_OBS_COUNT_IN(cells, "test.batch.count", 0);  // zero add is a no-op
+    PROX_OBS_RECORD_IN(cells, "test.batch.timer", 0.25);
+  }
+  EXPECT_EQ(obs::counter("test.batch.count").value(), 3u);
+  EXPECT_EQ(obs::timer("test.batch.timer").count(), 1u);
+  EXPECT_DOUBLE_EQ(obs::timer("test.batch.timer").totalSeconds(), 0.25);
+
+  // Disabled: batchCells() returns null and batched sites record nothing.
+  obs::setEnabled(false);
+  {
+    PROX_OBS_BATCH(cells);
+    EXPECT_EQ(cells, nullptr);
+    PROX_OBS_COUNT_IN(cells, "test.batch.count", 5);
+    PROX_OBS_RECORD_IN(cells, "test.batch.timer", 1.0);
+  }
+  obs::setEnabled(true);
+  EXPECT_EQ(obs::counter("test.batch.count").value(), 3u);
+  EXPECT_EQ(obs::timer("test.batch.timer").count(), 1u);
+#else
+  PROX_OBS_BATCH(cells);
+  PROX_OBS_COUNT_IN(cells, "test.batch.count", 3);
+  PROX_OBS_RECORD_IN(cells, "test.batch.timer", 0.25);
+  EXPECT_EQ(obs::counter("test.batch.count").value(), 0u);
+#endif
+}
+
+}  // namespace
