@@ -10,6 +10,13 @@
 // or to the file given as --stats=FILE): Newton iterations, transient step
 // accounting, proximity-window statistics, characterization table points,
 // and STA arc evaluations in one machine-readable report.
+//
+// With --strict the full-stack stage additionally treats every absorbed
+// fault -- characterization points that had to be healed, STA arcs that fell
+// back to a degraded delay model -- as a hard error: each event is printed
+// to stderr and the process exits non-zero, with the exit code encoding the
+// worst severity seen (3 = warning-level events promoted, 4 = error,
+// 5 = fatal).
 
 #include <cstdio>
 #include <cstring>
@@ -21,6 +28,7 @@
 #include "spice/netlist.hpp"
 #include "spice/tran.hpp"
 #include "sta/timing_graph.hpp"
+#include "support/diagnostic.hpp"
 #include "waveform/measure.hpp"
 
 using namespace prox;
@@ -74,11 +82,26 @@ characterize::CharacterizationConfig coarseConfig() {
   return c;
 }
 
+// Exit code for --strict: warning-level absorbed faults are promoted to a
+// distinct non-zero code so scripts can tell "healed but completed" (3) from
+// genuine errors (4) and fatal states (5).
+int severityExitCode(support::Severity s) {
+  switch (s) {
+    case support::Severity::Info: return 0;
+    case support::Severity::Warning: return 3;
+    case support::Severity::Error: return 4;
+    case support::Severity::Fatal: return 5;
+  }
+  return 4;
+}
+
 // Exercises characterization, the proximity model and the STA so the stats
-// report covers the full stack, not just the raw deck simulation.
-void runFullStackStage() {
-  std::printf("\n--stats: characterizing a coarse NAND2 and timing a "
-              "three-stage path ...\n");
+// report covers the full stack, not just the raw deck simulation.  In strict
+// mode, any healed characterization point or degraded STA arc is reported on
+// stderr and reflected in the returned exit code.
+int runFullStackStage(bool strict) {
+  std::printf("\n%s: characterizing a coarse NAND2 and timing a "
+              "three-stage path ...\n", strict ? "--strict" : "--stats");
   cells::CellSpec spec;
   spec.type = cells::GateType::Nand;
   spec.fanin = 2;
@@ -98,12 +121,33 @@ void runFullStackStage() {
   if (const auto out = ta.arrival("y3")) {
     std::printf("  proximity arrival at y3: %.1f ps\n", out->time * 1e12);
   }
+
+  if (!strict) return 0;
+  support::Severity worst = support::Severity::Info;
+  if (!cell.diagnostics.empty()) {
+    std::fprintf(stderr,
+                 "--strict: characterization absorbed %zu fault(s):\n",
+                 cell.diagnostics.size());
+    for (const auto& d : cell.diagnostics.entries()) {
+      std::fprintf(stderr, "  %s\n", d.toString().c_str());
+    }
+    worst = std::max(worst, cell.diagnostics.worstSeverity());
+  }
+  if (ta.degradedArcs() > 0) {
+    std::fprintf(stderr,
+                 "--strict: %zu STA arc(s) fell back to a degraded delay "
+                 "model\n",
+                 ta.degradedArcs());
+    worst = std::max(worst, support::Severity::Warning);
+  }
+  return severityExitCode(worst);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bool stats = false;
+  bool strict = false;
   std::string statsPath;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--stats") == 0) {
@@ -115,8 +159,10 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "%s: --stats= requires a file name\n", argv[0]);
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--strict") == 0) {
+      strict = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--stats[=FILE]]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--stats[=FILE]] [--strict]\n", argv[0]);
       return 2;
     }
   }
@@ -144,8 +190,11 @@ int main(int argc, char** argv) {
               "paths: the output\ncrossing moves earlier and the rise "
               "sharpens -- Figure 1-2(a,b) straight from\na SPICE deck.\n");
 
+  int rc = 0;
+  if (stats || strict) {
+    rc = runFullStackStage(strict);
+  }
   if (stats) {
-    runFullStackStage();
     if (statsPath.empty()) {
       std::printf("\n");
       obs::writeJson(std::cout);
@@ -159,5 +208,5 @@ int main(int argc, char** argv) {
       std::printf("\nstats report written to %s\n", statsPath.c_str());
     }
   }
-  return 0;
+  return rc;
 }

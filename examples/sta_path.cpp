@@ -72,6 +72,12 @@ int main(int argc, char** argv) {
   };
   const auto classic = analyze(DelayMode::Classic);
   const auto proximity = analyze(DelayMode::Proximity);
+  if (proximity.degradedArcs() + classic.degradedArcs() > 0) {
+    std::printf("note: %zu arc(s) used a degraded delay model (missing or "
+                "unusable tables); see sta.delay_calc.degraded_arcs in "
+                "--stats\n",
+                proximity.degradedArcs() + classic.degradedArcs());
+  }
 
   std::printf("running the flat transistor-level reference simulation ...\n");
   const auto flat = sta::simulateFlat(nl, arrivals);

@@ -1,7 +1,9 @@
 #include "characterize/characterize.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "obs/registry.hpp"
@@ -9,12 +11,112 @@
 
 namespace prox::characterize {
 
+namespace {
+
+/// Interpolates a hole from its nearest finite neighbors along one grid
+/// axis, weighted by axis coordinate.  @p sample maps an index on that axis
+/// to the (pristine) table value; returns false when the whole line is holes.
+template <class Sample>
+bool healAlong(const std::vector<double>& grid, std::size_t pos,
+               const Sample& sample, double* out) {
+  double below = 0.0;
+  double above = 0.0;
+  double xb = 0.0;
+  double xa = 0.0;
+  bool hasBelow = false;
+  bool hasAbove = false;
+  for (std::size_t k = pos; k-- > 0;) {
+    const double r = sample(k);
+    if (std::isfinite(r)) {
+      below = r;
+      xb = grid[k];
+      hasBelow = true;
+      break;
+    }
+  }
+  for (std::size_t k = pos + 1; k < grid.size(); ++k) {
+    const double r = sample(k);
+    if (std::isfinite(r)) {
+      above = r;
+      xa = grid[k];
+      hasAbove = true;
+      break;
+    }
+  }
+  if (hasBelow && hasAbove) {
+    const double f = xa > xb ? (grid[pos] - xb) / (xa - xb) : 0.5;
+    *out = below + f * (above - below);
+    return true;
+  }
+  if (hasBelow) {
+    *out = below;
+    return true;
+  }
+  if (hasAbove) {
+    *out = above;
+    return true;
+  }
+  return false;
+}
+
+/// Replaces every non-finite table entry by neighbor interpolation -- along
+/// the w line first (the smoothest direction of the ratio surface), then v,
+/// then u, falling back to the identity ratio 1.0 for fully isolated holes.
+/// Healed entries are marked in the table.  Returns the number healed.
+std::size_t healTable(model::DualTable& t) {
+  std::vector<std::array<std::size_t, 3>> holes;
+  for (std::size_t iu = 0; iu < t.u.size(); ++iu) {
+    for (std::size_t iv = 0; iv < t.v.size(); ++iv) {
+      for (std::size_t iw = 0; iw < t.w.size(); ++iw) {
+        if (!std::isfinite(t.at(iu, iv, iw))) holes.push_back({iu, iv, iw});
+      }
+    }
+  }
+  if (holes.empty()) return 0;
+  const model::DualTable orig = t;  // heal from pristine values only
+  for (const auto& h : holes) {
+    const std::size_t iu = h[0];
+    const std::size_t iv = h[1];
+    const std::size_t iw = h[2];
+    double val = 1.0;
+    const bool ok =
+        healAlong(t.w, iw, [&](std::size_t k) { return orig.at(iu, iv, k); },
+                  &val) ||
+        healAlong(t.v, iv, [&](std::size_t k) { return orig.at(iu, k, iw); },
+                  &val) ||
+        healAlong(t.u, iu, [&](std::size_t k) { return orig.at(k, iv, iw); },
+                  &val);
+    t.at(iu, iv, iw) = ok ? val : 1.0;
+    t.markHealed(iu, iv, iw);
+  }
+  return holes.size();
+}
+
+/// Records a per-point failure into @p log (when non-null), preserving the
+/// typed diagnostic when the exception carries one.
+void recordPointFailure(support::DiagnosticLog* log, const std::exception& e,
+                        int refPin, double tauRef, double sep) {
+  if (log == nullptr) return;
+  const auto* de = dynamic_cast<const support::DiagnosticError*>(&e);
+  support::Diagnostic d =
+      de ? de->diagnostic()
+         : support::makeDiagnostic(support::StatusCode::SimulationFailed,
+                                   e.what());
+  log->record(d.withSeverity(support::Severity::Warning)
+                  .withSite("characterize.dual_sweep")
+                  .withPin(refPin)
+                  .withSweepPoint(tauRef, sep));
+}
+
+}  // namespace
+
 void buildDualTables(model::GateSimulator& sim,
                      const model::SingleInputModelSet& singles, int refPin,
                      int otherPin, wave::Edge edge,
                      const CharacterizationConfig& config,
                      model::DualTable* delayTable,
-                     model::DualTable* transitionTable) {
+                     model::DualTable* transitionTable,
+                     support::DiagnosticLog* log) {
   if (delayTable == nullptr || transitionTable == nullptr) {
     throw std::invalid_argument("buildDualTables: null output");
   }
@@ -58,6 +160,28 @@ void buildDualTables(model::GateSimulator& sim,
   PROX_OBS_COUNT("characterize.table_points",
                  dt.ratio.size() + tt.ratio.size());
 
+  // One sweep point: retry per config, then leave a NaN hole for the healing
+  // pass below.  A failed oracle eval is never cached, so retries really
+  // re-run the transient (and any injected-fault window advances).
+  const int attempts =
+      config.healPointFailures ? 1 + std::max(config.pointRetries, 0) : 1;
+  const auto evalPoint = [&](const model::DualQuery& q,
+                             bool transition) -> double {
+    for (int a = 0; a < attempts; ++a) {
+      try {
+        if (a > 0) PROX_OBS_COUNT("characterize.point_retries", 1);
+        return transition ? oracle.transitionRatio(q) : oracle.delayRatio(q);
+      } catch (const std::exception& e) {
+        if (!config.healPointFailures) throw;
+        if (a + 1 == attempts) {
+          PROX_OBS_COUNT("characterize.points_failed", 1);
+          recordPointFailure(log, e, refPin, q.tauRef, q.sep);
+        }
+      }
+    }
+    return std::numeric_limits<double>::quiet_NaN();
+  };
+
   for (std::size_t iu = 0; iu < tauRefs.size(); ++iu) {
     const double tauRef = tauRefs[iu];
     const double d1 = mRef.delay(tauRef);
@@ -72,7 +196,7 @@ void buildDualTables(model::GateSimulator& sim,
       q.tauOther = std::clamp(dt.v[iv] * d1, 1e-12, 50e-9);
       for (std::size_t iw = 0; iw < dt.w.size(); ++iw) {
         q.sep = dt.w[iw] * d1;
-        dt.at(iu, iv, iw) = oracle.delayRatio(q);
+        dt.at(iu, iv, iw) = evalPoint(q, false);
       }
     }
     // Transition table: v and w in tau^(1) units.
@@ -85,15 +209,21 @@ void buildDualTables(model::GateSimulator& sim,
       q.tauOther = std::clamp(tt.v[iv] * t1, 1e-12, 50e-9);
       for (std::size_t iw = 0; iw < tt.w.size(); ++iw) {
         q.sep = tt.w[iw] * t1;
-        tt.at(iu, iv, iw) = oracle.transitionRatio(q);
+        tt.at(iu, iv, iw) = evalPoint(q, true);
       }
     }
+  }
+
+  const std::size_t healedPoints = healTable(dt) + healTable(tt);
+  if (healedPoints > 0) {
+    PROX_OBS_COUNT("characterize.points_healed", healedPoints);
   }
 }
 
 model::StepCorrection characterizeStepCorrection(
     model::GateSimulator& sim, const model::SingleInputModelSet& singles,
-    const model::DualInputModel& dual, double stepTau) {
+    const model::DualInputModel& dual, double stepTau, bool healFailures,
+    support::DiagnosticLog* log) {
   model::StepCorrection corr;
   const int n = sim.gate().spec.type == cells::GateType::Inverter
                     ? 1
@@ -129,13 +259,23 @@ model::StepCorrection characterizeStepCorrection(
         continue;
       }
       PROX_OBS_COUNT("characterize.correction_points", 1);
-      const model::SimOutcome actual = sim.simulate(events, 0);
-      const model::ProximityResult modeled = raw.compute(events);
-      const double dErr =
-          actual.delay ? *actual.delay - modeled.delay : 0.0;
-      const double tErr = actual.transitionTime
-                              ? *actual.transitionTime - modeled.transitionTime
-                              : 0.0;
+      // A failed correction point degrades to a zero corrective term: the
+      // uncorrected model is the paper's baseline, so "no correction" is the
+      // safe identity rather than an abort.
+      double dErr = 0.0;
+      double tErr = 0.0;
+      try {
+        const model::SimOutcome actual = sim.simulate(events, 0);
+        const model::ProximityResult modeled = raw.compute(events);
+        dErr = actual.delay ? *actual.delay - modeled.delay : 0.0;
+        tErr = actual.transitionTime
+                   ? *actual.transitionTime - modeled.transitionTime
+                   : 0.0;
+      } catch (const std::exception& e) {
+        if (!healFailures) throw;
+        PROX_OBS_COUNT("characterize.correction_points_failed", 1);
+        recordPointFailure(log, e, /*refPin=*/0, stepTau, 0.0);
+      }
       if (edge == wave::Edge::Rising) {
         corr.delayErrorRising.push_back(dErr);
         corr.transitionErrorRising.push_back(tErr);
@@ -186,7 +326,8 @@ CharacterizedGate characterizeFromGate(model::Gate gate,
       model::DualTable dt;
       model::DualTable tt;
       if (havePartner) {
-        buildDualTables(sim, *out.singles, pin, partner, edge, config, &dt, &tt);
+        buildDualTables(sim, *out.singles, pin, partner, edge, config, &dt, &tt,
+                        &out.diagnostics);
       } else {
         // Degenerate (single-input gate or unpairable pin): identity tables.
         dt.u = {1.0};
@@ -213,7 +354,7 @@ CharacterizedGate characterizeFromGate(model::Gate gate,
           model::DualTable dt;
           model::DualTable tt;
           buildDualTables(sim, *out.singles, ref, other, edge, config, &dt,
-                          &tt);
+                          &tt, &out.diagnostics);
           out.dual->setPairDelayTable(ref, other, edge, std::move(dt));
           out.dual->setPairTransitionTable(ref, other, edge, std::move(tt));
         }
@@ -222,7 +363,8 @@ CharacterizedGate characterizeFromGate(model::Gate gate,
   }
 
   out.correction =
-      characterizeStepCorrection(sim, *out.singles, *out.dual, config.stepTau);
+      characterizeStepCorrection(sim, *out.singles, *out.dual, config.stepTau,
+                                 config.healPointFailures, &out.diagnostics);
   return out;
 }
 

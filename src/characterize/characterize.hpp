@@ -12,6 +12,7 @@
 
 #include "model/dual_input.hpp"
 #include "model/proximity.hpp"
+#include "support/diagnostic.hpp"
 
 namespace prox::characterize {
 
@@ -45,6 +46,13 @@ struct CharacterizationConfig {
   /// Representative partner pin when characterizing reference pin p is
   /// (p + partnerOffset) mod fanin.
   int partnerOffset = 1;
+  /// Fault tolerance: a sweep point whose transistor-level transient fails is
+  /// retried (pointRetries extra attempts) and, if still failing, left as a
+  /// hole that neighbor interpolation heals after the sweep -- the table
+  /// marks the point healed and the sweep completes instead of aborting.
+  /// false restores fail-fast characterization.
+  bool healPointFailures = true;
+  int pointRetries = 1;
 };
 
 /// The complete characterized model package for one gate.  Move-only: the
@@ -55,6 +63,10 @@ class CharacterizedGate {
   std::unique_ptr<model::SingleInputModelSet> singles;
   std::unique_ptr<model::TabulatedDualInputModel> dual;
   model::StepCorrection correction;
+  /// Per-point failures the healing machinery absorbed (Warning severity) --
+  /// empty when the characterization ran clean.  `--strict` front ends
+  /// promote a non-empty log to a hard error.
+  support::DiagnosticLog diagnostics;
 
   /// Convenience: a ProximityCalculator over this package's tables.  Complex
   /// gates get the structural dominance-sense resolver automatically.
@@ -86,19 +98,25 @@ CharacterizedGate characterizeComplexGate(
 
 /// Builds one dual-input ratio-table pair (delay + transition) for a
 /// reference pin/edge using the oracle.  Exposed for tests and for the
-/// storage-complexity bench.
+/// storage-complexity bench.  Per-point failures are retried and healed per
+/// config.healPointFailures; healed points are recorded in @p log (when
+/// non-null) at Warning severity and marked in the tables.
 void buildDualTables(model::GateSimulator& sim,
                      const model::SingleInputModelSet& singles, int refPin,
                      int otherPin, wave::Edge edge,
                      const CharacterizationConfig& config,
                      model::DualTable* delayTable,
-                     model::DualTable* transitionTable);
+                     model::DualTable* transitionTable,
+                     support::DiagnosticLog* log = nullptr);
 
 /// Characterizes the simultaneous-step corrective terms for the gate given
 /// an (uncorrected) calculator over @p dual.  Returns signed errors
-/// (simulated minus modeled) for input counts 2..fanin.
+/// (simulated minus modeled) for input counts 2..fanin.  When @p healFailures
+/// is set, a failed correction point degrades to a zero corrective term
+/// (recorded in @p log) instead of aborting.
 model::StepCorrection characterizeStepCorrection(
     model::GateSimulator& sim, const model::SingleInputModelSet& singles,
-    const model::DualInputModel& dual, double stepTau);
+    const model::DualInputModel& dual, double stepTau,
+    bool healFailures = true, support::DiagnosticLog* log = nullptr);
 
 }  // namespace prox::characterize

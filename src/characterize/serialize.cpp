@@ -1,24 +1,158 @@
 #include "characterize/serialize.hpp"
 
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
+#include <istream>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+
+#include "obs/registry.hpp"
+#include "support/diagnostic.hpp"
 
 namespace prox::characterize {
 
 namespace {
 
 constexpr const char* kMagic = "proxdelay-model";
-constexpr int kVersion = 1;
+// Version 2 adds the optional per-table "healed" section; version-1 files
+// (no healed marks) still load.
+constexpr int kVersion = 2;
 
 char edgeChar(wave::Edge e) { return e == wave::Edge::Rising ? 'R' : 'F'; }
 
-wave::Edge parseEdge(const std::string& s) {
+/// Whitespace-token reader over the .prox stream that tracks 1-based line
+/// numbers so every parse diagnostic can point at its source line.
+class Reader {
+ public:
+  explicit Reader(std::istream& is) : is_(is) {}
+
+  /// Line of the most recently returned token.
+  int line() const { return lastLine_; }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    PROX_OBS_COUNT("characterize.serialize.parse_errors", 1);
+    throw support::DiagnosticError(
+        support::makeDiagnostic(support::StatusCode::ParseError,
+                                "loadGateModel: " + msg)
+            .withSite("characterize.serialize")
+            .withLine(lastLine_));
+  }
+
+  /// Next token; fails with a typed truncation diagnostic at end of input.
+  std::string next(const char* what) {
+    std::string t = rawNext();
+    if (t.empty()) fail(std::string("unexpected end of file reading ") + what);
+    return t;
+  }
+
+  /// Next token without consuming it; empty at end of input.
+  const std::string& peek() {
+    if (!havePending_) {
+      const int before = lastLine_;
+      pending_ = rawNext();
+      pendingLine_ = lastLine_;
+      lastLine_ = before;
+      havePending_ = true;
+    }
+    return pending_;
+  }
+
+  /// Consumes the next token and fails unless it equals @p tag.
+  void expect(const char* tag) {
+    const std::string t = next(tag);
+    if (t != tag) {
+      fail(std::string("expected '") + tag + "', got '" + t + "'");
+    }
+  }
+
+  double number(const char* what) {
+    const std::string t = next(what);
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(t.c_str(), &end);
+    if (end != t.c_str() + t.size() || errno == ERANGE) {
+      fail(std::string("malformed number '") + t + "' in " + what);
+    }
+    return v;
+  }
+
+  /// A number that must be finite (grids, table entries, device params).
+  double finiteNumber(const char* what) {
+    const double v = number(what);
+    if (!std::isfinite(v)) {
+      fail(std::string("non-finite value in ") + what);
+    }
+    return v;
+  }
+
+  long integer(const char* what) {
+    const std::string t = next(what);
+    errno = 0;
+    char* end = nullptr;
+    const long v = std::strtol(t.c_str(), &end, 10);
+    if (end != t.c_str() + t.size() || errno == ERANGE) {
+      fail(std::string("malformed integer '") + t + "' in " + what);
+    }
+    return v;
+  }
+
+  std::size_t count(const char* what, std::size_t cap = 1u << 24) {
+    const long v = integer(what);
+    if (v < 0 || static_cast<std::size_t>(v) > cap) {
+      fail(std::string("bad count in ") + what);
+    }
+    return static_cast<std::size_t>(v);
+  }
+
+ private:
+  std::string rawNext() {
+    if (havePending_) {
+      havePending_ = false;
+      lastLine_ = pendingLine_;
+      return std::move(pending_);
+    }
+    std::string t;
+    int c;
+    while ((c = is_.get()) != EOF) {
+      if (c == '\n') {
+        ++line_;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) continue;
+      break;
+    }
+    if (c == EOF) {
+      lastLine_ = line_;
+      return t;
+    }
+    lastLine_ = line_;
+    t.push_back(static_cast<char>(c));
+    while ((c = is_.get()) != EOF &&
+           !std::isspace(static_cast<unsigned char>(c))) {
+      t.push_back(static_cast<char>(c));
+    }
+    if (c == '\n') ++line_;
+    return t;
+  }
+
+  std::istream& is_;
+  int line_ = 1;      ///< line the read cursor is on
+  int lastLine_ = 1;  ///< line of the last returned token
+  std::string pending_;
+  int pendingLine_ = 1;
+  bool havePending_ = false;
+};
+
+wave::Edge parseEdge(Reader& r) {
+  const std::string s = r.next("edge tag");
   if (s == "R") return wave::Edge::Rising;
   if (s == "F") return wave::Edge::Falling;
-  throw std::runtime_error("loadGateModel: bad edge tag '" + s + "'");
+  r.fail("bad edge tag '" + s + "'");
 }
 
 std::string gateTag(cells::GateType t) {
@@ -31,12 +165,12 @@ std::string gateTag(cells::GateType t) {
   return "?";
 }
 
-cells::GateType parseGateTag(const std::string& s) {
+cells::GateType parseGateTag(Reader& r, const std::string& s) {
   if (s == "INV") return cells::GateType::Inverter;
   if (s == "NAND") return cells::GateType::Nand;
   if (s == "NOR") return cells::GateType::Nor;
   if (s == "COMPLEX") return cells::GateType::Complex;
-  throw std::runtime_error("loadGateModel: bad gate tag '" + s + "'");
+  r.fail("bad gate tag '" + s + "'");
 }
 
 void writeMos(std::ostream& os, const char* tag, const spice::MosfetParams& p) {
@@ -46,16 +180,20 @@ void writeMos(std::ostream& os, const char* tag, const spice::MosfetParams& p) {
      << p.alpha << ' ' << p.pc << ' ' << p.pv << '\n';
 }
 
-void readMos(std::istream& is, const char* tag, bool nmos,
-             spice::MosfetParams* p) {
-  std::string t;
-  is >> t;
-  if (t != tag) throw std::runtime_error("loadGateModel: expected " +
-                                         std::string(tag) + ", got " + t);
+void readMos(Reader& r, const char* tag, bool nmos, spice::MosfetParams* p) {
+  r.expect(tag);
   p->nmos = nmos;
-  int level = 1;
-  is >> p->kp >> p->vt0 >> p->lambda >> p->gamma >> p->phi >> p->w >> p->l >>
-      level >> p->alpha >> p->pc >> p->pv;
+  p->kp = r.finiteNumber(tag);
+  p->vt0 = r.finiteNumber(tag);
+  p->lambda = r.finiteNumber(tag);
+  p->gamma = r.finiteNumber(tag);
+  p->phi = r.finiteNumber(tag);
+  p->w = r.finiteNumber(tag);
+  p->l = r.finiteNumber(tag);
+  const long level = r.integer(tag);
+  p->alpha = r.finiteNumber(tag);
+  p->pc = r.finiteNumber(tag);
+  p->pv = r.finiteNumber(tag);
   p->equation = level == 14 ? spice::MosEquation::AlphaPower
                             : spice::MosEquation::Level1;
 }
@@ -66,15 +204,21 @@ void writeVector(std::ostream& os, const std::vector<double>& v) {
   os << '\n';
 }
 
-std::vector<double> readVector(std::istream& is) {
-  std::size_t n = 0;
-  is >> n;
-  if (!is || n > (1u << 24)) {
-    throw std::runtime_error("loadGateModel: bad vector length");
-  }
+std::vector<double> readVector(Reader& r, const char* what) {
+  const std::size_t n = r.count(what);
   std::vector<double> v(n);
-  for (double& x : v) is >> x;
-  if (!is) throw std::runtime_error("loadGateModel: truncated vector");
+  for (double& x : v) x = r.finiteNumber(what);
+  return v;
+}
+
+/// A vector that must additionally be a strictly ascending grid axis.
+std::vector<double> readGrid(Reader& r, const char* what) {
+  std::vector<double> v = readVector(r, what);
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    if (!(v[i] > v[i - 1])) {
+      r.fail(std::string(what) + " not strictly ascending");
+    }
+  }
   return v;
 }
 
@@ -83,6 +227,14 @@ void writeDualTable2(std::ostream& os, const model::DualTable& t) {
   writeVector(os, t.v);
   writeVector(os, t.w);
   writeVector(os, t.ratio);
+  const std::size_t healed = t.healedCount();
+  if (healed > 0) {
+    os << "healed " << healed;
+    for (std::size_t i = 0; i < t.healed.size(); ++i) {
+      if (t.healed[i] != 0) os << ' ' << i;
+    }
+    os << '\n';
+  }
 }
 
 void writeDualTable(std::ostream& os, const char* tag, int pin, wave::Edge e,
@@ -91,14 +243,26 @@ void writeDualTable(std::ostream& os, const char* tag, int pin, wave::Edge e,
   writeDualTable2(os, t);
 }
 
-model::DualTable readDualTable(std::istream& is) {
+model::DualTable readDualTable(Reader& r) {
   model::DualTable t;
-  t.u = readVector(is);
-  t.v = readVector(is);
-  t.w = readVector(is);
-  t.ratio = readVector(is);
+  t.u = readGrid(r, "dual table u grid");
+  t.v = readGrid(r, "dual table v grid");
+  t.w = readGrid(r, "dual table w grid");
+  t.ratio = readVector(r, "dual table ratio");
   if (t.ratio.size() != t.u.size() * t.v.size() * t.w.size()) {
-    throw std::runtime_error("loadGateModel: dual table size mismatch");
+    r.fail("dual table size mismatch");
+  }
+  if (r.peek() == "healed") {
+    r.next("healed tag");
+    const std::size_t n = r.count("healed point count", t.ratio.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t idx = r.count("healed point index", t.ratio.size());
+      if (idx >= t.ratio.size()) r.fail("healed point index out of range");
+      const std::size_t iw = idx % t.w.size();
+      const std::size_t iv = (idx / t.w.size()) % t.v.size();
+      const std::size_t iu = idx / (t.w.size() * t.v.size());
+      t.markHealed(iu, iv, iw);
+    }
   }
   return t;
 }
@@ -155,65 +319,68 @@ void saveGateModel(const CharacterizedGate& g, std::ostream& os) {
 
 void saveGateModel(const CharacterizedGate& g, const std::string& path) {
   std::ofstream f(path);
-  if (!f) throw std::runtime_error("saveGateModel: cannot open " + path);
+  if (!f) {
+    throw support::DiagnosticError(
+        support::makeDiagnostic(support::StatusCode::IoError,
+                                "saveGateModel: cannot open " + path)
+            .withSite("characterize.serialize"));
+  }
   saveGateModel(g, f);
 }
 
 CharacterizedGate loadGateModel(std::istream& is) {
-  std::string tag;
-  int version = 0;
-  is >> tag >> version;
-  if (tag != kMagic || version != kVersion) {
-    throw std::runtime_error("loadGateModel: bad header");
+  Reader r(is);
+  const std::string magic = r.next("header magic");
+  const long version = r.integer("header version");
+  if (magic != kMagic || version < 1 || version > kVersion) {
+    r.fail("bad header");
   }
 
   CharacterizedGate g;
   cells::CellSpec& s = g.gate.spec;
 
-  std::string word;
-  is >> word;
-  if (word != "gate") throw std::runtime_error("loadGateModel: expected gate");
-  is >> word >> s.fanin;
-  s.type = parseGateTag(word);
+  r.expect("gate");
+  const std::string gateWord = r.next("gate tag");
+  s.type = parseGateTag(r, gateWord);
+  s.fanin = static_cast<int>(r.integer("gate fanin"));
 
   std::string pullExprText;
   if (s.type == cells::GateType::Complex) {
-    is >> word;
-    if (word != "pullnet") {
-      throw std::runtime_error("loadGateModel: expected pullnet");
-    }
-    is >> pullExprText;
+    r.expect("pullnet");
+    pullExprText = r.next("pullnet expression");
   }
 
-  is >> word;
-  if (word != "sizing") throw std::runtime_error("loadGateModel: expected sizing");
-  is >> s.wn >> s.wp >> s.loadCap;
+  r.expect("sizing");
+  s.wn = r.finiteNumber("sizing");
+  s.wp = r.finiteNumber("sizing");
+  s.loadCap = r.finiteNumber("sizing");
 
-  is >> word;
-  if (word != "vdd") throw std::runtime_error("loadGateModel: expected vdd");
-  is >> s.tech.vdd;
-  readMos(is, "nmos", true, &s.tech.nmos);
-  readMos(is, "pmos", false, &s.tech.pmos);
-  is >> word;
-  if (word != "caps") throw std::runtime_error("loadGateModel: expected caps");
-  is >> s.tech.coxPerArea >> s.tech.overlapCapPerWidth >>
-      s.tech.junctionCapPerWidth;
+  r.expect("vdd");
+  s.tech.vdd = r.finiteNumber("vdd");
+  readMos(r, "nmos", true, &s.tech.nmos);
+  readMos(r, "pmos", false, &s.tech.pmos);
+  r.expect("caps");
+  s.tech.coxPerArea = r.finiteNumber("caps");
+  s.tech.overlapCapPerWidth = r.finiteNumber("caps");
+  s.tech.junctionCapPerWidth = r.finiteNumber("caps");
 
-  is >> word;
-  if (word != "thresholds") {
-    throw std::runtime_error("loadGateModel: expected thresholds");
-  }
-  is >> g.gate.thresholds.vil >> g.gate.thresholds.vih;
+  r.expect("thresholds");
+  g.gate.thresholds.vil = r.finiteNumber("thresholds");
+  g.gate.thresholds.vih = r.finiteNumber("thresholds");
 
   if (s.type == cells::GateType::Complex) {
     cells::ComplexCellSpec cs;
-    cs.pulldown = cells::PullExpr::parse(pullExprText);
+    try {
+      cs.pulldown = cells::PullExpr::parse(pullExprText);
+    } catch (const std::exception& e) {
+      r.fail(std::string("bad pullnet expression: ") + e.what());
+    }
     cs.tech = s.tech;
     cs.wn = s.wn;
     cs.wp = s.wp;
     cs.loadCap = s.loadCap;
     if (cs.pinCount() != s.fanin) {
-      throw std::runtime_error("loadGateModel: pullnet pin count mismatch");
+      r.fail("pullnet pin count mismatch");
     }
     g.gate.complex = cs;
   }
@@ -221,68 +388,67 @@ CharacterizedGate loadGateModel(std::istream& is) {
   g.singles = std::make_unique<model::SingleInputModelSet>();
   const int n = g.pinCount();
   for (int i = 0; i < n * 2; ++i) {
-    int pin = 0;
-    std::string edgeTag;
-    double loadCap = 0.0;
-    double k = 0.0;
-    double vdd = 0.0;
-    std::size_t rows = 0;
-    is >> word;
-    if (word != "single") throw std::runtime_error("loadGateModel: expected single");
-    is >> pin >> edgeTag >> loadCap >> k >> vdd >> rows;
+    r.expect("single");
+    const int pin = static_cast<int>(r.integer("single pin"));
+    const wave::Edge edge = parseEdge(r);
+    const double loadCap = r.finiteNumber("single table");
+    const double k = r.finiteNumber("single table");
+    const double vdd = r.finiteNumber("single table");
+    const std::size_t rows = r.count("single table rows");
     std::vector<model::SingleInputModel::Sample> table(rows);
-    for (auto& row : table) is >> row.tau >> row.delay >> row.transition;
-    if (!is) throw std::runtime_error("loadGateModel: truncated single table");
-    g.singles->set(model::SingleInputModel(pin, parseEdge(edgeTag),
-                                           std::move(table), loadCap, k, vdd));
+    for (auto& row : table) {
+      row.tau = r.finiteNumber("single table row");
+      row.delay = r.finiteNumber("single table row");
+      row.transition = r.finiteNumber("single table row");
+    }
+    g.singles->set(
+        model::SingleInputModel(pin, edge, std::move(table), loadCap, k, vdd));
   }
 
   g.dual = std::make_unique<model::TabulatedDualInputModel>(*g.singles);
   // Tag-driven section: per-reference tables, optional pair tables, then the
   // correction block terminates the loop.
   while (true) {
-    is >> word;
-    if (!is) throw std::runtime_error("loadGateModel: truncated dual section");
+    const std::string word = r.next("dual section tag");
     if (word == "correction") break;
     if (word == "dualdelay" || word == "dualtrans") {
-      int pin = 0;
-      std::string edgeTag;
-      is >> pin >> edgeTag;
+      const int pin = static_cast<int>(r.integer("dual table pin"));
+      const wave::Edge edge = parseEdge(r);
       if (word == "dualdelay") {
-        g.dual->setDelayTable(pin, parseEdge(edgeTag), readDualTable(is));
+        g.dual->setDelayTable(pin, edge, readDualTable(r));
       } else {
-        g.dual->setTransitionTable(pin, parseEdge(edgeTag), readDualTable(is));
+        g.dual->setTransitionTable(pin, edge, readDualTable(r));
       }
     } else if (word == "pairdelay" || word == "pairtrans") {
-      int ref = 0;
-      int other = 0;
-      std::string edgeTag;
-      is >> ref >> other >> edgeTag;
+      const int ref = static_cast<int>(r.integer("pair table ref pin"));
+      const int other = static_cast<int>(r.integer("pair table other pin"));
+      const wave::Edge edge = parseEdge(r);
       if (word == "pairdelay") {
-        g.dual->setPairDelayTable(ref, other, parseEdge(edgeTag),
-                                  readDualTable(is));
+        g.dual->setPairDelayTable(ref, other, edge, readDualTable(r));
       } else {
-        g.dual->setPairTransitionTable(ref, other, parseEdge(edgeTag),
-                                       readDualTable(is));
+        g.dual->setPairTransitionTable(ref, other, edge, readDualTable(r));
       }
     } else {
-      throw std::runtime_error("loadGateModel: unexpected section '" + word +
-                               "'");
+      r.fail("unexpected section '" + word + "'");
     }
   }
-  g.correction.delayErrorRising = readVector(is);
-  g.correction.delayErrorFalling = readVector(is);
-  g.correction.transitionErrorRising = readVector(is);
-  g.correction.transitionErrorFalling = readVector(is);
+  g.correction.delayErrorRising = readVector(r, "correction");
+  g.correction.delayErrorFalling = readVector(r, "correction");
+  g.correction.transitionErrorRising = readVector(r, "correction");
+  g.correction.transitionErrorFalling = readVector(r, "correction");
 
-  is >> word;
-  if (word != "end") throw std::runtime_error("loadGateModel: expected end");
+  r.expect("end");
   return g;
 }
 
 CharacterizedGate loadGateModelFile(const std::string& path) {
   std::ifstream f(path);
-  if (!f) throw std::runtime_error("loadGateModel: cannot open " + path);
+  if (!f) {
+    throw support::DiagnosticError(
+        support::makeDiagnostic(support::StatusCode::IoError,
+                                "loadGateModel: cannot open " + path)
+            .withSite("characterize.serialize"));
+  }
   return loadGateModel(f);
 }
 

@@ -14,11 +14,16 @@ namespace prox::characterize {
 /// and dual tables, corrections) to @p os.
 void saveGateModel(const CharacterizedGate& g, std::ostream& os);
 
-/// Writes to @p path; throws std::runtime_error if the file cannot be opened.
+/// Writes to @p path; throws support::DiagnosticError (IoError) if the file
+/// cannot be opened.
 void saveGateModel(const CharacterizedGate& g, const std::string& path);
 
-/// Reads a package previously written by saveGateModel.  Throws
-/// std::runtime_error on format errors.
+/// Reads a package previously written by saveGateModel (format versions 1
+/// and 2; version 2 adds per-table healed-point marks).  Throws
+/// support::DiagnosticError -- a std::runtime_error whose Diagnostic carries
+/// code ParseError and the 1-based line of the offending token -- on
+/// truncated input, malformed or non-finite numbers, non-ascending grid
+/// axes, unknown section tags, or bad pull-network expressions.
 CharacterizedGate loadGateModel(std::istream& is);
 
 /// Reads from @p path.

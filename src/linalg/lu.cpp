@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "obs/registry.hpp"
+#include "support/fault_injection.hpp"
 
 namespace prox::linalg {
 
@@ -12,6 +13,12 @@ bool LuFactorization::factor(const Matrix& a, double pivotTol) {
   PROX_OBS_COUNT("linalg.lu.factorizations", 1);
   if (a.rows() != a.cols()) {
     throw std::invalid_argument("LuFactorization: matrix must be square");
+  }
+  if (PROX_FAULT_POINT("linalg.lu.factor", SingularLu)) {
+    PROX_OBS_COUNT("linalg.lu.injected_faults", 1);
+    PROX_OBS_COUNT("linalg.lu.singular", 1);
+    valid_ = false;
+    return false;
   }
   const std::size_t n = a.rows();
   lu_ = a;

@@ -22,11 +22,36 @@ std::pair<std::size_t, double> locate(const std::vector<double>& grid, double x)
   return {hi - 1, f};
 }
 
+/// Relative overshoot of @p x beyond the grid span (0 for in-grid queries).
+/// Degenerate single-point grids normalize by the point's magnitude instead.
+double overshoot(const std::vector<double>& grid, double x) {
+  const double lo = grid.front();
+  const double hi = grid.back();
+  if (x >= lo && x <= hi) return 0.0;
+  const double span = hi - lo;
+  const double denom = span > 0.0 ? span : std::max(std::fabs(lo), 1.0);
+  return (x < lo ? lo - x : x - hi) / denom;
+}
+
 }  // namespace
 
-double DualTable::interpolate(double uu, double vv, double ww) const {
+std::size_t DualTable::healedCount() const {
+  std::size_t n = 0;
+  for (const std::uint8_t h : healed) n += h != 0 ? 1 : 0;
+  return n;
+}
+
+double DualTable::interpolate(double uu, double vv, double ww,
+                              double* clampDistance) const {
   if (u.empty() || v.empty() || w.empty()) {
-    throw std::runtime_error("DualTable: empty grid");
+    throw support::DiagnosticError(
+        support::makeDiagnostic(support::StatusCode::TableMissing,
+                                "DualTable: empty grid")
+            .withSite("model.dual"));
+  }
+  if (clampDistance != nullptr) {
+    *clampDistance =
+        std::max({overshoot(u, uu), overshoot(v, vv), overshoot(w, ww)});
   }
   const auto [iu, fu] = locate(u, uu);
   const auto [iv, fv] = locate(v, vv);
@@ -156,6 +181,8 @@ const DualTable& TabulatedDualInputModel::transitionTable(int refPin,
 double TabulatedDualInputModel::delayRatio(const DualQuery& q) const {
   PROX_OBS_BATCH(obsCells);
   PROX_OBS_COUNT_IN(obsCells, "model.dual.table_lookups", 1);
+  ++clampStats_.lookups;
+  lastClampDistance_ = 0.0;
   const SingleInputModel& m = singles_.at(q.refPin, q.edge);
   const double d1 = m.delay(q.tauRef);
   // Outside the proximity window the other input cannot affect the delay.
@@ -164,15 +191,37 @@ double TabulatedDualInputModel::delayRatio(const DualQuery& q) const {
     return 1.0;
   }
   auto pit = pairDelayTables_.find(pairKey(q.refPin, q.otherPin, q.edge));
-  const DualTable& t = pit != pairDelayTables_.end()
-                           ? pit->second
-                           : delayTables_.at(key(q.refPin, q.edge));
-  return t.interpolate(q.tauRef / d1, q.tauOther / d1, q.sep / d1);
+  const DualTable* t = nullptr;
+  if (pit != pairDelayTables_.end()) {
+    t = &pit->second;
+  } else if (auto it = delayTables_.find(key(q.refPin, q.edge));
+             it != delayTables_.end()) {
+    t = &it->second;
+  } else {
+    PROX_OBS_COUNT_IN(obsCells, "model.dual.missing_tables", 1);
+    throw support::DiagnosticError(
+        support::makeDiagnostic(support::StatusCode::TableMissing,
+                                "no dual delay table for reference pin")
+            .withSite("model.dual")
+            .withPin(q.refPin));
+  }
+  double dist = 0.0;
+  const double r =
+      t->interpolate(q.tauRef / d1, q.tauOther / d1, q.sep / d1, &dist);
+  lastClampDistance_ = dist;
+  if (dist > 0.0) {
+    ++clampStats_.clamped;
+    clampStats_.maxDistance = std::max(clampStats_.maxDistance, dist);
+    PROX_OBS_COUNT_IN(obsCells, "model.dual.clamped_lookups", 1);
+  }
+  return r;
 }
 
 double TabulatedDualInputModel::transitionRatio(const DualQuery& q) const {
   PROX_OBS_BATCH(obsCells);
   PROX_OBS_COUNT_IN(obsCells, "model.dual.table_lookups", 1);
+  ++clampStats_.lookups;
+  lastClampDistance_ = 0.0;
   const SingleInputModel& m = singles_.at(q.refPin, q.edge);
   const double d1 = m.delay(q.tauRef);
   const double t1 = m.transition(q.tauRef);
@@ -182,10 +231,30 @@ double TabulatedDualInputModel::transitionRatio(const DualQuery& q) const {
     return 1.0;
   }
   auto pit = pairTransitionTables_.find(pairKey(q.refPin, q.otherPin, q.edge));
-  const DualTable& t = pit != pairTransitionTables_.end()
-                           ? pit->second
-                           : transitionTables_.at(key(q.refPin, q.edge));
-  return t.interpolate(q.tauRef / t1, q.tauOther / t1, q.sep / t1);
+  const DualTable* t = nullptr;
+  if (pit != pairTransitionTables_.end()) {
+    t = &pit->second;
+  } else if (auto it = transitionTables_.find(key(q.refPin, q.edge));
+             it != transitionTables_.end()) {
+    t = &it->second;
+  } else {
+    PROX_OBS_COUNT_IN(obsCells, "model.dual.missing_tables", 1);
+    throw support::DiagnosticError(
+        support::makeDiagnostic(support::StatusCode::TableMissing,
+                                "no dual transition table for reference pin")
+            .withSite("model.dual")
+            .withPin(q.refPin));
+  }
+  double dist = 0.0;
+  const double r =
+      t->interpolate(q.tauRef / t1, q.tauOther / t1, q.sep / t1, &dist);
+  lastClampDistance_ = dist;
+  if (dist > 0.0) {
+    ++clampStats_.clamped;
+    clampStats_.maxDistance = std::max(clampStats_.maxDistance, dist);
+    PROX_OBS_COUNT_IN(obsCells, "model.dual.clamped_lookups", 1);
+  }
+  return r;
 }
 
 std::size_t TabulatedDualInputModel::totalBytes() const {

@@ -14,12 +14,14 @@
 //     with trilinear interpolation; the deployable library model whose
 //     storage cost is the subject of Fig 4-2.
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <tuple>
 #include <vector>
 
 #include "model/single_input.hpp"
+#include "support/diagnostic.hpp"
 
 namespace prox::model {
 
@@ -74,6 +76,13 @@ struct DualTable {
   std::vector<double> w;  ///< sep / norm grid (ascending)
   std::vector<double> ratio;  ///< [iu][iv][iw] flattened u-major
 
+  /// Per-point healed marks: empty when no point needed healing, otherwise
+  /// one flag per ratio entry (same flattening).  A healed point's value was
+  /// reconstructed by neighbor interpolation after the characterization sweep
+  /// failed there even with retries; the mark survives serialization so a
+  /// downstream consumer can discount such points.
+  std::vector<std::uint8_t> healed;
+
   double at(std::size_t iu, std::size_t iv, std::size_t iw) const {
     return ratio[(iu * v.size() + iv) * w.size() + iw];
   }
@@ -81,12 +90,31 @@ struct DualTable {
     return ratio[(iu * v.size() + iv) * w.size() + iw];
   }
 
-  /// Trilinear interpolation, clamped to the grid boundary.
-  double interpolate(double uu, double vv, double ww) const;
+  std::size_t index(std::size_t iu, std::size_t iv, std::size_t iw) const {
+    return (iu * v.size() + iv) * w.size() + iw;
+  }
+  bool isHealed(std::size_t iu, std::size_t iv, std::size_t iw) const {
+    return !healed.empty() && healed[index(iu, iv, iw)] != 0;
+  }
+  void markHealed(std::size_t iu, std::size_t iv, std::size_t iw) {
+    if (healed.empty()) healed.assign(ratio.size(), 0);
+    healed[index(iu, iv, iw)] = 1;
+  }
+  /// Number of healed points (0 when the sweep completed cleanly).
+  std::size_t healedCount() const;
+
+  /// Trilinear interpolation, clamped to the grid boundary.  When
+  /// @p clampDistance is non-null it receives how far outside the grid the
+  /// query fell, as the largest per-axis overshoot relative to that axis's
+  /// span (0 for in-grid queries); STA uses it to decide when a clamped
+  /// answer is too extrapolated to trust.
+  double interpolate(double uu, double vv, double ww,
+                     double* clampDistance = nullptr) const;
 
   /// Storage footprint in bytes (Fig 4-2 accounting).
   std::size_t bytes() const {
-    return sizeof(double) * (u.size() + v.size() + w.size() + ratio.size());
+    return sizeof(double) * (u.size() + v.size() + w.size() + ratio.size()) +
+           sizeof(std::uint8_t) * healed.size();
   }
 };
 
@@ -126,6 +154,22 @@ class TabulatedDualInputModel : public DualInputModel {
   /// All installed pair-table keys as (refPin, otherPin, edge) tuples.
   std::vector<std::tuple<int, int, wave::Edge>> pairKeys() const;
 
+  /// Lookups whose query fell outside a table grid are answered with the
+  /// clamped boundary value instead of throwing; these running totals let a
+  /// caller (STA's degraded-arc logic, tests) see how often and how far.
+  struct ClampStats {
+    std::uint64_t lookups = 0;   ///< total delay/transition ratio queries
+    std::uint64_t clamped = 0;   ///< queries that fell outside the grid
+    double maxDistance = 0.0;    ///< worst relative overshoot seen
+  };
+  const ClampStats& clampStats() const { return clampStats_; }
+  void resetClampStats() const { clampStats_ = ClampStats{}; }
+  /// Relative overshoot of the most recent delayRatio/transitionRatio query
+  /// (0 when it was in-grid).
+  double lastClampDistance() const { return lastClampDistance_; }
+
+  /// Throws support::DiagnosticError with code TableMissing (carrying the
+  /// reference pin) when no table covers the query.
   double delayRatio(const DualQuery& q) const override;
   double transitionRatio(const DualQuery& q) const override;
 
@@ -144,6 +188,8 @@ class TabulatedDualInputModel : public DualInputModel {
   std::map<int, DualTable> transitionTables_;
   std::map<int, DualTable> pairDelayTables_;
   std::map<int, DualTable> pairTransitionTables_;
+  mutable ClampStats clampStats_;
+  mutable double lastClampDistance_ = 0.0;
 };
 
 }  // namespace prox::model

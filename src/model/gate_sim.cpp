@@ -5,6 +5,8 @@
 
 #include "obs/registry.hpp"
 #include "obs/scoped_timer.hpp"
+#include "support/diagnostic.hpp"
+#include "support/fault_injection.hpp"
 
 namespace prox::model {
 
@@ -41,6 +43,14 @@ SimOutcome GateSimulator::simulate(const std::vector<InputEvent>& events,
   if (events.empty()) throw std::invalid_argument("simulate: no events");
   if (refIdx >= events.size()) {
     throw std::invalid_argument("simulate: refIdx out of range");
+  }
+  if (PROX_FAULT_POINT("model.gate_sim.simulate", SimulationFailure)) {
+    PROX_OBS_COUNT("model.gate_sim.injected_faults", 1);
+    throw support::DiagnosticError(
+        support::makeDiagnostic(support::StatusCode::SimulationFailed,
+                                "gate_sim: injected simulation failure")
+            .withSite("model.gate_sim")
+            .withPin(events[refIdx].pin));
   }
   const double vdd = gate_.spec.tech.vdd;
   const wave::Thresholds& th = gate_.thresholds;

@@ -8,6 +8,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/registry.hpp"
+#include "support/diagnostic.hpp"
 #include "waveform/waveform.hpp"
 
 namespace prox::spice {
@@ -21,7 +23,18 @@ std::string toLower(std::string s) {
 }
 
 [[noreturn]] void fail(int line, const std::string& msg) {
-  throw std::runtime_error("netlist:" + std::to_string(line) + ": " + msg);
+  PROX_OBS_COUNT("spice.netlist.parse_errors", 1);
+  throw support::DiagnosticError(
+      support::makeDiagnostic(support::StatusCode::ParseError, "netlist: " + msg)
+          .withSite("spice.netlist")
+          .withLine(line));
+}
+
+[[noreturn]] void failNumber(const std::string& msg) {
+  PROX_OBS_COUNT("spice.netlist.parse_errors", 1);
+  throw support::DiagnosticError(
+      support::makeDiagnostic(support::StatusCode::ParseError, msg)
+          .withSite("spice.netlist"));
 }
 
 /// Splits a statement into whitespace-separated tokens, treating '(' ')' ','
@@ -72,14 +85,16 @@ std::unordered_map<std::string, double> parseKeyValues(
 }  // namespace
 
 double parseSpiceNumber(const std::string& token) {
-  if (token.empty()) throw std::invalid_argument("empty number");
+  if (token.empty()) failNumber("empty number");
   const std::string t = toLower(token);
   std::size_t pos = 0;
   double value = 0.0;
   try {
     value = std::stod(t, &pos);
-  } catch (const std::exception&) {
-    throw std::invalid_argument("malformed number: " + token);
+  } catch (const std::exception& e) {
+    // Surface the underlying conversion failure instead of swallowing it:
+    // out-of-range magnitudes and no-digit tokens are different user errors.
+    failNumber("malformed number '" + token + "': " + e.what());
   }
   std::string suffix = t.substr(pos);
   // Strip trailing unit letters after the scale factor (e.g. "100pF", "4um").
@@ -98,7 +113,7 @@ double parseSpiceNumber(const std::string& token) {
         case 'p': scale = 1e-12; break;
         case 'f': scale = 1e-15; break;
         default:
-          throw std::invalid_argument("unknown suffix in number: " + token);
+          failNumber("unknown suffix in number: " + token);
       }
     }
   }

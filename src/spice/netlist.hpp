@@ -45,12 +45,15 @@ struct Netlist {
   }
 };
 
-/// Parses @p deck.  Throws std::runtime_error with a line-numbered message on
+/// Parses @p deck.  Throws support::DiagnosticError (ParseError, with the
+/// 1-based source line in the diagnostic) on
 /// any syntax error.
 Netlist parseNetlist(const std::string& deck);
 
 /// Parses a SPICE number with optional engineering suffix ("4u", "100f",
-/// "2meg", "1.5k").  Throws std::invalid_argument on malformed input.
+/// "2meg", "1.5k").  Throws support::DiagnosticError (ParseError) on
+/// malformed input, preserving the underlying conversion failure in the
+/// message.
 double parseSpiceNumber(const std::string& token);
 
 }  // namespace prox::spice

@@ -1,8 +1,11 @@
 #include "spice/newton.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "obs/registry.hpp"
+#include "support/fault_injection.hpp"
 
 namespace prox::spice {
 
@@ -10,6 +13,11 @@ NewtonStatus solveNewton(const Circuit& ckt, linalg::Vector& x,
                          const StampContext& sc, const NewtonOptions& opt) {
   PROX_OBS_COUNT("spice.newton.solves", 1);
   NewtonStatus status;
+  if (PROX_FAULT_POINT("spice.newton", NewtonNonConverge)) {
+    PROX_OBS_COUNT("spice.newton.injected_faults", 1);
+    PROX_OBS_COUNT("spice.newton.nonconverged", 1);
+    return status;
+  }
   const std::size_t n = static_cast<std::size_t>(ckt.unknownCount());
   const std::size_t nv = static_cast<std::size_t>(ckt.voltageUnknownCount());
   if (x.size() != n) x.assign(n, 0.0);
@@ -27,6 +35,12 @@ NewtonStatus solveNewton(const Circuit& ckt, linalg::Vector& x,
                    sc.srcScale};
     for (const auto& dev : ckt.devices()) dev->stamp(args);
 
+    if (iter == 1 && !rhs.empty() &&
+        PROX_FAULT_POINT("spice.newton.residual", NanResidual)) {
+      PROX_OBS_COUNT("spice.newton.injected_faults", 1);
+      rhs[0] = std::numeric_limits<double>::quiet_NaN();
+    }
+
     // Convergence-aid shunt to ground on every voltage unknown.
     for (std::size_t i = 0; i < nv; ++i) g(i, i) += opt.gmin;
 
@@ -37,6 +51,18 @@ NewtonStatus solveNewton(const Circuit& ckt, linalg::Vector& x,
       return status;
     }
     linalg::Vector xNew = lu.solve(rhs);
+
+    // Non-finite guard: a NaN/Inf iterate would otherwise satisfy the
+    // convergence comparisons vacuously (every NaN comparison is false) and
+    // be reported as converged.  Fail loudly and typed instead.
+    for (double v : xNew) {
+      if (!std::isfinite(v)) {
+        status.nonFinite = true;
+        PROX_OBS_COUNT("spice.newton.iterations", status.iterations);
+        PROX_OBS_COUNT("spice.newton.nonfinite", 1);
+        return status;
+      }
+    }
 
     // Damping: cap the largest voltage move per iteration.  Branch currents
     // are left free (they equilibrate instantly once voltages settle).
@@ -65,6 +91,68 @@ NewtonStatus solveNewton(const Circuit& ckt, linalg::Vector& x,
   PROX_OBS_COUNT("spice.newton.iterations", status.iterations);
   PROX_OBS_COUNT("spice.newton.nonconverged", 1);
   return status;
+}
+
+RecoveryOutcome solveNewtonRecover(const Circuit& ckt, linalg::Vector& x,
+                                   const StampContext& sc,
+                                   const NewtonOptions& opt,
+                                   const RecoveryOptions& recovery) {
+  RecoveryOutcome out;
+  const linalg::Vector x0 = x;
+
+  out.status = solveNewton(ckt, x, sc, opt);
+  if (out.status.converged || !recovery.enabled) return out;
+
+  // Rung 1: damping tightening.  Smaller per-iteration voltage moves with a
+  // larger iteration budget walk through sharp device nonlinearities that
+  // overshoot under the default damping limit.
+  {
+    PROX_OBS_COUNT("spice.newton.recovery.damping_attempts", 1);
+    NewtonOptions tight = opt;
+    tight.maxVoltageStep =
+        std::max(opt.maxVoltageStep * recovery.dampingFactor, 1e-3);
+    tight.maxIterations =
+        opt.maxIterations * std::max(recovery.dampingIterationsFactor, 1);
+    x = x0;
+    out.status = solveNewton(ckt, x, sc, tight);
+    out.rung = RecoveryRung::Damping;
+    if (out.status.converged) {
+      PROX_OBS_COUNT("spice.newton.recovery.damping_recovered", 1);
+      return out;
+    }
+  }
+
+  // Rung 2: gmin continuation.  A heavy shunt makes the Jacobian strongly
+  // diagonally dominant (fixing singular/near-singular systems); relaxing it
+  // stage by stage carries the solution to the configured gmin.
+  {
+    PROX_OBS_COUNT("spice.newton.recovery.gmin_attempts", 1);
+    x = x0;
+    NewtonOptions ramp = opt;
+    bool ok = true;
+    for (double gmin = recovery.gminStart; gmin >= opt.gmin * 0.99;
+         gmin *= recovery.gminShrink) {
+      ramp.gmin = gmin;
+      out.status = solveNewton(ckt, x, sc, ramp);
+      if (!out.status.converged) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      ramp.gmin = opt.gmin;
+      out.status = solveNewton(ckt, x, sc, ramp);
+    }
+    out.rung = RecoveryRung::GminRamp;
+    if (out.status.converged) {
+      PROX_OBS_COUNT("spice.newton.recovery.gmin_recovered", 1);
+      return out;
+    }
+  }
+
+  PROX_OBS_COUNT("spice.newton.recovery.exhausted", 1);
+  x = x0;  // leave the caller's iterate untouched on total failure
+  return out;
 }
 
 }  // namespace prox::spice

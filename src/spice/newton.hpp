@@ -1,9 +1,17 @@
 #pragma once
 // Damped Newton-Raphson solver for the nonlinear MNA system.  Shared by the
 // operating-point, DC-sweep and transient analyses.
+//
+// Two entry points:
+//   * solveNewton       -- one plain solve; reports a typed status.
+//   * solveNewtonRecover -- the fault-tolerance ladder: on failure of the
+//     plain solve it escalates through damping tightening and a gmin ramp
+//     before reporting failure.  Each rung attempt and recovery is counted
+//     in the observability registry (spice.newton.recovery.*).
 
 #include "linalg/lu.hpp"
 #include "spice/circuit.hpp"
+#include "support/diagnostic.hpp"
 
 namespace prox::spice {
 
@@ -29,11 +37,57 @@ struct NewtonStatus {
   bool converged = false;
   int iterations = 0;
   bool singular = false;
+  bool nonFinite = false;  ///< NaN/Inf appeared in the solution vector
+
+  /// Typed view of the outcome for diagnostics.
+  support::StatusCode code() const {
+    if (converged) return support::StatusCode::Ok;
+    if (singular) return support::StatusCode::SingularMatrix;
+    if (nonFinite) return support::StatusCode::NonFiniteSolution;
+    return support::StatusCode::NewtonNonConverge;
+  }
+};
+
+/// Escalation policy for solveNewtonRecover and the transient stepper.
+struct RecoveryOptions {
+  bool enabled = true;
+  /// Rung 1 (damping tightening): maxVoltageStep is multiplied by this and
+  /// the iteration budget by dampingIterationsFactor.
+  double dampingFactor = 0.2;
+  int dampingIterationsFactor = 3;
+  /// Rung 2 (gmin ramp): solve with a heavy shunt first, then relax it by
+  /// gminShrink per stage down to the configured gmin.
+  double gminStart = 1e-3;
+  double gminShrink = 0.1;
+  /// Transient only: the ladder engages once the timestep has been halved to
+  /// within ladderStepFactor * hmin (the plain halving cascade runs first).
+  double ladderStepFactor = 64.0;
+};
+
+/// Which recovery rung produced the final status.
+enum class RecoveryRung {
+  Plain = 0,     ///< no escalation needed (or ladder disabled)
+  Damping = 1,   ///< tightened per-iteration voltage damping
+  GminRamp = 2,  ///< gmin continuation from a heavy shunt
+};
+
+struct RecoveryOutcome {
+  NewtonStatus status;
+  RecoveryRung rung = RecoveryRung::Plain;
 };
 
 /// Runs Newton-Raphson starting from @p x (updated in place with the best
 /// iterate).  The circuit must be finalized.
 NewtonStatus solveNewton(const Circuit& ckt, linalg::Vector& x,
                          const StampContext& sc, const NewtonOptions& opt);
+
+/// Plain solve plus the recovery ladder: on non-convergence the solve is
+/// retried from the entry iterate with tightened damping, then with a gmin
+/// continuation ramp.  On total failure @p x is restored to the entry
+/// iterate and the last rung's status is returned.
+RecoveryOutcome solveNewtonRecover(const Circuit& ckt, linalg::Vector& x,
+                                   const StampContext& sc,
+                                   const NewtonOptions& opt,
+                                   const RecoveryOptions& recovery = {});
 
 }  // namespace prox::spice

@@ -8,6 +8,7 @@
 #include "obs/registry.hpp"
 #include "obs/scoped_timer.hpp"
 #include "spice/op.hpp"
+#include "support/diagnostic.hpp"
 
 namespace prox::spice {
 
@@ -38,7 +39,13 @@ TranResult transient(Circuit& ckt, const TranOptions& opt) {
   opOpt.newton = opt.newton;
   opOpt.time = 0.0;
   auto x0 = operatingPoint(ckt, opOpt);
-  if (!x0) throw std::runtime_error("transient: initial operating point failed");
+  if (!x0) {
+    PROX_OBS_COUNT("spice.tran.initial_op_failures", 1);
+    throw support::DiagnosticError(
+        support::makeDiagnostic(support::StatusCode::InitialOpFailed,
+                                "transient: initial operating point failed")
+            .withSite("spice.tran"));
+  }
   linalg::Vector x = *x0;
 
   for (const auto& dev : ckt.devices()) dev->startTransient(x);
@@ -63,6 +70,10 @@ TranResult transient(Circuit& ckt, const TranOptions& opt) {
   // stack node re-equilibrating through gmin after its path turns off) and
   // must be accepted rather than chased to a timestep underflow.
   double lastRejectDv = -1.0;
+  // Last rung of the recovery ladder: once engaged, the rest of the run
+  // integrates with backward Euler only (trapezoidal ringing on stiff
+  // systems is the classic cause of unrecoverable step collapse).
+  bool beOnly = false;
 
   StampContext sc;
   sc.transient = true;
@@ -79,10 +90,26 @@ TranResult transient(Circuit& ckt, const TranOptions& opt) {
 
     sc.time = t + hTry;
     sc.dt = hTry;
-    sc.trapezoidal = opt.trapezoidal && !nextStepBE;
+    sc.trapezoidal = opt.trapezoidal && !nextStepBE && !beOnly;
 
     linalg::Vector xNew = x;  // previous solution as predictor
-    const NewtonStatus st = solveNewton(ckt, xNew, sc, opt.newton);
+    NewtonStatus st;
+    // Plain halving handles routine non-convergence; the per-step recovery
+    // ladder (damping tightening, gmin ramp) only engages once the step has
+    // collapsed near hmin and halving is clearly not the cure.
+    const bool desperate = opt.recovery.enabled &&
+                           hTry <= opt.recovery.ladderStepFactor * opt.hmin;
+    if (desperate) {
+      PROX_OBS_COUNT("spice.tran.recovery.ladder_solves", 1);
+      const RecoveryOutcome ro =
+          solveNewtonRecover(ckt, xNew, sc, opt.newton, opt.recovery);
+      st = ro.status;
+      if (st.converged && ro.rung != RecoveryRung::Plain) {
+        PROX_OBS_COUNT("spice.tran.recovery.recovered_steps", 1);
+      }
+    } else {
+      st = solveNewton(ckt, xNew, sc, opt.newton);
+    }
 
     bool reject = !st.converged;
     double dv = 0.0;
@@ -117,8 +144,18 @@ TranResult transient(Circuit& ckt, const TranOptions& opt) {
       PROX_OBS_COUNT("spice.tran.step_halvings", 1);
       h = hTry / 2.0;
       if (h < opt.hmin) {
+        // Final recovery rung before giving up: restart the step at a sane
+        // size with backward-Euler-only integration for the rest of the run.
+        if (opt.recovery.enabled && opt.trapezoidal && !beOnly) {
+          beOnly = true;
+          h = hmax / 64.0;
+          lastRejectDv = -1.0;
+          PROX_OBS_COUNT("spice.tran.recovery.be_fallbacks", 1);
+          continue;
+        }
         // Diagnose the underflow: report what the last Newton solve did at
         // this timestep instead of silently giving up after the halvings.
+        PROX_OBS_COUNT("spice.tran.underflows", 1);
         char msg[256];
         std::snprintf(msg, sizeof(msg),
                       "transient: timestep underflow at t = %g (h = %g < hmin "
@@ -128,7 +165,10 @@ TranResult transient(Circuit& ckt, const TranOptions& opt) {
                       st.iterations, st.iterations == 1 ? "" : "s",
                       st.singular ? ", singular Jacobian" : "",
                       st.converged ? ", rejected by dv cap)" : ")");
-        throw std::runtime_error(msg);
+        throw support::DiagnosticError(
+            support::makeDiagnostic(support::StatusCode::TimestepUnderflow,
+                                    msg)
+                .withSite("spice.tran"));
       }
       continue;
     }

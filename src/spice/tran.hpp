@@ -25,6 +25,12 @@ struct TranOptions {
   double dvMax = 0.05;     ///< max node-voltage change per accepted step [V]
   bool trapezoidal = true; ///< false forces backward Euler everywhere
   NewtonOptions newton;
+  /// Fault-tolerance ladder: once halving approaches hmin, failed steps are
+  /// retried with tightened damping and a gmin ramp (solveNewtonRecover);
+  /// as a last rung the run switches to BE-only integration before a typed
+  /// timestep-underflow diagnostic is raised.  recovery.enabled = false
+  /// restores the original fail-fast stepper.
+  RecoveryOptions recovery;
 };
 
 class TranResult {
@@ -51,7 +57,9 @@ class TranResult {
 
 /// Runs a transient analysis from t = 0 to opt.tstop.  The circuit's DC
 /// operating point at t = 0 provides the initial condition.
-/// Throws std::runtime_error when the initial OP or any timestep fails.
+/// Throws support::DiagnosticError (a std::runtime_error carrying a typed
+/// StatusCode: InitialOpFailed or TimestepUnderflow) when the initial OP
+/// fails or a timestep underflows after the recovery ladder is exhausted.
 TranResult transient(Circuit& ckt, const TranOptions& opt);
 
 }  // namespace prox::spice

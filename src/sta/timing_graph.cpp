@@ -17,6 +17,7 @@ void TimingAnalyzer::setInputArrival(const std::string& net, Arrival arrival) {
 void TimingAnalyzer::run() {
   PROX_OBS_COUNT("sta.graph.runs", 1);
   PROX_OBS_SCOPED_TIMER("sta.graph.seconds");
+  degradedArcs_ = 0;
   for (const Instance* inst : netlist_.topologicalOrder()) {
     PROX_OBS_COUNT("sta.graph.nodes_visited", 1);
     std::vector<std::optional<Arrival>> pins;
@@ -26,9 +27,11 @@ void TimingAnalyzer::run() {
       pins.push_back(it == arrivals_.end() ? std::nullopt
                                            : std::optional<Arrival>(it->second));
     }
-    if (auto out = evaluateGate(*inst->cell, pins, mode_)) {
+    ArcQuality quality = ArcQuality::Full;
+    if (auto out = evaluateGate(*inst->cell, pins, mode_, options_, &quality)) {
       arrivals_[inst->outputNet] = *out;
     }
+    if (quality != ArcQuality::Full) ++degradedArcs_;
   }
 }
 

@@ -14,25 +14,34 @@ namespace prox::sta {
 
 class TimingAnalyzer {
  public:
-  TimingAnalyzer(const Netlist& netlist, DelayMode mode)
-      : netlist_(netlist), mode_(mode) {}
+  TimingAnalyzer(const Netlist& netlist, DelayMode mode,
+                 DelayCalcOptions options = {})
+      : netlist_(netlist), mode_(mode), options_(options) {}
 
   /// Sets the arrival event of a primary input net.
   void setInputArrival(const std::string& net, Arrival arrival);
 
   /// Propagates arrivals through the whole netlist.  Throws on structural
-  /// errors (cycles, undriven nets) surfaced by the netlist.
+  /// errors (cycles, undriven nets) surfaced by the netlist.  Model-side
+  /// per-arc failures follow options().allowDegraded: degraded arcs complete
+  /// with a cruder estimate and are tallied in degradedArcs().
   void run();
 
   /// Arrival on @p net after run(); nullopt when the net never switches.
   std::optional<Arrival> arrival(const std::string& net) const;
 
   DelayMode mode() const { return mode_; }
+  const DelayCalcOptions& options() const { return options_; }
+
+  /// Arcs of the last run() that fell below ArcQuality::Full.
+  std::size_t degradedArcs() const { return degradedArcs_; }
 
  private:
   const Netlist& netlist_;
   DelayMode mode_;
+  DelayCalcOptions options_;
   std::unordered_map<std::string, Arrival> arrivals_;
+  std::size_t degradedArcs_ = 0;
 };
 
 }  // namespace prox::sta

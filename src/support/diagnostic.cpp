@@ -1,0 +1,73 @@
+#include "support/diagnostic.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace prox::support {
+
+const char* statusCodeName(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::Ok: return "ok";
+    case StatusCode::SingularMatrix: return "singular-matrix";
+    case StatusCode::NewtonNonConverge: return "newton-nonconverge";
+    case StatusCode::NonFiniteSolution: return "non-finite-solution";
+    case StatusCode::TimestepUnderflow: return "timestep-underflow";
+    case StatusCode::InitialOpFailed: return "initial-op-failed";
+    case StatusCode::SimulationFailed: return "simulation-failed";
+    case StatusCode::TableOutOfRange: return "table-out-of-range";
+    case StatusCode::TableMissing: return "table-missing";
+    case StatusCode::ParseError: return "parse-error";
+    case StatusCode::IoError: return "io-error";
+    case StatusCode::Internal: return "internal";
+  }
+  return "unknown";
+}
+
+const char* severityName(Severity severity) noexcept {
+  switch (severity) {
+    case Severity::Info: return "info";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+    case Severity::Fatal: return "fatal";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::toString() const {
+  std::ostringstream os;
+  if (!site.empty()) os << site << ": ";
+  if (line >= 0) os << "line " << line << ": ";
+  os << message;
+  os << " [" << statusCodeName(code) << ", " << severityName(severity) << ']';
+  bool openedContext = false;
+  auto context = [&]() -> std::ostringstream& {
+    os << (openedContext ? ", " : " (");
+    openedContext = true;
+    return os;
+  };
+  if (!gate.empty()) context() << "gate " << gate;
+  if (pin >= 0) context() << "pin " << pin;
+  if (tau >= 0.0) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "tau %.4g s", tau);
+    context() << buf;
+  }
+  if (sepSet) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "sep %.4g s", sep);
+    context() << buf;
+  }
+  if (openedContext) os << ')';
+  return os.str();
+}
+
+Diagnostic makeDiagnostic(StatusCode code, std::string message) {
+  Diagnostic d;
+  d.code = code;
+  d.severity = Severity::Error;
+  d.message = std::move(message);
+  return d;
+}
+
+}  // namespace prox::support

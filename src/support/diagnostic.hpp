@@ -1,0 +1,146 @@
+#pragma once
+// Typed diagnostics for the fault-tolerance layer.
+//
+// Every recoverable failure in the numeric core (singular Jacobian, Newton
+// non-convergence, timestep underflow, out-of-grid or missing table lookups,
+// parse errors, ...) is described by a StatusCode plus structured context
+// (site, gate, pin, sweep point, source line) instead of a bare
+// std::runtime_error string.  Throwing paths use DiagnosticError, which
+// derives from std::runtime_error so existing catch sites keep working while
+// new code can switch on diagnostic().code.  Non-throwing paths (the
+// characterization healing loop, solver status structs) pass Diagnostic /
+// StatusCode values directly.
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace prox::support {
+
+/// What went wrong.  Ok is the zero value so a default Status is success.
+enum class StatusCode {
+  Ok = 0,
+  // Numeric core.
+  SingularMatrix,     ///< LU pivot below tolerance (possibly fault-injected)
+  NewtonNonConverge,  ///< iteration budget exhausted without convergence
+  NonFiniteSolution,  ///< NaN/Inf appeared in the solution vector
+  TimestepUnderflow,  ///< transient step halved below hmin
+  InitialOpFailed,    ///< no DC operating point at t = 0
+  SimulationFailed,   ///< a transistor-level transient could not complete
+  // Model / table layer.
+  TableOutOfRange,    ///< query clamped to the characterized grid boundary
+  TableMissing,       ///< no table installed for the requested (pin, edge)
+  // Front ends.
+  ParseError,         ///< malformed netlist or .prox model file
+  IoError,            ///< file could not be opened / read / written
+  Internal,           ///< invariant violation; always a bug
+};
+
+/// How bad it is.  Degraded-but-completed work reports Warning; aborted work
+/// reports Error; Fatal marks states the process cannot continue from.
+enum class Severity { Info = 0, Warning, Error, Fatal };
+
+const char* statusCodeName(StatusCode code) noexcept;
+const char* severityName(Severity severity) noexcept;
+
+/// A typed diagnostic: code, severity, human-readable message, and whatever
+/// structured context the reporting site could attach.  Unset context fields
+/// keep their sentinel (-1 for indices/lines, NaN for physical quantities,
+/// empty for strings).
+struct Diagnostic {
+  StatusCode code = StatusCode::Ok;
+  Severity severity = Severity::Error;
+  std::string message;
+
+  std::string site;  ///< reporting subsystem, e.g. "spice.tran"
+  std::string gate;  ///< cell / instance name when applicable
+  int pin = -1;      ///< input pin index
+  int line = -1;     ///< 1-based source line (netlist / .prox parsers)
+  double tau = -1.0; ///< sweep-point transition time [s]
+  double sep = -1.0; ///< sweep-point separation [s] (may legitimately be < 0;
+                     ///< sepSet distinguishes "unset" from a negative value)
+  bool sepSet = false;
+
+  bool ok() const noexcept { return code == StatusCode::Ok; }
+
+  /// "site: message [code, severity] (context...)" single-line rendering.
+  std::string toString() const;
+
+  // Fluent context builders, so reporting sites stay one expression.
+  Diagnostic& withSite(std::string s) { site = std::move(s); return *this; }
+  Diagnostic& withGate(std::string g) { gate = std::move(g); return *this; }
+  Diagnostic& withPin(int p) { pin = p; return *this; }
+  Diagnostic& withLine(int l) { line = l; return *this; }
+  Diagnostic& withSweepPoint(double tauS, double sepS) {
+    tau = tauS;
+    sep = sepS;
+    sepSet = true;
+    return *this;
+  }
+  Diagnostic& withSeverity(Severity s) { severity = s; return *this; }
+};
+
+/// Builds an Error-severity diagnostic in one call.
+Diagnostic makeDiagnostic(StatusCode code, std::string message);
+
+/// Exception carrying a Diagnostic.  Derives from std::runtime_error (what()
+/// is the rendered diagnostic) so legacy `catch (const std::runtime_error&)`
+/// sites continue to work unchanged.
+class DiagnosticError : public std::runtime_error {
+ public:
+  explicit DiagnosticError(Diagnostic diag)
+      : std::runtime_error(diag.toString()), diag_(std::move(diag)) {}
+
+  const Diagnostic& diagnostic() const noexcept { return diag_; }
+  StatusCode code() const noexcept { return diag_.code; }
+  Severity severity() const noexcept { return diag_.severity; }
+
+ private:
+  Diagnostic diag_;
+};
+
+/// Success-or-diagnostic result for non-throwing call paths.
+class Status {
+ public:
+  Status() = default;  // success
+  /*implicit*/ Status(Diagnostic diag) : diag_(std::move(diag)) {}
+
+  static Status success() { return Status(); }
+  static Status failure(StatusCode code, std::string message) {
+    return Status(makeDiagnostic(code, std::move(message)));
+  }
+
+  bool ok() const noexcept { return diag_.ok(); }
+  explicit operator bool() const noexcept { return ok(); }
+  StatusCode code() const noexcept { return diag_.code; }
+  const Diagnostic& diagnostic() const noexcept { return diag_; }
+  std::string toString() const { return ok() ? "ok" : diag_.toString(); }
+
+ private:
+  Diagnostic diag_;
+};
+
+/// Accumulates diagnostics from a multi-point operation (a characterization
+/// sweep, a parse) together with the worst severity seen.
+class DiagnosticLog {
+ public:
+  void record(Diagnostic diag) {
+    if (!diag.ok() && diag.severity > worst_) worst_ = diag.severity;
+    entries_.push_back(std::move(diag));
+  }
+
+  const std::vector<Diagnostic>& entries() const noexcept { return entries_; }
+  bool empty() const noexcept { return entries_.empty(); }
+  std::size_t size() const noexcept { return entries_.size(); }
+  Severity worstSeverity() const noexcept { return worst_; }
+  void clear() {
+    entries_.clear();
+    worst_ = Severity::Info;
+  }
+
+ private:
+  std::vector<Diagnostic> entries_;
+  Severity worst_ = Severity::Info;
+};
+
+}  // namespace prox::support

@@ -1,0 +1,83 @@
+#include "support/fault_injection.hpp"
+
+#include <cstring>
+#include <mutex>
+
+namespace prox::support {
+
+const char* faultKindName(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::SingularLu: return "singular-lu";
+    case FaultKind::NewtonNonConverge: return "newton-nonconverge";
+    case FaultKind::NanResidual: return "nan-residual";
+    case FaultKind::SimulationFailure: return "simulation-failure";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// constinit so the fast path (a relaxed load) never goes through an
+// initialization guard.
+constinit std::atomic<bool> gArmed{false};
+
+std::mutex& planMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+struct PlanState {
+  FaultSpec spec;
+  std::uint64_t hits = 0;
+  std::uint64_t fired = 0;
+};
+
+PlanState& planState() {
+  static PlanState state;
+  return state;
+}
+
+}  // namespace
+
+void FaultPlan::arm(FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(planMutex());
+  PlanState& st = planState();
+  st.spec = std::move(spec);
+  st.hits = 0;
+  st.fired = 0;
+  gArmed.store(true, std::memory_order_release);
+}
+
+void FaultPlan::disarm() {
+  std::lock_guard<std::mutex> lock(planMutex());
+  gArmed.store(false, std::memory_order_release);
+}
+
+bool FaultPlan::armed() noexcept {
+  return gArmed.load(std::memory_order_acquire);
+}
+
+std::uint64_t FaultPlan::hits() {
+  std::lock_guard<std::mutex> lock(planMutex());
+  return planState().hits;
+}
+
+std::uint64_t FaultPlan::fired() {
+  std::lock_guard<std::mutex> lock(planMutex());
+  return planState().fired;
+}
+
+bool FaultPlan::shouldFire(const char* site, FaultKind kind) noexcept {
+  if (!gArmed.load(std::memory_order_relaxed)) return false;
+  std::lock_guard<std::mutex> lock(planMutex());
+  if (!gArmed.load(std::memory_order_relaxed)) return false;
+  PlanState& st = planState();
+  if (st.spec.kind != kind || st.spec.site.compare(site) != 0) return false;
+  ++st.hits;
+  const bool fire = st.hits >= st.spec.triggerHit &&
+                    st.hits < st.spec.triggerHit + st.spec.count;
+  if (fire) ++st.fired;
+  return fire;
+}
+
+}  // namespace prox::support

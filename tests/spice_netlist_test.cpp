@@ -6,6 +6,7 @@
 #include "spice/netlist.hpp"
 #include "spice/op.hpp"
 #include "spice/tran.hpp"
+#include "support/diagnostic.hpp"
 
 namespace {
 
@@ -35,9 +36,18 @@ TEST(SpiceNumber, CaseInsensitive) {
 }
 
 TEST(SpiceNumber, Malformed) {
-  EXPECT_THROW(parseSpiceNumber(""), std::invalid_argument);
-  EXPECT_THROW(parseSpiceNumber("abc"), std::invalid_argument);
-  EXPECT_THROW(parseSpiceNumber("1x"), std::invalid_argument);
+  EXPECT_THROW(parseSpiceNumber(""), prox::support::DiagnosticError);
+  EXPECT_THROW(parseSpiceNumber("abc"), prox::support::DiagnosticError);
+  EXPECT_THROW(parseSpiceNumber("1x"), prox::support::DiagnosticError);
+  // The typed diagnostic carries the parse-error code and surfaces the
+  // underlying conversion failure instead of swallowing it.
+  try {
+    parseSpiceNumber("abc");
+    FAIL() << "expected DiagnosticError";
+  } catch (const prox::support::DiagnosticError& e) {
+    EXPECT_EQ(e.code(), prox::support::StatusCode::ParseError);
+    EXPECT_NE(std::string(e.what()).find("abc"), std::string::npos);
+  }
 }
 
 TEST(Netlist, ResistorDividerDeck) {
@@ -176,8 +186,9 @@ TEST(NetlistErrors, MessageCarriesLineNumber) {
   try {
     parseNetlist("R1 a 0 1k\nQ2 x y z\n");
     FAIL() << "expected throw";
-  } catch (const std::runtime_error& e) {
-    EXPECT_NE(std::string(e.what()).find("netlist:2"), std::string::npos);
+  } catch (const prox::support::DiagnosticError& e) {
+    EXPECT_EQ(e.diagnostic().line, 2);
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
   }
 }
 
