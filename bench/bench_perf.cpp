@@ -20,6 +20,8 @@
 #include "bench_util.hpp"
 #include "obs/registry.hpp"
 #include "obs/report.hpp"
+#include "par/pool.hpp"
+#include "sta/timing_graph.hpp"
 
 using namespace prox;
 using model::InputEvent;
@@ -90,6 +92,94 @@ void BM_SingleInputTableLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_SingleInputTableLookup);
 
+// -- thread scaling ----------------------------------------------------------
+// The parallel sweep engine's wall-time at 1/2/8 workers.  Results are
+// bit-identical at every thread count (determinism_test proves it); these
+// series record what the parallelism buys on the host.  UseRealTime because
+// the work happens on pool threads, not the benchmark thread.
+
+characterize::CharacterizationConfig sweepConfig(int threads) {
+  characterize::CharacterizationConfig c;
+  c.tauGrid = {100e-12, 600e-12};
+  c.dualTauIndices = {0, 1};
+  c.vGrid = {0.3, 1.0, 3.0};
+  c.wGrid = {-1.0, 0.0, 0.5, 1.0};
+  c.vGridTransition = {0.3, 1.0, 3.0};
+  c.wGridTransition = {-1.0, 0.0, 1.0, 3.0};
+  c.vtcStep = 0.05;
+  c.threads = threads;
+  return c;
+}
+
+cells::CellSpec nand2Spec() {
+  cells::CellSpec s;
+  s.type = cells::GateType::Nand;
+  s.fanin = 2;
+  return s;
+}
+
+void BM_CharacterizationSweep(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const auto cfg = sweepConfig(threads);
+  model::GateSimulator sim(model::makeGate(nand2Spec(), cfg.vtcStep));
+  const auto singles =
+      model::SingleInputModelSet::characterizeAll(sim, cfg.tauGrid);
+  for (auto _ : state) {
+    model::DualTable dt;
+    model::DualTable tt;
+    characterize::buildDualTables(sim, singles, 0, 1, Edge::Rising, cfg, &dt,
+                                  &tt, nullptr);
+    benchmark::DoNotOptimize(dt.ratio.data());
+    benchmark::DoNotOptimize(tt.ratio.data());
+  }
+}
+BENCHMARK(BM_CharacterizationSweep)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Levelized STA over a wide fanout cone: 32 sibling arcs per level give the
+// pool something to chew on; threads = 1 is the legacy serial path.
+const characterize::CharacterizedGate& coarseNand2() {
+  static const characterize::CharacterizedGate g =
+      characterize::characterizeGate(nand2Spec(), sweepConfig(1));
+  return g;
+}
+
+void BM_StaLevelizedRun(benchmark::State& state) {
+  const auto& cell = coarseNand2();
+  sta::Netlist nl;
+  nl.addPrimaryInput("a");
+  nl.addPrimaryInput("b");
+  constexpr int kWidth = 32;
+  for (int i = 0; i < kWidth; ++i) {
+    nl.addInstance("u" + std::to_string(i), cell, {"a", "b"},
+                   "n" + std::to_string(i));
+  }
+  for (int i = 0; i < kWidth; i += 2) {
+    nl.addInstance("v" + std::to_string(i), cell,
+                   {"n" + std::to_string(i), "n" + std::to_string(i + 1)},
+                   "m" + std::to_string(i));
+  }
+  sta::DelayCalcOptions opt;
+  opt.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sta::TimingAnalyzer ta(nl, sta::DelayMode::Proximity, opt);
+    ta.setInputArrival("a", {0.0, 250e-12, Edge::Rising});
+    ta.setInputArrival("b", {40e-12, 400e-12, Edge::Rising});
+    ta.run();
+    benchmark::DoNotOptimize(ta.arrival("m0"));
+  }
+}
+BENCHMARK(BM_StaLevelizedRun)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(8)
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+
 void BM_DualTableInterpolation(benchmark::State& state) {
   const auto& cg = benchutil::nand3Model();
   model::DualQuery q;
@@ -122,6 +212,16 @@ int main(int argc, char** argv) {
     // instrumentation overhead against an identical binary.
     if (i > 0 && std::strcmp(argv[i], "--stats=off") == 0) {
       statsOff = true;
+      continue;
+    }
+    // --threads N / --threads=N: process-wide default worker count (the
+    // explicit Arg(1)/Arg(2)/Arg(8) scaling series are unaffected).
+    if (i > 0 && std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      prox::par::setDefaultThreadCount(std::atoi(argv[++i]));
+      continue;
+    }
+    if (i > 0 && std::strncmp(argv[i], "--threads=", 10) == 0) {
+      prox::par::setDefaultThreadCount(std::atoi(argv[i] + 10));
       continue;
     }
     if (i > 0 && std::strncmp(argv[i], "--benchmark_out", 15) == 0) {

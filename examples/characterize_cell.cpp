@@ -3,16 +3,37 @@
 // the round trip -- the workflow a cell-library team would script.
 //
 //   $ ./characterize_cell            # writes nand3.prox to the current dir
+//   $ ./characterize_cell --threads 8   # parallel sweeps (same tables,
+//                                       # bit for bit; see DESIGN.md)
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "characterize/serialize.hpp"
+#include "par/pool.hpp"
 
 using namespace prox;
 using model::InputEvent;
 using wave::Edge;
 
-int main() {
+int main(int argc, char** argv) {
+  int threads = 0;  // 0 = par::defaultThreadCount() (PROX_THREADS or cores)
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = std::atoi(argv[i] + 10);
+    } else {
+      std::fprintf(stderr, "usage: %s [--threads N]\n", argv[0]);
+      return 2;
+    }
+    if (threads < 0) {
+      std::fprintf(stderr, "%s: --threads expects N >= 0\n", argv[0]);
+      return 2;
+    }
+  }
+
   cells::CellSpec spec;
   spec.type = cells::GateType::Nand;
   spec.fanin = 3;
@@ -26,10 +47,13 @@ int main() {
   cfg.tauGrid = {50e-12,  100e-12, 200e-12,  400e-12, 700e-12,
                  1100e-12, 1600e-12, 2200e-12};
   cfg.dualTauIndices = {0, 2, 4, 6, 7};
+  cfg.threads = threads;
 
-  std::printf("characterizing %s (this runs a few thousand transistor-level "
-              "transients)...\n",
-              cells::gateTypeName(spec.type, spec.fanin).c_str());
+  const int resolved = threads == 0 ? par::defaultThreadCount() : threads;
+  std::printf("characterizing %s on %d thread%s (this runs a few thousand "
+              "transistor-level transients)...\n",
+              cells::gateTypeName(spec.type, spec.fanin).c_str(), resolved,
+              resolved == 1 ? "" : "s");
   const auto gate = characterize::characterizeGate(spec, cfg);
 
   std::printf("  thresholds: V_il = %.3f V, V_ih = %.3f V\n",

@@ -19,6 +19,7 @@
 // 5 = fatal).
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -99,13 +100,15 @@ int severityExitCode(support::Severity s) {
 // report covers the full stack, not just the raw deck simulation.  In strict
 // mode, any healed characterization point or degraded STA arc is reported on
 // stderr and reflected in the returned exit code.
-int runFullStackStage(bool strict) {
+int runFullStackStage(bool strict, int threads) {
   std::printf("\n%s: characterizing a coarse NAND2 and timing a "
               "three-stage path ...\n", strict ? "--strict" : "--stats");
   cells::CellSpec spec;
   spec.type = cells::GateType::Nand;
   spec.fanin = 2;
-  const auto cell = characterize::characterizeGate(spec, coarseConfig());
+  auto cfg = coarseConfig();
+  cfg.threads = threads;
+  const auto cell = characterize::characterizeGate(spec, cfg);
 
   sta::Netlist nl;
   for (const char* pi : {"a", "b", "c", "s"}) nl.addPrimaryInput(pi);
@@ -113,7 +116,9 @@ int runFullStackStage(bool strict) {
   nl.addInstance("u2", cell, {"y1", "s"}, "y2");
   nl.addInstance("u3", cell, {"y2", "c"}, "y3");
 
-  sta::TimingAnalyzer ta(nl, sta::DelayMode::Proximity);
+  sta::DelayCalcOptions staOpt;
+  staOpt.threads = threads;
+  sta::TimingAnalyzer ta(nl, sta::DelayMode::Proximity, staOpt);
   ta.setInputArrival("a", {0.0, 250e-12, wave::Edge::Rising});
   ta.setInputArrival("b", {40e-12, 400e-12, wave::Edge::Rising});
   ta.setInputArrival("c", {600e-12, 300e-12, wave::Edge::Rising});
@@ -149,6 +154,7 @@ int main(int argc, char** argv) {
   bool stats = false;
   bool strict = false;
   std::string statsPath;
+  int threads = 0;  // 0 = par::defaultThreadCount() (PROX_THREADS or cores)
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--stats") == 0) {
       stats = true;
@@ -161,8 +167,18 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--strict") == 0) {
       strict = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = std::atoi(argv[i] + 10);
     } else {
-      std::fprintf(stderr, "usage: %s [--stats[=FILE]] [--strict]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--stats[=FILE]] [--strict] [--threads N]\n",
+                   argv[0]);
+      return 2;
+    }
+    if (threads < 0) {
+      std::fprintf(stderr, "%s: --threads expects N >= 0\n", argv[0]);
       return 2;
     }
   }
@@ -192,7 +208,7 @@ int main(int argc, char** argv) {
 
   int rc = 0;
   if (stats || strict) {
-    rc = runFullStackStage(strict);
+    rc = runFullStackStage(strict, threads);
   }
   if (stats) {
     if (statsPath.empty()) {

@@ -14,6 +14,7 @@
 // close temporal proximity; classic pin-to-pin STA mis-times the stages.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -30,6 +31,7 @@ using wave::Edge;
 int main(int argc, char** argv) {
   bool stats = false;
   std::string statsPath;
+  int threads = 0;  // 0 = par::defaultThreadCount() (PROX_THREADS or cores)
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--stats") == 0) {
       stats = true;
@@ -40,8 +42,17 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "%s: --stats= requires a file name\n", argv[0]);
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = std::atoi(argv[i] + 10);
     } else {
-      std::fprintf(stderr, "usage: %s [--stats[=FILE]]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--stats[=FILE]] [--threads N]\n",
+                   argv[0]);
+      return 2;
+    }
+    if (threads < 0) {
+      std::fprintf(stderr, "%s: --threads expects N >= 0\n", argv[0]);
       return 2;
     }
   }
@@ -50,7 +61,9 @@ int main(int argc, char** argv) {
   spec.type = cells::GateType::Nand;
   spec.fanin = 2;
   std::printf("characterizing NAND2 cell ...\n");
-  const auto cell = characterize::characterizeGate(spec);
+  characterize::CharacterizationConfig cfg;
+  cfg.threads = threads;
+  const auto cell = characterize::characterizeGate(spec, cfg);
 
   sta::Netlist nl;
   for (const char* pi : {"a", "b", "c", "s1"}) nl.addPrimaryInput(pi);
@@ -65,7 +78,9 @@ int main(int argc, char** argv) {
   };
 
   auto analyze = [&](DelayMode mode) {
-    sta::TimingAnalyzer ta(nl, mode);
+    sta::DelayCalcOptions opt;
+    opt.threads = threads;
+    sta::TimingAnalyzer ta(nl, mode, opt);
     for (const auto& [net, arr] : arrivals) ta.setInputArrival(net, arr);
     ta.run();
     return ta;

@@ -4,10 +4,12 @@
 #include <array>
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <stdexcept>
 
 #include "obs/registry.hpp"
 #include "obs/scoped_timer.hpp"
+#include "par/parallel_for.hpp"
 
 namespace prox::characterize {
 
@@ -92,20 +94,34 @@ std::size_t healTable(model::DualTable& t) {
   return holes.size();
 }
 
-/// Records a per-point failure into @p log (when non-null), preserving the
-/// typed diagnostic when the exception carries one.
-void recordPointFailure(support::DiagnosticLog* log, const std::exception& e,
-                        int refPin, double tauRef, double sep) {
-  if (log == nullptr) return;
+/// Describes a per-point failure, preserving the typed diagnostic when the
+/// exception carries one.  Parallel sweeps collect these into per-point
+/// slots and merge them into the log in enumeration order, so the log
+/// content is independent of task interleaving.
+support::Diagnostic describePointFailure(const std::exception& e, int refPin,
+                                         double tauRef, double sep) {
   const auto* de = dynamic_cast<const support::DiagnosticError*>(&e);
   support::Diagnostic d =
       de ? de->diagnostic()
          : support::makeDiagnostic(support::StatusCode::SimulationFailed,
                                    e.what());
-  log->record(d.withSeverity(support::Severity::Warning)
-                  .withSite("characterize.dual_sweep")
-                  .withPin(refPin)
-                  .withSweepPoint(tauRef, sep));
+  return d.withSeverity(support::Severity::Warning)
+      .withSite("characterize.dual_sweep")
+      .withPin(refPin)
+      .withSweepPoint(tauRef, sep);
+}
+
+/// Merges per-task diagnostic slots into @p log in task order.
+void mergeDiagnostics(support::DiagnosticLog* log,
+                      std::vector<std::optional<support::Diagnostic>>& slots) {
+  if (log == nullptr) return;
+  for (auto& d : slots) {
+    if (d) log->record(std::move(*d));
+  }
+}
+
+int resolveThreads(int configured) {
+  return configured == 0 ? par::defaultThreadCount() : configured;
 }
 
 }  // namespace
@@ -123,7 +139,6 @@ void buildDualTables(model::GateSimulator& sim,
   PROX_OBS_COUNT("characterize.tables_built", 2);  // delay + transition
   PROX_OBS_SCOPED_TIMER("characterize.table_seconds");
   const model::SingleInputModel& mRef = singles.at(refPin, edge);
-  model::OracleDualInputModel oracle(sim, singles);
 
   // Reference-tau axis: actual taus from the grid; their normalized
   // coordinates (tau/Delta^(1) for delay, tau/tau^(1) for transition) are
@@ -160,59 +175,106 @@ void buildDualTables(model::GateSimulator& sim,
   PROX_OBS_COUNT("characterize.table_points",
                  dt.ratio.size() + tt.ratio.size());
 
-  // One sweep point: retry per config, then leave a NaN hole for the healing
-  // pass below.  A failed oracle eval is never cached, so retries really
-  // re-run the transient (and any injected-fault window advances).
-  const int attempts =
-      config.healPointFailures ? 1 + std::max(config.pointRetries, 0) : 1;
-  const auto evalPoint = [&](const model::DualQuery& q,
-                             bool transition) -> double {
-    for (int a = 0; a < attempts; ++a) {
-      try {
-        if (a > 0) PROX_OBS_COUNT("characterize.point_retries", 1);
-        return transition ? oracle.transitionRatio(q) : oracle.delayRatio(q);
-      } catch (const std::exception& e) {
-        if (!config.healPointFailures) throw;
-        if (a + 1 == attempts) {
-          PROX_OBS_COUNT("characterize.points_failed", 1);
-          recordPointFailure(log, e, refPin, q.tauRef, q.sep);
-        }
-      }
-    }
-    return std::numeric_limits<double>::quiet_NaN();
+  // Enumerate every sweep point in the legacy serial order (per iu: the
+  // delay grid (iv, iw)-major, then the transition grid).  The enumeration
+  // index is the point's task index: a threads == 1 run replays the exact
+  // pre-parallel transient sequence, and a parallel run writes each result
+  // into the slot its index owns, so placement never depends on scheduling.
+  struct SweepPoint {
+    model::DualQuery q;
+    bool transition = false;
+    std::size_t slot = 0;
   };
-
+  std::vector<SweepPoint> points;
+  points.reserve(dt.ratio.size() + tt.ratio.size());
   for (std::size_t iu = 0; iu < tauRefs.size(); ++iu) {
     const double tauRef = tauRefs[iu];
     const double d1 = mRef.delay(tauRef);
     const double t1 = mRef.transition(tauRef);
     // Delay table: v and w in Delta^(1) units.
     for (std::size_t iv = 0; iv < dt.v.size(); ++iv) {
-      model::DualQuery q;
-      q.refPin = refPin;
-      q.otherPin = otherPin;
-      q.edge = edge;
-      q.tauRef = tauRef;
-      q.tauOther = std::clamp(dt.v[iv] * d1, 1e-12, 50e-9);
+      SweepPoint p;
+      p.q.refPin = refPin;
+      p.q.otherPin = otherPin;
+      p.q.edge = edge;
+      p.q.tauRef = tauRef;
+      p.q.tauOther = std::clamp(dt.v[iv] * d1, 1e-12, 50e-9);
       for (std::size_t iw = 0; iw < dt.w.size(); ++iw) {
-        q.sep = dt.w[iw] * d1;
-        dt.at(iu, iv, iw) = evalPoint(q, false);
+        p.q.sep = dt.w[iw] * d1;
+        p.transition = false;
+        p.slot = dt.index(iu, iv, iw);
+        points.push_back(p);
       }
     }
     // Transition table: v and w in tau^(1) units.
     for (std::size_t iv = 0; iv < tt.v.size(); ++iv) {
-      model::DualQuery q;
-      q.refPin = refPin;
-      q.otherPin = otherPin;
-      q.edge = edge;
-      q.tauRef = tauRef;
-      q.tauOther = std::clamp(tt.v[iv] * t1, 1e-12, 50e-9);
+      SweepPoint p;
+      p.q.refPin = refPin;
+      p.q.otherPin = otherPin;
+      p.q.edge = edge;
+      p.q.tauRef = tauRef;
+      p.q.tauOther = std::clamp(tt.v[iv] * t1, 1e-12, 50e-9);
       for (std::size_t iw = 0; iw < tt.w.size(); ++iw) {
-        q.sep = tt.w[iw] * t1;
-        tt.at(iu, iv, iw) = evalPoint(q, true);
+        p.q.sep = tt.w[iw] * t1;
+        p.transition = true;
+        p.slot = tt.index(iu, iv, iw);
+        points.push_back(p);
       }
     }
   }
+
+  // One sweep point: retry per config, then leave a NaN hole for the healing
+  // pass below.  A failed oracle eval is never cached, so retries really
+  // re-run the transient (and any injected-fault window advances).  Failure
+  // diagnostics land in per-point slots and merge in enumeration order.
+  const int attempts =
+      config.healPointFailures ? 1 + std::max(config.pointRetries, 0) : 1;
+  std::vector<std::optional<support::Diagnostic>> pointDiags(points.size());
+  const auto evalPoint = [&](model::DualInputModel& oracle, std::size_t i) {
+    const SweepPoint& p = points[i];
+    double value = std::numeric_limits<double>::quiet_NaN();
+    for (int a = 0; a < attempts; ++a) {
+      try {
+        if (a > 0) PROX_OBS_COUNT("characterize.point_retries", 1);
+        value =
+            p.transition ? oracle.transitionRatio(p.q) : oracle.delayRatio(p.q);
+        break;
+      } catch (const std::exception& e) {
+        if (!config.healPointFailures) throw;
+        if (a + 1 == attempts) {
+          PROX_OBS_COUNT("characterize.points_failed", 1);
+          pointDiags[i] = describePointFailure(e, refPin, p.q.tauRef, p.q.sep);
+        }
+      }
+    }
+    (p.transition ? tt : dt).ratio[p.slot] = value;
+  };
+
+  const int threads = resolveThreads(config.threads);
+  if (threads <= 1) {
+    // Legacy serial path: one shared simulator and memoizing oracle.  The
+    // TaskScope wrapping inside parallelFor keeps task-keyed fault plans
+    // firing at the same point as any parallel run.
+    model::OracleDualInputModel oracle(sim, singles);
+    par::parallelFor(
+        points.size(), [&](std::size_t i) { evalPoint(oracle, i); },
+        {.threads = 1, .failFast = true});
+  } else {
+    // Parallel path: every point gets a fresh simulator + oracle over the
+    // same gate.  The simulator's result is a pure function of the gate and
+    // the event set, so per-point instances reproduce the serial values bit
+    // for bit (asserted by determinism_test).
+    const model::Gate& gate = sim.gate();
+    par::parallelFor(
+        points.size(),
+        [&](std::size_t i) {
+          model::GateSimulator localSim(gate);
+          model::OracleDualInputModel oracle(localSim, singles);
+          evalPoint(oracle, i);
+        },
+        {.threads = threads, .failFast = true});
+  }
+  mergeDiagnostics(log, pointDiags);
 
   const std::size_t healedPoints = healTable(dt) + healTable(tt);
   if (healedPoints > 0) {
@@ -223,7 +285,7 @@ void buildDualTables(model::GateSimulator& sim,
 model::StepCorrection characterizeStepCorrection(
     model::GateSimulator& sim, const model::SingleInputModelSet& singles,
     const model::DualInputModel& dual, double stepTau, bool healFailures,
-    support::DiagnosticLog* log) {
+    support::DiagnosticLog* log, int threads) {
   model::StepCorrection corr;
   const int n = sim.gate().spec.type == cells::GateType::Inverter
                     ? 1
@@ -238,51 +300,84 @@ model::StepCorrection characterizeStepCorrection(
           : model::senseResolverFor(sim.gate().spec.type),
       singles, dual, {}, noCorrection);
 
+  // Tasks in the legacy order (Rising k = 2..n, then Falling), including the
+  // non-sensitizable prefixes: their indices stay stable so task-keyed fault
+  // plans address the same (edge, k) term at any thread count.
+  struct CorrTask {
+    wave::Edge edge = wave::Edge::Rising;
+    int k = 2;
+    bool skip = false;  // non-sensitizable prefix -> zero corrective term
+  };
+  std::vector<CorrTask> tasks;
   for (wave::Edge edge : {wave::Edge::Rising, wave::Edge::Falling}) {
     for (int k = 2; k <= n; ++k) {
-      std::vector<model::InputEvent> events;
-      std::vector<int> pins;
-      for (int p = 0; p < k; ++p) {
-        events.push_back({p, edge, 0.0, stepTau});
-        pins.push_back(p);
+      CorrTask t;
+      t.edge = edge;
+      t.k = k;
+      if (sim.gate().complex) {
+        std::vector<int> pins;
+        for (int p = 0; p < k; ++p) pins.push_back(p);
+        // Complex gates: skip prefixes that cannot toggle the output.
+        t.skip = !sim.gate().complex->sensitizingAssignment(pins);
       }
-      // Complex gates: skip prefixes that cannot toggle the output.
-      if (sim.gate().complex &&
-          !sim.gate().complex->sensitizingAssignment(pins)) {
-        if (edge == wave::Edge::Rising) {
-          corr.delayErrorRising.push_back(0.0);
-          corr.transitionErrorRising.push_back(0.0);
-        } else {
-          corr.delayErrorFalling.push_back(0.0);
-          corr.transitionErrorFalling.push_back(0.0);
-        }
-        continue;
-      }
-      PROX_OBS_COUNT("characterize.correction_points", 1);
-      // A failed correction point degrades to a zero corrective term: the
-      // uncorrected model is the paper's baseline, so "no correction" is the
-      // safe identity rather than an abort.
-      double dErr = 0.0;
-      double tErr = 0.0;
-      try {
-        const model::SimOutcome actual = sim.simulate(events, 0);
-        const model::ProximityResult modeled = raw.compute(events);
-        dErr = actual.delay ? *actual.delay - modeled.delay : 0.0;
-        tErr = actual.transitionTime
-                   ? *actual.transitionTime - modeled.transitionTime
-                   : 0.0;
-      } catch (const std::exception& e) {
-        if (!healFailures) throw;
-        PROX_OBS_COUNT("characterize.correction_points_failed", 1);
-        recordPointFailure(log, e, /*refPin=*/0, stepTau, 0.0);
-      }
-      if (edge == wave::Edge::Rising) {
-        corr.delayErrorRising.push_back(dErr);
-        corr.transitionErrorRising.push_back(tErr);
-      } else {
-        corr.delayErrorFalling.push_back(dErr);
-        corr.transitionErrorFalling.push_back(tErr);
-      }
+      tasks.push_back(t);
+    }
+  }
+
+  struct CorrResult {
+    double dErr = 0.0;
+    double tErr = 0.0;
+  };
+  std::vector<CorrResult> results(tasks.size());
+  std::vector<std::optional<support::Diagnostic>> taskDiags(tasks.size());
+  const auto evalTask = [&](model::GateSimulator& s, std::size_t i) {
+    const CorrTask& t = tasks[i];
+    if (t.skip) return;
+    PROX_OBS_COUNT("characterize.correction_points", 1);
+    // A failed correction point degrades to a zero corrective term: the
+    // uncorrected model is the paper's baseline, so "no correction" is the
+    // safe identity rather than an abort.
+    std::vector<model::InputEvent> events;
+    for (int p = 0; p < t.k; ++p) events.push_back({p, t.edge, 0.0, stepTau});
+    try {
+      const model::SimOutcome actual = s.simulate(events, 0);
+      const model::ProximityResult modeled = raw.compute(events);
+      results[i].dErr = actual.delay ? *actual.delay - modeled.delay : 0.0;
+      results[i].tErr = actual.transitionTime
+                            ? *actual.transitionTime - modeled.transitionTime
+                            : 0.0;
+    } catch (const std::exception& e) {
+      if (!healFailures) throw;
+      PROX_OBS_COUNT("characterize.correction_points_failed", 1);
+      taskDiags[i] = describePointFailure(e, /*refPin=*/0, stepTau, 0.0);
+    }
+  };
+
+  const int resolved = resolveThreads(threads);
+  if (resolved <= 1) {
+    par::parallelFor(
+        tasks.size(), [&](std::size_t i) { evalTask(sim, i); },
+        {.threads = 1, .failFast = true});
+  } else {
+    // Per-task simulators; @p dual must be thread-safe (see header note).
+    const model::Gate& gate = sim.gate();
+    par::parallelFor(
+        tasks.size(),
+        [&](std::size_t i) {
+          model::GateSimulator localSim(gate);
+          evalTask(localSim, i);
+        },
+        {.threads = resolved, .failFast = true});
+  }
+  mergeDiagnostics(log, taskDiags);
+
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    if (tasks[i].edge == wave::Edge::Rising) {
+      corr.delayErrorRising.push_back(results[i].dErr);
+      corr.transitionErrorRising.push_back(results[i].tErr);
+    } else {
+      corr.delayErrorFalling.push_back(results[i].dErr);
+      corr.transitionErrorFalling.push_back(results[i].tErr);
     }
   }
   return corr;
@@ -300,9 +395,39 @@ CharacterizedGate characterizeFromGate(model::Gate gate,
   CharacterizedGate out;
   out.gate = std::move(gate);
 
+  const int threads = resolveThreads(config.threads);
   model::GateSimulator sim(out.gate);
-  out.singles = std::make_unique<model::SingleInputModelSet>(
-      model::SingleInputModelSet::characterizeAll(sim, config.tauGrid));
+
+  // Single-input sweeps: one task per (pin, edge), in the legacy pin-major
+  // Rising-then-Falling order so a serial run replays the exact pre-parallel
+  // transient sequence.
+  {
+    const auto pins = static_cast<std::size_t>(out.pinCount());
+    std::vector<model::SingleInputModel> singleModels(2 * pins);
+    const auto singleTask = [&](model::GateSimulator& s, std::size_t i) {
+      const int pin = static_cast<int>(i / 2);
+      const wave::Edge edge =
+          i % 2 == 0 ? wave::Edge::Rising : wave::Edge::Falling;
+      singleModels[i] =
+          model::SingleInputModel::characterize(s, pin, edge, config.tauGrid);
+    };
+    if (threads <= 1) {
+      par::parallelFor(
+          singleModels.size(), [&](std::size_t i) { singleTask(sim, i); },
+          {.threads = 1, .failFast = true});
+    } else {
+      par::parallelFor(
+          singleModels.size(),
+          [&](std::size_t i) {
+            model::GateSimulator localSim(out.gate);
+            singleTask(localSim, i);
+          },
+          {.threads = threads, .failFast = true});
+    }
+    auto set = std::make_unique<model::SingleInputModelSet>();
+    for (model::SingleInputModel& m : singleModels) set->set(std::move(m));
+    out.singles = std::move(set);
+  }
   out.dual = std::make_unique<model::TabulatedDualInputModel>(*out.singles);
 
   const int n = out.pinCount();
@@ -362,9 +487,9 @@ CharacterizedGate characterizeFromGate(model::Gate gate,
     }
   }
 
-  out.correction =
-      characterizeStepCorrection(sim, *out.singles, *out.dual, config.stepTau,
-                                 config.healPointFailures, &out.diagnostics);
+  out.correction = characterizeStepCorrection(
+      sim, *out.singles, *out.dual, config.stepTau, config.healPointFailures,
+      &out.diagnostics, threads);
   return out;
 }
 

@@ -53,6 +53,13 @@ struct CharacterizationConfig {
   /// false restores fail-fast characterization.
   bool healPointFailures = true;
   int pointRetries = 1;
+  /// Worker threads for the sweep engine: 1 (default) runs the legacy serial
+  /// path on the calling thread; 0 resolves to par::defaultThreadCount()
+  /// (PROX_THREADS env, else hardware concurrency); N > 1 runs every sweep
+  /// point / correction term as a pool task.  Results are bit-identical at
+  /// any thread count (see DESIGN.md "Parallel execution & determinism
+  /// contract").
+  int threads = 1;
 };
 
 /// The complete characterized model package for one gate.  Move-only: the
@@ -113,10 +120,14 @@ void buildDualTables(model::GateSimulator& sim,
 /// an (uncorrected) calculator over @p dual.  Returns signed errors
 /// (simulated minus modeled) for input counts 2..fanin.  When @p healFailures
 /// is set, a failed correction point degrades to a zero corrective term
-/// (recorded in @p log) instead of aborting.
+/// (recorded in @p log) instead of aborting.  @p threads > 1 evaluates the
+/// correction points on the pool (each with its own simulator); this
+/// requires a thread-safe @p dual (the tabulated model is; the oracle shares
+/// one simulator and is not), so leave threads at 1 when passing an oracle.
 model::StepCorrection characterizeStepCorrection(
     model::GateSimulator& sim, const model::SingleInputModelSet& singles,
     const model::DualInputModel& dual, double stepTau,
-    bool healFailures = true, support::DiagnosticLog* log = nullptr);
+    bool healFailures = true, support::DiagnosticLog* log = nullptr,
+    int threads = 1);
 
 }  // namespace prox::characterize

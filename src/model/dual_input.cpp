@@ -1,6 +1,7 @@
 #include "model/dual_input.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <stdexcept>
 
@@ -82,9 +83,12 @@ OracleDualInputModel::Pair OracleDualInputModel::evaluate(const DualQuery& q) co
                                    q.edge == wave::Edge::Rising ? 0 : 1,
                                    keyOf(q.tauRef), keyOf(q.tauOther),
                                    keyOf(q.sep));
-  if (auto it = cache_.find(key); it != cache_.end()) {
-    PROX_OBS_COUNT("model.dual.oracle_cache_hits", 1);
-    return it->second;
+  {
+    std::lock_guard<std::mutex> lock(cacheMu_);
+    if (auto it = cache_.find(key); it != cache_.end()) {
+      PROX_OBS_COUNT("model.dual.oracle_cache_hits", 1);
+      return it->second;
+    }
   }
   PROX_OBS_COUNT("model.dual.oracle_evals", 1);
 
@@ -99,7 +103,10 @@ OracleDualInputModel::Pair OracleDualInputModel::evaluate(const DualQuery& q) co
   Pair p{1.0, 1.0};
   if (o.delay && d1 > 0.0) p.delayRatio = *o.delay / d1;
   if (o.transitionTime && t1 > 0.0) p.transitionRatio = *o.transitionTime / t1;
-  cache_.emplace(key, p);
+  {
+    std::lock_guard<std::mutex> lock(cacheMu_);
+    cache_.emplace(key, p);
+  }
   return p;
 }
 
@@ -111,8 +118,35 @@ double OracleDualInputModel::transitionRatio(const DualQuery& q) const {
   return evaluate(q).transitionRatio;
 }
 
+namespace {
+// Process-unique ids index each thread's slot vector, so two threads (or two
+// model instances) never share clamp-stats storage.
+std::atomic<std::uint64_t> gNextStatsId{0};
+}  // namespace
+
 TabulatedDualInputModel::TabulatedDualInputModel(const SingleInputModelSet& singles)
-    : singles_(singles) {}
+    : singles_(singles),
+      statsId_(gNextStatsId.fetch_add(1, std::memory_order_relaxed)) {}
+
+TabulatedDualInputModel::StatsSlot& TabulatedDualInputModel::statsSlot() const {
+  thread_local std::vector<StatsSlot> slots;
+  if (slots.size() <= statsId_) {
+    slots.resize(static_cast<std::size_t>(statsId_) + 1);
+  }
+  return slots[static_cast<std::size_t>(statsId_)];
+}
+
+TabulatedDualInputModel::ClampStats TabulatedDualInputModel::clampStats() const {
+  return statsSlot().stats;
+}
+
+void TabulatedDualInputModel::resetClampStats() const {
+  statsSlot() = StatsSlot{};
+}
+
+double TabulatedDualInputModel::lastClampDistance() const {
+  return statsSlot().lastClampDistance;
+}
 
 void TabulatedDualInputModel::setDelayTable(int refPin, wave::Edge edge,
                                             DualTable table) {
@@ -181,8 +215,9 @@ const DualTable& TabulatedDualInputModel::transitionTable(int refPin,
 double TabulatedDualInputModel::delayRatio(const DualQuery& q) const {
   PROX_OBS_BATCH(obsCells);
   PROX_OBS_COUNT_IN(obsCells, "model.dual.table_lookups", 1);
-  ++clampStats_.lookups;
-  lastClampDistance_ = 0.0;
+  StatsSlot& slot = statsSlot();
+  ++slot.stats.lookups;
+  slot.lastClampDistance = 0.0;
   const SingleInputModel& m = singles_.at(q.refPin, q.edge);
   const double d1 = m.delay(q.tauRef);
   // Outside the proximity window the other input cannot affect the delay.
@@ -208,10 +243,10 @@ double TabulatedDualInputModel::delayRatio(const DualQuery& q) const {
   double dist = 0.0;
   const double r =
       t->interpolate(q.tauRef / d1, q.tauOther / d1, q.sep / d1, &dist);
-  lastClampDistance_ = dist;
+  slot.lastClampDistance = dist;
   if (dist > 0.0) {
-    ++clampStats_.clamped;
-    clampStats_.maxDistance = std::max(clampStats_.maxDistance, dist);
+    ++slot.stats.clamped;
+    slot.stats.maxDistance = std::max(slot.stats.maxDistance, dist);
     PROX_OBS_COUNT_IN(obsCells, "model.dual.clamped_lookups", 1);
   }
   return r;
@@ -220,8 +255,9 @@ double TabulatedDualInputModel::delayRatio(const DualQuery& q) const {
 double TabulatedDualInputModel::transitionRatio(const DualQuery& q) const {
   PROX_OBS_BATCH(obsCells);
   PROX_OBS_COUNT_IN(obsCells, "model.dual.table_lookups", 1);
-  ++clampStats_.lookups;
-  lastClampDistance_ = 0.0;
+  StatsSlot& slot = statsSlot();
+  ++slot.stats.lookups;
+  slot.lastClampDistance = 0.0;
   const SingleInputModel& m = singles_.at(q.refPin, q.edge);
   const double d1 = m.delay(q.tauRef);
   const double t1 = m.transition(q.tauRef);
@@ -248,10 +284,10 @@ double TabulatedDualInputModel::transitionRatio(const DualQuery& q) const {
   double dist = 0.0;
   const double r =
       t->interpolate(q.tauRef / t1, q.tauOther / t1, q.sep / t1, &dist);
-  lastClampDistance_ = dist;
+  slot.lastClampDistance = dist;
   if (dist > 0.0) {
-    ++clampStats_.clamped;
-    clampStats_.maxDistance = std::max(clampStats_.maxDistance, dist);
+    ++slot.stats.clamped;
+    slot.stats.maxDistance = std::max(slot.stats.maxDistance, dist);
     PROX_OBS_COUNT_IN(obsCells, "model.dual.clamped_lookups", 1);
   }
   return r;

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <tuple>
 #include <vector>
 
@@ -66,6 +67,10 @@ class OracleDualInputModel : public DualInputModel {
 
   GateSimulator& sim_;
   const SingleInputModelSet& singles_;
+  // The memo cache is mutex-guarded; note the referenced simulator is NOT
+  // thread-safe, so concurrent callers must still use one oracle (and one
+  // simulator) per thread -- as the parallel characterization sweep does.
+  mutable std::mutex cacheMu_;
   mutable std::map<std::tuple<int, int, int, long, long, long>, Pair> cache_;
 };
 
@@ -157,16 +162,21 @@ class TabulatedDualInputModel : public DualInputModel {
   /// Lookups whose query fell outside a table grid are answered with the
   /// clamped boundary value instead of throwing; these running totals let a
   /// caller (STA's degraded-arc logic, tests) see how often and how far.
+  ///
+  /// The stats are *per thread* (thread-local scratch keyed by instance):
+  /// the reset/compute/inspect pattern used for arc-scoped accounting stays
+  /// race-free when multiple pool workers evaluate arcs against the same
+  /// model concurrently.  Each thread sees only its own tallies.
   struct ClampStats {
     std::uint64_t lookups = 0;   ///< total delay/transition ratio queries
     std::uint64_t clamped = 0;   ///< queries that fell outside the grid
     double maxDistance = 0.0;    ///< worst relative overshoot seen
   };
-  const ClampStats& clampStats() const { return clampStats_; }
-  void resetClampStats() const { clampStats_ = ClampStats{}; }
-  /// Relative overshoot of the most recent delayRatio/transitionRatio query
-  /// (0 when it was in-grid).
-  double lastClampDistance() const { return lastClampDistance_; }
+  ClampStats clampStats() const;
+  void resetClampStats() const;
+  /// Relative overshoot of this thread's most recent delayRatio/
+  /// transitionRatio query (0 when it was in-grid).
+  double lastClampDistance() const;
 
   /// Throws support::DiagnosticError with code TableMissing (carrying the
   /// reference pin) when no table covers the query.
@@ -183,13 +193,20 @@ class TabulatedDualInputModel : public DualInputModel {
   static int pairKey(int refPin, int otherPin, wave::Edge edge) {
     return (refPin * 64 + otherPin) * 2 + (edge == wave::Edge::Rising ? 0 : 1);
   }
+  struct StatsSlot {
+    ClampStats stats;
+    double lastClampDistance = 0.0;
+  };
+  /// The calling thread's stats slot for this instance.
+  StatsSlot& statsSlot() const;
+
   const SingleInputModelSet& singles_;
   std::map<int, DualTable> delayTables_;
   std::map<int, DualTable> transitionTables_;
   std::map<int, DualTable> pairDelayTables_;
   std::map<int, DualTable> pairTransitionTables_;
-  mutable ClampStats clampStats_;
-  mutable double lastClampDistance_ = 0.0;
+  /// Process-unique instance id indexing the thread-local stats slots.
+  std::uint64_t statsId_;
 };
 
 }  // namespace prox::model

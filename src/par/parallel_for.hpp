@@ -1,0 +1,180 @@
+#pragma once
+// Deterministic parallel loop over an index range.
+//
+// The determinism contract (DESIGN.md §5): parallelFor(n, fn) produces
+// results that are bit-identical to `for (i = 0; i < n; ++i) fn(i)`
+// regardless of thread count, because
+//   * fn(i) writes only to slot i of caller-pre-sized storage -- placement
+//     is decided by the index, never by which worker ran the task;
+//   * every invocation runs under support::TaskScope(i), so fault-injection
+//     plans keyed by task index fire in the same task at any thread count;
+//   * exceptions are captured per task and the *lowest-index* failure is
+//     re-raised (its original type preserved via exception_ptr), matching
+//     the first throw a serial loop would surface;
+//   * with threads <= 1 (the library default) the loop body runs inline on
+//     the calling thread -- the legacy serial path, no pool involvement.
+//
+// Nested parallelism: a call made from inside a pool worker runs inline
+// serially instead of submitting (a worker blocking on completion of tasks
+// that only it could run would deadlock the pool).
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <vector>
+
+#include "par/pool.hpp"
+#include "support/diagnostic.hpp"
+#include "support/fault_injection.hpp"
+
+namespace prox::par {
+
+struct ParallelOptions {
+  /// Worker count: 1 = serial inline (legacy path), 0 = defaultThreadCount().
+  int threads = 0;
+  /// Indices handed to a worker per grab.  1 (the default) gives the best
+  /// load balance for uneven tasks like characterization transients.
+  std::size_t chunk = 1;
+  /// Stop issuing new indices after the first failure (matching a serial
+  /// loop's abort-on-throw).  In-flight tasks still finish; which higher
+  /// indices ran before the stop is timing-dependent, so use this only on
+  /// paths whose partial results are discarded on failure.
+  bool failFast = false;
+};
+
+/// One failed loop iteration: the index it ran as, the original exception
+/// (type preserved), and a typed rendering for diagnostic logs.
+struct TaskFailure {
+  std::size_t index = 0;
+  std::exception_ptr exception;
+  support::Diagnostic diagnostic;
+};
+
+namespace detail {
+
+inline support::Diagnostic describeFailure(std::size_t index,
+                                           const std::exception_ptr& ep) {
+  support::Diagnostic diag;
+  diag.site = "par.parallel_for";
+  diag.pin = -1;
+  try {
+    std::rethrow_exception(ep);
+  } catch (const support::DiagnosticError& e) {
+    diag = e.diagnostic();
+  } catch (const std::exception& e) {
+    diag = support::makeDiagnostic(support::StatusCode::Internal, e.what())
+               .withSite("par.parallel_for");
+  } catch (...) {
+    diag = support::makeDiagnostic(support::StatusCode::Internal,
+                                   "non-std exception from parallel task")
+               .withSite("par.parallel_for");
+  }
+  diag.message += " (task " + std::to_string(index) + ")";
+  return diag;
+}
+
+}  // namespace detail
+
+/// Runs fn(i) for i in [0, n), possibly in parallel, and returns every
+/// failure sorted by index (empty on full success).  fn must confine its
+/// writes to per-index storage; it may throw.
+template <typename Fn>
+std::vector<TaskFailure> parallelForCollect(std::size_t n, Fn&& fn,
+                                            const ParallelOptions& opt = {}) {
+  std::vector<TaskFailure> failures;
+  if (n == 0) return failures;
+
+  int threads = opt.threads == 0 ? defaultThreadCount() : opt.threads;
+  // Serial inline path: threads <= 1, trivially small ranges, or a nested
+  // call from a pool worker (submitting would risk deadlock).
+  if (threads <= 1 || n == 1 || ThreadPool::onWorkerThread()) {
+    for (std::size_t i = 0; i < n; ++i) {
+      support::TaskScope scope(static_cast<long long>(i));
+      try {
+        fn(i);
+      } catch (...) {
+        failures.push_back(
+            {i, std::current_exception(),
+             detail::describeFailure(i, std::current_exception())});
+        if (opt.failFast) break;
+      }
+    }
+    return failures;
+  }
+
+  threads = std::min<int>(threads, kMaxThreads);
+  const std::size_t chunk = std::max<std::size_t>(opt.chunk, 1);
+
+  struct Shared {
+    std::atomic<std::size_t> next{0};
+    std::atomic<int> active{0};
+    std::atomic<bool> stop{false};
+    std::mutex mu;  // guards failures and done signalling
+    std::condition_variable done;
+    std::vector<TaskFailure> failures;
+  };
+  auto shared = std::make_shared<Shared>();
+
+  const bool failFast = opt.failFast;
+  auto runner = [shared, n, chunk, failFast, &fn]() {
+    for (;;) {
+      if (failFast && shared->stop.load(std::memory_order_acquire)) break;
+      const std::size_t begin =
+          shared->next.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= n) break;
+      const std::size_t end = std::min(begin + chunk, n);
+      for (std::size_t i = begin; i < end; ++i) {
+        support::TaskScope scope(static_cast<long long>(i));
+        try {
+          fn(i);
+        } catch (...) {
+          shared->stop.store(true, std::memory_order_release);
+          std::lock_guard<std::mutex> lock(shared->mu);
+          shared->failures.push_back(
+              {i, std::current_exception(),
+               detail::describeFailure(i, std::current_exception())});
+        }
+      }
+    }
+    if (shared->active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(shared->mu);
+      shared->done.notify_all();
+    }
+  };
+
+  ThreadPool& pool = ThreadPool::global(threads);
+  // One runner per thread: the caller participates, so even a pool saturated
+  // by other work cannot stall this loop (the caller's runner drains it).
+  const int helpers = threads - 1;
+  shared->active.store(helpers + 1, std::memory_order_release);
+  for (int t = 0; t < helpers; ++t) pool.submit(runner);
+  runner();
+  {
+    std::unique_lock<std::mutex> lock(shared->mu);
+    shared->done.wait(lock, [&shared] {
+      return shared->active.load(std::memory_order_acquire) == 0;
+    });
+  }
+
+  failures = std::move(shared->failures);
+  // Failure order must not depend on the interleaving.
+  std::sort(failures.begin(), failures.end(),
+            [](const TaskFailure& a, const TaskFailure& b) {
+              return a.index < b.index;
+            });
+  return failures;
+}
+
+/// parallelForCollect, but re-raises the lowest-index failure with its
+/// original exception type -- the same exception a serial `for` loop over
+/// fn(0..n) would have surfaced first.
+template <typename Fn>
+void parallelFor(std::size_t n, Fn&& fn, const ParallelOptions& opt = {}) {
+  auto failures = parallelForCollect(n, std::forward<Fn>(fn), opt);
+  if (!failures.empty()) std::rethrow_exception(failures.front().exception);
+}
+
+}  // namespace prox::par

@@ -41,6 +41,11 @@ struct DelayCalcOptions {
   /// a proximity lookup is considered too extrapolated to trust and the arc
   /// degrades to the classic model.  Infinity accepts any clamp.
   double maxClampDistance = std::numeric_limits<double>::infinity();
+  /// Worker threads for levelized arc evaluation in TimingAnalyzer::run():
+  /// 1 (default) = serial on the calling thread, 0 = par::defaultThreadCount(),
+  /// N > 1 evaluates each level's arcs as pool tasks.  Arrival times are
+  /// bit-identical at any thread count (results commit in instance order).
+  int threads = 1;
 };
 
 /// Computes the output arrival of @p cell given per-pin input arrivals

@@ -1,5 +1,6 @@
 #include "sta/netlist.hpp"
 
+#include <algorithm>
 #include <queue>
 #include <stdexcept>
 
@@ -77,6 +78,56 @@ std::vector<const Instance*> Netlist::topologicalOrder() const {
   }
   PROX_OBS_COUNT("sta.graph.nodes_levelized", order.size());
   return order;
+}
+
+std::vector<std::vector<const Instance*>> Netlist::levels() const {
+  // Frontier-by-frontier Kahn: each frontier is one level.  The setup
+  // mirrors topologicalOrder() so both report identical structural errors.
+  std::vector<std::size_t> remaining(instances_.size(), 0);
+  std::vector<std::vector<std::size_t>> consumers(instances_.size());
+
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    for (const std::string& net : instances_[i].inputNets) {
+      if (primaryInputs_.count(net) != 0) continue;
+      auto it = driverOf_.find(net);
+      if (it == driverOf_.end()) {
+        throw std::runtime_error("Netlist: undriven input net " + net +
+                                 " on instance " + instances_[i].name);
+      }
+      consumers[it->second].push_back(i);
+      ++remaining[i];
+    }
+  }
+
+  std::vector<std::size_t> frontier;
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    if (remaining[i] == 0) frontier.push_back(i);
+  }
+  std::vector<std::vector<const Instance*>> levels;
+  std::size_t placed = 0;
+  while (!frontier.empty()) {
+    std::vector<std::size_t> next;
+    std::vector<const Instance*> level;
+    level.reserve(frontier.size());
+    for (std::size_t i : frontier) {
+      level.push_back(&instances_[i]);
+      ++placed;
+      for (std::size_t c : consumers[i]) {
+        if (--remaining[c] == 0) next.push_back(c);
+      }
+    }
+    // Declaration order within a level keeps task indices (and thus the
+    // deterministic fault-plan keying) independent of discovery order.
+    std::sort(next.begin(), next.end());
+    levels.push_back(std::move(level));
+    frontier = std::move(next);
+  }
+  if (placed != instances_.size()) {
+    throw std::runtime_error("Netlist: combinational cycle detected");
+  }
+  PROX_OBS_COUNT("sta.graph.nodes_levelized", placed);
+  PROX_OBS_COUNT("sta.graph.levels", levels.size());
+  return levels;
 }
 
 }  // namespace prox::sta

@@ -44,6 +44,14 @@ class Netlist {
   /// undriven instance input.
   std::vector<const Instance*> topologicalOrder() const;
 
+  /// Instances grouped by dependency depth: level 0 consumes only primary
+  /// inputs, level L consumes at least one level-(L-1) output and nothing
+  /// deeper.  Instances within a level are independent of each other (the
+  /// parallel STA evaluates a level concurrently) and appear in instance-
+  /// declaration order, so the grouping is deterministic.  Same structural
+  /// errors as topologicalOrder().
+  std::vector<std::vector<const Instance*>> levels() const;
+
  private:
   std::vector<Instance> instances_;
   std::unordered_set<std::string> primaryInputs_;

@@ -4,6 +4,7 @@
 
 #include "obs/registry.hpp"
 #include "obs/scoped_timer.hpp"
+#include "par/parallel_for.hpp"
 
 namespace prox::sta {
 
@@ -18,20 +19,44 @@ void TimingAnalyzer::run() {
   PROX_OBS_COUNT("sta.graph.runs", 1);
   PROX_OBS_SCOPED_TIMER("sta.graph.seconds");
   degradedArcs_ = 0;
-  for (const Instance* inst : netlist_.topologicalOrder()) {
-    PROX_OBS_COUNT("sta.graph.nodes_visited", 1);
-    std::vector<std::optional<Arrival>> pins;
-    pins.reserve(inst->inputNets.size());
-    for (const std::string& net : inst->inputNets) {
-      auto it = arrivals_.find(net);
-      pins.push_back(it == arrivals_.end() ? std::nullopt
-                                           : std::optional<Arrival>(it->second));
-    }
+  const int threads =
+      options_.threads == 0 ? par::defaultThreadCount() : options_.threads;
+
+  // Levelized evaluation: all arcs of one level read only arrivals committed
+  // by earlier levels, so a level's tasks share arrivals_ read-only and each
+  // writes its own result slot.  Slots commit serially in instance order
+  // between levels, making arrival values (and degradedArcs_) bit-identical
+  // at any thread count.  Task indices restart per level, so task-keyed
+  // fault plans address "arc i of each level" deterministically.
+  struct ArcResult {
+    std::optional<Arrival> out;
     ArcQuality quality = ArcQuality::Full;
-    if (auto out = evaluateGate(*inst->cell, pins, mode_, options_, &quality)) {
-      arrivals_[inst->outputNet] = *out;
+  };
+  for (const std::vector<const Instance*>& level : netlist_.levels()) {
+    std::vector<ArcResult> results(level.size());
+    par::parallelFor(
+        level.size(),
+        [&](std::size_t i) {
+          const Instance* inst = level[i];
+          PROX_OBS_COUNT("sta.graph.nodes_visited", 1);
+          std::vector<std::optional<Arrival>> pins;
+          pins.reserve(inst->inputNets.size());
+          for (const std::string& net : inst->inputNets) {
+            auto it = arrivals_.find(net);
+            pins.push_back(it == arrivals_.end()
+                               ? std::nullopt
+                               : std::optional<Arrival>(it->second));
+          }
+          results[i].out = evaluateGate(*inst->cell, pins, mode_, options_,
+                                        &results[i].quality);
+        },
+        {.threads = threads, .failFast = true});
+    for (std::size_t i = 0; i < level.size(); ++i) {
+      if (results[i].out) {
+        arrivals_[level[i]->outputNet] = *results[i].out;
+      }
+      if (results[i].quality != ArcQuality::Full) ++degradedArcs_;
     }
-    if (quality != ArcQuality::Full) ++degradedArcs_;
   }
 }
 

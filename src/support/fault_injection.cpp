@@ -21,6 +21,8 @@ namespace {
 // initialization guard.
 constinit std::atomic<bool> gArmed{false};
 
+constinit thread_local long long tTaskIndex = -1;
+
 std::mutex& planMutex() {
   static std::mutex mu;
   return mu;
@@ -67,12 +69,23 @@ std::uint64_t FaultPlan::fired() {
   return planState().fired;
 }
 
+TaskScope::TaskScope(long long index) noexcept : previous_(tTaskIndex) {
+  tTaskIndex = index;
+}
+
+TaskScope::~TaskScope() { tTaskIndex = previous_; }
+
+long long TaskScope::current() noexcept { return tTaskIndex; }
+
 bool FaultPlan::shouldFire(const char* site, FaultKind kind) noexcept {
   if (!gArmed.load(std::memory_order_relaxed)) return false;
   std::lock_guard<std::mutex> lock(planMutex());
   if (!gArmed.load(std::memory_order_relaxed)) return false;
   PlanState& st = planState();
   if (st.spec.kind != kind || st.spec.site.compare(site) != 0) return false;
+  // Task-keyed plans neither fire nor count hits outside their task, so the
+  // hit tally (and thus triggerHit) is task-local and order-independent.
+  if (st.spec.taskIndex >= 0 && tTaskIndex != st.spec.taskIndex) return false;
   ++st.hits;
   const bool fire = st.hits >= st.spec.triggerHit &&
                     st.hits < st.spec.triggerHit + st.spec.count;

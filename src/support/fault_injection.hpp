@@ -34,6 +34,30 @@ struct FaultSpec {
   FaultKind kind = FaultKind::NewtonNonConverge;
   std::uint64_t triggerHit = 1;    ///< 1-based matching hit at which to start
   std::uint64_t count = 1;         ///< consecutive matching hits that fire
+  /// When >= 0, the plan only matches hits made from inside the parallel
+  /// task with this index (see TaskScope).  Keying by task index instead of
+  /// global hit order makes injected faults land on the same sweep point
+  /// regardless of thread count or execution interleaving.
+  long long taskIndex = -1;
+};
+
+/// RAII marker: "the calling thread is executing parallel task @p index".
+/// par::parallelFor wraps every task body in one, so a FaultSpec with
+/// taskIndex >= 0 fires deterministically in that task no matter which
+/// worker runs it or when.  Nests (restores the previous index on exit);
+/// outside any task current() is -1.
+class TaskScope {
+ public:
+  explicit TaskScope(long long index) noexcept;
+  ~TaskScope();
+  TaskScope(const TaskScope&) = delete;
+  TaskScope& operator=(const TaskScope&) = delete;
+
+  /// The innermost task index on this thread, or -1 outside any task.
+  static long long current() noexcept;
+
+ private:
+  long long previous_;
 };
 
 /// Process-global, single-plan harness.  Tests arm/disarm around the code

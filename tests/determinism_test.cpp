@@ -1,0 +1,245 @@
+// Golden determinism harness for the parallel characterization and STA
+// engine (DESIGN.md "Parallel execution & determinism contract"): every
+// characterized artifact -- dual ratio tables, healed marks, single-input
+// samples, corrective terms, diagnostics -- and every STA arrival time must
+// be *bit-identical* across thread counts {1, 2, 8} and across repeated
+// runs, including while a fault plan is actively injecting failures.
+//
+// All comparisons below use exact `==` on doubles on purpose: "close" would
+// hide scheduling-dependent reduction orders, which is precisely the bug
+// class this harness exists to catch.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "characterize/characterize.hpp"
+#include "model/dual_input.hpp"
+#include "sta/timing_graph.hpp"
+#include "support/fault_injection.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace prox;
+using wave::Edge;
+
+// A deliberately small grid: determinism is a structural property and does
+// not need dense tables, and this binary characterizes the same gate many
+// times over.
+characterize::CharacterizationConfig smallConfig(int threads) {
+  characterize::CharacterizationConfig c;
+  c.tauGrid = {100e-12, 400e-12, 1000e-12};
+  c.dualTauIndices = {0, 1, 2};
+  c.vGrid = {0.3, 1.0, 3.0};
+  c.wGrid = {-1.0, -0.5, 0.0, 0.5, 1.0};
+  c.vGridTransition = {0.3, 1.0, 3.0};
+  c.wGridTransition = {-1.0, 0.0, 1.0, 3.0};
+  c.vtcStep = 0.05;
+  c.threads = threads;
+  return c;
+}
+
+void expectTableIdentical(const model::DualTable& a, const model::DualTable& b,
+                          const char* what) {
+  EXPECT_EQ(a.u, b.u) << what;
+  EXPECT_EQ(a.v, b.v) << what;
+  EXPECT_EQ(a.w, b.w) << what;
+  ASSERT_EQ(a.ratio.size(), b.ratio.size()) << what;
+  for (std::size_t i = 0; i < a.ratio.size(); ++i) {
+    EXPECT_EQ(a.ratio[i], b.ratio[i]) << what << " ratio[" << i << "]";
+  }
+  EXPECT_EQ(a.healed, b.healed) << what << " healed marks";
+}
+
+void expectCellsIdentical(const characterize::CharacterizedGate& a,
+                          const characterize::CharacterizedGate& b) {
+  ASSERT_EQ(a.pinCount(), b.pinCount());
+  for (int pin = 0; pin < a.pinCount(); ++pin) {
+    for (const Edge e : {Edge::Rising, Edge::Falling}) {
+      // Single-input macromodels: every sample field, bit for bit.
+      const auto& sa = a.singles->at(pin, e);
+      const auto& sb = b.singles->at(pin, e);
+      ASSERT_EQ(sa.table().size(), sb.table().size());
+      for (std::size_t i = 0; i < sa.table().size(); ++i) {
+        EXPECT_EQ(sa.table()[i].tau, sb.table()[i].tau);
+        EXPECT_EQ(sa.table()[i].delay, sb.table()[i].delay);
+        EXPECT_EQ(sa.table()[i].transition, sb.table()[i].transition);
+      }
+      EXPECT_EQ(sa.loadCap(), sb.loadCap());
+      EXPECT_EQ(sa.strengthK(), sb.strengthK());
+      EXPECT_EQ(sa.vdd(), sb.vdd());
+
+      expectTableIdentical(a.dual->delayTable(pin, e),
+                           b.dual->delayTable(pin, e), "delay table");
+      expectTableIdentical(a.dual->transitionTable(pin, e),
+                           b.dual->transitionTable(pin, e),
+                           "transition table");
+    }
+  }
+  EXPECT_EQ(a.correction.delayErrorRising, b.correction.delayErrorRising);
+  EXPECT_EQ(a.correction.delayErrorFalling, b.correction.delayErrorFalling);
+  EXPECT_EQ(a.correction.transitionErrorRising,
+            b.correction.transitionErrorRising);
+  EXPECT_EQ(a.correction.transitionErrorFalling,
+            b.correction.transitionErrorFalling);
+
+  // Diagnostics must agree in count, order, and rendered content (the merge
+  // happens in enumeration order, never completion order).
+  ASSERT_EQ(a.diagnostics.entries().size(), b.diagnostics.entries().size());
+  for (std::size_t i = 0; i < a.diagnostics.entries().size(); ++i) {
+    EXPECT_EQ(a.diagnostics.entries()[i].toString(),
+              b.diagnostics.entries()[i].toString());
+  }
+}
+
+// Clean (no fault plan) characterizations, cached per thread count: the
+// comparisons below all reference these.
+const characterize::CharacterizedGate& cleanCell(int threads) {
+  static auto* cache = new std::map<int, characterize::CharacterizedGate>();
+  auto it = cache->find(threads);
+  if (it == cache->end()) {
+    it = cache
+             ->emplace(threads, characterize::characterizeGate(
+                                    testutil::nandSpec(2),
+                                    smallConfig(threads)))
+             .first;
+  }
+  return it->second;
+}
+
+TEST(CharacterizationDeterminism, TwoThreadsMatchesSerial) {
+  expectCellsIdentical(cleanCell(1), cleanCell(2));
+}
+
+TEST(CharacterizationDeterminism, EightThreadsMatchesSerial) {
+  expectCellsIdentical(cleanCell(1), cleanCell(8));
+}
+
+TEST(CharacterizationDeterminism, RepeatedParallelRunsMatch) {
+  const auto rerun = characterize::characterizeGate(testutil::nandSpec(2),
+                                                    smallConfig(8));
+  expectCellsIdentical(cleanCell(8), rerun);
+}
+
+TEST(CharacterizationDeterminism, CleanRunsLogNothingAtAnyThreadCount) {
+  EXPECT_TRUE(cleanCell(1).diagnostics.empty());
+  EXPECT_TRUE(cleanCell(2).diagnostics.empty());
+  EXPECT_TRUE(cleanCell(8).diagnostics.empty());
+}
+
+#if PROX_ENABLE_FAULT_INJECTION
+// With a task-keyed fault plan armed, the *same* sweep point fails (and
+// heals) no matter how many workers race through the sweep: spec.taskIndex
+// addresses "parallel task 7", which parallelFor pins to loop index 7 at
+// every thread count.  count = 2 also kills the retry, forcing the healing
+// path.
+characterize::CharacterizedGate faultedCell(int threads) {
+  support::FaultSpec spec;
+  spec.site = "model.gate_sim.simulate";
+  spec.kind = support::FaultKind::SimulationFailure;
+  spec.triggerHit = 1;
+  spec.count = 2;
+  spec.taskIndex = 7;
+  support::FaultPlan::Scope scope(spec);
+  return characterize::characterizeGate(testutil::nandSpec(2),
+                                        smallConfig(threads));
+}
+
+TEST(FaultedCharacterizationDeterminism, SameHoleHealsAtEveryThreadCount) {
+  const auto serial = faultedCell(1);
+  const auto two = faultedCell(2);
+  const auto eight = faultedCell(8);
+
+  // The plan must actually have bitten: at least one healed point and a
+  // Warning-severity log entry.
+  std::size_t healed = 0;
+  for (int pin = 0; pin < serial.pinCount(); ++pin) {
+    for (const Edge e : {Edge::Rising, Edge::Falling}) {
+      healed += serial.dual->delayTable(pin, e).healedCount();
+      healed += serial.dual->transitionTable(pin, e).healedCount();
+    }
+  }
+  EXPECT_GE(healed, 1u);
+  EXPECT_FALSE(serial.diagnostics.empty());
+
+  expectCellsIdentical(serial, two);
+  expectCellsIdentical(serial, eight);
+}
+
+TEST(FaultedCharacterizationDeterminism, RepeatedFaultedRunsMatch) {
+  expectCellsIdentical(faultedCell(8), faultedCell(8));
+}
+#endif  // PROX_ENABLE_FAULT_INJECTION
+
+// -- STA ---------------------------------------------------------------------
+
+// Three levels, with a two-arc level in the middle of the fan-in cone so the
+// parallel evaluator actually has sibling arcs to race: all switching inputs
+// of any one gate share a direction (NANDs invert level by level).
+struct StaRun {
+  std::vector<sta::Arrival> arrivals;
+  std::size_t degraded = 0;
+};
+
+StaRun runSta(const characterize::CharacterizedGate& cell, int threads) {
+  sta::Netlist nl;
+  for (const char* pi : {"a", "b", "c", "d"}) nl.addPrimaryInput(pi);
+  nl.addInstance("u1", cell, {"a", "b"}, "n1");
+  nl.addInstance("u2", cell, {"c", "d"}, "n2");
+  nl.addInstance("u3", cell, {"n1", "n2"}, "m1");
+  nl.addInstance("u4", cell, {"n2", "n1"}, "m2");
+  nl.addInstance("u5", cell, {"m1", "m2"}, "out");
+
+  sta::DelayCalcOptions opt;
+  opt.threads = threads;
+  sta::TimingAnalyzer ta(nl, sta::DelayMode::Proximity, opt);
+  // Close arrivals on every pair: forces dual-table proximity lookups
+  // instead of the wide-separation short-circuit.
+  ta.setInputArrival("a", {0.0, 120e-12, Edge::Rising});
+  ta.setInputArrival("b", {30e-12, 150e-12, Edge::Rising});
+  ta.setInputArrival("c", {10e-12, 100e-12, Edge::Rising});
+  ta.setInputArrival("d", {25e-12, 180e-12, Edge::Rising});
+  ta.run();
+
+  StaRun out;
+  for (const char* net : {"n1", "n2", "m1", "m2", "out"}) {
+    const auto arr = ta.arrival(net);
+    EXPECT_TRUE(arr.has_value()) << net;
+    out.arrivals.push_back(arr.value_or(sta::Arrival{}));
+  }
+  out.degraded = ta.degradedArcs();
+  return out;
+}
+
+void expectRunsIdentical(const StaRun& a, const StaRun& b) {
+  ASSERT_EQ(a.arrivals.size(), b.arrivals.size());
+  for (std::size_t i = 0; i < a.arrivals.size(); ++i) {
+    EXPECT_EQ(a.arrivals[i].time, b.arrivals[i].time) << "net " << i;
+    EXPECT_EQ(a.arrivals[i].slope, b.arrivals[i].slope) << "net " << i;
+    EXPECT_EQ(a.arrivals[i].edge, b.arrivals[i].edge) << "net " << i;
+  }
+  EXPECT_EQ(a.degraded, b.degraded);
+}
+
+TEST(StaDeterminism, ArrivalsBitIdenticalAcrossThreadCounts) {
+  const auto& cell = cleanCell(1);
+  const StaRun serial = runSta(cell, 1);
+  expectRunsIdentical(serial, runSta(cell, 2));
+  expectRunsIdentical(serial, runSta(cell, 8));
+}
+
+TEST(StaDeterminism, RepeatedParallelRunsMatch) {
+  const auto& cell = cleanCell(1);
+  expectRunsIdentical(runSta(cell, 8), runSta(cell, 8));
+}
+
+TEST(StaDeterminism, ParallelCellDrivesIdenticalSta) {
+  // End to end: a cell characterized in parallel must drive the exact same
+  // timing analysis as one characterized serially.
+  expectRunsIdentical(runSta(cleanCell(1), 1), runSta(cleanCell(8), 8));
+}
+
+}  // namespace

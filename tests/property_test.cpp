@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <map>
 #include <random>
@@ -180,5 +181,94 @@ TEST_P(DominancePermutation, HeadMinimizesPredictedCrossing) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DominancePermutation,
                          ::testing::Range(0, 10));
+
+// ---------------------------------------------------------------------------
+// Dominance re-ranking is invariant under input permutation: shuffling the
+// order the events are *presented* in must not change which pin dominates,
+// the pin-by-pin ranking, or the computed delay/transition.  (Ties are
+// measure-zero with continuous random taus/separations.)
+class DominanceShuffleInvariance : public ::testing::TestWithParam<int> {};
+
+TEST_P(DominanceShuffleInvariance, RankingAndResultSurvivePermutation) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()));
+  std::uniform_real_distribution<double> tauDist(50e-12, 2000e-12);
+  std::uniform_real_distribution<double> sepDist(-400e-12, 400e-12);
+  const auto& cg = gateForFanin(3);
+  const auto calc = cg.calculator();
+
+  std::vector<InputEvent> evs;
+  for (int p = 0; p < 3; ++p) {
+    evs.push_back({p, Edge::Rising, sepDist(rng), tauDist(rng)});
+  }
+
+  // Rankings as pin sequences (order entries index into evs, so they only
+  // compare across permutations after mapping back to pins).
+  auto pinRanking = [&](const std::vector<InputEvent>& events,
+                        model::DominanceSense sense) {
+    std::vector<int> pins;
+    for (std::size_t i : model::dominanceOrder(events, *cg.singles, sense)) {
+      pins.push_back(events[i].pin);
+    }
+    return pins;
+  };
+
+  const auto earliestBefore =
+      pinRanking(evs, model::DominanceSense::EarliestFirst);
+  const auto latestBefore = pinRanking(evs, model::DominanceSense::LatestFirst);
+  const auto resultBefore = calc.compute(evs);
+
+  std::vector<InputEvent> shuffled = evs;
+  for (int round = 0; round < 4; ++round) {
+    std::shuffle(shuffled.begin(), shuffled.end(), rng);
+    EXPECT_EQ(pinRanking(shuffled, model::DominanceSense::EarliestFirst),
+              earliestBefore);
+    EXPECT_EQ(pinRanking(shuffled, model::DominanceSense::LatestFirst),
+              latestBefore);
+    const auto r = calc.compute(shuffled);
+    EXPECT_DOUBLE_EQ(r.delay, resultBefore.delay);
+    EXPECT_DOUBLE_EQ(r.transitionTime, resultBefore.transitionTime);
+    EXPECT_EQ(r.dominantPin, resultBefore.dominantPin);
+    EXPECT_DOUBLE_EQ(r.outputRefTime, resultBefore.outputRefTime);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DominanceShuffleInvariance,
+                         ::testing::Range(0, 10));
+
+// ---------------------------------------------------------------------------
+// Window-drop invariance: an input whose separation lands beyond the
+// proximity window (s > Delta^(i-1), and beyond the transition window too)
+// contributes a ratio of exactly 1, so *removing* it from the event set must
+// leave ProximityDelay's output bit-for-bit unchanged.
+class WindowDropInvariance : public ::testing::TestWithParam<double> {};
+
+TEST_P(WindowDropInvariance, FarInputDropsOut) {
+  const double tau = GetParam();
+  const auto& cg = gateForFanin(3);
+  const auto calc = cg.calculator();
+
+  // A separation beyond every pin's delay *and* transition window at this
+  // tau (the transition window Delta^(1) + tau^(1) is the wider of the two).
+  double far = 0.0;
+  for (int pin = 0; pin < 3; ++pin) {
+    const auto& m = cg.singles->at(pin, Edge::Falling);
+    far = std::max(far, m.delay(tau) + m.transition(tau));
+  }
+  far += 30e-12 + 200e-12;  // latest close event + margin
+
+  const std::vector<InputEvent> close{{0, Edge::Falling, 0.0, tau},
+                                      {1, Edge::Falling, 30e-12, tau}};
+  std::vector<InputEvent> withFar = close;
+  withFar.push_back({2, Edge::Falling, far, tau});
+
+  const auto rClose = calc.compute(close);
+  const auto rFar = calc.compute(withFar);
+  EXPECT_DOUBLE_EQ(rFar.delay, rClose.delay);
+  EXPECT_DOUBLE_EQ(rFar.transitionTime, rClose.transitionTime);
+  EXPECT_EQ(rFar.dominantPin, rClose.dominantPin);
+}
+
+INSTANTIATE_TEST_SUITE_P(Taus, WindowDropInvariance,
+                         ::testing::Values(100e-12, 400e-12, 1200e-12));
 
 }  // namespace

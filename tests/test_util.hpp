@@ -1,10 +1,27 @@
 #pragma once
 // Shared helpers for the test suite: reduced characterization configs (to
-// keep test runtime low) and per-binary cached characterized gates.
+// keep test runtime low), per-binary cached characterized gates, and
+// single-evaluation tolerance assertions.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
 
 #include "characterize/characterize.hpp"
 
 namespace prox::testutil {
+
+/// PROX_THREADS as an int when set to a positive value, else @p fallback.
+/// Test configs thread this through so the ThreadSanitizer CI job can force
+/// the parallel sweep path (PROX_THREADS=8) while the default tier-1 run
+/// keeps the serial legacy path.
+inline int envThreads(int fallback = 1) {
+  const char* env = std::getenv("PROX_THREADS");
+  if (env == nullptr || *env == '\0') return fallback;
+  const int v = std::atoi(env);
+  return v > 0 ? v : fallback;
+}
 
 /// A characterization config with coarser grids than the production default;
 /// accuracy is lower but every structural property still holds.
@@ -17,6 +34,7 @@ inline characterize::CharacterizationConfig fastConfig() {
   c.vGridTransition = {0.1, 0.3, 1.0, 3.0, 12.0};
   c.wGridTransition = {-2.0, -1.0, 0.0, 1.0, 2.0, 4.0, 6.0};
   c.vtcStep = 0.02;
+  c.threads = envThreads(1);
   return c;
 }
 
@@ -66,4 +84,59 @@ inline const model::Gate& nand2Gate() {
   return g;
 }
 
+// ---------------------------------------------------------------------------
+// Tolerance assertions.  These are predicate-formatters driven through
+// gtest's {EXPECT,ASSERT}_PRED_FORMAT3, so every argument expression is
+// evaluated exactly once (the macro binds each to a parameter before the
+// formatter runs) -- safe for arguments with side effects such as
+// `nextSample()` or counter increments, unlike naive `#define NEAR(a,b,t)
+// EXPECT_LE(std::fabs((a)-(b)), (t))` helpers that re-expand the text.
+// NaN/Inf differences always fail.  See test_util_test.cpp for the
+// self-test.
+
+/// |actual - expected| <= tol.
+inline ::testing::AssertionResult AbsNear(const char* actualExpr,
+                                          const char* expectedExpr,
+                                          const char* tolExpr, double actual,
+                                          double expected, double tol) {
+  const double diff = std::fabs(actual - expected);
+  if (std::isfinite(diff) && diff <= tol) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << actualExpr << " = " << actual << " vs " << expectedExpr << " = "
+         << expected << ": |difference| = " << diff << " exceeds " << tolExpr
+         << " = " << tol;
+}
+
+/// |actual - expected| <= tol * max(|expected|, DBL_MIN-guard).  The guard
+/// makes an exact-zero expectation behave like an absolute comparison
+/// against tol instead of demanding bit equality.
+inline ::testing::AssertionResult RelNear(const char* actualExpr,
+                                          const char* expectedExpr,
+                                          const char* tolExpr, double actual,
+                                          double expected, double tol) {
+  const double diff = std::fabs(actual - expected);
+  const double scale = std::max(std::fabs(expected), 1.0e-300);
+  if (std::isfinite(diff) && diff <= tol * scale) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << actualExpr << " = " << actual << " vs " << expectedExpr << " = "
+         << expected << ": relative difference = " << diff / scale
+         << " exceeds " << tolExpr << " = " << tol;
+}
+
 }  // namespace prox::testutil
+
+/// Single-evaluation |actual - expected| <= tol assertions.
+#define PROX_EXPECT_ABS_NEAR(actual, expected, tol) \
+  EXPECT_PRED_FORMAT3(::prox::testutil::AbsNear, actual, expected, tol)
+#define PROX_ASSERT_ABS_NEAR(actual, expected, tol) \
+  ASSERT_PRED_FORMAT3(::prox::testutil::AbsNear, actual, expected, tol)
+
+/// Single-evaluation relative-tolerance assertions.
+#define PROX_EXPECT_REL_NEAR(actual, expected, tol) \
+  EXPECT_PRED_FORMAT3(::prox::testutil::RelNear, actual, expected, tol)
+#define PROX_ASSERT_REL_NEAR(actual, expected, tol) \
+  ASSERT_PRED_FORMAT3(::prox::testutil::RelNear, actual, expected, tol)

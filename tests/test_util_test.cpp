@@ -1,0 +1,129 @@
+// Self-test for the shared test utilities, in particular the
+// single-evaluation tolerance assertions added alongside the parallel
+// characterization work: the macros must evaluate each argument expression
+// exactly once (so side-effecting arguments behave), compare with the
+// documented semantics, and reject NaN/Inf.
+
+#include <gtest/gtest.h>
+#include <gtest/gtest-spi.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "test_util.hpp"
+
+namespace {
+
+using namespace prox;
+
+// -- single evaluation -------------------------------------------------------
+
+TEST(ToleranceAssertions, AbsNearEvaluatesEachArgumentOnce) {
+  int actualEvals = 0;
+  int expectedEvals = 0;
+  int tolEvals = 0;
+  PROX_EXPECT_ABS_NEAR((++actualEvals, 1.0), (++expectedEvals, 1.05),
+                       (++tolEvals, 0.1));
+  EXPECT_EQ(actualEvals, 1);
+  EXPECT_EQ(expectedEvals, 1);
+  EXPECT_EQ(tolEvals, 1);
+}
+
+TEST(ToleranceAssertions, RelNearEvaluatesEachArgumentOnce) {
+  int actualEvals = 0;
+  int expectedEvals = 0;
+  int tolEvals = 0;
+  PROX_EXPECT_REL_NEAR((++actualEvals, 100.0), (++expectedEvals, 101.0),
+                       (++tolEvals, 0.05));
+  EXPECT_EQ(actualEvals, 1);
+  EXPECT_EQ(expectedEvals, 1);
+  EXPECT_EQ(tolEvals, 1);
+}
+
+int gFailurePathEvals = 0;
+
+TEST(ToleranceAssertions, ArgumentsEvaluatedOnceEvenOnFailure) {
+  gFailurePathEvals = 0;
+  EXPECT_NONFATAL_FAILURE(
+      PROX_EXPECT_ABS_NEAR((++gFailurePathEvals, 1.0), 2.0, 0.1), "exceeds");
+  EXPECT_EQ(gFailurePathEvals, 1);
+}
+
+// -- comparison semantics ----------------------------------------------------
+
+TEST(ToleranceAssertions, AbsNearPassesInsideAndAtTolerance) {
+  PROX_EXPECT_ABS_NEAR(1.0, 1.0, 0.0);   // exact equality, zero tolerance
+  PROX_EXPECT_ABS_NEAR(1.0, 1.1, 0.1001);
+  PROX_EXPECT_ABS_NEAR(-3.0, -3.05, 0.06);
+}
+
+TEST(ToleranceAssertions, AbsNearFailsOutsideTolerance) {
+  EXPECT_NONFATAL_FAILURE(PROX_EXPECT_ABS_NEAR(1.0, 2.0, 0.5), "exceeds");
+}
+
+TEST(ToleranceAssertions, RelNearScalesByExpected) {
+  PROX_EXPECT_REL_NEAR(1.0e9, 1.02e9, 0.05);   // 2% off, 5% budget
+  EXPECT_NONFATAL_FAILURE(PROX_EXPECT_REL_NEAR(1.0e9, 1.2e9, 0.05),
+                          "exceeds");
+  // Tiny absolute differences pass when the expected value is large...
+  PROX_EXPECT_REL_NEAR(1.0e9 + 1.0, 1.0e9, 1e-6);
+  // ...but the same absolute difference fails against a small expected value.
+  EXPECT_NONFATAL_FAILURE(PROX_EXPECT_REL_NEAR(1.0 + 1.0, 1.0, 1e-6),
+                          "exceeds");
+}
+
+TEST(ToleranceAssertions, RelNearZeroExpectedActsLikeAbsolute) {
+  // The 1e-300 scale guard: expected == 0 does not demand bit equality but
+  // still rejects any humanly-visible difference.
+  PROX_EXPECT_REL_NEAR(0.0, 0.0, 1e-12);
+  EXPECT_NONFATAL_FAILURE(PROX_EXPECT_REL_NEAR(1e-15, 0.0, 1e-12), "exceeds");
+}
+
+TEST(ToleranceAssertions, NonFiniteValuesAlwaysFail) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_NONFATAL_FAILURE(PROX_EXPECT_ABS_NEAR(nan, 1.0, 1e9), "exceeds");
+  EXPECT_NONFATAL_FAILURE(PROX_EXPECT_ABS_NEAR(1.0, nan, 1e9), "exceeds");
+  EXPECT_NONFATAL_FAILURE(PROX_EXPECT_ABS_NEAR(inf, 1.0, 1e9), "exceeds");
+  EXPECT_NONFATAL_FAILURE(PROX_EXPECT_REL_NEAR(inf, inf, 1e9), "exceeds");
+  EXPECT_NONFATAL_FAILURE(PROX_EXPECT_REL_NEAR(nan, nan, 1e9), "exceeds");
+}
+
+TEST(ToleranceAssertions, AssertVariantIsFatal) {
+  EXPECT_FATAL_FAILURE(PROX_ASSERT_ABS_NEAR(1.0, 2.0, 0.1), "exceeds");
+  EXPECT_FATAL_FAILURE(PROX_ASSERT_REL_NEAR(1.0, 2.0, 0.1), "exceeds");
+}
+
+TEST(ToleranceAssertions, FailureMessageNamesTheExpressions) {
+  const double measured = 3.0;
+  EXPECT_NONFATAL_FAILURE(PROX_EXPECT_ABS_NEAR(measured, 4.0, 0.1),
+                          "measured");
+}
+
+// -- envThreads --------------------------------------------------------------
+
+TEST(EnvThreads, ParsesPositiveAndRejectsJunk) {
+  // Serialize around the environment mutation; gtest runs tests in one
+  // thread per binary so this is belt-and-braces documentation.
+  const char* saved = std::getenv("PROX_THREADS");
+
+  ::setenv("PROX_THREADS", "8", 1);
+  EXPECT_EQ(testutil::envThreads(1), 8);
+  ::setenv("PROX_THREADS", "0", 1);
+  EXPECT_EQ(testutil::envThreads(3), 3);
+  ::setenv("PROX_THREADS", "-4", 1);
+  EXPECT_EQ(testutil::envThreads(3), 3);
+  ::setenv("PROX_THREADS", "junk", 1);
+  EXPECT_EQ(testutil::envThreads(2), 2);
+  ::unsetenv("PROX_THREADS");
+  EXPECT_EQ(testutil::envThreads(5), 5);
+
+  if (saved != nullptr) {
+    ::setenv("PROX_THREADS", saved, 1);
+  } else {
+    ::unsetenv("PROX_THREADS");
+  }
+}
+
+}  // namespace
