@@ -11,16 +11,21 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "baseline/collapse.hpp"
 #include "bench_util.hpp"
+#include "cells/fixture.hpp"
 #include "obs/registry.hpp"
 #include "obs/report.hpp"
 #include "par/pool.hpp"
+#include "spice/newton.hpp"
+#include "spice/op.hpp"
 #include "sta/timing_graph.hpp"
 
 using namespace prox;
@@ -180,6 +185,85 @@ BENCHMARK(BM_StaLevelizedRun)
     ->Unit(benchmark::kMicrosecond)
     ->UseRealTime();
 
+// -- solver micro-benchmarks -------------------------------------------------
+// The layers of one Newton iteration on the NAND3 cell fixture (the same
+// circuit BM_FullTransientSimulation integrates), isolated: stamp assembly,
+// full LU factorization, numeric-only refactorization, and a complete Newton
+// solve through the reusable workspace.  BM_NewtonSolve is the CI perf-smoke
+// regression gate (bench/check_perf_regression.py).
+
+struct SolverFixture {
+  cells::CellFixture fix{benchutil::nand3Spec()};
+  spice::NewtonWorkspace ws;
+  linalg::Vector x;
+
+  SolverFixture() {
+    fix.setAllNonControlling();
+    spice::Circuit& ckt = fix.circuit();
+    ckt.finalize();
+    ws.bind(ckt);
+    const auto sol = spice::operatingPoint(ckt, {}, nullptr, ws);
+    x = sol ? *sol
+            : linalg::Vector(static_cast<std::size_t>(ckt.unknownCount()), 0.0);
+  }
+
+  /// Stamps the DC system at iterate @p xi into the workspace matrix/RHS.
+  void stamp(const linalg::Vector& xi) {
+    spice::Circuit& ckt = fix.circuit();
+    ws.g.setZero();
+    std::fill(ws.rhs.begin(), ws.rhs.end(), 0.0);
+    const spice::StampArgs args{ws.g, ws.rhs, xi, 0.0, 0.0, false, true, 1.0};
+    for (const auto& dev : ckt.devices()) dev->stamp(args);
+    for (const std::size_t slot : ws.diagSlots) ws.g.at(slot) += 1e-12;
+  }
+};
+
+SolverFixture& solverFixture() {
+  static SolverFixture f;
+  return f;
+}
+
+void BM_StampAssembly(benchmark::State& state) {
+  SolverFixture& f = solverFixture();
+  for (auto _ : state) {
+    f.stamp(f.x);
+    benchmark::DoNotOptimize(f.ws.g.data());
+  }
+}
+BENCHMARK(BM_StampAssembly);
+
+void BM_LuFactor(benchmark::State& state) {
+  SolverFixture& f = solverFixture();
+  f.stamp(f.x);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.ws.lu.factor(f.ws.g));
+  }
+}
+BENCHMARK(BM_LuFactor);
+
+void BM_LuRefactor(benchmark::State& state) {
+  SolverFixture& f = solverFixture();
+  f.stamp(f.x);
+  f.ws.lu.factor(f.ws.g);  // freeze pivot order + structure
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.ws.lu.refactor(f.ws.g));
+  }
+}
+BENCHMARK(BM_LuRefactor);
+
+void BM_NewtonSolve(benchmark::State& state) {
+  SolverFixture& f = solverFixture();
+  spice::StampContext sc;
+  linalg::Vector xWork;
+  for (auto _ : state) {
+    xWork.assign(f.x.begin(), f.x.end());
+    f.ws.invalidateFactor();  // measure real refactor + solve work
+    const auto st = spice::solveNewton(f.fix.circuit(), xWork, sc, {}, f.ws);
+    benchmark::DoNotOptimize(st.converged);
+  }
+}
+BENCHMARK(BM_NewtonSolve);
+
 void BM_DualTableInterpolation(benchmark::State& state) {
   const auto& cg = benchutil::nand3Model();
   model::DualQuery q;
@@ -199,6 +283,18 @@ BENCHMARK(BM_DualTableInterpolation);
 }  // namespace
 
 int main(int argc, char** argv) {
+#ifdef NDEBUG
+  const bool optimizedBuild = true;
+#else
+  const bool optimizedBuild = false;
+#endif
+  if (!optimizedBuild) {
+    std::fprintf(stderr,
+                 "*** WARNING: bench_perf was built WITHOUT optimization "
+                 "(no NDEBUG -- configure with CMAKE_BUILD_TYPE=Release); "
+                 "timings below are NOT comparable to release numbers ***\n");
+  }
+
   std::string outDir;
   if (const char* dir = std::getenv("PROX_BENCH_OUT_DIR")) {
     outDir = std::string(dir) + "/";
@@ -249,8 +345,11 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 
-  if (!callerProvidedOut) {
-    prox::obs::writeJsonFile(outDir + "BENCH_perf_stats.json");
-  }
+  // Always write the registry dump, even with a caller-chosen benchmark_out:
+  // the build_type tag is what lets downstream tooling reject debug timings.
+  obs::Report report = obs::snapshot();
+  report.buildType = optimizedBuild ? "release" : "debug";
+  std::ofstream os(outDir + "BENCH_perf_stats.json");
+  if (os) obs::writeJson(report, os);
   return 0;
 }

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Compare a google-benchmark JSON run against a checked-in baseline.
+
+Usage:
+    check_perf_regression.py BASELINE.json CURRENT.json \
+        [--benchmark BM_NewtonSolve] [--threshold 1.25]
+
+Both files are google-benchmark ``--benchmark_out_format=json`` outputs.  For
+each watched benchmark the *median* (falling back to the plain entry when the
+run had no repetitions) CPU time is compared; the check fails when
+
+    current > baseline * threshold
+
+i.e. the default threshold of 1.25 allows up to a 25% slowdown before CI goes
+red.  Medians are used because single-repetition means on shared CI runners
+are too noisy to gate on.
+
+Exit status: 0 on pass, 1 on regression, 2 on malformed/missing input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_times(path: str) -> dict[str, float]:
+    """Maps benchmark base name -> cpu_time in ns (median preferred)."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        sys.exit(2)
+
+    plain: dict[str, float] = {}
+    median: dict[str, float] = {}
+    for bench in doc.get("benchmarks", []):
+        name = bench.get("name", "")
+        cpu = bench.get("cpu_time")
+        if cpu is None:
+            continue
+        if bench.get("aggregate_name") == "median" or name.endswith("_median"):
+            median[name.removesuffix("_median")] = float(cpu)
+        elif "aggregate_name" not in bench:
+            plain[name] = float(cpu)
+    # Median wins when present; plain single-run entries fill the gaps.
+    return {**plain, **median}
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument(
+        "--benchmark",
+        action="append",
+        default=None,
+        help="benchmark to gate on (repeatable; default: BM_NewtonSolve)",
+    )
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=1.25,
+        help="allowed current/baseline ratio before failing (default 1.25)",
+    )
+    args = ap.parse_args()
+    watched = args.benchmark or ["BM_NewtonSolve"]
+
+    base = load_times(args.baseline)
+    cur = load_times(args.current)
+
+    failed = False
+    for name in watched:
+        if name not in base:
+            print(f"error: {name} missing from baseline", file=sys.stderr)
+            return 2
+        if name not in cur:
+            print(f"error: {name} missing from current run", file=sys.stderr)
+            return 2
+        ratio = cur[name] / base[name] if base[name] > 0 else float("inf")
+        verdict = "OK" if ratio <= args.threshold else "REGRESSION"
+        print(
+            f"{name}: baseline {base[name]:.1f} ns, current {cur[name]:.1f} ns, "
+            f"ratio {ratio:.3f} (limit {args.threshold:.2f}) -> {verdict}"
+        )
+        if ratio > args.threshold:
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "obs/registry.hpp"
+#include "support/diagnostic.hpp"
 #include "support/fault_injection.hpp"
 
 namespace prox::linalg {
@@ -96,7 +97,10 @@ double LuFactorization::determinant() const {
 Vector solve(const Matrix& a, const Vector& b) {
   LuFactorization lu;
   if (!lu.factor(a)) {
-    throw std::runtime_error("linalg::solve: singular matrix");
+    throw support::DiagnosticError(
+        support::makeDiagnostic(support::StatusCode::SingularMatrix,
+                                "linalg::solve: singular matrix")
+            .withSite("linalg.solve"));
   }
   return lu.solve(b);
 }

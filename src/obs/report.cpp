@@ -93,6 +93,11 @@ void writeDouble(double v, std::ostream& os) {
 
 void writeJson(const Report& report, std::ostream& os) {
   os << "{\n  \"enabled\": " << (report.enabled ? "true" : "false") << ",\n";
+  if (!report.buildType.empty()) {
+    os << "  \"build_type\": \"";
+    jsonEscape(report.buildType, os);
+    os << "\",\n";
+  }
   os << "  \"counters\": {";
   for (std::size_t i = 0; i < report.counters.size(); ++i) {
     os << (i == 0 ? "\n" : ",\n") << "    \"";
@@ -159,6 +164,8 @@ class Parser {
       expect(':');
       if (key == "enabled") {
         r.enabled = parseBool();
+      } else if (key == "build_type") {
+        r.buildType = parseString();
       } else if (key == "counters") {
         parseCounters(r);
       } else if (key == "timers") {

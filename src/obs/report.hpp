@@ -4,6 +4,7 @@
 // The JSON schema (stable; consumed by BENCH_*.json tooling):
 //   {
 //     "enabled": true,
+//     "build_type": "release",          // optional; omitted when unset
 //     "counters": { "<name>": <uint64>, ... },
 //     "timers": {
 //       "<name>": { "count": <uint64>, "total_s": <double>,
@@ -37,6 +38,10 @@ struct TimerSample {
 /// Point-in-time copy of every instrument, sorted by name.
 struct Report {
   bool enabled = true;
+  /// Optional build-flavor tag ("release"/"debug") set by bench binaries so
+  /// stats files self-describe whether their timings are comparable.  Empty
+  /// means the field is omitted from the JSON.
+  std::string buildType;
   std::vector<CounterSample> counters;
   std::vector<TimerSample> timers;
 

@@ -17,6 +17,14 @@ double Capacitor::voltageAcross(const linalg::Vector& x) const {
   return v1 - v2;
 }
 
+void Capacitor::declareStamp(linalg::SparsityPattern& p) const {
+  detail::declareConductance(p, n1_, n2_);
+}
+
+void Capacitor::bindStamp(const linalg::SparsityPattern& p) {
+  slots_ = detail::bindConductance(p, n1_, n2_);
+}
+
 void Capacitor::stamp(const StampArgs& a) {
   if (!a.transient || a.dt <= 0.0 || farads_ == 0.0) {
     return;  // open circuit in DC; zero-valued caps never conduct
@@ -28,7 +36,7 @@ void Capacitor::stamp(const StampArgs& a) {
   lastTrap_ = a.trapezoidal;
   const double geq = (a.trapezoidal ? 2.0 : 1.0) * farads_ / a.dt;
   const double ieq = geq * vPrev_ + (a.trapezoidal ? iPrev_ : 0.0);
-  detail::stampConductance(a.g, n1_, n2_, geq);
+  detail::stampConductance(a.g, slots_, geq);
   detail::stampCurrent(a.rhs, n1_, ieq);
   detail::stampCurrent(a.rhs, n2_, -ieq);
 }

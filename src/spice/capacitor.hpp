@@ -3,6 +3,7 @@
 // models for transient analysis.  Open circuit in DC analyses.
 
 #include "spice/circuit.hpp"
+#include "spice/stamp_util.hpp"
 
 namespace prox::spice {
 
@@ -12,6 +13,8 @@ class Capacitor : public Device {
   Capacitor(std::string name, NodeId n1, NodeId n2, double farads);
 
   void stamp(const StampArgs& a) override;
+  void declareStamp(linalg::SparsityPattern& p) const override;
+  void bindStamp(const linalg::SparsityPattern& p) override;
   void startTransient(const linalg::Vector& x) override;
   void acceptStep(const linalg::Vector& x, double time, double dt) override;
 
@@ -26,6 +29,7 @@ class Capacitor : public Device {
   NodeId n1_;
   NodeId n2_;
   double farads_;
+  detail::ConductanceSlots slots_;
   double vPrev_ = 0.0;  ///< voltage at the last accepted timepoint
   double iPrev_ = 0.0;  ///< current at the last accepted timepoint (n1 -> n2)
   bool lastTrap_ = true;  ///< integration method used by the latest stamp()

@@ -33,6 +33,19 @@ void Circuit::finalize() {
     }
   }
   unknownCount_ = aux;
+
+  // Freeze the MNA sparsity pattern: the solver's gmin shunt needs every
+  // voltage diagonal (which also keeps otherwise-floating rows structurally
+  // nonsingular), and each device declares the positions it may write.
+  pattern_.reset(static_cast<std::size_t>(unknownCount_));
+  for (int i = 0; i < voltageUnknownCount(); ++i) {
+    const auto d = static_cast<std::size_t>(i);
+    pattern_.addEntry(d, d);
+  }
+  for (const auto& dev : devices_) dev->declareStamp(pattern_);
+  pattern_.finalize();
+  for (const auto& dev : devices_) dev->bindStamp(pattern_);
+
   dirty_ = false;
 }
 

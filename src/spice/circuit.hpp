@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "linalg/matrix.hpp"
+#include "linalg/sparse.hpp"
 
 namespace prox::spice {
 
@@ -30,9 +31,11 @@ inline constexpr NodeId kGround = 0;
 class Circuit;
 
 /// Everything a device needs to stamp its linearized model into the MNA
-/// system for one Newton iteration.
+/// system for one Newton iteration.  The matrix is sparse with a pattern
+/// fixed by Circuit::finalize(); devices write through slot indices cached
+/// during their bindStamp() pass, so stamping is allocation- and search-free.
 struct StampArgs {
-  linalg::Matrix& g;        ///< conductance matrix (nUnknowns x nUnknowns)
+  linalg::SparseMatrix& g;  ///< conductance matrix (nUnknowns x nUnknowns)
   linalg::Vector& rhs;      ///< right-hand side (equivalent current sources)
   const linalg::Vector& x;  ///< current Newton iterate
   double time = 0.0;        ///< simulation time (0 for DC analyses)
@@ -58,6 +61,17 @@ class Device {
 
   /// Stamps the device's linearized companion model.
   virtual void stamp(const StampArgs& a) = 0;
+
+  /// Declares every matrix position this device may ever write, so the
+  /// circuit can freeze the MNA sparsity pattern once per topology.  Called
+  /// by Circuit::finalize() after auxiliary indices are assigned.  Devices
+  /// that only write the RHS (current sources) keep the empty default.
+  virtual void declareStamp(linalg::SparsityPattern& /*p*/) const {}
+
+  /// Caches slot indices into the finalized pattern, so stamp() writes
+  /// through direct indices instead of per-call position lookups.  Called by
+  /// Circuit::finalize() right after the pattern is frozen.
+  virtual void bindStamp(const linalg::SparsityPattern& /*p*/) {}
 
   /// Number of auxiliary MNA unknowns (branch currents) this device needs.
   virtual int auxVarCount() const { return 0; }
@@ -114,9 +128,15 @@ class Circuit {
   /// Index of node @p n's voltage in the unknown vector, or -1 for ground.
   int unknownIndex(NodeId n) const { return n - 1; }
 
-  /// Finalizes the unknown layout: assigns auxiliary indices to devices.
-  /// Called automatically by analyses; idempotent until devices change.
+  /// Finalizes the unknown layout: assigns auxiliary indices to devices,
+  /// freezes the MNA sparsity pattern from the devices' declareStamp()
+  /// pass, and lets every device cache its stamp slots.  Called
+  /// automatically by analyses; idempotent until devices change.
   void finalize();
+
+  /// The frozen MNA sparsity pattern.  Valid after finalize(); its
+  /// generation() changes whenever devices are added and finalize() reruns.
+  const linalg::SparsityPattern& pattern() const { return pattern_; }
 
   /// Number of MNA unknowns (node voltages + branch currents).  Valid after
   /// finalize().
@@ -135,6 +155,7 @@ class Circuit {
   std::vector<std::string> nodeNames_;
   std::unordered_map<std::string, NodeId> nodesByName_;
   std::vector<std::unique_ptr<Device>> devices_;
+  linalg::SparsityPattern pattern_;
   int unknownCount_ = 0;
   bool dirty_ = true;
 };

@@ -27,19 +27,25 @@ DcSweepResult dcSweep(Circuit& ckt, VoltageSource& src, double from, double to,
   linalg::Vector x(static_cast<std::size_t>(ckt.unknownCount()), 0.0);
   bool haveSeed = false;
 
+  // One solver workspace shared by every sweep point (and their
+  // operating-point fallbacks).
+  NewtonWorkspace ws;
+  ws.bind(ckt);
+  linalg::Vector trial;
+
   for (int i = 0; i < points; ++i) {
     const double v = from + dir * step * i;
     src.setDc(v);
     bool solved = false;
     if (haveSeed) {
-      linalg::Vector trial = x;
-      if (solveNewton(ckt, trial, sc, opt.newton).converged) {
+      trial.assign(x.begin(), x.end());
+      if (solveNewton(ckt, trial, sc, opt.newton, ws).converged) {
         x = trial;
         solved = true;
       }
     }
     if (!solved) {
-      auto sol = operatingPoint(ckt, opt, haveSeed ? &x : nullptr);
+      auto sol = operatingPoint(ckt, opt, haveSeed ? &x : nullptr, ws);
       if (!sol) {
         throw std::runtime_error("dcSweep: unsolvable point at " +
                                  std::to_string(v) + " V");

@@ -124,6 +124,22 @@ MosfetOperatingPoint Mosfet::evaluate(double vd, double vg, double vs, double vb
   return evalMosfet(p, mg - vsEff, vdEff - vsEff, mb - vsEff);
 }
 
+void Mosfet::declareStamp(linalg::SparsityPattern& p) const {
+  const NodeId rows[2] = {d_, s_};
+  const NodeId cols[4] = {d_, g_, s_, b_};
+  for (NodeId r : rows) {
+    for (NodeId c : cols) detail::declareEntry(p, r, c);
+  }
+}
+
+void Mosfet::bindStamp(const linalg::SparsityPattern& p) {
+  const NodeId rows[2] = {d_, s_};
+  const NodeId cols[4] = {d_, g_, s_, b_};
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 4; ++c) slots_[r][c] = detail::bindEntry(p, rows[r], cols[c]);
+  }
+}
+
 void Mosfet::stamp(const StampArgs& a) {
   const auto volt = [&](NodeId n) -> double {
     return n == kGround ? 0.0 : a.x[static_cast<std::size_t>(n - 1)];
@@ -154,15 +170,24 @@ void Mosfet::stamp(const StampArgs& a) {
   const double c = idActual - (gds * vde + gm * vg + gmb * vb -
                                (gds + gm + gmb) * vse);
 
-  detail::stampEntry(a.g, de, de, gds);
-  detail::stampEntry(a.g, de, g_, gm);
-  detail::stampEntry(a.g, de, b_, gmb);
-  detail::stampEntry(a.g, de, se, -(gds + gm + gmb));
+  // Slot rows/cols are laid out as {d_, s_} x {d_, g_, s_, b_}; pick the
+  // orientation matching the effective drain/source.
+  const int rDe = swapped ? 1 : 0;
+  const int rSe = swapped ? 0 : 1;
+  const int cDe = swapped ? 2 : 0;
+  const int cSe = swapped ? 0 : 2;
+  constexpr int cG = 1;
+  constexpr int cB = 3;
 
-  detail::stampEntry(a.g, se, de, -gds);
-  detail::stampEntry(a.g, se, g_, -gm);
-  detail::stampEntry(a.g, se, b_, -gmb);
-  detail::stampEntry(a.g, se, se, gds + gm + gmb);
+  detail::addAt(a.g, slots_[rDe][cDe], gds);
+  detail::addAt(a.g, slots_[rDe][cG], gm);
+  detail::addAt(a.g, slots_[rDe][cB], gmb);
+  detail::addAt(a.g, slots_[rDe][cSe], -(gds + gm + gmb));
+
+  detail::addAt(a.g, slots_[rSe][cDe], -gds);
+  detail::addAt(a.g, slots_[rSe][cG], -gm);
+  detail::addAt(a.g, slots_[rSe][cB], -gmb);
+  detail::addAt(a.g, slots_[rSe][cSe], gds + gm + gmb);
 
   // Constant part moves to the RHS: G x = rhs with rhs holding injections.
   detail::stampCurrent(a.rhs, de, -c);

@@ -14,6 +14,7 @@
 // current back.
 
 #include "spice/circuit.hpp"
+#include "spice/stamp_util.hpp"
 
 namespace prox::spice {
 
@@ -75,6 +76,8 @@ class Mosfet : public Device {
          MosfetParams params);
 
   void stamp(const StampArgs& a) override;
+  void declareStamp(linalg::SparsityPattern& p) const override;
+  void bindStamp(const linalg::SparsityPattern& p) override;
 
   const MosfetParams& params() const { return params_; }
 
@@ -93,6 +96,13 @@ class Mosfet : public Device {
   NodeId s_;
   NodeId b_;
   MosfetParams params_;
+  // Cached slots for rows {d_, s_} x cols {d_, g_, s_, b_}.  The set is
+  // closed under the internal drain/source exchange, so both orientations
+  // stamp through the same eight positions.
+  std::size_t slots_[2][4] = {{detail::kNoSlot, detail::kNoSlot,
+                               detail::kNoSlot, detail::kNoSlot},
+                              {detail::kNoSlot, detail::kNoSlot,
+                               detail::kNoSlot, detail::kNoSlot}};
 };
 
 }  // namespace prox::spice

@@ -8,8 +8,14 @@
 //     plain solve it escalates through damping tightening and a gmin ramp
 //     before reporting failure.  Each rung attempt and recovery is counted
 //     in the observability registry (spice.newton.recovery.*).
+//
+// Both take a NewtonWorkspace: the reusable sparse system (matrix, RHS,
+// iterate buffers, LU factorization) bound once per circuit and carried
+// across every iteration and timestep of an analysis, so the hot loop is
+// allocation-free.  The convenience overloads without a workspace create a
+// transient one (cold paths and tests only).
 
-#include "linalg/lu.hpp"
+#include "linalg/sparse.hpp"
 #include "spice/circuit.hpp"
 #include "support/diagnostic.hpp"
 
@@ -22,6 +28,13 @@ struct NewtonOptions {
   double relTol = 1e-3;    ///< relative tolerance on all unknowns
   double maxVoltageStep = 0.5;  ///< per-iteration damping limit on voltages [V]
   double gmin = 1e-12;     ///< shunt conductance to ground on every node [S]
+  /// Same-Jacobian fast path: when the entry iterate of a solve is within
+  /// this distance (max over node voltages, [V]) of the iterate the current
+  /// numeric factorization was computed at -- and the stamp context is
+  /// unchanged -- the first iteration reuses that factorization instead of
+  /// refactoring.  Iteration 2 onward always refactors, so a stalled reuse
+  /// step self-corrects.  Set to 0 to disable.
+  double jacobianReuseTol = 1e-4;
 };
 
 /// Time/integration context for device stamping, shared across iterations.
@@ -76,8 +89,61 @@ struct RecoveryOutcome {
   RecoveryRung rung = RecoveryRung::Plain;
 };
 
+/// Reusable solve state for one circuit, owned by the analysis driver
+/// (operating point, DC sweep, transient stepper) and threaded through every
+/// solveNewton call.  bind() performs all allocation up front -- matrix
+/// values, RHS/iterate buffers, the symbolic LU analysis, cached diagonal
+/// slots for the gmin shunt -- so the Newton loop itself never allocates.
+/// Allocation events are counted under spice.solve.allocs.
+///
+/// The workspace also carries the numeric factorization across solves for
+/// the same-Jacobian fast path (NewtonOptions::jacobianReuseTol), together
+/// with the iterate and stamp context it was computed at.
+///
+/// Not thread-safe; use one workspace per thread/circuit.
+class NewtonWorkspace {
+ public:
+  /// Binds to @p ckt's finalized pattern.  No-op (beyond dropping the cached
+  /// factorization) when already bound to the current pattern generation.
+  void bind(const Circuit& ckt);
+
+  /// True when bound to @p ckt's current pattern generation.
+  bool boundTo(const Circuit& ckt) const;
+
+  /// Drops the cached numeric factorization; the next solve refactors.
+  void invalidateFactor() { factorValid_ = false; }
+
+  // Solver-owned buffers, public for the solveNewton implementation.
+  linalg::SparseMatrix g;
+  linalg::Vector rhs;
+  linalg::Vector xNew;
+  linalg::Vector xEntry;  ///< recovery-ladder entry-iterate snapshot
+  linalg::SparseLu lu;
+  std::vector<std::size_t> diagSlots;  ///< slot of (i, i) per voltage unknown
+
+  // Jacobian-reuse bookkeeping: the iterate and stamp context the current
+  // numeric factorization was computed at.
+  linalg::Vector xFactor;
+  bool factorValid_ = false;
+  double dtFactor_ = 0.0;
+  double gminFactor_ = 0.0;
+  bool transientFactor_ = false;
+  bool trapezoidalFactor_ = false;
+
+ private:
+  const linalg::SparsityPattern* boundPattern_ = nullptr;
+  std::uint64_t boundGeneration_ = 0;
+};
+
 /// Runs Newton-Raphson starting from @p x (updated in place with the best
-/// iterate).  The circuit must be finalized.
+/// iterate).  The circuit must be finalized.  @p ws is bound on demand and
+/// keeps its numeric factorization across calls.
+NewtonStatus solveNewton(const Circuit& ckt, linalg::Vector& x,
+                         const StampContext& sc, const NewtonOptions& opt,
+                         NewtonWorkspace& ws);
+
+/// Convenience overload with a solve-local workspace (allocates; cold paths
+/// and tests only).
 NewtonStatus solveNewton(const Circuit& ckt, linalg::Vector& x,
                          const StampContext& sc, const NewtonOptions& opt);
 
@@ -85,6 +151,13 @@ NewtonStatus solveNewton(const Circuit& ckt, linalg::Vector& x,
 /// retried from the entry iterate with tightened damping, then with a gmin
 /// continuation ramp.  On total failure @p x is restored to the entry
 /// iterate and the last rung's status is returned.
+RecoveryOutcome solveNewtonRecover(const Circuit& ckt, linalg::Vector& x,
+                                   const StampContext& sc,
+                                   const NewtonOptions& opt,
+                                   const RecoveryOptions& recovery,
+                                   NewtonWorkspace& ws);
+
+/// Convenience overload with a solve-local workspace.
 RecoveryOutcome solveNewtonRecover(const Circuit& ckt, linalg::Vector& x,
                                    const StampContext& sc,
                                    const NewtonOptions& opt,

@@ -3,7 +3,8 @@
 namespace prox::spice {
 
 std::optional<linalg::Vector> operatingPoint(Circuit& ckt, const OpOptions& opt,
-                                             const linalg::Vector* initialGuess) {
+                                             const linalg::Vector* initialGuess,
+                                             NewtonWorkspace& ws) {
   ckt.finalize();
   const std::size_t n = static_cast<std::size_t>(ckt.unknownCount());
 
@@ -15,7 +16,7 @@ std::optional<linalg::Vector> operatingPoint(Circuit& ckt, const OpOptions& opt,
   {
     linalg::Vector x = initialGuess != nullptr ? *initialGuess
                                                : linalg::Vector(n, 0.0);
-    if (solveNewton(ckt, x, sc, opt.newton).converged) return x;
+    if (solveNewton(ckt, x, sc, opt.newton, ws).converged) return x;
   }
 
   // 2. Gmin stepping: solve with a heavy shunt everywhere, then relax it.
@@ -25,14 +26,14 @@ std::optional<linalg::Vector> operatingPoint(Circuit& ckt, const OpOptions& opt,
     bool ok = true;
     for (double gmin = 1e-3; gmin >= opt.newton.gmin * 0.99; gmin *= 0.1) {
       nopt.gmin = gmin;
-      if (!solveNewton(ckt, x, sc, nopt).converged) {
+      if (!solveNewton(ckt, x, sc, nopt, ws).converged) {
         ok = false;
         break;
       }
     }
     if (ok) {
       nopt.gmin = opt.newton.gmin;
-      if (solveNewton(ckt, x, sc, nopt).converged) return x;
+      if (solveNewton(ckt, x, sc, nopt, ws).converged) return x;
     }
   }
 
@@ -42,7 +43,7 @@ std::optional<linalg::Vector> operatingPoint(Circuit& ckt, const OpOptions& opt,
     bool ok = true;
     for (int k = 0; k <= 20; ++k) {
       sc.srcScale = static_cast<double>(k) / 20.0;
-      if (!solveNewton(ckt, x, sc, opt.newton).converged) {
+      if (!solveNewton(ckt, x, sc, opt.newton, ws).converged) {
         ok = false;
         break;
       }
@@ -51,6 +52,12 @@ std::optional<linalg::Vector> operatingPoint(Circuit& ckt, const OpOptions& opt,
   }
 
   return std::nullopt;
+}
+
+std::optional<linalg::Vector> operatingPoint(Circuit& ckt, const OpOptions& opt,
+                                             const linalg::Vector* initialGuess) {
+  NewtonWorkspace ws;
+  return operatingPoint(ckt, opt, initialGuess, ws);
 }
 
 }  // namespace prox::spice

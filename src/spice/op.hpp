@@ -22,4 +22,12 @@ std::optional<linalg::Vector> operatingPoint(
     Circuit& ckt, const OpOptions& opt = {},
     const linalg::Vector* initialGuess = nullptr);
 
+/// Workspace-threading overload: every Newton attempt solves through @p ws,
+/// so a driver (transient, DC sweep) shares one set of solver buffers with
+/// its operating-point seeds.
+std::optional<linalg::Vector> operatingPoint(Circuit& ckt,
+                                             const OpOptions& opt,
+                                             const linalg::Vector* initialGuess,
+                                             NewtonWorkspace& ws);
+
 }  // namespace prox::spice

@@ -16,8 +16,16 @@ void Resistor::setResistance(double ohms) {
   ohms_ = ohms;
 }
 
+void Resistor::declareStamp(linalg::SparsityPattern& p) const {
+  detail::declareConductance(p, n1_, n2_);
+}
+
+void Resistor::bindStamp(const linalg::SparsityPattern& p) {
+  slots_ = detail::bindConductance(p, n1_, n2_);
+}
+
 void Resistor::stamp(const StampArgs& a) {
-  detail::stampConductance(a.g, n1_, n2_, 1.0 / ohms_);
+  detail::stampConductance(a.g, slots_, 1.0 / ohms_);
 }
 
 double Resistor::current(const Circuit& ckt, const linalg::Vector& x) const {

@@ -2,6 +2,7 @@
 // Linear two-terminal resistor.
 
 #include "spice/circuit.hpp"
+#include "spice/stamp_util.hpp"
 
 namespace prox::spice {
 
@@ -11,6 +12,8 @@ class Resistor : public Device {
   Resistor(std::string name, NodeId n1, NodeId n2, double ohms);
 
   void stamp(const StampArgs& a) override;
+  void declareStamp(linalg::SparsityPattern& p) const override;
+  void bindStamp(const linalg::SparsityPattern& p) override;
 
   double resistance() const { return ohms_; }
   void setResistance(double ohms);
@@ -22,6 +25,7 @@ class Resistor : public Device {
   NodeId n1_;
   NodeId n2_;
   double ohms_;
+  detail::ConductanceSlots slots_;
 };
 
 }  // namespace prox::spice

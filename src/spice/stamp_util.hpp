@@ -1,30 +1,110 @@
 #pragma once
-// Shared stamping helpers.  Node voltage unknowns live at index (node - 1);
-// ground contributes nothing, which these helpers encode once so every device
-// stays branch-free at its call sites.
+// Shared stamping helpers for the sparse MNA pipeline.  Node voltage
+// unknowns live at row (node - 1); ground contributes nothing.
+//
+// Each matrix position goes through three phases, mirroring the Device
+// hooks in circuit.hpp:
+//   declare*  -- declareStamp(): register the position in the pattern;
+//   bind*     -- bindStamp(): resolve the position to a cached slot;
+//   stamp*/addAt -- stamp(): write through the cached slot, branch-free
+//                   except for the ground guard folded into the slot value.
+// Ground-involving positions bind to kNoSlot and are skipped at stamp time,
+// so devices stay branch-light at their call sites.
 
-#include "linalg/matrix.hpp"
+#include "linalg/sparse.hpp"
 #include "spice/circuit.hpp"
 
 namespace prox::spice::detail {
 
-/// Adds a conductance @p g between nodes @p n1 and @p n2 (two-terminal stamp).
-inline void stampConductance(linalg::Matrix& m, NodeId n1, NodeId n2, double g) {
+inline constexpr std::size_t kNoSlot = linalg::SparsityPattern::npos;
+
+// -- declare phase ----------------------------------------------------------
+
+/// Declares the four positions of a two-terminal conductance stamp.
+inline void declareConductance(linalg::SparsityPattern& p, NodeId n1,
+                               NodeId n2) {
   const int i = n1 - 1;
   const int j = n2 - 1;
-  if (i >= 0) m(i, i) += g;
-  if (j >= 0) m(j, j) += g;
+  if (i >= 0) p.addEntry(static_cast<std::size_t>(i), static_cast<std::size_t>(i));
+  if (j >= 0) p.addEntry(static_cast<std::size_t>(j), static_cast<std::size_t>(j));
   if (i >= 0 && j >= 0) {
-    m(i, j) -= g;
-    m(j, i) -= g;
+    p.addEntry(static_cast<std::size_t>(i), static_cast<std::size_t>(j));
+    p.addEntry(static_cast<std::size_t>(j), static_cast<std::size_t>(i));
   }
 }
 
-/// Adds a single matrix entry d(KCL row of nRow)/d(voltage of nCol).
-inline void stampEntry(linalg::Matrix& m, NodeId nRow, NodeId nCol, double g) {
+/// Declares the single position d(KCL row of nRow)/d(voltage of nCol).
+inline void declareEntry(linalg::SparsityPattern& p, NodeId nRow, NodeId nCol) {
   const int i = nRow - 1;
   const int j = nCol - 1;
-  if (i >= 0 && j >= 0) m(i, j) += g;
+  if (i >= 0 && j >= 0) {
+    p.addEntry(static_cast<std::size_t>(i), static_cast<std::size_t>(j));
+  }
+}
+
+/// Declares a position on an auxiliary (branch-current) row or column, which
+/// addresses the unknown vector directly instead of via a node.
+inline void declareAuxEntry(linalg::SparsityPattern& p, int row, int col) {
+  if (row >= 0 && col >= 0) {
+    p.addEntry(static_cast<std::size_t>(row), static_cast<std::size_t>(col));
+  }
+}
+
+// -- bind phase -------------------------------------------------------------
+
+/// Cached slots of a two-terminal conductance stamp (kNoSlot where a
+/// terminal is ground).
+struct ConductanceSlots {
+  std::size_t ii = kNoSlot;
+  std::size_t jj = kNoSlot;
+  std::size_t ij = kNoSlot;
+  std::size_t ji = kNoSlot;
+};
+
+inline ConductanceSlots bindConductance(const linalg::SparsityPattern& p,
+                                        NodeId n1, NodeId n2) {
+  const int i = n1 - 1;
+  const int j = n2 - 1;
+  ConductanceSlots s;
+  if (i >= 0) s.ii = p.slot(static_cast<std::size_t>(i), static_cast<std::size_t>(i));
+  if (j >= 0) s.jj = p.slot(static_cast<std::size_t>(j), static_cast<std::size_t>(j));
+  if (i >= 0 && j >= 0) {
+    s.ij = p.slot(static_cast<std::size_t>(i), static_cast<std::size_t>(j));
+    s.ji = p.slot(static_cast<std::size_t>(j), static_cast<std::size_t>(i));
+  }
+  return s;
+}
+
+inline std::size_t bindEntry(const linalg::SparsityPattern& p, NodeId nRow,
+                             NodeId nCol) {
+  const int i = nRow - 1;
+  const int j = nCol - 1;
+  if (i < 0 || j < 0) return kNoSlot;
+  return p.slot(static_cast<std::size_t>(i), static_cast<std::size_t>(j));
+}
+
+inline std::size_t bindAuxEntry(const linalg::SparsityPattern& p, int row,
+                                int col) {
+  if (row < 0 || col < 0) return kNoSlot;
+  return p.slot(static_cast<std::size_t>(row), static_cast<std::size_t>(col));
+}
+
+// -- stamp phase ------------------------------------------------------------
+
+/// Adds @p v at a cached slot; kNoSlot (ground) is a no-op.
+inline void addAt(linalg::SparseMatrix& m, std::size_t slot, double v) {
+  if (slot != kNoSlot) m.at(slot) += v;
+}
+
+/// Adds a conductance @p g through a cached two-terminal stamp.
+inline void stampConductance(linalg::SparseMatrix& m,
+                             const ConductanceSlots& s, double g) {
+  if (s.ii != kNoSlot) m.at(s.ii) += g;
+  if (s.jj != kNoSlot) m.at(s.jj) += g;
+  if (s.ij != kNoSlot) {
+    m.at(s.ij) -= g;
+    m.at(s.ji) -= g;
+  }
 }
 
 /// Injects a current @p i flowing *into* node @p n (adds to the RHS).

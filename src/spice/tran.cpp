@@ -34,11 +34,17 @@ TranResult transient(Circuit& ckt, const TranOptions& opt) {
 
   const double hmax = opt.hmax > 0.0 ? opt.hmax : opt.tstop / 200.0;
 
+  // One solver workspace for the whole run: the sparse system, factorization
+  // and iterate buffers are allocated here once and reused by the initial
+  // operating point and every Newton solve of every timestep.
+  NewtonWorkspace ws;
+  ws.bind(ckt);
+
   // Initial condition: DC operating point with sources evaluated at t = 0.
   OpOptions opOpt;
   opOpt.newton = opt.newton;
   opOpt.time = 0.0;
-  auto x0 = operatingPoint(ckt, opOpt);
+  auto x0 = operatingPoint(ckt, opOpt, nullptr, ws);
   if (!x0) {
     PROX_OBS_COUNT("spice.tran.initial_op_failures", 1);
     throw support::DiagnosticError(
@@ -78,6 +84,10 @@ TranResult transient(Circuit& ckt, const TranOptions& opt) {
   StampContext sc;
   sc.transient = true;
 
+  // Predictor buffer reused across steps (swapped with x on accept, so both
+  // vectors keep their capacity for the whole run).
+  linalg::Vector xNew;
+
   while (t < opt.tstop - 1e-21) {
     // Clamp the proposed step to the horizon and the next breakpoint.
     double hTry = std::min({h, hmax, opt.tstop - t});
@@ -92,7 +102,7 @@ TranResult transient(Circuit& ckt, const TranOptions& opt) {
     sc.dt = hTry;
     sc.trapezoidal = opt.trapezoidal && !nextStepBE && !beOnly;
 
-    linalg::Vector xNew = x;  // previous solution as predictor
+    xNew.assign(x.begin(), x.end());  // previous solution as predictor
     NewtonStatus st;
     // Plain halving handles routine non-convergence; the per-step recovery
     // ladder (damping tightening, gmin ramp) only engages once the step has
@@ -102,13 +112,13 @@ TranResult transient(Circuit& ckt, const TranOptions& opt) {
     if (desperate) {
       PROX_OBS_COUNT("spice.tran.recovery.ladder_solves", 1);
       const RecoveryOutcome ro =
-          solveNewtonRecover(ckt, xNew, sc, opt.newton, opt.recovery);
+          solveNewtonRecover(ckt, xNew, sc, opt.newton, opt.recovery, ws);
       st = ro.status;
       if (st.converged && ro.rung != RecoveryRung::Plain) {
         PROX_OBS_COUNT("spice.tran.recovery.recovered_steps", 1);
       }
     } else {
-      st = solveNewton(ckt, xNew, sc, opt.newton);
+      st = solveNewton(ckt, xNew, sc, opt.newton, ws);
     }
 
     bool reject = !st.converged;
@@ -178,7 +188,7 @@ TranResult transient(Circuit& ckt, const TranOptions& opt) {
     lastRejectDv = -1.0;
     for (const auto& dev : ckt.devices()) dev->acceptStep(xNew, sc.time, hTry);
     t = sc.time;
-    x = std::move(xNew);
+    std::swap(x, xNew);
     times.push_back(t);
     solutions.push_back(x);
 

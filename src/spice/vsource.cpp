@@ -31,22 +31,32 @@ void VoltageSource::setWaveform(wave::Waveform wave) {
   wave_ = std::move(wave);
 }
 
+void VoltageSource::declareStamp(linalg::SparsityPattern& p) const {
+  assert(auxIndex_ >= 0 && "aux indices not assigned");
+  const int k = auxIndex_;
+  detail::declareAuxEntry(p, np_ - 1, k);
+  detail::declareAuxEntry(p, k, np_ - 1);
+  detail::declareAuxEntry(p, nn_ - 1, k);
+  detail::declareAuxEntry(p, k, nn_ - 1);
+}
+
+void VoltageSource::bindStamp(const linalg::SparsityPattern& p) {
+  const int k = auxIndex_;
+  slotPk_ = detail::bindAuxEntry(p, np_ - 1, k);
+  slotKp_ = detail::bindAuxEntry(p, k, np_ - 1);
+  slotNk_ = detail::bindAuxEntry(p, nn_ - 1, k);
+  slotKn_ = detail::bindAuxEntry(p, k, nn_ - 1);
+}
+
 void VoltageSource::stamp(const StampArgs& a) {
   assert(auxIndex_ >= 0 && "circuit not finalized");
-  const int k = auxIndex_;
   // KCL rows: branch current leaves np, enters nn.
-  const int ip = np_ - 1;
-  const int in = nn_ - 1;
-  if (ip >= 0) {
-    a.g(ip, static_cast<std::size_t>(k)) += 1.0;
-    a.g(static_cast<std::size_t>(k), ip) += 1.0;
-  }
-  if (in >= 0) {
-    a.g(in, static_cast<std::size_t>(k)) -= 1.0;
-    a.g(static_cast<std::size_t>(k), in) -= 1.0;
-  }
+  detail::addAt(a.g, slotPk_, 1.0);
+  detail::addAt(a.g, slotKp_, 1.0);
+  detail::addAt(a.g, slotNk_, -1.0);
+  detail::addAt(a.g, slotKn_, -1.0);
   // Branch equation: v(np) - v(nn) = V(t) (scaled during source stepping).
-  a.rhs[static_cast<std::size_t>(k)] += a.srcScale * valueAt(a.time);
+  a.rhs[static_cast<std::size_t>(auxIndex_)] += a.srcScale * valueAt(a.time);
 }
 
 void VoltageSource::collectBreakpoints(std::vector<double>& out) const {

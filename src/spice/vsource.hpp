@@ -3,6 +3,7 @@
 // Uses one auxiliary MNA unknown for its branch current, per standard MNA.
 
 #include "spice/circuit.hpp"
+#include "spice/stamp_util.hpp"
 #include "waveform/waveform.hpp"
 
 namespace prox::spice {
@@ -16,6 +17,8 @@ class VoltageSource : public Device {
   VoltageSource(std::string name, NodeId np, NodeId nn, wave::Waveform wave);
 
   void stamp(const StampArgs& a) override;
+  void declareStamp(linalg::SparsityPattern& p) const override;
+  void bindStamp(const linalg::SparsityPattern& p) override;
   int auxVarCount() const override { return 1; }
   void assignAuxIndices(int first) override { auxIndex_ = first; }
   void collectBreakpoints(std::vector<double>& out) const override;
@@ -40,6 +43,12 @@ class VoltageSource : public Device {
   double dc_ = 0.0;
   wave::Waveform wave_;
   int auxIndex_ = -1;
+  // Cached slots of the +-1 incidence entries: (np, aux), (aux, np),
+  // (nn, aux), (aux, nn); kNoSlot where the terminal is ground.
+  std::size_t slotPk_ = detail::kNoSlot;
+  std::size_t slotKp_ = detail::kNoSlot;
+  std::size_t slotNk_ = detail::kNoSlot;
+  std::size_t slotKn_ = detail::kNoSlot;
 };
 
 }  // namespace prox::spice

@@ -17,6 +17,8 @@
 
 #include "characterize/characterize.hpp"
 #include "model/dual_input.hpp"
+#include "obs/registry.hpp"
+#include "obs/report.hpp"
 #include "sta/timing_graph.hpp"
 #include "support/fault_injection.hpp"
 #include "test_util.hpp"
@@ -128,6 +130,33 @@ TEST(CharacterizationDeterminism, CleanRunsLogNothingAtAnyThreadCount) {
   EXPECT_TRUE(cleanCell(1).diagnostics.empty());
   EXPECT_TRUE(cleanCell(2).diagnostics.empty());
   EXPECT_TRUE(cleanCell(8).diagnostics.empty());
+}
+
+// The sparse MNA pipeline (pattern-cached stamping, symbolic/numeric-split
+// LU, same-Jacobian reuse) is now the only transient solve path; this test
+// both proves the sparse machinery actually ran underneath a full
+// characterization and pins its thread-count invariance at {1, 8}.  The
+// fast-path reuse heuristic in particular must not make results depend on
+// solve *history* in any thread-visible way: each task owns its circuit and
+// workspace, so serial and 8-way runs see identical iteration sequences.
+TEST(CharacterizationDeterminism, SparseSolvePathBitIdenticalAtOneAndEight) {
+  const auto before = obs::snapshot();
+  const auto serial = characterize::characterizeGate(testutil::nandSpec(2),
+                                                     smallConfig(1));
+  const auto eight = characterize::characterizeGate(testutil::nandSpec(2),
+                                                    smallConfig(8));
+  expectCellsIdentical(serial, eight);
+
+  if (obs::enabled()) {
+    const auto after = obs::snapshot();
+    // Both the full-factor and the refactor numeric phases must have fired:
+    // characterization transient solves run through SparseLu, not the dense
+    // fallback.
+    EXPECT_GT(after.counterValue("linalg.sparse.factorizations"),
+              before.counterValue("linalg.sparse.factorizations"));
+    EXPECT_GT(after.counterValue("linalg.sparse.refactorizations"),
+              before.counterValue("linalg.sparse.refactorizations"));
+  }
 }
 
 #if PROX_ENABLE_FAULT_INJECTION
