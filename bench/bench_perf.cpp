@@ -27,6 +27,7 @@
 #include "spice/newton.hpp"
 #include "spice/op.hpp"
 #include "sta/timing_graph.hpp"
+#include "support/durable_io.hpp"
 
 using namespace prox;
 using model::InputEvent;
@@ -349,7 +350,13 @@ int main(int argc, char** argv) {
   // the build_type tag is what lets downstream tooling reject debug timings.
   obs::Report report = obs::snapshot();
   report.buildType = optimizedBuild ? "release" : "debug";
-  std::ofstream os(outDir + "BENCH_perf_stats.json");
-  if (os) obs::writeJson(report, os);
+  try {
+    // Atomic commit, so downstream tooling never parses a torn dump.
+    prox::support::writeFileAtomic(
+        outDir + "BENCH_perf_stats.json",
+        [&](std::ostream& os) { obs::writeJson(report, os); });
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_perf: stats dump failed: %s\n", e.what());
+  }
   return 0;
 }

@@ -2,36 +2,100 @@
 // and write the deployable ".prox" model package, then reload it and verify
 // the round trip -- the workflow a cell-library team would script.
 //
-//   $ ./characterize_cell            # writes nand3.prox to the current dir
-//   $ ./characterize_cell --threads 8   # parallel sweeps (same tables,
-//                                       # bit for bit; see DESIGN.md)
+//   $ ./characterize_cell                       # writes nand3.prox
+//   $ ./characterize_cell --threads 8           # parallel sweeps (same
+//                                               # tables, bit for bit)
+//   $ ./characterize_cell --checkpoint=run.ckpt # journal results as they land
+//   $ ./characterize_cell --checkpoint=run.ckpt --resume
+//                                               # replay journaled points,
+//                                               # recompute only the rest
+//   $ ./characterize_cell --timeout=30          # watchdog: exit 6 with a
+//                                               # partial-but-valid checkpoint
+//
+// Ctrl-C (SIGINT) / SIGTERM flush the checkpoint journal and exit with the
+// typed cancelled code (6); a later --resume continues where the run died.
+// --crash-at=N kills the process (real SIGKILL, no flushing) when parallel
+// task N starts -- the deterministic stand-in for an operator's `kill -9`
+// used by the CI kill-resume job.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 
+#include "characterize/checkpoint.hpp"
 #include "characterize/serialize.hpp"
 #include "par/pool.hpp"
+#include "support/cancel.hpp"
+#include "support/fault_injection.hpp"
 
 using namespace prox;
 using model::InputEvent;
 using wave::Edge;
 
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--threads N] [--out FILE] [--checkpoint FILE]\n"
+               "          [--resume] [--timeout SECS] [--quick]\n"
+               "          [--crash-at INDEX]\n",
+               argv0);
+  return 2;
+}
+
+/// "--flag value" / "--flag=value" extraction; advances @p i for the
+/// two-token form.  Returns nullptr when @p arg is not @p flag.
+const char* flagValue(const char* flag, char** argv, int argc, int* i) {
+  const std::size_t n = std::strlen(flag);
+  if (std::strncmp(argv[*i], flag, n) != 0) return nullptr;
+  if (argv[*i][n] == '=') return argv[*i] + n + 1;
+  if (argv[*i][n] == '\0' && *i + 1 < argc) return argv[++*i];
+  return nullptr;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   int threads = 0;  // 0 = par::defaultThreadCount() (PROX_THREADS or cores)
+  std::string outPath = "nand3.prox";
+  std::string checkpointPath;
+  bool resume = false;
+  bool quick = false;
+  double timeoutSecs = 0.0;
+  long long crashAt = -1;
+
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      threads = std::atoi(argv[++i]);
-    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
-      threads = std::atoi(argv[i] + 10);
+    const char* v = nullptr;
+    if ((v = flagValue("--threads", argv, argc, &i)) != nullptr) {
+      threads = std::atoi(v);
+      if (threads < 0) {
+        std::fprintf(stderr, "%s: --threads expects N >= 0\n", argv[0]);
+        return 2;
+      }
+    } else if ((v = flagValue("--out", argv, argc, &i)) != nullptr) {
+      outPath = v;
+    } else if ((v = flagValue("--checkpoint", argv, argc, &i)) != nullptr) {
+      checkpointPath = v;
+    } else if ((v = flagValue("--timeout", argv, argc, &i)) != nullptr) {
+      timeoutSecs = std::atof(v);
+      if (timeoutSecs <= 0.0) {
+        std::fprintf(stderr, "%s: --timeout expects SECS > 0\n", argv[0]);
+        return 2;
+      }
+    } else if ((v = flagValue("--crash-at", argv, argc, &i)) != nullptr) {
+      crashAt = std::atoll(v);
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      resume = true;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--threads N]\n", argv[0]);
-      return 2;
+      return usage(argv[0]);
     }
-    if (threads < 0) {
-      std::fprintf(stderr, "%s: --threads expects N >= 0\n", argv[0]);
-      return 2;
-    }
+  }
+  if (resume && checkpointPath.empty()) {
+    std::fprintf(stderr, "%s: --resume requires --checkpoint FILE\n", argv[0]);
+    return 2;
   }
 
   cells::CellSpec spec;
@@ -42,19 +106,83 @@ int main(int argc, char** argv) {
   spec.loadCap = 100e-15;
 
   // Denser grids than the default: this is the offline step, so spend the
-  // simulation budget here.
+  // simulation budget here.  --quick shrinks the grids for CI exercises of
+  // the crash/resume machinery, where sweep breadth is not the point.
   characterize::CharacterizationConfig cfg;
   cfg.tauGrid = {50e-12,  100e-12, 200e-12,  400e-12, 700e-12,
                  1100e-12, 1600e-12, 2200e-12};
   cfg.dualTauIndices = {0, 2, 4, 6, 7};
+  if (quick) {
+    cfg.tauGrid = {50e-12, 200e-12, 700e-12, 2200e-12};
+    cfg.dualTauIndices = {0, 1, 2, 3};
+    cfg.vGrid = {0.1, 0.3, 1.0, 3.0, 8.0};
+    cfg.wGrid = {-2.0, -1.0, -0.5, 0.0, 0.3, 0.6, 1.0};
+    cfg.vGridTransition = {0.1, 0.3, 1.0, 3.0, 12.0};
+    cfg.wGridTransition = {-2.0, -1.0, 0.0, 1.0, 2.0, 4.0, 6.0};
+    cfg.vtcStep = 0.02;
+  }
   cfg.threads = threads;
+
+  support::CancelToken cancelToken;
+  if (timeoutSecs > 0.0) cancelToken.setTimeout(timeoutSecs);
+  support::SignalCancelScope signalScope(&cancelToken);
+  // Installed on the main thread too, so serial (threads=1) engine loops
+  // poll the same token parallel workers get from ParallelOptions::cancel.
+  support::CancelScope mainScope(&cancelToken);
+  cfg.cancel = &cancelToken;
+
+  std::unique_ptr<characterize::CheckpointSession> checkpoint;
+  if (!checkpointPath.empty()) {
+    const std::string fingerprint = characterize::configFingerprint(spec, cfg);
+    checkpoint = std::make_unique<characterize::CheckpointSession>(
+        checkpointPath, fingerprint, resume);
+    cfg.checkpoint = checkpoint.get();
+    if (resume) {
+      std::printf("resuming from %s: %zu journaled result%s\n",
+                  checkpointPath.c_str(), checkpoint->loadedRecords(),
+                  checkpoint->loadedRecords() == 1 ? "" : "s");
+    }
+  }
+
+  if (crashAt >= 0) {
+    support::FaultPlan::arm({.site = "par.task",
+                             .kind = support::FaultKind::ProcessCrash,
+                             .taskIndex = crashAt});
+  }
 
   const int resolved = threads == 0 ? par::defaultThreadCount() : threads;
   std::printf("characterizing %s on %d thread%s (this runs a few thousand "
               "transistor-level transients)...\n",
               cells::gateTypeName(spec.type, spec.fanin).c_str(), resolved,
               resolved == 1 ? "" : "s");
-  const auto gate = characterize::characterizeGate(spec, cfg);
+
+  characterize::CharacterizedGate gate;
+  try {
+    gate = characterize::characterizeGate(spec, cfg);
+  } catch (const support::DiagnosticError& e) {
+    // Pin whatever the journal holds before reporting: the checkpoint must
+    // be partial-but-valid no matter why the flow unwound.
+    if (checkpoint) checkpoint->flush();
+    std::fprintf(stderr, "%s\n", e.diagnostic().toString().c_str());
+    const support::StatusCode code = e.code();
+    if (code == support::StatusCode::Cancelled ||
+        code == support::StatusCode::DeadlineExceeded) {
+      if (checkpoint) {
+        std::fprintf(stderr,
+                     "checkpoint %s is valid; rerun with --resume to "
+                     "continue\n",
+                     checkpointPath.c_str());
+      }
+      return 6;
+    }
+    return 1;
+  }
+
+  if (checkpoint != nullptr) {
+    checkpoint->flush();
+    std::printf("  checkpoint: %zu replayed, journal %s\n",
+                checkpoint->replayCount(), checkpointPath.c_str());
+  }
 
   std::printf("  thresholds: V_il = %.3f V, V_ih = %.3f V\n",
               gate.gate.thresholds.vil, gate.gate.thresholds.vih);
@@ -71,12 +199,11 @@ int main(int argc, char** argv) {
   }
   std::printf("\n");
 
-  const std::string path = "nand3.prox";
-  characterize::saveGateModel(gate, path);
-  std::printf("\nwrote %s\n", path.c_str());
+  characterize::saveGateModel(gate, outPath);
+  std::printf("\nwrote %s\n", outPath.c_str());
 
   // Reload and verify a query agrees bit-for-bit.
-  const auto loaded = characterize::loadGateModelFile(path);
+  const auto loaded = characterize::loadGateModelFile(outPath);
   std::vector<InputEvent> evs{{0, Edge::Rising, 0.0, 300e-12},
                               {1, Edge::Rising, 40e-12, 500e-12},
                               {2, Edge::Rising, -60e-12, 150e-12}};
@@ -86,5 +213,5 @@ int main(int argc, char** argv) {
               "(reloaded) -> %s\n",
               r1.delay * 1e12, r2.delay * 1e12,
               r1.delay == r2.delay ? "identical" : "MISMATCH");
-  return 0;
+  return r1.delay == r2.delay ? 0 : 1;
 }

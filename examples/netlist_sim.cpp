@@ -29,7 +29,9 @@
 #include "spice/netlist.hpp"
 #include "spice/tran.hpp"
 #include "sta/timing_graph.hpp"
+#include "support/cancel.hpp"
 #include "support/diagnostic.hpp"
+#include "support/durable_io.hpp"
 #include "waveform/measure.hpp"
 
 using namespace prox;
@@ -100,7 +102,8 @@ int severityExitCode(support::Severity s) {
 // report covers the full stack, not just the raw deck simulation.  In strict
 // mode, any healed characterization point or degraded STA arc is reported on
 // stderr and reflected in the returned exit code.
-int runFullStackStage(bool strict, int threads) {
+int runFullStackStage(bool strict, int threads,
+                      support::CancelToken* cancel) {
   std::printf("\n%s: characterizing a coarse NAND2 and timing a "
               "three-stage path ...\n", strict ? "--strict" : "--stats");
   cells::CellSpec spec;
@@ -108,6 +111,7 @@ int runFullStackStage(bool strict, int threads) {
   spec.fanin = 2;
   auto cfg = coarseConfig();
   cfg.threads = threads;
+  cfg.cancel = cancel;
   const auto cell = characterize::characterizeGate(spec, cfg);
 
   sta::Netlist nl;
@@ -118,6 +122,7 @@ int runFullStackStage(bool strict, int threads) {
 
   sta::DelayCalcOptions staOpt;
   staOpt.threads = threads;
+  staOpt.cancel = cancel;
   sta::TimingAnalyzer ta(nl, sta::DelayMode::Proximity, staOpt);
   ta.setInputArrival("a", {0.0, 250e-12, wave::Edge::Rising});
   ta.setInputArrival("b", {40e-12, 400e-12, wave::Edge::Rising});
@@ -155,6 +160,7 @@ int main(int argc, char** argv) {
   bool strict = false;
   std::string statsPath;
   int threads = 0;  // 0 = par::defaultThreadCount() (PROX_THREADS or cores)
+  double timeoutSecs = 0.0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--stats") == 0) {
       stats = true;
@@ -171,9 +177,16 @@ int main(int argc, char** argv) {
       threads = std::atoi(argv[++i]);
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       threads = std::atoi(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--timeout=", 10) == 0) {
+      timeoutSecs = std::atof(argv[i] + 10);
+      if (timeoutSecs <= 0.0) {
+        std::fprintf(stderr, "%s: --timeout expects SECS > 0\n", argv[0]);
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--stats[=FILE]] [--strict] [--threads N]\n",
+                   "usage: %s [--stats[=FILE]] [--strict] [--threads N] "
+                   "[--timeout=SECS]\n",
                    argv[0]);
       return 2;
     }
@@ -183,32 +196,48 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Ctrl-C / SIGTERM / the --timeout watchdog unwind through the engine's
+  // typed cancellation path instead of killing the process mid-write.
+  support::CancelToken cancelToken;
+  if (timeoutSecs > 0.0) cancelToken.setTimeout(timeoutSecs);
+  support::SignalCancelScope signalScope(&cancelToken);
+  support::CancelScope mainScope(&cancelToken);
+
   std::printf("deck-driven proximity measurement (NAND3, a falls 500 ps, "
               "b falls 100 ps)\n\n");
   // Thresholds from the paper's Section 2 rule for this cell (precomputed by
   // bench_fig2_1; hard-coded here to keep the example self-contained).
   const wave::Thresholds th{1.720, 3.681};
 
-  std::printf("%12s %16s %14s\n", "s_ab [ps]", "out crossing [ps]",
-              "rise time [ps]");
-  for (double sep : {-400.0, -200.0, 0.0, 200.0, 400.0}) {
-    auto nl = spice::parseNetlist(nand3Deck(sep));
-    spice::TranOptions opt;
-    opt.tstop = 6e-9;
-    const auto res = spice::transient(nl.circuit, opt);
-    const auto out = res.node("out");
-    const auto t = wave::outputRefTime(out, wave::Edge::Rising, th);
-    const auto tt = wave::transitionTime(out, wave::Edge::Rising, th);
-    std::printf("%12.0f %16.1f %14.1f\n", sep,
-                t ? (*t - 1e-9) * 1e12 : -1.0, tt ? *tt * 1e12 : -1.0);
-  }
-  std::printf("\nClose/overlapping falling inputs open two parallel PMOS "
-              "paths: the output\ncrossing moves earlier and the rise "
-              "sharpens -- Figure 1-2(a,b) straight from\na SPICE deck.\n");
-
   int rc = 0;
-  if (stats || strict) {
-    rc = runFullStackStage(strict, threads);
+  try {
+    std::printf("%12s %16s %14s\n", "s_ab [ps]", "out crossing [ps]",
+                "rise time [ps]");
+    for (double sep : {-400.0, -200.0, 0.0, 200.0, 400.0}) {
+      auto nl = spice::parseNetlist(nand3Deck(sep));
+      spice::TranOptions opt;
+      opt.tstop = 6e-9;
+      const auto res = spice::transient(nl.circuit, opt);
+      const auto out = res.node("out");
+      const auto t = wave::outputRefTime(out, wave::Edge::Rising, th);
+      const auto tt = wave::transitionTime(out, wave::Edge::Rising, th);
+      std::printf("%12.0f %16.1f %14.1f\n", sep,
+                  t ? (*t - 1e-9) * 1e12 : -1.0, tt ? *tt * 1e12 : -1.0);
+    }
+    std::printf("\nClose/overlapping falling inputs open two parallel PMOS "
+                "paths: the output\ncrossing moves earlier and the rise "
+                "sharpens -- Figure 1-2(a,b) straight from\na SPICE deck.\n");
+
+    if (stats || strict) {
+      rc = runFullStackStage(strict, threads, &cancelToken);
+    }
+  } catch (const support::DiagnosticError& e) {
+    std::fprintf(stderr, "%s\n", e.diagnostic().toString().c_str());
+    if (e.code() == support::StatusCode::Cancelled ||
+        e.code() == support::StatusCode::DeadlineExceeded) {
+      return 6;
+    }
+    return 1;
   }
   if (stats) {
     if (statsPath.empty()) {
@@ -216,7 +245,11 @@ int main(int argc, char** argv) {
       obs::writeJson(std::cout);
     } else {
       try {
-        obs::writeJsonFile(statsPath);
+        // Atomic commit: a stats consumer polling the file never reads a
+        // torn JSON document, and a crash mid-dump leaves any previous
+        // report intact.
+        support::writeFileAtomic(statsPath,
+                                 [](std::ostream& os) { obs::writeJson(os); });
       } catch (const std::exception& e) {
         std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
         return 1;

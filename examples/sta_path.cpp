@@ -22,6 +22,8 @@
 #include "characterize/characterize.hpp"
 #include "obs/report.hpp"
 #include "sta/flat_sim.hpp"
+#include "support/cancel.hpp"
+#include "support/durable_io.hpp"
 
 using namespace prox;
 using sta::Arrival;
@@ -31,6 +33,7 @@ using wave::Edge;
 int main(int argc, char** argv) {
   bool stats = false;
   std::string statsPath;
+  double timeoutSecs = 0.0;
   int threads = 0;  // 0 = par::defaultThreadCount() (PROX_THREADS or cores)
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--stats") == 0) {
@@ -46,8 +49,16 @@ int main(int argc, char** argv) {
       threads = std::atoi(argv[++i]);
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       threads = std::atoi(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--timeout=", 10) == 0) {
+      timeoutSecs = std::atof(argv[i] + 10);
+      if (timeoutSecs <= 0.0) {
+        std::fprintf(stderr, "%s: --timeout expects SECS > 0\n", argv[0]);
+        return 2;
+      }
     } else {
-      std::fprintf(stderr, "usage: %s [--stats[=FILE]] [--threads N]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--stats[=FILE]] [--threads N] "
+                   "[--timeout=SECS]\n",
                    argv[0]);
       return 2;
     }
@@ -57,61 +68,79 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Ctrl-C / SIGTERM / the --timeout watchdog unwind through the typed
+  // cancellation path (exit code 6) instead of dying mid-write.
+  support::CancelToken cancelToken;
+  if (timeoutSecs > 0.0) cancelToken.setTimeout(timeoutSecs);
+  support::SignalCancelScope signalScope(&cancelToken);
+  support::CancelScope mainScope(&cancelToken);
+
   cells::CellSpec spec;
   spec.type = cells::GateType::Nand;
   spec.fanin = 2;
   std::printf("characterizing NAND2 cell ...\n");
   characterize::CharacterizationConfig cfg;
   cfg.threads = threads;
-  const auto cell = characterize::characterizeGate(spec, cfg);
+  cfg.cancel = &cancelToken;
+  try {
+    const auto cell = characterize::characterizeGate(spec, cfg);
 
-  sta::Netlist nl;
-  for (const char* pi : {"a", "b", "c", "s1"}) nl.addPrimaryInput(pi);
-  nl.addInstance("u1", cell, {"a", "b"}, "y1");
-  nl.addInstance("u2", cell, {"y1", "s1"}, "y2");
-  nl.addInstance("u3", cell, {"y2", "c"}, "y3");
+    sta::Netlist nl;
+    for (const char* pi : {"a", "b", "c", "s1"}) nl.addPrimaryInput(pi);
+    nl.addInstance("u1", cell, {"a", "b"}, "y1");
+    nl.addInstance("u2", cell, {"y1", "s1"}, "y2");
+    nl.addInstance("u3", cell, {"y2", "c"}, "y3");
 
-  const std::unordered_map<std::string, Arrival> arrivals{
-      {"a", {0.0, 250e-12, Edge::Rising}},
-      {"b", {40e-12, 400e-12, Edge::Rising}},
-      {"c", {600e-12, 300e-12, Edge::Rising}},
-  };
+    const std::unordered_map<std::string, Arrival> arrivals{
+        {"a", {0.0, 250e-12, Edge::Rising}},
+        {"b", {40e-12, 400e-12, Edge::Rising}},
+        {"c", {600e-12, 300e-12, Edge::Rising}},
+    };
 
-  auto analyze = [&](DelayMode mode) {
-    sta::DelayCalcOptions opt;
-    opt.threads = threads;
-    sta::TimingAnalyzer ta(nl, mode, opt);
-    for (const auto& [net, arr] : arrivals) ta.setInputArrival(net, arr);
-    ta.run();
-    return ta;
-  };
-  const auto classic = analyze(DelayMode::Classic);
-  const auto proximity = analyze(DelayMode::Proximity);
-  if (proximity.degradedArcs() + classic.degradedArcs() > 0) {
-    std::printf("note: %zu arc(s) used a degraded delay model (missing or "
-                "unusable tables); see sta.delay_calc.degraded_arcs in "
-                "--stats\n",
-                proximity.degradedArcs() + classic.degradedArcs());
+    auto analyze = [&](DelayMode mode) {
+      sta::DelayCalcOptions opt;
+      opt.threads = threads;
+      opt.cancel = &cancelToken;
+      sta::TimingAnalyzer ta(nl, mode, opt);
+      for (const auto& [net, arr] : arrivals) ta.setInputArrival(net, arr);
+      ta.run();
+      return ta;
+    };
+    const auto classic = analyze(DelayMode::Classic);
+    const auto proximity = analyze(DelayMode::Proximity);
+    if (proximity.degradedArcs() + classic.degradedArcs() > 0) {
+      std::printf("note: %zu arc(s) used a degraded delay model (missing or "
+                  "unusable tables); see sta.delay_calc.degraded_arcs in "
+                  "--stats\n",
+                  proximity.degradedArcs() + classic.degradedArcs());
+    }
+
+    std::printf("running the flat transistor-level reference simulation ...\n");
+    const auto flat = sta::simulateFlat(nl, arrivals);
+
+    std::printf("\n%-5s | %13s | %16s | %16s\n", "net", "flat sim [ps]",
+                "proximity [ps]", "classic [ps]");
+    for (const char* net : {"y1", "y2", "y3"}) {
+      const auto it = flat.arrivals.find(net);
+      const auto p = proximity.arrival(net);
+      const auto cl = classic.arrival(net);
+      if (it == flat.arrivals.end() || !p || !cl) continue;
+      const Arrival& f = it->second;
+      std::printf("%-5s | %13.1f | %8.1f (%+5.1f) | %8.1f (%+5.1f)\n", net,
+                  f.time * 1e12, p->time * 1e12, (p->time - f.time) * 1e12,
+                  cl->time * 1e12, (cl->time - f.time) * 1e12);
+    }
+    std::printf("\n(parenthesized: error vs the flat simulation; the proximity "
+                "mode stays closer\nat every stage, and the classic error "
+                "compounds along the path)\n");
+  } catch (const support::DiagnosticError& e) {
+    std::fprintf(stderr, "%s\n", e.diagnostic().toString().c_str());
+    if (e.code() == support::StatusCode::Cancelled ||
+        e.code() == support::StatusCode::DeadlineExceeded) {
+      return 6;
+    }
+    return 1;
   }
-
-  std::printf("running the flat transistor-level reference simulation ...\n");
-  const auto flat = sta::simulateFlat(nl, arrivals);
-
-  std::printf("\n%-5s | %13s | %16s | %16s\n", "net", "flat sim [ps]",
-              "proximity [ps]", "classic [ps]");
-  for (const char* net : {"y1", "y2", "y3"}) {
-    const auto it = flat.arrivals.find(net);
-    const auto p = proximity.arrival(net);
-    const auto cl = classic.arrival(net);
-    if (it == flat.arrivals.end() || !p || !cl) continue;
-    const Arrival& f = it->second;
-    std::printf("%-5s | %13.1f | %8.1f (%+5.1f) | %8.1f (%+5.1f)\n", net,
-                f.time * 1e12, p->time * 1e12, (p->time - f.time) * 1e12,
-                cl->time * 1e12, (cl->time - f.time) * 1e12);
-  }
-  std::printf("\n(parenthesized: error vs the flat simulation; the proximity "
-              "mode stays closer\nat every stage, and the classic error "
-              "compounds along the path)\n");
 
   if (stats) {
     if (statsPath.empty()) {
@@ -119,7 +148,9 @@ int main(int argc, char** argv) {
       obs::writeJson(std::cout);
     } else {
       try {
-        obs::writeJsonFile(statsPath);
+        // Atomic commit: never a torn JSON report under a reader or crash.
+        support::writeFileAtomic(statsPath,
+                                 [](std::ostream& os) { obs::writeJson(os); });
       } catch (const std::exception& e) {
         std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
         return 1;

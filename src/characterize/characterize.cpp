@@ -7,9 +7,12 @@
 #include <optional>
 #include <stdexcept>
 
+#include "characterize/checkpoint.hpp"
 #include "obs/registry.hpp"
 #include "obs/scoped_timer.hpp"
 #include "par/parallel_for.hpp"
+#include "support/cancel.hpp"
+#include "support/journal.hpp"
 
 namespace prox::characterize {
 
@@ -132,7 +135,7 @@ void buildDualTables(model::GateSimulator& sim,
                      const CharacterizationConfig& config,
                      model::DualTable* delayTable,
                      model::DualTable* transitionTable,
-                     support::DiagnosticLog* log) {
+                     support::DiagnosticLog* log, const char* scopePrefix) {
   if (delayTable == nullptr || transitionTable == nullptr) {
     throw std::invalid_argument("buildDualTables: null output");
   }
@@ -229,10 +232,27 @@ void buildDualTables(model::GateSimulator& sim,
   // diagnostics land in per-point slots and merge in enumeration order.
   const int attempts =
       config.healPointFailures ? 1 + std::max(config.pointRetries, 0) : 1;
+  // Checkpoint scope naming this sweep: prefix, pin pair, edge.  The point's
+  // enumeration index keys the record, so replay works at any thread count.
+  const std::string ckptScope =
+      std::string(scopePrefix) + ':' + std::to_string(refPin) + ':' +
+      std::to_string(otherPin) + ':' +
+      (edge == wave::Edge::Rising ? 'r' : 'f');
   std::vector<std::optional<support::Diagnostic>> pointDiags(points.size());
   const auto evalPoint = [&](model::DualInputModel& oracle, std::size_t i) {
     const SweepPoint& p = points[i];
     double value = std::numeric_limits<double>::quiet_NaN();
+    if (config.checkpoint != nullptr) {
+      std::vector<std::uint64_t> replay;
+      if (config.checkpoint->lookup(ckptScope, i, &replay) &&
+          replay.size() == 1) {
+        // A journaled NaN replays the hole too, so the healing pass below
+        // fills it exactly as the original run did.
+        (p.transition ? tt : dt).ratio[p.slot] =
+            support::bitsFromDouble(replay[0]);
+        return;
+      }
+    }
     for (int a = 0; a < attempts; ++a) {
       try {
         if (a > 0) PROX_OBS_COUNT("characterize.point_retries", 1);
@@ -248,6 +268,9 @@ void buildDualTables(model::GateSimulator& sim,
       }
     }
     (p.transition ? tt : dt).ratio[p.slot] = value;
+    if (config.checkpoint != nullptr) {
+      config.checkpoint->record(ckptScope, i, {support::doubleToBits(value)});
+    }
   };
 
   const int threads = resolveThreads(config.threads);
@@ -258,7 +281,7 @@ void buildDualTables(model::GateSimulator& sim,
     model::OracleDualInputModel oracle(sim, singles);
     par::parallelFor(
         points.size(), [&](std::size_t i) { evalPoint(oracle, i); },
-        {.threads = 1, .failFast = true});
+        {.threads = 1, .failFast = true, .cancel = config.cancel});
   } else {
     // Parallel path: every point gets a fresh simulator + oracle over the
     // same gate.  The simulator's result is a pure function of the gate and
@@ -272,7 +295,7 @@ void buildDualTables(model::GateSimulator& sim,
           model::OracleDualInputModel oracle(localSim, singles);
           evalPoint(oracle, i);
         },
-        {.threads = threads, .failFast = true});
+        {.threads = threads, .failFast = true, .cancel = config.cancel});
   }
   mergeDiagnostics(log, pointDiags);
 
@@ -285,7 +308,8 @@ void buildDualTables(model::GateSimulator& sim,
 model::StepCorrection characterizeStepCorrection(
     model::GateSimulator& sim, const model::SingleInputModelSet& singles,
     const model::DualInputModel& dual, double stepTau, bool healFailures,
-    support::DiagnosticLog* log, int threads) {
+    support::DiagnosticLog* log, int threads, support::CancelToken* cancel,
+    CheckpointSession* checkpoint) {
   model::StepCorrection corr;
   const int n = sim.gate().spec.type == cells::GateType::Inverter
                     ? 1
@@ -333,6 +357,14 @@ model::StepCorrection characterizeStepCorrection(
   const auto evalTask = [&](model::GateSimulator& s, std::size_t i) {
     const CorrTask& t = tasks[i];
     if (t.skip) return;
+    if (checkpoint != nullptr) {
+      std::vector<std::uint64_t> replay;
+      if (checkpoint->lookup("corr", i, &replay) && replay.size() == 2) {
+        results[i].dErr = support::bitsFromDouble(replay[0]);
+        results[i].tErr = support::bitsFromDouble(replay[1]);
+        return;
+      }
+    }
     PROX_OBS_COUNT("characterize.correction_points", 1);
     // A failed correction point degrades to a zero corrective term: the
     // uncorrected model is the paper's baseline, so "no correction" is the
@@ -351,13 +383,19 @@ model::StepCorrection characterizeStepCorrection(
       PROX_OBS_COUNT("characterize.correction_points_failed", 1);
       taskDiags[i] = describePointFailure(e, /*refPin=*/0, stepTau, 0.0);
     }
+    // Journaled after the catch so a healed failure records its degraded
+    // zero term -- a resume replays the same zeros the original run kept.
+    if (checkpoint != nullptr) {
+      checkpoint->record("corr", i, {support::doubleToBits(results[i].dErr),
+                                     support::doubleToBits(results[i].tErr)});
+    }
   };
 
   const int resolved = resolveThreads(threads);
   if (resolved <= 1) {
     par::parallelFor(
         tasks.size(), [&](std::size_t i) { evalTask(sim, i); },
-        {.threads = 1, .failFast = true});
+        {.threads = 1, .failFast = true, .cancel = cancel});
   } else {
     // Per-task simulators; @p dual must be thread-safe (see header note).
     const model::Gate& gate = sim.gate();
@@ -367,7 +405,7 @@ model::StepCorrection characterizeStepCorrection(
           model::GateSimulator localSim(gate);
           evalTask(localSim, i);
         },
-        {.threads = resolved, .failFast = true});
+        {.threads = resolved, .failFast = true, .cancel = cancel});
   }
   mergeDiagnostics(log, taskDiags);
 
@@ -408,13 +446,46 @@ CharacterizedGate characterizeFromGate(model::Gate gate,
       const int pin = static_cast<int>(i / 2);
       const wave::Edge edge =
           i % 2 == 0 ? wave::Edge::Rising : wave::Edge::Falling;
+      // Checkpoint scope "single": one whole-table record per (pin, edge) --
+      // 3 header words (loadCap, K, Vdd) then (tau, delay, transition) bit
+      // patterns per grid row.
+      if (config.checkpoint != nullptr) {
+        std::vector<std::uint64_t> replay;
+        if (config.checkpoint->lookup("single", i, &replay) &&
+            replay.size() >= 6 && (replay.size() - 3) % 3 == 0) {
+          std::vector<model::SingleInputModel::Sample> table;
+          for (std::size_t r = 3; r + 2 < replay.size(); r += 3) {
+            table.push_back({support::bitsFromDouble(replay[r]),
+                             support::bitsFromDouble(replay[r + 1]),
+                             support::bitsFromDouble(replay[r + 2])});
+          }
+          singleModels[i] = model::SingleInputModel(
+              pin, edge, std::move(table), support::bitsFromDouble(replay[0]),
+              support::bitsFromDouble(replay[1]),
+              support::bitsFromDouble(replay[2]));
+          return;
+        }
+      }
       singleModels[i] =
           model::SingleInputModel::characterize(s, pin, edge, config.tauGrid);
+      if (config.checkpoint != nullptr) {
+        const model::SingleInputModel& m = singleModels[i];
+        std::vector<std::uint64_t> words{
+            support::doubleToBits(m.loadCap()),
+            support::doubleToBits(m.strengthK()),
+            support::doubleToBits(m.vdd())};
+        for (const model::SingleInputModel::Sample& row : m.table()) {
+          words.push_back(support::doubleToBits(row.tau));
+          words.push_back(support::doubleToBits(row.delay));
+          words.push_back(support::doubleToBits(row.transition));
+        }
+        config.checkpoint->record("single", i, words);
+      }
     };
     if (threads <= 1) {
       par::parallelFor(
           singleModels.size(), [&](std::size_t i) { singleTask(sim, i); },
-          {.threads = 1, .failFast = true});
+          {.threads = 1, .failFast = true, .cancel = config.cancel});
     } else {
       par::parallelFor(
           singleModels.size(),
@@ -422,11 +493,14 @@ CharacterizedGate characterizeFromGate(model::Gate gate,
             model::GateSimulator localSim(out.gate);
             singleTask(localSim, i);
           },
-          {.threads = threads, .failFast = true});
+          {.threads = threads, .failFast = true, .cancel = config.cancel});
     }
     auto set = std::make_unique<model::SingleInputModelSet>();
     for (model::SingleInputModel& m : singleModels) set->set(std::move(m));
     out.singles = std::move(set);
+    // The singles are the axes every later sweep normalizes by; pin them to
+    // disk before the (much longer) dual sweeps start.
+    if (config.checkpoint != nullptr) config.checkpoint->flush();
   }
   out.dual = std::make_unique<model::TabulatedDualInputModel>(*out.singles);
 
@@ -479,7 +553,7 @@ CharacterizedGate characterizeFromGate(model::Gate gate,
           model::DualTable dt;
           model::DualTable tt;
           buildDualTables(sim, *out.singles, ref, other, edge, config, &dt,
-                          &tt, &out.diagnostics);
+                          &tt, &out.diagnostics, /*scopePrefix=*/"pair");
           out.dual->setPairDelayTable(ref, other, edge, std::move(dt));
           out.dual->setPairTransitionTable(ref, other, edge, std::move(tt));
         }
@@ -489,7 +563,8 @@ CharacterizedGate characterizeFromGate(model::Gate gate,
 
   out.correction = characterizeStepCorrection(
       sim, *out.singles, *out.dual, config.stepTau, config.healPointFailures,
-      &out.diagnostics, threads);
+      &out.diagnostics, threads, config.cancel, config.checkpoint);
+  if (config.checkpoint != nullptr) config.checkpoint->flush();
   return out;
 }
 

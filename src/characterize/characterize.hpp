@@ -14,7 +14,13 @@
 #include "model/proximity.hpp"
 #include "support/diagnostic.hpp"
 
+namespace prox::support {
+class CancelToken;  // support/cancel.hpp
+}  // namespace prox::support
+
 namespace prox::characterize {
+
+class CheckpointSession;  // characterize/checkpoint.hpp
 
 struct CharacterizationConfig {
   /// Input transition-time grid for the single-input models [s].
@@ -60,6 +66,17 @@ struct CharacterizationConfig {
   /// any thread count (see DESIGN.md "Parallel execution & determinism
   /// contract").
   int threads = 1;
+  /// Crash-safe checkpointing: when set, every computed result (single-input
+  /// table, dual-table sweep point, correction term) is journaled through
+  /// the session and previously journaled results are replayed instead of
+  /// re-simulated -- the `--checkpoint/--resume` machinery (checkpoint.hpp).
+  /// Excluded from the checkpoint fingerprint (execution knob).  Not owned.
+  CheckpointSession* checkpoint = nullptr;
+  /// Cooperative cancellation: when set, sweep loops stop issuing points
+  /// once the token trips and the flow unwinds with the token's typed
+  /// DiagnosticError (Cancelled / DeadlineExceeded), leaving any checkpoint
+  /// partial but valid.  Excluded from the fingerprint.  Not owned.
+  support::CancelToken* cancel = nullptr;
 };
 
 /// The complete characterized model package for one gate.  Move-only: the
@@ -107,14 +124,18 @@ CharacterizedGate characterizeComplexGate(
 /// reference pin/edge using the oracle.  Exposed for tests and for the
 /// storage-complexity bench.  Per-point failures are retried and healed per
 /// config.healPointFailures; healed points are recorded in @p log (when
-/// non-null) at Warning severity and marked in the tables.
+/// non-null) at Warning severity and marked in the tables.  @p scopePrefix
+/// namespaces this sweep's checkpoint records (the per-reference tables use
+/// the default "dual"; the complex-gate pair matrix passes "pair" so both
+/// sweeps over the same pin pair stay distinct in the journal).
 void buildDualTables(model::GateSimulator& sim,
                      const model::SingleInputModelSet& singles, int refPin,
                      int otherPin, wave::Edge edge,
                      const CharacterizationConfig& config,
                      model::DualTable* delayTable,
                      model::DualTable* transitionTable,
-                     support::DiagnosticLog* log = nullptr);
+                     support::DiagnosticLog* log = nullptr,
+                     const char* scopePrefix = "dual");
 
 /// Characterizes the simultaneous-step corrective terms for the gate given
 /// an (uncorrected) calculator over @p dual.  Returns signed errors
@@ -124,10 +145,13 @@ void buildDualTables(model::GateSimulator& sim,
 /// correction points on the pool (each with its own simulator); this
 /// requires a thread-safe @p dual (the tabulated model is; the oracle shares
 /// one simulator and is not), so leave threads at 1 when passing an oracle.
+/// @p cancel and @p checkpoint bind the correction sweep to the cooperative
+/// cancellation / crash-safe checkpoint machinery (scope "corr").
 model::StepCorrection characterizeStepCorrection(
     model::GateSimulator& sim, const model::SingleInputModelSet& singles,
     const model::DualInputModel& dual, double stepTau,
     bool healFailures = true, support::DiagnosticLog* log = nullptr,
-    int threads = 1);
+    int threads = 1, support::CancelToken* cancel = nullptr,
+    CheckpointSession* checkpoint = nullptr);
 
 }  // namespace prox::characterize

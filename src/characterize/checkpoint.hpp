@@ -1,0 +1,93 @@
+#pragma once
+// Crash-safe characterization sessions: a CheckpointSession binds the sweep
+// engine to a support::Journal so every computed result (single-input table,
+// dual-table sweep point, correction term) is journaled as it lands, and a
+// `--resume` run replays journaled results instead of re-simulating them.
+//
+// Correctness rests on the determinism contract (DESIGN.md §5): each task's
+// result is a pure function of the gate and its deterministic task index, so
+// "replay journaled points, recompute the rest" produces a byte-identical
+// `.prox` versus an uninterrupted run -- at any thread count, and no matter
+// where the previous run died.  Doubles travel as raw IEEE-754 bit patterns
+// (support/journal.hpp), never through decimal formatting.
+//
+// The fingerprint stamped into the journal header digests the cell spec and
+// every result-affecting configuration field; execution-only knobs (threads,
+// the checkpoint/cancel pointers themselves) are excluded so a sweep started
+// with --threads=8 can resume with --threads=1 and vice versa.  A mismatch at
+// resume is a typed ParseError: foreign results must never be replayed.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cells/pull_network.hpp"
+#include "characterize/characterize.hpp"
+#include "support/journal.hpp"
+
+namespace prox::characterize {
+
+/// Digest of everything that determines characterization results for
+/// @p spec under @p config (excluding execution-only fields, see above).
+/// Whitespace-free; stable across runs and platforms with IEEE-754 doubles.
+std::string configFingerprint(const cells::CellSpec& spec,
+                              const CharacterizationConfig& config);
+std::string configFingerprint(const cells::ComplexCellSpec& spec,
+                              const CharacterizationConfig& config);
+
+/// One characterization run's journal binding.  Construct before calling
+/// characterizeGate (with config.checkpoint pointing at it); the sweep
+/// engine calls lookup()/record(); the owner calls flush() when the flow
+/// finishes or unwinds (cancellation, failure) so the journal survives.
+///
+/// lookup() is lock-free over an immutable replay map built at open;
+/// record() delegates to the journal's internally synchronized append.
+/// Both may be called concurrently from sweep workers.
+class CheckpointSession {
+ public:
+  /// Opens @p path.  resume=false starts a fresh journal (truncating any
+  /// previous one); resume=true replays the valid records of an existing
+  /// journal whose header fingerprint must equal @p fingerprint (typed
+  /// ParseError otherwise), tolerating a torn tail per the journal's crash
+  /// contract.  A missing file resumes as an empty session.
+  CheckpointSession(const std::string& path, const std::string& fingerprint,
+                    bool resume);
+
+  /// True when a journaled result exists for (scope, index); copies its
+  /// payload words into @p words.
+  bool lookup(const std::string& scope, std::uint64_t index,
+              std::vector<std::uint64_t>* words) const;
+
+  /// Journals one computed result.
+  void record(const std::string& scope, std::uint64_t index,
+              const std::vector<std::uint64_t>& words);
+
+  /// Forces journaled records to disk (fsync).
+  void flush();
+
+  /// True when this session was opened in resume mode over prior records.
+  bool resumed() const noexcept { return resumed_; }
+
+  /// Records loaded from the journal at open.
+  std::size_t loadedRecords() const noexcept { return replay_.size(); }
+
+  /// lookup() hits served so far.
+  std::size_t replayCount() const noexcept {
+    return replayHits_.load(std::memory_order_relaxed);
+  }
+
+  const std::string& path() const noexcept { return journal_.path(); }
+
+  CheckpointSession(const CheckpointSession&) = delete;
+  CheckpointSession& operator=(const CheckpointSession&) = delete;
+
+ private:
+  support::Journal journal_;
+  std::map<std::string, std::vector<std::uint64_t>> replay_;
+  mutable std::atomic<std::size_t> replayHits_{0};
+  bool resumed_ = false;
+};
+
+}  // namespace prox::characterize

@@ -3,6 +3,8 @@
 #include <cctype>
 #include <cerrno>
 #include <cmath>
+#include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iomanip>
@@ -10,18 +12,46 @@
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 
 #include "obs/registry.hpp"
 #include "support/diagnostic.hpp"
+#include "support/durable_io.hpp"
 
 namespace prox::characterize {
 
 namespace {
 
 constexpr const char* kMagic = "proxdelay-model";
-// Version 2 adds the optional per-table "healed" section; version-1 files
-// (no healed marks) still load.
-constexpr int kVersion = 2;
+// Version 2 adds the optional per-table "healed" section; version 3 appends
+// a trailing "crc32 <8hex>" integrity line.  Version-1 and -2 files (no
+// healed marks / no CRC) still load.
+constexpr int kVersion = 3;
+
+/// CRC-32 over the *token stream*: each whitespace-delimited token's bytes
+/// followed by a single '\n' separator.  Tokenizing first makes the checksum
+/// independent of whitespace layout, so it survives any reformatting that
+/// preserves the token sequence -- exactly what the parser is sensitive to.
+std::uint32_t tokenStreamCrc(std::string_view text) {
+  std::uint32_t crc = support::kCrc32Init;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+    if (i >= text.size()) break;
+    const std::size_t begin = i;
+    while (i < text.size() &&
+           !std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+    crc = support::crc32Update(crc, text.data() + begin, i - begin);
+    static constexpr char kSep = '\n';
+    crc = support::crc32Update(crc, &kSep, 1);
+  }
+  return support::crc32Final(crc);
+}
 
 char edgeChar(wave::Edge e) { return e == wave::Edge::Rising ? 'R' : 'F'; }
 
@@ -109,6 +139,12 @@ class Reader {
     return static_cast<std::size_t>(v);
   }
 
+  /// Token-stream CRC over every token *produced from the stream* so far
+  /// (tokens sitting in the peek cache are already included).  The version-3
+  /// verifier snapshots this immediately after consuming "end", before the
+  /// trailing crc32 tokens are read.
+  std::uint32_t crc() const { return support::crc32Final(crcAccum_); }
+
  private:
   std::string rawNext() {
     if (havePending_) {
@@ -137,6 +173,9 @@ class Reader {
       t.push_back(static_cast<char>(c));
     }
     if (c == '\n') ++line_;
+    crcAccum_ = support::crc32Update(crcAccum_, t.data(), t.size());
+    static constexpr char kSep = '\n';
+    crcAccum_ = support::crc32Update(crcAccum_, &kSep, 1);
     return t;
   }
 
@@ -146,6 +185,7 @@ class Reader {
   std::string pending_;
   int pendingLine_ = 1;
   bool havePending_ = false;
+  std::uint32_t crcAccum_ = support::kCrc32Init;
 };
 
 wave::Edge parseEdge(Reader& r) {
@@ -267,9 +307,7 @@ model::DualTable readDualTable(Reader& r) {
   return t;
 }
 
-}  // namespace
-
-void saveGateModel(const CharacterizedGate& g, std::ostream& os) {
+void writeModelBody(const CharacterizedGate& g, std::ostream& os) {
   os << std::setprecision(17);
   const cells::CellSpec& s = g.gate.spec;
   os << kMagic << ' ' << kVersion << '\n';
@@ -317,15 +355,28 @@ void saveGateModel(const CharacterizedGate& g, std::ostream& os) {
   os << "end\n";
 }
 
+}  // namespace
+
+void saveGateModel(const CharacterizedGate& g, std::ostream& os) {
+  // The body is rendered once and checksummed as a token stream; the
+  // trailing crc32 line lets the loader distinguish a truncated or
+  // bit-flipped file from a well-formed one even when the damage happens to
+  // parse (e.g. a corrupted digit inside a ratio table).
+  std::ostringstream body;
+  writeModelBody(g, body);
+  const std::string text = body.str();
+  char crcHex[12];
+  std::snprintf(crcHex, sizeof(crcHex), "%08x",
+                static_cast<unsigned>(tokenStreamCrc(text)));
+  os << text << "crc32 " << crcHex << '\n';
+}
+
 void saveGateModel(const CharacterizedGate& g, const std::string& path) {
-  std::ofstream f(path);
-  if (!f) {
-    throw support::DiagnosticError(
-        support::makeDiagnostic(support::StatusCode::IoError,
-                                "saveGateModel: cannot open " + path)
-            .withSite("characterize.serialize"));
-  }
-  saveGateModel(g, f);
+  // Atomic commit: the model lands under its final name complete or not at
+  // all, so a crash (or disk-full failure) mid-save can never leave a torn
+  // .prox where a previous good one stood.
+  support::writeFileAtomic(path,
+                           [&](std::ostream& os) { saveGateModel(g, os); });
 }
 
 CharacterizedGate loadGateModel(std::istream& is) {
@@ -438,6 +489,24 @@ CharacterizedGate loadGateModel(std::istream& is) {
   g.correction.transitionErrorFalling = readVector(r, "correction");
 
   r.expect("end");
+  // Snapshot before touching the crc32 tokens: the stored checksum covers
+  // every token up to and including "end".
+  const std::uint32_t computed = r.crc();
+  if (version >= 3) {
+    r.expect("crc32");
+    const std::string stored = r.next("crc32 value");
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long parsed = std::strtoul(stored.c_str(), &end, 16);
+    if (end != stored.c_str() + stored.size() || stored.size() != 8 ||
+        errno == ERANGE) {
+      r.fail("malformed crc32 value '" + stored + "'");
+    }
+    if (static_cast<std::uint32_t>(parsed) != computed) {
+      PROX_OBS_COUNT("characterize.serialize.crc_mismatches", 1);
+      r.fail("crc32 mismatch: file is corrupt or was hand-edited");
+    }
+  }
   return g;
 }
 

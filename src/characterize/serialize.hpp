@@ -11,19 +11,23 @@
 namespace prox::characterize {
 
 /// Writes the complete package (cell spec, technology, thresholds, single
-/// and dual tables, corrections) to @p os.
+/// and dual tables, corrections) to @p os, ending with a "crc32" integrity
+/// line over the token stream (format version 3).
 void saveGateModel(const CharacterizedGate& g, std::ostream& os);
 
-/// Writes to @p path; throws support::DiagnosticError (IoError) if the file
-/// cannot be opened.
+/// Writes to @p path through the atomic-commit writer (temp file + fsync +
+/// rename): the model appears under its final name complete or not at all.
+/// Throws support::DiagnosticError (IoError) on any filesystem failure.
 void saveGateModel(const CharacterizedGate& g, const std::string& path);
 
 /// Reads a package previously written by saveGateModel (format versions 1
-/// and 2; version 2 adds per-table healed-point marks).  Throws
+/// through 3; version 2 adds per-table healed-point marks, version 3 the
+/// trailing crc32 line, which is verified when present).  Throws
 /// support::DiagnosticError -- a std::runtime_error whose Diagnostic carries
 /// code ParseError and the 1-based line of the offending token -- on
 /// truncated input, malformed or non-finite numbers, non-ascending grid
-/// axes, unknown section tags, or bad pull-network expressions.
+/// axes, unknown section tags, bad pull-network expressions, or a checksum
+/// mismatch.
 CharacterizedGate loadGateModel(std::istream& is);
 
 /// Reads from @p path.

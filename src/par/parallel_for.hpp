@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "par/pool.hpp"
+#include "support/cancel.hpp"
 #include "support/diagnostic.hpp"
 #include "support/fault_injection.hpp"
 
@@ -43,6 +44,14 @@ struct ParallelOptions {
   /// indices ran before the stop is timing-dependent, so use this only on
   /// paths whose partial results are discarded on failure.
   bool failFast = false;
+  /// Cooperative cancellation: when set, the loop stops issuing new indices
+  /// once the token trips, installs the token as every task's thread-local
+  /// CancelScope (so poll points deep inside the task observe it), and --
+  /// after in-flight tasks drain -- parallelFor/parallelForCollect throw the
+  /// token's typed DiagnosticError (Cancelled / DeadlineExceeded).
+  /// Cancellation outranks collected task failures: a cancelled run's
+  /// partial results are discarded by callers, so its failures are moot.
+  const support::CancelToken* cancel = nullptr;
 };
 
 /// One failed loop iteration: the index it ran as, the original exception
@@ -76,11 +85,24 @@ inline support::Diagnostic describeFailure(std::size_t index,
   return diag;
 }
 
+/// The ProcessCrash fault site: a task-keyed plan armed against "par.task"
+/// kills the process (as SIGKILL would) the moment the matching task index
+/// starts, at any thread count -- the deterministic stand-in for an
+/// operator's `kill -9` in checkpoint/resume tests and the CI kill-resume
+/// job.  Inline in the task wrapper so every parallel region is covered.
+inline void maybeCrashAtTask() {
+  if (PROX_FAULT_POINT("par.task", ProcessCrash)) {
+    support::crashProcessForFaultInjection();
+  }
+}
+
 }  // namespace detail
 
 /// Runs fn(i) for i in [0, n), possibly in parallel, and returns every
 /// failure sorted by index (empty on full success).  fn must confine its
-/// writes to per-index storage; it may throw.
+/// writes to per-index storage; it may throw.  When opt.cancel trips, the
+/// loop stops issuing indices, drains in-flight tasks, then throws the
+/// token's typed DiagnosticError (Cancelled / DeadlineExceeded).
 template <typename Fn>
 std::vector<TaskFailure> parallelForCollect(std::size_t n, Fn&& fn,
                                             const ParallelOptions& opt = {}) {
@@ -91,8 +113,11 @@ std::vector<TaskFailure> parallelForCollect(std::size_t n, Fn&& fn,
   // Serial inline path: threads <= 1, trivially small ranges, or a nested
   // call from a pool worker (submitting would risk deadlock).
   if (threads <= 1 || n == 1 || ThreadPool::onWorkerThread()) {
+    support::CancelScope cancelScope(opt.cancel);
     for (std::size_t i = 0; i < n; ++i) {
+      if (opt.cancel != nullptr && opt.cancel->cancelRequested()) break;
       support::TaskScope scope(static_cast<long long>(i));
+      detail::maybeCrashAtTask();
       try {
         fn(i);
       } catch (...) {
@@ -101,6 +126,9 @@ std::vector<TaskFailure> parallelForCollect(std::size_t n, Fn&& fn,
              detail::describeFailure(i, std::current_exception())});
         if (opt.failFast) break;
       }
+    }
+    if (opt.cancel != nullptr) {
+      opt.cancel->throwIfCancelled("par.parallel_for");
     }
     return failures;
   }
@@ -119,15 +147,19 @@ std::vector<TaskFailure> parallelForCollect(std::size_t n, Fn&& fn,
   auto shared = std::make_shared<Shared>();
 
   const bool failFast = opt.failFast;
-  auto runner = [shared, n, chunk, failFast, &fn]() {
+  const support::CancelToken* const cancel = opt.cancel;
+  auto runner = [shared, n, chunk, failFast, cancel, &fn]() {
+    support::CancelScope cancelScope(cancel);
     for (;;) {
       if (failFast && shared->stop.load(std::memory_order_acquire)) break;
+      if (cancel != nullptr && cancel->cancelRequested()) break;
       const std::size_t begin =
           shared->next.fetch_add(chunk, std::memory_order_relaxed);
       if (begin >= n) break;
       const std::size_t end = std::min(begin + chunk, n);
       for (std::size_t i = begin; i < end; ++i) {
         support::TaskScope scope(static_cast<long long>(i));
+        detail::maybeCrashAtTask();
         try {
           fn(i);
         } catch (...) {
@@ -158,6 +190,10 @@ std::vector<TaskFailure> parallelForCollect(std::size_t n, Fn&& fn,
       return shared->active.load(std::memory_order_acquire) == 0;
     });
   }
+
+  // Cancellation is reported only after every in-flight task has drained,
+  // so the caller's per-index storage is quiescent when the throw unwinds.
+  if (cancel != nullptr) cancel->throwIfCancelled("par.parallel_for");
 
   failures = std::move(shared->failures);
   // Failure order must not depend on the interleaving.

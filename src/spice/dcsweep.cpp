@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "support/cancel.hpp"
+
 namespace prox::spice {
 
 wave::Waveform DcSweepResult::nodeCurve(const Circuit& ckt, NodeId node) const {
@@ -34,6 +36,8 @@ DcSweepResult dcSweep(Circuit& ckt, VoltageSource& src, double from, double to,
   linalg::Vector trial;
 
   for (int i = 0; i < points; ++i) {
+    // Cancellation poll point: VTC extraction sweeps hundreds of points.
+    support::pollCancellation("spice.dcsweep");
     const double v = from + dir * step * i;
     src.setDc(v);
     bool solved = false;

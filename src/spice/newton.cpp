@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "obs/registry.hpp"
+#include "support/cancel.hpp"
 #include "support/fault_injection.hpp"
 
 namespace prox::spice {
@@ -70,6 +71,10 @@ NewtonStatus solveNewton(const Circuit& ckt, linalg::Vector& x,
   if (!ws.boundTo(ckt)) ws.bind(ckt);
 
   for (int iter = 1; iter <= opt.maxIterations; ++iter) {
+    // Cancellation poll point: one thread-local load when no token is
+    // installed, and a circuit this size iterates in microseconds, so a
+    // tripped token (Ctrl-C, --timeout) aborts the analysis promptly.
+    support::pollCancellation("spice.newton");
     status.iterations = iter;
     ws.g.setZero();
     std::fill(ws.rhs.begin(), ws.rhs.end(), 0.0);

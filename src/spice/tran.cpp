@@ -8,6 +8,7 @@
 #include "obs/registry.hpp"
 #include "obs/scoped_timer.hpp"
 #include "spice/op.hpp"
+#include "support/cancel.hpp"
 #include "support/diagnostic.hpp"
 
 namespace prox::spice {
@@ -89,6 +90,9 @@ TranResult transient(Circuit& ckt, const TranOptions& opt) {
   linalg::Vector xNew;
 
   while (t < opt.tstop - 1e-21) {
+    // Cancellation poll point: once per accepted-or-rejected step attempt,
+    // so a Ctrl-C or --timeout aborts a long transient within one timestep.
+    support::pollCancellation("spice.tran");
     // Clamp the proposed step to the horizon and the next breakpoint.
     double hTry = std::min({h, hmax, opt.tstop - t});
     while (bpIdx < bps.size() && bps[bpIdx] <= t + 1e-21) ++bpIdx;

@@ -46,6 +46,10 @@ struct DelayCalcOptions {
   /// N > 1 evaluates each level's arcs as pool tasks.  Arrival times are
   /// bit-identical at any thread count (results commit in instance order).
   int threads = 1;
+  /// Cooperative cancellation: when set, levelized evaluation stops issuing
+  /// arcs once the token trips and run() unwinds with the token's typed
+  /// DiagnosticError (see support/cancel.hpp).  Not owned.
+  support::CancelToken* cancel = nullptr;
 };
 
 /// Computes the output arrival of @p cell given per-pin input arrivals

@@ -50,7 +50,7 @@ void TimingAnalyzer::run() {
           results[i].out = evaluateGate(*inst->cell, pins, mode_, options_,
                                         &results[i].quality);
         },
-        {.threads = threads, .failFast = true});
+        {.threads = threads, .failFast = true, .cancel = options_.cancel});
     for (std::size_t i = 0; i < level.size(); ++i) {
       if (results[i].out) {
         arrivals_[level[i]->outputNet] = *results[i].out;

@@ -1,0 +1,84 @@
+#include "support/cancel.hpp"
+
+#include <csignal>
+#include <cstring>
+
+#include "obs/registry.hpp"
+
+namespace prox::support {
+
+namespace detail {
+thread_local constinit const CancelToken* tlsCancelToken = nullptr;
+}  // namespace detail
+
+Diagnostic CancelToken::diagnostic(const char* site) const {
+  const StatusCode code = reason();
+  std::string msg;
+  if (code == StatusCode::DeadlineExceeded) {
+    msg = "run cancelled: deadline exceeded (--timeout watchdog)";
+    PROX_OBS_COUNT("support.cancel.deadline_trips", 1);
+  } else {
+    const int sig = signalNumber();
+    if (sig != 0) {
+      msg = std::string("run cancelled by signal ") + std::to_string(sig) +
+            " (" + strsignal(sig) + ")";
+    } else {
+      msg = "run cancelled";
+    }
+    PROX_OBS_COUNT("support.cancel.cancellations", 1);
+  }
+  return makeDiagnostic(code == StatusCode::Ok ? StatusCode::Cancelled : code,
+                        std::move(msg))
+      .withSite(site);
+}
+
+namespace {
+
+// The token the installed signal handler targets.  A raw atomic pointer:
+// signal handlers may only perform lock-free atomic accesses.
+std::atomic<CancelToken*> gSignalToken{nullptr};
+
+struct sigaction gPrevInt;
+struct sigaction gPrevTerm;
+
+extern "C" void proxCancelSignalHandler(int sig) {
+  CancelToken* token = gSignalToken.load(std::memory_order_acquire);
+  if (token == nullptr) return;
+  if (token->cancelRequested()) {
+    // Second signal: the run is already unwinding; give the operator a hard
+    // exit path instead of a hung teardown.
+    std::signal(sig, SIG_DFL);
+    std::raise(sig);
+    return;
+  }
+  token->cancel(sig);
+}
+
+}  // namespace
+
+SignalCancelScope::SignalCancelScope(CancelToken* token) {
+  CancelToken* expected = nullptr;
+  if (!gSignalToken.compare_exchange_strong(expected, token,
+                                            std::memory_order_acq_rel)) {
+    throw DiagnosticError(
+        makeDiagnostic(StatusCode::Internal,
+                       "SignalCancelScope: a scope is already installed")
+            .withSite("support.cancel"));
+  }
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = proxCancelSignalHandler;
+  sigemptyset(&sa.sa_mask);
+  // No SA_RESTART: a blocking read in a tool front end should come back
+  // with EINTR so the cancellation is observed promptly.
+  ::sigaction(SIGINT, &sa, &gPrevInt);
+  ::sigaction(SIGTERM, &sa, &gPrevTerm);
+}
+
+SignalCancelScope::~SignalCancelScope() {
+  ::sigaction(SIGINT, &gPrevInt, nullptr);
+  ::sigaction(SIGTERM, &gPrevTerm, nullptr);
+  gSignalToken.store(nullptr, std::memory_order_release);
+}
+
+}  // namespace prox::support

@@ -33,6 +33,9 @@ enum class StatusCode {
   // Front ends.
   ParseError,         ///< malformed netlist or .prox model file
   IoError,            ///< file could not be opened / read / written
+  // Cooperative cancellation (support/cancel.hpp).
+  Cancelled,          ///< explicit cancel or SIGINT/SIGTERM
+  DeadlineExceeded,   ///< --timeout watchdog deadline passed
   Internal,           ///< invariant violation; always a bug
 };
 

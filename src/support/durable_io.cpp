@@ -1,0 +1,137 @@
+#include "support/durable_io.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "obs/registry.hpp"
+#include "support/diagnostic.hpp"
+
+namespace prox::support {
+
+namespace {
+
+// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) lookup table,
+// generated once at first use.
+const std::array<std::uint32_t, 256>& crcTable() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+[[noreturn]] void failIo(const std::string& what, const std::string& path) {
+  const int err = errno;
+  std::string msg = what + ": " + path;
+  if (err != 0) msg += std::string(" (") + std::strerror(err) + ")";
+  throw DiagnosticError(makeDiagnostic(StatusCode::IoError, msg)
+                            .withSite("support.durable_io"));
+}
+
+/// fsyncs the directory containing @p path so a crash after commit cannot
+/// lose the rename itself.  Best effort: some filesystems refuse directory
+/// fsync; the data fsync above already happened.
+void syncParentDir(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+std::uint32_t crc32Update(std::uint32_t crc, const void* data,
+                          std::size_t len) noexcept {
+  const auto& table = crcTable();
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+std::uint32_t crc32(std::string_view text) noexcept {
+  return crc32Final(crc32Update(kCrc32Init, text.data(), text.size()));
+}
+
+AtomicFileWriter::AtomicFileWriter(std::string path) : path_(std::move(path)) {
+  // Same directory as the destination so the final rename never crosses a
+  // filesystem boundary (cross-device rename is not atomic).  The pid keeps
+  // concurrent processes writing the same artifact from clobbering each
+  // other's temp file.
+  tmpPath_ = path_ + ".tmp." + std::to_string(::getpid());
+}
+
+AtomicFileWriter::~AtomicFileWriter() {
+  if (!committed_) {
+    // Abandoned (exception unwind / early return): the destination is left
+    // exactly as it was.  The temp file only exists if commit() failed
+    // mid-way, but unlink unconditionally is harmless.
+    ::unlink(tmpPath_.c_str());
+    PROX_OBS_COUNT("support.durable.aborted_writes", 1);
+  }
+}
+
+void AtomicFileWriter::commit() {
+  if (committed_) {
+    throw DiagnosticError(
+        makeDiagnostic(StatusCode::Internal,
+                       "AtomicFileWriter: double commit of " + path_)
+            .withSite("support.durable_io"));
+  }
+  const std::string body = body_.str();
+  const int fd = ::open(tmpPath_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) failIo("AtomicFileWriter: cannot create temp file", tmpPath_);
+  std::size_t off = 0;
+  while (off < body.size()) {
+    const ssize_t n = ::write(fd, body.data() + off, body.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmpPath_.c_str());
+      failIo("AtomicFileWriter: write failed", tmpPath_);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmpPath_.c_str());
+    failIo("AtomicFileWriter: fsync failed", tmpPath_);
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmpPath_.c_str());
+    failIo("AtomicFileWriter: close failed", tmpPath_);
+  }
+  if (std::rename(tmpPath_.c_str(), path_.c_str()) != 0) {
+    ::unlink(tmpPath_.c_str());
+    failIo("AtomicFileWriter: rename failed", path_);
+  }
+  syncParentDir(path_);
+  committed_ = true;
+  PROX_OBS_COUNT("support.durable.atomic_writes", 1);
+}
+
+void writeFileAtomic(const std::string& path,
+                     const std::function<void(std::ostream&)>& fill) {
+  AtomicFileWriter writer(path);
+  fill(writer.stream());
+  writer.commit();
+}
+
+}  // namespace prox::support

@@ -1,0 +1,83 @@
+#pragma once
+// Durable artifact I/O: crash-safe file emission for every deployable
+// artifact the tools write (.prox model packages, stats JSON, bench
+// reports).
+//
+// The failure mode this closes: a SIGKILL / OOM / power cut in the middle
+// of an `std::ofstream f(path)` write leaves a torn file *under the final
+// name*, which downstream tooling then trusts.  AtomicFileWriter never
+// exposes a partial artifact: content goes to a same-directory temp file,
+// is fsync'd, and only then renamed over the destination (rename(2) is
+// atomic within a filesystem); the directory entry is fsync'd last so the
+// rename itself survives a crash.  An abandoned writer (exception unwind,
+// early return) unlinks its temp file and leaves any previous artifact
+// untouched.
+//
+// The same header provides the CRC-32 (IEEE 802.3, reflected) used to stamp
+// journal records and .prox model files so torn or bit-flipped artifacts are
+// rejected at load time instead of silently poisoning downstream STA.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace prox::support {
+
+/// Incrementally updates a CRC-32 (IEEE, reflected; same polynomial as zlib)
+/// over @p data.  Seed with kCrc32Init and finalize with crc32Final.
+inline constexpr std::uint32_t kCrc32Init = 0xFFFFFFFFu;
+std::uint32_t crc32Update(std::uint32_t crc, const void* data,
+                          std::size_t len) noexcept;
+inline std::uint32_t crc32Final(std::uint32_t crc) noexcept {
+  return crc ^ 0xFFFFFFFFu;
+}
+
+/// One-shot CRC-32 of @p text (zlib-compatible: crc32("123456789") ==
+/// 0xCBF43926).
+std::uint32_t crc32(std::string_view text) noexcept;
+
+/// Atomic whole-file writer: stream into a temp file next to @p path, then
+/// commit() to fsync + rename it into place.  Without commit() the
+/// destructor discards the temp file, so the destination is only ever the
+/// previous complete artifact or the new complete artifact -- never a torn
+/// mixture.  Not thread-safe; one writer per artifact.
+class AtomicFileWriter {
+ public:
+  /// Prepares the temp file name; nothing touches the filesystem until
+  /// commit().  Content accumulates in memory (artifacts here are KB-to-MB
+  /// text files), which keeps the failure surface to a single commit step.
+  explicit AtomicFileWriter(std::string path);
+  ~AtomicFileWriter();
+
+  /// The stream to write artifact content into.
+  std::ostream& stream() { return body_; }
+
+  /// Writes the accumulated content to the temp file, fsyncs it, renames it
+  /// over the destination and fsyncs the containing directory.  Throws
+  /// DiagnosticError (IoError) on any failure, leaving the destination
+  /// untouched and the temp file removed.  At most one commit per writer.
+  void commit();
+
+  bool committed() const noexcept { return committed_; }
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+ private:
+  std::string path_;
+  std::string tmpPath_;
+  std::ostringstream body_;
+  bool committed_ = false;
+};
+
+/// Convenience wrapper: runs @p fill against an in-memory stream, then
+/// commits the result atomically to @p path.  Throws DiagnosticError
+/// (IoError) if the commit fails; @p fill's exceptions propagate before
+/// anything is written.
+void writeFileAtomic(const std::string& path,
+                     const std::function<void(std::ostream&)>& fill);
+
+}  // namespace prox::support

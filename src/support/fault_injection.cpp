@@ -1,5 +1,7 @@
 #include "support/fault_injection.hpp"
 
+#include <csignal>
+#include <cstdlib>
 #include <cstring>
 #include <mutex>
 
@@ -11,8 +13,14 @@ const char* faultKindName(FaultKind kind) noexcept {
     case FaultKind::NewtonNonConverge: return "newton-nonconverge";
     case FaultKind::NanResidual: return "nan-residual";
     case FaultKind::SimulationFailure: return "simulation-failure";
+    case FaultKind::ProcessCrash: return "process-crash";
   }
   return "unknown";
+}
+
+void crashProcessForFaultInjection() noexcept {
+  ::raise(SIGKILL);
+  std::_Exit(137);
 }
 
 namespace {

@@ -25,9 +25,16 @@ enum class FaultKind {
   NewtonNonConverge,  ///< solveNewton returns without convergence
   NanResidual,        ///< a NaN is planted in the Newton residual vector
   SimulationFailure,  ///< GateSimulator::simulate throws SimulationFailed
+  ProcessCrash,       ///< the process dies by SIGKILL at the site (crash test)
 };
 
 const char* faultKindName(FaultKind kind) noexcept;
+
+/// The ProcessCrash fault's action: kills the process exactly as an external
+/// `kill -9` would -- no unwinding, no atexit, no stream flushing -- so
+/// checkpoint/resume tests exercise the true SIGKILL crash surface.  The
+/// _Exit fallback (exit code 137 = 128 + SIGKILL) only runs if raise fails.
+[[noreturn]] void crashProcessForFaultInjection() noexcept;
 
 struct FaultSpec {
   std::string site;                ///< exact site name to match

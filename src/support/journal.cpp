@@ -1,0 +1,289 @@
+#include "support/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "obs/registry.hpp"
+#include "support/diagnostic.hpp"
+#include "support/durable_io.hpp"
+
+namespace prox::support {
+
+namespace {
+
+constexpr const char* kMagic = "proxjournal";
+constexpr int kVersion = 1;
+
+[[noreturn]] void failIo(const std::string& what, const std::string& path) {
+  const int err = errno;
+  std::string msg = what + ": " + path;
+  if (err != 0) msg += std::string(" (") + std::strerror(err) + ")";
+  throw DiagnosticError(
+      makeDiagnostic(StatusCode::IoError, msg).withSite("support.journal"));
+}
+
+[[noreturn]] void failParse(const std::string& msg, const std::string& path) {
+  throw DiagnosticError(
+      makeDiagnostic(StatusCode::ParseError, msg + ": " + path)
+          .withSite("support.journal"));
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string hex32(std::uint32_t v) {
+  char buf[9];
+  std::snprintf(buf, sizeof(buf), "%08x", v);
+  return buf;
+}
+
+bool parseHex(const std::string& s, std::uint64_t* out) {
+  if (s.empty() || s.size() > 16) return false;
+  std::uint64_t v = 0;
+  for (char c : s) {
+    int d;
+    if (c >= '0' && c <= '9') d = c - '0';
+    else if (c >= 'a' && c <= 'f') d = c - 'a' + 10;
+    else return false;
+    v = (v << 4) | static_cast<std::uint64_t>(d);
+  }
+  *out = v;
+  return true;
+}
+
+/// Splits @p line on single spaces.  Journal lines are machine-written, so
+/// any deviation (double space, tabs) is corruption and yields a token that
+/// fails validation downstream.
+std::vector<std::string> splitFields(const std::string& line) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  while (start <= line.size()) {
+    const std::size_t sp = line.find(' ', start);
+    if (sp == std::string::npos) {
+      fields.push_back(line.substr(start));
+      break;
+    }
+    fields.push_back(line.substr(start, sp - start));
+    start = sp + 1;
+  }
+  return fields;
+}
+
+/// Validates one journal line: the last field must be the CRC-32 (8 hex
+/// digits) of everything before it.  Returns the payload fields.
+bool checkLine(const std::string& line, std::vector<std::string>* fields) {
+  const std::size_t lastSpace = line.find_last_of(' ');
+  if (lastSpace == std::string::npos || lastSpace + 9 != line.size()) {
+    return false;
+  }
+  std::uint64_t want = 0;
+  if (!parseHex(line.substr(lastSpace + 1), &want)) return false;
+  if (crc32(std::string_view(line).substr(0, lastSpace)) !=
+      static_cast<std::uint32_t>(want)) {
+    return false;
+  }
+  *fields = splitFields(line.substr(0, lastSpace));
+  return true;
+}
+
+std::string headerPayload(const std::string& fingerprint) {
+  std::ostringstream os;
+  os << kMagic << ' ' << kVersion << ' ' << fingerprint;
+  return os.str();
+}
+
+}  // namespace
+
+std::uint64_t doubleToBits(double v) noexcept {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double bitsFromDouble(std::uint64_t bits) noexcept {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Journal::~Journal() {
+  if (fd_ >= 0) {
+    ::fsync(fd_);
+    ::close(fd_);
+  }
+}
+
+std::optional<JournalContents> Journal::load(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return std::nullopt;
+
+  JournalContents out;
+  std::string line;
+  bool sawHeader = false;
+  std::uint64_t offset = 0;
+  while (std::getline(is, line)) {
+    // getline strips the '\n'; a final line without one (eofbit set before
+    // the delimiter) is a torn write.
+    const bool hasNewline = !is.eof();
+    const std::uint64_t lineBytes = line.size() + (hasNewline ? 1 : 0);
+    std::vector<std::string> fields;
+    if (!hasNewline || !checkLine(line, &fields)) {
+      out.truncatedTail = true;
+      break;
+    }
+    if (!sawHeader) {
+      if (fields.size() != 3 || fields[0] != kMagic ||
+          fields[1] != std::to_string(kVersion)) {
+        failParse("bad journal header", path);
+      }
+      out.fingerprint = fields[2];
+      sawHeader = true;
+    } else if (fields.size() >= 4 && fields[0] == "p") {
+      JournalRecord rec;
+      rec.scope = fields[1];
+      std::uint64_t count = 0;
+      if (!parseHex(fields[2], &rec.index) || !parseHex(fields[3], &count) ||
+          fields.size() != 4 + count) {
+        out.truncatedTail = true;
+        break;
+      }
+      rec.words.resize(count);
+      bool ok = true;
+      for (std::uint64_t i = 0; i < count; ++i) {
+        ok = ok && parseHex(fields[4 + i], &rec.words[i]);
+      }
+      if (!ok) {
+        out.truncatedTail = true;
+        break;
+      }
+      out.records.push_back(std::move(rec));
+    } else {
+      // Unknown record tag: a CRC-valid line written by a future version.
+      // Skipping it keeps old binaries able to resume what they understand.
+      PROX_OBS_COUNT("support.journal.unknown_records", 1);
+    }
+    offset += lineBytes;
+    out.validBytes = offset;
+  }
+  if (!sawHeader) {
+    if (out.validBytes == 0 && !out.truncatedTail) return std::nullopt;
+    failParse("bad journal header", path);
+  }
+  if (out.truncatedTail) {
+    PROX_OBS_COUNT("support.journal.torn_tails_dropped", 1);
+  }
+  return out;
+}
+
+void Journal::openFresh(const std::string& path,
+                        const std::string& fingerprint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  path_ = path;
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) failIo("Journal: cannot create", path);
+  writeLine(headerPayload(fingerprint));
+  PROX_OBS_COUNT("support.journal.opened_fresh", 1);
+}
+
+std::vector<JournalRecord> Journal::openResume(const std::string& path,
+                                               const std::string& fingerprint) {
+  auto contents = load(path);
+  if (!contents) {
+    openFresh(path, fingerprint);
+    return {};
+  }
+  if (contents->fingerprint != fingerprint) {
+    failParse("journal fingerprint mismatch (different cell or "
+              "characterization config): have " +
+                  contents->fingerprint + ", want " + fingerprint,
+              path);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  path_ = path;
+  fd_ = ::open(path.c_str(), O_WRONLY, 0644);
+  if (fd_ < 0) failIo("Journal: cannot open for resume", path);
+  // Drop the torn tail so appended records start on a clean line boundary.
+  if (::ftruncate(fd_, static_cast<off_t>(contents->validBytes)) != 0) {
+    failIo("Journal: truncate failed", path);
+  }
+  if (::lseek(fd_, 0, SEEK_END) < 0) failIo("Journal: seek failed", path);
+  PROX_OBS_COUNT("support.journal.opened_resume", 1);
+  return std::move(contents->records);
+}
+
+void Journal::append(const std::string& scope, std::uint64_t index,
+                     const std::vector<std::uint64_t>& words) {
+  std::ostringstream os;
+  os << "p " << scope << ' ' << hex64(index) << ' ' << hex64(words.size());
+  for (std::uint64_t w : words) os << ' ' << hex64(w);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) {
+    throw DiagnosticError(
+        makeDiagnostic(StatusCode::Internal, "Journal: append while closed")
+            .withSite("support.journal"));
+  }
+  writeLine(os.str());
+  PROX_OBS_COUNT("support.journal.records_appended", 1);
+  if (++unsynced_ >= syncEveryRecords) {
+    ::fsync(fd_);
+    unsynced_ = 0;
+  }
+}
+
+void Journal::sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ >= 0) {
+    ::fsync(fd_);
+    unsynced_ = 0;
+  }
+}
+
+void Journal::close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ >= 0) {
+    ::fsync(fd_);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Journal::writeLine(const std::string& payload) {
+  std::string line = payload;
+  line += ' ';
+  line += hex32(crc32(payload));
+  line += '\n';
+  // One write(2) per record: on most filesystems a small append either
+  // lands entirely or becomes the torn tail load() drops -- never an
+  // interleaving of two records (mu_ serializes writers within the
+  // process, O_APPEND-like positioning is ours alone).
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n = ::write(fd_, line.data() + off, line.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      failIo("Journal: write failed", path_);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace prox::support

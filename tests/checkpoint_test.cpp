@@ -1,0 +1,262 @@
+// Crash-safe characterization tests: the checkpoint/resume machinery must
+// reproduce a byte-identical .prox artifact no matter where a run died or
+// how many threads the resume uses.  The crash itself is real -- a child
+// process is SIGKILLed mid-sweep via the task-keyed ProcessCrash fault --
+// so the journal's torn-tail tolerance and the atomic artifact writer are
+// exercised exactly as an operator's `kill -9` would.
+
+#include <gtest/gtest.h>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <filesystem>
+#include <sstream>
+#include <string>
+
+#include "characterize/checkpoint.hpp"
+#include "characterize/serialize.hpp"
+#include "support/cancel.hpp"
+#include "support/diagnostic.hpp"
+#include "support/fault_injection.hpp"
+#include "support/journal.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace prox;
+using characterize::CheckpointSession;
+using characterize::configFingerprint;
+using support::DiagnosticError;
+using support::StatusCode;
+
+struct TempDir {
+  fs::path path;
+  TempDir() {
+    path = fs::temp_directory_path() /
+           ("prox_checkpoint_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()
+                ->current_test_info()
+                ->name());
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  std::string file(const std::string& name) const {
+    return (path / name).string();
+  }
+};
+
+/// The .prox text for @p gate -- the byte-identity currency of these tests.
+std::string modelText(const characterize::CharacterizedGate& gate) {
+  std::ostringstream os;
+  characterize::saveGateModel(gate, os);
+  return os.str();
+}
+
+/// The uninterrupted-run reference, characterized serially exactly once.
+const std::string& referenceText() {
+  static const std::string text = [] {
+    auto cfg = testutil::fastConfig();
+    cfg.threads = 1;
+    return modelText(characterize::characterizeGate(testutil::nandSpec(2),
+                                                    cfg));
+  }();
+  return text;
+}
+
+// -- fingerprint -------------------------------------------------------------
+
+TEST(ConfigFingerprint, IgnoresExecutionOnlyFields) {
+  const auto spec = testutil::nandSpec(2);
+  auto a = testutil::fastConfig();
+  auto b = testutil::fastConfig();
+  a.threads = 1;
+  b.threads = 8;
+  support::CancelToken token;
+  b.cancel = &token;
+  EXPECT_EQ(configFingerprint(spec, a), configFingerprint(spec, b));
+}
+
+TEST(ConfigFingerprint, TracksEveryResultAffectingInput) {
+  const auto spec = testutil::nandSpec(2);
+  const auto base = testutil::fastConfig();
+  const std::string fp = configFingerprint(spec, base);
+
+  auto widerGrid = base;
+  widerGrid.tauGrid.push_back(3e-9);
+  EXPECT_NE(configFingerprint(spec, widerGrid), fp);
+
+  auto otherCell = spec;
+  otherCell.fanin = 3;
+  EXPECT_NE(configFingerprint(otherCell, base), fp);
+
+  auto otherLoad = spec;
+  otherLoad.loadCap *= 2.0;
+  EXPECT_NE(configFingerprint(otherLoad, base), fp);
+}
+
+// -- replay ------------------------------------------------------------------
+
+TEST(CheckpointResume, FullReplayReproducesTheArtifactWithoutRecompute) {
+  TempDir dir;
+  const auto spec = testutil::nandSpec(2);
+  auto cfg = testutil::fastConfig();
+  cfg.threads = 1;
+  const std::string fp = configFingerprint(spec, cfg);
+
+  std::string firstText;
+  {
+    CheckpointSession fresh(dir.file("run.ckpt"), fp, /*resume=*/false);
+    cfg.checkpoint = &fresh;
+    firstText = modelText(characterize::characterizeGate(spec, cfg));
+    fresh.flush();
+  }
+  EXPECT_EQ(firstText, referenceText());  // journaling must not perturb
+
+  CheckpointSession again(dir.file("run.ckpt"), fp, /*resume=*/true);
+  EXPECT_TRUE(again.resumed());
+  EXPECT_GT(again.loadedRecords(), 0u);
+  cfg.checkpoint = &again;
+  const std::string secondText =
+      modelText(characterize::characterizeGate(spec, cfg));
+  EXPECT_EQ(secondText, referenceText());
+  // Every journaled point was served from the replay map.
+  EXPECT_EQ(again.replayCount(), again.loadedRecords());
+}
+
+TEST(CheckpointResume, ForeignJournalIsRejected) {
+  TempDir dir;
+  const auto spec = testutil::nandSpec(2);
+  auto cfg = testutil::fastConfig();
+  {
+    CheckpointSession fresh(dir.file("run.ckpt"),
+                            configFingerprint(spec, cfg), /*resume=*/false);
+    fresh.record("single", 0, {1, 2, 3});
+    fresh.flush();
+  }
+  auto otherCfg = cfg;
+  otherCfg.tauGrid.push_back(9e-9);
+  try {
+    CheckpointSession resumed(dir.file("run.ckpt"),
+                              configFingerprint(spec, otherCfg),
+                              /*resume=*/true);
+    FAIL() << "expected DiagnosticError";
+  } catch (const DiagnosticError& e) {
+    EXPECT_EQ(e.code(), StatusCode::ParseError);
+  }
+}
+
+// -- cancellation ------------------------------------------------------------
+
+TEST(CheckpointResume, CancelledRunLeavesValidResumableJournal) {
+  TempDir dir;
+  const auto spec = testutil::nandSpec(2);
+  auto cfg = testutil::fastConfig();
+  cfg.threads = 1;
+  const std::string fp = configFingerprint(spec, cfg);
+
+  {
+    support::CancelToken token;
+    token.setTimeout(0.0);  // the --timeout watchdog, already expired
+    support::CancelScope mainScope(&token);
+    CheckpointSession session(dir.file("run.ckpt"), fp, /*resume=*/false);
+    cfg.checkpoint = &session;
+    cfg.cancel = &token;
+    try {
+      characterize::characterizeGate(spec, cfg);
+      FAIL() << "expected DiagnosticError";
+    } catch (const DiagnosticError& e) {
+      EXPECT_EQ(e.code(), StatusCode::DeadlineExceeded);
+    }
+    session.flush();  // what the tools do on the unwind path
+  }
+
+  // The journal is partial but valid: loadable, right identity.
+  const auto contents = support::Journal::load(dir.file("run.ckpt"));
+  ASSERT_TRUE(contents.has_value());
+  EXPECT_EQ(contents->fingerprint, fp);
+
+  // And a resume (no deadline this time) completes to the reference bytes.
+  CheckpointSession resumed(dir.file("run.ckpt"), fp, /*resume=*/true);
+  cfg.checkpoint = &resumed;
+  cfg.cancel = nullptr;
+  EXPECT_EQ(modelText(characterize::characterizeGate(spec, cfg)),
+            referenceText());
+}
+
+// -- kill -9 mid-sweep -------------------------------------------------------
+
+#if PROX_ENABLE_FAULT_INJECTION
+
+/// Forks a child that characterizes into @p journalPath with a ProcessCrash
+/// armed at parallel task @p crashTask; asserts the child died by SIGKILL.
+void runCrashingChild(const std::string& journalPath, long long crashTask,
+                      int threads) {
+  const auto spec = testutil::nandSpec(2);
+  auto cfg = testutil::fastConfig();
+  cfg.threads = threads;
+  const std::string fp = configFingerprint(spec, cfg);
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0) << "fork failed";
+  if (pid == 0) {
+    // Child: no gtest assertions, no exit() (would flush parent-inherited
+    // state); _exit on any path the crash fault fails to reach.
+    try {
+      CheckpointSession session(journalPath, fp, /*resume=*/false);
+      cfg.checkpoint = &session;
+      support::FaultPlan::arm({.site = "par.task",
+                               .kind = support::FaultKind::ProcessCrash,
+                               .taskIndex = crashTask});
+      characterize::characterizeGate(spec, cfg);
+    } catch (...) {
+    }
+    ::_exit(42);  // reaching here means the crash never fired
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status))
+      << "child exited normally with status "
+      << (WIFEXITED(status) ? WEXITSTATUS(status) : -1);
+  EXPECT_EQ(WTERMSIG(status), SIGKILL);
+}
+
+TEST(CheckpointResume, KilledRunResumesToByteIdenticalArtifact) {
+  TempDir dir;
+  const auto spec = testutil::nandSpec(2);
+
+  // Two independent crashed runs (forked before any pool threads exist in
+  // this process), resumed at different thread counts.
+  runCrashingChild(dir.file("serial.ckpt"), /*crashTask=*/25, /*threads=*/1);
+  runCrashingChild(dir.file("parallel.ckpt"), /*crashTask=*/40, /*threads=*/1);
+
+  // The reference is characterized here, after the forks.
+  const std::string& ref = referenceText();
+
+  {
+    auto cfg = testutil::fastConfig();
+    cfg.threads = 1;
+    CheckpointSession resumed(dir.file("serial.ckpt"),
+                              configFingerprint(spec, cfg), /*resume=*/true);
+    EXPECT_GT(resumed.loadedRecords(), 0u);  // the crash landed mid-sweep
+    cfg.checkpoint = &resumed;
+    EXPECT_EQ(modelText(characterize::characterizeGate(spec, cfg)), ref);
+  }
+  {
+    auto cfg = testutil::fastConfig();
+    cfg.threads = testutil::envThreads(8);
+    CheckpointSession resumed(dir.file("parallel.ckpt"),
+                              configFingerprint(spec, cfg), /*resume=*/true);
+    EXPECT_GT(resumed.loadedRecords(), 0u);
+    cfg.checkpoint = &resumed;
+    EXPECT_EQ(modelText(characterize::characterizeGate(spec, cfg)), ref);
+  }
+}
+
+#endif  // PROX_ENABLE_FAULT_INJECTION
+
+}  // namespace

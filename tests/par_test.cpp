@@ -16,6 +16,7 @@
 
 #include "par/parallel_for.hpp"
 #include "par/pool.hpp"
+#include "support/cancel.hpp"
 #include "support/diagnostic.hpp"
 #include "support/fault_injection.hpp"
 
@@ -255,6 +256,92 @@ TEST(ParallelForCollect, FailFastParallelStillReportsLowestFailure) {
       {.threads = 4, .failFast = true});
   ASSERT_FALSE(failures.empty());
   EXPECT_GE(failures[0].index, 10u);
+}
+
+// -- cooperative cancellation ------------------------------------------------
+
+TEST(ParallelFor, CancelMidLoopThrowsTypedErrorAndPoolSurvives) {
+  for (int threads : {1, 8}) {
+    support::CancelToken token;
+    std::atomic<int> started{0};
+    try {
+      par::parallelFor(
+          500,
+          [&](std::size_t) {
+            if (started.fetch_add(1) == 20) token.cancel();
+            support::pollCancellation("par_test.body");
+          },
+          {.threads = threads, .cancel = &token});
+      FAIL() << "expected DiagnosticError, threads " << threads;
+    } catch (const support::DiagnosticError& e) {
+      // Cancellation outranks the collected task failures, and it is
+      // reported only after in-flight tasks drained.
+      EXPECT_EQ(e.code(), support::StatusCode::Cancelled);
+      EXPECT_EQ(e.diagnostic().site, "par.parallel_for");
+    }
+    EXPECT_LT(started.load(), 500) << "threads " << threads;
+    // The pool survived the cancelled loop: the next one covers everything.
+    checkCoversEveryIndexOnce(threads, 100);
+  }
+}
+
+TEST(ParallelFor, PreTrippedTokenRunsNoTasksSerially) {
+  support::CancelToken token;
+  token.cancel();
+  int ran = 0;
+  EXPECT_THROW(par::parallelFor(
+                   50, [&](std::size_t) { ++ran; },
+                   {.threads = 1, .cancel = &token}),
+               support::DiagnosticError);
+  EXPECT_EQ(ran, 0);
+}
+
+TEST(ParallelFor, ExpiredDeadlineSurfacesAsDeadlineExceeded) {
+  support::CancelToken token;
+  token.setTimeout(0.0);
+  try {
+    par::parallelFor(
+        100, [](std::size_t) {}, {.threads = 4, .cancel = &token});
+    FAIL() << "expected DiagnosticError";
+  } catch (const support::DiagnosticError& e) {
+    EXPECT_EQ(e.code(), support::StatusCode::DeadlineExceeded);
+  }
+}
+
+TEST(ParallelFor, TasksObserveTheTokenThroughTheThreadLocalScope) {
+  support::CancelToken token;
+  std::atomic<int> visible{0};
+  par::parallelFor(
+      64,
+      [&](std::size_t) {
+        if (support::currentCancelToken() == &token) visible.fetch_add(1);
+      },
+      {.threads = 4, .cancel = &token});
+  EXPECT_EQ(visible.load(), 64);
+}
+
+TEST(ThreadPool, DestructorDrainsTasksThatObserveATrippedToken) {
+  // Regression guard for the drain-on-destroy contract under cancellation:
+  // queued tasks that immediately hit a tripped token must still all run
+  // (absorbing the typed error at the task boundary), and the destructor
+  // must join cleanly rather than deadlocking on the queue.
+  support::CancelToken token;
+  token.cancel();
+  std::atomic<int> drained{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([&] {
+        support::CancelScope scope(&token);
+        try {
+          support::pollCancellation("par_test.drain");
+        } catch (const support::DiagnosticError&) {
+        }
+        drained.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+  }
+  EXPECT_EQ(drained.load(), 64);
 }
 
 // -- nested parallelism guard ------------------------------------------------

@@ -128,17 +128,71 @@ TEST(SerializeRobustness, HealedMarksSurviveTheRoundTrip) {
   EXPECT_EQ(back.dual->transitionTable(0, Edge::Rising).healedCount(), 0u);
 }
 
+// Renders the baseline as a pre-checksum legacy file: version token dropped
+// to @p version and the trailing "crc32 <hex>" line removed.
+std::string legacyText(const char* version) {
+  std::string text =
+      replaced("proxdelay-model 3", std::string("proxdelay-model ") + version);
+  const auto pos = text.find("crc32 ");
+  if (pos == std::string::npos) {
+    ADD_FAILURE() << "no crc32 line in baseline";
+    return text;
+  }
+  return text.erase(pos);
+}
+
 TEST(SerializeRobustness, VersionOneFilesStillLoad) {
-  std::istringstream is(replaced("proxdelay-model 2", "proxdelay-model 1"));
+  std::istringstream is(legacyText("1"));
   const auto g = characterize::loadGateModel(is);
   EXPECT_EQ(g.dual->delayTable(0, Edge::Falling).ratio, syntheticTable().ratio);
 }
 
+TEST(SerializeRobustness, VersionTwoFilesWithoutChecksumStillLoad) {
+  std::istringstream is(legacyText("2"));
+  const auto g = characterize::loadGateModel(is);
+  EXPECT_EQ(g.dual->delayTable(0, Edge::Rising).ratio, syntheticTable().ratio);
+}
+
 TEST(SerializeRobustness, UnknownVersionIsRejectedOnLineOne) {
   const auto d =
-      loadExpectingParseError(replaced("proxdelay-model 2", "proxdelay-model 99"));
+      loadExpectingParseError(replaced("proxdelay-model 3", "proxdelay-model 99"));
   EXPECT_NE(d.message.find("bad header"), std::string::npos);
   EXPECT_EQ(d.line, 1);
+}
+
+TEST(SerializeRobustness, CorruptedValueFailsTheChecksum) {
+  // "0.625" -> "0.635" parses cleanly (finite, in-range, right count), so
+  // only the token-stream CRC can catch this single-digit bit rot.
+  const auto d = loadExpectingParseError(replaced("0.625", "0.635"));
+  EXPECT_NE(d.message.find("crc32 mismatch"), std::string::npos);
+}
+
+TEST(SerializeRobustness, MissingChecksumOnVersionThreeIsRejected) {
+  std::string text = baselineText();
+  const auto pos = text.find("crc32 ");
+  ASSERT_NE(pos, std::string::npos);
+  text.erase(pos);
+  const auto d = loadExpectingParseError(text);
+  EXPECT_NE(d.message.find("crc32"), std::string::npos);
+}
+
+TEST(SerializeRobustness, ChecksumIsWhitespaceLayoutInsensitive) {
+  // The CRC covers the token stream, not raw bytes: collapsing every newline
+  // to a space preserves the tokens, so the file still loads and verifies.
+  std::string text = baselineText();
+  std::replace(text.begin(), text.end(), '\n', ' ');
+  std::istringstream is(text);
+  const auto g = characterize::loadGateModel(is);
+  EXPECT_EQ(g.dual->delayTable(0, Edge::Rising).ratio, syntheticTable().ratio);
+}
+
+TEST(SerializeRobustness, ChecksumMismatchesAreCounted) {
+  const auto before =
+      obs::counter("characterize.serialize.crc_mismatches").value();
+  loadExpectingParseError(replaced("1.125", "1.135"));
+  EXPECT_EQ(
+      obs::counter("characterize.serialize.crc_mismatches").value() - before,
+      1u);
 }
 
 TEST(SerializeRobustness, TruncatedFileIsATypedParseError) {
