@@ -15,6 +15,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,7 @@
 #include "cells/fixture.hpp"
 #include "obs/registry.hpp"
 #include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "par/pool.hpp"
 #include "spice/newton.hpp"
 #include "spice/op.hpp"
@@ -303,12 +305,22 @@ int main(int argc, char** argv) {
 
   bool callerProvidedOut = false;
   bool statsOff = false;
+  std::string tracePath;
   std::vector<std::string> args;
   for (int i = 0; i < argc; ++i) {
     // --stats=off: runtime-disable the observability registry, for measuring
     // instrumentation overhead against an identical binary.
     if (i > 0 && std::strcmp(argv[i], "--stats=off") == 0) {
       statsOff = true;
+      continue;
+    }
+    // --trace=FILE: record the whole benchmark run into a Chrome trace.
+    if (i > 0 && std::strncmp(argv[i], "--trace=", 8) == 0) {
+      tracePath = argv[i] + 8;
+      if (tracePath.empty()) {
+        std::fprintf(stderr, "bench_perf: --trace= requires a file name\n");
+        return 1;
+      }
       continue;
     }
     // --threads N / --threads=N: process-wide default worker count (the
@@ -327,6 +339,11 @@ int main(int argc, char** argv) {
     args.push_back(argv[i]);
   }
   if (statsOff) prox::obs::setEnabled(false);
+
+  std::unique_ptr<prox::obs::trace::TraceSession> traceSession;
+  if (!tracePath.empty()) {
+    traceSession = std::make_unique<prox::obs::trace::TraceSession>();
+  }
 
   // benchmark::Initialize consumes recognized flags from argv, so the
   // injected defaults must live in a mutable argv copy.
@@ -357,6 +374,16 @@ int main(int argc, char** argv) {
         [&](std::ostream& os) { obs::writeJson(report, os); });
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bench_perf: stats dump failed: %s\n", e.what());
+  }
+  if (traceSession != nullptr) {
+    try {
+      prox::support::writeFileAtomic(tracePath, [&](std::ostream& os) {
+        traceSession->exportJson(os);
+      });
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bench_perf: trace dump failed: %s\n", e.what());
+      return 1;
+    }
   }
   return 0;
 }

@@ -7,13 +7,30 @@ Usage:
 
 Both files are google-benchmark ``--benchmark_out_format=json`` outputs.  For
 each watched benchmark the *median* (falling back to the plain entry when the
-run had no repetitions) CPU time is compared; the check fails when
+run had no repetitions) time is compared; the check fails when
 
     current > baseline * threshold
 
-i.e. the default threshold of 1.25 allows up to a 25% slowdown before CI goes
-red.  Medians are used because single-repetition means on shared CI runners
-are too noisy to gate on.
+i.e. a threshold of 1.25 allows up to a 25% slowdown before CI goes red.
+Medians are used because single-repetition means on shared CI runners are too
+noisy to gate on.
+
+Which benchmarks to watch, and with what threshold, normally comes from a
+``gate`` section in the baseline file itself so that widening the gate is a
+one-file change:
+
+    "gate": {
+      "BM_NewtonSolve": {"threshold": 1.25, "metric": "cpu_time"},
+      "BM_CharacterizationSweep/1/real_time":
+          {"threshold": 1.35, "metric": "real_time"},
+      ...
+    }
+
+``metric`` selects which google-benchmark time to compare: ``cpu_time`` for
+single-threaded work, ``real_time`` for benchmarks that fan work out to pool
+threads (their cpu_time only measures the issuing thread).  Passing
+``--benchmark`` overrides the gate section entirely and uses the global
+``--threshold`` / cpu_time, preserving the original CLI contract.
 
 Exit status: 0 on pass, 1 on regression, 2 on malformed/missing input.
 """
@@ -25,28 +42,60 @@ import json
 import sys
 
 
-def load_times(path: str) -> dict[str, float]:
-    """Maps benchmark base name -> cpu_time in ns (median preferred)."""
+def load_doc(path: str) -> dict:
     try:
         with open(path, "r", encoding="utf-8") as fh:
-            doc = json.load(fh)
+            return json.load(fh)
     except (OSError, json.JSONDecodeError) as exc:
         print(f"error: cannot read {path}: {exc}", file=sys.stderr)
         sys.exit(2)
 
-    plain: dict[str, float] = {}
-    median: dict[str, float] = {}
+
+def load_times(doc: dict) -> dict[str, dict]:
+    """Maps benchmark base name -> {metric: time, "unit": str} (median
+    preferred).  Times stay in the benchmark's own time_unit; the comparison
+    is a ratio, so only baseline/current unit agreement matters (checked)."""
+    plain: dict[str, dict] = {}
+    median: dict[str, dict] = {}
     for bench in doc.get("benchmarks", []):
         name = bench.get("name", "")
-        cpu = bench.get("cpu_time")
-        if cpu is None:
+        entry = {
+            metric: float(bench[metric])
+            for metric in ("cpu_time", "real_time")
+            if bench.get(metric) is not None
+        }
+        if not entry:
             continue
+        entry["unit"] = bench.get("time_unit", "ns")
         if bench.get("aggregate_name") == "median" or name.endswith("_median"):
-            median[name.removesuffix("_median")] = float(cpu)
+            median[name.removesuffix("_median")] = entry
         elif "aggregate_name" not in bench:
-            plain[name] = float(cpu)
+            plain[name] = entry
     # Median wins when present; plain single-run entries fill the gaps.
     return {**plain, **median}
+
+
+def gate_spec(doc: dict, args: argparse.Namespace) -> dict[str, dict]:
+    """Watched benchmark -> {"threshold": float, "metric": str}."""
+    if args.benchmark:
+        return {
+            name: {"threshold": args.threshold, "metric": "cpu_time"}
+            for name in args.benchmark
+        }
+    gate = doc.get("gate")
+    if isinstance(gate, dict) and gate:
+        spec: dict[str, dict] = {}
+        for name, entry in gate.items():
+            if isinstance(entry, dict):
+                spec[name] = {
+                    "threshold": float(entry.get("threshold", args.threshold)),
+                    "metric": str(entry.get("metric", "cpu_time")),
+                }
+            else:  # bare number = threshold, cpu_time metric
+                spec[name] = {"threshold": float(entry), "metric": "cpu_time"}
+        return spec
+    return {"BM_NewtonSolve": {"threshold": args.threshold,
+                               "metric": "cpu_time"}}
 
 
 def main() -> int:
@@ -57,35 +106,53 @@ def main() -> int:
         "--benchmark",
         action="append",
         default=None,
-        help="benchmark to gate on (repeatable; default: BM_NewtonSolve)",
+        help="benchmark to gate on (repeatable; overrides the baseline's "
+        "gate section; default: the gate section, else BM_NewtonSolve)",
     )
     ap.add_argument(
         "--threshold",
         type=float,
         default=1.25,
-        help="allowed current/baseline ratio before failing (default 1.25)",
+        help="allowed current/baseline ratio before failing when no "
+        "per-benchmark threshold applies (default 1.25)",
     )
     args = ap.parse_args()
-    watched = args.benchmark or ["BM_NewtonSolve"]
 
-    base = load_times(args.baseline)
-    cur = load_times(args.current)
+    base_doc = load_doc(args.baseline)
+    base = load_times(base_doc)
+    cur = load_times(load_doc(args.current))
+    watched = gate_spec(base_doc, args)
 
     failed = False
-    for name in watched:
-        if name not in base:
-            print(f"error: {name} missing from baseline", file=sys.stderr)
+    for name, spec in watched.items():
+        metric = spec["metric"]
+        threshold = spec["threshold"]
+        if name not in base or metric not in base[name]:
+            print(f"error: {name} ({metric}) missing from baseline",
+                  file=sys.stderr)
             return 2
-        if name not in cur:
-            print(f"error: {name} missing from current run", file=sys.stderr)
+        if name not in cur or metric not in cur[name]:
+            print(f"error: {name} ({metric}) missing from current run",
+                  file=sys.stderr)
             return 2
-        ratio = cur[name] / base[name] if base[name] > 0 else float("inf")
-        verdict = "OK" if ratio <= args.threshold else "REGRESSION"
+        unit = base[name]["unit"]
+        if cur[name]["unit"] != unit:
+            print(
+                f"error: {name} time_unit mismatch: baseline {unit}, "
+                f"current {cur[name]['unit']}",
+                file=sys.stderr,
+            )
+            return 2
+        b = base[name][metric]
+        c = cur[name][metric]
+        ratio = c / b if b > 0 else float("inf")
+        verdict = "OK" if ratio <= threshold else "REGRESSION"
         print(
-            f"{name}: baseline {base[name]:.1f} ns, current {cur[name]:.1f} ns, "
-            f"ratio {ratio:.3f} (limit {args.threshold:.2f}) -> {verdict}"
+            f"{name}: baseline {b:.1f} {unit}, current {c:.1f} {unit} "
+            f"[{metric}], ratio {ratio:.3f} (limit {threshold:.2f}) "
+            f"-> {verdict}"
         )
-        if ratio > args.threshold:
+        if ratio > threshold:
             failed = True
     return 1 if failed else 0
 

@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Validate an exported Chrome-trace JSON file (and optionally a stats
+report) from the observability layer.
+
+Usage:
+    validate_trace.py TRACE.json [--require-span NAME]... \
+        [--require-counter NAME]... [--require-thread-name] \
+        [--stats STATS.json [--require-histogram NAME]...]
+
+Checks that the trace is loadable by Perfetto / chrome://tracing consumers:
+a JSON object with a ``traceEvents`` array whose entries carry the mandatory
+Chrome trace-event fields, plus (optionally) that specific spans, counter
+tracks, named threads and stats-report histograms actually showed up -- the
+CI proof that the instrumentation is wired through the layers, not just that
+the exporter emits syntactically valid JSON.
+
+Exit status: 0 on pass, 1 on a failed check, 2 on unreadable input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+KNOWN_PHASES = {"X", "B", "E", "b", "e", "n", "C", "i", "I", "M", "s", "t",
+                "f"}
+
+
+def fail(msg: str) -> None:
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        sys.exit(2)
+
+
+def validate_trace(doc: dict, args: argparse.Namespace) -> None:
+    if not isinstance(doc, dict):
+        fail("trace root is not a JSON object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("traceEvents missing, not an array, or empty")
+    if not isinstance(doc.get("droppedEvents"), int):
+        fail("droppedEvents missing or not an integer")
+
+    span_names: set[str] = set()
+    counter_names: set[str] = set()
+    thread_names: set[str] = set()
+    last_ts = -1.0
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"traceEvents[{i}] is not an object")
+        ph = ev.get("ph")
+        name = ev.get("name")
+        if ph not in KNOWN_PHASES:
+            fail(f"traceEvents[{i}] has unknown phase {ph!r}")
+        if not isinstance(name, str) or not name:
+            fail(f"traceEvents[{i}] has no name")
+        if not isinstance(ev.get("pid"), int):
+            fail(f"traceEvents[{i}] ({name}) has no integer pid")
+        if not isinstance(ev.get("tid"), int):
+            fail(f"traceEvents[{i}] ({name}) has no integer tid")
+        if ph == "M":
+            if name == "thread_name":
+                thread_names.add(ev.get("args", {}).get("name", ""))
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)):
+            fail(f"traceEvents[{i}] ({name}) has no numeric ts")
+        if ts < last_ts:
+            fail(f"traceEvents[{i}] ({name}) breaks timestamp ordering")
+        last_ts = ts
+        if ph == "X":
+            if not isinstance(ev.get("dur"), (int, float)):
+                fail(f"complete event {name} has no numeric dur")
+            span_names.add(name)
+        elif ph == "C":
+            if "value" not in ev.get("args", {}):
+                fail(f"counter event {name} has no args.value")
+            counter_names.add(name)
+
+    for want in args.require_span or []:
+        if want not in span_names:
+            fail(f"required span {want!r} absent (saw: {sorted(span_names)})")
+    for want in args.require_counter or []:
+        if want not in counter_names:
+            fail(f"required counter track {want!r} absent "
+                 f"(saw: {sorted(counter_names)})")
+    if args.require_thread_name and not any(thread_names):
+        fail("no named threads in the trace")
+    print(f"trace OK: {len(events)} events, {len(span_names)} span names, "
+          f"{len(counter_names)} counter tracks, "
+          f"{len(thread_names)} named threads, "
+          f"{doc['droppedEvents']} dropped")
+
+
+def validate_stats(doc: dict, args: argparse.Namespace) -> None:
+    if doc.get("schema_version") != 2:
+        fail(f"stats schema_version is {doc.get('schema_version')!r}, "
+             f"expected 2")
+    hists = doc.get("histograms")
+    if not isinstance(hists, dict):
+        fail("stats report has no histograms section")
+    for want in args.require_histogram or []:
+        h = hists.get(want)
+        if not isinstance(h, dict):
+            fail(f"required histogram {want!r} absent "
+                 f"(saw: {sorted(hists)})")
+        for key in ("count", "sum", "min", "max", "p50", "p90", "p99",
+                    "buckets"):
+            if key not in h:
+                fail(f"histogram {want!r} missing field {key!r}")
+        if h["count"] <= 0:
+            fail(f"histogram {want!r} recorded no samples")
+    print(f"stats OK: schema v2, {len(hists)} histograms")
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace")
+    ap.add_argument("--require-span", action="append", default=None,
+                    help="complete-event name that must appear (repeatable)")
+    ap.add_argument("--require-counter", action="append", default=None,
+                    help="counter track that must appear (repeatable)")
+    ap.add_argument("--require-thread-name", action="store_true",
+                    help="require at least one thread_name metadata record")
+    ap.add_argument("--stats", default=None,
+                    help="also validate this stats report (schema v2)")
+    ap.add_argument("--require-histogram", action="append", default=None,
+                    help="histogram that must appear in --stats (repeatable)")
+    args = ap.parse_args()
+
+    validate_trace(load(args.trace), args)
+    if args.stats:
+        validate_stats(load(args.stats), args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

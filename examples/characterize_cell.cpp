@@ -25,8 +25,11 @@
 
 #include "characterize/checkpoint.hpp"
 #include "characterize/serialize.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "par/pool.hpp"
 #include "support/cancel.hpp"
+#include "support/durable_io.hpp"
 #include "support/fault_injection.hpp"
 
 using namespace prox;
@@ -39,7 +42,8 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--threads N] [--out FILE] [--checkpoint FILE]\n"
                "          [--resume] [--timeout SECS] [--quick]\n"
-               "          [--crash-at INDEX]\n",
+               "          [--crash-at INDEX] [--stats FILE] [--trace FILE]\n"
+               "          [--progress SECS]\n",
                argv0);
   return 2;
 }
@@ -60,9 +64,12 @@ int main(int argc, char** argv) {
   int threads = 0;  // 0 = par::defaultThreadCount() (PROX_THREADS or cores)
   std::string outPath = "nand3.prox";
   std::string checkpointPath;
+  std::string statsPath;
+  std::string tracePath;
   bool resume = false;
   bool quick = false;
   double timeoutSecs = 0.0;
+  double progressSecs = 0.0;
   long long crashAt = -1;
 
   for (int i = 1; i < argc; ++i) {
@@ -85,6 +92,16 @@ int main(int argc, char** argv) {
       }
     } else if ((v = flagValue("--crash-at", argv, argc, &i)) != nullptr) {
       crashAt = std::atoll(v);
+    } else if ((v = flagValue("--stats", argv, argc, &i)) != nullptr) {
+      statsPath = v;
+    } else if ((v = flagValue("--trace", argv, argc, &i)) != nullptr) {
+      tracePath = v;
+    } else if ((v = flagValue("--progress", argv, argc, &i)) != nullptr) {
+      progressSecs = std::atof(v);
+      if (progressSecs <= 0.0) {
+        std::fprintf(stderr, "%s: --progress expects SECS > 0\n", argv[0]);
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--resume") == 0) {
       resume = true;
     } else if (std::strcmp(argv[i], "--quick") == 0) {
@@ -122,6 +139,14 @@ int main(int argc, char** argv) {
     cfg.vtcStep = 0.02;
   }
   cfg.threads = threads;
+  cfg.progressIntervalSeconds = progressSecs;
+
+  // Recording window across the whole characterization; the JSON is written
+  // atomically after the flow finishes (a crash mid-run leaves no file).
+  std::unique_ptr<obs::trace::TraceSession> traceSession;
+  if (!tracePath.empty()) {
+    traceSession = std::make_unique<obs::trace::TraceSession>();
+  }
 
   support::CancelToken cancelToken;
   if (timeoutSecs > 0.0) cancelToken.setTimeout(timeoutSecs);
@@ -213,5 +238,26 @@ int main(int argc, char** argv) {
               "(reloaded) -> %s\n",
               r1.delay * 1e12, r2.delay * 1e12,
               r1.delay == r2.delay ? "identical" : "MISMATCH");
+
+  try {
+    if (!statsPath.empty()) {
+      // Atomic commit: readers (and the crash-at CI job) see the previous
+      // report or the complete new one, never a torn file.
+      support::writeFileAtomic(statsPath,
+                               [](std::ostream& os) { obs::writeJson(os); });
+      std::printf("stats report written to %s\n", statsPath.c_str());
+    }
+    if (traceSession != nullptr) {
+      support::writeFileAtomic(tracePath, [&](std::ostream& os) {
+        traceSession->exportJson(os);
+      });
+      std::printf("trace written to %s (open in ui.perfetto.dev or "
+                  "chrome://tracing)\n",
+                  tracePath.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+    return 1;
+  }
   return r1.delay == r2.delay ? 0 : 1;
 }

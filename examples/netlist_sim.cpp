@@ -22,10 +22,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "characterize/characterize.hpp"
 #include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "spice/netlist.hpp"
 #include "spice/tran.hpp"
 #include "sta/timing_graph.hpp"
@@ -159,6 +161,7 @@ int main(int argc, char** argv) {
   bool stats = false;
   bool strict = false;
   std::string statsPath;
+  std::string tracePath;
   int threads = 0;  // 0 = par::defaultThreadCount() (PROX_THREADS or cores)
   double timeoutSecs = 0.0;
   for (int i = 1; i < argc; ++i) {
@@ -169,6 +172,12 @@ int main(int argc, char** argv) {
       statsPath = argv[i] + 8;
       if (statsPath.empty()) {
         std::fprintf(stderr, "%s: --stats= requires a file name\n", argv[0]);
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      tracePath = argv[i] + 8;
+      if (tracePath.empty()) {
+        std::fprintf(stderr, "%s: --trace= requires a file name\n", argv[0]);
         return 2;
       }
     } else if (std::strcmp(argv[i], "--strict") == 0) {
@@ -185,8 +194,8 @@ int main(int argc, char** argv) {
       }
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--stats[=FILE]] [--strict] [--threads N] "
-                   "[--timeout=SECS]\n",
+                   "usage: %s [--stats[=FILE]] [--trace=FILE] [--strict] "
+                   "[--threads N] [--timeout=SECS]\n",
                    argv[0]);
       return 2;
     }
@@ -202,6 +211,11 @@ int main(int argc, char** argv) {
   if (timeoutSecs > 0.0) cancelToken.setTimeout(timeoutSecs);
   support::SignalCancelScope signalScope(&cancelToken);
   support::CancelScope mainScope(&cancelToken);
+
+  std::unique_ptr<obs::trace::TraceSession> traceSession;
+  if (!tracePath.empty()) {
+    traceSession = std::make_unique<obs::trace::TraceSession>();
+  }
 
   std::printf("deck-driven proximity measurement (NAND3, a falls 500 ps, "
               "b falls 100 ps)\n\n");
@@ -256,6 +270,19 @@ int main(int argc, char** argv) {
       }
       std::printf("\nstats report written to %s\n", statsPath.c_str());
     }
+  }
+  if (traceSession != nullptr) {
+    try {
+      support::writeFileAtomic(tracePath, [&](std::ostream& os) {
+        traceSession->exportJson(os);
+      });
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+      return 1;
+    }
+    std::printf("trace written to %s (open in ui.perfetto.dev or "
+                "chrome://tracing)\n",
+                tracePath.c_str());
   }
   return rc;
 }

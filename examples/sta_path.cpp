@@ -17,10 +17,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "characterize/characterize.hpp"
 #include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "sta/flat_sim.hpp"
 #include "support/cancel.hpp"
 #include "support/durable_io.hpp"
@@ -33,6 +35,7 @@ using wave::Edge;
 int main(int argc, char** argv) {
   bool stats = false;
   std::string statsPath;
+  std::string tracePath;
   double timeoutSecs = 0.0;
   int threads = 0;  // 0 = par::defaultThreadCount() (PROX_THREADS or cores)
   for (int i = 1; i < argc; ++i) {
@@ -43,6 +46,12 @@ int main(int argc, char** argv) {
       statsPath = argv[i] + 8;
       if (statsPath.empty()) {
         std::fprintf(stderr, "%s: --stats= requires a file name\n", argv[0]);
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      tracePath = argv[i] + 8;
+      if (tracePath.empty()) {
+        std::fprintf(stderr, "%s: --trace= requires a file name\n", argv[0]);
         return 2;
       }
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
@@ -57,7 +66,7 @@ int main(int argc, char** argv) {
       }
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--stats[=FILE]] [--threads N] "
+                   "usage: %s [--stats[=FILE]] [--trace=FILE] [--threads N] "
                    "[--timeout=SECS]\n",
                    argv[0]);
       return 2;
@@ -74,6 +83,13 @@ int main(int argc, char** argv) {
   if (timeoutSecs > 0.0) cancelToken.setTimeout(timeoutSecs);
   support::SignalCancelScope signalScope(&cancelToken);
   support::CancelScope mainScope(&cancelToken);
+
+  // The recording window spans the whole run (characterization, both STA
+  // passes, the flat reference sim); the JSON lands atomically at the end.
+  std::unique_ptr<obs::trace::TraceSession> traceSession;
+  if (!tracePath.empty()) {
+    traceSession = std::make_unique<obs::trace::TraceSession>();
+  }
 
   cells::CellSpec spec;
   spec.type = cells::GateType::Nand;
@@ -157,6 +173,19 @@ int main(int argc, char** argv) {
       }
       std::printf("\nstats report written to %s\n", statsPath.c_str());
     }
+  }
+  if (traceSession != nullptr) {
+    try {
+      support::writeFileAtomic(tracePath, [&](std::ostream& os) {
+        traceSession->exportJson(os);
+      });
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+      return 1;
+    }
+    std::printf("trace written to %s (open in ui.perfetto.dev or "
+                "chrome://tracing)\n",
+                tracePath.c_str());
   }
   return 0;
 }

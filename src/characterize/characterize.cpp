@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 #include <optional>
 #include <stdexcept>
@@ -10,6 +13,7 @@
 #include "characterize/checkpoint.hpp"
 #include "obs/registry.hpp"
 #include "obs/scoped_timer.hpp"
+#include "obs/trace.hpp"
 #include "par/parallel_for.hpp"
 #include "support/cancel.hpp"
 #include "support/journal.hpp"
@@ -127,6 +131,72 @@ int resolveThreads(int configured) {
   return configured == 0 ? par::defaultThreadCount() : configured;
 }
 
+/// Periodic sweep progress: points/sec, ETA and checkpoint lag, reported by
+/// whichever worker crosses the interval boundary first.  Purely
+/// observational -- it reads counters and the clock, never results, so the
+/// determinism contract is untouched.
+class ProgressHeartbeat {
+ public:
+  ProgressHeartbeat(std::string label, std::size_t total,
+                    const CharacterizationConfig& config)
+      : label_(std::move(label)),
+        total_(total),
+        intervalNs_(static_cast<std::int64_t>(config.progressIntervalSeconds *
+                                              1e9)),
+        checkpoint_(config.checkpoint),
+        start_(std::chrono::steady_clock::now()) {
+    nextBeat_.store(intervalNs_, std::memory_order_relaxed);
+  }
+
+  /// Called once per completed (or replayed) sweep point, from any worker.
+  void tick() {
+    const std::uint64_t done =
+        done_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (intervalNs_ <= 0) return;
+    const std::int64_t elapsed =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count();
+    std::int64_t beat = nextBeat_.load(std::memory_order_relaxed);
+    if (elapsed < beat) return;
+    // One worker wins the beat with a CAS; the rest carry on immediately.
+    if (!nextBeat_.compare_exchange_strong(beat, elapsed + intervalNs_,
+                                           std::memory_order_relaxed)) {
+      return;
+    }
+    emit(done, elapsed);
+  }
+
+ private:
+  void emit(std::uint64_t done, std::int64_t elapsedNs) const {
+    const double seconds = static_cast<double>(elapsedNs) * 1e-9;
+    const double rate =
+        seconds > 0.0 ? static_cast<double>(done) / seconds : 0.0;
+    const double etaSeconds = rate > 0.0 && done < total_
+                                  ? static_cast<double>(total_ - done) / rate
+                                  : 0.0;
+    const int lag =
+        checkpoint_ != nullptr ? checkpoint_->unsyncedRecords() : 0;
+    PROX_OBS_TRACE_COUNTER("char.progress.points_done", done);
+    PROX_OBS_TRACE_COUNTER("char.progress.checkpoint_lag",
+                           static_cast<std::uint64_t>(lag));
+    std::fprintf(stderr,
+                 "[characterize] %s: %llu/%llu points, %.1f pts/s, "
+                 "ETA %.0fs, checkpoint lag %d\n",
+                 label_.c_str(), static_cast<unsigned long long>(done),
+                 static_cast<unsigned long long>(total_), rate, etaSeconds,
+                 lag);
+  }
+
+  std::string label_;
+  std::uint64_t total_;
+  std::int64_t intervalNs_;
+  CheckpointSession* checkpoint_;
+  std::chrono::steady_clock::time_point start_;
+  std::atomic<std::uint64_t> done_{0};
+  std::atomic<std::int64_t> nextBeat_{0};
+};
+
 }  // namespace
 
 void buildDualTables(model::GateSimulator& sim,
@@ -141,6 +211,7 @@ void buildDualTables(model::GateSimulator& sim,
   }
   PROX_OBS_COUNT("characterize.tables_built", 2);  // delay + transition
   PROX_OBS_SCOPED_TIMER("characterize.table_seconds");
+  PROX_OBS_SPAN("char.table");
   const model::SingleInputModel& mRef = singles.at(refPin, edge);
 
   // Reference-tau axis: actual taus from the grid; their normalized
@@ -273,6 +344,16 @@ void buildDualTables(model::GateSimulator& sim,
     }
   };
 
+  // Per-sweep-point tracing + heartbeat, layered over evalPoint so both the
+  // serial and parallel paths report identically.
+  ProgressHeartbeat heartbeat(ckptScope, points.size(), config);
+  const auto evalPointTraced = [&](model::DualInputModel& oracle,
+                                   std::size_t i) {
+    PROX_OBS_SPAN_ARG("char.point", "index", i);
+    evalPoint(oracle, i);
+    heartbeat.tick();
+  };
+
   const int threads = resolveThreads(config.threads);
   if (threads <= 1) {
     // Legacy serial path: one shared simulator and memoizing oracle.  The
@@ -280,7 +361,7 @@ void buildDualTables(model::GateSimulator& sim,
     // firing at the same point as any parallel run.
     model::OracleDualInputModel oracle(sim, singles);
     par::parallelFor(
-        points.size(), [&](std::size_t i) { evalPoint(oracle, i); },
+        points.size(), [&](std::size_t i) { evalPointTraced(oracle, i); },
         {.threads = 1, .failFast = true, .cancel = config.cancel});
   } else {
     // Parallel path: every point gets a fresh simulator + oracle over the
@@ -293,7 +374,7 @@ void buildDualTables(model::GateSimulator& sim,
         [&](std::size_t i) {
           model::GateSimulator localSim(gate);
           model::OracleDualInputModel oracle(localSim, singles);
-          evalPoint(oracle, i);
+          evalPointTraced(oracle, i);
         },
         {.threads = threads, .failFast = true, .cancel = config.cancel});
   }
@@ -355,6 +436,7 @@ model::StepCorrection characterizeStepCorrection(
   std::vector<CorrResult> results(tasks.size());
   std::vector<std::optional<support::Diagnostic>> taskDiags(tasks.size());
   const auto evalTask = [&](model::GateSimulator& s, std::size_t i) {
+    PROX_OBS_SPAN_ARG("char.corr_term", "index", i);
     const CorrTask& t = tasks[i];
     if (t.skip) return;
     if (checkpoint != nullptr) {
@@ -430,6 +512,7 @@ CharacterizedGate characterizeFromGate(model::Gate gate,
                                        const CharacterizationConfig& config) {
   PROX_OBS_COUNT("characterize.gates", 1);
   PROX_OBS_SCOPED_TIMER("characterize.gate_seconds");
+  PROX_OBS_SPAN("char.gate");
   CharacterizedGate out;
   out.gate = std::move(gate);
 
@@ -443,6 +526,7 @@ CharacterizedGate characterizeFromGate(model::Gate gate,
     const auto pins = static_cast<std::size_t>(out.pinCount());
     std::vector<model::SingleInputModel> singleModels(2 * pins);
     const auto singleTask = [&](model::GateSimulator& s, std::size_t i) {
+      PROX_OBS_SPAN_ARG("char.single", "index", i);
       const int pin = static_cast<int>(i / 2);
       const wave::Edge edge =
           i % 2 == 0 ? wave::Edge::Rising : wave::Edge::Falling;

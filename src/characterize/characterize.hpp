@@ -77,6 +77,12 @@ struct CharacterizationConfig {
   /// DiagnosticError (Cancelled / DeadlineExceeded), leaving any checkpoint
   /// partial but valid.  Excluded from the fingerprint.  Not owned.
   support::CancelToken* cancel = nullptr;
+  /// Progress heartbeat: > 0 prints a line to stderr roughly every this many
+  /// seconds during the dual-table sweeps (points done, points/sec, ETA,
+  /// checkpoint lag) and emits matching trace counters when a TraceSession
+  /// is active.  0 (default) disables the heartbeat.  Purely observational:
+  /// results are bit-identical either way.  Excluded from the fingerprint.
+  double progressIntervalSeconds = 0.0;
 };
 
 /// The complete characterized model package for one gate.  Move-only: the

@@ -78,6 +78,10 @@ class CheckpointSession {
     return replayHits_.load(std::memory_order_relaxed);
   }
 
+  /// Journaled records not yet fsynced -- the crash-loss window right now.
+  /// Progress heartbeats report this as "checkpoint lag".
+  int unsyncedRecords() const noexcept { return journal_.unsynced(); }
+
   const std::string& path() const noexcept { return journal_.path(); }
 
   CheckpointSession(const CheckpointSession&) = delete;

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "obs/registry.hpp"
+#include "obs/scoped_timer.hpp"
 
 namespace prox::model {
 
@@ -215,6 +216,8 @@ const DualTable& TabulatedDualInputModel::transitionTable(int refPin,
 double TabulatedDualInputModel::delayRatio(const DualQuery& q) const {
   PROX_OBS_BATCH(obsCells);
   PROX_OBS_COUNT_IN(obsCells, "model.dual.table_lookups", 1);
+  // Sampled 1-in-64: a lookup is ~100ns, so full timing would dominate it.
+  PROX_OBS_SCOPED_HIST_NS_SAMPLED("model.dual.lookup_ns", 6);
   StatsSlot& slot = statsSlot();
   ++slot.stats.lookups;
   slot.lastClampDistance = 0.0;
@@ -255,6 +258,7 @@ double TabulatedDualInputModel::delayRatio(const DualQuery& q) const {
 double TabulatedDualInputModel::transitionRatio(const DualQuery& q) const {
   PROX_OBS_BATCH(obsCells);
   PROX_OBS_COUNT_IN(obsCells, "model.dual.table_lookups", 1);
+  PROX_OBS_SCOPED_HIST_NS_SAMPLED("model.dual.lookup_ns", 6);
   StatsSlot& slot = statsSlot();
   ++slot.stats.lookups;
   slot.lastClampDistance = 0.0;

@@ -1,0 +1,92 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+
+#include "obs/registry.hpp"
+
+namespace prox::obs {
+
+void HistogramData::merge(const HistogramData& other) {
+  if (other.count == 0) return;
+  count += other.count;
+  sum += other.sum;
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+  if (buckets.empty()) buckets.assign(detail::kHistBucketCount, 0);
+  for (std::size_t i = 0; i < other.buckets.size(); ++i) {
+    buckets[i] += other.buckets[i];
+  }
+}
+
+void HistogramData::mergeSample(std::uint32_t bucket, std::uint64_t n,
+                                std::uint64_t sampleSum, std::uint64_t lo,
+                                std::uint64_t hi) {
+  if (n == 0) return;
+  count += n;
+  sum += sampleSum;
+  min = std::min(min, lo);
+  max = std::max(max, hi);
+  if (buckets.empty()) buckets.assign(detail::kHistBucketCount, 0);
+  if (bucket < buckets.size()) buckets[bucket] += n;
+}
+
+double HistogramData::quantile(double q) const noexcept {
+  if (count == 0 || buckets.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th sample (1-based, nearest-rank).
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(q * static_cast<double>(count) + 0.5));
+  std::uint64_t seen = 0;
+  for (std::uint32_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      const std::uint64_t lo = detail::histBucketLowerBound(i);
+      const std::uint64_t w = detail::histBucketWidth(i);
+      const double mid =
+          static_cast<double>(lo) + static_cast<double>(w - 1) / 2.0;
+      // The bucket estimate can overshoot the exact envelope; clamp so small
+      // histograms report sane tails (e.g. a single sample reports itself).
+      return std::clamp(mid, static_cast<double>(min),
+                        static_cast<double>(max));
+    }
+  }
+  return static_cast<double>(max);
+}
+
+void Histogram::record(std::uint64_t value) noexcept {
+  if (!enabled()) return;
+  detail::ThreadCache* tc = id_ < detail::kMaxHistogramCells
+                                ? detail::currentThreadCache()
+                                : nullptr;
+  if (tc != nullptr) {
+    tc->histograms[id_].record(value);
+  } else {
+    recordShared(value);
+  }
+}
+
+void Histogram::recordTo(detail::ThreadCache* tc, std::uint64_t value) noexcept {
+  if (tc != nullptr && id_ < detail::kMaxHistogramCells) {
+    tc->histograms[id_].record(value);
+  } else if (enabled()) {
+    recordShared(value);
+  }
+}
+
+HistogramData Histogram::data() const noexcept {
+  return Registry::instance().mergedHistogram(*this);
+}
+
+void Histogram::reset() noexcept { Registry::instance().resetHistogram(*this); }
+
+void Histogram::recordShared(std::uint64_t value) noexcept {
+  Registry& reg = Registry::instance();
+  std::lock_guard<std::recursive_mutex> lock(reg.mu_);
+  retired_.mergeSample(detail::histBucketIndex(value), 1, value, value, value);
+}
+
+Histogram& histogram(std::string_view name) {
+  return Registry::instance().histogram(name);
+}
+
+}  // namespace prox::obs

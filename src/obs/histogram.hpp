@@ -1,0 +1,158 @@
+#pragma once
+// Log2-bucketed HDR-style histograms for the observability registry.
+//
+// A Histogram records non-negative 64-bit samples (nanoseconds, iteration
+// counts, queue depths) into fixed buckets whose relative width is bounded:
+// values 0..7 get exact unit buckets, and every octave [2^e, 2^(e+1)) above
+// that is split into 8 linear sub-buckets, so any bucket spans at most 12.5%
+// of its value.  Quantiles (p50/p90/p99) are derived from bucket midpoints at
+// report time; count/sum/min/max are tracked exactly alongside.
+//
+// Recording follows the registry's single-writer cell discipline (see
+// registry.hpp): each thread owns a block of HistogramCells and updates them
+// with relaxed load+store pairs -- no lock-prefixed RMW on the hot path.
+// Instruments past kMaxHistogramCells (or records during thread teardown)
+// fall back to a mutex-guarded shared tally, which is correct, merely slower.
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#if defined(_MSC_VER)
+#include <intrin.h>
+#endif
+
+namespace prox::obs {
+
+class Registry;
+
+namespace detail {
+
+struct ThreadCache;
+
+/// Histogram instruments beyond this cap take the shared fallback path.
+inline constexpr std::uint32_t kMaxHistogramCells = 32;
+
+inline constexpr std::uint32_t kHistSubBits = 3;
+inline constexpr std::uint32_t kHistSubCount = 1u << kHistSubBits;  // 8
+/// 8 exact unit buckets + 61 octaves x 8 sub-buckets = 496.
+inline constexpr std::uint32_t kHistBucketCount =
+    kHistSubCount * (64 - kHistSubBits + 1);
+
+inline int histLog2Floor(std::uint64_t v) noexcept {
+#if defined(_MSC_VER)
+  unsigned long idx;
+  _BitScanReverse64(&idx, v);
+  return static_cast<int>(idx);
+#else
+  return 63 - __builtin_clzll(v);
+#endif
+}
+
+/// Bucket index for @p v.  Monotone in v; 0..kHistBucketCount-1.
+inline std::uint32_t histBucketIndex(std::uint64_t v) noexcept {
+  if (v < kHistSubCount) return static_cast<std::uint32_t>(v);
+  const int e = histLog2Floor(v);  // >= kHistSubBits
+  return static_cast<std::uint32_t>(
+      (e - 2) * static_cast<int>(kHistSubCount) +
+      static_cast<int>((v >> (e - kHistSubBits)) & (kHistSubCount - 1)));
+}
+
+/// Inclusive lower bound of bucket @p i.
+inline std::uint64_t histBucketLowerBound(std::uint32_t i) noexcept {
+  if (i < kHistSubCount) return i;
+  const std::uint32_t e = i / kHistSubCount + 2;
+  const std::uint32_t sub = i & (kHistSubCount - 1);
+  return static_cast<std::uint64_t>(kHistSubCount + sub) << (e - kHistSubBits);
+}
+
+/// Width of bucket @p i (number of distinct values it covers).
+inline std::uint64_t histBucketWidth(std::uint32_t i) noexcept {
+  if (i < kHistSubCount) return 1;
+  return std::uint64_t{1} << (i / kHistSubCount + 2 - kHistSubBits);
+}
+
+/// Per-thread single-writer bucket block (same relaxed load+store discipline
+/// as CounterCell/TimerCell in registry.hpp).
+struct HistogramCell {
+  std::atomic<std::uint64_t> buckets[kHistBucketCount] = {};
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> sum{0};
+  std::atomic<std::uint64_t> min{std::numeric_limits<std::uint64_t>::max()};
+  std::atomic<std::uint64_t> max{0};
+
+  void record(std::uint64_t v) noexcept {
+    std::atomic<std::uint64_t>& b = buckets[histBucketIndex(v)];
+    b.store(b.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+    count.store(count.load(std::memory_order_relaxed) + 1,
+                std::memory_order_relaxed);
+    sum.store(sum.load(std::memory_order_relaxed) + v,
+              std::memory_order_relaxed);
+    if (v < min.load(std::memory_order_relaxed)) {
+      min.store(v, std::memory_order_relaxed);
+    }
+    if (v > max.load(std::memory_order_relaxed)) {
+      max.store(v, std::memory_order_relaxed);
+    }
+  }
+};
+
+}  // namespace detail
+
+/// Merged histogram contents: exact count/sum/min/max plus the bucket
+/// occupancy quantiles are derived from.
+struct HistogramData {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t max = 0;
+  /// Dense bucket counts; empty when count == 0 (never partially sized).
+  std::vector<std::uint64_t> buckets;
+
+  void merge(const HistogramData& other);
+  void mergeSample(std::uint32_t bucket, std::uint64_t n, std::uint64_t sampleSum,
+                   std::uint64_t lo, std::uint64_t hi);
+
+  double mean() const noexcept {
+    return count > 0 ? static_cast<double>(sum) / static_cast<double>(count)
+                     : 0.0;
+  }
+
+  /// Value at quantile @p q in [0, 1], interpolated from bucket midpoints and
+  /// clamped to the exact [min, max] envelope.  0 when empty.
+  double quantile(double q) const noexcept;
+};
+
+/// Distribution instrument (log2/sub-bucketed).  record() is wait-free on the
+/// per-thread path; data() merges all threads plus the retired tally.
+class Histogram {
+ public:
+  void record(std::uint64_t value) noexcept;
+
+  /// Batched record: @p tc is the caller's obs::batchCells() result (which
+  /// already performed the enabled check).
+  void recordTo(detail::ThreadCache* tc, std::uint64_t value) noexcept;
+
+  /// Merged data across live threads and the retired tally (same exactness
+  /// caveats as Counter::value()).
+  HistogramData data() const noexcept;
+
+  /// Zeroes the histogram in every thread's cache (racy like Counter::reset).
+  void reset() noexcept;
+
+ private:
+  friend class Registry;
+  explicit Histogram(std::uint32_t id) : id_(id) {}
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void recordShared(std::uint64_t value) noexcept;
+
+  const std::uint32_t id_;
+  /// Merged samples from exited threads + shared fallback, guarded by the
+  /// registry mutex (cold path only).
+  HistogramData retired_;
+};
+
+}  // namespace prox::obs

@@ -106,19 +106,37 @@ Timer& Registry::timer(std::string_view name) {
   return *it->second;
 }
 
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    auto id = static_cast<std::uint32_t>(histograms_.size());
+    it = histograms_
+             .emplace(std::string(name),
+                      std::unique_ptr<Histogram>(new Histogram(id)))
+             .first;
+  }
+  return *it->second;
+}
+
 void Registry::visit(
     const std::function<void(const std::string&, const Counter&)>& onCounter,
-    const std::function<void(const std::string&, const Timer&)>& onTimer)
-    const {
+    const std::function<void(const std::string&, const Timer&)>& onTimer,
+    const std::function<void(const std::string&, const Histogram&)>&
+        onHistogram) const {
   std::lock_guard<std::recursive_mutex> lock(mu_);
   for (const auto& [name, c] : counters_) onCounter(name, *c);
   for (const auto& [name, t] : timers_) onTimer(name, *t);
+  if (onHistogram) {
+    for (const auto& [name, h] : histograms_) onHistogram(name, *h);
+  }
 }
 
 void Registry::resetAll() {
   std::lock_guard<std::recursive_mutex> lock(mu_);
   for (auto& [name, c] : counters_) resetCounter(*c);
   for (auto& [name, t] : timers_) resetTimer(*t);
+  for (auto& [name, h] : histograms_) resetHistogram(*h);
 }
 
 detail::ThreadCache* Registry::adoptThreadCache() {
@@ -158,6 +176,21 @@ void Registry::retireCacheLocked(detail::ThreadCache* cache) {
                         cell.max.load(std::memory_order_relaxed));
     }
   }
+  for (const auto& [name, h] : histograms_) {
+    if (h->id_ >= detail::kMaxHistogramCells) continue;
+    const detail::HistogramCell& cell = cache->histograms[h->id_];
+    if (cell.count.load(std::memory_order_relaxed) == 0) continue;
+    HistogramData d;
+    d.count = cell.count.load(std::memory_order_relaxed);
+    d.sum = cell.sum.load(std::memory_order_relaxed);
+    d.min = cell.min.load(std::memory_order_relaxed);
+    d.max = cell.max.load(std::memory_order_relaxed);
+    d.buckets.resize(detail::kHistBucketCount);
+    for (std::uint32_t i = 0; i < detail::kHistBucketCount; ++i) {
+      d.buckets[i] = cell.buckets[i].load(std::memory_order_relaxed);
+    }
+    h->retired_.merge(d);
+  }
 }
 
 std::uint64_t Registry::mergedCounter(const Counter& c) const {
@@ -188,6 +221,28 @@ Timer::Stats Registry::mergedTimer(const Timer& t) const {
   return s;
 }
 
+HistogramData Registry::mergedHistogram(const Histogram& h) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  HistogramData out = h.retired_;
+  if (h.id_ < detail::kMaxHistogramCells) {
+    for (const auto& cache : caches_) {
+      const detail::HistogramCell& cell = cache->histograms[h.id_];
+      if (cell.count.load(std::memory_order_relaxed) == 0) continue;
+      if (out.buckets.empty()) out.buckets.assign(detail::kHistBucketCount, 0);
+      out.count += cell.count.load(std::memory_order_relaxed);
+      out.sum += cell.sum.load(std::memory_order_relaxed);
+      const std::uint64_t lo = cell.min.load(std::memory_order_relaxed);
+      const std::uint64_t hi = cell.max.load(std::memory_order_relaxed);
+      if (lo < out.min) out.min = lo;
+      if (hi > out.max) out.max = hi;
+      for (std::uint32_t i = 0; i < detail::kHistBucketCount; ++i) {
+        out.buckets[i] += cell.buckets[i].load(std::memory_order_relaxed);
+      }
+    }
+  }
+  return out;
+}
+
 void Registry::resetCounter(Counter& c) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
   c.retired_.store(0, std::memory_order_relaxed);
@@ -210,6 +265,24 @@ void Registry::resetTimer(Timer& t) {
                      std::memory_order_relaxed);
       cell.max.store(-std::numeric_limits<double>::infinity(),
                      std::memory_order_relaxed);
+    }
+  }
+}
+
+void Registry::resetHistogram(Histogram& h) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  h.retired_ = HistogramData{};
+  if (h.id_ < detail::kMaxHistogramCells) {
+    for (auto& cache : caches_) {
+      detail::HistogramCell& cell = cache->histograms[h.id_];
+      for (std::uint32_t i = 0; i < detail::kHistBucketCount; ++i) {
+        cell.buckets[i].store(0, std::memory_order_relaxed);
+      }
+      cell.count.store(0, std::memory_order_relaxed);
+      cell.sum.store(0, std::memory_order_relaxed);
+      cell.min.store(std::numeric_limits<std::uint64_t>::max(),
+                     std::memory_order_relaxed);
+      cell.max.store(0, std::memory_order_relaxed);
     }
   }
 }

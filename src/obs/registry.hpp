@@ -31,6 +31,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/histogram.hpp"
+
 namespace prox::obs {
 
 namespace detail {
@@ -95,6 +97,7 @@ struct TimerCell {
 struct ThreadCache {
   CounterCell counters[kMaxCounterCells];
   TimerCell timers[kMaxTimerCells];
+  HistogramCell histograms[kMaxHistogramCells];
 };
 
 /// This thread's cache pointer.  Null before first use and again after the
@@ -252,12 +255,17 @@ class Registry {
   /// Returns the timer named @p name, creating it on first use.
   Timer& timer(std::string_view name);
 
+  /// Returns the histogram named @p name, creating it on first use.
+  Histogram& histogram(std::string_view name);
+
   /// Enumerates every instrument in name order under the registry lock.
-  /// Intended for snapshotting (obs::snapshot()), not for hot paths.
+  /// Intended for snapshotting (obs::snapshot()), not for hot paths.  The
+  /// histogram callback may be empty (older callers predate histograms).
   void visit(
       const std::function<void(const std::string&, const Counter&)>& onCounter,
-      const std::function<void(const std::string&, const Timer&)>& onTimer)
-      const;
+      const std::function<void(const std::string&, const Timer&)>& onTimer,
+      const std::function<void(const std::string&, const Histogram&)>&
+          onHistogram = {}) const;
 
   /// Zeroes every instrument (references stay valid).
   void resetAll();
@@ -269,6 +277,7 @@ class Registry {
   Registry() = default;
   friend class Counter;
   friend class Timer;
+  friend class Histogram;
   friend detail::ThreadCache* detail::ensureThreadCache() noexcept;
   friend struct ThreadCacheReaper;
 
@@ -278,20 +287,25 @@ class Registry {
 
   std::uint64_t mergedCounter(const Counter& c) const;
   Timer::Stats mergedTimer(const Timer& t) const;
+  HistogramData mergedHistogram(const Histogram& h) const;
   void resetCounter(Counter& c);
   void resetTimer(Timer& t);
+  void resetHistogram(Histogram& h);
 
   // Recursive: visit() holds the lock while its callbacks read merged
   // values, which lock again.
   mutable std::recursive_mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Timer>, std::less<>> timers_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
   std::vector<std::unique_ptr<detail::ThreadCache>> caches_;
 };
 
-/// Convenience shorthands for Registry::instance().counter()/timer().
+/// Convenience shorthands for Registry::instance().counter()/timer()/
+/// histogram().
 Counter& counter(std::string_view name);
 Timer& timer(std::string_view name);
+Histogram& histogram(std::string_view name);
 
 /// Zeroes every instrument in the process registry.
 void resetAll();
@@ -343,6 +357,21 @@ void resetAll();
         ::prox::obs::timer(name);                                    \
     proxObsTimer_.recordTo(cells, seconds);                          \
   } while (0)
+/// Records @p value (uint64-convertible) into the histogram named @p name.
+#define PROX_OBS_HIST(name, value)                                   \
+  do {                                                               \
+    static ::prox::obs::Histogram& proxObsHist_ =                    \
+        ::prox::obs::histogram(name);                                \
+    proxObsHist_.record(static_cast<std::uint64_t>(value));          \
+  } while (0)
+/// Records @p value into the histogram @p name through the PROX_OBS_BATCH
+/// var.
+#define PROX_OBS_HIST_IN(cells, name, value)                         \
+  do {                                                               \
+    static ::prox::obs::Histogram& proxObsHist_ =                    \
+        ::prox::obs::histogram(name);                                \
+    proxObsHist_.recordTo(cells, static_cast<std::uint64_t>(value)); \
+  } while (0)
 #else
 #define PROX_OBS_COUNT(name, n) \
   do {                          \
@@ -358,5 +387,11 @@ void resetAll();
   } while (0)
 #define PROX_OBS_RECORD_IN(cells, name, seconds) \
   do {                                           \
+  } while (0)
+#define PROX_OBS_HIST(name, value) \
+  do {                             \
+  } while (0)
+#define PROX_OBS_HIST_IN(cells, name, value) \
+  do {                                       \
   } while (0)
 #endif

@@ -3,12 +3,11 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
-#include <fstream>
-#include <limits>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/histogram.hpp"
 #include "obs/registry.hpp"
 
 namespace prox::obs {
@@ -28,6 +27,13 @@ std::uint64_t Report::counterSumWithPrefix(const std::string& prefix) const {
   return sum;
 }
 
+const HistogramSample* Report::histogramNamed(const std::string& name) const {
+  for (const HistogramSample& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
 Report snapshot() {
   Report r;
   r.enabled = enabled();
@@ -43,6 +49,22 @@ Report snapshot() {
         s.minSeconds = s.count > 0 ? t.minSeconds() : 0.0;
         s.maxSeconds = s.count > 0 ? t.maxSeconds() : 0.0;
         r.timers.push_back(std::move(s));
+      },
+      [&](const std::string& name, const Histogram& h) {
+        const HistogramData d = h.data();
+        HistogramSample s;
+        s.name = name;
+        s.count = d.count;
+        s.sum = d.sum;
+        s.min = d.count > 0 ? d.min : 0;
+        s.max = d.max;
+        s.p50 = d.quantile(0.50);
+        s.p90 = d.quantile(0.90);
+        s.p99 = d.quantile(0.99);
+        for (std::uint32_t i = 0; i < d.buckets.size(); ++i) {
+          if (d.buckets[i] != 0) s.buckets.emplace_back(i, d.buckets[i]);
+        }
+        r.histograms.push_back(std::move(s));
       });
   return r;
 }
@@ -92,7 +114,8 @@ void writeDouble(double v, std::ostream& os) {
 }  // namespace
 
 void writeJson(const Report& report, std::ostream& os) {
-  os << "{\n  \"enabled\": " << (report.enabled ? "true" : "false") << ",\n";
+  os << "{\n  \"schema_version\": " << report.schemaVersion << ",\n";
+  os << "  \"enabled\": " << (report.enabled ? "true" : "false") << ",\n";
   if (!report.buildType.empty()) {
     os << "  \"build_type\": \"";
     jsonEscape(report.buildType, os);
@@ -121,19 +144,36 @@ void writeJson(const Report& report, std::ostream& os) {
     writeDouble(mean, os);
     os << " }";
   }
-  os << (report.timers.empty() ? "}\n" : "\n  }\n");
+  os << (report.timers.empty() ? "},\n" : "\n  },\n");
+  os << "  \"histograms\": {";
+  for (std::size_t i = 0; i < report.histograms.size(); ++i) {
+    const HistogramSample& h = report.histograms[i];
+    const double mean =
+        h.count > 0 ? static_cast<double>(h.sum) / static_cast<double>(h.count)
+                    : 0.0;
+    os << (i == 0 ? "\n" : ",\n") << "    \"";
+    jsonEscape(h.name, os);
+    os << "\": { \"count\": " << h.count << ", \"sum\": " << h.sum
+       << ", \"min\": " << h.min << ", \"max\": " << h.max << ", \"mean\": ";
+    writeDouble(mean, os);
+    os << ", \"p50\": ";
+    writeDouble(h.p50, os);
+    os << ", \"p90\": ";
+    writeDouble(h.p90, os);
+    os << ", \"p99\": ";
+    writeDouble(h.p99, os);
+    os << ", \"buckets\": [";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      os << (b == 0 ? "" : ", ") << "[" << h.buckets[b].first << ", "
+         << h.buckets[b].second << "]";
+    }
+    os << "] }";
+  }
+  os << (report.histograms.empty() ? "}\n" : "\n  }\n");
   os << "}\n";
 }
 
 void writeJson(std::ostream& os) { writeJson(snapshot(), os); }
-
-void writeJsonFile(const std::string& path) {
-  std::ofstream os(path);
-  if (!os) {
-    throw std::runtime_error("obs::writeJsonFile: cannot open " + path);
-  }
-  writeJson(os);
-}
 
 std::string toJson() {
   std::ostringstream os;
@@ -142,95 +182,83 @@ std::string toJson() {
 }
 
 // ---------------------------------------------------------------------------
-// Minimal JSON parser for the report schema (round-trip support for tests
-// and downstream tooling).  Handles objects, numbers, booleans and strings;
-// arrays/null are rejected because the schema never produces them.
+// Generic JSON parser (obs::json) and the report schema mapping on top of it.
+
+namespace json {
+
+const Value* Value::find(std::string_view key) const noexcept {
+  if (kind != Kind::Object) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
 
 namespace {
 
 class Parser {
  public:
-  explicit Parser(std::string text) : text_(std::move(text)) {}
+  explicit Parser(const std::string& text) : text_(text) {}
 
-  Report parse() {
-    Report r;
-    skipWs();
-    expect('{');
-    bool first = true;
-    while (!peekIs('}')) {
-      if (!first) expect(',');
-      first = false;
-      const std::string key = parseString();
-      expect(':');
-      if (key == "enabled") {
-        r.enabled = parseBool();
-      } else if (key == "build_type") {
-        r.buildType = parseString();
-      } else if (key == "counters") {
-        parseCounters(r);
-      } else if (key == "timers") {
-        parseTimers(r);
-      } else {
-        fail("unknown top-level key: " + key);
-      }
-    }
-    expect('}');
+  Value parseDocument() {
+    Value v = parseValue();
     skipWs();
     if (pos_ != text_.size()) fail("trailing content");
-    return r;
+    return v;
   }
 
  private:
-  void parseCounters(Report& r) {
-    expect('{');
-    bool first = true;
-    while (!peekIs('}')) {
-      if (!first) expect(',');
-      first = false;
-      CounterSample c;
-      c.name = parseString();
-      expect(':');
-      c.value = static_cast<std::uint64_t>(parseNumber());
-      r.counters.push_back(std::move(c));
-    }
-    expect('}');
-  }
-
-  void parseTimers(Report& r) {
-    expect('{');
-    bool first = true;
-    while (!peekIs('}')) {
-      if (!first) expect(',');
-      first = false;
-      TimerSample t;
-      t.name = parseString();
-      expect(':');
-      expect('{');
-      bool firstField = true;
-      while (!peekIs('}')) {
-        if (!firstField) expect(',');
-        firstField = false;
-        const std::string field = parseString();
-        expect(':');
-        const double v = parseNumber();
-        if (field == "count") {
-          t.count = static_cast<std::uint64_t>(v);
-        } else if (field == "total_s") {
-          t.totalSeconds = v;
-        } else if (field == "min_s") {
-          t.minSeconds = v;
-        } else if (field == "max_s") {
-          t.maxSeconds = v;
-        } else if (field == "mean_s") {
-          // derived; ignored on input
-        } else {
-          fail("unknown timer field: " + field);
+  Value parseValue() {
+    skipWs();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    const char c = text_[pos_];
+    Value v;
+    switch (c) {
+      case '{': {
+        v.kind = Value::Kind::Object;
+        ++pos_;
+        bool first = true;
+        while (!peekIs('}')) {
+          if (!first) expect(',');
+          first = false;
+          std::string key = parseString();
+          expect(':');
+          v.object.emplace_back(std::move(key), parseValue());
         }
+        expect('}');
+        return v;
       }
-      expect('}');
-      r.timers.push_back(std::move(t));
+      case '[': {
+        v.kind = Value::Kind::Array;
+        ++pos_;
+        bool first = true;
+        while (!peekIs(']')) {
+          if (!first) expect(',');
+          first = false;
+          v.array.push_back(parseValue());
+        }
+        expect(']');
+        return v;
+      }
+      case '"':
+        v.kind = Value::Kind::String;
+        v.str = parseString();
+        return v;
+      case 't':
+      case 'f':
+        v.kind = Value::Kind::Bool;
+        v.boolean = parseBool();
+        return v;
+      case 'n':
+        if (text_.compare(pos_, 4, "null") != 0) fail("expected null");
+        pos_ += 4;
+        v.kind = Value::Kind::Null;
+        return v;
+      default:
+        v.kind = Value::Kind::Number;
+        v.number = parseNumber();
+        return v;
     }
-    expect('}');
   }
 
   void skipWs() {
@@ -267,6 +295,9 @@ class Parser {
             break;
           case '\\':
             out += '\\';
+            break;
+          case '/':
+            out += '/';
             break;
           case 'n':
             out += '\n';
@@ -329,13 +360,144 @@ class Parser {
                              std::to_string(pos_));
   }
 
-  std::string text_;
+  const std::string& text_;
   std::size_t pos_ = 0;
 };
 
 }  // namespace
 
-Report parseJson(const std::string& text) { return Parser(text).parse(); }
+Value parse(const std::string& text) { return Parser(text).parseDocument(); }
+
+}  // namespace json
+
+namespace {
+
+[[noreturn]] void reportFail(const std::string& what) {
+  throw std::runtime_error("obs::parseJson: " + what);
+}
+
+std::uint64_t asUint(const json::Value& v, const char* what) {
+  if (!v.is(json::Value::Kind::Number)) {
+    reportFail(std::string("expected number for ") + what);
+  }
+  return static_cast<std::uint64_t>(v.number);
+}
+
+double asDouble(const json::Value& v, const char* what) {
+  if (!v.is(json::Value::Kind::Number)) {
+    reportFail(std::string("expected number for ") + what);
+  }
+  return v.number;
+}
+
+HistogramSample parseHistogramSample(const std::string& name,
+                                     const json::Value& v) {
+  if (!v.is(json::Value::Kind::Object)) {
+    reportFail("histogram entry must be an object");
+  }
+  HistogramSample h;
+  h.name = name;
+  for (const auto& [field, fv] : v.object) {
+    if (field == "count") {
+      h.count = asUint(fv, "count");
+    } else if (field == "sum") {
+      h.sum = asUint(fv, "sum");
+    } else if (field == "min") {
+      h.min = asUint(fv, "min");
+    } else if (field == "max") {
+      h.max = asUint(fv, "max");
+    } else if (field == "p50") {
+      h.p50 = asDouble(fv, "p50");
+    } else if (field == "p90") {
+      h.p90 = asDouble(fv, "p90");
+    } else if (field == "p99") {
+      h.p99 = asDouble(fv, "p99");
+    } else if (field == "mean") {
+      // derived; ignored on input
+    } else if (field == "buckets") {
+      if (!fv.is(json::Value::Kind::Array)) {
+        reportFail("buckets must be an array");
+      }
+      for (const json::Value& pair : fv.array) {
+        if (!pair.is(json::Value::Kind::Array) || pair.array.size() != 2) {
+          reportFail("bucket entry must be [index, count]");
+        }
+        h.buckets.emplace_back(
+            static_cast<std::uint32_t>(asUint(pair.array[0], "bucket index")),
+            asUint(pair.array[1], "bucket count"));
+      }
+    } else {
+      reportFail("unknown histogram field: " + field);
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+Report parseJson(const std::string& text) {
+  const json::Value doc = json::parse(text);
+  if (!doc.is(json::Value::Kind::Object)) {
+    reportFail("report must be a JSON object");
+  }
+  Report r;
+  r.schemaVersion = 1;  // pre-versioned files carry no schema_version key
+  for (const auto& [key, v] : doc.object) {
+    if (key == "schema_version") {
+      r.schemaVersion = static_cast<int>(asUint(v, "schema_version"));
+    } else if (key == "enabled") {
+      if (!v.is(json::Value::Kind::Bool)) reportFail("expected boolean");
+      r.enabled = v.boolean;
+    } else if (key == "build_type") {
+      if (!v.is(json::Value::Kind::String)) reportFail("expected string");
+      r.buildType = v.str;
+    } else if (key == "counters") {
+      if (!v.is(json::Value::Kind::Object)) {
+        reportFail("counters must be an object");
+      }
+      for (const auto& [name, cv] : v.object) {
+        r.counters.push_back({name, asUint(cv, "counter value")});
+      }
+    } else if (key == "timers") {
+      if (!v.is(json::Value::Kind::Object)) {
+        reportFail("timers must be an object");
+      }
+      for (const auto& [name, tv] : v.object) {
+        if (!tv.is(json::Value::Kind::Object)) {
+          reportFail("timer entry must be an object");
+        }
+        TimerSample t;
+        t.name = name;
+        for (const auto& [field, fv] : tv.object) {
+          if (field == "count") {
+            t.count = asUint(fv, "count");
+          } else if (field == "total_s") {
+            t.totalSeconds = asDouble(fv, "total_s");
+          } else if (field == "min_s") {
+            t.minSeconds = asDouble(fv, "min_s");
+          } else if (field == "max_s") {
+            t.maxSeconds = asDouble(fv, "max_s");
+          } else if (field == "mean_s") {
+            // derived; ignored on input
+          } else {
+            reportFail("unknown timer field: " + field);
+          }
+        }
+        r.timers.push_back(std::move(t));
+      }
+    } else if (key == "histograms") {
+      if (!v.is(json::Value::Kind::Object)) {
+        reportFail("histograms must be an object");
+      }
+      for (const auto& [name, hv] : v.object) {
+        r.histograms.push_back(parseHistogramSample(name, hv));
+      }
+    } else {
+      reportFail("unknown top-level key: " + key);
+    }
+  }
+  return r;
+}
 
 Report parseJson(std::istream& is) {
   std::ostringstream buf;

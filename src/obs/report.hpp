@@ -1,8 +1,9 @@
 #pragma once
 // Snapshot and JSON serialization of the observability registry.
 //
-// The JSON schema (stable; consumed by BENCH_*.json tooling):
+// The JSON schema (versioned; consumed by BENCH_*.json tooling):
 //   {
+//     "schema_version": 2,
 //     "enabled": true,
 //     "build_type": "release",          // optional; omitted when unset
 //     "counters": { "<name>": <uint64>, ... },
@@ -11,16 +12,58 @@
 //                   "min_s": <double>, "max_s": <double>,
 //                   "mean_s": <double> },
 //       ...
+//     },
+//     "histograms": {
+//       "<name>": { "count": <uint64>, "sum": <uint64>,
+//                   "min": <uint64>, "max": <uint64>, "mean": <double>,
+//                   "p50": <double>, "p90": <double>, "p99": <double>,
+//                   "buckets": [[<index>, <count>], ...] },   // sparse
+//       ...
 //     }
 //   }
-// Timers with zero samples serialize min_s/max_s/mean_s as 0.
+// Timers with zero samples serialize min_s/max_s/mean_s as 0; empty
+// histograms serialize all-zero scalars and an empty bucket list.  Bucket
+// indices follow obs/histogram.hpp (8 exact unit buckets, then 8 linear
+// sub-buckets per octave); mean/p50/p90/p99 are derived fields, recomputable
+// from count/sum/buckets.
+//
+// Version history: v1 (PR 1) had no schema_version key and no histograms;
+// parseJson still accepts such files and reports schemaVersion == 1.
 
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 namespace prox::obs {
+
+// --- minimal generic JSON ---------------------------------------------------
+// A tiny DOM parser, shared by the report reader below and by tests that
+// validate other JSON artifacts this library emits (e.g. exported traces).
+namespace json {
+
+struct Value {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;  // insertion order
+
+  bool is(Kind k) const noexcept { return kind == k; }
+  /// Object member lookup; null when absent or not an object.
+  const Value* find(std::string_view key) const noexcept;
+};
+
+/// Parses one complete JSON document (objects, arrays, strings, numbers,
+/// booleans, null).  Throws std::runtime_error on malformed or trailing
+/// input.
+Value parse(const std::string& text);
+
+}  // namespace json
 
 struct CounterSample {
   std::string name;
@@ -35,8 +78,24 @@ struct TimerSample {
   double maxSeconds = 0.0;
 };
 
+struct HistogramSample {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;  // 0 when empty
+  std::uint64_t max = 0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  /// Sparse occupancy: (bucket index, count) pairs in index order.
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> buckets;
+};
+
 /// Point-in-time copy of every instrument, sorted by name.
 struct Report {
+  /// Serialization schema (see header comment).  snapshot() produces the
+  /// current version; parseJson() reports the version it read.
+  int schemaVersion = 2;
   bool enabled = true;
   /// Optional build-flavor tag ("release"/"debug") set by bench binaries so
   /// stats files self-describe whether their timings are comparable.  Empty
@@ -44,12 +103,16 @@ struct Report {
   std::string buildType;
   std::vector<CounterSample> counters;
   std::vector<TimerSample> timers;
+  std::vector<HistogramSample> histograms;
 
   /// Value of the counter named @p name, or 0 if absent.
   std::uint64_t counterValue(const std::string& name) const;
 
   /// Sum of all counters whose name starts with @p prefix.
   std::uint64_t counterSumWithPrefix(const std::string& prefix) const;
+
+  /// The histogram named @p name, or null if absent.
+  const HistogramSample* histogramNamed(const std::string& name) const;
 };
 
 /// Snapshots the process registry.
@@ -61,16 +124,12 @@ void writeJson(const Report& report, std::ostream& os);
 /// Snapshot + serialize in one step.
 void writeJson(std::ostream& os);
 
-/// Snapshot + serialize to @p path; throws std::runtime_error if the file
-/// cannot be opened.
-void writeJsonFile(const std::string& path);
-
 /// Snapshot + serialize to a string.
 std::string toJson();
 
 /// Parses a report previously produced by writeJson.  Accepts any JSON
-/// matching the schema above (field order within objects is free).  Throws
-/// std::runtime_error on malformed input.
+/// matching the schema above (current or v1; field order within objects is
+/// free).  Throws std::runtime_error on malformed input.
 Report parseJson(std::istream& is);
 Report parseJson(const std::string& text);
 

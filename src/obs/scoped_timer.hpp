@@ -40,6 +40,33 @@ class ScopedTimer {
   std::chrono::steady_clock::time_point start_;
 };
 
+/// RAII nanosecond-latency sampler charging its lifetime into a registry
+/// Histogram.  @p armed lets hot call sites subsample (time only every Nth
+/// call): a disarmed scope skips both clock reads.
+class ScopedHistogramNs {
+ public:
+  explicit ScopedHistogramNs(Histogram& hist, bool armed = true) noexcept
+      : hist_(hist), armed_(armed && enabled()) {
+    if (armed_) start_ = std::chrono::steady_clock::now();
+  }
+
+  ~ScopedHistogramNs() {
+    if (!armed_ || !enabled()) return;
+    const auto stop = std::chrono::steady_clock::now();
+    hist_.record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start_)
+            .count()));
+  }
+
+  ScopedHistogramNs(const ScopedHistogramNs&) = delete;
+  ScopedHistogramNs& operator=(const ScopedHistogramNs&) = delete;
+
+ private:
+  Histogram& hist_;
+  bool armed_;
+  std::chrono::steady_clock::time_point start_;
+};
+
 }  // namespace prox::obs
 
 #if PROX_ENABLE_STATS
@@ -52,8 +79,39 @@ class ScopedTimer {
   ::prox::obs::ScopedTimer PROX_OBS_SCOPED_TIMER_CAT(            \
       proxObsScopedTimer_, __LINE__)(                            \
       PROX_OBS_SCOPED_TIMER_CAT(proxObsScopedTimerRef_, __LINE__))
+/// Times the enclosing scope in nanoseconds into the histogram named
+/// @p name (string literal).
+#define PROX_OBS_SCOPED_HIST_NS(name)                            \
+  static ::prox::obs::Histogram& PROX_OBS_SCOPED_TIMER_CAT(      \
+      proxObsScopedHistRef_, __LINE__) =                         \
+      ::prox::obs::histogram(name);                              \
+  ::prox::obs::ScopedHistogramNs PROX_OBS_SCOPED_TIMER_CAT(      \
+      proxObsScopedHist_, __LINE__)(                             \
+      PROX_OBS_SCOPED_TIMER_CAT(proxObsScopedHistRef_, __LINE__))
+/// Sampled variant for hot paths: only every 2^everyLog2-th call through
+/// this site (per thread) pays the clock reads.  The histogram still sees an
+/// unbiased latency sample; pair it with a counter when exact call counts
+/// matter.
+#define PROX_OBS_SCOPED_HIST_NS_SAMPLED(name, everyLog2)         \
+  static ::prox::obs::Histogram& PROX_OBS_SCOPED_TIMER_CAT(      \
+      proxObsScopedHistRef_, __LINE__) =                         \
+      ::prox::obs::histogram(name);                              \
+  static thread_local std::uint32_t PROX_OBS_SCOPED_TIMER_CAT(   \
+      proxObsScopedHistTick_, __LINE__) = 0;                     \
+  ::prox::obs::ScopedHistogramNs PROX_OBS_SCOPED_TIMER_CAT(      \
+      proxObsScopedHist_, __LINE__)(                             \
+      PROX_OBS_SCOPED_TIMER_CAT(proxObsScopedHistRef_, __LINE__), \
+      (PROX_OBS_SCOPED_TIMER_CAT(proxObsScopedHistTick_,         \
+                                 __LINE__)++ &                   \
+       ((1u << (everyLog2)) - 1u)) == 0u)
 #else
 #define PROX_OBS_SCOPED_TIMER(name) \
   do {                              \
+  } while (0)
+#define PROX_OBS_SCOPED_HIST_NS(name) \
+  do {                                \
+  } while (0)
+#define PROX_OBS_SCOPED_HIST_NS_SAMPLED(name, everyLog2) \
+  do {                                                   \
   } while (0)
 #endif

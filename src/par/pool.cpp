@@ -5,6 +5,7 @@
 #include <string>
 
 #include "obs/registry.hpp"
+#include "obs/trace.hpp"
 
 namespace prox::par {
 namespace {
@@ -91,8 +92,9 @@ void ThreadPool::submit(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(queues_[slot]->mu);
     queues_[slot]->tasks.push_back(std::move(task));
   }
-  pending_.fetch_add(1, std::memory_order_release);
+  const std::size_t depth = pending_.fetch_add(1, std::memory_order_release) + 1;
   PROX_OBS_COUNT("par.pool.tasks_submitted", 1);
+  PROX_OBS_TRACE_COUNTER("par.pool.queue_depth", depth);
   cv_.notify_one();
 }
 
@@ -133,16 +135,24 @@ bool ThreadPool::runOneTask(int self) {
     }
   }
   if (!task) return false;
-  pending_.fetch_sub(1, std::memory_order_acq_rel);
-  task();
+  const std::size_t depth = pending_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+  PROX_OBS_TRACE_COUNTER("par.pool.queue_depth", depth);
+  {
+    PROX_OBS_SPAN("par.task");
+    task();
+  }
   PROX_OBS_COUNT("par.pool.tasks_run", 1);
   return true;
 }
 
 void ThreadPool::workerLoop(int self) {
   t_onWorker = true;
+  PROX_OBS_THREAD_NAME("pool-worker-" + std::to_string(self));
   for (;;) {
     if (runOneTask(self)) continue;
+    // The idle span brackets the cv wait so a trace shows each worker's
+    // utilization gaps next to its par.task spans.
+    PROX_OBS_SPAN("par.pool.idle");
     std::unique_lock<std::mutex> lock(mu_);
     cv_.wait(lock, [this] {
       return stopping_ || pending_.load(std::memory_order_acquire) > 0;

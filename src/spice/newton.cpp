@@ -113,7 +113,14 @@ NewtonStatus solveNewton(const Circuit& ckt, linalg::Vector& x,
     }
     if (reuse) {
       PROX_OBS_COUNT("spice.refactor.reused", 1);
+      ++ws.chordRun_;
     } else {
+      // A fresh factorization ends any chord (reuse) run; record its length
+      // so the report shows how far the fast path typically carries.
+      if (ws.chordRun_ > 0) {
+        PROX_OBS_HIST("spice.newton.chord_run_length", ws.chordRun_);
+        ws.chordRun_ = 0;
+      }
       // Numeric-only refactorization over the frozen pivot order; a full
       // factor (fresh pivoting + structure) only on the first solve or when
       // a frozen pivot degraded.
@@ -123,6 +130,7 @@ NewtonStatus solveNewton(const Circuit& ckt, linalg::Vector& x,
         ws.factorValid_ = false;
         status.singular = true;
         PROX_OBS_COUNT("spice.newton.iterations", status.iterations);
+        PROX_OBS_HIST("spice.newton.iterations", status.iterations);
         PROX_OBS_COUNT("spice.newton.singular", 1);
         return status;
       }
@@ -145,6 +153,7 @@ NewtonStatus solveNewton(const Circuit& ckt, linalg::Vector& x,
       if (!std::isfinite(v)) {
         status.nonFinite = true;
         PROX_OBS_COUNT("spice.newton.iterations", status.iterations);
+        PROX_OBS_HIST("spice.newton.iterations", status.iterations);
         PROX_OBS_COUNT("spice.newton.nonfinite", 1);
         return status;
       }
@@ -171,10 +180,12 @@ NewtonStatus solveNewton(const Circuit& ckt, linalg::Vector& x,
     if (converged) {
       status.converged = true;
       PROX_OBS_COUNT("spice.newton.iterations", status.iterations);
+      PROX_OBS_HIST("spice.newton.iterations", status.iterations);
       return status;
     }
   }
   PROX_OBS_COUNT("spice.newton.iterations", status.iterations);
+  PROX_OBS_HIST("spice.newton.iterations", status.iterations);
   PROX_OBS_COUNT("spice.newton.nonconverged", 1);
   return status;
 }

@@ -125,6 +125,10 @@ class NewtonWorkspace {
   // numeric factorization was computed at.
   linalg::Vector xFactor;
   bool factorValid_ = false;
+  /// Consecutive solves that reused the cached factorization (chord steps);
+  /// flushed into the spice.newton.chord_run_length histogram when the run
+  /// ends with a fresh (re)factorization.
+  std::uint64_t chordRun_ = 0;
   double dtFactor_ = 0.0;
   double gminFactor_ = 0.0;
   bool transientFactor_ = false;

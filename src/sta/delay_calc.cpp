@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "support/diagnostic.hpp"
 
 namespace prox::sta {
@@ -99,6 +100,8 @@ std::optional<Arrival> evaluateGate(const characterize::CharacterizedGate& cell,
   }
   if (q != ArcQuality::Full) {
     PROX_OBS_COUNT("sta.delay_calc.degraded_arcs", 1);
+    // Pin each degradation to its moment on the evaluating thread's track.
+    PROX_OBS_TRACE_INSTANT("sta.arc_degraded");
   }
   if (quality != nullptr) *quality = q;
   return out;

@@ -4,6 +4,7 @@
 
 #include "obs/registry.hpp"
 #include "obs/scoped_timer.hpp"
+#include "obs/trace.hpp"
 #include "par/parallel_for.hpp"
 
 namespace prox::sta {
@@ -18,6 +19,7 @@ void TimingAnalyzer::setInputArrival(const std::string& net, Arrival arrival) {
 void TimingAnalyzer::run() {
   PROX_OBS_COUNT("sta.graph.runs", 1);
   PROX_OBS_SCOPED_TIMER("sta.graph.seconds");
+  PROX_OBS_SPAN("sta.run");
   degradedArcs_ = 0;
   const int threads =
       options_.threads == 0 ? par::defaultThreadCount() : options_.threads;
@@ -32,7 +34,10 @@ void TimingAnalyzer::run() {
     std::optional<Arrival> out;
     ArcQuality quality = ArcQuality::Full;
   };
+  std::size_t levelIndex = 0;
   for (const std::vector<const Instance*>& level : netlist_.levels()) {
+    PROX_OBS_SPAN_ARG("sta.level", "level", levelIndex);
+    ++levelIndex;
     std::vector<ArcResult> results(level.size());
     par::parallelFor(
         level.size(),
@@ -57,6 +62,9 @@ void TimingAnalyzer::run() {
       }
       if (results[i].quality != ArcQuality::Full) ++degradedArcs_;
     }
+    // Running degradation tally next to the level spans, so a trace shows
+    // where in the graph the delay model started falling back.
+    PROX_OBS_TRACE_COUNTER("sta.degraded_arcs", degradedArcs_);
   }
 }
 

@@ -27,6 +27,7 @@
 //
 // Thread-safe: append() may be called concurrently from sweep workers.
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <optional>
@@ -97,6 +98,13 @@ class Journal {
   /// the default keeps sync overhead well under 1%.
   int syncEveryRecords = 32;
 
+  /// Records appended since the last fsync -- the crash-loss window right
+  /// now.  Lock-free snapshot for progress heartbeats ("checkpoint lag");
+  /// may be momentarily stale relative to a concurrent append.
+  int unsynced() const noexcept {
+    return unsynced_.load(std::memory_order_relaxed);
+  }
+
   Journal(const Journal&) = delete;
   Journal& operator=(const Journal&) = delete;
 
@@ -106,7 +114,7 @@ class Journal {
   std::mutex mu_;
   std::string path_;
   int fd_ = -1;
-  int unsynced_ = 0;
+  std::atomic<int> unsynced_{0};
 };
 
 }  // namespace prox::support

@@ -13,13 +13,17 @@
 
 #include <csignal>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
 
 #include "characterize/checkpoint.hpp"
 #include "characterize/serialize.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "support/cancel.hpp"
 #include "support/diagnostic.hpp"
+#include "support/durable_io.hpp"
 #include "support/fault_injection.hpp"
 #include "support/journal.hpp"
 #include "test_util.hpp"
@@ -48,7 +52,23 @@ struct TempDir {
   std::string file(const std::string& name) const {
     return (path / name).string();
   }
+  /// Directory entry count: a crashed atomic write must not leave temp files.
+  std::size_t entryCount() const {
+    std::size_t n = 0;
+    for (auto it = fs::directory_iterator(path);
+         it != fs::directory_iterator(); ++it) {
+      ++n;
+    }
+    return n;
+  }
 };
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
 
 /// The .prox text for @p gate -- the byte-identity currency of these tests.
 std::string modelText(const characterize::CharacterizedGate& gate) {
@@ -223,6 +243,70 @@ void runCrashingChild(const std::string& journalPath, long long crashTask,
       << "child exited normally with status "
       << (WIFEXITED(status) ? WEXITSTATUS(status) : -1);
   EXPECT_EQ(WTERMSIG(status), SIGKILL);
+}
+
+// The --stats / --trace artifact contract under `kill -9`: the tools write
+// both files through writeFileAtomic *after* the flow finishes, so a run
+// killed mid-sweep must leave any previous artifacts byte-intact, no torn
+// replacements, and no stray temp files -- absent-or-complete, never partial.
+// This is the same child-process SIGKILL as the resume test above, with the
+// tool epilogue (stats dump, trace export) spelled out after the crash point.
+TEST(CheckpointResume, KilledRunLeavesStatsAndTraceArtifactsWholeOrAbsent) {
+  TempDir dir;
+  const std::string statsPath = dir.file("run.stats.json");
+  const std::string tracePath = dir.file("run.trace.json");
+  const std::string prevStats = "{\"schema_version\": 2, \"previous\": true}\n";
+  const std::string prevTrace = "{\"traceEvents\": []}\n";
+  support::writeFileAtomic(statsPath,
+                           [&](std::ostream& os) { os << prevStats; });
+  support::writeFileAtomic(tracePath,
+                           [&](std::ostream& os) { os << prevTrace; });
+
+  const auto spec = testutil::nandSpec(2);
+  auto cfg = testutil::fastConfig();
+  cfg.threads = 1;
+  const std::string fp = configFingerprint(spec, cfg);
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0) << "fork failed";
+  if (pid == 0) {
+    // Child: the characterize_cell flow with --stats/--trace/--checkpoint,
+    // crashed mid-sweep.  No gtest assertions, _exit on any survival path.
+    try {
+      prox::obs::trace::TraceSession session;
+      CheckpointSession ckpt(dir.file("run.ckpt"), fp, /*resume=*/false);
+      cfg.checkpoint = &ckpt;
+      support::FaultPlan::arm({.site = "par.task",
+                               .kind = support::FaultKind::ProcessCrash,
+                               .taskIndex = 25});
+      characterize::characterizeGate(spec, cfg);
+      // Tool epilogue -- never reached; the crash fires first.
+      support::writeFileAtomic(statsPath,
+                               [](std::ostream& os) { obs::writeJson(os); });
+      support::writeFileAtomic(tracePath, [&](std::ostream& os) {
+        session.exportJson(os);
+      });
+    } catch (...) {
+    }
+    ::_exit(42);
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  EXPECT_EQ(WTERMSIG(status), SIGKILL);
+
+  // The previous artifacts are byte-identical, not truncated or replaced.
+  EXPECT_EQ(slurp(statsPath), prevStats);
+  EXPECT_EQ(slurp(tracePath), prevTrace);
+  // Exactly stats + trace + journal: no orphaned atomic-writer temp files.
+  EXPECT_EQ(dir.entryCount(), 3u);
+
+  // And the journal the crash left behind still resumes to the reference.
+  CheckpointSession resumed(dir.file("run.ckpt"), fp, /*resume=*/true);
+  EXPECT_GT(resumed.loadedRecords(), 0u);
+  cfg.checkpoint = &resumed;
+  EXPECT_EQ(modelText(characterize::characterizeGate(spec, cfg)),
+            referenceText());
 }
 
 TEST(CheckpointResume, KilledRunResumesToByteIdenticalArtifact) {

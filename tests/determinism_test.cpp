@@ -19,6 +19,7 @@
 #include "model/dual_input.hpp"
 #include "obs/registry.hpp"
 #include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "sta/timing_graph.hpp"
 #include "support/fault_injection.hpp"
 #include "test_util.hpp"
@@ -159,6 +160,28 @@ TEST(CharacterizationDeterminism, SparseSolvePathBitIdenticalAtOneAndEight) {
   }
 }
 
+// Tracing is purely observational: recording spans, heartbeat counters and
+// per-point events while a TraceSession is active must not perturb a single
+// bit of the characterized artifact, at any thread count.  This is the
+// observability layer's core contract (DESIGN.md), pinned here with the same
+// exact-== comparisons as the rest of the harness.
+TEST(CharacterizationDeterminism, TracingOnDoesNotChangeResults) {
+  for (const int threads : {1, 8}) {
+    obs::trace::TraceSession session;
+    const auto traced = characterize::characterizeGate(testutil::nandSpec(2),
+                                                       smallConfig(threads));
+    session.stop();
+    expectCellsIdentical(cleanCell(1), traced);
+#if PROX_ENABLE_STATS
+    // The session must actually have observed the run, or this test proves
+    // nothing: the per-point spans land in the exported JSON.  (With stats
+    // compiled out the span macros are empty and the trace is, too.)
+    EXPECT_NE(session.exportJson().find("char.point"), std::string::npos)
+        << "threads=" << threads;
+#endif
+  }
+}
+
 #if PROX_ENABLE_FAULT_INJECTION
 // With a task-keyed fault plan armed, the *same* sweep point fails (and
 // heals) no matter how many workers race through the sweep: spec.taskIndex
@@ -269,6 +292,21 @@ TEST(StaDeterminism, ParallelCellDrivesIdenticalSta) {
   // End to end: a cell characterized in parallel must drive the exact same
   // timing analysis as one characterized serially.
   expectRunsIdentical(runSta(cleanCell(1), 1), runSta(cleanCell(8), 8));
+}
+
+TEST(StaDeterminism, TracingOnDoesNotChangeArrivals) {
+  const auto& cell = cleanCell(1);
+  const StaRun untraced = runSta(cell, 1);
+  for (const int threads : {1, 8}) {
+    obs::trace::TraceSession session;
+    const StaRun traced = runSta(cell, threads);
+    session.stop();
+    expectRunsIdentical(untraced, traced);
+#if PROX_ENABLE_STATS
+    EXPECT_NE(session.exportJson().find("sta.level"), std::string::npos)
+        << "threads=" << threads;
+#endif
+  }
 }
 
 }  // namespace

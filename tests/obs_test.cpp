@@ -260,6 +260,181 @@ TEST_F(ObsTest, MacrosChargeNamedInstruments) {
 #endif
 }
 
+// -- histograms --------------------------------------------------------------
+
+TEST_F(ObsTest, HistogramBucketMathIsMonotoneAndBounded) {
+  namespace d = obs::detail;
+  // Values 0..7 land in exact unit buckets.
+  for (std::uint64_t v = 0; v < 8; ++v) {
+    EXPECT_EQ(d::histBucketIndex(v), v);
+    EXPECT_EQ(d::histBucketLowerBound(static_cast<std::uint32_t>(v)), v);
+    EXPECT_EQ(d::histBucketWidth(static_cast<std::uint32_t>(v)), 1u);
+  }
+  // Index is monotone and every value lies inside its bucket's range; the
+  // relative bucket width stays <= 12.5% (1/8) of the lower bound.
+  std::uint32_t prev = 0;
+  for (std::uint64_t v = 1; v < (1ull << 40); v = v * 3 + 1) {
+    const std::uint32_t i = d::histBucketIndex(v);
+    EXPECT_GE(i, prev);
+    prev = i;
+    const std::uint64_t lo = d::histBucketLowerBound(i);
+    const std::uint64_t w = d::histBucketWidth(i);
+    EXPECT_GE(v, lo);
+    EXPECT_LT(v, lo + w);
+    if (v >= 8) {
+      EXPECT_LE(static_cast<double>(w), lo * 0.125 + 1e-9);
+    }
+  }
+  // The top of the value range maps inside the table.
+  EXPECT_LT(d::histBucketIndex(std::numeric_limits<std::uint64_t>::max()),
+            d::kHistBucketCount);
+}
+
+TEST_F(ObsTest, HistogramRecordsCountSumMinMaxAndQuantiles) {
+  obs::Histogram& h = obs::histogram("test.hist.basic");
+  h.reset();
+  EXPECT_EQ(h.data().count, 0u);
+  EXPECT_EQ(h.data().quantile(0.5), 0.0);
+  for (std::uint64_t v = 1; v <= 100; ++v) h.record(v);
+  const obs::HistogramData d = h.data();
+  EXPECT_EQ(d.count, 100u);
+  EXPECT_EQ(d.sum, 5050u);
+  EXPECT_EQ(d.min, 1u);
+  EXPECT_EQ(d.max, 100u);
+  EXPECT_DOUBLE_EQ(d.mean(), 50.5);
+  // Bucket midpoints bound quantile error by the 12.5% bucket width.
+  EXPECT_NEAR(d.quantile(0.5), 50.0, 50.0 * 0.15);
+  EXPECT_NEAR(d.quantile(0.9), 90.0, 90.0 * 0.15);
+  EXPECT_NEAR(d.quantile(0.99), 99.0, 99.0 * 0.15);
+  // Quantiles never escape the exact [min, max] envelope.
+  EXPECT_GE(d.quantile(0.0), 1.0);
+  EXPECT_LE(d.quantile(1.0), 100.0);
+  h.reset();
+  EXPECT_EQ(h.data().count, 0u);
+}
+
+TEST_F(ObsTest, HistogramConcurrentRecordsAreExact) {
+  obs::Histogram& h = obs::histogram("test.hist.concurrent");
+  h.reset();
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      for (int i = 0; i < kIters; ++i) {
+        h.record(static_cast<std::uint64_t>(w + 1));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const obs::HistogramData d = h.data();
+  EXPECT_EQ(d.count, static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(d.sum, static_cast<std::uint64_t>(kIters) * (1 + 2 + 3 + 4 + 5 +
+                                                         6 + 7 + 8));
+  EXPECT_EQ(d.min, 1u);
+  EXPECT_EQ(d.max, 8u);
+}
+
+TEST_F(ObsTest, HistogramMacroChargesNamedInstrument) {
+#if PROX_ENABLE_STATS
+  obs::histogram("test.hist.macro").reset();
+  for (int i = 0; i < 4; ++i) PROX_OBS_HIST("test.hist.macro", 16);
+  EXPECT_EQ(obs::histogram("test.hist.macro").data().count, 4u);
+
+  obs::histogram("test.hist.batch").reset();
+  {
+    PROX_OBS_BATCH(cells);
+    PROX_OBS_HIST_IN(cells, "test.hist.batch", 7);
+  }
+  EXPECT_EQ(obs::histogram("test.hist.batch").data().count, 1u);
+
+  obs::setEnabled(false);
+  PROX_OBS_HIST("test.hist.macro", 1);
+  obs::setEnabled(true);
+  EXPECT_EQ(obs::histogram("test.hist.macro").data().count, 4u)
+      << "disabled histogram must not move";
+#else
+  PROX_OBS_HIST("test.hist.macro", 16);
+  EXPECT_EQ(obs::histogram("test.hist.macro").data().count, 0u);
+#endif
+}
+
+// -- overflow fallback -------------------------------------------------------
+// Instruments past the per-thread cell caps must fall back to the shared
+// (mutex/RMW) path and still merge exactly across threads.  These tests spill
+// the registry past every cap on purpose; instruments created later in this
+// binary may take the fallback path too, which the design keeps correct.
+
+TEST_F(ObsTest, CounterOverflowFallbackMergesAcrossThreads) {
+  // Spill well past the cap so the probe counter is certainly cell-less.
+  for (std::uint32_t i = 0; i < obs::detail::kMaxCounterCells; ++i) {
+    obs::counter("test.overflow.fill." + std::to_string(i));
+  }
+  obs::Counter& c = obs::counter("test.overflow.probe");
+  c.reset();
+  c.add(3);
+  EXPECT_EQ(c.value(), 3u) << "overflow counter must record immediately";
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) c.add(1);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(c.value(), 3u + static_cast<std::uint64_t>(kThreads) * kIters);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(ObsTest, TimerOverflowFallbackMergesAcrossThreads) {
+  for (std::uint32_t i = 0; i < obs::detail::kMaxTimerCells; ++i) {
+    obs::timer("test.overflow.tfill." + std::to_string(i));
+  }
+  obs::Timer& t = obs::timer("test.overflow.tprobe");
+  t.reset();
+  constexpr int kThreads = 8;
+  constexpr int kIters = 5000;
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      for (int i = 0; i < kIters; ++i) t.record(1e-3 * (w + 1));
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(t.count(), static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_DOUBLE_EQ(t.minSeconds(), 1e-3);
+  EXPECT_DOUBLE_EQ(t.maxSeconds(), 8e-3);
+}
+
+TEST_F(ObsTest, HistogramOverflowFallbackMergesAcrossThreads) {
+  for (std::uint32_t i = 0; i < obs::detail::kMaxHistogramCells; ++i) {
+    obs::histogram("test.overflow.hfill." + std::to_string(i));
+  }
+  obs::Histogram& h = obs::histogram("test.overflow.hprobe");
+  h.reset();
+  constexpr int kThreads = 8;
+  constexpr int kIters = 5000;
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      for (int i = 0; i < kIters; ++i) {
+        h.record(static_cast<std::uint64_t>(100 * (w + 1)));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const obs::HistogramData d = h.data();
+  EXPECT_EQ(d.count, static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(d.min, 100u);
+  EXPECT_EQ(d.max, 800u);
+  EXPECT_NEAR(d.quantile(0.5), 450.0, 450.0 * 0.15);
+  h.reset();
+  EXPECT_EQ(h.data().count, 0u);
+}
+
 TEST_F(ObsTest, BatchedMacrosChargeInstruments) {
 #if PROX_ENABLE_STATS
   obs::counter("test.batch.count").reset();
