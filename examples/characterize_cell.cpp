@@ -28,6 +28,7 @@
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "par/pool.hpp"
+#include "support/budget.hpp"
 #include "support/cancel.hpp"
 #include "support/durable_io.hpp"
 #include "support/fault_injection.hpp"
@@ -43,7 +44,8 @@ int usage(const char* argv0) {
                "usage: %s [--threads N] [--out FILE] [--checkpoint FILE]\n"
                "          [--resume] [--timeout SECS] [--quick]\n"
                "          [--crash-at INDEX] [--stats FILE] [--trace FILE]\n"
-               "          [--progress SECS]\n",
+               "          [--progress SECS] [--max-memory MB] "
+               "[--max-nodes N]\n",
                argv0);
   return 2;
 }
@@ -71,6 +73,7 @@ int main(int argc, char** argv) {
   double timeoutSecs = 0.0;
   double progressSecs = 0.0;
   long long crashAt = -1;
+  support::ResourceBudget budget;
 
   for (int i = 1; i < argc; ++i) {
     const char* v = nullptr;
@@ -102,6 +105,20 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "%s: --progress expects SECS > 0\n", argv[0]);
         return 2;
       }
+    } else if ((v = flagValue("--max-memory", argv, argc, &i)) != nullptr) {
+      const long mb = std::atol(v);
+      if (mb <= 0) {
+        std::fprintf(stderr, "%s: --max-memory expects MB > 0\n", argv[0]);
+        return 2;
+      }
+      budget.maxRssBytes = static_cast<std::size_t>(mb) << 20;
+    } else if ((v = flagValue("--max-nodes", argv, argc, &i)) != nullptr) {
+      const long n = std::atol(v);
+      if (n <= 0) {
+        std::fprintf(stderr, "%s: --max-nodes expects N > 0\n", argv[0]);
+        return 2;
+      }
+      budget.maxNodes = static_cast<std::size_t>(n);
     } else if (std::strcmp(argv[i], "--resume") == 0) {
       resume = true;
     } else if (std::strcmp(argv[i], "--quick") == 0) {
@@ -156,6 +173,12 @@ int main(int argc, char** argv) {
   support::CancelScope mainScope(&cancelToken);
   cfg.cancel = &cancelToken;
 
+  // Resource governance: deadline rides the cancel token; memory/table
+  // ceilings trip typed ResourceExhausted failures mapped to exit code 7.
+  budget.cancel = &cancelToken;
+  support::BudgetTracker budgetTracker(budget);
+  support::BudgetScope budgetScope(&budgetTracker);
+
   std::unique_ptr<characterize::CheckpointSession> checkpoint;
   if (!checkpointPath.empty()) {
     const std::string fingerprint = characterize::configFingerprint(spec, cfg);
@@ -189,6 +212,16 @@ int main(int argc, char** argv) {
     // be partial-but-valid no matter why the flow unwound.
     if (checkpoint) checkpoint->flush();
     std::fprintf(stderr, "%s\n", e.diagnostic().toString().c_str());
+    // Best-effort stats on the unwind path: budget/cancellation post-mortems
+    // (the support.budget.* counters especially) belong in the report.
+    if (!statsPath.empty()) {
+      try {
+        support::writeFileAtomic(statsPath,
+                                 [](std::ostream& os) { obs::writeJson(os); });
+        std::printf("stats report written to %s\n", statsPath.c_str());
+      } catch (const std::exception&) {
+      }
+    }
     const support::StatusCode code = e.code();
     if (code == support::StatusCode::Cancelled ||
         code == support::StatusCode::DeadlineExceeded) {
@@ -200,6 +233,7 @@ int main(int argc, char** argv) {
       }
       return 6;
     }
+    if (code == support::StatusCode::ResourceExhausted) return 7;
     return 1;
   }
 

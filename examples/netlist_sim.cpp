@@ -31,6 +31,7 @@
 #include "spice/netlist.hpp"
 #include "spice/tran.hpp"
 #include "sta/timing_graph.hpp"
+#include "support/budget.hpp"
 #include "support/cancel.hpp"
 #include "support/diagnostic.hpp"
 #include "support/durable_io.hpp"
@@ -164,6 +165,7 @@ int main(int argc, char** argv) {
   std::string tracePath;
   int threads = 0;  // 0 = par::defaultThreadCount() (PROX_THREADS or cores)
   double timeoutSecs = 0.0;
+  support::ResourceBudget budget;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--stats") == 0) {
       stats = true;
@@ -192,10 +194,25 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "%s: --timeout expects SECS > 0\n", argv[0]);
         return 2;
       }
+    } else if (std::strncmp(argv[i], "--max-memory=", 13) == 0) {
+      const long mb = std::atol(argv[i] + 13);
+      if (mb <= 0) {
+        std::fprintf(stderr, "%s: --max-memory expects MB > 0\n", argv[0]);
+        return 2;
+      }
+      budget.maxRssBytes = static_cast<std::size_t>(mb) << 20;
+    } else if (std::strncmp(argv[i], "--max-nodes=", 12) == 0) {
+      const long n = std::atol(argv[i] + 12);
+      if (n <= 0) {
+        std::fprintf(stderr, "%s: --max-nodes expects N > 0\n", argv[0]);
+        return 2;
+      }
+      budget.maxNodes = static_cast<std::size_t>(n);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--stats[=FILE]] [--trace=FILE] [--strict] "
-                   "[--threads N] [--timeout=SECS]\n",
+                   "[--threads N] [--timeout=SECS] [--max-memory=MB] "
+                   "[--max-nodes=N]\n",
                    argv[0]);
       return 2;
     }
@@ -211,6 +228,12 @@ int main(int argc, char** argv) {
   if (timeoutSecs > 0.0) cancelToken.setTimeout(timeoutSecs);
   support::SignalCancelScope signalScope(&cancelToken);
   support::CancelScope mainScope(&cancelToken);
+
+  // Resource governance: node/memory ceilings turn runaway decks into a
+  // typed failure with exit code 7 (see support/budget.hpp).
+  budget.cancel = &cancelToken;
+  support::BudgetTracker budgetTracker(budget);
+  support::BudgetScope budgetScope(&budgetTracker);
 
   std::unique_ptr<obs::trace::TraceSession> traceSession;
   if (!tracePath.empty()) {
@@ -247,10 +270,21 @@ int main(int argc, char** argv) {
     }
   } catch (const support::DiagnosticError& e) {
     std::fprintf(stderr, "%s\n", e.diagnostic().toString().c_str());
+    // Best-effort stats on the unwind path so budget post-mortems (the
+    // support.budget.* counters) are visible in the report.
+    if (stats && !statsPath.empty()) {
+      try {
+        support::writeFileAtomic(statsPath,
+                                 [](std::ostream& os) { obs::writeJson(os); });
+        std::printf("stats report written to %s\n", statsPath.c_str());
+      } catch (const std::exception&) {
+      }
+    }
     if (e.code() == support::StatusCode::Cancelled ||
         e.code() == support::StatusCode::DeadlineExceeded) {
       return 6;
     }
+    if (e.code() == support::StatusCode::ResourceExhausted) return 7;
     return 1;
   }
   if (stats) {

@@ -12,6 +12,12 @@
 //
 // Inputs arrive in a tight burst, so gates see multiple switching inputs in
 // close temporal proximity; classic pin-to-pin STA mis-times the stages.
+//
+// The tool doubles as the structural-validation demo: --graph builds a
+// deliberately defective variant (cyclic, multidriven, dangling, selfloop)
+// and --structural selects the degradation ladder.  Exit codes: 0 ok,
+// 1 error, 2 usage, 6 cancelled/timeout, 7 resource budget exceeded,
+// 8 structural reject.
 
 #include <cstdio>
 #include <cstdlib>
@@ -24,6 +30,7 @@
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "sta/flat_sim.hpp"
+#include "support/budget.hpp"
 #include "support/cancel.hpp"
 #include "support/durable_io.hpp"
 
@@ -32,12 +39,33 @@ using sta::Arrival;
 using sta::DelayMode;
 using wave::Edge;
 
+namespace {
+
+int exitCodeFor(const support::DiagnosticError& e) {
+  switch (e.code()) {
+    case support::StatusCode::Cancelled:
+    case support::StatusCode::DeadlineExceeded:
+      return 6;
+    case support::StatusCode::ResourceExhausted:
+      return 7;
+    case support::StatusCode::StructuralError:
+      return 8;
+    default:
+      return 1;
+  }
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   bool stats = false;
   std::string statsPath;
   std::string tracePath;
+  std::string graph = "clean";
   double timeoutSecs = 0.0;
   int threads = 0;  // 0 = par::defaultThreadCount() (PROX_THREADS or cores)
+  sta::StructuralPolicy structural = sta::StructuralPolicy::Reject;
+  support::ResourceBudget budget;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--stats") == 0) {
       stats = true;
@@ -64,10 +92,47 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "%s: --timeout expects SECS > 0\n", argv[0]);
         return 2;
       }
+    } else if (std::strncmp(argv[i], "--max-memory=", 13) == 0) {
+      const long mb = std::atol(argv[i] + 13);
+      if (mb <= 0) {
+        std::fprintf(stderr, "%s: --max-memory expects MB > 0\n", argv[0]);
+        return 2;
+      }
+      budget.maxRssBytes = static_cast<std::size_t>(mb) << 20;
+    } else if (std::strncmp(argv[i], "--max-nodes=", 12) == 0) {
+      const long n = std::atol(argv[i] + 12);
+      if (n <= 0) {
+        std::fprintf(stderr, "%s: --max-nodes expects N > 0\n", argv[0]);
+        return 2;
+      }
+      budget.maxNodes = static_cast<std::size_t>(n);
+    } else if (std::strncmp(argv[i], "--graph=", 8) == 0) {
+      graph = argv[i] + 8;
+      if (graph != "clean" && graph != "cyclic" && graph != "multidriven" &&
+          graph != "dangling" && graph != "selfloop") {
+        std::fprintf(stderr,
+                     "%s: --graph expects "
+                     "clean|cyclic|multidriven|dangling|selfloop\n",
+                     argv[0]);
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--structural=", 13) == 0) {
+      const std::string v = argv[i] + 13;
+      if (v == "reject") {
+        structural = sta::StructuralPolicy::Reject;
+      } else if (v == "degrade") {
+        structural = sta::StructuralPolicy::Degrade;
+      } else {
+        std::fprintf(stderr, "%s: --structural expects reject|degrade\n",
+                     argv[0]);
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: %s [--stats[=FILE]] [--trace=FILE] [--threads N] "
-                   "[--timeout=SECS]\n",
+                   "[--timeout=SECS] [--max-memory=MB] [--max-nodes=N]\n"
+                   "       [--graph=clean|cyclic|multidriven|dangling|"
+                   "selfloop] [--structural=reject|degrade]\n",
                    argv[0]);
       return 2;
     }
@@ -84,6 +149,12 @@ int main(int argc, char** argv) {
   support::SignalCancelScope signalScope(&cancelToken);
   support::CancelScope mainScope(&cancelToken);
 
+  // Resource governance: the deadline rides the cancel token; memory and
+  // node ceilings are enforced wherever work is charged (exit code 7).
+  budget.cancel = &cancelToken;
+  support::BudgetTracker budgetTracker(budget);
+  support::BudgetScope budgetScope(&budgetTracker);
+
   // The recording window spans the whole run (characterization, both STA
   // passes, the flat reference sim); the JSON lands atomically at the end.
   std::unique_ptr<obs::trace::TraceSession> traceSession;
@@ -98,14 +169,37 @@ int main(int argc, char** argv) {
   characterize::CharacterizationConfig cfg;
   cfg.threads = threads;
   cfg.cancel = &cancelToken;
+  int exitCode = 0;
   try {
     const auto cell = characterize::characterizeGate(spec, cfg);
 
     sta::Netlist nl;
     for (const char* pi : {"a", "b", "c", "s1"}) nl.addPrimaryInput(pi);
-    nl.addInstance("u1", cell, {"a", "b"}, "y1");
-    nl.addInstance("u2", cell, {"y1", "s1"}, "y2");
-    nl.addInstance("u3", cell, {"y2", "c"}, "y3");
+    if (graph == "cyclic") {
+      // u1 consumes u3's output: u1 -> u2 -> u3 -> u1.
+      nl.addInstance("u1", cell, {"a", "y3"}, "y1");
+      nl.addInstance("u2", cell, {"y1", "s1"}, "y2");
+      nl.addInstance("u3", cell, {"y2", "c"}, "y3");
+    } else if (graph == "selfloop") {
+      nl.addInstance("u1", cell, {"a", "y1"}, "y1");
+      nl.addInstance("u2", cell, {"y1", "s1"}, "y2");
+      nl.addInstance("u3", cell, {"y2", "c"}, "y3");
+    } else if (graph == "dangling") {
+      nl.addInstance("u1", cell, {"a", "b"}, "y1");
+      nl.addInstance("u2", cell, {"y1", "floating"}, "y2");
+      nl.addInstance("u3", cell, {"y2", "c"}, "y3");
+    } else if (graph == "multidriven") {
+      nl.addInstance("u1", cell, {"a", "b"}, "y1");
+      nl.addInstance("u2", cell, {"y1", "s1"}, "y2");
+      // Lenient construction: the conflicting driver is a property of the
+      // (untrusted) input, recorded for validation rather than thrown.
+      nl.addInstanceLenient("u2b", cell, {"c", "s1"}, "y2");
+      nl.addInstance("u3", cell, {"y2", "c"}, "y3");
+    } else {
+      nl.addInstance("u1", cell, {"a", "b"}, "y1");
+      nl.addInstance("u2", cell, {"y1", "s1"}, "y2");
+      nl.addInstance("u3", cell, {"y2", "c"}, "y3");
+    }
 
     const std::unordered_map<std::string, Arrival> arrivals{
         {"a", {0.0, 250e-12, Edge::Rising}},
@@ -117,45 +211,70 @@ int main(int argc, char** argv) {
       sta::DelayCalcOptions opt;
       opt.threads = threads;
       opt.cancel = &cancelToken;
+      opt.structural = structural;
       sta::TimingAnalyzer ta(nl, mode, opt);
-      for (const auto& [net, arr] : arrivals) ta.setInputArrival(net, arr);
+      for (const auto& [net, arr] : arrivals) {
+        ta.setInputArrival(net, arr);
+      }
       ta.run();
       return ta;
     };
-    const auto classic = analyze(DelayMode::Classic);
-    const auto proximity = analyze(DelayMode::Proximity);
-    if (proximity.degradedArcs() + classic.degradedArcs() > 0) {
-      std::printf("note: %zu arc(s) used a degraded delay model (missing or "
-                  "unusable tables); see sta.delay_calc.degraded_arcs in "
-                  "--stats\n",
-                  proximity.degradedArcs() + classic.degradedArcs());
-    }
 
-    std::printf("running the flat transistor-level reference simulation ...\n");
-    const auto flat = sta::simulateFlat(nl, arrivals);
+    if (graph != "clean") {
+      // Structural demo path: validate, then run under the selected policy.
+      std::printf("validating deliberately defective graph '%s' ...\n",
+                  graph.c_str());
+      const auto proximity = analyze(DelayMode::Proximity);
+      for (const auto& issue : proximity.structuralIssues()) {
+        std::printf("structural %s: %s\n", sta::structuralKindName(issue.kind),
+                    issue.message.c_str());
+      }
+      std::printf("%zu arc(s) degraded:", proximity.degradedArcs());
+      for (const auto& name : proximity.degradedArcNames()) {
+        std::printf(" %s", name.c_str());
+      }
+      std::printf("\n");
+      for (const char* net : {"y1", "y2", "y3"}) {
+        const auto p = proximity.arrival(net);
+        if (p) std::printf("%-5s arrives at %.1f ps\n", net, p->time * 1e12);
+      }
+    } else {
+      const auto classic = analyze(DelayMode::Classic);
+      const auto proximity = analyze(DelayMode::Proximity);
+      if (proximity.degradedArcs() + classic.degradedArcs() > 0) {
+        std::printf(
+            "note: %zu arc(s) used a degraded delay model (missing or "
+            "unusable tables); see sta.delay_calc.degraded_arcs in "
+            "--stats\n",
+            proximity.degradedArcs() + classic.degradedArcs());
+      }
 
-    std::printf("\n%-5s | %13s | %16s | %16s\n", "net", "flat sim [ps]",
-                "proximity [ps]", "classic [ps]");
-    for (const char* net : {"y1", "y2", "y3"}) {
-      const auto it = flat.arrivals.find(net);
-      const auto p = proximity.arrival(net);
-      const auto cl = classic.arrival(net);
-      if (it == flat.arrivals.end() || !p || !cl) continue;
-      const Arrival& f = it->second;
-      std::printf("%-5s | %13.1f | %8.1f (%+5.1f) | %8.1f (%+5.1f)\n", net,
-                  f.time * 1e12, p->time * 1e12, (p->time - f.time) * 1e12,
-                  cl->time * 1e12, (cl->time - f.time) * 1e12);
+      std::printf(
+          "running the flat transistor-level reference simulation ...\n");
+      const auto flat = sta::simulateFlat(nl, arrivals);
+
+      std::printf("\n%-5s | %13s | %16s | %16s\n", "net", "flat sim [ps]",
+                  "proximity [ps]", "classic [ps]");
+      for (const char* net : {"y1", "y2", "y3"}) {
+        const auto it = flat.arrivals.find(net);
+        const auto p = proximity.arrival(net);
+        const auto cl = classic.arrival(net);
+        if (it == flat.arrivals.end() || !p || !cl) continue;
+        const Arrival& f = it->second;
+        std::printf("%-5s | %13.1f | %8.1f (%+5.1f) | %8.1f (%+5.1f)\n", net,
+                    f.time * 1e12, p->time * 1e12, (p->time - f.time) * 1e12,
+                    cl->time * 1e12, (cl->time - f.time) * 1e12);
+      }
+      std::printf(
+          "\n(parenthesized: error vs the flat simulation; the proximity "
+          "mode stays closer\nat every stage, and the classic error "
+          "compounds along the path)\n");
     }
-    std::printf("\n(parenthesized: error vs the flat simulation; the proximity "
-                "mode stays closer\nat every stage, and the classic error "
-                "compounds along the path)\n");
   } catch (const support::DiagnosticError& e) {
     std::fprintf(stderr, "%s\n", e.diagnostic().toString().c_str());
-    if (e.code() == support::StatusCode::Cancelled ||
-        e.code() == support::StatusCode::DeadlineExceeded) {
-      return 6;
-    }
-    return 1;
+    // Fall through so --stats still lands: the budget/structural counters
+    // are most interesting precisely when the run was cut short.
+    exitCode = exitCodeFor(e);
   }
 
   if (stats) {
@@ -187,5 +306,5 @@ int main(int argc, char** argv) {
                 "chrome://tracing)\n",
                 tracePath.c_str());
   }
-  return 0;
+  return exitCode;
 }

@@ -1,0 +1,22 @@
+// Fuzz target: the checkpoint journal loader.  Contract: any byte sequence
+// either loads (tail damage is tolerated by design and reported via
+// truncatedTail) or throws support::DiagnosticError for a corrupt header.
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "support/diagnostic.hpp"
+#include "support/journal.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  std::istringstream is(
+      std::string(reinterpret_cast<const char*>(data), size));
+  try {
+    prox::support::Journal::loadStream(is, "<fuzz>");
+  } catch (const prox::support::DiagnosticError&) {
+    // Typed rejection: the contract for a corrupt header.
+  }
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Fuzz target: the obs JSON parser and stats-report reader.  Contract: any
+// byte sequence either parses into a Report or throws
+// support::DiagnosticError -- never std::out_of_range from a numeric
+// conversion, stack overflow from nesting, or an unbounded allocation.
+
+#include <cstdint>
+#include <string>
+
+#include "obs/report.hpp"
+#include "support/diagnostic.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    prox::obs::parseJson(text);
+  } catch (const prox::support::DiagnosticError&) {
+    // Typed rejection: the contract for malformed input.
+  }
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Fuzz target: the ".prox" characterized-model reader.  Contract: any byte
+// sequence either loads into a CharacterizedGate or throws
+// support::DiagnosticError (ParseError / ResourceExhausted / IoError).
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "characterize/serialize.hpp"
+#include "support/diagnostic.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  std::istringstream is(
+      std::string(reinterpret_cast<const char*>(data), size));
+  try {
+    prox::characterize::loadGateModel(is);
+  } catch (const prox::support::DiagnosticError&) {
+    // Typed rejection: the contract for malformed input.
+  }
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Fuzz target: the SPICE deck parser.  Contract: any byte sequence either
+// parses into a Netlist or throws support::DiagnosticError.  Crashes,
+// hangs, unbounded allocation, or foreign exception types are findings.
+
+#include <cstdint>
+#include <string>
+
+#include "spice/netlist.hpp"
+#include "support/diagnostic.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string deck(reinterpret_cast<const char*>(data), size);
+  try {
+    prox::spice::parseNetlist(deck);
+  } catch (const prox::support::DiagnosticError&) {
+    // Typed rejection: the contract for malformed input.
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Replay driver linked into the fuzz harnesses when the toolchain has no
+// libFuzzer (-fsanitize=fuzzer).  Feeds every file argument -- or every
+// regular file inside a directory argument, the way libFuzzer treats corpus
+// directories -- through LLVMFuzzerTestOneInput once.  Exit 0 means every
+// input was handled within the ingestion contract (success or typed
+// rejection); a violation aborts the process just as it would under the real
+// fuzzer.
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+int replayFile(const std::filesystem::path& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", path.string().c_str());
+    return 1;
+  }
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  const std::string bytes = ss.str();
+  LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                         bytes.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::filesystem::path> inputs;
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] == '-') continue;  // tolerate libFuzzer-style flags
+    const std::filesystem::path p = argv[i];
+    if (std::filesystem::is_directory(p)) {
+      for (const auto& entry :
+           std::filesystem::recursive_directory_iterator(p)) {
+        if (entry.is_regular_file()) inputs.push_back(entry.path());
+      }
+    } else {
+      inputs.push_back(p);
+    }
+  }
+  for (const auto& p : inputs) {
+    const int rc = replayFile(p);
+    if (rc != 0) return rc;
+  }
+  std::printf("replayed %zu input(s), no contract violation\n", inputs.size());
+  return 0;
+}

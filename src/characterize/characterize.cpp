@@ -15,6 +15,7 @@
 #include "obs/scoped_timer.hpp"
 #include "obs/trace.hpp"
 #include "par/parallel_for.hpp"
+#include "support/budget.hpp"
 #include "support/cancel.hpp"
 #include "support/journal.hpp"
 
@@ -212,6 +213,10 @@ void buildDualTables(model::GateSimulator& sim,
   PROX_OBS_COUNT("characterize.tables_built", 2);  // delay + transition
   PROX_OBS_SCOPED_TIMER("characterize.table_seconds");
   PROX_OBS_SPAN("char.table");
+  // Resource governance: tables count against any active budget, and the
+  // per-table cadence is a natural place to sample the RSS ceiling.
+  support::budgetChargeTables(2, "characterize.tables");
+  support::budgetCheckRss("characterize.tables");
   const model::SingleInputModel& mRef = singles.at(refPin, edge);
 
   // Reference-tau axis: actual taus from the grid; their normalized

@@ -6,15 +6,17 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <iomanip>
 #include <istream>
 #include <ostream>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 #include <string_view>
 
 #include "obs/registry.hpp"
+#include "support/bounded.hpp"
+#include "support/budget.hpp"
 #include "support/diagnostic.hpp"
 #include "support/durable_io.hpp"
 
@@ -27,6 +29,19 @@ constexpr const char* kMagic = "proxdelay-model";
 // a trailing "crc32 <8hex>" integrity line.  Version-1 and -2 files (no
 // healed marks / no CRC) still load.
 constexpr int kVersion = 3;
+
+constexpr const char* kSite = "characterize.serialize";
+
+// Ingestion ceilings (see support/bounded.hpp for the threat model).  The
+// largest legitimate axis this repo characterizes has a few dozen points, so
+// 4096 per axis is orders of magnitude of headroom while capping a single
+// declared table at 4096^3 cells -- which the per-table cell cap and the
+// input-derived allocation budget then shrink to something proportional to
+// the actual file size.
+constexpr std::size_t kMaxAxisPoints = 4096;
+constexpr std::size_t kMaxTableCells = 1u << 22;  // 4M doubles = 32 MiB
+constexpr std::size_t kMaxTokenBytes = 1u << 20;
+constexpr std::size_t kMaxModelBytes = 64u << 20;
 
 /// CRC-32 over the *token stream*: each whitespace-delimited token's bytes
 /// followed by a single '\n' separator.  Tokenizing first makes the checksum
@@ -59,17 +74,22 @@ char edgeChar(wave::Edge e) { return e == wave::Edge::Rising ? 'R' : 'F'; }
 /// numbers so every parse diagnostic can point at its source line.
 class Reader {
  public:
-  explicit Reader(std::istream& is) : is_(is) {}
+  /// @p budget, when non-null, is charged for every container the caller
+  /// allocates from parsed counts (input-size-derived cap).
+  explicit Reader(std::istream& is, support::AllocationBudget* budget = nullptr)
+      : is_(is), budget_(budget) {}
 
   /// Line of the most recently returned token.
   int line() const { return lastLine_; }
+
+  support::AllocationBudget* budget() const { return budget_; }
 
   [[noreturn]] void fail(const std::string& msg) const {
     PROX_OBS_COUNT("characterize.serialize.parse_errors", 1);
     throw support::DiagnosticError(
         support::makeDiagnostic(support::StatusCode::ParseError,
                                 "loadGateModel: " + msg)
-            .withSite("characterize.serialize")
+            .withSite(kSite)
             .withLine(lastLine_));
   }
 
@@ -131,10 +151,15 @@ class Reader {
     return v;
   }
 
-  std::size_t count(const char* what, std::size_t cap = 1u << 24) {
+  std::size_t count(const char* what, std::size_t cap = kMaxTableCells) {
     const long v = integer(what);
-    if (v < 0 || static_cast<std::size_t>(v) > cap) {
-      fail(std::string("bad count in ") + what);
+    if (v < 0) {
+      fail(std::string("negative count in ") + what);
+    }
+    if (static_cast<std::size_t>(v) > cap) {
+      PROX_OBS_COUNT("characterize.serialize.cap_rejections", 1);
+      fail(std::string("count ") + std::to_string(v) + " in " + what +
+           " exceeds ceiling " + std::to_string(cap));
     }
     return static_cast<std::size_t>(v);
   }
@@ -170,6 +195,13 @@ class Reader {
     t.push_back(static_cast<char>(c));
     while ((c = is_.get()) != EOF &&
            !std::isspace(static_cast<unsigned char>(c))) {
+      if (t.size() >= kMaxTokenBytes) {
+        PROX_OBS_COUNT("characterize.serialize.parse_errors", 1);
+        support::failResource(
+            kSite, "loadGateModel: token exceeds " +
+                       std::to_string(kMaxTokenBytes) + " bytes",
+            lastLine_);
+      }
       t.push_back(static_cast<char>(c));
     }
     if (c == '\n') ++line_;
@@ -180,6 +212,7 @@ class Reader {
   }
 
   std::istream& is_;
+  support::AllocationBudget* budget_ = nullptr;
   int line_ = 1;      ///< line the read cursor is on
   int lastLine_ = 1;  ///< line of the last returned token
   std::string pending_;
@@ -244,16 +277,24 @@ void writeVector(std::ostream& os, const std::vector<double>& v) {
   os << '\n';
 }
 
-std::vector<double> readVector(Reader& r, const char* what) {
-  const std::size_t n = r.count(what);
+std::vector<double> readVector(Reader& r, const char* what,
+                               std::size_t cap = kMaxTableCells) {
+  const std::size_t n = r.count(what, cap);
+  // Charge the declared size against the input-derived allocation budget
+  // *before* resizing: a short hostile file cannot declare its way into a
+  // multi-GB allocation.
+  if (support::AllocationBudget* b = r.budget()) {
+    b->chargeItems(n, sizeof(double), what, r.line());
+  }
   std::vector<double> v(n);
   for (double& x : v) x = r.finiteNumber(what);
   return v;
 }
 
-/// A vector that must additionally be a strictly ascending grid axis.
+/// A vector that must additionally be a strictly ascending grid axis no
+/// longer than kMaxAxisPoints.
 std::vector<double> readGrid(Reader& r, const char* what) {
-  std::vector<double> v = readVector(r, what);
+  std::vector<double> v = readVector(r, what, kMaxAxisPoints);
   for (std::size_t i = 1; i < v.size(); ++i) {
     if (!(v[i] > v[i - 1])) {
       r.fail(std::string(what) + " not strictly ascending");
@@ -284,6 +325,8 @@ void writeDualTable(std::ostream& os, const char* tag, int pin, wave::Edge e,
 }
 
 model::DualTable readDualTable(Reader& r) {
+  support::budgetChargeTables(1, kSite);
+  support::budgetCheckRss(kSite);
   model::DualTable t;
   t.u = readGrid(r, "dual table u grid");
   t.v = readGrid(r, "dual table v grid");
@@ -380,7 +423,13 @@ void saveGateModel(const CharacterizedGate& g, const std::string& path) {
 }
 
 CharacterizedGate loadGateModel(std::istream& is) {
-  Reader r(is);
+  // Slurp once through the bounded reader: the whole-input size cap applies
+  // before any parsing, and the input size seeds the allocation budget that
+  // every declared count below is charged against.
+  const std::string text = support::readStreamBounded(is, kMaxModelBytes, kSite);
+  support::AllocationBudget budget(kSite, text.size());
+  std::istringstream in(text);
+  Reader r(in, &budget);
   const std::string magic = r.next("header magic");
   const long version = r.integer("header version");
   if (magic != kMagic || version < 1 || version > kVersion) {
@@ -394,6 +443,13 @@ CharacterizedGate loadGateModel(std::istream& is) {
   const std::string gateWord = r.next("gate tag");
   s.type = parseGateTag(r, gateWord);
   s.fanin = static_cast<int>(r.integer("gate fanin"));
+  // The fanin drives every per-pin loop below; an absurd value is corruption,
+  // not a gate.  64 inputs is far beyond anything this library characterizes.
+  constexpr int kMaxFanin = 64;
+  if (s.fanin < 1 || s.fanin > kMaxFanin) {
+    r.fail("gate fanin " + std::to_string(s.fanin) + " outside [1, " +
+           std::to_string(kMaxFanin) + "]");
+  }
 
   std::string pullExprText;
   if (s.type == cells::GateType::Complex) {
@@ -438,14 +494,34 @@ CharacterizedGate loadGateModel(std::istream& is) {
 
   g.singles = std::make_unique<model::SingleInputModelSet>();
   const int n = g.pinCount();
+  std::set<std::string> seenSections;
+  const auto requireUnique = [&](const std::string& key) {
+    if (!seenSections.insert(key).second) {
+      r.fail("duplicate section '" + key + "'");
+    }
+  };
+  const auto requirePin = [&](int pin, const char* what) {
+    if (pin < 0 || pin >= n) {
+      r.fail(std::string(what) + " pin " + std::to_string(pin) +
+             " outside [0, " + std::to_string(n) + ")");
+    }
+  };
   for (int i = 0; i < n * 2; ++i) {
     r.expect("single");
+    support::budgetChargeTables(1, kSite);
     const int pin = static_cast<int>(r.integer("single pin"));
+    requirePin(pin, "single table");
     const wave::Edge edge = parseEdge(r);
+    requireUnique(std::string("single ") + std::to_string(pin) + ' ' +
+                  edgeChar(edge));
     const double loadCap = r.finiteNumber("single table");
     const double k = r.finiteNumber("single table");
     const double vdd = r.finiteNumber("single table");
     const std::size_t rows = r.count("single table rows");
+    if (support::AllocationBudget* b = r.budget()) {
+      b->chargeItems(rows, sizeof(model::SingleInputModel::Sample),
+                     "single table rows", r.line());
+    }
     std::vector<model::SingleInputModel::Sample> table(rows);
     for (auto& row : table) {
       row.tau = r.finiteNumber("single table row");
@@ -464,7 +540,9 @@ CharacterizedGate loadGateModel(std::istream& is) {
     if (word == "correction") break;
     if (word == "dualdelay" || word == "dualtrans") {
       const int pin = static_cast<int>(r.integer("dual table pin"));
+      requirePin(pin, word.c_str());
       const wave::Edge edge = parseEdge(r);
+      requireUnique(word + ' ' + std::to_string(pin) + ' ' + edgeChar(edge));
       if (word == "dualdelay") {
         g.dual->setDelayTable(pin, edge, readDualTable(r));
       } else {
@@ -472,8 +550,12 @@ CharacterizedGate loadGateModel(std::istream& is) {
       }
     } else if (word == "pairdelay" || word == "pairtrans") {
       const int ref = static_cast<int>(r.integer("pair table ref pin"));
+      requirePin(ref, word.c_str());
       const int other = static_cast<int>(r.integer("pair table other pin"));
+      requirePin(other, word.c_str());
       const wave::Edge edge = parseEdge(r);
+      requireUnique(word + ' ' + std::to_string(ref) + ' ' +
+                    std::to_string(other) + ' ' + edgeChar(edge));
       if (word == "pairdelay") {
         g.dual->setPairDelayTable(ref, other, edge, readDualTable(r));
       } else {
@@ -511,14 +593,9 @@ CharacterizedGate loadGateModel(std::istream& is) {
 }
 
 CharacterizedGate loadGateModelFile(const std::string& path) {
-  std::ifstream f(path);
-  if (!f) {
-    throw support::DiagnosticError(
-        support::makeDiagnostic(support::StatusCode::IoError,
-                                "loadGateModel: cannot open " + path)
-            .withSite("characterize.serialize"));
-  }
-  return loadGateModel(f);
+  const std::string text = support::readFileBounded(path, kMaxModelBytes, kSite);
+  std::istringstream in(text);
+  return loadGateModel(in);
 }
 
 }  // namespace prox::characterize

@@ -26,8 +26,12 @@ void saveGateModel(const CharacterizedGate& g, const std::string& path);
 /// support::DiagnosticError -- a std::runtime_error whose Diagnostic carries
 /// code ParseError and the 1-based line of the offending token -- on
 /// truncated input, malformed or non-finite numbers, non-ascending grid
-/// axes, unknown section tags, bad pull-network expressions, or a checksum
-/// mismatch.
+/// axes, duplicate table/section declarations, out-of-range pins or fanin,
+/// unknown section tags, bad pull-network expressions, or a checksum
+/// mismatch.  Ingestion is bounded (code ResourceExhausted): the raw input,
+/// individual tokens, grid axis lengths, and total table memory (a multiple
+/// of the input size) are all capped, and tables are charged against any
+/// active support::ResourceBudget.
 CharacterizedGate loadGateModel(std::istream& is);
 
 /// Reads from @p path.

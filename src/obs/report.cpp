@@ -9,6 +9,7 @@
 
 #include "obs/histogram.hpp"
 #include "obs/registry.hpp"
+#include "support/bounded.hpp"
 
 namespace prox::obs {
 
@@ -198,9 +199,16 @@ namespace {
 
 class Parser {
  public:
-  explicit Parser(const std::string& text) : text_(text) {}
+  Parser(const std::string& text, const support::ReaderLimits& limits)
+      : text_(text), limits_(limits) {}
 
   Value parseDocument() {
+    if (text_.size() > limits_.maxInputBytes) {
+      support::failResource(kSite,
+                            "JSON input exceeds the " +
+                                std::to_string(limits_.maxInputBytes) +
+                                "-byte reader cap");
+    }
     Value v = parseValue();
     skipWs();
     if (pos_ != text_.size()) fail("trailing content");
@@ -208,9 +216,21 @@ class Parser {
   }
 
  private:
+  static constexpr const char* kSite = "obs.json";
+
   Value parseValue() {
     skipWs();
     if (pos_ >= text_.size()) fail("unexpected end of input");
+    // Every value consumes at least one input byte, so the DOM node count is
+    // bounded by the (already capped) input size; the depth guard below is
+    // what stops "[[[[..." from exhausting the call stack.
+    if (++depth_ > limits_.maxNestingDepth) {
+      support::failResource(kSite,
+                            "JSON nesting deeper than " +
+                                std::to_string(limits_.maxNestingDepth) +
+                                " levels",
+                            line());
+    }
     const char c = text_[pos_];
     Value v;
     switch (c) {
@@ -226,7 +246,7 @@ class Parser {
           v.object.emplace_back(std::move(key), parseValue());
         }
         expect('}');
-        return v;
+        break;
       }
       case '[': {
         v.kind = Value::Kind::Array;
@@ -238,27 +258,29 @@ class Parser {
           v.array.push_back(parseValue());
         }
         expect(']');
-        return v;
+        break;
       }
       case '"':
         v.kind = Value::Kind::String;
         v.str = parseString();
-        return v;
+        break;
       case 't':
       case 'f':
         v.kind = Value::Kind::Bool;
         v.boolean = parseBool();
-        return v;
+        break;
       case 'n':
         if (text_.compare(pos_, 4, "null") != 0) fail("expected null");
         pos_ += 4;
         v.kind = Value::Kind::Null;
-        return v;
+        break;
       default:
         v.kind = Value::Kind::Number;
         v.number = parseNumber();
-        return v;
+        break;
     }
+    --depth_;
+    return v;
   }
 
   void skipWs() {
@@ -284,7 +306,15 @@ class Parser {
   std::string parseString() {
     expect('"');
     std::string out;
+    const std::size_t start = pos_;
     while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (pos_ - start > limits_.maxTokenBytes) {
+        support::failResource(kSite,
+                              "string longer than the " +
+                                  std::to_string(limits_.maxTokenBytes) +
+                                  "-byte token cap",
+                              line());
+      }
       char ch = text_[pos_++];
       if (ch == '\\') {
         if (pos_ >= text_.size()) fail("bad escape");
@@ -310,8 +340,16 @@ class Parser {
             break;
           case 'u': {
             if (pos_ + 4 > text_.size()) fail("bad \\u escape");
-            const unsigned code = static_cast<unsigned>(
-                std::stoul(text_.substr(pos_, 4), nullptr, 16));
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_ + static_cast<std::size_t>(i)];
+              unsigned d;
+              if (h >= '0' && h <= '9') d = static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') d = static_cast<unsigned>(h - 'a') + 10;
+              else if (h >= 'A' && h <= 'F') d = static_cast<unsigned>(h - 'A') + 10;
+              else fail("bad \\u escape");
+              code = (code << 4) | d;
+            }
             pos_ += 4;
             if (code > 0x7f) fail("non-ASCII \\u escape unsupported");
             out += static_cast<char>(code);
@@ -352,33 +390,71 @@ class Parser {
       ++pos_;
     }
     if (pos_ == start) fail("expected number");
-    return std::stod(text_.substr(start, pos_ - start));
+    // Checked conversion: "1e999" is a typed rejection, not an uncaught
+    // std::out_of_range (and never a silent inf).
+    return support::parseDoubleChecked(
+        std::string_view(text_).substr(start, pos_ - start), kSite, "number",
+        line());
+  }
+
+  /// 1-based line of the current cursor, for diagnostics only (computed on
+  /// the failure path, so scanning is free in the common case).
+  int line() const {
+    int ln = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') ++ln;
+    }
+    return ln;
+  }
+
+  /// Column of the current cursor on its line (1-based).
+  std::size_t column() const {
+    std::size_t lineStart = 0;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') lineStart = i + 1;
+    }
+    return pos_ - lineStart + 1;
   }
 
   [[noreturn]] void fail(const std::string& what) {
-    throw std::runtime_error("obs::parseJson: " + what + " at offset " +
-                             std::to_string(pos_));
+    support::failParse(kSite,
+                       what + " at offset " + std::to_string(pos_) +
+                           " (column " + std::to_string(column()) + ")",
+                       line());
   }
 
   const std::string& text_;
+  const support::ReaderLimits& limits_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
 };
 
 }  // namespace
 
-Value parse(const std::string& text) { return Parser(text).parseDocument(); }
+Value parse(const std::string& text) {
+  return Parser(text, support::ReaderLimits{}).parseDocument();
+}
+
+Value parse(const std::string& text, const support::ReaderLimits& limits) {
+  return Parser(text, limits).parseDocument();
+}
 
 }  // namespace json
 
 namespace {
 
 [[noreturn]] void reportFail(const std::string& what) {
-  throw std::runtime_error("obs::parseJson: " + what);
+  support::failParse("obs.report", what);
 }
 
 std::uint64_t asUint(const json::Value& v, const char* what) {
   if (!v.is(json::Value::Kind::Number)) {
     reportFail(std::string("expected number for ") + what);
+  }
+  // Guard the float->uint64 cast: a negative or oversized number would be
+  // undefined behavior, not a clamp.
+  if (!(v.number >= 0.0) || v.number >= 1.8446744073709552e19) {
+    reportFail(std::string("number out of uint64 range for ") + what);
   }
   return static_cast<std::uint64_t>(v.number);
 }
@@ -500,9 +576,8 @@ Report parseJson(const std::string& text) {
 }
 
 Report parseJson(std::istream& is) {
-  std::ostringstream buf;
-  buf << is.rdbuf();
-  return parseJson(buf.str());
+  return parseJson(support::readStreamBounded(
+      is, support::ReaderLimits{}.maxInputBytes, "obs.report"));
 }
 
 }  // namespace prox::obs

@@ -37,6 +37,10 @@
 #include <utility>
 #include <vector>
 
+namespace prox::support {
+struct ReaderLimits;
+}  // namespace prox::support
+
 namespace prox::obs {
 
 // --- minimal generic JSON ---------------------------------------------------
@@ -59,9 +63,14 @@ struct Value {
 };
 
 /// Parses one complete JSON document (objects, arrays, strings, numbers,
-/// booleans, null).  Throws std::runtime_error on malformed or trailing
-/// input.
+/// booleans, null).  Bounded: input size, string length, and nesting depth
+/// are capped (support::ReaderLimits defaults, or the explicit overload's
+/// limits), so hostile input cannot overflow the stack or balloon memory.
+/// Throws support::DiagnosticError (ParseError with line context, or
+/// ResourceExhausted for cap hits) -- which derives from std::runtime_error,
+/// so legacy catch sites keep working.
 Value parse(const std::string& text);
+Value parse(const std::string& text, const support::ReaderLimits& limits);
 
 }  // namespace json
 
@@ -129,7 +138,8 @@ std::string toJson();
 
 /// Parses a report previously produced by writeJson.  Accepts any JSON
 /// matching the schema above (current or v1; field order within objects is
-/// free).  Throws std::runtime_error on malformed input.
+/// free).  Throws support::DiagnosticError (a std::runtime_error) on
+/// malformed or cap-exceeding input.
 Report parseJson(std::istream& is);
 Report parseJson(const std::string& text);
 

@@ -4,17 +4,30 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
 
 #include "obs/registry.hpp"
+#include "support/bounded.hpp"
+#include "support/budget.hpp"
 #include "support/diagnostic.hpp"
 #include "waveform/waveform.hpp"
 
 namespace prox::spice {
 
 namespace {
+
+constexpr const char* kSite = "spice.netlist";
+
+// Ingestion caps (see support/bounded.hpp for the threat model).  Decks are
+// human-scale text: even the million-node synthetic circuits planned for the
+// BLIF frontend stay far below these, while a hostile "one endless line"
+// deck is rejected before it is buffered whole.
+constexpr std::size_t kMaxDeckBytes = 64u << 20;       // 64 MiB
+constexpr std::size_t kMaxStatementBytes = 1u << 20;   // joined continuations
+constexpr std::size_t kMaxTokensPerStatement = 1u << 16;
 
 std::string toLower(std::string s) {
   std::transform(s.begin(), s.end(), s.begin(),
@@ -26,15 +39,17 @@ std::string toLower(std::string s) {
   PROX_OBS_COUNT("spice.netlist.parse_errors", 1);
   throw support::DiagnosticError(
       support::makeDiagnostic(support::StatusCode::ParseError, "netlist: " + msg)
-          .withSite("spice.netlist")
+          .withSite(kSite)
           .withLine(line));
 }
 
-[[noreturn]] void failNumber(const std::string& msg) {
+[[noreturn]] void failNumber(const std::string& msg, int line) {
   PROX_OBS_COUNT("spice.netlist.parse_errors", 1);
-  throw support::DiagnosticError(
+  support::Diagnostic d =
       support::makeDiagnostic(support::StatusCode::ParseError, msg)
-          .withSite("spice.netlist"));
+          .withSite(kSite);
+  if (line >= 0) d.withLine(line);
+  throw support::DiagnosticError(std::move(d));
 }
 
 /// Splits a statement into whitespace-separated tokens, treating '(' ')' ','
@@ -76,7 +91,7 @@ std::unordered_map<std::string, double> parseKeyValues(
     if (i + 2 >= tok.size()) {
       fail(line, "missing value after '" + tok[i] + "='");
     }
-    kv[tok[i]] = parseSpiceNumber(tok[i + 2]);
+    kv[tok[i]] = parseSpiceNumber(tok[i + 2], line);
     i += 3;
   }
   return kv;
@@ -84,8 +99,13 @@ std::unordered_map<std::string, double> parseKeyValues(
 
 }  // namespace
 
-double parseSpiceNumber(const std::string& token) {
-  if (token.empty()) failNumber("empty number");
+double parseSpiceNumber(const std::string& token, int line) {
+  if (token.empty()) failNumber("empty number", line);
+  if (token.size() > 256) {
+    failNumber("oversized number token (" + std::to_string(token.size()) +
+                   " bytes)",
+               line);
+  }
   const std::string t = toLower(token);
   std::size_t pos = 0;
   double value = 0.0;
@@ -94,7 +114,7 @@ double parseSpiceNumber(const std::string& token) {
   } catch (const std::exception& e) {
     // Surface the underlying conversion failure instead of swallowing it:
     // out-of-range magnitudes and no-digit tokens are different user errors.
-    failNumber("malformed number '" + token + "': " + e.what());
+    failNumber("malformed number '" + token + "': " + e.what(), line);
   }
   std::string suffix = t.substr(pos);
   // Strip trailing unit letters after the scale factor (e.g. "100pF", "4um").
@@ -113,14 +133,37 @@ double parseSpiceNumber(const std::string& token) {
         case 'p': scale = 1e-12; break;
         case 'f': scale = 1e-15; break;
         default:
-          failNumber("unknown suffix in number: " + token);
+          failNumber("unknown suffix in number: " + token, line);
       }
     }
   }
-  return value * scale;
+  const double scaled = value * scale;
+  // The mantissa and the scale suffix can each be in range while their
+  // product is not: "1e308k" overflows to inf and "1e-300f" underflows to 0.
+  // Both silently corrupt downstream arithmetic, so both are typed errors.
+  if (!std::isfinite(scaled)) {
+    failNumber("number out of range (overflows to infinity): '" + token + "'",
+               line);
+  }
+  if (value != 0.0 && scaled == 0.0) {
+    failNumber("number out of range (underflows to zero): '" + token + "'",
+               line);
+  }
+  return scaled;
+}
+
+double parseSpiceNumber(const std::string& token) {
+  return parseSpiceNumber(token, -1);
 }
 
 Netlist parseNetlist(const std::string& deck) {
+  if (deck.size() > kMaxDeckBytes) {
+    PROX_OBS_COUNT("spice.netlist.parse_errors", 1);
+    support::failResource(kSite,
+                          "deck exceeds the " +
+                              std::to_string(kMaxDeckBytes) +
+                              "-byte reader cap");
+  }
   // Join continuation lines, drop comments, keep 1-based line numbers.
   std::vector<std::pair<int, std::string>> stmts;
   {
@@ -136,11 +179,20 @@ Netlist parseNetlist(const std::string& deck) {
       if (line[0] == '*') continue;
       if (line[0] == '+') {
         if (stmts.empty()) fail(lineNo, "continuation with no preceding card");
+        if (stmts.back().second.size() + line.size() > kMaxStatementBytes) {
+          fail(lineNo, "statement exceeds the " +
+                           std::to_string(kMaxStatementBytes) +
+                           "-byte cap (runaway continuation?)");
+        }
         // Two appends, not `" " + line.substr(1)`: the rvalue operator+ path
         // trips GCC 12's -Wrestrict false positive (PR105329).
         stmts.back().second += ' ';
         stmts.back().second.append(line, 1, std::string::npos);
       } else {
+        if (line.size() > kMaxStatementBytes) {
+          fail(lineNo, "statement exceeds the " +
+                           std::to_string(kMaxStatementBytes) + "-byte cap");
+        }
         stmts.emplace_back(lineNo, line);
       }
     }
@@ -153,6 +205,14 @@ Netlist parseNetlist(const std::string& deck) {
   // their position in the deck (HSPICE allows either order).
   for (const auto& [lineNo, stmt] : stmts) {
     auto tok = tokenize(stmt);
+    if (tok.size() > kMaxTokensPerStatement) {
+      PROX_OBS_COUNT("spice.netlist.parse_errors", 1);
+      support::failResource(kSite,
+                            "statement has more than " +
+                                std::to_string(kMaxTokensPerStatement) +
+                                " tokens",
+                            lineNo);
+    }
     if (tok.empty() || tok[0] != ".model") continue;
     if (tok.size() < 3) fail(lineNo, ".model needs a name and a type");
     const std::string name = tok[1];
@@ -207,14 +267,14 @@ Netlist parseNetlist(const std::string& deck) {
         if (tok.size() != 4) fail(lineNo, "resistor: R<name> n1 n2 value");
         created = &nl.circuit.add<Resistor>(card, nl.circuit.node(tok[1]),
                                             nl.circuit.node(tok[2]),
-                                            parseSpiceNumber(tok[3]));
+                                            parseSpiceNumber(tok[3], lineNo));
         break;
       }
       case 'c': {
         if (tok.size() != 4) fail(lineNo, "capacitor: C<name> n1 n2 value");
         created = &nl.circuit.add<Capacitor>(card, nl.circuit.node(tok[1]),
                                              nl.circuit.node(tok[2]),
-                                             parseSpiceNumber(tok[3]));
+                                             parseSpiceNumber(tok[3], lineNo));
         break;
       }
       case 'v':
@@ -229,7 +289,8 @@ Netlist parseNetlist(const std::string& deck) {
           }
           wave::Waveform w;
           for (std::size_t i = 4; i + 1 < tok.size(); i += 2) {
-            w.append(parseSpiceNumber(tok[i]), parseSpiceNumber(tok[i + 1]));
+            w.append(parseSpiceNumber(tok[i], lineNo),
+                     parseSpiceNumber(tok[i + 1], lineNo));
           }
           created = isV ? static_cast<Device*>(&nl.circuit.add<VoltageSource>(
                               card, np, nn, std::move(w)))
@@ -243,7 +304,7 @@ Netlist parseNetlist(const std::string& deck) {
           } else if (tok.size() != 4) {
             fail(lineNo, "source: V/I<name> n+ n- value");
           }
-          const double v = parseSpiceNumber(tok[valIdx]);
+          const double v = parseSpiceNumber(tok[valIdx], lineNo);
           created = isV ? static_cast<Device*>(
                               &nl.circuit.add<VoltageSource>(card, np, nn, v))
                         : &nl.circuit.add<CurrentSource>(card, np, nn, v);
@@ -271,6 +332,9 @@ Netlist parseNetlist(const std::string& deck) {
         fail(lineNo, "unsupported element '" + card + "'");
     }
     if (created != nullptr) {
+      // Resource governance: devices (and the nodes they pull in) are the
+      // unit the --max-nodes budget counts for SPICE ingestion.
+      support::budgetChargeNodes(1, kSite);
       if (!nl.byName.emplace(card, created).second) {
         fail(lineNo, "duplicate device name '" + card + "'");
       }

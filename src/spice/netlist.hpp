@@ -52,8 +52,11 @@ Netlist parseNetlist(const std::string& deck);
 
 /// Parses a SPICE number with optional engineering suffix ("4u", "100f",
 /// "2meg", "1.5k").  Throws support::DiagnosticError (ParseError) on
-/// malformed input, preserving the underlying conversion failure in the
-/// message.
+/// malformed input -- including values whose mantissa-times-suffix product
+/// overflows to infinity or underflows to zero -- preserving the underlying
+/// conversion failure in the message.  The two-argument overload records the
+/// 1-based source line in the diagnostic (-1 = unknown).
 double parseSpiceNumber(const std::string& token);
+double parseSpiceNumber(const std::string& token, int line);
 
 }  // namespace prox::spice

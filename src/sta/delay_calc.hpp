@@ -7,6 +7,7 @@
 #include <optional>
 
 #include "characterize/characterize.hpp"
+#include "sta/netlist.hpp"
 
 namespace prox::sta {
 
@@ -50,6 +51,14 @@ struct DelayCalcOptions {
   /// arcs once the token trips and run() unwinds with the token's typed
   /// DiagnosticError (see support/cancel.hpp).  Not owned.
   support::CancelToken* cancel = nullptr;
+  /// Structural degradation ladder for defective netlists (cycles,
+  /// multiply-driven nets, dangling inputs).  Reject (default): run()
+  /// throws DiagnosticError(StructuralError) naming the defect.  Degrade:
+  /// levelization breaks each loop deterministically, dangling inputs
+  /// become no-event nets, and every issue is reported through
+  /// TimingAnalyzer::structuralIssues() with the affected instances counted
+  /// as degraded arcs.
+  StructuralPolicy structural = StructuralPolicy::Reject;
 };
 
 /// Computes the output arrival of @p cell given per-pin input arrivals

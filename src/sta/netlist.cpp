@@ -1,12 +1,48 @@
 #include "sta/netlist.hpp"
 
 #include <algorithm>
-#include <queue>
 #include <stdexcept>
 
 #include "obs/registry.hpp"
+#include "support/budget.hpp"
+#include "support/diagnostic.hpp"
 
 namespace prox::sta {
+
+namespace {
+
+constexpr const char* kSite = "sta.netlist";
+
+[[noreturn]] void failStructural(const std::string& msg) {
+  PROX_OBS_COUNT("sta.structural.rejects", 1);
+  throw support::DiagnosticError(
+      support::makeDiagnostic(support::StatusCode::StructuralError, msg)
+          .withSite(kSite));
+}
+
+const char* issueCounter(StructuralIssue::Kind k) {
+  switch (k) {
+    case StructuralIssue::Kind::Cycle: return "sta.structural.cycles";
+    case StructuralIssue::Kind::SelfLoop: return "sta.structural.self_loops";
+    case StructuralIssue::Kind::MultiDriver:
+      return "sta.structural.multi_drivers";
+    case StructuralIssue::Kind::DanglingInput:
+      return "sta.structural.dangling_inputs";
+  }
+  return "sta.structural.unknown";
+}
+
+}  // namespace
+
+const char* structuralKindName(StructuralIssue::Kind k) {
+  switch (k) {
+    case StructuralIssue::Kind::Cycle: return "cycle";
+    case StructuralIssue::Kind::SelfLoop: return "self-loop";
+    case StructuralIssue::Kind::MultiDriver: return "multi-driver";
+    case StructuralIssue::Kind::DanglingInput: return "dangling-input";
+  }
+  return "?";
+}
 
 void Netlist::addPrimaryInput(const std::string& net) {
   if (isDriven(net)) {
@@ -19,22 +55,35 @@ const Instance& Netlist::addInstance(const std::string& name,
                                      const characterize::CharacterizedGate& cell,
                                      std::vector<std::string> inputNets,
                                      const std::string& outputNet) {
+  if (isDriven(outputNet)) {
+    throw std::invalid_argument("Netlist: net multiply driven: " + outputNet);
+  }
+  return addInstanceLenient(name, cell, std::move(inputNets), outputNet);
+}
+
+const Instance& Netlist::addInstanceLenient(
+    const std::string& name, const characterize::CharacterizedGate& cell,
+    std::vector<std::string> inputNets, const std::string& outputNet) {
   if (!instanceNames_.insert(name).second) {
     throw std::invalid_argument("Netlist: duplicate instance: " + name);
   }
   if (static_cast<int>(inputNets.size()) != cell.pinCount()) {
     throw std::invalid_argument("Netlist: pin count mismatch on " + name);
   }
-  if (isDriven(outputNet)) {
-    throw std::invalid_argument("Netlist: net multiply driven: " + outputNet);
-  }
+  support::budgetChargeNodes(1, kSite);
   Instance inst;
   inst.name = name;
   inst.cell = &cell;
   inst.inputNets = std::move(inputNets);
   inst.outputNet = outputNet;
   instances_.push_back(std::move(inst));
-  driverOf_[outputNet] = instances_.size() - 1;
+  if (isDriven(outputNet)) {
+    // Untrusted input: the first driver keeps the net; this one is recorded
+    // for validate()/levelize() to report.
+    extraDrivers_.emplace_back(outputNet, instances_.size() - 1);
+  } else {
+    driverOf_[outputNet] = instances_.size() - 1;
+  }
   return instances_.back();
 }
 
@@ -42,92 +91,171 @@ bool Netlist::isDriven(const std::string& net) const {
   return primaryInputs_.count(net) != 0 || driverOf_.count(net) != 0;
 }
 
-std::vector<const Instance*> Netlist::topologicalOrder() const {
-  // Kahn's algorithm over the instance graph.
-  std::vector<std::size_t> remaining(instances_.size(), 0);
-  std::vector<std::vector<std::size_t>> consumers(instances_.size());
+LevelizeResult Netlist::levelize(StructuralPolicy policy) const {
+  LevelizeResult out;
+  const std::size_t n = instances_.size();
+  const bool reject = policy == StructuralPolicy::Reject;
 
-  for (std::size_t i = 0; i < instances_.size(); ++i) {
+  std::vector<char> degraded(n, 0);
+  const auto report = [&](StructuralIssue issue,
+                          const std::size_t* degradeIdx) {
+    PROX_OBS_COUNT(issueCounter(issue.kind), 1);
+    if (reject) {
+      failStructural("Netlist: " + issue.message);
+    }
+    if (degradeIdx != nullptr) degraded[*degradeIdx] = 1;
+    out.issues.push_back(std::move(issue));
+  };
+
+  // Multiply-driven nets recorded at lenient construction.
+  for (const auto& [net, loser] : extraDrivers_) {
+    StructuralIssue issue;
+    issue.kind = StructuralIssue::Kind::MultiDriver;
+    issue.message = "net multiply driven: " + net + " (instance " +
+                    instances_[loser].name + " loses to " +
+                    (driverOf_.count(net) != 0
+                         ? instances_[driverOf_.at(net)].name
+                         : std::string("primary input")) +
+                    ")";
+    issue.instances.push_back(instances_[loser].name);
+    report(std::move(issue), &loser);
+  }
+
+  // Dependency edges.  deps[] mirrors consumers[] so cycle extraction can
+  // walk predecessors; dangling inputs either reject or become no-event
+  // nets (the consumer is marked degraded).
+  std::vector<std::size_t> remaining(n, 0);
+  std::vector<std::vector<std::size_t>> consumers(n);
+  std::vector<std::vector<std::size_t>> deps(n);
+  for (std::size_t i = 0; i < n; ++i) {
     for (const std::string& net : instances_[i].inputNets) {
       if (primaryInputs_.count(net) != 0) continue;
       auto it = driverOf_.find(net);
       if (it == driverOf_.end()) {
-        throw std::runtime_error("Netlist: undriven input net " + net +
-                                 " on instance " + instances_[i].name);
+        StructuralIssue issue;
+        issue.kind = StructuralIssue::Kind::DanglingInput;
+        issue.message = "undriven input net " + net + " on instance " +
+                        instances_[i].name;
+        issue.instances.push_back(instances_[i].name);
+        report(std::move(issue), &i);
+        continue;
       }
       consumers[it->second].push_back(i);
+      deps[i].push_back(it->second);
       ++remaining[i];
     }
   }
 
-  std::queue<std::size_t> ready;
-  for (std::size_t i = 0; i < instances_.size(); ++i) {
-    if (remaining[i] == 0) ready.push(i);
+  // Frontier-by-frontier Kahn: each frontier is one level.  When the
+  // frontier drains with instances still unplaced, those instances sit on or
+  // behind a cycle; Degrade breaks the cycle at its lowest-numbered member
+  // (a deterministic choice) and resumes, so the loop always terminates with
+  // every instance placed exactly once.
+  std::vector<char> placedMark(n, 0);
+  std::size_t placed = 0;
+  std::vector<std::size_t> frontier;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (remaining[i] == 0) frontier.push_back(i);
   }
-  std::vector<const Instance*> order;
-  while (!ready.empty()) {
-    const std::size_t i = ready.front();
-    ready.pop();
-    order.push_back(&instances_[i]);
-    for (std::size_t c : consumers[i]) {
-      if (--remaining[c] == 0) ready.push(c);
+  while (true) {
+    while (!frontier.empty()) {
+      std::vector<std::size_t> next;
+      std::vector<const Instance*> level;
+      level.reserve(frontier.size());
+      for (std::size_t i : frontier) {
+        level.push_back(&instances_[i]);
+        placedMark[i] = 1;
+        ++placed;
+        for (std::size_t c : consumers[i]) {
+          if (remaining[c] > 0 && --remaining[c] == 0 && placedMark[c] == 0) {
+            next.push_back(c);
+          }
+        }
+      }
+      // Declaration order within a level keeps task indices (and thus the
+      // deterministic fault-plan keying) independent of discovery order.
+      std::sort(next.begin(), next.end());
+      out.levels.push_back(std::move(level));
+      frontier = std::move(next);
     }
+    if (placed == n) break;
+
+    // Stuck: extract one cycle by walking unplaced predecessors from the
+    // lowest-numbered unplaced instance.  Every unplaced instance has an
+    // unplaced dependency, so the walk must revisit a node.
+    std::size_t start = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (placedMark[i] == 0) {
+        start = i;
+        break;
+      }
+    }
+    std::vector<std::size_t> path;
+    std::vector<std::size_t> posInPath(n, n);
+    std::size_t cur = start;
+    while (posInPath[cur] == n) {
+      posInPath[cur] = path.size();
+      path.push_back(cur);
+      std::size_t nextDep = n;
+      for (std::size_t d : deps[cur]) {
+        if (placedMark[d] == 0) {
+          nextDep = d;
+          break;
+        }
+      }
+      cur = nextDep;
+    }
+    // path[posInPath[cur]..] is the cycle in predecessor order; reverse it
+    // so the message reads in signal-flow (driver -> consumer) order.
+    std::vector<std::size_t> cycle(path.begin() + posInPath[cur], path.end());
+    std::reverse(cycle.begin(), cycle.end());
+
+    StructuralIssue issue;
+    issue.kind = cycle.size() == 1 ? StructuralIssue::Kind::SelfLoop
+                                   : StructuralIssue::Kind::Cycle;
+    for (std::size_t i : cycle) issue.instances.push_back(instances_[i].name);
+    std::string pathText;
+    for (const std::string& name : issue.instances) {
+      pathText += name;
+      pathText += " -> ";
+    }
+    pathText += issue.instances.front();
+    issue.message = std::string(cycle.size() == 1 ? "self-loop"
+                                                  : "combinational cycle") +
+                    " detected: " + pathText;
+
+    const std::size_t breaker =
+        *std::min_element(cycle.begin(), cycle.end());
+    report(std::move(issue), &breaker);
+    PROX_OBS_COUNT("sta.structural.loop_breaks", 1);
+    remaining[breaker] = 0;
+    frontier.assign(1, breaker);
   }
-  if (order.size() != instances_.size()) {
-    throw std::runtime_error("Netlist: combinational cycle detected");
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (degraded[i] != 0) out.degradedInstances.push_back(instances_[i].name);
   }
-  PROX_OBS_COUNT("sta.graph.nodes_levelized", order.size());
+  PROX_OBS_COUNT("sta.graph.nodes_levelized", placed);
+  PROX_OBS_COUNT("sta.graph.levels", out.levels.size());
+  return out;
+}
+
+std::vector<StructuralIssue> Netlist::validate() const {
+  return levelize(StructuralPolicy::Degrade).issues;
+}
+
+std::vector<const Instance*> Netlist::topologicalOrder() const {
+  LevelizeResult r = levelize(StructuralPolicy::Reject);
+  std::vector<const Instance*> order;
+  order.reserve(instances_.size());
+  for (const auto& level : r.levels) {
+    order.insert(order.end(), level.begin(), level.end());
+  }
   return order;
 }
 
 std::vector<std::vector<const Instance*>> Netlist::levels() const {
-  // Frontier-by-frontier Kahn: each frontier is one level.  The setup
-  // mirrors topologicalOrder() so both report identical structural errors.
-  std::vector<std::size_t> remaining(instances_.size(), 0);
-  std::vector<std::vector<std::size_t>> consumers(instances_.size());
-
-  for (std::size_t i = 0; i < instances_.size(); ++i) {
-    for (const std::string& net : instances_[i].inputNets) {
-      if (primaryInputs_.count(net) != 0) continue;
-      auto it = driverOf_.find(net);
-      if (it == driverOf_.end()) {
-        throw std::runtime_error("Netlist: undriven input net " + net +
-                                 " on instance " + instances_[i].name);
-      }
-      consumers[it->second].push_back(i);
-      ++remaining[i];
-    }
-  }
-
-  std::vector<std::size_t> frontier;
-  for (std::size_t i = 0; i < instances_.size(); ++i) {
-    if (remaining[i] == 0) frontier.push_back(i);
-  }
-  std::vector<std::vector<const Instance*>> levels;
-  std::size_t placed = 0;
-  while (!frontier.empty()) {
-    std::vector<std::size_t> next;
-    std::vector<const Instance*> level;
-    level.reserve(frontier.size());
-    for (std::size_t i : frontier) {
-      level.push_back(&instances_[i]);
-      ++placed;
-      for (std::size_t c : consumers[i]) {
-        if (--remaining[c] == 0) next.push_back(c);
-      }
-    }
-    // Declaration order within a level keeps task indices (and thus the
-    // deterministic fault-plan keying) independent of discovery order.
-    std::sort(next.begin(), next.end());
-    levels.push_back(std::move(level));
-    frontier = std::move(next);
-  }
-  if (placed != instances_.size()) {
-    throw std::runtime_error("Netlist: combinational cycle detected");
-  }
-  PROX_OBS_COUNT("sta.graph.nodes_levelized", placed);
-  PROX_OBS_COUNT("sta.graph.levels", levels.size());
-  return levels;
+  return levelize(StructuralPolicy::Reject).levels;
 }
 
 }  // namespace prox::sta

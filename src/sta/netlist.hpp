@@ -1,7 +1,17 @@
 #pragma once
 // Gate-level netlist for the demonstration STA.  Instances reference
-// characterized cell models; nets are identified by name; the graph must be
-// combinational (acyclic, single driver per net).
+// characterized cell models; nets are identified by name; the graph is
+// expected to be combinational (acyclic, single driver per net).
+//
+// Structural trust boundary: netlists arriving from outside the process are
+// validated *before* timing analysis.  validate() names every structural
+// defect (combinational cycles with the offending path spelled out,
+// multiply-driven nets, dangling instance inputs, self-loops); levelize()
+// either rejects a defective graph with a typed DiagnosticError
+// (StructuralPolicy::Reject) or degrades deterministically -- breaking each
+// loop at its lowest-numbered instance and treating dangling inputs as
+// no-event nets -- so Netlist::levels() can never infinite-loop or
+// mis-level (StructuralPolicy::Degrade).
 
 #include <string>
 #include <unordered_map>
@@ -19,6 +29,37 @@ struct Instance {
   std::string outputNet;
 };
 
+/// How levelization responds to structural defects (see DelayCalcOptions).
+enum class StructuralPolicy {
+  Reject,   ///< throw DiagnosticError(StructuralError) naming the defect
+  Degrade,  ///< warn-and-continue: break loops, skip dangling deps, tally
+};
+
+/// One named structural defect found by validate()/levelize().
+struct StructuralIssue {
+  enum class Kind { Cycle, SelfLoop, MultiDriver, DanglingInput };
+  Kind kind = Kind::Cycle;
+  /// Human-readable description; for cycles this names the offending path
+  /// ("u1 -> u2 -> u3 -> u1").
+  std::string message;
+  /// Instances involved (cycle members in path order; the extra driver for
+  /// MultiDriver; the consumer for DanglingInput).
+  std::vector<std::string> instances;
+};
+
+const char* structuralKindName(StructuralIssue::Kind k);
+
+/// levelize() output: the levels plus everything that had to be degraded to
+/// produce them.  With StructuralPolicy::Reject, issues is always empty
+/// (defects throw instead).
+struct LevelizeResult {
+  std::vector<std::vector<const Instance*>> levels;
+  std::vector<StructuralIssue> issues;
+  /// Instances whose dependencies were forcibly cut (loop breaks, dangling
+  /// inputs): their arrival times are estimates, not analysis.
+  std::vector<std::string> degradedInstances;
+};
+
 class Netlist {
  public:
   /// Declares a primary input net.
@@ -31,6 +72,15 @@ class Netlist {
                               std::vector<std::string> inputNets,
                               const std::string& outputNet);
 
+  /// addInstance for *untrusted* graph construction: a multiply-driven
+  /// output net is recorded as a StructuralIssue for validate() instead of
+  /// throwing (the first driver keeps the net).  Duplicate instance names
+  /// and pin-count mismatches still throw std::invalid_argument -- those are
+  /// caller bugs, not input properties.
+  const Instance& addInstanceLenient(
+      const std::string& name, const characterize::CharacterizedGate& cell,
+      std::vector<std::string> inputNets, const std::string& outputNet);
+
   const std::vector<Instance>& instances() const { return instances_; }
   const std::unordered_set<std::string>& primaryInputs() const {
     return primaryInputs_;
@@ -39,17 +89,30 @@ class Netlist {
   /// True when @p net is driven by an instance or declared a primary input.
   bool isDriven(const std::string& net) const;
 
+  /// Full structural audit: every cycle (path named), multiply-driven net,
+  /// dangling instance input, and self-loop, without throwing.  Empty means
+  /// the graph is a well-formed combinational netlist.
+  std::vector<StructuralIssue> validate() const;
+
+  /// Instances grouped by dependency depth under @p policy.  Reject: any
+  /// structural defect throws support::DiagnosticError (StructuralError, a
+  /// std::runtime_error) naming the defect.  Degrade: defects are recorded
+  /// in the result, dangling inputs are treated as no-event nets, and each
+  /// cycle is broken at its lowest-numbered member so levelization always
+  /// terminates with every instance placed exactly once.
+  LevelizeResult levelize(StructuralPolicy policy) const;
+
   /// Instances in topological order (inputs before consumers).  Throws
-  /// std::runtime_error when the netlist has a combinational cycle or an
-  /// undriven instance input.
+  /// support::DiagnosticError (StructuralError, a std::runtime_error) when
+  /// the netlist has a combinational cycle or an undriven instance input.
   std::vector<const Instance*> topologicalOrder() const;
 
-  /// Instances grouped by dependency depth: level 0 consumes only primary
-  /// inputs, level L consumes at least one level-(L-1) output and nothing
-  /// deeper.  Instances within a level are independent of each other (the
-  /// parallel STA evaluates a level concurrently) and appear in instance-
-  /// declaration order, so the grouping is deterministic.  Same structural
-  /// errors as topologicalOrder().
+  /// levelize(StructuralPolicy::Reject).levels: level 0 consumes only
+  /// primary inputs, level L consumes at least one level-(L-1) output and
+  /// nothing deeper.  Instances within a level are independent of each other
+  /// (the parallel STA evaluates a level concurrently) and appear in
+  /// instance-declaration order, so the grouping is deterministic.  Same
+  /// structural errors as topologicalOrder().
   std::vector<std::vector<const Instance*>> levels() const;
 
  private:
@@ -57,6 +120,8 @@ class Netlist {
   std::unordered_set<std::string> primaryInputs_;
   std::unordered_map<std::string, std::size_t> driverOf_;  // net -> instance
   std::unordered_set<std::string> instanceNames_;
+  /// (net, losing instance) pairs recorded by addInstanceLenient.
+  std::vector<std::pair<std::string, std::size_t>> extraDrivers_;
 };
 
 }  // namespace prox::sta

@@ -1,11 +1,13 @@
 #include "sta/timing_graph.hpp"
 
 #include <stdexcept>
+#include <unordered_set>
 
 #include "obs/registry.hpp"
 #include "obs/scoped_timer.hpp"
 #include "obs/trace.hpp"
 #include "par/parallel_for.hpp"
+#include "support/budget.hpp"
 
 namespace prox::sta {
 
@@ -21,8 +23,18 @@ void TimingAnalyzer::run() {
   PROX_OBS_SCOPED_TIMER("sta.graph.seconds");
   PROX_OBS_SPAN("sta.run");
   degradedArcs_ = 0;
+  degradedArcNames_.clear();
+  structuralIssues_.clear();
   const int threads =
       options_.threads == 0 ? par::defaultThreadCount() : options_.threads;
+
+  // Structural gate: under Reject a defective graph throws here, before any
+  // arc is evaluated; under Degrade the levelization below already has the
+  // loops broken and the defects recorded.
+  LevelizeResult structure = netlist_.levelize(options_.structural);
+  structuralIssues_ = std::move(structure.issues);
+  std::unordered_set<std::string> structurallyDegraded(
+      structure.degradedInstances.begin(), structure.degradedInstances.end());
 
   // Levelized evaluation: all arcs of one level read only arrivals committed
   // by earlier levels, so a level's tasks share arrivals_ read-only and each
@@ -35,9 +47,10 @@ void TimingAnalyzer::run() {
     ArcQuality quality = ArcQuality::Full;
   };
   std::size_t levelIndex = 0;
-  for (const std::vector<const Instance*>& level : netlist_.levels()) {
+  for (const std::vector<const Instance*>& level : structure.levels) {
     PROX_OBS_SPAN_ARG("sta.level", "level", levelIndex);
     ++levelIndex;
+    support::budgetCheckRss("sta.timing_graph");
     std::vector<ArcResult> results(level.size());
     par::parallelFor(
         level.size(),
@@ -60,7 +73,11 @@ void TimingAnalyzer::run() {
       if (results[i].out) {
         arrivals_[level[i]->outputNet] = *results[i].out;
       }
-      if (results[i].quality != ArcQuality::Full) ++degradedArcs_;
+      if (results[i].quality != ArcQuality::Full ||
+          structurallyDegraded.count(level[i]->name) != 0) {
+        ++degradedArcs_;
+        degradedArcNames_.push_back(level[i]->name);
+      }
     }
     // Running degradation tally next to the level spans, so a trace shows
     // where in the graph the delay model started falling back.

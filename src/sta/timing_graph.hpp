@@ -21,10 +21,13 @@ class TimingAnalyzer {
   /// Sets the arrival event of a primary input net.
   void setInputArrival(const std::string& net, Arrival arrival);
 
-  /// Propagates arrivals through the whole netlist.  Throws on structural
-  /// errors (cycles, undriven nets) surfaced by the netlist.  Model-side
-  /// per-arc failures follow options().allowDegraded: degraded arcs complete
-  /// with a cruder estimate and are tallied in degradedArcs().
+  /// Propagates arrivals through the whole netlist.  Structural defects
+  /// (cycles, multiply-driven nets, undriven inputs) follow
+  /// options().structural: Reject throws DiagnosticError(StructuralError)
+  /// naming the defect; Degrade levelizes anyway (loops broken
+  /// deterministically) and records every issue in structuralIssues().
+  /// Model-side per-arc failures follow options().allowDegraded: degraded
+  /// arcs complete with a cruder estimate and are tallied in degradedArcs().
   void run();
 
   /// Arrival on @p net after run(); nullopt when the net never switches.
@@ -33,8 +36,22 @@ class TimingAnalyzer {
   DelayMode mode() const { return mode_; }
   const DelayCalcOptions& options() const { return options_; }
 
-  /// Arcs of the last run() that fell below ArcQuality::Full.
+  /// Arcs of the last run() that fell below ArcQuality::Full, including
+  /// instances degraded for structural reasons under
+  /// StructuralPolicy::Degrade.
   std::size_t degradedArcs() const { return degradedArcs_; }
+
+  /// Names of the instances degraded by the last run() -- model-side
+  /// fallbacks and structural loop-breaks alike -- in declaration order.
+  const std::vector<std::string>& degradedArcNames() const {
+    return degradedArcNames_;
+  }
+
+  /// Structural defects the last run() degraded through (always empty under
+  /// StructuralPolicy::Reject -- those throw instead).
+  const std::vector<StructuralIssue>& structuralIssues() const {
+    return structuralIssues_;
+  }
 
  private:
   const Netlist& netlist_;
@@ -42,6 +59,8 @@ class TimingAnalyzer {
   DelayCalcOptions options_;
   std::unordered_map<std::string, Arrival> arrivals_;
   std::size_t degradedArcs_ = 0;
+  std::vector<std::string> degradedArcNames_;
+  std::vector<StructuralIssue> structuralIssues_;
 };
 
 }  // namespace prox::sta

@@ -1,0 +1,155 @@
+#pragma once
+// Bounded-ingestion primitives shared by every parser that consumes bytes
+// from outside the process (SPICE decks, .prox models, checkpoint journals,
+// stats/trace JSON).
+//
+// Threat model: any input file may be truncated, bit-flipped, hand-edited,
+// or adversarially constructed.  The parsers built on this layer guarantee
+// that malformed input produces a typed DiagnosticError carrying context
+// (site, line, what was being read) -- never a crash, an uncaught
+// std::out_of_range from a conversion helper, an unbounded allocation, or a
+// hang.  Three mechanisms enforce that:
+//
+//   * Size caps (ReaderLimits): the raw input, individual tokens/lines, and
+//     recursion depth are all bounded before any per-element work happens.
+//   * Allocation budgets (AllocationBudget): parsed data structures may not
+//     claim more memory than a multiple of the input size.  A 200-byte file
+//     that declares a 16M-point table is rejected by arithmetic on the
+//     declared counts, before the allocation is attempted.
+//   * Overflow-checked conversions: parseDoubleChecked / parseIntChecked /
+//     parseCountChecked convert a *whole* token or fail; out-of-range
+//     magnitudes and exponents are typed rejections, not silent inf/0
+//     round-trips.
+//
+// This header sits at the very bottom of the dependency stack (below obs),
+// so the obs::json parser itself can be built on it; call sites that want
+// rejection counters bump them in their own catch/fail paths.
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "support/diagnostic.hpp"
+
+namespace prox::support {
+
+/// Caps applied while ingesting untrusted bytes.  The defaults are generous
+/// for every legitimate artifact this repo produces (the largest .prox
+/// models are a few MB; journals grow a line per sweep point) while keeping
+/// worst-case memory use on garbage input in the tens of MB.
+struct ReaderLimits {
+  /// Raw input size cap; readStreamBounded / readFileBounded reject longer
+  /// streams with ResourceExhausted before buffering them.
+  std::size_t maxInputBytes = 256u << 20;  // 256 MiB
+  /// Longest single token (a number, a tag, a pull-network expression) or
+  /// machine-written line (a journal record).
+  std::size_t maxTokenBytes = 1u << 20;  // 1 MiB
+  /// Deepest recursion a recursive-descent grammar may reach (JSON arrays /
+  /// objects); prevents stack overflow on "[[[[..." bombs.
+  std::size_t maxNestingDepth = 96;
+  /// Allocation cap derived from input size:
+  ///   cap = allocFactor * inputBytes + allocFloor.
+  /// A parsed double occupies 8 bytes but costs at least 2 input bytes
+  /// (digit + separator), so factor 16 leaves a wide margin for legitimate
+  /// encodings while bounding amplification.
+  std::size_t allocFactor = 16;
+  std::size_t allocFloor = 1u << 20;  // 1 MiB: headroom for tiny inputs
+};
+
+/// Tracks bytes claimed by parsed data structures against a cap derived from
+/// the input size (see ReaderLimits::allocFactor).  Parsers charge *declared*
+/// sizes before resizing vectors, so a malicious count field is rejected by
+/// integer arithmetic instead of honoured by the allocator.
+class AllocationBudget {
+ public:
+  /// @p site names the owning parser for diagnostics ("spice.netlist", ...).
+  AllocationBudget(const char* site, std::size_t inputBytes,
+                   const ReaderLimits& limits = {});
+
+  /// Claims @p bytes; throws DiagnosticError(ResourceExhausted) when the
+  /// running total would exceed the cap.  @p what and @p line feed the
+  /// diagnostic ("dual table ratio", line 42).
+  void charge(std::size_t bytes, const char* what, int line = -1);
+
+  /// charge() for @p n items of @p itemBytes each, with overflow-checked
+  /// multiplication (n * itemBytes may not wrap).
+  void chargeItems(std::size_t n, std::size_t itemBytes, const char* what,
+                   int line = -1);
+
+  std::size_t charged() const noexcept { return charged_; }
+  std::size_t cap() const noexcept { return cap_; }
+
+ private:
+  const char* site_;
+  std::size_t cap_;
+  std::size_t charged_ = 0;
+};
+
+/// Reads the whole of @p is into a string, rejecting streams longer than
+/// @p maxBytes with DiagnosticError(ResourceExhausted) before the oversized
+/// tail is buffered.
+std::string readStreamBounded(std::istream& is, std::size_t maxBytes,
+                              const char* site);
+
+/// Opens and reads @p path (IoError when it cannot be opened), applying the
+/// same size cap as readStreamBounded.
+std::string readFileBounded(const std::string& path, std::size_t maxBytes,
+                            const char* site);
+
+/// Result of one getlineBounded() call.
+struct BoundedLine {
+  std::string text;        ///< line content, '\n' stripped (maybe truncated)
+  bool sawNewline = false; ///< false: EOF ended the line (torn tail)
+  bool overlong = false;   ///< true: cap hit; the rest of the line was
+                           ///< consumed (not buffered) up to the next '\n'
+};
+
+/// getline with a byte cap: reads at most @p maxBytes into line.text, then
+/// skips (without buffering) to the next newline/EOF so the caller can keep
+/// scanning.  Returns false when the stream is exhausted before any byte of
+/// a new line.  An overlong line is the bounded analog of a corrupt record:
+/// callers treat it as damage, never as data.
+bool getlineBounded(std::istream& is, std::size_t maxBytes, BoundedLine* out);
+
+// --- Overflow-checked whole-token conversions -------------------------------
+// All of these parse the complete token (trailing characters are an error),
+// throw DiagnosticError(ParseError) with @p site / @p what / @p line context
+// on any malformation, and never let the underlying conversion's ERANGE /
+// invalid-argument states escape as silent values or foreign exception
+// types.
+
+/// Finite-or-infinite double; rejects empty/partial tokens and out-of-range
+/// magnitudes (|x| would round to inf or a nonzero mantissa would round to
+/// 0).  NaN tokens are rejected.
+double parseDoubleChecked(std::string_view token, const char* site,
+                          const char* what, int line = -1);
+
+/// parseDoubleChecked + finiteness requirement.
+double parseFiniteDoubleChecked(std::string_view token, const char* site,
+                                const char* what, int line = -1);
+
+/// Whole-token signed integer in [minValue, maxValue].
+long long parseIntChecked(std::string_view token, const char* site,
+                          const char* what, int line = -1,
+                          long long minValue = INT64_MIN,
+                          long long maxValue = INT64_MAX);
+
+/// Non-negative element count bounded by @p cap -- the standard guard for
+/// "N items follow" headers.
+std::size_t parseCountChecked(std::string_view token, std::size_t cap,
+                              const char* site, const char* what,
+                              int line = -1);
+
+/// Throws the canonical typed parse failure used by the checked parsers;
+/// exposed so parsers built on this layer report identically-shaped
+/// diagnostics for their own grammar errors.
+[[noreturn]] void failParse(const char* site, const std::string& message,
+                            int line = -1);
+
+/// Throws the canonical typed resource-cap failure (ResourceExhausted).
+[[noreturn]] void failResource(const char* site, const std::string& message,
+                               int line = -1);
+
+}  // namespace prox::support

@@ -1,0 +1,83 @@
+#include "support/budget.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include "obs/registry.hpp"
+
+namespace prox::support {
+
+namespace detail {
+thread_local constinit BudgetTracker* tlsBudgetTracker = nullptr;
+}  // namespace detail
+
+namespace {
+
+[[noreturn]] void failBudget(const char* site, const char* which,
+                             std::size_t used, std::size_t limit) {
+  PROX_OBS_COUNT("support.budget.exceeded", 1);
+  throw DiagnosticError(
+      makeDiagnostic(StatusCode::ResourceExhausted,
+                     std::string("resource budget exceeded: ") + which + " " +
+                         std::to_string(used) + " > limit " +
+                         std::to_string(limit))
+          .withSite(site));
+}
+
+}  // namespace
+
+std::size_t currentRssBytes() noexcept {
+  // /proc/self/statm: "size resident shared text lib data dt" in pages.
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long long sizePages = 0, residentPages = 0;
+  const int got = std::fscanf(f, "%llu %llu", &sizePages, &residentPages);
+  std::fclose(f);
+  if (got != 2) return 0;
+  const long page = ::sysconf(_SC_PAGESIZE);
+  return static_cast<std::size_t>(residentPages) *
+         static_cast<std::size_t>(page > 0 ? page : 4096);
+}
+
+void BudgetTracker::chargeNodes(std::size_t n, const char* site) {
+  const std::size_t total =
+      nodes_.fetch_add(n, std::memory_order_relaxed) + n;
+  if (limits_.maxNodes != 0 && total > limits_.maxNodes) {
+    PROX_OBS_COUNT("support.budget.nodes_exceeded", 1);
+    failBudget(site, "nodes", total, limits_.maxNodes);
+  }
+}
+
+void BudgetTracker::chargeTables(std::size_t n, const char* site) {
+  const std::size_t total =
+      tables_.fetch_add(n, std::memory_order_relaxed) + n;
+  if (limits_.maxTables != 0 && total > limits_.maxTables) {
+    PROX_OBS_COUNT("support.budget.tables_exceeded", 1);
+    failBudget(site, "tables", total, limits_.maxTables);
+  }
+}
+
+void BudgetTracker::chargeRecords(std::size_t n, const char* site) {
+  const std::size_t total =
+      records_.fetch_add(n, std::memory_order_relaxed) + n;
+  if (limits_.maxRecords != 0 && total > limits_.maxRecords) {
+    PROX_OBS_COUNT("support.budget.records_exceeded", 1);
+    failBudget(site, "records", total, limits_.maxRecords);
+  }
+}
+
+void BudgetTracker::checkRss(const char* site) {
+  if (limits_.maxRssBytes == 0) return;
+  const unsigned tick = rssTick_.fetch_add(1, std::memory_order_relaxed);
+  if (tick % kRssCheckStride != 0) return;
+  PROX_OBS_COUNT("support.budget.rss_checks", 1);
+  const std::size_t rss = currentRssBytes();
+  if (rss > limits_.maxRssBytes) {
+    PROX_OBS_COUNT("support.budget.rss_exceeded", 1);
+    failBudget(site, "resident memory [bytes]", rss, limits_.maxRssBytes);
+  }
+}
+
+}  // namespace prox::support

@@ -1,0 +1,130 @@
+#pragma once
+// Resource governance for ingestion and analysis: hard ceilings on memory
+// and object counts that turn runaway inputs into typed failures with a
+// dedicated exit code instead of OOM kills.
+//
+// A ResourceBudget describes the limits; a BudgetTracker enforces them with
+// atomic running totals; a BudgetScope installs the tracker thread-locally
+// (mirroring support/cancel.hpp's CancelScope) so deep parser and engine
+// loops can charge against the active budget without threading a parameter
+// through every signature.  The parse *deadline* deliberately rides the
+// existing CancelToken plumbing (ResourceBudget::cancel): every loop that
+// already polls cancellation gets deadline enforcement for free.
+//
+// Enforcement sites (all no-ops when no budget is installed -- one
+// thread-local load + null check):
+//   * budgetChargeNodes()   -- SPICE devices/nodes, STA instances
+//   * budgetChargeTables()  -- .prox model tables
+//   * budgetChargeRecords() -- journal records
+//   * budgetCheckRss()      -- coarse checkpoints (per level / per table);
+//                              reads /proc/self/statm, throttled internally
+//
+// A tripped limit throws DiagnosticError(ResourceExhausted) and bumps
+// support.budget.exceeded (plus a per-limit counter), so budget exhaustion
+// is visible in --stats; the tools map the code to exit 7.
+
+#include <atomic>
+#include <cstddef>
+
+#include "support/cancel.hpp"
+#include "support/diagnostic.hpp"
+
+namespace prox::support {
+
+/// Limits; 0 means unlimited.  Plain data so tools can fill it from flags.
+struct ResourceBudget {
+  std::size_t maxRssBytes = 0;  ///< process resident set ceiling
+  std::size_t maxNodes = 0;     ///< circuit nodes + devices / STA instances
+  std::size_t maxTables = 0;    ///< characterized model tables loaded
+  std::size_t maxRecords = 0;   ///< journal records accepted at load
+  /// Parse/analysis deadline: arm a timeout on this token (setTimeout) and
+  /// every existing pollCancellation site enforces it; no separate clock.
+  CancelToken* cancel = nullptr;
+};
+
+/// Enforces a ResourceBudget with thread-safe running totals.
+class BudgetTracker {
+ public:
+  explicit BudgetTracker(const ResourceBudget& limits) : limits_(limits) {}
+
+  /// Each charge adds to the running total and throws
+  /// DiagnosticError(ResourceExhausted) when the corresponding limit is
+  /// exceeded.  @p site names the caller for the diagnostic.
+  void chargeNodes(std::size_t n, const char* site);
+  void chargeTables(std::size_t n, const char* site);
+  void chargeRecords(std::size_t n, const char* site);
+
+  /// Compares current RSS against maxRssBytes.  Reading /proc costs a
+  /// syscall, so only every kRssCheckStride-th call samples (the first call
+  /// always does); call freely from per-level / per-table loops.
+  void checkRss(const char* site);
+
+  std::size_t nodes() const noexcept {
+    return nodes_.load(std::memory_order_relaxed);
+  }
+  std::size_t tables() const noexcept {
+    return tables_.load(std::memory_order_relaxed);
+  }
+  std::size_t records() const noexcept {
+    return records_.load(std::memory_order_relaxed);
+  }
+  const ResourceBudget& limits() const noexcept { return limits_; }
+
+  BudgetTracker(const BudgetTracker&) = delete;
+  BudgetTracker& operator=(const BudgetTracker&) = delete;
+
+ private:
+  static constexpr unsigned kRssCheckStride = 16;
+
+  ResourceBudget limits_;
+  std::atomic<std::size_t> nodes_{0};
+  std::atomic<std::size_t> tables_{0};
+  std::atomic<std::size_t> records_{0};
+  std::atomic<unsigned> rssTick_{0};
+};
+
+/// Current process resident set size in bytes (Linux /proc/self/statm);
+/// 0 when unavailable.  Exposed for tests and tooling.
+std::size_t currentRssBytes() noexcept;
+
+namespace detail {
+extern thread_local constinit BudgetTracker* tlsBudgetTracker;
+}  // namespace detail
+
+/// Installs @p tracker as the calling thread's active budget for the scope's
+/// lifetime (nests; restores the previous tracker on exit).  Accepts null so
+/// call sites can install unconditionally.
+class BudgetScope {
+ public:
+  explicit BudgetScope(BudgetTracker* tracker) noexcept
+      : previous_(detail::tlsBudgetTracker) {
+    if (tracker != nullptr) detail::tlsBudgetTracker = tracker;
+  }
+  ~BudgetScope() { detail::tlsBudgetTracker = previous_; }
+  BudgetScope(const BudgetScope&) = delete;
+  BudgetScope& operator=(const BudgetScope&) = delete;
+
+ private:
+  BudgetTracker* previous_;
+};
+
+/// The tracker installed on this thread, or null.
+inline BudgetTracker* currentBudget() noexcept {
+  return detail::tlsBudgetTracker;
+}
+
+// Free poll points: one TLS load + null check when no budget is active.
+inline void budgetChargeNodes(std::size_t n, const char* site) {
+  if (BudgetTracker* b = detail::tlsBudgetTracker) b->chargeNodes(n, site);
+}
+inline void budgetChargeTables(std::size_t n, const char* site) {
+  if (BudgetTracker* b = detail::tlsBudgetTracker) b->chargeTables(n, site);
+}
+inline void budgetChargeRecords(std::size_t n, const char* site) {
+  if (BudgetTracker* b = detail::tlsBudgetTracker) b->chargeRecords(n, site);
+}
+inline void budgetCheckRss(const char* site) {
+  if (BudgetTracker* b = detail::tlsBudgetTracker) b->checkRss(site);
+}
+
+}  // namespace prox::support

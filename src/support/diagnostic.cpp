@@ -19,6 +19,8 @@ const char* statusCodeName(StatusCode code) noexcept {
     case StatusCode::TableMissing: return "table-missing";
     case StatusCode::ParseError: return "parse-error";
     case StatusCode::IoError: return "io-error";
+    case StatusCode::ResourceExhausted: return "resource-exhausted";
+    case StatusCode::StructuralError: return "structural-error";
     case StatusCode::Cancelled: return "cancelled";
     case StatusCode::DeadlineExceeded: return "deadline-exceeded";
     case StatusCode::Internal: return "internal";

@@ -33,6 +33,8 @@ enum class StatusCode {
   // Front ends.
   ParseError,         ///< malformed netlist or .prox model file
   IoError,            ///< file could not be opened / read / written
+  ResourceExhausted,  ///< reader cap / allocation budget / ResourceBudget hit
+  StructuralError,    ///< invalid netlist structure (cycle, multi-driver, ...)
   // Cooperative cancellation (support/cancel.hpp).
   Cancelled,          ///< explicit cancel or SIGINT/SIGTERM
   DeadlineExceeded,   ///< --timeout watchdog deadline passed

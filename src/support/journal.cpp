@@ -10,6 +10,8 @@
 #include <sstream>
 
 #include "obs/registry.hpp"
+#include "support/bounded.hpp"
+#include "support/budget.hpp"
 #include "support/diagnostic.hpp"
 #include "support/durable_io.hpp"
 
@@ -19,6 +21,16 @@ namespace {
 
 constexpr const char* kMagic = "proxjournal";
 constexpr int kVersion = 1;
+
+// Journal lines are machine-written: "p <scope> <16hex> <16hex>" plus 17
+// bytes per payload word plus the CRC.  Real records are a few hundred
+// bytes; 1 MiB of headroom means any longer line is corruption, and it is
+// dropped as a torn tail without ever being buffered.  The word-count cap
+// follows from the line cap: a count that could not fit on a capped line is
+// rejected by arithmetic before any allocation (a corrupt length field must
+// not drive a multi-GB resize on its way to CRC rejection).
+constexpr std::size_t kMaxLineBytes = 1u << 20;
+constexpr std::uint64_t kMaxWordsPerRecord = kMaxLineBytes / 17;
 
 [[noreturn]] void failIo(const std::string& what, const std::string& path) {
   const int err = errno;
@@ -127,18 +139,22 @@ Journal::~Journal() {
 std::optional<JournalContents> Journal::load(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   if (!is) return std::nullopt;
+  return loadStream(is, path);
+}
 
+std::optional<JournalContents> Journal::loadStream(
+    std::istream& is, const std::string& path) {
   JournalContents out;
-  std::string line;
+  BoundedLine line;
   bool sawHeader = false;
   std::uint64_t offset = 0;
-  while (std::getline(is, line)) {
-    // getline strips the '\n'; a final line without one (eofbit set before
-    // the delimiter) is a torn write.
-    const bool hasNewline = !is.eof();
-    const std::uint64_t lineBytes = line.size() + (hasNewline ? 1 : 0);
+  while (getlineBounded(is, kMaxLineBytes, &line)) {
+    // A final line without a '\n' (EOF before the delimiter) is a torn
+    // write; a line past the cap is corruption dressed as data.  Either way
+    // everything from here on is dropped.
+    const std::uint64_t lineBytes = line.text.size() + 1;
     std::vector<std::string> fields;
-    if (!hasNewline || !checkLine(line, &fields)) {
+    if (!line.sawNewline || line.overlong || !checkLine(line.text, &fields)) {
       out.truncatedTail = true;
       break;
     }
@@ -154,10 +170,11 @@ std::optional<JournalContents> Journal::load(const std::string& path) {
       rec.scope = fields[1];
       std::uint64_t count = 0;
       if (!parseHex(fields[2], &rec.index) || !parseHex(fields[3], &count) ||
-          fields.size() != 4 + count) {
+          count > kMaxWordsPerRecord || fields.size() != 4 + count) {
         out.truncatedTail = true;
         break;
       }
+      budgetChargeRecords(1, "support.journal");
       rec.words.resize(count);
       bool ok = true;
       for (std::uint64_t i = 0; i < count; ++i) {

@@ -29,6 +29,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <iosfwd>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -63,8 +64,18 @@ class Journal {
   /// does not exist.  Throws DiagnosticError(ParseError) when the header is
   /// missing/corrupt (an empty file reads as a missing journal).  Tail
   /// damage (torn last line, trailing garbage) is tolerated per the crash
-  /// contract above.
+  /// contract above.  Bounded: a line longer than the per-record cap or a
+  /// record whose declared word count could not fit on a capped line is
+  /// treated as corruption (truncated tail), never buffered or allocated;
+  /// accepted records are charged against any active support::ResourceBudget
+  /// (DiagnosticError(ResourceExhausted) when exceeded).
   static std::optional<JournalContents> load(const std::string& path);
+
+  /// load() over an already-open stream; @p pathForDiag labels diagnostics.
+  /// Exposed so corruption harnesses (and fuzzers) can drive the loader
+  /// without a filesystem round-trip.  Returns nullopt for an empty stream.
+  static std::optional<JournalContents> loadStream(
+      std::istream& is, const std::string& pathForDiag);
 
   /// Creates/truncates @p path and writes a fresh header.  Throws
   /// DiagnosticError(IoError) when the file cannot be created.

@@ -21,6 +21,7 @@
 #include "characterize/serialize.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
+#include "support/budget.hpp"
 #include "support/cancel.hpp"
 #include "support/diagnostic.hpp"
 #include "support/durable_io.hpp"
@@ -206,6 +207,66 @@ TEST(CheckpointResume, CancelledRunLeavesValidResumableJournal) {
   cfg.cancel = nullptr;
   EXPECT_EQ(modelText(characterize::characterizeGate(spec, cfg)),
             referenceText());
+}
+
+// -- bounded journal loading -------------------------------------------------
+
+/// A journal line is payload + space + 8-hex CRC-32 of the payload.
+std::string journalLine(const std::string& payload) {
+  char crc[16];
+  std::snprintf(crc, sizeof(crc), "%08x", support::crc32(payload));
+  return payload + ' ' + crc + '\n';
+}
+
+TEST(JournalBounds, HugeRecordCountIsDroppedBeforeAllocation) {
+  // A CRC-valid record whose length field declares 2^32-1 words: the count
+  // exceeds what could ever fit on a capped line, so it is rejected by
+  // arithmetic as a torn tail -- never handed to vector::resize.
+  std::istringstream is(
+      journalLine("proxjournal 1 deadbeef") +
+      journalLine("p dual 0000000000000000 00000000ffffffff 0123"));
+  const auto contents = support::Journal::loadStream(is, "<test>");
+  ASSERT_TRUE(contents.has_value());
+  EXPECT_EQ(contents->fingerprint, "deadbeef");
+  EXPECT_TRUE(contents->truncatedTail);
+  EXPECT_TRUE(contents->records.empty());
+}
+
+TEST(JournalBounds, OverlongLineIsDroppedAsTornTail) {
+  // Past the 1 MiB line cap the rest of the stream is damage by definition;
+  // the loader must keep everything before it and drop the rest unbuffered.
+  std::string text = journalLine("proxjournal 1 cafe") +
+                     journalLine("p dual 0000000000000001 0000000000000001 "
+                                 "00000000000000ff");
+  text += std::string((1u << 20) + 64, 'x');  // no newline, no CRC
+  std::istringstream is(text);
+  const auto contents = support::Journal::loadStream(is, "<test>");
+  ASSERT_TRUE(contents.has_value());
+  ASSERT_EQ(contents->records.size(), 1u);
+  EXPECT_EQ(contents->records[0].words.size(), 1u);
+  EXPECT_EQ(contents->records[0].words[0], 0xffu);
+  EXPECT_TRUE(contents->truncatedTail);
+}
+
+TEST(JournalBounds, RecordBudgetIsEnforcedAtLoad) {
+  std::string text = journalLine("proxjournal 1 feed");
+  for (int i = 0; i < 4; ++i) {
+    char payload[80];
+    std::snprintf(payload, sizeof(payload),
+                  "p dual %016x 0000000000000000", i);
+    text += journalLine(payload);
+  }
+  support::ResourceBudget budget;
+  budget.maxRecords = 2;
+  support::BudgetTracker tracker(budget);
+  support::BudgetScope scope(&tracker);
+  std::istringstream is(text);
+  try {
+    support::Journal::loadStream(is, "<test>");
+    FAIL() << "expected DiagnosticError(ResourceExhausted)";
+  } catch (const DiagnosticError& e) {
+    EXPECT_EQ(e.code(), StatusCode::ResourceExhausted);
+  }
 }
 
 // -- kill -9 mid-sweep -------------------------------------------------------

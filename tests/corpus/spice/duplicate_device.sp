@@ -1,0 +1,2 @@
+R1 a 0 1k
+R1 b 0 2k

@@ -1,0 +1,15 @@
+* Figure 1-1: three-input NAND, c tied to Vdd
+.model nm NMOS KP=60u VTO=0.8 LAMBDA=0.02 GAMMA=0.4 PHI=0.65
+.model pm PMOS KP=25u VTO=-0.9 LAMBDA=0.04 GAMMA=0.45 PHI=0.65
+Vdd vdd 0 5
+M1 out a n1 0 nm W=6u L=0.8u
+M2 n1  b n2 0 nm W=6u L=0.8u
+M3 n2  c 0  0 nm W=6u L=0.8u
+M4 out a vdd vdd pm W=8u L=0.8u
+M5 out b vdd vdd pm W=8u L=0.8u
+M6 out c vdd vdd pm W=8u L=0.8u
+Cl out 0 100f
+Va a 0 PWL(0 5 1000p 5 1500p 0)
+Vb b 0 PWL(0 5 1100p 5 1200p 0)
+Vc c 0 5
+.end

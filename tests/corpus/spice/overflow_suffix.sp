@@ -1,0 +1,1 @@
+R1 a 0 1e308k

@@ -1,0 +1,1 @@
+M1 out a n1 0

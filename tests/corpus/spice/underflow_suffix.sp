@@ -1,0 +1,1 @@
+C1 a 0 1e-310f

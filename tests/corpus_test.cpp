@@ -1,0 +1,133 @@
+// Replays every seed in tests/corpus/ through its parser, asserting the
+// ingestion contract the fuzz harnesses enforce: each input either parses
+// successfully or throws support::DiagnosticError.  Anything else -- a
+// foreign exception type, a crash, a sanitizer report (this test runs in
+// the ASan/UBSan CI job) -- is a contract violation.  Known-good seeds
+// (valid.journal, minimal_v1/v3.prox, report_v2.json, nand3.sp) must load;
+// known-bad seeds must be rejected with the expected typed code.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "characterize/serialize.hpp"
+#include "obs/report.hpp"
+#include "spice/netlist.hpp"
+#include "support/diagnostic.hpp"
+#include "support/journal.hpp"
+
+namespace fs = std::filesystem;
+using prox::support::DiagnosticError;
+
+namespace {
+
+std::string readAll(const fs::path& p) {
+  std::ifstream f(p, std::ios::binary);
+  EXPECT_TRUE(f.is_open()) << "cannot open corpus file " << p;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+std::vector<fs::path> corpusFiles(const char* subdir) {
+  const fs::path dir = fs::path(PROX_CORPUS_DIR) / subdir;
+  EXPECT_TRUE(fs::is_directory(dir)) << "missing corpus dir " << dir;
+  std::vector<fs::path> files;
+  if (fs::is_directory(dir)) {
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      if (entry.is_regular_file()) files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  EXPECT_FALSE(files.empty()) << "empty corpus dir " << dir;
+  return files;
+}
+
+/// Runs @p parse on every file of @p subdir; success and DiagnosticError
+/// both satisfy the contract, any other exception fails the test.  Returns
+/// the set of file names that parsed cleanly (for accept/reject spot
+/// checks).
+std::vector<std::string> replayAll(
+    const char* subdir, const std::function<void(const std::string&)>& parse) {
+  std::vector<std::string> accepted;
+  for (const fs::path& p : corpusFiles(subdir)) {
+    const std::string bytes = readAll(p);
+    try {
+      parse(bytes);
+      accepted.push_back(p.filename().string());
+    } catch (const DiagnosticError&) {
+      // Typed rejection: within contract.
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << p << " escaped with foreign exception type: "
+                    << e.what();
+    }
+  }
+  return accepted;
+}
+
+bool contains(const std::vector<std::string>& v, const std::string& s) {
+  return std::find(v.begin(), v.end(), s) != v.end();
+}
+
+}  // namespace
+
+TEST(CorpusTest, SpiceSeedsHonorContract) {
+  const auto accepted = replayAll("spice", [](const std::string& bytes) {
+    prox::spice::parseNetlist(bytes);
+  });
+  EXPECT_TRUE(contains(accepted, "nand3.sp"));
+  EXPECT_FALSE(contains(accepted, "overflow_suffix.sp"));
+  EXPECT_FALSE(contains(accepted, "underflow_suffix.sp"));
+}
+
+TEST(CorpusTest, ProxSeedsHonorContract) {
+  const auto accepted = replayAll("prox", [](const std::string& bytes) {
+    std::istringstream is(bytes);
+    prox::characterize::loadGateModel(is);
+  });
+  EXPECT_TRUE(contains(accepted, "minimal_v1.prox"));
+  EXPECT_TRUE(contains(accepted, "minimal_v3.prox"));
+  EXPECT_FALSE(contains(accepted, "bitflip_v3.prox"));  // CRC must catch it
+  EXPECT_FALSE(contains(accepted, "huge_row_count.prox"));
+  EXPECT_FALSE(contains(accepted, "huge_fanin.prox"));
+  EXPECT_FALSE(contains(accepted, "overlong_token.prox"));
+}
+
+TEST(CorpusTest, JournalSeedsHonorContract) {
+  const auto accepted = replayAll("journal", [](const std::string& bytes) {
+    std::istringstream is(bytes);
+    prox::support::Journal::loadStream(is, "<corpus>");
+  });
+  EXPECT_TRUE(contains(accepted, "valid.journal"));
+  // Tail damage loads by design (crash contract) -- the point of the
+  // huge_count seed is that the bogus length is rejected by arithmetic, not
+  // honoured by the allocator; ASan would flag the multi-GB resize.
+  EXPECT_TRUE(contains(accepted, "huge_count.journal"));
+  EXPECT_FALSE(contains(accepted, "bad_header.journal"));
+}
+
+TEST(CorpusTest, JournalHugeCountDropsRecordAsTornTail) {
+  std::istringstream is(
+      readAll(fs::path(PROX_CORPUS_DIR) / "journal" / "huge_count.journal"));
+  const auto contents = prox::support::Journal::loadStream(is, "<corpus>");
+  ASSERT_TRUE(contents.has_value());
+  EXPECT_TRUE(contents->truncatedTail);
+  EXPECT_TRUE(contents->records.empty());
+}
+
+TEST(CorpusTest, JsonSeedsHonorContract) {
+  const auto accepted = replayAll("json", [](const std::string& bytes) {
+    prox::obs::parseJson(bytes);
+  });
+  EXPECT_TRUE(contains(accepted, "report_v2.json"));
+  EXPECT_TRUE(contains(accepted, "report_v1.json"));
+  EXPECT_FALSE(contains(accepted, "deep_nesting.json"));
+  EXPECT_FALSE(contains(accepted, "huge_exponent.json"));
+  EXPECT_FALSE(contains(accepted, "bad_unicode_escape.json"));
+}

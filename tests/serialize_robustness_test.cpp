@@ -249,6 +249,43 @@ TEST(SerializeRobustness, UnknownSectionTagIsRejected) {
   EXPECT_EQ(d.line, lineOf(text, "corruption"));
 }
 
+TEST(SerializeRobustness, DuplicateSingleSectionIsRejected) {
+  // Turning "single 0 F" into a second "single 0 R" makes the key collide;
+  // duplicate detection fires while parsing, before the CRC trailer.
+  const auto d = loadExpectingParseError(replaced("single 0 F", "single 0 R"));
+  EXPECT_NE(d.message.find("duplicate section 'single 0 R'"),
+            std::string::npos);
+}
+
+TEST(SerializeRobustness, DuplicateDualSectionIsRejected) {
+  const auto d =
+      loadExpectingParseError(replaced("dualdelay 0 F", "dualdelay 0 R"));
+  EXPECT_NE(d.message.find("duplicate section"), std::string::npos);
+}
+
+TEST(SerializeRobustness, OutOfRangePinIsRejected) {
+  const auto d = loadExpectingParseError(replaced("single 0 R", "single 5 R"));
+  EXPECT_NE(d.message.find("pin 5 outside [0, 1)"), std::string::npos);
+}
+
+TEST(SerializeRobustness, HugeGridCountIsACapRejection) {
+  // A 200-byte header declaring a billion-point axis must be refused by
+  // arithmetic on the declared count, not honoured by the allocator.
+  const auto before =
+      obs::counter("characterize.serialize.cap_rejections").value();
+  const auto d =
+      loadExpectingParseError(replaced("2 1.5 2.5", "999999999 1.5 2.5"));
+  EXPECT_NE(d.message.find("exceeds ceiling"), std::string::npos);
+  EXPECT_EQ(
+      obs::counter("characterize.serialize.cap_rejections").value() - before,
+      1u);
+}
+
+TEST(SerializeRobustness, NegativeCountIsRejected) {
+  const auto d = loadExpectingParseError(replaced("2 1.5 2.5", "-2 1.5 2.5"));
+  EXPECT_NE(d.message.find("negative count"), std::string::npos);
+}
+
 TEST(SerializeRobustness, MissingFileIsATypedIoError) {
   try {
     characterize::loadGateModelFile("/nonexistent/model.prox");

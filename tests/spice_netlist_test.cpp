@@ -6,6 +6,7 @@
 #include "spice/netlist.hpp"
 #include "spice/op.hpp"
 #include "spice/tran.hpp"
+#include "support/budget.hpp"
 #include "support/diagnostic.hpp"
 
 namespace {
@@ -47,6 +48,70 @@ TEST(SpiceNumber, Malformed) {
   } catch (const prox::support::DiagnosticError& e) {
     EXPECT_EQ(e.code(), prox::support::StatusCode::ParseError);
     EXPECT_NE(std::string(e.what()).find("abc"), std::string::npos);
+  }
+}
+
+TEST(SpiceNumber, OverflowAndUnderflowAreTypedErrorsNotSilentValues) {
+  // The mantissa and the suffix can each be in range while their product is
+  // not; stod+multiply would yield inf / 0.0 silently.
+  try {
+    parseSpiceNumber("1e308k");
+    FAIL() << "expected overflow rejection";
+  } catch (const prox::support::DiagnosticError& e) {
+    EXPECT_EQ(e.code(), prox::support::StatusCode::ParseError);
+    EXPECT_NE(std::string(e.what()).find("overflows to infinity"),
+              std::string::npos);
+  }
+  // A subnormal mantissa dies in stod's own range check before the suffix
+  // even applies -- still a typed ParseError, never a silent 0.0.
+  try {
+    parseSpiceNumber("1e-310f");
+    FAIL() << "expected underflow rejection";
+  } catch (const prox::support::DiagnosticError& e) {
+    EXPECT_EQ(e.code(), prox::support::StatusCode::ParseError);
+  }
+  // Out-of-range before the suffix even applies (stod throws out_of_range):
+  // still a typed ParseError, never a foreign exception.
+  EXPECT_THROW(parseSpiceNumber("1e999"), prox::support::DiagnosticError);
+  // A true zero mantissa is not an underflow.
+  EXPECT_DOUBLE_EQ(parseSpiceNumber("0f"), 0.0);
+}
+
+TEST(SpiceNumber, RejectionCarriesDeckLineContext) {
+  try {
+    parseNetlist("* bad deck\nR1 a 0 1e308k\n.end\n");
+    FAIL() << "expected DiagnosticError";
+  } catch (const prox::support::DiagnosticError& e) {
+    EXPECT_EQ(e.code(), prox::support::StatusCode::ParseError);
+    EXPECT_EQ(e.diagnostic().line, 2);
+    EXPECT_NE(std::string(e.what()).find("1e308k"), std::string::npos);
+  }
+}
+
+TEST(Netlist, OversizedStatementIsAResourceRejection) {
+  // One statement with 70k tokens trips the per-statement token cap.
+  std::string deck = "* cap\nVPWL n 0 pwl(";
+  for (int i = 0; i < 70000 / 2; ++i) deck += " 1 2";
+  deck += ")\n.end\n";
+  try {
+    parseNetlist(deck);
+    FAIL() << "expected DiagnosticError";
+  } catch (const prox::support::DiagnosticError& e) {
+    EXPECT_EQ(e.code(), prox::support::StatusCode::ResourceExhausted);
+  }
+}
+
+TEST(Netlist, DeviceCountChargesTheActiveNodeBudget) {
+  prox::support::ResourceBudget budget;
+  budget.maxNodes = 2;
+  prox::support::BudgetTracker tracker(budget);
+  prox::support::BudgetScope scope(&tracker);
+  try {
+    parseNetlist("* three devices\nR1 a b 1k\nR2 b c 1k\nR3 c 0 1k\n.end\n");
+    FAIL() << "expected DiagnosticError(ResourceExhausted)";
+  } catch (const prox::support::DiagnosticError& e) {
+    EXPECT_EQ(e.code(), prox::support::StatusCode::ResourceExhausted);
+    EXPECT_NE(std::string(e.what()).find("nodes"), std::string::npos);
   }
 }
 

@@ -1,0 +1,197 @@
+// Structural netlist validation: cycle detection with the offending path
+// named, multi-driver and dangling-net checks, and the
+// DelayCalcOptions::structural degradation ladder exercised end-to-end
+// through TimingAnalyzer at both settings (Reject throws a typed
+// StructuralError; Degrade completes with the defect tallied in
+// structuralIssues()/degradedArcNames()).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sta/timing_graph.hpp"
+#include "support/diagnostic.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace prox;
+using sta::DelayMode;
+using sta::Netlist;
+using sta::StructuralIssue;
+using sta::StructuralPolicy;
+using support::DiagnosticError;
+using support::StatusCode;
+using wave::Edge;
+
+using Kind = StructuralIssue::Kind;
+
+// u1 -> u2 -> u3 -> u1 ring, plus a clean u0 so degraded runs still have
+// something valid to analyze.
+Netlist cyclicNetlist() {
+  const auto& cell = testutil::nand2Model();
+  Netlist nl;
+  nl.addPrimaryInput("a");
+  nl.addPrimaryInput("b");
+  nl.addInstance("u0", cell, {"a", "b"}, "y0");
+  nl.addInstance("u1", cell, {"a", "y3"}, "y1");
+  nl.addInstance("u2", cell, {"y1", "b"}, "y2");
+  nl.addInstance("u3", cell, {"y2", "a"}, "y3");
+  return nl;
+}
+
+const StructuralIssue* findIssue(const std::vector<StructuralIssue>& issues,
+                                 Kind kind) {
+  const auto it = std::find_if(issues.begin(), issues.end(),
+                               [&](const auto& i) { return i.kind == kind; });
+  return it == issues.end() ? nullptr : &*it;
+}
+
+TEST(StructuralValidation, CleanNetlistHasNoIssues) {
+  const auto& cell = testutil::nand2Model();
+  Netlist nl;
+  nl.addPrimaryInput("a");
+  nl.addPrimaryInput("b");
+  nl.addInstance("u1", cell, {"a", "b"}, "y1");
+  nl.addInstance("u2", cell, {"y1", "b"}, "y2");
+  EXPECT_TRUE(nl.validate().empty());
+  const auto res = nl.levelize(StructuralPolicy::Reject);
+  ASSERT_EQ(res.levels.size(), 2u);
+  EXPECT_TRUE(res.issues.empty());
+  EXPECT_TRUE(res.degradedInstances.empty());
+}
+
+TEST(StructuralValidation, CycleIsNamedInPathOrder) {
+  const auto issues = cyclicNetlist().validate();
+  const auto* cycle = findIssue(issues, Kind::Cycle);
+  ASSERT_NE(cycle, nullptr);
+  // Signal-flow order: u2 drives u3 drives u1 drives u2.
+  EXPECT_NE(cycle->message.find("u2 -> u3 -> u1 -> u2"), std::string::npos)
+      << cycle->message;
+  EXPECT_EQ(cycle->instances,
+            (std::vector<std::string>{"u2", "u3", "u1"}));
+}
+
+TEST(StructuralValidation, RejectPolicyThrowsTypedStructuralError) {
+  try {
+    cyclicNetlist().levelize(StructuralPolicy::Reject);
+    FAIL() << "expected DiagnosticError(StructuralError)";
+  } catch (const DiagnosticError& e) {
+    EXPECT_EQ(e.code(), StatusCode::StructuralError);
+    EXPECT_EQ(e.diagnostic().site, "sta.netlist");
+    EXPECT_NE(e.diagnostic().message.find("combinational cycle"),
+              std::string::npos);
+  }
+}
+
+TEST(StructuralValidation, DegradeBreaksLoopAtLowestNumberedMember) {
+  const auto res = cyclicNetlist().levelize(StructuralPolicy::Degrade);
+  // Every instance placed exactly once -- levelization terminated.
+  std::size_t placed = 0;
+  for (const auto& level : res.levels) placed += level.size();
+  EXPECT_EQ(placed, 4u);
+  ASSERT_FALSE(res.degradedInstances.empty());
+  // u1 is the lowest-numbered cycle member, so the break lands there.
+  EXPECT_EQ(res.degradedInstances.front(), "u1");
+  EXPECT_NE(findIssue(res.issues, Kind::Cycle), nullptr);
+}
+
+TEST(StructuralValidation, SelfLoopIsItsOwnKind) {
+  const auto& cell = testutil::nand2Model();
+  Netlist nl;
+  nl.addPrimaryInput("a");
+  nl.addInstance("u1", cell, {"a", "y1"}, "y1");
+  const auto issues = nl.validate();
+  const auto* loop = findIssue(issues, Kind::SelfLoop);
+  ASSERT_NE(loop, nullptr);
+  EXPECT_NE(loop->message.find("u1 -> u1"), std::string::npos);
+  EXPECT_THROW(nl.levels(), DiagnosticError);
+}
+
+TEST(StructuralValidation, LenientMultiDriverIsReportedNotThrown) {
+  const auto& cell = testutil::nand2Model();
+  Netlist nl;
+  nl.addPrimaryInput("a");
+  nl.addPrimaryInput("b");
+  nl.addInstance("u1", cell, {"a", "b"}, "y");
+  nl.addInstanceLenient("u2", cell, {"b", "a"}, "y");  // second driver of y
+  const auto issues = nl.validate();
+  const auto* md = findIssue(issues, Kind::MultiDriver);
+  ASSERT_NE(md, nullptr);
+  EXPECT_NE(md->message.find("multiply driven"), std::string::npos);
+  EXPECT_NE(md->message.find("y"), std::string::npos);
+  // Reject still refuses the graph; strict addInstance still throws.
+  EXPECT_THROW(nl.levelize(StructuralPolicy::Reject), DiagnosticError);
+  EXPECT_THROW(nl.addInstance("u3", cell, {"a", "b"}, "y"),
+               std::invalid_argument);
+}
+
+TEST(StructuralValidation, DanglingInputIsNamed) {
+  const auto& cell = testutil::nand2Model();
+  Netlist nl;
+  nl.addPrimaryInput("a");
+  nl.addInstance("u1", cell, {"a", "floating"}, "y1");
+  const auto issues = nl.validate();
+  const auto* d = findIssue(issues, Kind::DanglingInput);
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("floating"), std::string::npos);
+  EXPECT_EQ(d->instances, std::vector<std::string>{"u1"});
+  // Degrade treats the dangling net as no-event and still levelizes.
+  const auto res = nl.levelize(StructuralPolicy::Degrade);
+  ASSERT_EQ(res.levels.size(), 1u);
+  EXPECT_EQ(res.degradedInstances, std::vector<std::string>{"u1"});
+}
+
+TEST(StructuralValidation, KindNamesAreStable) {
+  EXPECT_STREQ(sta::structuralKindName(Kind::Cycle), "cycle");
+  EXPECT_STREQ(sta::structuralKindName(Kind::SelfLoop), "self-loop");
+  EXPECT_STREQ(sta::structuralKindName(Kind::MultiDriver), "multi-driver");
+  EXPECT_STREQ(sta::structuralKindName(Kind::DanglingInput),
+               "dangling-input");
+}
+
+// --- degradation ladder through the analyzer --------------------------------
+
+TEST(StructuralLadder, AnalyzerRejectsDefectiveGraphByDefault) {
+  const Netlist nl = cyclicNetlist();
+  sta::TimingAnalyzer ta(nl, DelayMode::Proximity);  // default: Reject
+  ta.setInputArrival("a", {0.0, 300e-12, Edge::Rising});
+  EXPECT_THROW(ta.run(), DiagnosticError);
+}
+
+TEST(StructuralLadder, AnalyzerDegradeCompletesAndTalliesTheDamage) {
+  const Netlist nl = cyclicNetlist();
+  sta::DelayCalcOptions opts;
+  opts.structural = StructuralPolicy::Degrade;
+  sta::TimingAnalyzer ta(nl, DelayMode::Proximity, opts);
+  // One switching input only: the broken loop must not manufacture
+  // mixed-direction events at any gate.
+  ta.setInputArrival("a", {0.0, 300e-12, Edge::Rising});
+  ta.run();
+
+  // The clean side of the graph still produced real analysis.
+  EXPECT_TRUE(ta.arrival("y0").has_value());
+  // The loop-break is visible in all three reporting channels.
+  EXPECT_GE(ta.degradedArcs(), 1u);
+  const auto& names = ta.degradedArcNames();
+  EXPECT_NE(std::find(names.begin(), names.end(), "u1"), names.end());
+  EXPECT_NE(findIssue(ta.structuralIssues(), Kind::Cycle), nullptr);
+}
+
+TEST(StructuralLadder, DegradeOnCleanGraphReportsNothing) {
+  const auto& cell = testutil::nand2Model();
+  Netlist nl;
+  nl.addPrimaryInput("a");
+  nl.addPrimaryInput("b");
+  nl.addInstance("u1", cell, {"a", "b"}, "y1");
+  sta::DelayCalcOptions opts;
+  opts.structural = StructuralPolicy::Degrade;
+  sta::TimingAnalyzer ta(nl, DelayMode::Proximity, opts);
+  ta.setInputArrival("a", {0.0, 300e-12, Edge::Rising});
+  ta.run();
+  EXPECT_TRUE(ta.structuralIssues().empty());
+  EXPECT_TRUE(ta.degradedArcNames().empty());
+  EXPECT_EQ(ta.degradedArcs(), 0u);
+}
+
+}  // namespace
