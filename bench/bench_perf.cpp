@@ -28,6 +28,8 @@
 #include "par/pool.hpp"
 #include "spice/newton.hpp"
 #include "spice/op.hpp"
+#include "sta/blif.hpp"
+#include "sta/synth.hpp"
 #include "sta/timing_graph.hpp"
 #include "support/durable_io.hpp"
 
@@ -186,6 +188,72 @@ BENCHMARK(BM_StaLevelizedRun)
     ->Arg(2)
     ->Arg(8)
     ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+
+// -- netlist-scale STA -------------------------------------------------------
+// A 100k-gate synthetic circuit (100 layers x 1000 gates) over the analytic
+// cell library: the arena-backed graph at a size where storage layout and
+// levelization cost actually show.  BM_StaLargeBuild times graph
+// construction (string interning + CSR assembly); BM_StaLargeCircuit times
+// levelize + the full proximity delay calculation on the pre-built graph,
+// with the thread-scaling series on the same netlist.
+
+sta::SynthSpec largeCircuitSpec() {
+  sta::SynthSpec spec;
+  spec.seed = 7;
+  spec.depth = 100;
+  spec.width = 1000;  // 100000 gates
+  spec.primaryInputs = 1000;
+  spec.maxFanin = 3;
+  return spec;
+}
+
+const sta::GateLibrary& largeCircuitLibrary() {
+  static const sta::GateLibrary lib = sta::analyticLibrary();
+  return lib;
+}
+
+const sta::Netlist& largeCircuitNetlist() {
+  static const sta::Netlist nl = [] {
+    sta::Netlist built;
+    sta::buildNetlist(largeCircuitSpec(), largeCircuitLibrary(), &built);
+    return built;
+  }();
+  return nl;
+}
+
+void BM_StaLargeBuild(benchmark::State& state) {
+  const sta::SynthSpec spec = largeCircuitSpec();
+  for (auto _ : state) {
+    sta::Netlist nl;
+    sta::buildNetlist(spec, largeCircuitLibrary(), &nl);
+    benchmark::DoNotOptimize(nl.nodeCount());
+  }
+}
+BENCHMARK(BM_StaLargeBuild)->Unit(benchmark::kMillisecond);
+
+void BM_StaLargeCircuit(benchmark::State& state) {
+  const sta::SynthSpec spec = largeCircuitSpec();
+  const sta::Netlist& nl = largeCircuitNetlist();
+  // Resolve stimulus nets to ids once: the benchmark measures the analysis,
+  // not 1000 hash lookups per iteration.
+  std::vector<std::pair<sta::NetId, sta::Arrival>> stimulus;
+  for (const auto& [net, arr] : sta::synthInputArrivals(spec)) {
+    stimulus.emplace_back(nl.findNet(net), arr);
+  }
+  sta::DelayCalcOptions opt;
+  opt.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sta::TimingAnalyzer ta(nl, sta::DelayMode::Proximity, opt);
+    for (const auto& [net, arr] : stimulus) ta.setInputArrival(net, arr);
+    ta.run();
+    benchmark::DoNotOptimize(ta.degradedArcs());
+  }
+}
+BENCHMARK(BM_StaLargeCircuit)
+    ->Arg(1)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
 // -- solver micro-benchmarks -------------------------------------------------

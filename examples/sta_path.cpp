@@ -29,6 +29,7 @@
 #include "characterize/characterize.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
+#include "sta/blif.hpp"
 #include "sta/flat_sim.hpp"
 #include "support/budget.hpp"
 #include "support/cancel.hpp"
@@ -55,6 +56,128 @@ int exitCodeFor(const support::DiagnosticError& e) {
   }
 }
 
+/// BLIF mode: reads a circuit (file or "-" = stdin), runs proximity and
+/// classic STA with a uniform input stimulus, and prints the critical path.
+void runBlifFlow(const std::string& path, const std::string& libKind,
+                 int threads, support::CancelToken* cancel,
+                 sta::StructuralPolicy structural) {
+  sta::GateLibrary library = sta::analyticLibrary();
+  if (libKind == "characterized") {
+    // Transistor-level characterization per (type, fanin) the input demands.
+    // Slow but real; the analytic default answers instantly at any scale.
+    library.setFactory([threads, cancel](cells::GateType type, int fanin)
+                           -> std::optional<characterize::CharacterizedGate> {
+      const bool inverter = type == cells::GateType::Inverter;
+      if (fanin < 1 || fanin > 8 || inverter != (fanin == 1)) {
+        return std::nullopt;
+      }
+      cells::CellSpec spec;
+      spec.type = type;
+      spec.fanin = fanin;
+      std::printf("characterizing %s ...\n",
+                  cells::gateTypeName(type, fanin).c_str());
+      characterize::CharacterizationConfig cfg;
+      cfg.threads = threads;
+      cfg.cancel = cancel;
+      return characterize::characterizeGate(spec, cfg);
+    });
+  }
+
+  sta::Netlist nl;
+  const sta::BlifSummary summary = sta::readBlifFile(path, library, &nl);
+  std::printf("model '%s': %zu gates, %zu inputs, %zu outputs",
+              summary.modelName.c_str(), summary.gates, summary.inputs.size(),
+              summary.outputs.size());
+  if (summary.latches != 0) std::printf(", %zu latch cuts", summary.latches);
+  if (summary.constants != 0) std::printf(", %zu constants", summary.constants);
+  std::printf("\n");
+
+  sta::DelayCalcOptions opt;
+  opt.threads = threads;
+  opt.cancel = cancel;
+  opt.structural = structural;
+  auto analyze = [&](DelayMode mode) {
+    sta::TimingAnalyzer ta(nl, mode, opt);
+    for (const std::string& net : summary.inputs) {
+      ta.setInputArrival(net, Arrival{0.0, 200e-12, Edge::Rising});
+    }
+    ta.run();
+    return ta;
+  };
+  const auto proximity = analyze(DelayMode::Proximity);
+  const auto classic = analyze(DelayMode::Classic);
+
+  const auto schedule = nl.levelize(structural);
+  std::printf("%zu levels deep", schedule.levelCount());
+  if (proximity.degradedArcs() != 0) {
+    std::printf(", %zu degraded arc(s)", proximity.degradedArcs());
+  }
+  std::printf("\n");
+  for (const auto& issue : proximity.structuralIssues()) {
+    std::printf("structural %s: %s\n", sta::structuralKindName(issue.kind),
+                issue.message.c_str());
+  }
+
+  // Latest-arriving declared output under the proximity model.
+  sta::NetId worst;
+  for (const std::string& net : summary.outputs) {
+    const sta::NetId id = nl.findNet(net);
+    const auto a = proximity.arrival(id);
+    if (!a) continue;
+    if (!worst.valid() || a->time > proximity.arrival(worst)->time) {
+      worst = id;
+    }
+  }
+  if (!worst.valid()) {
+    std::printf("no declared output switches under this stimulus\n");
+    return;
+  }
+
+  // Walk the worst path backwards: at each gate, follow the input whose
+  // arrival is latest.  Bounded by the node count so a degraded (formerly
+  // cyclic) graph cannot loop the walk.
+  std::vector<sta::NetId> pathNets{worst};
+  sta::NetId cur = worst;
+  for (std::size_t hop = 0; hop < nl.nodeCount(); ++hop) {
+    const sta::NodeId driver = nl.netDriver(cur);
+    if (!driver.valid()) break;  // reached a primary input
+    sta::NetId latest;
+    for (const sta::NetId in : nl.nodeInputs(driver)) {
+      const auto a = proximity.arrival(in);
+      if (!a) continue;
+      if (!latest.valid() || a->time > proximity.arrival(latest)->time) {
+        latest = in;
+      }
+    }
+    if (!latest.valid()) break;  // no switching input (loop-break estimate)
+    pathNets.push_back(latest);
+    cur = latest;
+  }
+  std::reverse(pathNets.begin(), pathNets.end());
+
+  std::printf("critical path (%zu stages):", pathNets.size() - 1);
+  const std::size_t kMaxPrinted = 12;
+  for (std::size_t i = 0; i < pathNets.size(); ++i) {
+    if (pathNets.size() > kMaxPrinted && i == kMaxPrinted / 2) {
+      std::printf(" ... ->");
+      i = pathNets.size() - kMaxPrinted / 2 - 1;
+      continue;
+    }
+    std::printf(" %s%s", nl.netName(pathNets[i]).c_str(),
+                i + 1 == pathNets.size() ? "" : " ->");
+  }
+  std::printf("\n");
+  const auto pArr = proximity.arrival(worst);
+  const auto cArr = classic.arrival(worst);
+  std::printf("critical arrival on %s: %.1f ps proximity",
+              nl.netName(worst).c_str(), pArr->time * 1e12);
+  if (cArr) {
+    std::printf(", %.1f ps classic (delta %+.1f ps)", cArr->time * 1e12,
+                (pArr->time - cArr->time) * 1e12);
+  }
+  std::printf("\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -65,6 +188,8 @@ int main(int argc, char** argv) {
   double timeoutSecs = 0.0;
   int threads = 0;  // 0 = par::defaultThreadCount() (PROX_THREADS or cores)
   sta::StructuralPolicy structural = sta::StructuralPolicy::Reject;
+  std::string blifPath;
+  std::string libKind = "analytic";
   support::ResourceBudget budget;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--stats") == 0) {
@@ -116,6 +241,22 @@ int main(int argc, char** argv) {
                      argv[0]);
         return 2;
       }
+    } else if (std::strncmp(argv[i], "--blif=", 7) == 0) {
+      blifPath = argv[i] + 7;
+      if (blifPath.empty()) {
+        std::fprintf(stderr, "%s: --blif= requires a file name or -\n",
+                     argv[0]);
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--blif") == 0 && i + 1 < argc) {
+      blifPath = argv[++i];
+    } else if (std::strncmp(argv[i], "--lib=", 6) == 0) {
+      libKind = argv[i] + 6;
+      if (libKind != "analytic" && libKind != "characterized") {
+        std::fprintf(stderr, "%s: --lib expects analytic|characterized\n",
+                     argv[0]);
+        return 2;
+      }
     } else if (std::strncmp(argv[i], "--structural=", 13) == 0) {
       const std::string v = argv[i] + 13;
       if (v == "reject") {
@@ -132,7 +273,8 @@ int main(int argc, char** argv) {
                    "usage: %s [--stats[=FILE]] [--trace=FILE] [--threads N] "
                    "[--timeout=SECS] [--max-memory=MB] [--max-nodes=N]\n"
                    "       [--graph=clean|cyclic|multidriven|dangling|"
-                   "selfloop] [--structural=reject|degrade]\n",
+                   "selfloop] [--structural=reject|degrade]\n"
+                   "       [--blif=FILE|-] [--lib=analytic|characterized]\n",
                    argv[0]);
       return 2;
     }
@@ -162,119 +304,134 @@ int main(int argc, char** argv) {
     traceSession = std::make_unique<obs::trace::TraceSession>();
   }
 
-  cells::CellSpec spec;
-  spec.type = cells::GateType::Nand;
-  spec.fanin = 2;
-  std::printf("characterizing NAND2 cell ...\n");
-  characterize::CharacterizationConfig cfg;
-  cfg.threads = threads;
-  cfg.cancel = &cancelToken;
   int exitCode = 0;
-  try {
-    const auto cell = characterize::characterizeGate(spec, cfg);
-
-    sta::Netlist nl;
-    for (const char* pi : {"a", "b", "c", "s1"}) nl.addPrimaryInput(pi);
-    if (graph == "cyclic") {
-      // u1 consumes u3's output: u1 -> u2 -> u3 -> u1.
-      nl.addInstance("u1", cell, {"a", "y3"}, "y1");
-      nl.addInstance("u2", cell, {"y1", "s1"}, "y2");
-      nl.addInstance("u3", cell, {"y2", "c"}, "y3");
-    } else if (graph == "selfloop") {
-      nl.addInstance("u1", cell, {"a", "y1"}, "y1");
-      nl.addInstance("u2", cell, {"y1", "s1"}, "y2");
-      nl.addInstance("u3", cell, {"y2", "c"}, "y3");
-    } else if (graph == "dangling") {
-      nl.addInstance("u1", cell, {"a", "b"}, "y1");
-      nl.addInstance("u2", cell, {"y1", "floating"}, "y2");
-      nl.addInstance("u3", cell, {"y2", "c"}, "y3");
-    } else if (graph == "multidriven") {
-      nl.addInstance("u1", cell, {"a", "b"}, "y1");
-      nl.addInstance("u2", cell, {"y1", "s1"}, "y2");
-      // Lenient construction: the conflicting driver is a property of the
-      // (untrusted) input, recorded for validation rather than thrown.
-      nl.addInstanceLenient("u2b", cell, {"c", "s1"}, "y2");
-      nl.addInstance("u3", cell, {"y2", "c"}, "y3");
-    } else {
-      nl.addInstance("u1", cell, {"a", "b"}, "y1");
-      nl.addInstance("u2", cell, {"y1", "s1"}, "y2");
-      nl.addInstance("u3", cell, {"y2", "c"}, "y3");
+  if (!blifPath.empty()) {
+    // Netlist-scale frontend: parse BLIF, run both STA modes, report the
+    // critical path.  Shares the cancellation/budget/stats/trace machinery
+    // with the demo path below.
+    try {
+      runBlifFlow(blifPath, libKind, threads, &cancelToken, structural);
+    } catch (const support::DiagnosticError& e) {
+      std::fprintf(stderr, "%s\n", e.diagnostic().toString().c_str());
+      exitCode = exitCodeFor(e);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+      exitCode = 1;
     }
+  } else {
+    cells::CellSpec spec;
+    spec.type = cells::GateType::Nand;
+    spec.fanin = 2;
+    std::printf("characterizing NAND2 cell ...\n");
+    characterize::CharacterizationConfig cfg;
+    cfg.threads = threads;
+    cfg.cancel = &cancelToken;
+    try {
+      const auto cell = characterize::characterizeGate(spec, cfg);
 
-    const std::unordered_map<std::string, Arrival> arrivals{
-        {"a", {0.0, 250e-12, Edge::Rising}},
-        {"b", {40e-12, 400e-12, Edge::Rising}},
-        {"c", {600e-12, 300e-12, Edge::Rising}},
-    };
+      sta::Netlist nl;
+      for (const char* pi : {"a", "b", "c", "s1"}) nl.addPrimaryInput(pi);
+      if (graph == "cyclic") {
+        // u1 consumes u3's output: u1 -> u2 -> u3 -> u1.
+        nl.addInstance("u1", cell, {"a", "y3"}, "y1");
+        nl.addInstance("u2", cell, {"y1", "s1"}, "y2");
+        nl.addInstance("u3", cell, {"y2", "c"}, "y3");
+      } else if (graph == "selfloop") {
+        nl.addInstance("u1", cell, {"a", "y1"}, "y1");
+        nl.addInstance("u2", cell, {"y1", "s1"}, "y2");
+        nl.addInstance("u3", cell, {"y2", "c"}, "y3");
+      } else if (graph == "dangling") {
+        nl.addInstance("u1", cell, {"a", "b"}, "y1");
+        nl.addInstance("u2", cell, {"y1", "floating"}, "y2");
+        nl.addInstance("u3", cell, {"y2", "c"}, "y3");
+      } else if (graph == "multidriven") {
+        nl.addInstance("u1", cell, {"a", "b"}, "y1");
+        nl.addInstance("u2", cell, {"y1", "s1"}, "y2");
+        // Lenient construction: the conflicting driver is a property of the
+        // (untrusted) input, recorded for validation rather than thrown.
+        nl.addInstanceLenient("u2b", cell, {"c", "s1"}, "y2");
+        nl.addInstance("u3", cell, {"y2", "c"}, "y3");
+      } else {
+        nl.addInstance("u1", cell, {"a", "b"}, "y1");
+        nl.addInstance("u2", cell, {"y1", "s1"}, "y2");
+        nl.addInstance("u3", cell, {"y2", "c"}, "y3");
+      }
 
-    auto analyze = [&](DelayMode mode) {
-      sta::DelayCalcOptions opt;
-      opt.threads = threads;
-      opt.cancel = &cancelToken;
-      opt.structural = structural;
-      sta::TimingAnalyzer ta(nl, mode, opt);
-      for (const auto& [net, arr] : arrivals) {
-        ta.setInputArrival(net, arr);
-      }
-      ta.run();
-      return ta;
-    };
+      const std::unordered_map<std::string, Arrival> arrivals{
+          {"a", {0.0, 250e-12, Edge::Rising}},
+          {"b", {40e-12, 400e-12, Edge::Rising}},
+          {"c", {600e-12, 300e-12, Edge::Rising}},
+      };
 
-    if (graph != "clean") {
-      // Structural demo path: validate, then run under the selected policy.
-      std::printf("validating deliberately defective graph '%s' ...\n",
-                  graph.c_str());
-      const auto proximity = analyze(DelayMode::Proximity);
-      for (const auto& issue : proximity.structuralIssues()) {
-        std::printf("structural %s: %s\n", sta::structuralKindName(issue.kind),
-                    issue.message.c_str());
-      }
-      std::printf("%zu arc(s) degraded:", proximity.degradedArcs());
-      for (const auto& name : proximity.degradedArcNames()) {
-        std::printf(" %s", name.c_str());
-      }
-      std::printf("\n");
-      for (const char* net : {"y1", "y2", "y3"}) {
-        const auto p = proximity.arrival(net);
-        if (p) std::printf("%-5s arrives at %.1f ps\n", net, p->time * 1e12);
-      }
-    } else {
-      const auto classic = analyze(DelayMode::Classic);
-      const auto proximity = analyze(DelayMode::Proximity);
-      if (proximity.degradedArcs() + classic.degradedArcs() > 0) {
+      auto analyze = [&](DelayMode mode) {
+        sta::DelayCalcOptions opt;
+        opt.threads = threads;
+        opt.cancel = &cancelToken;
+        opt.structural = structural;
+        sta::TimingAnalyzer ta(nl, mode, opt);
+        for (const auto& [net, arr] : arrivals) {
+          ta.setInputArrival(net, arr);
+        }
+        ta.run();
+        return ta;
+      };
+
+      if (graph != "clean") {
+        // Structural demo path: validate, then run under the selected policy.
+        std::printf("validating deliberately defective graph '%s' ...\n",
+                    graph.c_str());
+        const auto proximity = analyze(DelayMode::Proximity);
+        for (const auto& issue : proximity.structuralIssues()) {
+          std::printf("structural %s: %s\n", sta::structuralKindName(issue.kind),
+                      issue.message.c_str());
+        }
+        std::printf("%zu arc(s) degraded:", proximity.degradedArcs());
+        for (const auto& name : proximity.degradedArcNames()) {
+          std::printf(" %s", name.c_str());
+        }
+        std::printf("\n");
+        for (const char* net : {"y1", "y2", "y3"}) {
+          const auto p = proximity.arrival(net);
+          if (p) std::printf("%-5s arrives at %.1f ps\n", net, p->time * 1e12);
+        }
+      } else {
+        const auto classic = analyze(DelayMode::Classic);
+        const auto proximity = analyze(DelayMode::Proximity);
+        if (proximity.degradedArcs() + classic.degradedArcs() > 0) {
+          std::printf(
+              "note: %zu arc(s) used a degraded delay model (missing or "
+              "unusable tables); see sta.delay_calc.degraded_arcs in "
+              "--stats\n",
+              proximity.degradedArcs() + classic.degradedArcs());
+        }
+
         std::printf(
-            "note: %zu arc(s) used a degraded delay model (missing or "
-            "unusable tables); see sta.delay_calc.degraded_arcs in "
-            "--stats\n",
-            proximity.degradedArcs() + classic.degradedArcs());
-      }
+            "running the flat transistor-level reference simulation ...\n");
+        const auto flat = sta::simulateFlat(nl, arrivals);
 
-      std::printf(
-          "running the flat transistor-level reference simulation ...\n");
-      const auto flat = sta::simulateFlat(nl, arrivals);
-
-      std::printf("\n%-5s | %13s | %16s | %16s\n", "net", "flat sim [ps]",
-                  "proximity [ps]", "classic [ps]");
-      for (const char* net : {"y1", "y2", "y3"}) {
-        const auto it = flat.arrivals.find(net);
-        const auto p = proximity.arrival(net);
-        const auto cl = classic.arrival(net);
-        if (it == flat.arrivals.end() || !p || !cl) continue;
-        const Arrival& f = it->second;
-        std::printf("%-5s | %13.1f | %8.1f (%+5.1f) | %8.1f (%+5.1f)\n", net,
-                    f.time * 1e12, p->time * 1e12, (p->time - f.time) * 1e12,
-                    cl->time * 1e12, (cl->time - f.time) * 1e12);
+        std::printf("\n%-5s | %13s | %16s | %16s\n", "net", "flat sim [ps]",
+                    "proximity [ps]", "classic [ps]");
+        for (const char* net : {"y1", "y2", "y3"}) {
+          const auto it = flat.arrivals.find(net);
+          const auto p = proximity.arrival(net);
+          const auto cl = classic.arrival(net);
+          if (it == flat.arrivals.end() || !p || !cl) continue;
+          const Arrival& f = it->second;
+          std::printf("%-5s | %13.1f | %8.1f (%+5.1f) | %8.1f (%+5.1f)\n", net,
+                      f.time * 1e12, p->time * 1e12, (p->time - f.time) * 1e12,
+                      cl->time * 1e12, (cl->time - f.time) * 1e12);
+        }
+        std::printf(
+            "\n(parenthesized: error vs the flat simulation; the proximity "
+            "mode stays closer\nat every stage, and the classic error "
+            "compounds along the path)\n");
       }
-      std::printf(
-          "\n(parenthesized: error vs the flat simulation; the proximity "
-          "mode stays closer\nat every stage, and the classic error "
-          "compounds along the path)\n");
+    } catch (const support::DiagnosticError& e) {
+      std::fprintf(stderr, "%s\n", e.diagnostic().toString().c_str());
+      // Fall through so --stats still lands: the budget/structural counters
+      // are most interesting precisely when the run was cut short.
+      exitCode = exitCodeFor(e);
     }
-  } catch (const support::DiagnosticError& e) {
-    std::fprintf(stderr, "%s\n", e.diagnostic().toString().c_str());
-    // Fall through so --stats still lands: the budget/structural counters
-    // are most interesting precisely when the run was cut short.
-    exitCode = exitCodeFor(e);
   }
 
   if (stats) {

@@ -1,0 +1,31 @@
+// Fuzz target: the BLIF netlist reader.  Contract: any byte sequence
+// either builds a Netlist against the analytic gate library or throws
+// support::DiagnosticError.  Crashes, hangs, unbounded allocation, or
+// foreign exception types are findings.
+
+#include <cstdint>
+#include <string>
+
+#include "sta/blif.hpp"
+#include "support/diagnostic.hpp"
+
+namespace {
+
+const prox::sta::GateLibrary& library() {
+  static const prox::sta::GateLibrary lib = prox::sta::analyticLibrary();
+  return lib;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  prox::sta::Netlist nl;
+  try {
+    prox::sta::readBlifString(text, library(), &nl);
+  } catch (const prox::support::DiagnosticError&) {
+    // Typed rejection: the contract for malformed input.
+  }
+  return 0;
+}

@@ -1,0 +1,155 @@
+#include "characterize/analytic.hpp"
+
+#include <stdexcept>
+
+namespace prox::characterize {
+
+namespace {
+
+using cells::GateType;
+using model::DualTable;
+using model::SingleInputModel;
+using wave::Edge;
+
+/// Per-type timing coefficients.  All values are exactly representable
+/// (powers of two scaled by small integers) so downstream arithmetic starts
+/// from identical bits on every platform.
+struct Coeffs {
+  double d0;      ///< base delay [s]
+  double dSlope;  ///< delay growth per second of input tau
+  double t0;      ///< base transition [s]
+  double tSlope;  ///< transition growth per second of input tau
+};
+
+Coeffs coeffsFor(GateType type, int fanin) {
+  const double stack = 0.015625e-9 * (fanin - 1);  // 15.625 ps per extra input
+  switch (type) {
+    case GateType::Inverter:
+      return {0.078125e-9, 0.25, 0.0625e-9, 0.4375};
+    case GateType::Nand:
+      return {0.125e-9 + stack, 0.3125, 0.09375e-9 + 0.5 * stack, 0.5};
+    case GateType::Nor:
+      return {0.15625e-9 + 1.5 * stack, 0.375, 0.109375e-9 + 0.5 * stack,
+              0.5625};
+    case GateType::Complex:
+      break;
+  }
+  throw std::invalid_argument("analyticGate: no analytic form for this type");
+}
+
+/// Per-(pin, edge) scale: deeper stack positions are a little slower, and
+/// falling responses differ from rising ones so edge asymmetry is exercised.
+double pinEdgeScale(int pin, Edge edge) {
+  return 1.0 + 0.046875 * pin + (edge == Edge::Falling ? 0.09375 : 0.0);
+}
+
+SingleInputModel analyticSingle(const cells::CellSpec& spec, int pin,
+                                Edge edge) {
+  const Coeffs c = coeffsFor(spec.type, spec.fanin);
+  const double scale = pinEdgeScale(pin, edge);
+  // Grid spans the same decades the characterized tauGrid does.
+  static const double kTauGrid[] = {0.05e-9, 0.2e-9, 0.8e-9, 2.4e-9};
+  std::vector<SingleInputModel::Sample> table;
+  table.reserve(std::size(kTauGrid));
+  for (const double tau : kTauGrid) {
+    SingleInputModel::Sample s;
+    s.tau = tau;
+    s.delay = scale * (c.d0 + c.dSlope * tau);
+    s.transition = scale * (c.t0 + c.tSlope * tau);
+    table.push_back(s);
+  }
+  return SingleInputModel(pin, edge, std::move(table), spec.loadCap, 1.0e-3,
+                          spec.tech.vdd);
+}
+
+/// Proximity decay profile over the separation axis: 1 at the near edge of
+/// the window, 0 at the far edge, linear in between.  Rational arithmetic
+/// only.
+double windowFactor(double w, double wMin, double wMax) {
+  if (w >= wMax) return 0.0;
+  if (w <= wMin) return 1.0;
+  return (wMax - w) / (wMax - wMin);
+}
+
+DualTable analyticDualTable(int pin, Edge edge, bool transition) {
+  DualTable t;
+  // Delay window ends at exactly w = 1 (the paper's convention); the
+  // transition window extends further.
+  if (transition) {
+    t.u = {0.125, 0.5, 1.0, 2.0, 8.0};
+    t.v = {0.125, 0.5, 1.0, 2.0, 8.0};
+    t.w = {-3.0, -1.0, 0.0, 1.0, 2.5, 5.0};
+  } else {
+    t.u = {0.125, 0.5, 1.0, 2.0, 6.0};
+    t.v = {0.125, 0.5, 1.0, 2.0, 6.0};
+    t.w = {-3.0, -1.5, -0.5, 0.0, 0.5, 1.0};
+  }
+  const double wMin = t.w.front();
+  const double wMax = t.w.back();
+  // Strength of the proximity effect: grows with the other input's relative
+  // slowness, varies per pin/edge so dominance relabeling matters.
+  const double amp = (transition ? 0.28125 : 0.1875) + 0.015625 * pin +
+                     (edge == Edge::Falling ? 0.03125 : 0.0);
+  t.ratio.reserve(t.u.size() * t.v.size() * t.w.size());
+  for (const double u : t.u) {
+    for (const double v : t.v) {
+      for (const double w : t.w) {
+        const double vEff = v / (1.0 + v);     // in (0, 1): slower partner
+        const double uEff = 1.0 / (1.0 + u);   // faster reference amplifies
+        t.ratio.push_back(1.0 +
+                          amp * vEff * (0.5 + uEff) *
+                              windowFactor(w, wMin, wMax));
+      }
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+CharacterizedGate analyticGate(const cells::CellSpec& spec) {
+  if (spec.type == GateType::Complex) {
+    throw std::invalid_argument("analyticGate: no analytic form for complex "
+                                "gates -- use characterizeComplexGate");
+  }
+  if (spec.fanin < 1 ||
+      (spec.type == GateType::Inverter && spec.fanin != 1)) {
+    throw std::invalid_argument("analyticGate: invalid fanin");
+  }
+
+  CharacterizedGate out;
+  out.gate.spec = spec;
+  // Section 2 thresholds, fixed analytically: V_il / V_ih at 40% / 60% of
+  // the rail.  Only the measurement conventions depend on these.
+  out.gate.thresholds.vil = 0.4 * spec.tech.vdd;
+  out.gate.thresholds.vih = 0.6 * spec.tech.vdd;
+
+  out.singles = std::make_unique<model::SingleInputModelSet>();
+  const int pins = out.gate.pinCount();
+  for (int pin = 0; pin < pins; ++pin) {
+    for (const Edge e : {Edge::Rising, Edge::Falling}) {
+      out.singles->set(analyticSingle(spec, pin, e));
+    }
+  }
+
+  out.dual = std::make_unique<model::TabulatedDualInputModel>(*out.singles);
+  for (int pin = 0; pin < pins; ++pin) {
+    for (const Edge e : {Edge::Rising, Edge::Falling}) {
+      out.dual->setDelayTable(pin, e, analyticDualTable(pin, e, false));
+      out.dual->setTransitionTable(pin, e, analyticDualTable(pin, e, true));
+    }
+  }
+
+  // Simultaneous-step corrective terms for 2..fanin inputs: small signed
+  // errors with the sign structure the real characterization produces.
+  for (int k = 2; k <= pins; ++k) {
+    const double mag = 0.00390625e-9 * (k - 1);  // ~3.9 ps per extra input
+    out.correction.delayErrorRising.push_back(mag);
+    out.correction.delayErrorFalling.push_back(-0.75 * mag);
+    out.correction.transitionErrorRising.push_back(0.5 * mag);
+    out.correction.transitionErrorFalling.push_back(-0.5 * mag);
+  }
+  return out;
+}
+
+}  // namespace prox::characterize

@@ -1,0 +1,33 @@
+#pragma once
+// Analytic stand-in model packages: a CharacterizedGate built from
+// closed-form tables instead of transistor-level characterization.
+//
+// Large-graph consumers (the 100k-node STA benchmark, the 10k-node
+// determinism suite, the BLIF fuzz harness) need a characterized cell per
+// (gate type, fanin) but must not pay seconds of transient simulation per
+// cell -- and the determinism suite additionally pins a reference checksum
+// across toolchains, which rules out libm-dependent table contents.  An
+// analytic gate answers both needs:
+//
+//   * every single-input sample and dual-table ratio comes from rational
+//     arithmetic only (+, -, *, /) on exactly-representable constants, so
+//     the whole STA pipeline over these cells is reproducible bit for bit
+//     wherever IEEE-754 double arithmetic is;
+//   * the shapes follow the real models (positive delays growing with tau
+//     and fanin, proximity ratios that decay to 1 as the separation leaves
+//     the window) so dominance ordering, windowing and the correction term
+//     all exercise their real code paths.
+//
+// These packages are a modeling aid for tests and benchmarks; accuracy
+// claims only ever come from characterizeGate().
+
+#include "characterize/characterize.hpp"
+
+namespace prox::characterize {
+
+/// Builds the analytic package for @p spec (Inverter, Nand, or Nor of any
+/// fanin >= 1).  Deterministic: equal specs yield bit-identical tables.
+/// Throws std::invalid_argument for GateType::Complex (no analytic form).
+CharacterizedGate analyticGate(const cells::CellSpec& spec);
+
+}  // namespace prox::characterize

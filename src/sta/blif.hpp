@@ -1,0 +1,137 @@
+#pragma once
+// BLIF netlist frontend: parses the combinational subset of Berkeley Logic
+// Interchange Format (.model / .inputs / .outputs / .names / .latch / .end)
+// into a sta::Netlist, resolving each .names cover to a characterized cell
+// through a GateLibrary.
+//
+// Trust boundary: BLIF files arrive from outside the process, so the reader
+// is built on the bounded-ingestion layer (support/bounded.hpp).  Any
+// malformed, truncated, oversized, or adversarial input produces a typed
+// support::DiagnosticError (ParseError / ResourceExhausted / IoError /
+// TableMissing) carrying the offending line -- never a crash, a hang, or an
+// unbounded allocation (see fuzz/fuzz_blif.cpp).
+//
+// Supported subset (DESIGN.md section 10 has the grammar):
+//   * .names covers that denote the characterized inverting cells:
+//       - INV:   "0 1" or "1 0" over one input;
+//       - NAND:  one all-'1' row with output '0', or the k-row on-set form
+//                (each row exactly one '0', rest '-', output '1');
+//       - NOR:   one all-'0' row with output '1', or the k-row off-set form
+//                (each row exactly one '1', rest '-', output '0').
+//     Anything else (buffers, AND/OR, general covers) is a typed rejection:
+//     this frontend feeds a *timing* engine whose cells are characterized
+//     at transistor level, not a logic optimizer.
+//   * Zero-input .names (constants) become no-event pseudo-primary-inputs.
+//   * .latch output nets become pseudo-primary-inputs (the classic STA cut
+//     at register boundaries); the latch itself is not timed.
+//   * Multiply-driven nets are recorded as StructuralIssues (the Netlist's
+//     lenient path), so the caller's StructuralPolicy decides reject/degrade.
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sta/netlist.hpp"
+#include "support/bounded.hpp"
+
+namespace prox::sta {
+
+/// Cell registry keyed by (gate type, fanin).  Cells are either borrowed
+/// (add: caller keeps ownership alive) or owned (adopt / factory misses).
+/// The optional factory makes the library lazily self-populating: find()
+/// consults it on a miss and adopts whatever it returns, so a front end can
+/// install quick characterization (or the analytic models) once and serve
+/// any fanin the input demands.
+class GateLibrary {
+ public:
+  /// Called on a find() miss; return std::nullopt to leave the cell missing.
+  using Factory = std::function<std::optional<characterize::CharacterizedGate>(
+      cells::GateType type, int fanin)>;
+
+  GateLibrary() = default;
+  GateLibrary(GateLibrary&&) = default;
+  GateLibrary& operator=(GateLibrary&&) = default;
+
+  /// Registers @p cell (not owned; must outlive the library) under its
+  /// spec's (type, fanin).  Replaces any previous entry for that key.
+  void add(const characterize::CharacterizedGate& cell);
+
+  /// Takes ownership of @p cell and registers it.  Returns the stable
+  /// stored reference.
+  const characterize::CharacterizedGate& adopt(
+      characterize::CharacterizedGate cell);
+
+  void setFactory(Factory factory) { factory_ = std::move(factory); }
+
+  /// The cell for (type, fanin), consulting the factory on a miss (the
+  /// factory's product is adopted, so repeated lookups are cheap).  Returns
+  /// nullptr when the cell is not available.
+  const characterize::CharacterizedGate* find(cells::GateType type,
+                                              int fanin) const;
+
+  /// find() that throws DiagnosticError(TableMissing) naming the cell when
+  /// it is unavailable.  @p line feeds the diagnostic (-1: no line).
+  const characterize::CharacterizedGate& require(cells::GateType type,
+                                                 int fanin,
+                                                 int line = -1) const;
+
+  std::size_t size() const { return cells_.size(); }
+
+ private:
+  // mutable: find() is logically const but memoizes factory products.
+  mutable std::map<std::pair<int, int>, const characterize::CharacterizedGate*>
+      cells_;
+  mutable std::deque<characterize::CharacterizedGate> owned_;
+  Factory factory_;
+};
+
+/// A self-populating library of analytic cells (characterize/analytic.hpp):
+/// INV plus NAND/NOR of any fanin in [2, maxFanin], built on demand.
+/// Deterministic and simulation-free -- the standard library for tests,
+/// benchmarks, and fuzzing.
+GateLibrary analyticLibrary(int maxFanin = 64);
+
+struct BlifOptions {
+  /// Byte/token caps for the bounded reader; the allocation budget for
+  /// parsed structures derives from the input size through these limits.
+  support::ReaderLimits limits;
+  /// Cover-width cap, enforced before any library lookup so a hostile
+  /// ".names a b c ... z" header is rejected by arithmetic, not honoured by
+  /// characterization.
+  std::size_t maxFanin = 64;
+  /// false rejects .latch cards instead of cutting them into pseudo-PIs.
+  bool allowLatches = true;
+};
+
+/// What the reader ingested, for reporting.
+struct BlifSummary {
+  std::string modelName;
+  std::vector<std::string> inputs;   ///< declared .inputs, in order
+  std::vector<std::string> outputs;  ///< declared .outputs, in order
+  std::size_t gates = 0;             ///< .names mapped to library cells
+  std::size_t latches = 0;           ///< .latch cards cut into pseudo-PIs
+  std::size_t constants = 0;         ///< zero-input .names
+};
+
+/// Parses BLIF from @p is into @p netlist (which must be empty).  Throws
+/// support::DiagnosticError on malformed input, resource-cap violations, or
+/// a cover with no matching library cell.  Multiply-driven nets are recorded
+/// leniently for levelize()/validate() to judge.
+BlifSummary readBlif(std::istream& is, const GateLibrary& library,
+                     Netlist* netlist, const BlifOptions& options = {});
+
+/// readBlif over an in-memory buffer.
+BlifSummary readBlifString(std::string_view text, const GateLibrary& library,
+                           Netlist* netlist, const BlifOptions& options = {});
+
+/// readBlif over a file ("-" reads stdin).  IoError when unreadable.
+BlifSummary readBlifFile(const std::string& path, const GateLibrary& library,
+                         Netlist* netlist, const BlifOptions& options = {});
+
+}  // namespace prox::sta

@@ -18,7 +18,7 @@ FlatSimResult simulateFlat(
     const std::unordered_map<std::string, Arrival>& inputArrivals,
     double settle) {
   PROX_OBS_COUNT("sta.flat_sim.runs", 1);
-  PROX_OBS_COUNT("sta.flat_sim.instances", netlist.instances().size());
+  PROX_OBS_COUNT("sta.flat_sim.instances", netlist.nodeCount());
   PROX_OBS_SCOPED_TIMER("sta.flat_sim.seconds");
   // 1. Direction/coarse-time prediction: a proximity STA pass supplies each
   //    net's transition direction and a horizon estimate.
@@ -31,28 +31,35 @@ FlatSimResult simulateFlat(
   // 2. Build the flat circuit: one node per net, one transistor-level cell
   //    per instance, pins tied to net nodes with ideal (0 V) sources.
   spice::Circuit ckt;
-  auto netNode = [&](const std::string& net) {
-    return ckt.node("net." + net);
+  auto netNode = [&](NetId net) {
+    return ckt.node("net." + netlist.netName(net));
   };
 
   // First consumer of each net (for thresholds / stable levels of PIs).
-  std::unordered_map<std::string, const Instance*> firstConsumer;
-  for (const Instance& inst : netlist.instances()) {
-    for (const std::string& net : inst.inputNets) {
-      firstConsumer.emplace(net, &inst);
+  std::vector<NodeId> firstConsumer(netlist.netCount());
+  for (std::uint32_t i = 0; i < netlist.nodeCount(); ++i) {
+    for (const NetId net : netlist.nodeInputs(NodeId(i))) {
+      if (!firstConsumer[net.value].valid()) {
+        firstConsumer[net.value] = NodeId(i);
+      }
     }
   }
+  const auto consumerOf = [&](NetId net) {
+    return net.valid() ? firstConsumer[net.value] : NodeId();
+  };
 
   int tieCounter = 0;
-  for (const Instance& inst : netlist.instances()) {
-    const cells::CellNets nets =
-        cells::buildCell(ckt, inst.cell->gate.spec, inst.name);
+  for (std::uint32_t i = 0; i < netlist.nodeCount(); ++i) {
+    const NodeId node(i);
+    const cells::CellNets nets = cells::buildCell(
+        ckt, netlist.nodeCell(node).gate.spec, netlist.nodeName(node));
     ckt.add<spice::VoltageSource>("tie" + std::to_string(tieCounter++),
-                                  nets.out, netNode(inst.outputNet), 0.0);
-    for (std::size_t k = 0; k < inst.inputNets.size(); ++k) {
+                                  nets.out, netNode(netlist.nodeOutput(node)),
+                                  0.0);
+    const std::span<const NetId> inputs = netlist.nodeInputs(node);
+    for (std::size_t k = 0; k < inputs.size(); ++k) {
       ckt.add<spice::VoltageSource>("tie" + std::to_string(tieCounter++),
-                                    nets.inputs[k],
-                                    netNode(inst.inputNets[k]), 0.0);
+                                    nets.inputs[k], netNode(inputs[k]), 0.0);
     }
   }
 
@@ -61,19 +68,17 @@ FlatSimResult simulateFlat(
   double minStart = 0.0;
   double horizon = 0.0;
   for (const auto& [net, arr] : inputArrivals) {
-    const Instance* consumer = firstConsumer.count(net) != 0
-                                   ? firstConsumer.at(net)
-                                   : nullptr;
-    if (consumer == nullptr) continue;
-    const auto& gate = consumer->cell->gate;
+    const NodeId consumer = consumerOf(netlist.findNet(net));
+    if (!consumer.valid()) continue;
+    const auto& gate = netlist.nodeCell(consumer).gate;
     model::InputEvent ev{0, arr.edge, arr.time, arr.slope};
-    minStart = std::min(minStart,
-                        model::rampStart(ev, gate.spec.tech.vdd, gate.thresholds));
+    minStart = std::min(
+        minStart, model::rampStart(ev, gate.spec.tech.vdd, gate.thresholds));
     horizon = std::max(horizon, arr.time + arr.slope);
   }
   // Horizon: last predicted output event across the design.
-  for (const Instance& inst : netlist.instances()) {
-    if (const auto a = predictor.arrival(inst.outputNet)) {
+  for (std::uint32_t i = 0; i < netlist.nodeCount(); ++i) {
+    if (const auto a = predictor.arrival(netlist.nodeOutput(NodeId(i)))) {
       horizon = std::max(horizon, a->time + a->slope);
     }
   }
@@ -81,24 +86,23 @@ FlatSimResult simulateFlat(
   const double tstop = horizon + shift + settle;
 
   for (const auto& [net, arr] : inputArrivals) {
-    const Instance* consumer =
-        firstConsumer.count(net) != 0 ? firstConsumer.at(net) : nullptr;
-    if (consumer == nullptr) continue;  // dangling PI: nothing to drive
-    const auto& gate = consumer->cell->gate;
+    const NetId netId = netlist.findNet(net);
+    const NodeId consumer = consumerOf(netId);
+    if (!consumer.valid()) continue;  // dangling PI: nothing to drive
+    const auto& gate = netlist.nodeCell(consumer).gate;
     model::InputEvent ev{0, arr.edge, arr.time + shift, arr.slope};
     ckt.add<spice::VoltageSource>(
-        "vpi." + net, netNode(net), spice::kGround,
+        "vpi." + net, netNode(netId), spice::kGround,
         model::makeInputWave(ev, gate.spec.tech.vdd, gate.thresholds));
   }
   // Stable primary inputs: non-controlling level of the first consumer.
-  for (const std::string& net : netlist.primaryInputs()) {
-    if (inputArrivals.count(net) != 0) continue;
-    const Instance* consumer =
-        firstConsumer.count(net) != 0 ? firstConsumer.at(net) : nullptr;
-    if (consumer == nullptr) continue;
+  for (const NetId net : netlist.primaryInputs()) {
+    if (inputArrivals.count(netlist.netName(net)) != 0) continue;
+    const NodeId consumer = consumerOf(net);
+    if (!consumer.valid()) continue;
     ckt.add<spice::VoltageSource>(
-        "vpi." + net, netNode(net), spice::kGround,
-        consumer->cell->gate.spec.nonControllingLevel());
+        "vpi." + netlist.netName(net), netNode(net), spice::kGround,
+        netlist.nodeCell(consumer).gate.spec.nonControllingLevel());
   }
 
   // 4. Transient.
@@ -109,20 +113,24 @@ FlatSimResult simulateFlat(
 
   // 5. Measure every driven net with its driving cell's thresholds.
   FlatSimResult result;
-  for (const std::string& net : netlist.primaryInputs()) {
-    if (firstConsumer.count(net) == 0) continue;  // dangling: never built
-    result.waves.emplace(net, tr.node(netNode(net)).shifted(-shift));
+  for (const NetId net : netlist.primaryInputs()) {
+    if (!consumerOf(net).valid()) continue;  // dangling: never built
+    result.waves.emplace(netlist.netName(net),
+                         tr.node(netNode(net)).shifted(-shift));
   }
-  for (const Instance& inst : netlist.instances()) {
-    const wave::Waveform w = tr.node(netNode(inst.outputNet)).shifted(-shift);
-    result.waves.emplace(inst.outputNet, w);
-    const auto predicted = predictor.arrival(inst.outputNet);
+  for (std::uint32_t i = 0; i < netlist.nodeCount(); ++i) {
+    const NodeId node(i);
+    const NetId outNet = netlist.nodeOutput(node);
+    const std::string& outName = netlist.netName(outNet);
+    const wave::Waveform w = tr.node(netNode(outNet)).shifted(-shift);
+    result.waves.emplace(outName, w);
+    const auto predicted = predictor.arrival(outNet);
     if (!predicted) continue;  // net never switches
-    const wave::Thresholds& th = inst.cell->gate.thresholds;
+    const wave::Thresholds& th = netlist.nodeCell(node).gate.thresholds;
     const auto tOut = wave::outputRefTime(w, predicted->edge, th, w.startTime());
     const auto slope = wave::transitionTime(w, predicted->edge, th);
     if (tOut && slope) {
-      result.arrivals[inst.outputNet] = Arrival{*tOut, *slope, predicted->edge};
+      result.arrivals[outName] = Arrival{*tOut, *slope, predicted->edge};
     }
   }
   return result;

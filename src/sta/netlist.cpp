@@ -44,66 +44,114 @@ const char* structuralKindName(StructuralIssue::Kind k) {
   return "?";
 }
 
-void Netlist::addPrimaryInput(const std::string& net) {
+NetId Netlist::internNet(const std::string& name) {
+  const auto [it, inserted] = netIndex_.try_emplace(name, NetId());
+  if (inserted) {
+    if (netNames_.size() >= kInvalidIdValue) {
+      throw std::length_error("Netlist: net count overflows 32-bit IDs");
+    }
+    it->second = NetId(netNames_.size());
+    netNames_.push_back(name);
+    netDriver_.emplace_back();
+    netIsPi_.push_back(0);
+  }
+  return it->second;
+}
+
+NetId Netlist::addPrimaryInput(const std::string& net) {
   if (isDriven(net)) {
     throw std::invalid_argument("Netlist: net already driven: " + net);
   }
-  primaryInputs_.insert(net);
+  const NetId id = internNet(net);
+  netIsPi_[id.value] = 1;
+  primaryInputs_.push_back(id);
+  return id;
 }
 
-const Instance& Netlist::addInstance(const std::string& name,
-                                     const characterize::CharacterizedGate& cell,
-                                     std::vector<std::string> inputNets,
-                                     const std::string& outputNet) {
+NodeId Netlist::addInstance(const std::string& name,
+                            const characterize::CharacterizedGate& cell,
+                            const std::vector<std::string>& inputNets,
+                            const std::string& outputNet) {
   if (isDriven(outputNet)) {
     throw std::invalid_argument("Netlist: net multiply driven: " + outputNet);
   }
-  return addInstanceLenient(name, cell, std::move(inputNets), outputNet);
+  return addInstanceImpl(name, cell, inputNets, outputNet, false);
 }
 
-const Instance& Netlist::addInstanceLenient(
-    const std::string& name, const characterize::CharacterizedGate& cell,
-    std::vector<std::string> inputNets, const std::string& outputNet) {
-  if (!instanceNames_.insert(name).second) {
+NodeId Netlist::addInstanceLenient(const std::string& name,
+                                   const characterize::CharacterizedGate& cell,
+                                   const std::vector<std::string>& inputNets,
+                                   const std::string& outputNet) {
+  return addInstanceImpl(name, cell, inputNets, outputNet, true);
+}
+
+NodeId Netlist::addInstanceImpl(const std::string& name,
+                                const characterize::CharacterizedGate& cell,
+                                const std::vector<std::string>& inputNets,
+                                const std::string& outputNet, bool /*lenient*/) {
+  if (nodeCount() >= kInvalidIdValue) {
+    throw std::length_error("Netlist: node count overflows 32-bit IDs");
+  }
+  const auto [it, inserted] = nodeIndex_.try_emplace(name, NodeId());
+  if (!inserted) {
     throw std::invalid_argument("Netlist: duplicate instance: " + name);
   }
   if (static_cast<int>(inputNets.size()) != cell.pinCount()) {
+    nodeIndex_.erase(it);
     throw std::invalid_argument("Netlist: pin count mismatch on " + name);
   }
   support::budgetChargeNodes(1, kSite);
-  Instance inst;
-  inst.name = name;
-  inst.cell = &cell;
-  inst.inputNets = std::move(inputNets);
-  inst.outputNet = outputNet;
-  instances_.push_back(std::move(inst));
-  if (isDriven(outputNet)) {
+
+  const NodeId node(nodeCount());
+  it->second = node;
+  nodeNames_.push_back(name);
+  nodeCells_.push_back(&cell);
+  for (const std::string& net : inputNets) {
+    pinNets_.push_back(internNet(net));
+    arcNode_.push_back(node);
+  }
+  pinFirst_.push_back(static_cast<std::uint32_t>(pinNets_.size()));
+
+  const NetId out = internNet(outputNet);
+  nodeOutput_.push_back(out);
+  if (netIsPi_[out.value] != 0 || netDriver_[out.value].valid()) {
     // Untrusted input: the first driver keeps the net; this one is recorded
     // for validate()/levelize() to report.
-    extraDrivers_.emplace_back(outputNet, instances_.size() - 1);
+    extraDrivers_.emplace_back(out, node);
   } else {
-    driverOf_[outputNet] = instances_.size() - 1;
+    netDriver_[out.value] = node;
   }
-  return instances_.back();
+  return node;
+}
+
+NetId Netlist::findNet(const std::string& name) const {
+  const auto it = netIndex_.find(name);
+  return it == netIndex_.end() ? NetId() : it->second;
+}
+
+NodeId Netlist::findNode(const std::string& name) const {
+  const auto it = nodeIndex_.find(name);
+  return it == nodeIndex_.end() ? NodeId() : it->second;
 }
 
 bool Netlist::isDriven(const std::string& net) const {
-  return primaryInputs_.count(net) != 0 || driverOf_.count(net) != 0;
+  const NetId id = findNet(net);
+  if (!id.valid()) return false;
+  return netIsPi_[id.value] != 0 || netDriver_[id.value].valid();
 }
 
 LevelizeResult Netlist::levelize(StructuralPolicy policy) const {
   LevelizeResult out;
-  const std::size_t n = instances_.size();
+  const std::size_t n = nodeCount();
   const bool reject = policy == StructuralPolicy::Reject;
 
   std::vector<char> degraded(n, 0);
-  const auto report = [&](StructuralIssue issue,
-                          const std::size_t* degradeIdx) {
+  const auto report = [&](StructuralIssue issue, const NodeId* degradeIdx) {
     PROX_OBS_COUNT(issueCounter(issue.kind), 1);
     if (reject) {
       failStructural("Netlist: " + issue.message);
     }
-    if (degradeIdx != nullptr) degraded[*degradeIdx] = 1;
+    if (degradeIdx != nullptr) degraded[degradeIdx->value] = 1;
     out.issues.push_back(std::move(issue));
   };
 
@@ -111,62 +159,62 @@ LevelizeResult Netlist::levelize(StructuralPolicy policy) const {
   for (const auto& [net, loser] : extraDrivers_) {
     StructuralIssue issue;
     issue.kind = StructuralIssue::Kind::MultiDriver;
-    issue.message = "net multiply driven: " + net + " (instance " +
-                    instances_[loser].name + " loses to " +
-                    (driverOf_.count(net) != 0
-                         ? instances_[driverOf_.at(net)].name
+    issue.message = "net multiply driven: " + netNames_[net.value] +
+                    " (instance " + nodeNames_[loser.value] + " loses to " +
+                    (netDriver_[net.value].valid()
+                         ? nodeNames_[netDriver_[net.value].value]
                          : std::string("primary input")) +
                     ")";
-    issue.instances.push_back(instances_[loser].name);
+    issue.instances.push_back(nodeNames_[loser.value]);
     report(std::move(issue), &loser);
   }
 
-  // Dependency edges.  deps[] mirrors consumers[] so cycle extraction can
-  // walk predecessors; dangling inputs either reject or become no-event
-  // nets (the consumer is marked degraded).
-  std::vector<std::size_t> remaining(n, 0);
-  std::vector<std::vector<std::size_t>> consumers(n);
-  std::vector<std::vector<std::size_t>> deps(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    for (const std::string& net : instances_[i].inputNets) {
-      if (primaryInputs_.count(net) != 0) continue;
-      auto it = driverOf_.find(net);
-      if (it == driverOf_.end()) {
+  // Dependency edges, straight off the pin CSR (ID-only).  deps[] mirrors
+  // consumers[] so cycle extraction can walk predecessors; dangling inputs
+  // either reject or become no-event nets (the consumer is marked degraded).
+  std::vector<std::uint32_t> remaining(n, 0);
+  std::vector<std::vector<std::uint32_t>> consumers(n);
+  std::vector<std::vector<std::uint32_t>> deps(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (const NetId net : nodeInputs(NodeId(i))) {
+      if (netIsPi_[net.value] != 0) continue;
+      const NodeId driver = netDriver_[net.value];
+      if (!driver.valid()) {
         StructuralIssue issue;
         issue.kind = StructuralIssue::Kind::DanglingInput;
-        issue.message = "undriven input net " + net + " on instance " +
-                        instances_[i].name;
-        issue.instances.push_back(instances_[i].name);
-        report(std::move(issue), &i);
+        issue.message = "undriven input net " + netNames_[net.value] +
+                        " on instance " + nodeNames_[i];
+        issue.instances.push_back(nodeNames_[i]);
+        const NodeId self(i);
+        report(std::move(issue), &self);
         continue;
       }
-      consumers[it->second].push_back(i);
-      deps[i].push_back(it->second);
+      consumers[driver.value].push_back(i);
+      deps[i].push_back(driver.value);
       ++remaining[i];
     }
   }
 
   // Frontier-by-frontier Kahn: each frontier is one level.  When the
-  // frontier drains with instances still unplaced, those instances sit on or
-  // behind a cycle; Degrade breaks the cycle at its lowest-numbered member
-  // (a deterministic choice) and resumes, so the loop always terminates with
-  // every instance placed exactly once.
+  // frontier drains with nodes still unplaced, those nodes sit on or behind
+  // a cycle; Degrade breaks the cycle at its lowest-numbered member (a
+  // deterministic choice) and resumes, so the loop always terminates with
+  // every node placed exactly once.
   std::vector<char> placedMark(n, 0);
   std::size_t placed = 0;
-  std::vector<std::size_t> frontier;
-  for (std::size_t i = 0; i < n; ++i) {
+  out.order.reserve(n);
+  std::vector<std::uint32_t> frontier;
+  for (std::uint32_t i = 0; i < n; ++i) {
     if (remaining[i] == 0) frontier.push_back(i);
   }
   while (true) {
     while (!frontier.empty()) {
-      std::vector<std::size_t> next;
-      std::vector<const Instance*> level;
-      level.reserve(frontier.size());
-      for (std::size_t i : frontier) {
-        level.push_back(&instances_[i]);
+      std::vector<std::uint32_t> next;
+      for (const std::uint32_t i : frontier) {
+        out.order.push_back(NodeId(i));
         placedMark[i] = 1;
         ++placed;
-        for (std::size_t c : consumers[i]) {
+        for (const std::uint32_t c : consumers[i]) {
           if (remaining[c] > 0 && --remaining[c] == 0 && placedMark[c] == 0) {
             next.push_back(c);
           }
@@ -175,45 +223,43 @@ LevelizeResult Netlist::levelize(StructuralPolicy policy) const {
       // Declaration order within a level keeps task indices (and thus the
       // deterministic fault-plan keying) independent of discovery order.
       std::sort(next.begin(), next.end());
-      out.levels.push_back(std::move(level));
+      out.levelFirst.push_back(static_cast<std::uint32_t>(out.order.size()));
       frontier = std::move(next);
     }
     if (placed == n) break;
 
     // Stuck: extract one cycle by walking unplaced predecessors from the
-    // lowest-numbered unplaced instance.  Every unplaced instance has an
-    // unplaced dependency, so the walk must revisit a node.
-    std::size_t start = n;
-    for (std::size_t i = 0; i < n; ++i) {
+    // lowest-numbered unplaced node.  Every unplaced node has an unplaced
+    // dependency, so the walk must revisit a node.
+    std::uint32_t start = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
       if (placedMark[i] == 0) {
         start = i;
         break;
       }
     }
-    std::vector<std::size_t> path;
-    std::vector<std::size_t> posInPath(n, n);
-    std::size_t cur = start;
+    std::vector<std::uint32_t> path;
+    std::vector<std::uint32_t> posInPath(n, static_cast<std::uint32_t>(n));
+    std::uint32_t cur = start;
     while (posInPath[cur] == n) {
-      posInPath[cur] = path.size();
+      posInPath[cur] = static_cast<std::uint32_t>(path.size());
       path.push_back(cur);
-      std::size_t nextDep = n;
-      for (std::size_t d : deps[cur]) {
+      for (const std::uint32_t d : deps[cur]) {
         if (placedMark[d] == 0) {
-          nextDep = d;
+          cur = d;
           break;
         }
       }
-      cur = nextDep;
     }
     // path[posInPath[cur]..] is the cycle in predecessor order; reverse it
     // so the message reads in signal-flow (driver -> consumer) order.
-    std::vector<std::size_t> cycle(path.begin() + posInPath[cur], path.end());
+    std::vector<std::uint32_t> cycle(path.begin() + posInPath[cur], path.end());
     std::reverse(cycle.begin(), cycle.end());
 
     StructuralIssue issue;
     issue.kind = cycle.size() == 1 ? StructuralIssue::Kind::SelfLoop
                                    : StructuralIssue::Kind::Cycle;
-    for (std::size_t i : cycle) issue.instances.push_back(instances_[i].name);
+    for (const std::uint32_t i : cycle) issue.instances.push_back(nodeNames_[i]);
     std::string pathText;
     for (const std::string& name : issue.instances) {
       pathText += name;
@@ -224,19 +270,23 @@ LevelizeResult Netlist::levelize(StructuralPolicy policy) const {
                                                   : "combinational cycle") +
                     " detected: " + pathText;
 
-    const std::size_t breaker =
-        *std::min_element(cycle.begin(), cycle.end());
+    const NodeId breaker(*std::min_element(cycle.begin(), cycle.end()));
     report(std::move(issue), &breaker);
     PROX_OBS_COUNT("sta.structural.loop_breaks", 1);
-    remaining[breaker] = 0;
-    frontier.assign(1, breaker);
+    remaining[breaker.value] = 0;
+    frontier.assign(1, breaker.value);
   }
 
-  for (std::size_t i = 0; i < n; ++i) {
-    if (degraded[i] != 0) out.degradedInstances.push_back(instances_[i].name);
+  // levelFirst currently holds each level's end offset; prepend the start.
+  out.levelFirst.insert(out.levelFirst.begin(), 0);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (degraded[i] != 0) {
+      out.degradedNodes.push_back(NodeId(i));
+      out.degradedInstances.push_back(nodeNames_[i]);
+    }
   }
   PROX_OBS_COUNT("sta.graph.nodes_levelized", placed);
-  PROX_OBS_COUNT("sta.graph.levels", out.levels.size());
+  PROX_OBS_COUNT("sta.graph.levels", out.levelCount());
   return out;
 }
 
@@ -244,18 +294,8 @@ std::vector<StructuralIssue> Netlist::validate() const {
   return levelize(StructuralPolicy::Degrade).issues;
 }
 
-std::vector<const Instance*> Netlist::topologicalOrder() const {
-  LevelizeResult r = levelize(StructuralPolicy::Reject);
-  std::vector<const Instance*> order;
-  order.reserve(instances_.size());
-  for (const auto& level : r.levels) {
-    order.insert(order.end(), level.begin(), level.end());
-  }
-  return order;
-}
-
-std::vector<std::vector<const Instance*>> Netlist::levels() const {
-  return levelize(StructuralPolicy::Reject).levels;
+std::vector<NodeId> Netlist::topologicalOrder() const {
+  return levelize(StructuralPolicy::Reject).order;
 }
 
 }  // namespace prox::sta

@@ -1,7 +1,11 @@
 #pragma once
-// Gate-level netlist for the demonstration STA.  Instances reference
-// characterized cell models; nets are identified by name; the graph is
-// expected to be combinational (acyclic, single driver per net).
+// Gate-level netlist for the demonstration STA, stored as a flat graph
+// arena: instances and nets are dense typed IDs (sta/ids.hpp) over
+// contiguous struct-of-arrays storage, input pins live in one CSR array,
+// and names are interned exactly once at construction.  The traversal hot
+// path (levelization, arc evaluation) never touches a string or a hash map;
+// string lookups exist only at the API boundary (findNet / findNode) for
+// front ends and reports.
 //
 // Structural trust boundary: netlists arriving from outside the process are
 // validated *before* timing analysis.  validate() names every structural
@@ -10,24 +14,18 @@
 // either rejects a defective graph with a typed DiagnosticError
 // (StructuralPolicy::Reject) or degrades deterministically -- breaking each
 // loop at its lowest-numbered instance and treating dangling inputs as
-// no-event nets -- so Netlist::levels() can never infinite-loop or
-// mis-level (StructuralPolicy::Degrade).
+// no-event nets -- so levelization can never infinite-loop or mis-level
+// (StructuralPolicy::Degrade).
 
+#include <span>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "characterize/characterize.hpp"
+#include "sta/ids.hpp"
 
 namespace prox::sta {
-
-struct Instance {
-  std::string name;
-  const characterize::CharacterizedGate* cell = nullptr;
-  std::vector<std::string> inputNets;  ///< pin order matches the cell's pins
-  std::string outputNet;
-};
 
 /// How levelization responds to structural defects (see DelayCalcOptions).
 enum class StructuralPolicy {
@@ -49,79 +47,146 @@ struct StructuralIssue {
 
 const char* structuralKindName(StructuralIssue::Kind k);
 
-/// levelize() output: the levels plus everything that had to be degraded to
-/// produce them.  With StructuralPolicy::Reject, issues is always empty
-/// (defects throw instead).
+/// levelize() output: a level-major CSR schedule plus everything that had to
+/// be degraded to produce it.  With StructuralPolicy::Reject, issues is
+/// always empty (defects throw instead).
 struct LevelizeResult {
-  std::vector<std::vector<const Instance*>> levels;
+  /// All nodes, level-major; level L occupies order[levelFirst[L] ..
+  /// levelFirst[L+1]).  Nodes within a level are in declaration (NodeId)
+  /// order, so the schedule is deterministic.
+  std::vector<NodeId> order;
+  std::vector<std::uint32_t> levelFirst;  ///< size levelCount() + 1
   std::vector<StructuralIssue> issues;
-  /// Instances whose dependencies were forcibly cut (loop breaks, dangling
+  /// Nodes whose dependencies were forcibly cut (loop breaks, dangling
   /// inputs): their arrival times are estimates, not analysis.
+  /// degradedInstances carries the same set as names for reporting.
+  std::vector<NodeId> degradedNodes;
   std::vector<std::string> degradedInstances;
+
+  std::size_t levelCount() const {
+    return levelFirst.empty() ? 0 : levelFirst.size() - 1;
+  }
+  std::span<const NodeId> level(LevelId l) const {
+    return std::span<const NodeId>(order.data() + levelFirst[l.value],
+                                   levelFirst[l.value + 1] -
+                                       levelFirst[l.value]);
+  }
 };
 
 class Netlist {
  public:
-  /// Declares a primary input net.
-  void addPrimaryInput(const std::string& net);
+  /// Declares a primary input net.  Throws std::invalid_argument when the
+  /// net is already driven.
+  NetId addPrimaryInput(const std::string& net);
 
   /// Adds a cell instance.  Throws std::invalid_argument on pin-count
   /// mismatch, duplicate instance name, or multiply-driven output net.
-  const Instance& addInstance(const std::string& name,
-                              const characterize::CharacterizedGate& cell,
-                              std::vector<std::string> inputNets,
-                              const std::string& outputNet);
+  NodeId addInstance(const std::string& name,
+                     const characterize::CharacterizedGate& cell,
+                     const std::vector<std::string>& inputNets,
+                     const std::string& outputNet);
 
   /// addInstance for *untrusted* graph construction: a multiply-driven
   /// output net is recorded as a StructuralIssue for validate() instead of
   /// throwing (the first driver keeps the net).  Duplicate instance names
   /// and pin-count mismatches still throw std::invalid_argument -- those are
   /// caller bugs, not input properties.
-  const Instance& addInstanceLenient(
-      const std::string& name, const characterize::CharacterizedGate& cell,
-      std::vector<std::string> inputNets, const std::string& outputNet);
+  NodeId addInstanceLenient(const std::string& name,
+                            const characterize::CharacterizedGate& cell,
+                            const std::vector<std::string>& inputNets,
+                            const std::string& outputNet);
 
-  const std::vector<Instance>& instances() const { return instances_; }
-  const std::unordered_set<std::string>& primaryInputs() const {
-    return primaryInputs_;
+  // --- Arena accessors (hot path: all O(1), no strings) ---------------------
+
+  std::size_t nodeCount() const { return nodeCells_.size(); }
+  std::size_t netCount() const { return netNames_.size(); }
+  /// Total instance input pins; ArcId indexes this flat space.
+  std::size_t arcCount() const { return pinNets_.size(); }
+
+  const std::string& nodeName(NodeId n) const { return nodeNames_[n.value]; }
+  const characterize::CharacterizedGate& nodeCell(NodeId n) const {
+    return *nodeCells_[n.value];
   }
+  NetId nodeOutput(NodeId n) const { return nodeOutput_[n.value]; }
+  /// The node's input nets in pin order (a slice of the pin CSR).
+  std::span<const NetId> nodeInputs(NodeId n) const {
+    return std::span<const NetId>(pinNets_.data() + pinFirst_[n.value],
+                                  pinFirst_[n.value + 1] - pinFirst_[n.value]);
+  }
+  ArcId nodeFirstArc(NodeId n) const { return ArcId(pinFirst_[n.value]); }
+  NetId arcNet(ArcId a) const { return pinNets_[a.value]; }
+  NodeId arcNode(ArcId a) const { return arcNode_[a.value]; }
+
+  const std::string& netName(NetId n) const { return netNames_[n.value]; }
+  /// Driving node of @p net; invalid when the net is a primary input or
+  /// undriven.
+  NodeId netDriver(NetId n) const { return netDriver_[n.value]; }
+  bool netIsPrimaryInput(NetId n) const { return netIsPi_[n.value] != 0; }
+  /// Primary-input nets in declaration order.
+  const std::vector<NetId>& primaryInputs() const { return primaryInputs_; }
+
+  // --- String boundary (cold path) ------------------------------------------
+
+  /// The net / instance named @p name; invalid ID when unknown.
+  NetId findNet(const std::string& name) const;
+  NodeId findNode(const std::string& name) const;
 
   /// True when @p net is driven by an instance or declared a primary input.
   bool isDriven(const std::string& net) const;
+
+  // --- Structure ------------------------------------------------------------
 
   /// Full structural audit: every cycle (path named), multiply-driven net,
   /// dangling instance input, and self-loop, without throwing.  Empty means
   /// the graph is a well-formed combinational netlist.
   std::vector<StructuralIssue> validate() const;
 
-  /// Instances grouped by dependency depth under @p policy.  Reject: any
+  /// Nodes grouped by dependency depth under @p policy.  Reject: any
   /// structural defect throws support::DiagnosticError (StructuralError, a
   /// std::runtime_error) naming the defect.  Degrade: defects are recorded
   /// in the result, dangling inputs are treated as no-event nets, and each
   /// cycle is broken at its lowest-numbered member so levelization always
-  /// terminates with every instance placed exactly once.
+  /// terminates with every node placed exactly once.  Level 0 consumes only
+  /// primary inputs; level L consumes at least one level-(L-1) output and
+  /// nothing deeper; nodes within a level are independent of each other (the
+  /// parallel STA evaluates a level concurrently) and appear in declaration
+  /// order, so the schedule is deterministic.
   LevelizeResult levelize(StructuralPolicy policy) const;
 
-  /// Instances in topological order (inputs before consumers).  Throws
+  /// Nodes in topological order (inputs before consumers).  Throws
   /// support::DiagnosticError (StructuralError, a std::runtime_error) when
   /// the netlist has a combinational cycle or an undriven instance input.
-  std::vector<const Instance*> topologicalOrder() const;
-
-  /// levelize(StructuralPolicy::Reject).levels: level 0 consumes only
-  /// primary inputs, level L consumes at least one level-(L-1) output and
-  /// nothing deeper.  Instances within a level are independent of each other
-  /// (the parallel STA evaluates a level concurrently) and appear in
-  /// instance-declaration order, so the grouping is deterministic.  Same
-  /// structural errors as topologicalOrder().
-  std::vector<std::vector<const Instance*>> levels() const;
+  std::vector<NodeId> topologicalOrder() const;
 
  private:
-  std::vector<Instance> instances_;
-  std::unordered_set<std::string> primaryInputs_;
-  std::unordered_map<std::string, std::size_t> driverOf_;  // net -> instance
-  std::unordered_set<std::string> instanceNames_;
-  /// (net, losing instance) pairs recorded by addInstanceLenient.
-  std::vector<std::pair<std::string, std::size_t>> extraDrivers_;
+  /// Interns @p name, growing the per-net arrays.
+  NetId internNet(const std::string& name);
+  NodeId addInstanceImpl(const std::string& name,
+                         const characterize::CharacterizedGate& cell,
+                         const std::vector<std::string>& inputNets,
+                         const std::string& outputNet, bool lenient);
+
+  // Per-net arrays, indexed by NetId.
+  std::vector<std::string> netNames_;
+  std::vector<NodeId> netDriver_;
+  std::vector<char> netIsPi_;
+  std::unordered_map<std::string, NetId> netIndex_;  // build/boundary only
+  std::vector<NetId> primaryInputs_;
+
+  // Per-node arrays, indexed by NodeId.
+  std::vector<std::string> nodeNames_;
+  std::vector<const characterize::CharacterizedGate*> nodeCells_;
+  std::vector<NetId> nodeOutput_;
+  std::unordered_map<std::string, NodeId> nodeIndex_;  // build/boundary only
+
+  // Pin CSR, indexed by ArcId: node n's pins are
+  // pinNets_[pinFirst_[n] .. pinFirst_[n+1]).
+  std::vector<std::uint32_t> pinFirst_ = {0};
+  std::vector<NetId> pinNets_;
+  std::vector<NodeId> arcNode_;
+
+  /// (net, losing node) pairs recorded by addInstanceLenient.
+  std::vector<std::pair<NetId, NodeId>> extraDrivers_;
 };
 
 }  // namespace prox::sta

@@ -1,0 +1,101 @@
+#pragma once
+// Deterministic synthetic-circuit generator: layered random combinational
+// netlists of characterized INV/NAND/NOR cells, sized by (depth, width,
+// fanin, gate mix) and reproducible from a single seed.
+//
+// Determinism contract: every random decision is a pure function of
+// (spec.seed, gate index, decision slot) through a counter-based SplitMix64
+// mix -- there is no generator state, so the emitted circuit is byte-
+// identical no matter in what order (or on how many threads) gates are
+// enumerated, and a spec is a complete, portable circuit identity.
+//
+// Structure: gates are arranged in `depth` layers of `width` gates; layer 0
+// consumes only primary inputs and layer L consumes only layer L-1 outputs.
+// Because every cell type is inverting and all of one gate's fanins come
+// from the same layer, all switching inputs of any gate share a transition
+// direction -- the generated circuits are valid single-direction STA
+// workloads at any size.  The graphs are acyclic by construction and
+// levelize to exactly `depth` levels of `width` instances.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sta/blif.hpp"
+#include "sta/netlist.hpp"
+#include "sta/timing_graph.hpp"
+
+namespace prox::sta {
+
+/// Parameters of a synthetic circuit.  The spec *is* the circuit: equal
+/// specs generate byte-identical BLIF and bit-identical netlists.
+struct SynthSpec {
+  std::uint64_t seed = 1;
+  std::uint32_t depth = 4;          ///< logic layers (levels)
+  std::uint32_t width = 8;          ///< gates per layer
+  std::uint32_t primaryInputs = 8;  ///< nets feeding layer 0
+  std::uint32_t maxFanin = 3;       ///< per-gate fanin cap (>= 1)
+  /// Per-net consumer cap; 0 = unbounded.  When set, the spec must satisfy
+  /// maxFanout * min(primaryInputs, width) >= width * maxFanin so a legal
+  /// assignment always exists (validate() enforces this).
+  std::uint32_t maxFanout = 0;
+  /// Gate-mix weights.  A gate is an inverter when invWeight wins (fanin 1)
+  /// and otherwise a NAND/NOR of fanin 2..maxFanin.  With maxFanin == 1 the
+  /// circuit is an inverter chain grid regardless of weights.
+  std::uint32_t nandWeight = 6;
+  std::uint32_t norWeight = 3;
+  std::uint32_t invWeight = 1;
+  std::string modelName = "synth";
+
+  /// Total gate count (depth * width).
+  std::uint64_t gateCount() const {
+    return static_cast<std::uint64_t>(depth) * width;
+  }
+};
+
+/// Counter-based PRNG underlying every generator decision: a SplitMix64
+/// finalizer over (seed, gate index, decision slot).  Exposed so tests and
+/// the arrival-pattern helper share the exact stream definition.
+std::uint64_t synthRandom(std::uint64_t seed, std::uint64_t gate,
+                          std::uint64_t slot);
+
+/// Throws std::invalid_argument when @p spec cannot generate a circuit
+/// (zero depth/width/inputs, fanin 0, all-zero mix weights, or an
+/// unsatisfiable fanout bound).
+void validateSynthSpec(const SynthSpec& spec);
+
+/// The deterministic choice of cell type and source nets for gate @p index
+/// (layer-major: index = layer * width + position).  sources are indices
+/// into the previous layer's net array (layer 0: primary-input indices).
+struct SynthGate {
+  cells::GateType type = cells::GateType::Nand;
+  std::vector<std::uint32_t> sources;  ///< distinct, size >= 1
+};
+SynthGate synthGateAt(const SynthSpec& spec, std::uint64_t index);
+
+/// Emits the circuit as BLIF (.model/.inputs/.outputs/.names/.end).  Byte-
+/// identical for equal specs.  Net naming: primary inputs "pi<k>", layer L
+/// gate j drives "n<L>_<j>"; the last layer's nets are the outputs.
+void generateBlif(const SynthSpec& spec, std::ostream& os);
+std::string generateBlifString(const SynthSpec& spec);
+
+/// Builds the circuit directly into @p netlist, resolving cells through
+/// @p library (which must cover INV plus NAND/NOR for fanins 2..maxFanin;
+/// a missing cell throws DiagnosticError(TableMissing) like the BLIF
+/// reader).  Returns the output net names in declaration order.
+std::vector<std::string> buildNetlist(const SynthSpec& spec,
+                                      const GateLibrary& library,
+                                      Netlist* netlist);
+
+/// Deterministic primary-input stimulus for a generated circuit: every
+/// "pi<k>" gets a rising arrival with time in [0, 256) ps and transition
+/// time in [64, 576) ps, both pure functions of (seed, k).  Returned in
+/// primary-input index order.
+struct SynthArrival {
+  std::string net;
+  Arrival arrival;
+};
+std::vector<SynthArrival> synthInputArrivals(const SynthSpec& spec);
+
+}  // namespace prox::sta

@@ -1,7 +1,6 @@
 #include "sta/timing_graph.hpp"
 
 #include <stdexcept>
-#include <unordered_set>
 
 #include "obs/registry.hpp"
 #include "obs/scoped_timer.hpp"
@@ -11,11 +10,28 @@
 
 namespace prox::sta {
 
+void TimingAnalyzer::syncArrivalStorage() {
+  if (arrivals_.size() < netlist_.netCount()) {
+    arrivals_.resize(netlist_.netCount());
+    hasArrival_.resize(netlist_.netCount(), 0);
+  }
+}
+
 void TimingAnalyzer::setInputArrival(const std::string& net, Arrival arrival) {
-  if (netlist_.primaryInputs().count(net) == 0) {
+  const NetId id = netlist_.findNet(net);
+  if (!id.valid() || !netlist_.netIsPrimaryInput(id)) {
     throw std::invalid_argument("TimingAnalyzer: not a primary input: " + net);
   }
-  arrivals_[net] = arrival;
+  setInputArrival(id, arrival);
+}
+
+void TimingAnalyzer::setInputArrival(NetId net, Arrival arrival) {
+  if (!net.valid() || !netlist_.netIsPrimaryInput(net)) {
+    throw std::invalid_argument("TimingAnalyzer: not a primary input net id");
+  }
+  syncArrivalStorage();
+  arrivals_[net.value] = arrival;
+  hasArrival_[net.value] = 1;
 }
 
 void TimingAnalyzer::run() {
@@ -25,6 +41,7 @@ void TimingAnalyzer::run() {
   degradedArcs_ = 0;
   degradedArcNames_.clear();
   structuralIssues_.clear();
+  syncArrivalStorage();
   const int threads =
       options_.threads == 0 ? par::defaultThreadCount() : options_.threads;
 
@@ -33,50 +50,57 @@ void TimingAnalyzer::run() {
   // loops broken and the defects recorded.
   LevelizeResult structure = netlist_.levelize(options_.structural);
   structuralIssues_ = std::move(structure.issues);
-  std::unordered_set<std::string> structurallyDegraded(
-      structure.degradedInstances.begin(), structure.degradedInstances.end());
+  std::vector<char> structurallyDegraded(netlist_.nodeCount(), 0);
+  for (const NodeId n : structure.degradedNodes) {
+    structurallyDegraded[n.value] = 1;
+  }
 
   // Levelized evaluation: all arcs of one level read only arrivals committed
-  // by earlier levels, so a level's tasks share arrivals_ read-only and each
-  // writes its own result slot.  Slots commit serially in instance order
-  // between levels, making arrival values (and degradedArcs_) bit-identical
-  // at any thread count.  Task indices restart per level, so task-keyed
-  // fault plans address "arc i of each level" deterministically.
+  // by earlier levels, so a level's tasks share the arrival array read-only
+  // and each writes its own result slot.  Slots commit serially in node
+  // order between levels, making arrival values (and degradedArcs_)
+  // bit-identical at any thread count.  Task indices restart per level, so
+  // task-keyed fault plans address "arc i of each level" deterministically.
   struct ArcResult {
     std::optional<Arrival> out;
     ArcQuality quality = ArcQuality::Full;
   };
-  std::size_t levelIndex = 0;
-  for (const std::vector<const Instance*>& level : structure.levels) {
+  std::vector<ArcResult> results;
+  for (std::size_t levelIndex = 0; levelIndex < structure.levelCount();
+       ++levelIndex) {
     PROX_OBS_SPAN_ARG("sta.level", "level", levelIndex);
-    ++levelIndex;
     support::budgetCheckRss("sta.timing_graph");
-    std::vector<ArcResult> results(level.size());
+    const std::span<const NodeId> level =
+        structure.level(LevelId(static_cast<std::uint32_t>(levelIndex)));
+    results.assign(level.size(), ArcResult{});
     par::parallelFor(
         level.size(),
         [&](std::size_t i) {
-          const Instance* inst = level[i];
+          const NodeId node = level[i];
           PROX_OBS_COUNT("sta.graph.nodes_visited", 1);
+          const std::span<const NetId> inputs = netlist_.nodeInputs(node);
           std::vector<std::optional<Arrival>> pins;
-          pins.reserve(inst->inputNets.size());
-          for (const std::string& net : inst->inputNets) {
-            auto it = arrivals_.find(net);
-            pins.push_back(it == arrivals_.end()
-                               ? std::nullopt
-                               : std::optional<Arrival>(it->second));
+          pins.reserve(inputs.size());
+          for (const NetId net : inputs) {
+            pins.push_back(hasArrival_[net.value] != 0
+                               ? std::optional<Arrival>(arrivals_[net.value])
+                               : std::nullopt);
           }
-          results[i].out = evaluateGate(*inst->cell, pins, mode_, options_,
-                                        &results[i].quality);
+          results[i].out = evaluateGate(netlist_.nodeCell(node), pins, mode_,
+                                        options_, &results[i].quality);
         },
         {.threads = threads, .failFast = true, .cancel = options_.cancel});
     for (std::size_t i = 0; i < level.size(); ++i) {
+      const NodeId node = level[i];
       if (results[i].out) {
-        arrivals_[level[i]->outputNet] = *results[i].out;
+        const NetId out = netlist_.nodeOutput(node);
+        arrivals_[out.value] = *results[i].out;
+        hasArrival_[out.value] = 1;
       }
       if (results[i].quality != ArcQuality::Full ||
-          structurallyDegraded.count(level[i]->name) != 0) {
+          structurallyDegraded[node.value] != 0) {
         ++degradedArcs_;
-        degradedArcNames_.push_back(level[i]->name);
+        degradedArcNames_.push_back(netlist_.nodeName(node));
       }
     }
     // Running degradation tally next to the level spans, so a trace shows
@@ -86,9 +110,15 @@ void TimingAnalyzer::run() {
 }
 
 std::optional<Arrival> TimingAnalyzer::arrival(const std::string& net) const {
-  auto it = arrivals_.find(net);
-  if (it == arrivals_.end()) return std::nullopt;
-  return it->second;
+  return arrival(netlist_.findNet(net));
+}
+
+std::optional<Arrival> TimingAnalyzer::arrival(NetId net) const {
+  if (!net.valid() || net.value >= hasArrival_.size() ||
+      hasArrival_[net.value] == 0) {
+    return std::nullopt;
+  }
+  return arrivals_[net.value];
 }
 
 }  // namespace prox::sta

@@ -1,11 +1,15 @@
 #pragma once
 // Arrival-time propagation over a combinational netlist.  The analyzer walks
-// instances in topological order, evaluating each gate with the selected
+// the arena's levelized schedule, evaluating each gate with the selected
 // delay calculation mode.  Nets without an assigned arrival are treated as
 // stable at the driving gate's non-controlling level (classic STA "no event"
 // semantics).
-
-#include <unordered_map>
+//
+// Hot-path storage is ID-indexed: arrivals live in a NetId-indexed flat
+// array, the schedule is a NodeId CSR, and pin reads go through the
+// netlist's pin CSR -- no strings or hash lookups per arc.  The string
+// overloads (setInputArrival / arrival) resolve names once at the API
+// boundary.
 
 #include "sta/delay_calc.hpp"
 #include "sta/netlist.hpp"
@@ -18,8 +22,10 @@ class TimingAnalyzer {
                  DelayCalcOptions options = {})
       : netlist_(netlist), mode_(mode), options_(options) {}
 
-  /// Sets the arrival event of a primary input net.
+  /// Sets the arrival event of a primary input net.  Throws
+  /// std::invalid_argument when @p net is not a declared primary input.
   void setInputArrival(const std::string& net, Arrival arrival);
+  void setInputArrival(NetId net, Arrival arrival);
 
   /// Propagates arrivals through the whole netlist.  Structural defects
   /// (cycles, multiply-driven nets, undriven inputs) follow
@@ -32,6 +38,7 @@ class TimingAnalyzer {
 
   /// Arrival on @p net after run(); nullopt when the net never switches.
   std::optional<Arrival> arrival(const std::string& net) const;
+  std::optional<Arrival> arrival(NetId net) const;
 
   DelayMode mode() const { return mode_; }
   const DelayCalcOptions& options() const { return options_; }
@@ -54,10 +61,16 @@ class TimingAnalyzer {
   }
 
  private:
+  /// Grows the NetId-indexed arrival arrays to the netlist's current size.
+  void syncArrivalStorage();
+
   const Netlist& netlist_;
   DelayMode mode_;
   DelayCalcOptions options_;
-  std::unordered_map<std::string, Arrival> arrivals_;
+  // Arrival slots indexed by NetId.value; hasArrival_ distinguishes "never
+  // switches" from a default-constructed slot.
+  std::vector<Arrival> arrivals_;
+  std::vector<char> hasArrival_;
   std::size_t degradedArcs_ = 0;
   std::vector<std::string> degradedArcNames_;
   std::vector<StructuralIssue> structuralIssues_;

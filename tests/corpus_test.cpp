@@ -19,6 +19,7 @@
 #include "characterize/serialize.hpp"
 #include "obs/report.hpp"
 #include "spice/netlist.hpp"
+#include "sta/blif.hpp"
 #include "support/diagnostic.hpp"
 #include "support/journal.hpp"
 
@@ -119,6 +120,20 @@ TEST(CorpusTest, JournalHugeCountDropsRecordAsTornTail) {
   ASSERT_TRUE(contents.has_value());
   EXPECT_TRUE(contents->truncatedTail);
   EXPECT_TRUE(contents->records.empty());
+}
+
+TEST(CorpusTest, BlifSeedsHonorContract) {
+  static const prox::sta::GateLibrary lib = prox::sta::analyticLibrary();
+  const auto accepted = replayAll("blif", [](const std::string& bytes) {
+    prox::sta::Netlist nl;
+    prox::sta::readBlifString(bytes, lib, &nl);
+  });
+  EXPECT_TRUE(contains(accepted, "mini_bench.blif"));
+  EXPECT_FALSE(contains(accepted, "truncated_card.blif"));
+  EXPECT_FALSE(contains(accepted, "unterminated_names.blif"));
+  EXPECT_FALSE(contains(accepted, "duplicate_model.blif"));
+  EXPECT_FALSE(contains(accepted, "huge_fanin.blif"));
+  EXPECT_FALSE(contains(accepted, "nonascii_junk.blif"));
 }
 
 TEST(CorpusTest, JsonSeedsHonorContract) {

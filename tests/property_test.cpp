@@ -6,9 +6,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <map>
 #include <random>
 
+#include "sta/synth.hpp"
 #include "test_util.hpp"
 
 namespace {
@@ -270,5 +272,131 @@ TEST_P(WindowDropInvariance, FarInputDropsOut) {
 
 INSTANTIATE_TEST_SUITE_P(Taus, WindowDropInvariance,
                          ::testing::Values(100e-12, 400e-12, 1200e-12));
+
+// ---------------------------------------------------------------------------
+// Synthetic-circuit generator properties, over a sampled grid of specs:
+// the determinism contract (equal spec -> byte-identical BLIF), the
+// structural guarantees (acyclic, exactly `depth` levels, fanin/fanout
+// bounds respected), and a clean validate() report.
+sta::SynthSpec specCase(std::uint64_t seed, std::uint32_t depth,
+                        std::uint32_t width, std::uint32_t inputs,
+                        std::uint32_t maxFanin, std::uint32_t maxFanout) {
+  sta::SynthSpec s;
+  s.seed = seed;
+  s.depth = depth;
+  s.width = width;
+  s.primaryInputs = inputs;
+  s.maxFanin = maxFanin;
+  s.maxFanout = maxFanout;
+  return s;
+}
+
+std::vector<sta::SynthSpec> synthGrid() {
+  return {
+      specCase(1, 1, 1, 1, 1, 0),        // degenerate: one inverter
+      specCase(7, 3, 5, 4, 2, 0),        // small, unbounded fanout
+      specCase(7, 3, 5, 4, 2, 4),        // same shape, fanout-capped
+      specCase(42, 6, 16, 10, 3, 0),     // mid-size random wiring
+      specCase(42, 6, 16, 16, 3, 3),     // tight fanout bound (16*3/16)
+      specCase(1234, 10, 32, 24, 4, 8),  // deeper, wider
+  };
+}
+
+class SynthProperties : public ::testing::TestWithParam<sta::SynthSpec> {};
+
+TEST_P(SynthProperties, SameSpecEmitsByteIdenticalBlif) {
+  const auto& spec = GetParam();
+  const std::string first = sta::generateBlifString(spec);
+  const std::string second = sta::generateBlifString(spec);
+  EXPECT_EQ(first, second);
+  // A different seed must actually change the circuit (wiring or mix) --
+  // unless the spec is so degenerate there is only one possible circuit.
+  if (spec.gateCount() > 1 && spec.maxFanin > 1) {
+    sta::SynthSpec other = spec;
+    other.seed += 1;
+    EXPECT_NE(sta::generateBlifString(other), first);
+  }
+}
+
+TEST_P(SynthProperties, StructureHonorsSpecBounds) {
+  const auto& spec = GetParam();
+  for (std::uint64_t g = 0; g < spec.gateCount(); ++g) {
+    const auto gate = sta::synthGateAt(spec, g);
+    ASSERT_GE(gate.sources.size(), 1u);
+    ASSERT_LE(gate.sources.size(), spec.maxFanin);
+    if (gate.type == cells::GateType::Inverter) {
+      EXPECT_EQ(gate.sources.size(), 1u);
+    } else {
+      EXPECT_GE(gate.sources.size(), 2u);
+    }
+    // Sources are distinct and index the previous layer (or the PIs).
+    const std::uint32_t layer = static_cast<std::uint32_t>(g / spec.width);
+    const std::uint32_t sourceCount =
+        layer == 0 ? spec.primaryInputs : spec.width;
+    std::vector<std::uint32_t> sorted = gate.sources;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+                sorted.end());
+    for (std::uint32_t s : gate.sources) EXPECT_LT(s, sourceCount);
+  }
+}
+
+TEST_P(SynthProperties, FanoutCapIsRespected) {
+  const auto& spec = GetParam();
+  if (spec.maxFanout == 0) return;
+  // Tally consumers per source net, layer by layer.
+  for (std::uint32_t layer = 0; layer < spec.depth; ++layer) {
+    const std::uint32_t sourceCount =
+        layer == 0 ? spec.primaryInputs : spec.width;
+    std::vector<std::uint32_t> consumers(sourceCount, 0);
+    for (std::uint32_t pos = 0; pos < spec.width; ++pos) {
+      const auto gate = sta::synthGateAt(
+          spec, static_cast<std::uint64_t>(layer) * spec.width + pos);
+      for (std::uint32_t s : gate.sources) ++consumers[s];
+    }
+    for (std::uint32_t c : consumers) EXPECT_LE(c, spec.maxFanout);
+  }
+}
+
+TEST_P(SynthProperties, BuildsAcyclicNetlistThatLevelizesToDepth) {
+  const auto& spec = GetParam();
+  static const sta::GateLibrary lib = sta::analyticLibrary();
+  sta::Netlist nl;
+  const auto outputs = sta::buildNetlist(spec, lib, &nl);
+  EXPECT_EQ(outputs.size(), spec.width);
+  EXPECT_EQ(nl.nodeCount(), spec.gateCount());
+  EXPECT_TRUE(nl.validate().empty());
+  const auto res = nl.levelize(sta::StructuralPolicy::Reject);
+  EXPECT_EQ(res.levelCount(), spec.depth);
+  EXPECT_EQ(res.order.size(), spec.gateCount());
+}
+
+TEST_P(SynthProperties, BlifRoundTripMatchesDirectBuild) {
+  const auto& spec = GetParam();
+  static const sta::GateLibrary lib = sta::analyticLibrary();
+  sta::Netlist direct;
+  sta::buildNetlist(spec, lib, &direct);
+  sta::Netlist parsed;
+  const auto summary =
+      sta::readBlifString(sta::generateBlifString(spec), lib, &parsed);
+  EXPECT_EQ(summary.modelName, spec.modelName);
+  EXPECT_EQ(summary.gates, spec.gateCount());
+  ASSERT_EQ(parsed.nodeCount(), direct.nodeCount());
+  ASSERT_EQ(parsed.netCount(), direct.netCount());
+  for (std::uint32_t i = 0; i < direct.nodeCount(); ++i) {
+    const sta::NodeId node{i};
+    EXPECT_EQ(parsed.nodeName(node), direct.nodeName(node));
+    EXPECT_EQ(&parsed.nodeCell(node), &direct.nodeCell(node));
+    const auto a = parsed.nodeInputs(node);
+    const auto b = direct.nodeInputs(node);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t p = 0; p < a.size(); ++p) {
+      EXPECT_EQ(parsed.netName(a[p]), direct.netName(b[p]));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, SynthProperties,
+                         ::testing::ValuesIn(synthGrid()));
 
 }  // namespace

@@ -51,8 +51,8 @@ TEST(Netlist, TopologicalOrderRespectsDependencies) {
   nl.addInstance("u1", cell, {"a", "b"}, "y1");
   const auto order = nl.topologicalOrder();
   ASSERT_EQ(order.size(), 2u);
-  EXPECT_EQ(order[0]->name, "u1");
-  EXPECT_EQ(order[1]->name, "u2");
+  EXPECT_EQ(nl.nodeName(order[0]), "u1");
+  EXPECT_EQ(nl.nodeName(order[1]), "u2");
 }
 
 TEST(Netlist, DetectsUndrivenInput) {
