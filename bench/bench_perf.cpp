@@ -351,6 +351,68 @@ void BM_DualTableInterpolation(benchmark::State& state) {
 }
 BENCHMARK(BM_DualTableInterpolation);
 
+// Bulk dual-table throughput: one evaluateMany() over a fixed mixed batch
+// of delay/transition queries vs the equivalent scalar loop over the same
+// queries.  The pair gates the tentpole's >= 4x batched-lookup target in
+// perf_baseline.json (the batch entry carries its own threshold; the scalar
+// loop documents the denominator).
+std::vector<model::DualQuery> dualBatchQueries() {
+  std::vector<model::DualQuery> qs(4096);
+  std::uint64_t s = 0x00beefu;
+  auto rnd = [&s]() {
+    s += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = s;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e9b5ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  };
+  auto unit = [&rnd]() {
+    return static_cast<double>(rnd() >> 11) * 0x1.0p-53;
+  };
+  for (model::DualQuery& q : qs) {
+    q.refPin = 0;
+    q.otherPin = 1 + static_cast<int>(rnd() % 2);
+    q.edge = Edge::Rising;
+    q.kind = (rnd() & 1) != 0 ? model::DualKind::Delay
+                              : model::DualKind::Transition;
+    // In-window separations so every lane reaches the trilinear blend (the
+    // shortcut and missing-table lanes are covered by determinism_test).
+    q.tauRef = 100e-12 + 600e-12 * unit();
+    q.tauOther = 100e-12 + 600e-12 * unit();
+    q.sep = -150e-12 + 200e-12 * unit();
+  }
+  return qs;
+}
+
+void BM_DualLookupBatch(benchmark::State& state) {
+  const auto& cg = benchutil::nand3Model();
+  const auto qs = dualBatchQueries();
+  std::vector<model::DualResult> rs(qs.size());
+  for (auto _ : state) {
+    cg.dual->evaluateMany(qs, rs);
+    benchmark::DoNotOptimize(rs.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(qs.size()));
+}
+BENCHMARK(BM_DualLookupBatch)->Unit(benchmark::kMicrosecond);
+
+void BM_DualLookupScalarLoop(benchmark::State& state) {
+  const auto& cg = benchutil::nand3Model();
+  const auto qs = dualBatchQueries();
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (const model::DualQuery& q : qs) {
+      acc += q.kind == model::DualKind::Delay ? cg.dual->delayRatio(q)
+                                              : cg.dual->transitionRatio(q);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(qs.size()));
+}
+BENCHMARK(BM_DualLookupScalarLoop)->Unit(benchmark::kMicrosecond);
+
 }  // namespace
 
 int main(int argc, char** argv) {

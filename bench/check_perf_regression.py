@@ -32,13 +32,27 @@ threads (their cpu_time only measures the issuing thread).  Passing
 ``--benchmark`` overrides the gate section entirely and uses the global
 ``--threshold`` / cpu_time, preserving the original CLI contract.
 
-Exit status: 0 on pass, 1 on regression, 2 on malformed/missing input.
+Debug builds are rejected outright (exit 2), not merely warned about: a
+baseline or current run timed without optimization silently poisons every
+future comparison.  Two markers are consulted:
+
+* the ``BENCH_perf_stats.json`` sidecar that bench_perf writes next to its
+  benchmark JSON -- its ``build_type`` field reflects how *this project's*
+  library was compiled (NDEBUG => "release");
+* the baseline's ``context.library_build_type``.  google-benchmark stamps its
+  own library's build there, which is useless for gating, so the regeneration
+  procedure overwrites it from the sidecar; a baseline still carrying
+  ``"debug"`` is either debug-timed or was never normalized, and is rejected
+  either way.
+
+Exit status: 0 on pass, 1 on regression, 2 on malformed/missing/debug input.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -49,6 +63,32 @@ def load_doc(path: str) -> dict:
     except (OSError, json.JSONDecodeError) as exc:
         print(f"error: cannot read {path}: {exc}", file=sys.stderr)
         sys.exit(2)
+
+
+def reject_debug_builds(base_doc: dict, current_path: str) -> None:
+    """Hard-fails (exit 2) when either side of the comparison is debug-timed."""
+    lib = base_doc.get("context", {}).get("library_build_type")
+    if lib == "debug":
+        print(
+            "error: baseline reports context.library_build_type \"debug\" -- "
+            "debug timings cannot serve as a baseline; regenerate it from a "
+            "Release run (and normalize the field from the bench_perf "
+            "sidecar)",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+    sidecar = os.path.join(
+        os.path.dirname(os.path.abspath(current_path)), "BENCH_perf_stats.json"
+    )
+    if os.path.exists(sidecar):
+        if load_doc(sidecar).get("build_type") == "debug":
+            print(
+                f"error: {sidecar} reports build_type \"debug\" -- the "
+                "current run was timed without optimization; rerun bench_perf "
+                "from a Release build",
+                file=sys.stderr,
+            )
+            sys.exit(2)
 
 
 def load_times(doc: dict) -> dict[str, dict]:
@@ -119,6 +159,7 @@ def main() -> int:
     args = ap.parse_args()
 
     base_doc = load_doc(args.baseline)
+    reject_debug_builds(base_doc, args.current)
     base = load_times(base_doc)
     cur = load_times(load_doc(args.current))
     watched = gate_spec(base_doc, args)

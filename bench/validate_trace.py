@@ -102,9 +102,9 @@ def validate_trace(doc: dict, args: argparse.Namespace) -> None:
 
 
 def validate_stats(doc: dict, args: argparse.Namespace) -> None:
-    if doc.get("schema_version") != 2:
+    if doc.get("schema_version") not in (2, 3):
         fail(f"stats schema_version is {doc.get('schema_version')!r}, "
-             f"expected 2")
+             f"expected 2 or 3")
     hists = doc.get("histograms")
     if not isinstance(hists, dict):
         fail("stats report has no histograms section")

@@ -42,6 +42,10 @@ spice::TranResult ComplexCellFixture::run(double tstop, double dvMax) const {
   opt.tstop = tstop;
   opt.dvMax = dvMax;
   opt.hmax = tstop / 200.0;
+  // Same chord widening + persistent workspace as CellFixture::run (see the
+  // note there).
+  opt.newton.chordDtRelTol = 0.5;
+  opt.workspace = &ws_;
   return spice::transient(ckt_, opt);
 }
 

@@ -36,6 +36,9 @@ class ComplexCellFixture {
   mutable spice::Circuit ckt_;
   CellNets nets_;
   std::vector<spice::VoltageSource*> drivers_;
+  // Solver workspace carried across run() calls: adjacent sweep points reuse
+  // the symbolic LU analysis and all buffers (numerics reset per run).
+  mutable spice::NewtonWorkspace ws_;
 };
 
 }  // namespace prox::cells

@@ -38,6 +38,12 @@ spice::TranResult CellFixture::run(double tstop, double dvMax) const {
   opt.tstop = tstop;
   opt.dvMax = dvMax;
   opt.hmax = tstop / 200.0;
+  // Chord widening: the adaptive stepper rarely repeats a dt exactly, so
+  // let the same-Jacobian fast path tolerate a 50% dt drift (the iterate
+  // guard still applies).  Together with the persistent workspace this
+  // keeps the sweep's hot loop free of symbolic analysis and allocation.
+  opt.newton.chordDtRelTol = 0.5;
+  opt.workspace = &ws_;
   return spice::transient(ckt_, opt);
 }
 

@@ -362,9 +362,12 @@ void buildDualTables(model::GateSimulator& sim,
   const int threads = resolveThreads(config.threads);
   if (threads <= 1) {
     // Legacy serial path: one shared simulator and memoizing oracle.  The
-    // TaskScope wrapping inside parallelFor keeps task-keyed fault plans
-    // firing at the same point as any parallel run.
-    model::OracleDualInputModel oracle(sim, singles);
+    // memo lives on the simulator, so repeated sweeps over the same sim
+    // (delay then transition tables, or pair sweeps after per-ref ones)
+    // reuse earlier oracle answers instead of re-running the transient.
+    // The TaskScope wrapping inside parallelFor keeps task-keyed fault
+    // plans firing at the same point as any parallel run.
+    model::OracleDualInputModel oracle(sim, singles, &sim.dualMemo());
     par::parallelFor(
         points.size(), [&](std::size_t i) { evalPointTraced(oracle, i); },
         {.threads = 1, .failFast = true, .cancel = config.cancel});

@@ -161,6 +161,18 @@ class SparseLu {
   void solveInPlace(Vector& b) const;
 
   bool valid() const { return valid_; }
+
+  /// Drops the frozen pivot order + fill structure along with the numeric
+  /// factorization: the next numeric pass must go through factor(), which
+  /// re-pivots from scratch.  Keeps every buffer from analyze(), so nothing
+  /// is freed or reallocated.  Used between independent runs that share one
+  /// solver workspace, so a run's pivoting can never depend on the values
+  /// an earlier run froze.
+  void invalidateStructure() {
+    structureFrozen_ = false;
+    valid_ = false;
+  }
+
   /// True once factor() has frozen a pivot order + structure for the
   /// analyzed pattern (refactor() is then meaningful).
   bool analyzed() const { return analyzedGeneration_ != 0; }

@@ -17,14 +17,21 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
+#include <span>
 #include <tuple>
 #include <vector>
 
+#include "model/dual_memo.hpp"
 #include "model/single_input.hpp"
 #include "support/diagnostic.hpp"
 
 namespace prox::model {
+
+/// Which of the two macromodel quantities a batched query asks for.
+enum class DualKind : std::uint8_t {
+  Delay,       ///< Delta^(2)/Delta^(1)
+  Transition,  ///< tau^(2)/tau^(1)
+};
 
 /// A dual-input query in raw (seconds) units.  Both inputs move in the same
 /// direction @p edge; @p sep is measured from the reference input to the
@@ -36,6 +43,24 @@ struct DualQuery {
   double tauRef = 0.0;
   double tauOther = 0.0;
   double sep = 0.0;
+  /// Only consulted by the batched evaluateMany() path; the scalar
+  /// delayRatio()/transitionRatio() entry points imply the kind.
+  DualKind kind = DualKind::Delay;
+};
+
+/// One answer from the batched path.  Where the scalar entry points throw
+/// (no table covers the query), the batch marks the lane instead so one bad
+/// query cannot poison its whole batch.
+struct DualResult {
+  enum class Status : std::uint8_t {
+    Ok,
+    MissingTable,  ///< no single-input model or no dual table for the query
+  };
+  double value = 1.0;
+  /// Relative overshoot outside the table grid (0 for in-grid queries) --
+  /// the same quantity the scalar path reports via lastClampDistance().
+  double clampDistance = 0.0;
+  Status status = Status::Ok;
 };
 
 class DualInputModel {
@@ -52,26 +77,27 @@ class DualInputModel {
 /// Simulation-backed macromodel with memoization.
 class OracleDualInputModel : public DualInputModel {
  public:
-  /// @p sim and @p singles must outlive the model.
+  /// @p sim and @p singles must outlive the model.  Uses a private memo.
   OracleDualInputModel(GateSimulator& sim, const SingleInputModelSet& singles);
+
+  /// Same, but memoizes through @p memo (must outlive the model), so
+  /// repeated sweeps over the same simulator share one cache.
+  OracleDualInputModel(GateSimulator& sim, const SingleInputModelSet& singles,
+                       DualMemo* memo);
 
   double delayRatio(const DualQuery& q) const override;
   double transitionRatio(const DualQuery& q) const override;
 
  private:
-  struct Pair {
-    double delayRatio;
-    double transitionRatio;
-  };
-  Pair evaluate(const DualQuery& q) const;
+  DualMemo::Pair evaluate(const DualQuery& q) const;
 
   GateSimulator& sim_;
   const SingleInputModelSet& singles_;
-  // The memo cache is mutex-guarded; note the referenced simulator is NOT
+  // The memo is internally synchronized; the referenced simulator is NOT
   // thread-safe, so concurrent callers must still use one oracle (and one
   // simulator) per thread -- as the parallel characterization sweep does.
-  mutable std::mutex cacheMu_;
-  mutable std::map<std::tuple<int, int, int, long, long, long>, Pair> cache_;
+  mutable DualMemo ownMemo_;
+  DualMemo* memo_;
 };
 
 /// One characterized 3-D ratio table over normalized coordinates.
@@ -132,6 +158,14 @@ struct DualTable {
 ///     required for complex gates, where two pins of the same reference can
 ///     sit in a series branch (slow-down) or a parallel branch (speed-up).
 /// Lookup prefers the pair table and falls back to the per-reference one.
+///
+/// Storage is two-tier.  The DualTable maps remain the authoritative,
+/// serialized representation; every set*Table call additionally recompiles a
+/// flat structure-of-arrays index -- all grids and value planes packed into
+/// one contiguous arena, with per-table axis metadata (dimensions, strides,
+/// arena offsets) and dense slot arrays keyed exactly like the maps.  The
+/// batched evaluateMany() runs entirely on that arena; the scalar entry
+/// points keep the legacy map walk.  Both produce bit-identical values.
 class TabulatedDualInputModel : public DualInputModel {
  public:
   explicit TabulatedDualInputModel(const SingleInputModelSet& singles);
@@ -167,6 +201,10 @@ class TabulatedDualInputModel : public DualInputModel {
   /// the reset/compute/inspect pattern used for arc-scoped accounting stays
   /// race-free when multiple pool workers evaluate arcs against the same
   /// model concurrently.  Each thread sees only its own tallies.
+  ///
+  /// evaluateMany() does NOT touch these: each batched lane carries its own
+  /// clampDistance in its DualResult, and the caller does its own arc-scoped
+  /// accounting from those.
   struct ClampStats {
     std::uint64_t lookups = 0;   ///< total delay/transition ratio queries
     std::uint64_t clamped = 0;   ///< queries that fell outside the grid
@@ -182,6 +220,19 @@ class TabulatedDualInputModel : public DualInputModel {
   /// reference pin) when no table covers the query.
   double delayRatio(const DualQuery& q) const override;
   double transitionRatio(const DualQuery& q) const override;
+
+  /// Batched evaluation over the compiled SoA arena: answers queries[i]
+  /// (its kind selecting delay vs transition) into results[i].  Values,
+  /// clamp distances and window shortcuts are bit-identical to the
+  /// corresponding scalar call; queries no table covers come back with
+  /// Status::MissingTable instead of throwing.  Grid location runs per lane;
+  /// the trilinear blend runs through the simd:: dispatch shim (AVX2/NEON
+  /// with a scalar fallback, PROX_SIMD=off override).
+  ///
+  /// Not safe to call concurrently with set*Table (which recompiles the
+  /// index); concurrent evaluateMany calls are fine.
+  void evaluateMany(std::span<const DualQuery> queries,
+                    std::span<DualResult> results) const;
 
   /// Total table storage in bytes.
   std::size_t totalBytes() const;
@@ -200,6 +251,25 @@ class TabulatedDualInputModel : public DualInputModel {
   /// The calling thread's stats slot for this instance.
   StatsSlot& statsSlot() const;
 
+  /// One table's compiled view: dimensions plus offsets into arena_ for the
+  /// three axis grids and the value plane.  strideU/strideV are the
+  /// precomputed flattening strides (nv*nw and nw) so lane index arithmetic
+  /// never re-derives them from grid sizes.  Each axis also carries its
+  /// precomputed overshoot normalizer (the axis span, or max(|lo|, 1) for
+  /// degenerate grids -- exactly overshoot()'s denominator) so the batched
+  /// path never re-derives it per lane.
+  struct TableView {
+    std::uint32_t nu = 0, nv = 0, nw = 0;
+    std::uint32_t strideU = 0, strideV = 0;
+    std::uint32_t uOff = 0, vOff = 0, wOff = 0, valOff = 0;
+    double uDenom = 1.0, vDenom = 1.0, wDenom = 1.0;
+  };
+
+  /// Recompiles arena_/views_/slot arrays from the table maps.  Called by
+  /// every set*Table; cheap relative to characterizing even one table.
+  void rebuildIndex();
+  void appendView(const DualTable& t);
+
   const SingleInputModelSet& singles_;
   std::map<int, DualTable> delayTables_;
   std::map<int, DualTable> transitionTables_;
@@ -207,6 +277,15 @@ class TabulatedDualInputModel : public DualInputModel {
   std::map<int, DualTable> pairTransitionTables_;
   /// Process-unique instance id indexing the thread-local stats slots.
   std::uint64_t statsId_;
+
+  // --- compiled SoA index (rebuilt by rebuildIndex) ---
+  std::vector<double> arena_;      ///< all grids + value planes, contiguous
+  std::vector<TableView> views_;   ///< one entry per installed table
+  /// Dense slot arrays: map key -> view index, -1 when absent.  Sized to the
+  /// largest installed key, so an out-of-range probe means "no table" --
+  /// exactly what the map find would conclude.
+  std::vector<std::int32_t> delaySlots_, transSlots_;
+  std::vector<std::int32_t> pairDelaySlots_, pairTransSlots_;
 };
 
 }  // namespace prox::model

@@ -1,0 +1,113 @@
+#include "model/dual_memo.hpp"
+
+#include <cmath>
+
+namespace prox::model {
+
+namespace {
+
+/// splitmix64 finalizer: the standard cheap 64-bit mixer.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::size_t roundUpPow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+DualMemo::DualMemo(std::size_t capacity) {
+  maxSlots_ = roundUpPow2(capacity < kProbeWindow ? kProbeWindow : capacity);
+  slots_.resize(std::min<std::size_t>(maxSlots_, 256));
+  mask_ = slots_.size() - 1;
+}
+
+DualMemo::Key DualMemo::makeKey(int refPin, int otherPin, bool risingEdge,
+                                double tauRef, double tauOther, double sep) {
+  // Attosecond quantization, matching the old map memo's keyOf().
+  const auto quantize = [](double t) {
+    return static_cast<std::int64_t>(std::llround(t * 1e18));
+  };
+  Key k;
+  k.pins = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(refPin))
+            << 33) |
+           (static_cast<std::uint64_t>(static_cast<std::uint32_t>(otherPin))
+            << 1) |
+           (risingEdge ? 1u : 0u);
+  k.tauRef = quantize(tauRef);
+  k.tauOther = quantize(tauOther);
+  k.sep = quantize(sep);
+  return k;
+}
+
+std::uint64_t DualMemo::hashKey(const Key& key) {
+  std::uint64_t h = mix(key.pins);
+  h = mix(h ^ static_cast<std::uint64_t>(key.tauRef));
+  h = mix(h ^ static_cast<std::uint64_t>(key.tauOther));
+  h = mix(h ^ static_cast<std::uint64_t>(key.sep));
+  return h;
+}
+
+bool DualMemo::find(const Key& key, Pair* out) {
+  const std::uint64_t h = hashKey(key);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t p = 0; p < kProbeWindow; ++p) {
+    Slot& s = slots_[(h + p) & mask_];
+    if (s.used && s.key == key) {
+      s.stamp = ++stampCounter_;
+      *out = s.value;
+      return true;
+    }
+  }
+  return false;
+}
+
+void DualMemo::insert(const Key& key, const Pair& value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Grow at 5/8 load: probe windows stay short and eviction only kicks in
+  // once the table is at its configured cap.
+  if (used_ * 8 >= slots_.size() * 5 && slots_.size() < maxSlots_) grow();
+  insertLocked(key, value, ++stampCounter_);
+}
+
+void DualMemo::grow() {
+  std::vector<Slot> old = std::move(slots_);
+  const std::size_t next = std::min(maxSlots_, old.size() * 4);
+  slots_.assign(next, Slot{});
+  mask_ = slots_.size() - 1;
+  used_ = 0;
+  for (const Slot& s : old) {
+    if (s.used) insertLocked(s.key, s.value, s.stamp);
+  }
+}
+
+void DualMemo::insertLocked(const Key& key, const Pair& value,
+                            std::uint64_t stamp) {
+  const std::uint64_t h = hashKey(key);
+  Slot* victim = nullptr;
+  for (std::size_t p = 0; p < kProbeWindow; ++p) {
+    Slot& s = slots_[(h + p) & mask_];
+    if (s.used && s.key == key) {
+      victim = &s;  // overwrite in place
+      break;
+    }
+    if (!s.used) {
+      victim = &s;
+      break;
+    }
+    if (victim == nullptr || s.stamp < victim->stamp) victim = &s;
+  }
+  if (!victim->used) ++used_;
+  victim->used = true;
+  victim->key = key;
+  victim->value = value;
+  victim->stamp = stamp;
+}
+
+}  // namespace prox::model

@@ -1,0 +1,98 @@
+#pragma once
+// Open-addressing memo for oracle dual-input evaluations.
+//
+// Replaces the old mutex-guarded std::map<tuple<...>> cache: queries are
+// quantized to attosecond-resolution integers, mixed into a single packed
+// 64-bit hash key, and stored in a fixed-capacity power-of-two slot array
+// with linear probing.  Each slot keeps the exact quantized coordinates next
+// to the hash, so a (vanishingly unlikely) 64-bit hash collision can never
+// alias two distinct queries -- the memo stays exact, like the map it
+// replaces.
+//
+// Eviction is least-recently-used within the probe window, driven by a
+// monotonic per-memo stamp counter, so which entry is displaced is a pure
+// function of the operation sequence (deterministic).  Evicting is always
+// safe: oracle evaluations are pure, so a displaced entry simply re-simulates
+// to the identical value.
+//
+// The memo is mutex-guarded and therefore thread-safe on its own; note the
+// simulator behind OracleDualInputModel is NOT, so concurrent callers still
+// need one oracle + simulator per thread (as the parallel sweep does).
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace prox::model {
+
+class DualMemo {
+ public:
+  struct Pair {
+    double delayRatio = 1.0;
+    double transitionRatio = 1.0;
+  };
+
+  /// Exact quantized query coordinates: pins + edge packed into one word,
+  /// the three times as attosecond-quantized integers.
+  struct Key {
+    std::uint64_t pins = 0;  ///< refPin, otherPin, edge bit packed
+    std::int64_t tauRef = 0;
+    std::int64_t tauOther = 0;
+    std::int64_t sep = 0;
+
+    bool operator==(const Key& o) const {
+      return pins == o.pins && tauRef == o.tauRef && tauOther == o.tauOther &&
+             sep == o.sep;
+    }
+  };
+
+  /// @p capacity (rounded up to a power of two) caps the slot count; the
+  /// default 64k slots comfortably covers a full characterization sweep's
+  /// query set.  Storage starts small (256 slots) and quadruples as entries
+  /// accumulate, so short-lived memos -- e.g. the per-point oracles of the
+  /// parallel sweep -- never pay for the full table.
+  explicit DualMemo(std::size_t capacity = std::size_t{1} << 16);
+
+  static Key makeKey(int refPin, int otherPin, bool risingEdge, double tauRef,
+                     double tauOther, double sep);
+
+  /// True (and fills @p out) when the key is cached; refreshes its LRU stamp.
+  bool find(const Key& key, Pair* out);
+
+  /// Inserts (or overwrites) the value for @p key, evicting the
+  /// least-recently-stamped entry in the probe window when the table has
+  /// reached its capacity cap and the window is full.
+  void insert(const Key& key, const Pair& value);
+
+  /// The configured slot-count cap (storage may currently be smaller).
+  std::size_t capacity() const { return maxSlots_; }
+
+ private:
+  struct Slot {
+    bool used = false;
+    Key key;
+    Pair value;
+    std::uint64_t stamp = 0;
+  };
+
+  /// Packed 64-bit hash of the quantized key (splitmix64 over the fields).
+  static std::uint64_t hashKey(const Key& key);
+
+  /// Quadruples the slot array (up to maxSlots_) and rehashes live entries,
+  /// preserving their stamps.  Caller holds mu_.
+  void grow();
+  /// Probe-window insert (no growth check).  Caller holds mu_.
+  void insertLocked(const Key& key, const Pair& value, std::uint64_t stamp);
+
+  static constexpr std::size_t kProbeWindow = 8;
+
+  std::mutex mu_;
+  std::vector<Slot> slots_;
+  std::uint64_t mask_ = 0;
+  std::size_t maxSlots_ = 0;
+  std::size_t used_ = 0;
+  std::uint64_t stampCounter_ = 0;
+};
+
+}  // namespace prox::model

@@ -9,6 +9,7 @@
 
 #include "cells/complex_fixture.hpp"
 #include "cells/fixture.hpp"
+#include "model/dual_memo.hpp"
 #include "model/stimulus.hpp"
 #include "vtc/complex.hpp"
 #include "vtc/thresholds.hpp"
@@ -70,11 +71,18 @@ class GateSimulator {
   /// Number of transistor-level transients run so far (for the perf bench).
   long simulationCount() const { return simCount_; }
 
+  /// Memo shared by every OracleDualInputModel constructed over this
+  /// simulator (serial characterization passes it explicitly), so repeated
+  /// (pins, slew, separation) oracle queries across sweep steps -- and across
+  /// whole sweeps over the same simulator -- skip the transient re-run.
+  DualMemo& dualMemo() { return dualMemo_; }
+
  private:
   Gate gate_;
   std::optional<cells::CellFixture> fixture_;
   std::optional<cells::ComplexCellFixture> complexFixture_;
   long simCount_ = 0;
+  DualMemo dualMemo_;
 };
 
 }  // namespace prox::model

@@ -3,9 +3,10 @@
 //
 // The JSON schema (versioned; consumed by BENCH_*.json tooling):
 //   {
-//     "schema_version": 2,
+//     "schema_version": 3,
 //     "enabled": true,
 //     "build_type": "release",          // optional; omitted when unset
+//     "labels": { "<name>": "<value>", ... },   // optional; omitted when empty
 //     "counters": { "<name>": <uint64>, ... },
 //     "timers": {
 //       "<name>": { "count": <uint64>, "total_s": <double>,
@@ -28,7 +29,9 @@
 // from count/sum/buckets.
 //
 // Version history: v1 (PR 1) had no schema_version key and no histograms;
-// parseJson still accepts such files and reports schemaVersion == 1.
+// v2 (PR 3) added histograms and the version key; v3 (PR 9) added the
+// optional labels section (small string facts such as simd.dispatch.path).
+// parseJson accepts all three and reports the version it read.
 
 #include <cstdint>
 #include <iosfwd>
@@ -104,12 +107,15 @@ struct HistogramSample {
 struct Report {
   /// Serialization schema (see header comment).  snapshot() produces the
   /// current version; parseJson() reports the version it read.
-  int schemaVersion = 2;
+  int schemaVersion = 3;
   bool enabled = true;
   /// Optional build-flavor tag ("release"/"debug") set by bench binaries so
   /// stats files self-describe whether their timings are comparable.  Empty
   /// means the field is omitted from the JSON.
   std::string buildType;
+  /// Small string facts from the registry (e.g. simd.dispatch.path), sorted
+  /// by name.  Omitted from the JSON when empty.
+  std::vector<std::pair<std::string, std::string>> labels;
   std::vector<CounterSample> counters;
   std::vector<TimerSample> timers;
   std::vector<HistogramSample> histograms;

@@ -1,0 +1,63 @@
+#include "simd/dispatch.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace prox::simd {
+
+namespace {
+
+Path detect() {
+  if (const char* env = std::getenv("PROX_SIMD")) {
+    if (std::strcmp(env, "off") == 0 || std::strcmp(env, "scalar") == 0 ||
+        std::strcmp(env, "0") == 0) {
+      return Path::Scalar;
+    }
+  }
+#if defined(__x86_64__) || defined(_M_X64)
+#if defined(__GNUC__) || defined(__clang__)
+  if (__builtin_cpu_supports("avx2")) return Path::Avx2;
+#endif
+  return Path::Scalar;
+#elif defined(__aarch64__)
+  return Path::Neon;
+#else
+  return Path::Scalar;
+#endif
+}
+
+// -1 = unresolved; otherwise a Path value.  Plain relaxed atomics: the
+// resolution is idempotent, so a racing first call at worst detects twice.
+std::atomic<int> gPath{-1};
+
+}  // namespace
+
+Path activePath() {
+  int p = gPath.load(std::memory_order_relaxed);
+  if (p < 0) {
+    p = static_cast<int>(detect());
+    gPath.store(p, std::memory_order_relaxed);
+  }
+  return static_cast<Path>(p);
+}
+
+void forcePath(Path p) {
+  gPath.store(static_cast<int>(p), std::memory_order_relaxed);
+}
+
+void resetPath() { gPath.store(-1, std::memory_order_relaxed); }
+
+const char* pathName(Path p) {
+  switch (p) {
+    case Path::Avx2:
+      return "avx2";
+    case Path::Neon:
+      return "neon";
+    case Path::Scalar:
+      break;
+  }
+  return "scalar";
+}
+
+}  // namespace prox::simd

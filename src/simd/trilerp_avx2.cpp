@@ -1,0 +1,173 @@
+// AVX2 trilinear kernel.  This translation unit is compiled with
+// -mavx2 -mno-fma -ffp-contract=off (see src/CMakeLists.txt): the lerps
+// below must stay separate vmulpd/vsubpd/vaddpd operations so the results
+// match the scalar fallback bit for bit.
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+#include "simd/trilerp.hpp"
+
+namespace prox::simd {
+
+namespace {
+
+inline __m256d lerp4(__m256d a, __m256d b, __m256d f) {
+  return _mm256_add_pd(a, _mm256_mul_pd(f, _mm256_sub_pd(b, a)));
+}
+
+/// All-lanes-enabled gather mask.  The masked gather forms take an explicit
+/// source vector; the plain ones pass _mm256_undefined_pd() through the
+/// builtin, which GCC 12 flags with -Wmaybe-uninitialized.
+inline __m256d gatherMask() {
+  const __m256d z = _mm256_setzero_pd();
+  return _mm256_cmp_pd(z, z, _CMP_EQ_OQ);
+}
+
+inline __m256d gather4(const double* base, const std::uint32_t* idx,
+                       std::size_t i) {
+  const __m128i v =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + i));
+  return _mm256_mask_i32gather_pd(_mm256_setzero_pd(), base, v, gatherMask(),
+                                  8);
+}
+
+}  // namespace
+
+void trilerpAvx2(const TrilerpBatch& b) {
+  std::size_t i = 0;
+  for (; i + 4 <= b.n; i += 4) {
+    const __m256d v000 = gather4(b.base, b.corner[0], i);
+    const __m256d v100 = gather4(b.base, b.corner[1], i);
+    const __m256d v001 = gather4(b.base, b.corner[2], i);
+    const __m256d v101 = gather4(b.base, b.corner[3], i);
+    const __m256d v010 = gather4(b.base, b.corner[4], i);
+    const __m256d v110 = gather4(b.base, b.corner[5], i);
+    const __m256d v011 = gather4(b.base, b.corner[6], i);
+    const __m256d v111 = gather4(b.base, b.corner[7], i);
+    const __m256d fu = _mm256_loadu_pd(b.fu + i);
+    const __m256d fv = _mm256_loadu_pd(b.fv + i);
+    const __m256d fw = _mm256_loadu_pd(b.fw + i);
+    const __m256d c00 = lerp4(v000, v100, fu);
+    const __m256d c01 = lerp4(v001, v101, fu);
+    const __m256d c10 = lerp4(v010, v110, fu);
+    const __m256d c11 = lerp4(v011, v111, fu);
+    const __m256d c0 = lerp4(c00, c10, fv);
+    const __m256d c1 = lerp4(c01, c11, fv);
+    _mm256_storeu_pd(b.out + i, lerp4(c0, c1, fw));
+  }
+  if (i < b.n) {
+    TrilerpBatch tail = b;
+    for (int c = 0; c < 8; ++c) tail.corner[c] = b.corner[c] + i;
+    tail.fu = b.fu + i;
+    tail.fv = b.fv + i;
+    tail.fw = b.fw + i;
+    tail.out = b.out + i;
+    tail.n = b.n - i;
+    trilerpScalar(tail);
+  }
+}
+
+void divideAvx2(const double* num, const double* den, double* out,
+                std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        out + i,
+        _mm256_div_pd(_mm256_loadu_pd(num + i), _mm256_loadu_pd(den + i)));
+  }
+  for (; i < n; ++i) out[i] = num[i] / den[i];
+}
+
+void interpPairAvx2(const InterpPairBatch& b) {
+  std::size_t i = 0;
+  for (; i + 4 <= b.n; i += 4) {
+    const __m256d f = _mm256_div_pd(_mm256_loadu_pd(b.num + i),
+                                    _mm256_loadu_pd(b.den + i));
+    _mm256_storeu_pd(
+        b.d1 + i,
+        lerp4(_mm256_loadu_pd(b.aD + i), _mm256_loadu_pd(b.bD + i), f));
+    _mm256_storeu_pd(
+        b.t1 + i,
+        lerp4(_mm256_loadu_pd(b.aT + i), _mm256_loadu_pd(b.bT + i), f));
+  }
+  if (i < b.n) {
+    InterpPairBatch tail = b;
+    tail.num = b.num + i;
+    tail.den = b.den + i;
+    tail.aD = b.aD + i;
+    tail.bD = b.bD + i;
+    tail.aT = b.aT + i;
+    tail.bT = b.bT + i;
+    tail.d1 = b.d1 + i;
+    tail.t1 = b.t1 + i;
+    tail.n = b.n - i;
+    interpPairScalar(tail);
+  }
+}
+
+void axisLocateAvx2(const AxisLocateBatch& b) {
+  const double* g = b.grid;
+  const std::uint32_t n = b.n;
+  const __m256d g0 = _mm256_set1_pd(g[0]);
+  const __m256d gl = _mm256_set1_pd(g[n - 1]);
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d denom = _mm256_set1_pd(b.denom);
+  const __m256i iaZero = _mm256_setzero_si256();
+  const __m256i iaLast = _mm256_set1_epi64x(static_cast<long long>(n - 2));
+  std::size_t i = 0;
+  for (; i + 4 <= b.count; i += 4) {
+    const __m256d x = _mm256_loadu_pd(b.x + i);
+    // over = max(g0 - x, x - gl, 0) / denom with (a > b ? a : b) selects.
+    const __m256d m1 = _mm256_sub_pd(g0, x);
+    const __m256d m2 = _mm256_sub_pd(x, gl);
+    __m256d m = _mm256_blendv_pd(m2, m1, _mm256_cmp_pd(m1, m2, _CMP_GT_OQ));
+    m = _mm256_blendv_pd(zero, m, _mm256_cmp_pd(m, zero, _CMP_GT_OQ));
+    _mm256_storeu_pd(b.over + i, _mm256_div_pd(m, denom));
+    const __m256d lowM = _mm256_cmp_pd(x, g0, _CMP_LE_OQ);
+    const __m256d highM = _mm256_cmp_pd(x, gl, _CMP_GE_OQ);
+    // cnt = |{k in [1, n-2] : g[k] < x}|; each true compare is all-ones
+    // (-1), so subtracting the mask accumulates the count.
+    __m256i cnt = _mm256_setzero_si256();
+    for (std::uint32_t k = 1; k + 1 < n; ++k) {
+      const __m256d lt =
+          _mm256_cmp_pd(_mm256_set1_pd(g[k]), x, _CMP_LT_OQ);
+      cnt = _mm256_sub_epi64(cnt, _mm256_castpd_si256(lt));
+    }
+    // ia = low ? 0 : high ? n-2 : cnt  (low wins, so it blends last).
+    __m256i ia = _mm256_blendv_epi8(cnt, iaLast, _mm256_castpd_si256(highM));
+    ia = _mm256_blendv_epi8(ia, iaZero, _mm256_castpd_si256(lowM));
+    const __m256d gA =
+        _mm256_mask_i64gather_pd(_mm256_setzero_pd(), g, ia, gatherMask(), 8);
+    const __m256d gB = _mm256_mask_i64gather_pd(_mm256_setzero_pd(), g + 1,
+                                                ia, gatherMask(), 8);
+    __m256d num = _mm256_sub_pd(x, gA);
+    num = _mm256_blendv_pd(num, one, highM);
+    num = _mm256_blendv_pd(num, zero, lowM);
+    const __m256d den = _mm256_blendv_pd(_mm256_sub_pd(gB, gA), one,
+                                         _mm256_or_pd(lowM, highM));
+    _mm256_storeu_pd(b.f + i, _mm256_div_pd(num, den));
+    // Narrow the four int64 indices to uint32 (values fit: <= n-2).
+    const __m128i iaLo = _mm256_castsi256_si128(ia);
+    const __m128i iaHi = _mm256_extracti128_si256(ia, 1);
+    const __m128i idx32 = _mm_castps_si128(
+        _mm_shuffle_ps(_mm_castsi128_ps(iaLo), _mm_castsi128_ps(iaHi),
+                       _MM_SHUFFLE(2, 0, 2, 0)));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(b.idx + i), idx32);
+  }
+  if (i < b.count) {
+    AxisLocateBatch tail = b;
+    tail.x = b.x + i;
+    tail.f = b.f + i;
+    tail.over = b.over + i;
+    tail.idx = b.idx + i;
+    tail.count = b.count - i;
+    axisLocateScalar(tail);
+  }
+}
+
+}  // namespace prox::simd
+
+#endif  // x86-64

@@ -1,0 +1,152 @@
+// NEON trilinear kernel (AArch64).  NEON has no gather, so corner values are
+// loaded lane-by-lane; the blending itself runs two lanes per vector with
+// separate mul/sub/add operations (no vfma) to stay bit-identical to the
+// scalar fallback.
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include "simd/trilerp.hpp"
+
+namespace prox::simd {
+
+namespace {
+
+inline float64x2_t lerp2(float64x2_t a, float64x2_t b, float64x2_t f) {
+  return vaddq_f64(a, vmulq_f64(f, vsubq_f64(b, a)));
+}
+
+inline float64x2_t gather2(const double* base, const std::uint32_t* idx,
+                           std::size_t i) {
+  float64x2_t v = vdupq_n_f64(base[idx[i]]);
+  return vsetq_lane_f64(base[idx[i + 1]], v, 1);
+}
+
+}  // namespace
+
+void trilerpNeon(const TrilerpBatch& b) {
+  std::size_t i = 0;
+  for (; i + 2 <= b.n; i += 2) {
+    const float64x2_t v000 = gather2(b.base, b.corner[0], i);
+    const float64x2_t v100 = gather2(b.base, b.corner[1], i);
+    const float64x2_t v001 = gather2(b.base, b.corner[2], i);
+    const float64x2_t v101 = gather2(b.base, b.corner[3], i);
+    const float64x2_t v010 = gather2(b.base, b.corner[4], i);
+    const float64x2_t v110 = gather2(b.base, b.corner[5], i);
+    const float64x2_t v011 = gather2(b.base, b.corner[6], i);
+    const float64x2_t v111 = gather2(b.base, b.corner[7], i);
+    const float64x2_t fu = vld1q_f64(b.fu + i);
+    const float64x2_t fv = vld1q_f64(b.fv + i);
+    const float64x2_t fw = vld1q_f64(b.fw + i);
+    const float64x2_t c00 = lerp2(v000, v100, fu);
+    const float64x2_t c01 = lerp2(v001, v101, fu);
+    const float64x2_t c10 = lerp2(v010, v110, fu);
+    const float64x2_t c11 = lerp2(v011, v111, fu);
+    const float64x2_t c0 = lerp2(c00, c10, fv);
+    const float64x2_t c1 = lerp2(c01, c11, fv);
+    vst1q_f64(b.out + i, lerp2(c0, c1, fw));
+  }
+  if (i < b.n) {
+    TrilerpBatch tail = b;
+    for (int c = 0; c < 8; ++c) tail.corner[c] = b.corner[c] + i;
+    tail.fu = b.fu + i;
+    tail.fv = b.fv + i;
+    tail.fw = b.fw + i;
+    tail.out = b.out + i;
+    tail.n = b.n - i;
+    trilerpScalar(tail);
+  }
+}
+
+void divideNeon(const double* num, const double* den, double* out,
+                std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_f64(out + i, vdivq_f64(vld1q_f64(num + i), vld1q_f64(den + i)));
+  }
+  for (; i < n; ++i) out[i] = num[i] / den[i];
+}
+
+void interpPairNeon(const InterpPairBatch& b) {
+  std::size_t i = 0;
+  for (; i + 2 <= b.n; i += 2) {
+    const float64x2_t f =
+        vdivq_f64(vld1q_f64(b.num + i), vld1q_f64(b.den + i));
+    vst1q_f64(b.d1 + i,
+              lerp2(vld1q_f64(b.aD + i), vld1q_f64(b.bD + i), f));
+    vst1q_f64(b.t1 + i,
+              lerp2(vld1q_f64(b.aT + i), vld1q_f64(b.bT + i), f));
+  }
+  if (i < b.n) {
+    InterpPairBatch tail = b;
+    tail.num = b.num + i;
+    tail.den = b.den + i;
+    tail.aD = b.aD + i;
+    tail.bD = b.bD + i;
+    tail.aT = b.aT + i;
+    tail.bT = b.bT + i;
+    tail.d1 = b.d1 + i;
+    tail.t1 = b.t1 + i;
+    tail.n = b.n - i;
+    interpPairScalar(tail);
+  }
+}
+
+void axisLocateNeon(const AxisLocateBatch& b) {
+  const double* g = b.grid;
+  const std::uint32_t n = b.n;
+  const float64x2_t g0 = vdupq_n_f64(g[0]);
+  const float64x2_t gl = vdupq_n_f64(g[n - 1]);
+  const float64x2_t zero = vdupq_n_f64(0.0);
+  const float64x2_t one = vdupq_n_f64(1.0);
+  const float64x2_t denom = vdupq_n_f64(b.denom);
+  const uint64x2_t iaLast = vdupq_n_u64(n - 2);
+  std::size_t i = 0;
+  for (; i + 2 <= b.count; i += 2) {
+    const float64x2_t x = vld1q_f64(b.x + i);
+    // over = max(g0 - x, x - gl, 0) / denom with (a > b ? a : b) selects.
+    const float64x2_t m1 = vsubq_f64(g0, x);
+    const float64x2_t m2 = vsubq_f64(x, gl);
+    float64x2_t m = vbslq_f64(vcgtq_f64(m1, m2), m1, m2);
+    m = vbslq_f64(vcgtq_f64(m, zero), m, zero);
+    vst1q_f64(b.over + i, vdivq_f64(m, denom));
+    const uint64x2_t lowM = vcleq_f64(x, g0);
+    const uint64x2_t highM = vcgeq_f64(x, gl);
+    // cnt = |{k in [1, n-2] : g[k] < x}|; true compares are all-ones (-1).
+    uint64x2_t cnt = vdupq_n_u64(0);
+    for (std::uint32_t k = 1; k + 1 < n; ++k) {
+      cnt = vsubq_u64(cnt, vcltq_f64(vdupq_n_f64(g[k]), x));
+    }
+    // ia = low ? 0 : high ? n-2 : cnt  (low wins, so it selects last).
+    uint64x2_t ia = vbslq_u64(highM, iaLast, cnt);
+    ia = vbslq_u64(lowM, vdupq_n_u64(0), ia);
+    const std::uint64_t ia0 = vgetq_lane_u64(ia, 0);
+    const std::uint64_t ia1 = vgetq_lane_u64(ia, 1);
+    float64x2_t gA = vdupq_n_f64(g[ia0]);
+    gA = vsetq_lane_f64(g[ia1], gA, 1);
+    float64x2_t gB = vdupq_n_f64(g[ia0 + 1]);
+    gB = vsetq_lane_f64(g[ia1 + 1], gB, 1);
+    float64x2_t num = vsubq_f64(x, gA);
+    num = vbslq_f64(highM, one, num);
+    num = vbslq_f64(lowM, zero, num);
+    const float64x2_t den =
+        vbslq_f64(vorrq_u64(lowM, highM), one, vsubq_f64(gB, gA));
+    vst1q_f64(b.f + i, vdivq_f64(num, den));
+    b.idx[i] = static_cast<std::uint32_t>(ia0);
+    b.idx[i + 1] = static_cast<std::uint32_t>(ia1);
+  }
+  if (i < b.count) {
+    AxisLocateBatch tail = b;
+    tail.x = b.x + i;
+    tail.f = b.f + i;
+    tail.over = b.over + i;
+    tail.idx = b.idx + i;
+    tail.count = b.count - i;
+    axisLocateScalar(tail);
+  }
+}
+
+}  // namespace prox::simd
+
+#endif  // AArch64

@@ -1,0 +1,143 @@
+#include "simd/dispatch.hpp"
+#include "simd/trilerp.hpp"
+
+namespace prox::simd {
+
+namespace {
+inline double lerp(double a, double b, double f) { return a + f * (b - a); }
+}  // namespace
+
+void trilerpScalar(const TrilerpBatch& b) {
+  for (std::size_t i = 0; i < b.n; ++i) {
+    const double v000 = b.base[b.corner[0][i]];
+    const double v100 = b.base[b.corner[1][i]];
+    const double v001 = b.base[b.corner[2][i]];
+    const double v101 = b.base[b.corner[3][i]];
+    const double v010 = b.base[b.corner[4][i]];
+    const double v110 = b.base[b.corner[5][i]];
+    const double v011 = b.base[b.corner[6][i]];
+    const double v111 = b.base[b.corner[7][i]];
+    const double fu = b.fu[i];
+    const double fv = b.fv[i];
+    const double fw = b.fw[i];
+    const double c00 = lerp(v000, v100, fu);
+    const double c01 = lerp(v001, v101, fu);
+    const double c10 = lerp(v010, v110, fu);
+    const double c11 = lerp(v011, v111, fu);
+    const double c0 = lerp(c00, c10, fv);
+    const double c1 = lerp(c01, c11, fv);
+    b.out[i] = lerp(c0, c1, fw);
+  }
+}
+
+void trilerp(const TrilerpBatch& b) {
+  switch (activePath()) {
+#if defined(__x86_64__) || defined(_M_X64)
+    case Path::Avx2:
+      trilerpAvx2(b);
+      return;
+#endif
+#if defined(__aarch64__)
+    case Path::Neon:
+      trilerpNeon(b);
+      return;
+#endif
+    default:
+      break;
+  }
+  trilerpScalar(b);
+}
+
+void divideScalar(const double* num, const double* den, double* out,
+                  std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = num[i] / den[i];
+}
+
+void divide(const double* num, const double* den, double* out,
+            std::size_t n) {
+  switch (activePath()) {
+#if defined(__x86_64__) || defined(_M_X64)
+    case Path::Avx2:
+      divideAvx2(num, den, out, n);
+      return;
+#endif
+#if defined(__aarch64__)
+    case Path::Neon:
+      divideNeon(num, den, out, n);
+      return;
+#endif
+    default:
+      break;
+  }
+  divideScalar(num, den, out, n);
+}
+
+void interpPairScalar(const InterpPairBatch& b) {
+  for (std::size_t i = 0; i < b.n; ++i) {
+    const double f = b.num[i] / b.den[i];
+    b.d1[i] = lerp(b.aD[i], b.bD[i], f);
+    b.t1[i] = lerp(b.aT[i], b.bT[i], f);
+  }
+}
+
+void interpPair(const InterpPairBatch& b) {
+  switch (activePath()) {
+#if defined(__x86_64__) || defined(_M_X64)
+    case Path::Avx2:
+      interpPairAvx2(b);
+      return;
+#endif
+#if defined(__aarch64__)
+    case Path::Neon:
+      interpPairNeon(b);
+      return;
+#endif
+    default:
+      break;
+  }
+  interpPairScalar(b);
+}
+
+void axisLocateScalar(const AxisLocateBatch& b) {
+  const double* g = b.grid;
+  const std::uint32_t n = b.n;
+  const double g0 = g[0];
+  const double gl = g[n - 1];
+  for (std::size_t i = 0; i < b.count; ++i) {
+    const double x = b.x[i];
+    const double m1 = g0 - x;
+    const double m2 = x - gl;
+    double m = m1 > m2 ? m1 : m2;
+    m = m > 0.0 ? m : 0.0;
+    b.over[i] = m / b.denom;
+    const bool low = x <= g0;
+    const bool high = x >= gl;
+    std::uint32_t cnt = 0;
+    for (std::uint32_t k = 1; k + 1 < n; ++k) cnt += g[k] < x ? 1u : 0u;
+    const std::uint32_t ia = low ? 0u : (high ? n - 2 : cnt);
+    const double num = low ? 0.0 : (high ? 1.0 : x - g[ia]);
+    const double den = (low || high) ? 1.0 : g[ia + 1] - g[ia];
+    b.f[i] = num / den;
+    b.idx[i] = ia;
+  }
+}
+
+void axisLocate(const AxisLocateBatch& b) {
+  switch (activePath()) {
+#if defined(__x86_64__) || defined(_M_X64)
+    case Path::Avx2:
+      axisLocateAvx2(b);
+      return;
+#endif
+#if defined(__aarch64__)
+    case Path::Neon:
+      axisLocateNeon(b);
+      return;
+#endif
+    default:
+      break;
+  }
+  axisLocateScalar(b);
+}
+
+}  // namespace prox::simd

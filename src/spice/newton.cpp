@@ -95,13 +95,18 @@ NewtonStatus solveNewton(const Circuit& ckt, linalg::Vector& x,
 
     // Same-Jacobian fast path: when the entry iterate sits within
     // jacobianReuseTol of the iterate the cached factorization was computed
-    // at -- under an identical stamp context (dt / method / gmin; sources
-    // only move the RHS) -- the first iteration solves with the previous
-    // numeric factorization.  Iteration 2 onward always refactors, so a
-    // stalled reuse step falls back to a fresh Jacobian automatically.
+    // at -- under a matching stamp context (method / gmin exact; dt exact,
+    // or within chordDtRelTol during a transient; sources only move the
+    // RHS) -- the first iteration solves with the previous numeric
+    // factorization.  Iteration 2 onward always refactors, so a stalled
+    // reuse step falls back to a fresh Jacobian automatically.
     bool reuse = false;
     if (iter == 1 && ws.factorValid_ && ws.lu.valid() &&
-        opt.jacobianReuseTol > 0.0 && sc.dt == ws.dtFactor_ &&
+        opt.jacobianReuseTol > 0.0 &&
+        (sc.dt == ws.dtFactor_ ||
+         (opt.chordDtRelTol > 0.0 && sc.transient &&
+          std::fabs(sc.dt - ws.dtFactor_) <=
+              opt.chordDtRelTol * ws.dtFactor_)) &&
         sc.transient == ws.transientFactor_ &&
         sc.trapezoidal == ws.trapezoidalFactor_ &&
         opt.gmin == ws.gminFactor_) {

@@ -35,6 +35,14 @@ struct NewtonOptions {
   /// refactoring.  Iteration 2 onward always refactors, so a stalled reuse
   /// step self-corrects.  Set to 0 to disable.
   double jacobianReuseTol = 1e-4;
+  /// Transient-only widening of the fast path's stamp-context match: the
+  /// cached factorization may also be reused when the current timestep
+  /// differs from the one it was computed at by at most this relative
+  /// amount.  The iterate-distance guard above still applies, and iteration
+  /// 2 onward always refactors, so a chord step taken with a slightly-stale
+  /// dt self-corrects exactly like one taken with a stale iterate.  Set to
+  /// 0 (the default) to require an exact dt match.
+  double chordDtRelTol = 0.0;
 };
 
 /// Time/integration context for device stamping, shared across iterations.
@@ -112,6 +120,19 @@ class NewtonWorkspace {
 
   /// Drops the cached numeric factorization; the next solve refactors.
   void invalidateFactor() { factorValid_ = false; }
+
+  /// Forgets every numeric result while keeping the symbolic analysis and
+  /// all buffers: drops the cached factorization AND the frozen pivot
+  /// structure, so the next solve runs a full factor() with fresh pivoting.
+  /// Call between independent runs that share one workspace (adjacent
+  /// characterization sweep points); each run is then bit-identical to one
+  /// on a freshly bound workspace, while skipping re-analysis and every
+  /// buffer allocation.
+  void resetNumeric() {
+    factorValid_ = false;
+    chordRun_ = 0;
+    lu.invalidateStructure();
+  }
 
   // Solver-owned buffers, public for the solveNewton implementation.
   linalg::SparseMatrix g;

@@ -37,9 +37,14 @@ TranResult transient(Circuit& ckt, const TranOptions& opt) {
 
   // One solver workspace for the whole run: the sparse system, factorization
   // and iterate buffers are allocated here once and reused by the initial
-  // operating point and every Newton solve of every timestep.
-  NewtonWorkspace ws;
+  // operating point and every Newton solve of every timestep.  A caller-owned
+  // workspace carries those allocations (and the symbolic analysis) across
+  // runs; resetNumeric() forgets the previous run's factorization and pivot
+  // order so this run's numerics cannot depend on it.
+  NewtonWorkspace localWs;
+  NewtonWorkspace& ws = opt.workspace != nullptr ? *opt.workspace : localWs;
   ws.bind(ckt);
+  ws.resetNumeric();
 
   // Initial condition: DC operating point with sources evaluated at t = 0.
   OpOptions opOpt;

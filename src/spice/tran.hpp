@@ -31,6 +31,13 @@ struct TranOptions {
   /// timestep-underflow diagnostic is raised.  recovery.enabled = false
   /// restores the original fail-fast stepper.
   RecoveryOptions recovery;
+  /// Optional caller-owned solver workspace.  When set, the run binds it
+  /// (a no-op when already bound to the circuit's pattern) and numerically
+  /// resets it instead of allocating a fresh workspace, so repeated
+  /// transients over the same circuit -- adjacent characterization sweep
+  /// points -- skip the symbolic LU analysis and every buffer allocation.
+  /// The reset keeps each run bit-identical to one on a fresh workspace.
+  NewtonWorkspace* workspace = nullptr;
 };
 
 class TranResult {

@@ -1,0 +1,50 @@
+#pragma once
+// Batched per-gate delay calculation: the lockstep mirror of
+// evaluateGate() used by the levelized STA.
+//
+// evaluateGate() costs every arc a ProximityCalculator construction (a
+// std::function allocation) plus one virtual dual-table lookup per folded
+// input.  This evaluator instead runs a whole chunk of same-level arcs in
+// lockstep rounds: each round collects, across all arcs, the dual-input
+// queries their compositions need next, groups them by dual-table model and
+// answers them with one TabulatedDualInputModel::evaluateMany() call per
+// model -- grid location amortized, trilinear blends vectorized.
+//
+// Bit-identity contract: for every arc the produced Arrival and ArcQuality
+// equal evaluateGate()'s exactly.  The composition replays Algorithm
+// ProximityDelay statement for statement (same query values, same update
+// order, same correction arithmetic), and evaluateMany() is bit-identical to
+// the scalar lookups.  Any anomaly -- pin-count mismatch, mixed directions,
+// missing models, out-of-trust clamps, any exception -- re-runs that arc
+// through scalar evaluateGate(), which reproduces the scalar path's
+// diagnostics, degradation ladder and counters; propagation-class errors
+// (caller bugs, allowDegraded=false) throw out of it naturally.
+
+#include <span>
+
+#include "sta/delay_calc.hpp"
+
+namespace prox::sta {
+
+/// One arc of a batch: a characterized cell and its per-pin input arrivals
+/// (same shape evaluateGate() takes).  Both pointees must outlive the call.
+struct BatchArc {
+  const characterize::CharacterizedGate* cell = nullptr;
+  const std::vector<std::optional<Arrival>>* pins = nullptr;
+};
+
+struct BatchArcResult {
+  std::optional<Arrival> arrival;
+  ArcQuality quality = ArcQuality::Full;
+};
+
+/// Evaluates arcs[i] into results[i] (spans must be the same length).
+/// Classic mode simply loops scalar evaluateGate(); Proximity mode runs the
+/// lockstep batched composition described above.  Throws exactly when a
+/// scalar evaluateGate() loop over the same arcs would (lowest arc index
+/// first).
+void evaluateGateBatch(std::span<const BatchArc> arcs, DelayMode mode,
+                       const DelayCalcOptions& opt,
+                       std::span<BatchArcResult> results);
+
+}  // namespace prox::sta

@@ -311,7 +311,7 @@ TEST(TraceTest, HistogramRoundTripsThroughReportSchemaV2) {
 
   const std::string text = obs::toJson();
   const obs::Report parsed = obs::parseJson(text);
-  EXPECT_EQ(parsed.schemaVersion, 2);
+  EXPECT_EQ(parsed.schemaVersion, 3);
 
   const obs::HistogramSample* s = parsed.histogramNamed("trace_test.rt_hist");
   ASSERT_NE(s, nullptr);
@@ -340,10 +340,10 @@ TEST(TraceTest, HistogramRoundTripsThroughReportSchemaV2) {
   }
   EXPECT_EQ(total, 100u);
 #else
-  // Disabled build: the report still serializes and parses as schema v2,
-  // with the histogram section present but empty.
+  // Disabled build: the report still serializes and parses as the current
+  // schema, with the histogram section present but empty.
   const obs::Report parsed = obs::parseJson(obs::toJson());
-  EXPECT_EQ(parsed.schemaVersion, 2);
+  EXPECT_EQ(parsed.schemaVersion, 3);
   EXPECT_EQ(parsed.histogramNamed("trace_test.rt_hist"), nullptr);
 #endif
 }
@@ -363,6 +363,43 @@ TEST(TraceTest, V1ReportsStillParseWithoutHistograms) {
   EXPECT_TRUE(parsed.histograms.empty());
   ASSERT_EQ(parsed.timers.size(), 1u);
   EXPECT_EQ(parsed.timers[0].count, 2u);
+}
+
+TEST(TraceTest, V2ReportsStillParseWithoutLabels) {
+  const std::string v2 = R"({
+    "schema_version": 2,
+    "enabled": true,
+    "counters": {"legacy.counter": 7},
+    "timers": {},
+    "histograms": {}
+  })";
+  const obs::Report parsed = obs::parseJson(v2);
+  EXPECT_EQ(parsed.schemaVersion, 2);
+  EXPECT_TRUE(parsed.labels.empty());
+  EXPECT_EQ(parsed.counterValue("legacy.counter"), 7u);
+}
+
+TEST(TraceTest, LabelsRoundTripThroughReportSchemaV3) {
+  obs::setLabel("trace_test.label", "some value");
+  const obs::Report parsed = obs::parseJson(obs::toJson());
+  EXPECT_EQ(parsed.schemaVersion, 3);
+  bool found = false;
+  for (const auto& [name, value] : parsed.labels) {
+    if (name == "trace_test.label") {
+      found = true;
+      EXPECT_EQ(value, "some value");
+    }
+  }
+  EXPECT_TRUE(found);
+
+  // Labels are ambient process facts: a stats reset leaves them in place so
+  // a post-run report still records e.g. which SIMD path was dispatched.
+  obs::resetAll();
+  bool foundAfterReset = false;
+  for (const auto& [name, value] : obs::snapshot().labels) {
+    if (name == "trace_test.label") foundAfterReset = true;
+  }
+  EXPECT_TRUE(foundAfterReset);
 }
 
 TEST(TraceTest, TraceJsonParsesWithTheReportJsonParser) {
