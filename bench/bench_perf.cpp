@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <fstream>
 #include <memory>
 #include <string>
@@ -413,6 +414,27 @@ void BM_DualLookupScalarLoop(benchmark::State& state) {
 }
 BENCHMARK(BM_DualLookupScalarLoop)->Unit(benchmark::kMicrosecond);
 
+// Provenance stamps for the perf trajectory: the commit this binary was
+// built from (configure-time git rev-parse, "unknown" outside a checkout)
+// and the wall-clock moment the run happened, so BENCH_perf.json /
+// BENCH_perf_stats.json files from different PRs are distinguishable.
+const char* buildGitSha() {
+#ifdef PROX_GIT_SHA
+  return PROX_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
+
+std::string isoTimestampUtc() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -486,10 +508,16 @@ int main(int argc, char** argv) {
   for (std::string& a : args) argvAug.push_back(a.data());
   int argcAug = static_cast<int>(argvAug.size());
 
+  const std::string runTimestamp = isoTimestampUtc();
   benchmark::Initialize(&argcAug, argvAug.data());
   if (benchmark::ReportUnrecognizedArguments(argcAug, argvAug.data())) {
     return 1;
   }
+  // Stamp BENCH_perf.json's context block: google-benchmark copies custom
+  // context verbatim into the JSON output, so the trajectory tooling can key
+  // runs by commit without consulting the stats file.
+  benchmark::AddCustomContext("git_sha", buildGitSha());
+  benchmark::AddCustomContext("run_timestamp", runTimestamp);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 
@@ -497,6 +525,8 @@ int main(int argc, char** argv) {
   // the build_type tag is what lets downstream tooling reject debug timings.
   obs::Report report = obs::snapshot();
   report.buildType = optimizedBuild ? "release" : "debug";
+  report.gitSha = buildGitSha();
+  report.runTimestamp = runTimestamp;
   try {
     // Atomic commit, so downstream tooling never parses a torn dump.
     prox::support::writeFileAtomic(

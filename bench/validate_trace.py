@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 
 KNOWN_PHASES = {"X", "B", "E", "b", "e", "n", "C", "i", "I", "M", "s", "t",
@@ -102,9 +103,21 @@ def validate_trace(doc: dict, args: argparse.Namespace) -> None:
 
 
 def validate_stats(doc: dict, args: argparse.Namespace) -> None:
-    if doc.get("schema_version") not in (2, 3):
-        fail(f"stats schema_version is {doc.get('schema_version')!r}, "
-             f"expected 2 or 3")
+    version = doc.get("schema_version")
+    if version not in (2, 3, 4):
+        fail(f"stats schema_version is {version!r}, expected 2, 3 or 4")
+    if version >= 4:
+        # v4 provenance stamps: both fields, when present, must be non-empty
+        # strings, and run_timestamp must look like ISO-8601 UTC.  bench_perf
+        # always writes them; hand-rolled v4 files may omit them.
+        for key in ("git_sha", "run_timestamp"):
+            if key in doc and (not isinstance(doc[key], str) or not doc[key]):
+                fail(f"stats {key} must be a non-empty string")
+        ts = doc.get("run_timestamp")
+        if ts is not None and not re.fullmatch(
+                r"\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}Z", ts):
+            fail(f"stats run_timestamp {ts!r} is not ISO-8601 UTC "
+                 f"(YYYY-MM-DDTHH:MM:SSZ)")
     hists = doc.get("histograms")
     if not isinstance(hists, dict):
         fail("stats report has no histograms section")
@@ -119,7 +132,7 @@ def validate_stats(doc: dict, args: argparse.Namespace) -> None:
                 fail(f"histogram {want!r} missing field {key!r}")
         if h["count"] <= 0:
             fail(f"histogram {want!r} recorded no samples")
-    print(f"stats OK: schema v2, {len(hists)} histograms")
+    print(f"stats OK: schema v{version}, {len(hists)} histograms")
 
 
 def main() -> int:

@@ -43,7 +43,8 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--threads N] [--out FILE] [--checkpoint FILE]\n"
                "          [--resume] [--timeout SECS] [--quick]\n"
-               "          [--crash-at INDEX] [--stats FILE] [--trace FILE]\n"
+               "          [--fsync-every N] [--crash-at INDEX]\n"
+               "          [--stats FILE] [--trace FILE]\n"
                "          [--progress SECS] [--max-memory MB] "
                "[--max-nodes N]\n",
                argv0);
@@ -73,6 +74,7 @@ int main(int argc, char** argv) {
   double timeoutSecs = 0.0;
   double progressSecs = 0.0;
   long long crashAt = -1;
+  support::Journal::Options journalOptions;
   support::ResourceBudget budget;
 
   for (int i = 1; i < argc; ++i) {
@@ -95,6 +97,12 @@ int main(int argc, char** argv) {
       }
     } else if ((v = flagValue("--crash-at", argv, argc, &i)) != nullptr) {
       crashAt = std::atoll(v);
+    } else if ((v = flagValue("--fsync-every", argv, argc, &i)) != nullptr) {
+      journalOptions.fsyncEveryN = std::atoi(v);
+      if (journalOptions.fsyncEveryN < 1) {
+        std::fprintf(stderr, "%s: --fsync-every expects N >= 1\n", argv[0]);
+        return 2;
+      }
     } else if ((v = flagValue("--stats", argv, argc, &i)) != nullptr) {
       statsPath = v;
     } else if ((v = flagValue("--trace", argv, argc, &i)) != nullptr) {
@@ -183,7 +191,7 @@ int main(int argc, char** argv) {
   if (!checkpointPath.empty()) {
     const std::string fingerprint = characterize::configFingerprint(spec, cfg);
     checkpoint = std::make_unique<characterize::CheckpointSession>(
-        checkpointPath, fingerprint, resume);
+        checkpointPath, fingerprint, resume, journalOptions);
     cfg.checkpoint = checkpoint.get();
     if (resume) {
       std::printf("resuming from %s: %zu journaled result%s\n",

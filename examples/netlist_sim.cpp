@@ -23,9 +23,12 @@
 #include <cstring>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "characterize/characterize.hpp"
+#include "fleet/bundle.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "spice/netlist.hpp"
@@ -105,23 +108,62 @@ int severityExitCode(support::Severity s) {
 // report covers the full stack, not just the raw deck simulation.  In strict
 // mode, any healed characterization point or degraded STA arc is reported on
 // stderr and reflected in the returned exit code.
-int runFullStackStage(bool strict, int threads,
-                      support::CancelToken* cancel) {
-  std::printf("\n%s: characterizing a coarse NAND2 and timing a "
-              "three-stage path ...\n", strict ? "--strict" : "--stats");
-  cells::CellSpec spec;
-  spec.type = cells::GateType::Nand;
-  spec.fanin = 2;
-  auto cfg = coarseConfig();
-  cfg.threads = threads;
-  cfg.cancel = cancel;
-  const auto cell = characterize::characterizeGate(spec, cfg);
+int runFullStackStage(bool strict, int threads, support::CancelToken* cancel,
+                      const std::string& bundlePath,
+                      const std::string& cornerName,
+                      fleet::MissingCornerPolicy cornerPolicy) {
+  // CharacterizedGate is move-only, so the stage works through a pointer:
+  // either into the loaded bundle or at a locally characterized model.
+  fleet::Bundle bundle;
+  std::optional<characterize::CharacterizedGate> localCell;
+  const characterize::CharacterizedGate* cellPtr = nullptr;
+  if (!bundlePath.empty()) {
+    // Serve the gate model from a fleet-assembled multi-corner bundle
+    // instead of characterizing in-process; a corner the fleet quarantined
+    // is handled by the explicit degrade-or-reject policy.
+    bundle = fleet::loadBundleFile(bundlePath);
+    support::DiagnosticLog degradeLog;
+    const fleet::CornerSelection sel =
+        fleet::selectCorner(bundle, cornerName, cornerPolicy, &degradeLog);
+    std::printf("\nbundle %s: timing a three-stage path at corner '%s'%s\n",
+                bundlePath.c_str(), sel.entry->corner.name.c_str(),
+                sel.degraded ? " (nearest-corner fallback)" : "");
+    for (const auto& d : degradeLog.entries()) {
+      std::printf("  %s\n", d.toString().c_str());
+    }
+    cellPtr = &*sel.entry->gate;
+  } else {
+    std::printf("\n%s: characterizing a coarse NAND2 and timing a "
+                "three-stage path ...\n", strict ? "--strict" : "--stats");
+    cells::CellSpec spec;
+    spec.type = cells::GateType::Nand;
+    spec.fanin = 2;
+    auto cfg = coarseConfig();
+    cfg.threads = threads;
+    cfg.cancel = cancel;
+    localCell = characterize::characterizeGate(spec, cfg);
+    cellPtr = &*localCell;
+  }
+  const characterize::CharacterizedGate& cell = *cellPtr;
 
   sta::Netlist nl;
   for (const char* pi : {"a", "b", "c", "s"}) nl.addPrimaryInput(pi);
-  nl.addInstance("u1", cell, {"a", "b"}, "y1");
-  nl.addInstance("u2", cell, {"y1", "s"}, "y2");
-  nl.addInstance("u3", cell, {"y2", "c"}, "y3");
+  // Pad stages up to the served cell's fanin with stable side inputs, so a
+  // bundle gate of any width drops into the same chain.
+  std::vector<std::string> pads;
+  for (int p = 0; p + 2 < cell.pinCount(); ++p) {
+    pads.push_back("p" + std::to_string(p));
+    nl.addPrimaryInput(pads.back());
+  }
+  auto stageInputs = [&](const std::string& first, const std::string& second) {
+    std::vector<std::string> v{first};
+    if (cell.pinCount() >= 2) v.push_back(second);
+    for (const std::string& pad : pads) v.push_back(pad);
+    return v;
+  };
+  nl.addInstance("u1", cell, stageInputs("a", "b"), "y1");
+  nl.addInstance("u2", cell, stageInputs("y1", "s"), "y2");
+  nl.addInstance("u3", cell, stageInputs("y2", "c"), "y3");
 
   sta::DelayCalcOptions staOpt;
   staOpt.threads = threads;
@@ -163,6 +205,9 @@ int main(int argc, char** argv) {
   bool strict = false;
   std::string statsPath;
   std::string tracePath;
+  std::string bundlePath;
+  std::string cornerName = "tt";
+  fleet::MissingCornerPolicy cornerPolicy = fleet::MissingCornerPolicy::Reject;
   int threads = 0;  // 0 = par::defaultThreadCount() (PROX_THREADS or cores)
   double timeoutSecs = 0.0;
   support::ResourceBudget budget;
@@ -184,6 +229,29 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--strict") == 0) {
       strict = true;
+    } else if (std::strncmp(argv[i], "--bundle=", 9) == 0) {
+      bundlePath = argv[i] + 9;
+      if (bundlePath.empty()) {
+        std::fprintf(stderr, "%s: --bundle= requires a file name\n", argv[0]);
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--corner=", 9) == 0) {
+      cornerName = argv[i] + 9;
+      if (cornerName.empty()) {
+        std::fprintf(stderr, "%s: --corner= requires a corner name\n", argv[0]);
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--corner-policy=", 16) == 0) {
+      const std::string v = argv[i] + 16;
+      if (v == "reject") {
+        cornerPolicy = fleet::MissingCornerPolicy::Reject;
+      } else if (v == "degrade") {
+        cornerPolicy = fleet::MissingCornerPolicy::Degrade;
+      } else {
+        std::fprintf(stderr, "%s: --corner-policy expects reject|degrade\n",
+                     argv[0]);
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = std::atoi(argv[++i]);
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
@@ -212,7 +280,9 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [--stats[=FILE]] [--trace=FILE] [--strict] "
                    "[--threads N] [--timeout=SECS] [--max-memory=MB] "
-                   "[--max-nodes=N]\n",
+                   "[--max-nodes=N]\n"
+                   "       [--bundle=FILE] [--corner=NAME] "
+                   "[--corner-policy=reject|degrade]\n",
                    argv[0]);
       return 2;
     }
@@ -265,8 +335,9 @@ int main(int argc, char** argv) {
                 "paths: the output\ncrossing moves earlier and the rise "
                 "sharpens -- Figure 1-2(a,b) straight from\na SPICE deck.\n");
 
-    if (stats || strict) {
-      rc = runFullStackStage(strict, threads, &cancelToken);
+    if (stats || strict || !bundlePath.empty()) {
+      rc = runFullStackStage(strict, threads, &cancelToken, bundlePath,
+                             cornerName, cornerPolicy);
     }
   } catch (const support::DiagnosticError& e) {
     std::fprintf(stderr, "%s\n", e.diagnostic().toString().c_str());
@@ -285,6 +356,7 @@ int main(int argc, char** argv) {
       return 6;
     }
     if (e.code() == support::StatusCode::ResourceExhausted) return 7;
+    if (e.code() == support::StatusCode::StructuralError) return 8;
     return 1;
   }
   if (stats) {

@@ -27,12 +27,14 @@
 #include <string>
 
 #include "characterize/characterize.hpp"
+#include "fleet/bundle.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "sta/blif.hpp"
 #include "sta/flat_sim.hpp"
 #include "support/budget.hpp"
 #include "support/cancel.hpp"
+#include "support/diagnostic.hpp"
 #include "support/durable_io.hpp"
 
 using namespace prox;
@@ -178,6 +180,86 @@ void runBlifFlow(const std::string& path, const std::string& libKind,
   std::printf("\n");
 }
 
+/// Bundle mode: serve a model from a fleet-assembled multi-corner bundle
+/// (see fleet/bundle.hpp) and time the three-stage demo chain with it.  The
+/// interesting part is the hole handling: a corner the fleet quarantined is
+/// served under an explicit policy -- reject (exit 8) or degrade to the
+/// nearest characterized corner with a counted, logged substitution --
+/// mirroring the --structural ladder.
+void runBundleFlow(const std::string& bundlePath, const std::string& cornerName,
+                   fleet::MissingCornerPolicy policy, int threads,
+                   support::CancelToken* cancel) {
+  const fleet::Bundle bundle = fleet::loadBundleFile(bundlePath);
+  std::printf("bundle %s: %zu corner(s), %zu characterized\n",
+              bundlePath.c_str(), bundle.entries.size(), bundle.okCount());
+  for (const fleet::BundleEntry& e : bundle.entries) {
+    std::printf("  %-12s %-11s%s%s\n", e.corner.name.c_str(),
+                fleet::bundleCornerStatusName(e.status),
+                e.reason.empty() ? "" : "  ", e.reason.c_str());
+  }
+
+  support::DiagnosticLog degradeLog;
+  const fleet::CornerSelection sel =
+      fleet::selectCorner(bundle, cornerName, policy, &degradeLog);
+  if (sel.degraded) {
+    std::printf("corner '%s' has no model; degraded to nearest characterized "
+                "corner '%s' (see fleet.bundle.nearest_fallbacks in --stats)\n",
+                sel.requested.c_str(), sel.entry->corner.name.c_str());
+    for (const auto& d : degradeLog.entries()) {
+      std::printf("  %s\n", d.toString().c_str());
+    }
+  } else {
+    std::printf("serving corner '%s'\n", sel.entry->corner.name.c_str());
+  }
+  const characterize::CharacterizedGate& cell = *sel.entry->gate;
+  const int fanin = cell.pinCount();
+
+  // The familiar three-stage chain, sized to the bundle cell's fanin: extra
+  // pins ride on stable pad inputs, exactly like s1 in the demo circuit.
+  sta::Netlist nl;
+  for (const char* pi : {"a", "b", "c", "s1"}) nl.addPrimaryInput(pi);
+  std::vector<std::string> pads;
+  for (int p = 0; p + 2 < fanin; ++p) {
+    pads.push_back("p" + std::to_string(p));
+    nl.addPrimaryInput(pads.back());
+  }
+  auto stageInputs = [&](const std::string& first, const std::string& second) {
+    std::vector<std::string> v{first};
+    if (fanin >= 2) v.push_back(second);
+    for (const std::string& pad : pads) v.push_back(pad);
+    return v;
+  };
+  nl.addInstance("u1", cell, stageInputs("a", "b"), "y1");
+  nl.addInstance("u2", cell, stageInputs("y1", "s1"), "y2");
+  nl.addInstance("u3", cell, stageInputs("y2", "c"), "y3");
+
+  sta::DelayCalcOptions opt;
+  opt.threads = threads;
+  opt.cancel = cancel;
+  auto analyze = [&](DelayMode mode) {
+    sta::TimingAnalyzer ta(nl, mode, opt);
+    ta.setInputArrival("a", {0.0, 250e-12, Edge::Rising});
+    ta.setInputArrival("b", {40e-12, 400e-12, Edge::Rising});
+    ta.setInputArrival("c", {600e-12, 300e-12, Edge::Rising});
+    ta.run();
+    return ta;
+  };
+  const auto proximity = analyze(DelayMode::Proximity);
+  const auto classic = analyze(DelayMode::Classic);
+  std::printf("\n%-5s | %16s | %16s\n", "net", "proximity [ps]", "classic [ps]");
+  for (const char* net : {"y1", "y2", "y3"}) {
+    const auto p = proximity.arrival(net);
+    const auto cl = classic.arrival(net);
+    if (!p || !cl) continue;
+    std::printf("%-5s | %16.1f | %16.1f\n", net, p->time * 1e12,
+                cl->time * 1e12);
+  }
+  if (proximity.degradedArcs() + classic.degradedArcs() > 0) {
+    std::printf("note: %zu arc(s) used a degraded delay model\n",
+                proximity.degradedArcs() + classic.degradedArcs());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -190,6 +272,9 @@ int main(int argc, char** argv) {
   sta::StructuralPolicy structural = sta::StructuralPolicy::Reject;
   std::string blifPath;
   std::string libKind = "analytic";
+  std::string bundlePath;
+  std::string cornerName = "tt";
+  fleet::MissingCornerPolicy cornerPolicy = fleet::MissingCornerPolicy::Reject;
   support::ResourceBudget budget;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--stats") == 0) {
@@ -250,6 +335,29 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--blif") == 0 && i + 1 < argc) {
       blifPath = argv[++i];
+    } else if (std::strncmp(argv[i], "--bundle=", 9) == 0) {
+      bundlePath = argv[i] + 9;
+      if (bundlePath.empty()) {
+        std::fprintf(stderr, "%s: --bundle= requires a file name\n", argv[0]);
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--corner=", 9) == 0) {
+      cornerName = argv[i] + 9;
+      if (cornerName.empty()) {
+        std::fprintf(stderr, "%s: --corner= requires a corner name\n", argv[0]);
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--corner-policy=", 16) == 0) {
+      const std::string v = argv[i] + 16;
+      if (v == "reject") {
+        cornerPolicy = fleet::MissingCornerPolicy::Reject;
+      } else if (v == "degrade") {
+        cornerPolicy = fleet::MissingCornerPolicy::Degrade;
+      } else {
+        std::fprintf(stderr, "%s: --corner-policy expects reject|degrade\n",
+                     argv[0]);
+        return 2;
+      }
     } else if (std::strncmp(argv[i], "--lib=", 6) == 0) {
       libKind = argv[i] + 6;
       if (libKind != "analytic" && libKind != "characterized") {
@@ -274,7 +382,9 @@ int main(int argc, char** argv) {
                    "[--timeout=SECS] [--max-memory=MB] [--max-nodes=N]\n"
                    "       [--graph=clean|cyclic|multidriven|dangling|"
                    "selfloop] [--structural=reject|degrade]\n"
-                   "       [--blif=FILE|-] [--lib=analytic|characterized]\n",
+                   "       [--blif=FILE|-] [--lib=analytic|characterized]\n"
+                   "       [--bundle=FILE] [--corner=NAME] "
+                   "[--corner-policy=reject|degrade]\n",
                    argv[0]);
       return 2;
     }
@@ -305,7 +415,20 @@ int main(int argc, char** argv) {
   }
 
   int exitCode = 0;
-  if (!blifPath.empty()) {
+  if (!bundlePath.empty()) {
+    // Fleet-bundle mode: serve a characterized corner (or a policy-governed
+    // substitute) from a multi-corner bundle and time the demo chain.
+    try {
+      runBundleFlow(bundlePath, cornerName, cornerPolicy, threads,
+                    &cancelToken);
+    } catch (const support::DiagnosticError& e) {
+      std::fprintf(stderr, "%s\n", e.diagnostic().toString().c_str());
+      exitCode = exitCodeFor(e);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+      exitCode = 1;
+    }
+  } else if (!blifPath.empty()) {
     // Netlist-scale frontend: parse BLIF, run both STA modes, report the
     // critical path.  Shares the cancellation/budget/stats/trace machinery
     // with the demo path below.

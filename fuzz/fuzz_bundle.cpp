@@ -1,0 +1,21 @@
+// Fuzz target: the multi-corner bundle reader.  Contract: any byte sequence
+// either parses (manifest CRCs, declared section lengths, per-section CRCs
+// and the embedded .prox packages all check out) or throws
+// support::DiagnosticError -- never a crash, never an unbounded allocation.
+
+#include <cstdint>
+#include <string>
+
+#include "fleet/bundle.hpp"
+#include "support/diagnostic.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    prox::fleet::parseBundle(text, "<fuzz>");
+  } catch (const prox::support::DiagnosticError&) {
+    // Typed rejection: within contract.
+  }
+  return 0;
+}

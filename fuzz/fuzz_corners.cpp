@@ -1,0 +1,20 @@
+// Fuzz target: the PVT corners-file parser.  Contract: any byte sequence
+// either parses into a bounded, range-checked corner set or throws
+// support::DiagnosticError.
+
+#include <cstdint>
+#include <string>
+
+#include "cells/corner.hpp"
+#include "support/diagnostic.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    prox::cells::parseCornersFile(text, "<fuzz>");
+  } catch (const prox::support::DiagnosticError&) {
+    // Typed rejection: within contract.
+  }
+  return 0;
+}

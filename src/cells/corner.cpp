@@ -1,0 +1,172 @@
+#include "cells/corner.hpp"
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "support/bounded.hpp"
+
+namespace prox::cells {
+
+namespace {
+
+constexpr const char* kSite = "cells.corners";
+constexpr const char* kMagic = "proxcorners";
+constexpr int kVersion = 1;
+
+// Range guards: a corner is a perturbation, not an arbitrary re-process.
+// Values outside these windows are almost certainly typos (or hostile), and
+// letting e.g. vdd x100 through would send the characterizer off to simulate
+// nonsense for hours before failing numerically.
+constexpr double kMinScale = 0.25;
+constexpr double kMaxScale = 4.0;
+constexpr double kMaxVtShiftVolts = 2.0;
+
+bool validName(const std::string& name) {
+  if (name.empty() || name.size() > kMaxCornerNameBytes) return false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+double scaleValue(const std::string& token, const char* what, int line) {
+  const double v = support::parseFiniteDoubleChecked(token, kSite, what, line);
+  if (v < kMinScale || v > kMaxScale) {
+    support::failParse(kSite,
+                       std::string(what) + " " + token + " outside [" +
+                           std::to_string(kMinScale) + ", " +
+                           std::to_string(kMaxScale) + "]",
+                       line);
+  }
+  return v;
+}
+
+}  // namespace
+
+Technology applyCorner(const Technology& base, const Corner& corner) {
+  Technology t = base;
+  t.vdd *= corner.vddScale;
+  t.nmos.vt0 += corner.vtShift;
+  t.pmos.vt0 -= corner.vtShift;
+  t.nmos.kp *= corner.kpScale;
+  t.pmos.kp *= corner.kpScale;
+  t.nmos.gamma *= corner.gammaScale;
+  t.pmos.gamma *= corner.gammaScale;
+  return t;
+}
+
+std::vector<Corner> defaultCorners() {
+  return {
+      {.name = "tt", .vddScale = 1.00, .vtShift = 0.00, .kpScale = 1.00,
+       .gammaScale = 1.00},
+      {.name = "ss", .vddScale = 1.00, .vtShift = 0.10, .kpScale = 0.85,
+       .gammaScale = 1.10},
+      {.name = "ff", .vddScale = 1.00, .vtShift = -0.10, .kpScale = 1.15,
+       .gammaScale = 0.90},
+      {.name = "sl", .vddScale = 0.90, .vtShift = 0.10, .kpScale = 0.85,
+       .gammaScale = 1.10},
+      {.name = "fh", .vddScale = 1.10, .vtShift = -0.10, .kpScale = 1.15,
+       .gammaScale = 0.90},
+  };
+}
+
+double cornerDistance(const Corner& a, const Corner& b) {
+  const double dv = a.vddScale - b.vddScale;
+  const double dt = a.vtShift - b.vtShift;
+  const double dk = a.kpScale - b.kpScale;
+  const double dg = a.gammaScale - b.gammaScale;
+  return std::sqrt(dv * dv + dt * dt + dk * dk + dg * dg);
+}
+
+std::vector<Corner> parseCornersFile(const std::string& text,
+                                     const std::string& pathForDiag) {
+  if (text.size() > support::ReaderLimits{}.maxInputBytes) {
+    support::failResource(kSite, "corners file too large: " + pathForDiag);
+  }
+  std::istringstream is(text);
+  std::vector<Corner> corners;
+  std::set<std::string> names;
+  support::BoundedLine line;
+  bool sawHeader = false;
+  int lineNo = 0;
+  while (support::getlineBounded(is, kMaxCornerNameBytes + 128, &line)) {
+    ++lineNo;
+    if (line.overlong) {
+      support::failParse(kSite, "overlong line in " + pathForDiag, lineNo);
+    }
+    std::istringstream ls(line.text);
+    std::string word;
+    std::vector<std::string> tokens;
+    while (ls >> word) {
+      if (word[0] == '#') break;
+      tokens.push_back(std::move(word));
+    }
+    if (tokens.empty()) continue;
+    if (!sawHeader) {
+      if (tokens.size() != 2 || tokens[0] != kMagic ||
+          tokens[1] != std::to_string(kVersion)) {
+        support::failParse(
+            kSite, "bad corners header (want \"proxcorners 1\"): " +
+                       pathForDiag,
+            lineNo);
+      }
+      sawHeader = true;
+      continue;
+    }
+    if (tokens.size() != 10 || tokens[0] != "corner" || tokens[2] != "vdd" ||
+        tokens[4] != "vt" || tokens[6] != "kp" || tokens[8] != "gamma") {
+      support::failParse(kSite,
+                         "bad corner line (want \"corner NAME vdd S vt V kp "
+                         "S gamma S\"): " +
+                             pathForDiag,
+                         lineNo);
+    }
+    Corner c;
+    c.name = tokens[1];
+    if (!validName(c.name)) {
+      support::failParse(kSite, "bad corner name: " + pathForDiag, lineNo);
+    }
+    if (!names.insert(c.name).second) {
+      support::failParse(kSite, "duplicate corner \"" + c.name + "\": " +
+                                    pathForDiag,
+                         lineNo);
+    }
+    c.vddScale = scaleValue(tokens[3], "vdd scale", lineNo);
+    c.vtShift =
+        support::parseFiniteDoubleChecked(tokens[5], kSite, "vt shift", lineNo);
+    if (std::fabs(c.vtShift) > kMaxVtShiftVolts) {
+      support::failParse(kSite, "vt shift " + tokens[5] + " outside +-" +
+                                    std::to_string(kMaxVtShiftVolts) + " V",
+                         lineNo);
+    }
+    c.kpScale = scaleValue(tokens[7], "kp scale", lineNo);
+    c.gammaScale = scaleValue(tokens[9], "gamma scale", lineNo);
+    if (corners.size() >= kMaxCorners) {
+      support::failResource(kSite,
+                            "more than " + std::to_string(kMaxCorners) +
+                                " corners: " + pathForDiag,
+                            lineNo);
+    }
+    corners.push_back(std::move(c));
+  }
+  if (!sawHeader) {
+    support::failParse(kSite, "missing corners header: " + pathForDiag);
+  }
+  if (corners.empty()) {
+    support::failParse(kSite, "corners file defines no corners: " +
+                                  pathForDiag);
+  }
+  return corners;
+}
+
+std::vector<Corner> loadCornersFile(const std::string& path) {
+  return parseCornersFile(
+      support::readFileBounded(path, support::ReaderLimits{}.maxInputBytes,
+                               kSite),
+      path);
+}
+
+}  // namespace prox::cells

@@ -1,0 +1,74 @@
+#pragma once
+// PVT corner specifications over a Technology.
+//
+// A Corner is a small, named perturbation of a base process: supply scale,
+// threshold-magnitude shift, transconductance (K') scale and body-effect
+// (gamma) scale.  Characterizing the same cell under each corner of a set
+// yields the multi-corner model bundle the fleet layer assembles; STA then
+// picks (or degrades to) the corner closest to its operating point.
+//
+// The perturbations are *relative* to whatever base Technology is plugged in
+// (generic5v, submicron3v, ...), so one corners file serves every process:
+//   vdd   -- multiplies Technology::vdd            (1.0 = nominal)
+//   vt    -- adds to |vt0| of both devices [V]     (0.0 = nominal; slow > 0)
+//   kp    -- multiplies kp of both devices         (1.0 = nominal; slow < 1)
+//   gamma -- multiplies gamma of both devices      (1.0 = nominal)
+//
+// Corners files cross a trust boundary (hand-edited text), so the parser
+// follows the DESIGN.md section 7 rules: bounded input size, capped corner
+// count, overflow-checked numeric conversions, typed DiagnosticError on any
+// malformation -- never a crash or an unbounded allocation.
+//
+// Grammar (line-oriented; '#' starts a comment; blank lines ignored):
+//   proxcorners 1
+//   corner <name> vdd <scale> vt <shift_v> kp <scale> gamma <scale>
+// Corner names are unique, [A-Za-z0-9_.-]+, at most 64 bytes.
+
+#include <string>
+#include <vector>
+
+#include "cells/technology.hpp"
+
+namespace prox::cells {
+
+struct Corner {
+  std::string name;        ///< unique identifier ("tt", "ss", ...)
+  double vddScale = 1.0;   ///< multiplies Technology::vdd
+  double vtShift = 0.0;    ///< adds to |vt0| of both devices [V]
+  double kpScale = 1.0;    ///< multiplies kp of both devices
+  double gammaScale = 1.0; ///< multiplies gamma of both devices
+};
+
+/// The base technology perturbed by @p corner.  vtShift moves the threshold
+/// *magnitude*: nmos.vt0 += shift, pmos.vt0 -= shift (PMOS vt0 is negative),
+/// so a positive shift slows both networks.
+Technology applyCorner(const Technology& base, const Corner& corner);
+
+/// The default five-corner set: tt (typical), ss (slow/slow), ff (fast/fast),
+/// and the two supply corners sl (slow, low Vdd) / fh (fast, high Vdd).  A
+/// deliberate spread, not foundry data: the paper's flow re-characterizes
+/// from the simulator for whatever parameters are plugged in.
+std::vector<Corner> defaultCorners();
+
+/// Normalized distance between two corners over (vddScale, vtShift, kpScale,
+/// gammaScale) -- the metric the bundle loader minimizes when degrading a
+/// missing corner to the nearest characterized one.  vtShift is weighted in
+/// volts-per-supply-ish units (x1) against the dimensionless scales; exact
+/// weights only matter for ties, and ties break by corner order.
+double cornerDistance(const Corner& a, const Corner& b);
+
+/// Caps enforced by the corners-file parser.
+inline constexpr std::size_t kMaxCorners = 256;
+inline constexpr std::size_t kMaxCornerNameBytes = 64;
+
+/// Parses a corners file (grammar above) from @p text; @p pathForDiag labels
+/// diagnostics.  Throws support::DiagnosticError (ParseError /
+/// ResourceExhausted) per the trust-boundary rules; the returned set is
+/// non-empty with unique names and finite, range-checked values.
+std::vector<Corner> parseCornersFile(const std::string& text,
+                                     const std::string& pathForDiag);
+
+/// readFileBounded + parseCornersFile.
+std::vector<Corner> loadCornersFile(const std::string& path);
+
+}  // namespace prox::cells

@@ -178,15 +178,16 @@ class ProgressHeartbeat {
                                   : 0.0;
     const int lag =
         checkpoint_ != nullptr ? checkpoint_->unsyncedRecords() : 0;
+    const int cadence = checkpoint_ != nullptr ? checkpoint_->fsyncEveryN() : 0;
     PROX_OBS_TRACE_COUNTER("char.progress.points_done", done);
     PROX_OBS_TRACE_COUNTER("char.progress.checkpoint_lag",
                            static_cast<std::uint64_t>(lag));
     std::fprintf(stderr,
                  "[characterize] %s: %llu/%llu points, %.1f pts/s, "
-                 "ETA %.0fs, checkpoint lag %d\n",
+                 "ETA %.0fs, checkpoint lag %d/%d\n",
                  label_.c_str(), static_cast<unsigned long long>(done),
                  static_cast<unsigned long long>(total_), rate, etaSeconds,
-                 lag);
+                 lag, cadence);
   }
 
   std::string label_;

@@ -110,9 +110,10 @@ std::string configFingerprint(const cells::ComplexCellSpec& spec,
   return digest(s);
 }
 
-CheckpointSession::CheckpointSession(const std::string& path,
-                                     const std::string& fingerprint,
-                                     bool resume) {
+CheckpointSession::CheckpointSession(
+    const std::string& path, const std::string& fingerprint, bool resume,
+    const support::Journal::Options& journalOptions) {
+  journal_.setOptions(journalOptions);
   if (resume) {
     std::vector<support::JournalRecord> records =
         journal_.openResume(path, fingerprint);

@@ -51,9 +51,11 @@ class CheckpointSession {
   /// previous one); resume=true replays the valid records of an existing
   /// journal whose header fingerprint must equal @p fingerprint (typed
   /// ParseError otherwise), tolerating a torn tail per the journal's crash
-  /// contract.  A missing file resumes as an empty session.
+  /// contract.  A missing file resumes as an empty session.  @p journalOptions
+  /// carries durability knobs (fsync cadence) through to the journal.
   CheckpointSession(const std::string& path, const std::string& fingerprint,
-                    bool resume);
+                    bool resume,
+                    const support::Journal::Options& journalOptions = {});
 
   /// True when a journaled result exists for (scope, index); copies its
   /// payload words into @p words.
@@ -81,6 +83,11 @@ class CheckpointSession {
   /// Journaled records not yet fsynced -- the crash-loss window right now.
   /// Progress heartbeats report this as "checkpoint lag".
   int unsyncedRecords() const noexcept { return journal_.unsynced(); }
+
+  /// Configured fsync cadence (records per fsync); heartbeats report it
+  /// alongside the lag so an operator can tell "lag 31" is one record shy of
+  /// a sync, not 31 syncs behind.
+  int fsyncEveryN() const noexcept { return journal_.options().fsyncEveryN; }
 
   const std::string& path() const noexcept { return journal_.path(); }
 

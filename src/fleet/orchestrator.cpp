@@ -1,0 +1,459 @@
+#include "fleet/orchestrator.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <ostream>
+
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+#include "support/diagnostic.hpp"
+
+namespace prox::fleet {
+
+namespace {
+
+constexpr const char* kSite = "fleet.orchestrator";
+
+// Worker output kept per attempt for the "last diagnostic" record.  Only the
+// tail matters -- the final error line -- so older bytes are dropped.
+constexpr std::size_t kMaxTailBytes = 8192;
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point t) {
+  return std::chrono::duration<double>(Clock::now() - t).count();
+}
+
+[[noreturn]] void failInternal(const std::string& msg) {
+  const int err = errno;
+  std::string full = msg;
+  if (err != 0) full += std::string(" (") + std::strerror(err) + ")";
+  throw support::DiagnosticError(
+      support::makeDiagnostic(support::StatusCode::Internal, full)
+          .withSite(kSite));
+}
+
+/// The last non-empty line of @p tail, whitespace-trimmed -- the worker's
+/// own final diagnostic, recorded verbatim into the fleet report.
+std::string lastLine(const std::string& tail) {
+  std::size_t end = tail.size();
+  while (end > 0) {
+    std::size_t begin = tail.find_last_of('\n', end - 1);
+    const std::size_t lineStart = begin == std::string::npos ? 0 : begin + 1;
+    std::string line = tail.substr(lineStart, end - lineStart);
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r' ||
+                             line.back() == ' ')) {
+      line.pop_back();
+    }
+    if (!line.empty()) return line;
+    if (lineStart == 0) break;
+    end = lineStart - 1;
+  }
+  return {};
+}
+
+/// Everything the supervisor tracks about one shard while the fleet runs.
+struct ShardRuntime {
+  const ShardSpec* spec = nullptr;
+  ShardState state = ShardState::Pending;
+  int attempts = 0;  ///< processes launched so far
+  bool resumedFromJournal = false;
+  Clock::time_point nextLaunch = Clock::time_point::min();
+  Clock::time_point firstLaunch;
+  // Live process bookkeeping (state == Running):
+  pid_t pid = -1;
+  int pipeFd = -1;
+  Clock::time_point startTime;
+  Clock::time_point lastOutput;
+  bool termSent = false;
+  Clock::time_point termTime;
+  std::string killReason;  ///< "deadline" / "heartbeat" when we killed it
+  std::string tail;
+  // Terminal facts:
+  int lastExitCode = -1;
+  int lastSignal = 0;
+  std::string lastDiagnostic;
+  double elapsedSeconds = 0.0;
+};
+
+void appendTail(ShardRuntime& rt, const char* data, std::size_t n) {
+  rt.tail.append(data, n);
+  if (rt.tail.size() > kMaxTailBytes) {
+    rt.tail.erase(0, rt.tail.size() - kMaxTailBytes);
+  }
+}
+
+void launchShard(ShardRuntime& rt, std::size_t shardIndex,
+                 const FleetOptions& options) {
+  const std::vector<std::string> argv = rt.spec->command(rt.attempts);
+  if (argv.empty()) failInternal("shard command returned empty argv");
+
+  int fds[2];
+  if (::pipe(fds) != 0) failInternal("pipe failed");
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    failInternal("fork failed");
+  }
+  if (pid == 0) {
+    // Child: stdout+stderr onto the supervision pipe (both heartbeat and
+    // diagnostics travel the same channel), then exec the worker.
+    ::dup2(fds[1], STDOUT_FILENO);
+    ::dup2(fds[1], STDERR_FILENO);
+    ::close(fds[0]);
+    ::close(fds[1]);
+    std::vector<char*> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const std::string& a : argv) {
+      cargv.push_back(const_cast<char*>(a.c_str()));
+    }
+    cargv.push_back(nullptr);
+    ::execvp(cargv[0], cargv.data());
+    // exec failed: the conventional shell code, visible as the exit status.
+    std::fprintf(stderr, "fleet worker exec failed: %s: %s\n", cargv[0],
+                 std::strerror(errno));
+    ::_exit(127);
+  }
+
+  ::close(fds[1]);
+  const int flags = ::fcntl(fds[0], F_GETFL, 0);
+  ::fcntl(fds[0], F_SETFL, flags | O_NONBLOCK);
+
+  if (rt.attempts == 0) rt.firstLaunch = Clock::now();
+  ++rt.attempts;
+  rt.state = ShardState::Running;
+  rt.pid = pid;
+  rt.pipeFd = fds[0];
+  rt.startTime = Clock::now();
+  rt.lastOutput = rt.startTime;
+  rt.termSent = false;
+  rt.killReason.clear();
+  rt.tail.clear();
+  if (rt.attempts > 1 || rt.resumedFromJournal) {
+    // A retry (or a fleet-level --resume) replays the shard's journal.
+    PROX_OBS_COUNT("fleet.shard.resumed", 1);
+  }
+  PROX_OBS_ASYNC_BEGIN("fleet.shard", shardIndex * 1000 +
+                                          static_cast<std::size_t>(rt.attempts));
+  (void)options;
+}
+
+/// Reaps an exited worker and walks the shard down the ladder:
+/// success -> Done; failure -> Retrying with backoff, or Quarantined once
+/// maxRetries is exhausted.
+void finishAttempt(ShardRuntime& rt, std::size_t shardIndex, int wstatus,
+                   const FleetOptions& options) {
+  ::close(rt.pipeFd);
+  rt.pipeFd = -1;
+  rt.pid = -1;
+  PROX_OBS_ASYNC_END("fleet.shard", shardIndex * 1000 +
+                                        static_cast<std::size_t>(rt.attempts));
+
+  if (WIFEXITED(wstatus)) {
+    rt.lastExitCode = WEXITSTATUS(wstatus);
+    rt.lastSignal = 0;
+  } else if (WIFSIGNALED(wstatus)) {
+    rt.lastExitCode = -1;
+    rt.lastSignal = WTERMSIG(wstatus);
+  }
+  rt.lastDiagnostic = lastLine(rt.tail);
+  if (!rt.killReason.empty()) {
+    rt.lastDiagnostic = "killed by supervisor (" + rt.killReason + ")" +
+                        (rt.lastDiagnostic.empty()
+                             ? std::string()
+                             : "; last output: " + rt.lastDiagnostic);
+  }
+
+  bool ok = WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0;
+  if (ok && rt.spec->validateArtifact) {
+    std::string reason;
+    try {
+      ok = rt.spec->validateArtifact(&reason);
+    } catch (const std::exception& e) {
+      ok = false;
+      reason = e.what();
+    }
+    if (!ok) {
+      PROX_OBS_COUNT("fleet.shard.invalid_artifacts", 1);
+      rt.lastDiagnostic = "artifact validation failed" +
+                          (reason.empty() ? std::string() : ": " + reason);
+    }
+  }
+
+  if (ok) {
+    rt.state = ShardState::Done;
+    rt.elapsedSeconds = secondsSince(rt.firstLaunch);
+    return;
+  }
+  const int retriesSoFar = rt.attempts - 1;
+  if (retriesSoFar >= options.maxRetries) {
+    rt.state = ShardState::Quarantined;
+    rt.elapsedSeconds = secondsSince(rt.firstLaunch);
+    PROX_OBS_COUNT("fleet.shard.quarantined", 1);
+    return;
+  }
+  rt.state = ShardState::Retrying;
+  const double delay = retryBackoffSeconds(rt.attempts, options);
+  rt.nextLaunch =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(delay));
+  PROX_OBS_COUNT("fleet.shard.retries", 1);
+}
+
+/// SIGTERM first (the workers' SignalCancelScope flushes the checkpoint and
+/// exits 6), SIGKILL once the grace period runs out.
+void enforceLiveness(ShardRuntime& rt, const FleetOptions& options) {
+  if (rt.state != ShardState::Running) return;
+  if (rt.termSent) {
+    if (secondsSince(rt.termTime) >= options.killGraceSeconds) {
+      ::kill(rt.pid, SIGKILL);
+    }
+    return;
+  }
+  const char* reason = nullptr;
+  if (options.shardDeadlineSeconds > 0.0 &&
+      secondsSince(rt.startTime) >= options.shardDeadlineSeconds) {
+    reason = "deadline";
+  } else if (options.heartbeatTimeoutSeconds > 0.0 &&
+             secondsSince(rt.lastOutput) >= options.heartbeatTimeoutSeconds) {
+    reason = "heartbeat";
+  }
+  if (reason != nullptr) {
+    rt.killReason = reason;
+    rt.termSent = true;
+    rt.termTime = Clock::now();
+    ::kill(rt.pid, SIGTERM);
+    PROX_OBS_COUNT(reason[0] == 'd' ? "fleet.shard.deadline_kills"
+                                    : "fleet.shard.heartbeat_kills",
+                   1);
+  }
+}
+
+void drainPipe(ShardRuntime& rt, bool echo) {
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::read(rt.pipeFd, buf, sizeof(buf));
+    if (n > 0) {
+      rt.lastOutput = Clock::now();
+      appendTail(rt, buf, static_cast<std::size_t>(n));
+      if (echo) {
+        std::fwrite(buf, 1, static_cast<std::size_t>(n), stderr);
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    break;  // EAGAIN (drained) or EOF/error; EOF is detected via waitpid
+  }
+}
+
+void terminateAll(std::vector<ShardRuntime>& shards,
+                  const FleetOptions& options) {
+  for (ShardRuntime& rt : shards) {
+    if (rt.state == ShardState::Running) ::kill(rt.pid, SIGTERM);
+  }
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(
+                             std::max(0.1, options.killGraceSeconds)));
+  while (true) {
+    bool anyLive = false;
+    for (ShardRuntime& rt : shards) {
+      if (rt.state != ShardState::Running) continue;
+      int wstatus = 0;
+      const pid_t r = ::waitpid(rt.pid, &wstatus, WNOHANG);
+      if (r == rt.pid) {
+        drainPipe(rt, options.echoWorkerOutput);
+        ::close(rt.pipeFd);
+        rt.pipeFd = -1;
+        rt.pid = -1;
+        // Cancellation is not a shard failure; leave the shard Pending so a
+        // later --resume picks it up from its journal.
+        rt.state = ShardState::Pending;
+      } else {
+        anyLive = true;
+      }
+    }
+    if (!anyLive) return;
+    if (Clock::now() >= deadline) {
+      for (ShardRuntime& rt : shards) {
+        if (rt.state == ShardState::Running) ::kill(rt.pid, SIGKILL);
+      }
+    }
+    ::usleep(20 * 1000);
+  }
+}
+
+}  // namespace
+
+const char* shardStateName(ShardState state) noexcept {
+  switch (state) {
+    case ShardState::Pending: return "pending";
+    case ShardState::Running: return "running";
+    case ShardState::Retrying: return "retrying";
+    case ShardState::Quarantined: return "quarantined";
+    case ShardState::Done: return "done";
+  }
+  return "unknown";
+}
+
+double retryBackoffSeconds(int attempt, const FleetOptions& options) {
+  const double raw =
+      options.backoffBaseSeconds * std::ldexp(1.0, std::max(0, attempt - 1));
+  return std::min(raw, options.backoffMaxSeconds);
+}
+
+std::size_t FleetReport::countIn(ShardState state) const {
+  std::size_t n = 0;
+  for (const ShardResult& s : shards) {
+    if (s.state == state) ++n;
+  }
+  return n;
+}
+
+void FleetReport::writeJson(std::ostream& os) const {
+  os << "{\n  \"schema_version\": 1,\n";
+  os << "  \"elapsed_s\": " << elapsedSeconds << ",\n";
+  os << "  \"done\": " << countIn(ShardState::Done)
+     << ",\n  \"quarantined\": " << countIn(ShardState::Quarantined)
+     << ",\n  \"shards\": [";
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    const ShardResult& s = shards[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    { \"name\": \"" << s.name << "\", \"state\": \""
+       << shardStateName(s.state) << "\", \"attempts\": " << s.attempts
+       << ", \"exit_code\": " << s.lastExitCode
+       << ", \"signal\": " << s.lastSignal << ", \"resumed\": "
+       << (s.resumedFromJournal ? "true" : "false")
+       << ", \"elapsed_s\": " << s.elapsedSeconds
+       << ", \"last_diagnostic\": \"";
+    // Minimal JSON escaping; diagnostics are our own tool's output lines.
+    for (char c : s.lastDiagnostic) {
+      if (c == '"' || c == '\\') os << '\\' << c;
+      else if (static_cast<unsigned char>(c) < 0x20) os << ' ';
+      else os << c;
+    }
+    os << "\" }";
+  }
+  os << (shards.empty() ? "]\n" : "\n  ]\n") << "}\n";
+}
+
+FleetReport runFleet(const std::vector<ShardSpec>& shards,
+                     const FleetOptions& options) {
+  const Clock::time_point fleetStart = Clock::now();
+  std::vector<ShardRuntime> rts(shards.size());
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    rts[i].spec = &shards[i];
+    rts[i].resumedFromJournal = shards[i].resumesFromJournal;
+  }
+
+  const int maxParallel = std::max(1, options.maxParallel);
+  while (true) {
+    // Whole-fleet cancellation: stop the workers (gracefully: their own
+    // signal scopes flush checkpoints), then surface the typed error.
+    if (options.cancel != nullptr && options.cancel->cancelRequested()) {
+      terminateAll(rts, options);
+      throw support::DiagnosticError(options.cancel->diagnostic(kSite));
+    }
+
+    // Reap exited workers before launching: a freed slot is reusable in the
+    // same iteration.
+    for (std::size_t i = 0; i < rts.size(); ++i) {
+      ShardRuntime& rt = rts[i];
+      if (rt.state != ShardState::Running) continue;
+      int wstatus = 0;
+      const pid_t r = ::waitpid(rt.pid, &wstatus, WNOHANG);
+      if (r == rt.pid) {
+        drainPipe(rt, options.echoWorkerOutput);
+        finishAttempt(rt, i, wstatus, options);
+      }
+    }
+
+    // Liveness enforcement on whatever is still running.
+    for (ShardRuntime& rt : rts) enforceLiveness(rt, options);
+
+    // Launch eligible shards into free slots.
+    int running = 0;
+    for (const ShardRuntime& rt : rts) {
+      if (rt.state == ShardState::Running) ++running;
+    }
+    for (std::size_t i = 0; i < rts.size() && running < maxParallel; ++i) {
+      ShardRuntime& rt = rts[i];
+      const bool eligible =
+          (rt.state == ShardState::Pending ||
+           rt.state == ShardState::Retrying) &&
+          Clock::now() >= rt.nextLaunch;
+      if (!eligible) continue;
+      launchShard(rt, i, options);
+      ++running;
+    }
+
+    // Exit condition: nothing running and nothing left to launch.
+    bool allTerminal = true;
+    for (const ShardRuntime& rt : rts) {
+      if (rt.state != ShardState::Done &&
+          rt.state != ShardState::Quarantined) {
+        allTerminal = false;
+        break;
+      }
+    }
+    if (allTerminal) break;
+
+    // Sleep on worker output (the heartbeat channel) with a bounded tick so
+    // deadlines, backoff expiries and cancellation are checked promptly.
+    std::vector<struct pollfd> fds;
+    fds.reserve(rts.size());
+    for (ShardRuntime& rt : rts) {
+      if (rt.state == ShardState::Running && rt.pipeFd >= 0) {
+        fds.push_back({rt.pipeFd, POLLIN, 0});
+      }
+    }
+    const int timeoutMs = 50;
+    if (!fds.empty()) {
+      const int r = ::poll(fds.data(), fds.size(), timeoutMs);
+      if (r < 0 && errno != EINTR) failInternal("poll failed");
+      if (r > 0) {
+        std::size_t fi = 0;
+        for (ShardRuntime& rt : rts) {
+          if (rt.state != ShardState::Running || rt.pipeFd < 0) continue;
+          if (fds[fi].revents != 0) {
+            drainPipe(rt, options.echoWorkerOutput);
+          }
+          ++fi;
+        }
+      }
+    } else {
+      ::usleep(timeoutMs * 1000);
+    }
+  }
+
+  FleetReport report;
+  report.elapsedSeconds = secondsSince(fleetStart);
+  report.shards.reserve(rts.size());
+  for (const ShardRuntime& rt : rts) {
+    ShardResult s;
+    s.name = rt.spec->name;
+    s.state = rt.state;
+    s.attempts = rt.attempts;
+    s.lastExitCode = rt.lastExitCode;
+    s.lastSignal = rt.lastSignal;
+    s.resumedFromJournal = rt.resumedFromJournal || rt.attempts > 1;
+    s.lastDiagnostic = rt.lastDiagnostic;
+    s.elapsedSeconds = rt.elapsedSeconds;
+    report.shards.push_back(std::move(s));
+  }
+  return report;
+}
+
+}  // namespace prox::fleet

@@ -1,0 +1,108 @@
+#pragma once
+// Supervised multi-process fleet orchestration.
+//
+// The fleet runs one worker process per shard (a (corner, cell) work unit)
+// and supervises every rung of the failure ladder:
+//
+//   pending -> running -> done                        (the happy path)
+//                  \-> retrying -> running -> ...     (crash / timeout /
+//                                                      nonzero exit /
+//                                                      invalid artifact,
+//                                                      exponential backoff)
+//                          \-> quarantined            (maxRetries exhausted)
+//
+// Liveness is judged two ways: a per-shard wall-clock deadline, and a
+// heartbeat window fed by the worker's output (workers run with --progress,
+// so a healthy long sweep keeps writing).  A shard that trips either is
+// SIGTERMed -- the workers' SignalCancelScope turns that into a graceful
+// exit 6 with a flushed checkpoint -- and SIGKILLed only after a grace
+// period.  Because every worker journals through the PR 5 checkpoint layer,
+// a retry (or a whole-fleet --resume) replays the journal and recomputes
+// only what is missing, so interrupted fleets converge to byte-identical
+// artifacts.
+//
+// The orchestrator never throws for shard failures (they are data, recorded
+// in the FleetReport); it throws DiagnosticError only for its own faults
+// (fork/pipe failure) and for cancellation of the whole fleet.
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "support/cancel.hpp"
+
+namespace prox::fleet {
+
+enum class ShardState { Pending, Running, Retrying, Quarantined, Done };
+
+const char* shardStateName(ShardState state) noexcept;
+
+/// One unit of supervised work.
+struct ShardSpec {
+  std::string name;  ///< stable identifier (the corner name)
+  /// argv for attempt @p attempt (0-based).  argv[0] is the executable
+  /// path.  Later attempts typically add --resume so the worker replays its
+  /// journal instead of starting over.
+  std::function<std::vector<std::string>(int attempt)> command;
+  /// Optional post-exit artifact validation; return false (or throw) to
+  /// count the attempt as failed -- a worker that exits 0 after writing a
+  /// corrupt artifact must be retried, not trusted.  Null skips validation.
+  std::function<bool(std::string* reason)> validateArtifact;
+  /// True when a prior run's journal exists for this shard, so even the
+  /// first attempt is a resume (counts toward fleet.shard.resumed).
+  bool resumesFromJournal = false;
+};
+
+struct FleetOptions {
+  int maxParallel = 4;        ///< concurrently running workers
+  int maxRetries = 2;         ///< retries after the first failure
+  double backoffBaseSeconds = 0.25;  ///< first retry delay
+  double backoffMaxSeconds = 8.0;    ///< cap: base * 2^(attempt-1) <= max
+  double shardDeadlineSeconds = 0.0;      ///< 0 = no per-shard deadline
+  double heartbeatTimeoutSeconds = 0.0;   ///< 0 = no liveness window
+  double killGraceSeconds = 2.0;  ///< SIGTERM -> SIGKILL escalation delay
+  support::CancelToken* cancel = nullptr;  ///< whole-fleet cancellation
+  bool echoWorkerOutput = true;  ///< forward worker output to our stderr
+};
+
+/// Terminal record of one shard.
+struct ShardResult {
+  std::string name;
+  ShardState state = ShardState::Pending;
+  int attempts = 0;       ///< processes launched (1 = no retries)
+  int lastExitCode = -1;  ///< exit code of the final attempt; -1 if signaled
+  int lastSignal = 0;     ///< terminating signal of the final attempt, or 0
+  bool resumedFromJournal = false;  ///< launched with a prior journal present
+  std::string lastDiagnostic;  ///< last non-empty output line of the final
+                               ///< attempt (the worker's own diagnostic)
+  double elapsedSeconds = 0.0;  ///< wall clock across all attempts
+};
+
+struct FleetReport {
+  std::vector<ShardResult> shards;
+  double elapsedSeconds = 0.0;
+
+  std::size_t countIn(ShardState state) const;
+  bool allDone() const { return countIn(ShardState::Done) == shards.size(); }
+
+  /// Machine-readable JSON (parseable by obs::json): schema, per-shard
+  /// state / attempts / exit code / signal / last diagnostic, and totals.
+  void writeJson(std::ostream& os) const;
+};
+
+/// Runs @p shards under @p options until every shard is Done or
+/// Quarantined.  Instrumented: fleet.shard.retries / fleet.shard.quarantined
+/// / fleet.shard.resumed counters and one fleet.shard async span per shard
+/// attempt.  Throws DiagnosticError(Cancelled/DeadlineExceeded) when
+/// @p options.cancel trips (workers are SIGTERMed and reaped first).
+FleetReport runFleet(const std::vector<ShardSpec>& shards,
+                     const FleetOptions& options);
+
+/// The backoff delay before retry attempt @p attempt (1-based retry count):
+/// min(base * 2^(attempt-1), max).  Exposed for tests and the DESIGN.md
+/// contract.
+double retryBackoffSeconds(int attempt, const FleetOptions& options);
+
+}  // namespace prox::fleet

@@ -125,6 +125,16 @@ void writeJson(const Report& report, std::ostream& os) {
     jsonEscape(report.buildType, os);
     os << "\",\n";
   }
+  if (!report.gitSha.empty()) {
+    os << "  \"git_sha\": \"";
+    jsonEscape(report.gitSha, os);
+    os << "\",\n";
+  }
+  if (!report.runTimestamp.empty()) {
+    os << "  \"run_timestamp\": \"";
+    jsonEscape(report.runTimestamp, os);
+    os << "\",\n";
+  }
   if (!report.labels.empty()) {
     os << "  \"labels\": {";
     for (std::size_t i = 0; i < report.labels.size(); ++i) {
@@ -541,6 +551,12 @@ Report parseJson(const std::string& text) {
     } else if (key == "build_type") {
       if (!v.is(json::Value::Kind::String)) reportFail("expected string");
       r.buildType = v.str;
+    } else if (key == "git_sha") {
+      if (!v.is(json::Value::Kind::String)) reportFail("expected string");
+      r.gitSha = v.str;
+    } else if (key == "run_timestamp") {
+      if (!v.is(json::Value::Kind::String)) reportFail("expected string");
+      r.runTimestamp = v.str;
     } else if (key == "labels") {
       if (!v.is(json::Value::Kind::Object)) {
         reportFail("labels must be an object");

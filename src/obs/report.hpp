@@ -3,9 +3,11 @@
 //
 // The JSON schema (versioned; consumed by BENCH_*.json tooling):
 //   {
-//     "schema_version": 3,
+//     "schema_version": 4,
 //     "enabled": true,
 //     "build_type": "release",          // optional; omitted when unset
+//     "git_sha": "abc1234...",          // optional; omitted when unset
+//     "run_timestamp": "2026-01-02T03:04:05Z",  // optional ISO-8601 UTC
 //     "labels": { "<name>": "<value>", ... },   // optional; omitted when empty
 //     "counters": { "<name>": <uint64>, ... },
 //     "timers": {
@@ -30,8 +32,10 @@
 //
 // Version history: v1 (PR 1) had no schema_version key and no histograms;
 // v2 (PR 3) added histograms and the version key; v3 (PR 9) added the
-// optional labels section (small string facts such as simd.dispatch.path).
-// parseJson accepts all three and reports the version it read.
+// optional labels section (small string facts such as simd.dispatch.path);
+// v4 (PR 10) added the optional git_sha / run_timestamp provenance stamps so
+// perf trajectories can be assembled across commits.  parseJson accepts all
+// four and reports the version it read.
 
 #include <cstdint>
 #include <iosfwd>
@@ -107,12 +111,16 @@ struct HistogramSample {
 struct Report {
   /// Serialization schema (see header comment).  snapshot() produces the
   /// current version; parseJson() reports the version it read.
-  int schemaVersion = 3;
+  int schemaVersion = 4;
   bool enabled = true;
   /// Optional build-flavor tag ("release"/"debug") set by bench binaries so
   /// stats files self-describe whether their timings are comparable.  Empty
   /// means the field is omitted from the JSON.
   std::string buildType;
+  /// Optional provenance stamps (PR-to-PR perf trajectories need to know
+  /// which commit and when a run happened).  Empty means omitted.
+  std::string gitSha;
+  std::string runTimestamp;  ///< ISO-8601 UTC, e.g. "2026-01-02T03:04:05Z"
   /// Small string facts from the registry (e.g. simd.dispatch.path), sorted
   /// by name.  Omitted from the JSON when empty.
   std::vector<std::pair<std::string, std::string>> labels;

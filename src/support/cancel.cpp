@@ -44,9 +44,13 @@ struct sigaction gPrevTerm;
 extern "C" void proxCancelSignalHandler(int sig) {
   CancelToken* token = gSignalToken.load(std::memory_order_acquire);
   if (token == nullptr) return;
-  if (token->cancelRequested()) {
-    // Second signal: the run is already unwinding; give the operator a hard
-    // exit path instead of a hung teardown.
+  // Escalate only on a second *signal*.  cancelRequested() would also be
+  // true when a deadline has already latched the token -- and a supervisor's
+  // first SIGTERM arriving after a deadline trip must still unwind
+  // gracefully (exit 6, stats written), not die with the default
+  // disposition.  SIGINT and SIGTERM share the counter: either delivered
+  // twice, or one of each, means the operator wants a hard exit.
+  if (token->signalNumber() != 0) {
     std::signal(sig, SIG_DFL);
     std::raise(sig);
     return;

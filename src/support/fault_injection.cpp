@@ -14,6 +14,8 @@ const char* faultKindName(FaultKind kind) noexcept {
     case FaultKind::NanResidual: return "nan-residual";
     case FaultKind::SimulationFailure: return "simulation-failure";
     case FaultKind::ProcessCrash: return "process-crash";
+    case FaultKind::WorkerHang: return "worker-hang";
+    case FaultKind::CorruptArtifact: return "corrupt-artifact";
   }
   return "unknown";
 }

@@ -26,6 +26,8 @@ enum class FaultKind {
   NanResidual,        ///< a NaN is planted in the Newton residual vector
   SimulationFailure,  ///< GateSimulator::simulate throws SimulationFailed
   ProcessCrash,       ///< the process dies by SIGKILL at the site (crash test)
+  WorkerHang,         ///< a fleet worker stops making progress (hang test)
+  CorruptArtifact,    ///< a fleet worker damages its output artifact's bytes
 };
 
 const char* faultKindName(FaultKind kind) noexcept;

@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -260,7 +261,7 @@ void Journal::append(const std::string& scope, std::uint64_t index,
   }
   writeLine(os.str());
   PROX_OBS_COUNT("support.journal.records_appended", 1);
-  if (++unsynced_ >= syncEveryRecords) {
+  if (++unsynced_ >= std::max(1, options_.fsyncEveryN)) {
     ::fsync(fd_);
     unsynced_ = 0;
   }

@@ -14,7 +14,7 @@
 //
 // Crash contract:
 //   * append() writes each record with a single write(2) and fsyncs every
-//     syncEveryRecords appends (and on close/sync), so a SIGKILL loses at
+//     Options::fsyncEveryN appends (and on close/sync), so a SIGKILL loses at
 //     most the records since the last sync -- which a resume simply
 //     recomputes.
 //   * load() accepts a journal with a torn or corrupt tail: it returns every
@@ -57,7 +57,17 @@ double bitsFromDouble(std::uint64_t bits) noexcept;
 
 class Journal {
  public:
+  /// Durability knobs, set before (or between) open calls.
+  struct Options {
+    /// fsync cadence: 1 = every record (safest, slowest); N loses at most
+    /// the last N-1 records to a crash.  Sweep points cost milliseconds
+    /// each, so the default keeps sync overhead well under 1%.  Values < 1
+    /// are clamped to 1 at append time.
+    int fsyncEveryN = 32;
+  };
+
   Journal() = default;
+  explicit Journal(const Options& options) : options_(options) {}
   ~Journal();
 
   /// Reads @p path, validating record CRCs.  Returns nullopt when the file
@@ -90,7 +100,7 @@ class Journal {
   std::vector<JournalRecord> openResume(const std::string& path,
                                         const std::string& fingerprint);
 
-  /// Appends one record.  Thread-safe; fsyncs every syncEveryRecords
+  /// Appends one record.  Thread-safe; fsyncs every options().fsyncEveryN
   /// appends.  Throws DiagnosticError(IoError) on write failure.
   void append(const std::string& scope, std::uint64_t index,
               const std::vector<std::uint64_t>& words);
@@ -104,10 +114,9 @@ class Journal {
   bool isOpen() const noexcept { return fd_ >= 0; }
   const std::string& path() const noexcept { return path_; }
 
-  /// fsync cadence: 1 = every record (safest, slowest); N loses at most the
-  /// last N-1 records to a crash.  Sweep points cost milliseconds each, so
-  /// the default keeps sync overhead well under 1%.
-  int syncEveryRecords = 32;
+  const Options& options() const noexcept { return options_; }
+  /// Replaces the durability options; takes effect on the next append.
+  void setOptions(const Options& options) { options_ = options; }
 
   /// Records appended since the last fsync -- the crash-loss window right
   /// now.  Lock-free snapshot for progress heartbeats ("checkpoint lag");
@@ -124,6 +133,7 @@ class Journal {
 
   std::mutex mu_;
   std::string path_;
+  Options options_;
   int fd_ = -1;
   std::atomic<int> unsynced_{0};
 };

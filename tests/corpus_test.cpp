@@ -16,7 +16,9 @@
 
 #include <gtest/gtest.h>
 
+#include "cells/corner.hpp"
 #include "characterize/serialize.hpp"
+#include "fleet/bundle.hpp"
 #include "obs/report.hpp"
 #include "spice/netlist.hpp"
 #include "sta/blif.hpp"
@@ -134,6 +136,28 @@ TEST(CorpusTest, BlifSeedsHonorContract) {
   EXPECT_FALSE(contains(accepted, "duplicate_model.blif"));
   EXPECT_FALSE(contains(accepted, "huge_fanin.blif"));
   EXPECT_FALSE(contains(accepted, "nonascii_junk.blif"));
+}
+
+TEST(CorpusTest, CornersSeedsHonorContract) {
+  const auto accepted = replayAll("corners", [](const std::string& bytes) {
+    prox::cells::parseCornersFile(bytes, "<corpus>");
+  });
+  EXPECT_TRUE(contains(accepted, "default.corners"));
+  EXPECT_FALSE(contains(accepted, "bad_magic.corners"));
+  EXPECT_FALSE(contains(accepted, "huge_scale.corners"));
+  EXPECT_FALSE(contains(accepted, "dup_name.corners"));
+}
+
+TEST(CorpusTest, BundleSeedsHonorContract) {
+  const auto accepted = replayAll("bundle", [](const std::string& bytes) {
+    prox::fleet::parseBundle(bytes, "<corpus>");
+  });
+  // A bundle of nothing but holes is valid -- quarantine is data, not error.
+  EXPECT_TRUE(contains(accepted, "holes_only.proxbundle"));
+  EXPECT_FALSE(contains(accepted, "tampered_line.proxbundle"));
+  EXPECT_FALSE(contains(accepted, "truncated.proxbundle"));
+  // The bogus corner count must be rejected by arithmetic, not allocated.
+  EXPECT_FALSE(contains(accepted, "huge_count.proxbundle"));
 }
 
 TEST(CorpusTest, JsonSeedsHonorContract) {

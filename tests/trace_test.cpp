@@ -311,7 +311,7 @@ TEST(TraceTest, HistogramRoundTripsThroughReportSchemaV2) {
 
   const std::string text = obs::toJson();
   const obs::Report parsed = obs::parseJson(text);
-  EXPECT_EQ(parsed.schemaVersion, 3);
+  EXPECT_EQ(parsed.schemaVersion, 4);
 
   const obs::HistogramSample* s = parsed.histogramNamed("trace_test.rt_hist");
   ASSERT_NE(s, nullptr);
@@ -343,7 +343,7 @@ TEST(TraceTest, HistogramRoundTripsThroughReportSchemaV2) {
   // Disabled build: the report still serializes and parses as the current
   // schema, with the histogram section present but empty.
   const obs::Report parsed = obs::parseJson(obs::toJson());
-  EXPECT_EQ(parsed.schemaVersion, 3);
+  EXPECT_EQ(parsed.schemaVersion, 4);
   EXPECT_EQ(parsed.histogramNamed("trace_test.rt_hist"), nullptr);
 #endif
 }
@@ -382,7 +382,7 @@ TEST(TraceTest, V2ReportsStillParseWithoutLabels) {
 TEST(TraceTest, LabelsRoundTripThroughReportSchemaV3) {
   obs::setLabel("trace_test.label", "some value");
   const obs::Report parsed = obs::parseJson(obs::toJson());
-  EXPECT_EQ(parsed.schemaVersion, 3);
+  EXPECT_EQ(parsed.schemaVersion, 4);
   bool found = false;
   for (const auto& [name, value] : parsed.labels) {
     if (name == "trace_test.label") {
@@ -400,6 +400,29 @@ TEST(TraceTest, LabelsRoundTripThroughReportSchemaV3) {
     if (name == "trace_test.label") foundAfterReset = true;
   }
   EXPECT_TRUE(foundAfterReset);
+}
+
+TEST(TraceTest, ProvenanceStampsRoundTripThroughReportSchemaV4) {
+  obs::Report r = obs::snapshot();
+  r.gitSha = "0123456789abcdef0123456789abcdef01234567";
+  r.runTimestamp = "2026-01-02T03:04:05Z";
+  std::ostringstream os;
+  obs::writeJson(r, os);
+  const obs::Report parsed = obs::parseJson(os.str());
+  EXPECT_EQ(parsed.schemaVersion, 4);
+  EXPECT_EQ(parsed.gitSha, r.gitSha);
+  EXPECT_EQ(parsed.runTimestamp, r.runTimestamp);
+
+  // Unstamped reports omit the fields entirely (older readers reject unknown
+  // keys, so absence -- not empty strings -- is the compatibility story).
+  obs::Report bare = obs::snapshot();
+  std::ostringstream os2;
+  obs::writeJson(bare, os2);
+  EXPECT_EQ(os2.str().find("git_sha"), std::string::npos);
+  EXPECT_EQ(os2.str().find("run_timestamp"), std::string::npos);
+  const obs::Report reparsed = obs::parseJson(os2.str());
+  EXPECT_TRUE(reparsed.gitSha.empty());
+  EXPECT_TRUE(reparsed.runTimestamp.empty());
 }
 
 TEST(TraceTest, TraceJsonParsesWithTheReportJsonParser) {
